@@ -1,0 +1,29 @@
+//! Fig. 10(a)/(b): data-scale experiment — IC and BI query runtimes on the partitioned
+//! backend as the graph grows.
+
+use gopt_bench::*;
+use gopt_core::GOptConfig;
+use gopt_workloads::{bi_queries, ic_queries};
+
+fn main() {
+    let scales = [("G1x", 150usize), ("G2x", 300), ("G4x", 600)];
+    let envs: Vec<Env> = scales.iter().map(|(n, p)| Env::ldbc(n, *p)).collect();
+    let target = Target::Partitioned(8);
+    for (title, queries) in [("Fig 10(a): IC queries vs data scale", ic_queries()), ("Fig 10(b): BI queries vs data scale", bi_queries())] {
+        let mut cols = vec!["query"];
+        for (n, _) in &scales {
+            cols.push(n);
+        }
+        header(title, &cols);
+        for q in queries {
+            let mut cells = vec![q.name.clone()];
+            for env in &envs {
+                let logical = cypher(env, &q.text);
+                let plan = gopt_plan(env, &logical, target, GOptConfig::default());
+                let run = execute(env, &plan, target, DEFAULT_RECORD_LIMIT);
+                cells.push(run.display());
+            }
+            row(&cells);
+        }
+    }
+}

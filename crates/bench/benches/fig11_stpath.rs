@@ -1,0 +1,58 @@
+//! Fig. 11: the s-t path case study (ST1-ST5) on the transfer graph — GOpt's CBO-chosen
+//! join position vs single-direction expansion (Neo4j-plan) vs alternative split
+//! positions.
+
+use gopt_bench::*;
+use gopt_core::baseline::path_split_plan;
+use gopt_core::convert::{append_property_fetch, pattern_plan_to_physical};
+use gopt_core::{ExpandStrategy, GOptConfig};
+use gopt_gir::PhysicalPlan;
+use gopt_gir::physical::PhysicalOp;
+use gopt_gir::{AggFunc, Expr};
+use gopt_workloads::st_queries;
+
+const K: usize = 6;
+
+/// Build a physical plan for an ST query pattern with a fixed split position.
+fn split_physical(env: &Env, text: &str, split: usize) -> PhysicalPlan {
+    let logical = cypher(env, text);
+    let (_, pattern) = logical.match_nodes()[0];
+    let pplan = path_split_plan(pattern, split);
+    let mut phys = PhysicalPlan::new();
+    let last = pattern_plan_to_physical(pattern, &pplan, ExpandStrategy::Intersect, &mut phys);
+    append_property_fetch(pattern, last, &mut phys);
+    phys.push(PhysicalOp::HashGroup {
+        keys: vec![],
+        aggs: vec![(AggFunc::Count, Expr::tag("a0"), "paths".into())],
+    });
+    phys
+}
+
+fn main() {
+    let env = Env::fraud(1500);
+    let target = Target::Partitioned(8);
+    // five (S1, S2) pairs with different sizes, as in the case study
+    let sets = vec![
+        (vec![1, 2], vec![100, 101, 102, 103, 104, 105, 106, 107]),
+        (vec![10, 11, 12, 13, 14, 15, 16, 17], vec![200, 201]),
+        (vec![20, 21, 22], vec![300, 301, 302]),
+        (vec![30], vec![400, 401, 402, 403]),
+        (vec![40, 41, 42, 43], vec![500]),
+    ];
+    header("Fig 11: s-t path case study (k=6 transfers)", &["query", "GOpt-plan", "Neo4j-plan (single direction)", "Alt-plan (3,3)", "Alt-plan (2,4)"]);
+    for q in st_queries(K, &sets) {
+        let logical = cypher(&env, &q.text);
+        // GOpt: full CBO (join position chosen by cost)
+        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
+        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        // Neo4j-plan: single-direction expansion from S1
+        let single = split_physical(&env, &q.text, K);
+        let single_run = execute(&env, &single, target, DEFAULT_RECORD_LIMIT);
+        // alternatives: join at the middle and at (2,4)
+        let alt33 = split_physical(&env, &q.text, 3);
+        let alt33_run = execute(&env, &alt33, target, DEFAULT_RECORD_LIMIT);
+        let alt24 = split_physical(&env, &q.text, 2);
+        let alt24_run = execute(&env, &alt24, target, DEFAULT_RECORD_LIMIT);
+        row(&[q.name, gopt_run.display(), single_run.display(), alt33_run.display(), alt24_run.display()]);
+    }
+}

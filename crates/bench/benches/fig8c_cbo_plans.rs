@@ -1,0 +1,32 @@
+//! Fig. 8(c): CBO plan quality (QC1-QC4, a/b variants): GOpt-plan vs GOpt-Neo-plan
+//! (Neo4j cost model executed on the partitioned backend) vs random plans.
+
+use gopt_bench::*;
+use gopt_core::GOptConfig;
+use gopt_workloads::qc_queries;
+
+fn main() {
+    let env = Env::ldbc("G-small", 300);
+    let target = Target::Partitioned(8);
+    header("Fig 8(c): cost-based optimization", &["query", "GOpt-plan", "GOpt-Neo-plan", "random (min..max of 3)"]);
+    for q in qc_queries() {
+        let logical = cypher(&env, &q.text);
+        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
+        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let neo_cost = gopt_neo_cost_plan(&env, &logical);
+        let neo_run = execute(&env, &neo_cost, target, DEFAULT_RECORD_LIMIT);
+        let mut rands = Vec::new();
+        for seed in 0..3u64 {
+            let rp = random_plan(&env, &logical, seed);
+            rands.push(execute(&env, &rp, target, DEFAULT_RECORD_LIMIT));
+        }
+        let rand_min = rands.iter().filter(|r| !r.ot).map(|r| r.millis).fold(f64::INFINITY, f64::min);
+        let rand_max_ot = rands.iter().any(|r| r.ot);
+        let rand_disp = if rand_min.is_finite() {
+            format!("{rand_min:.2}ms..{}", if rand_max_ot { "OT".into() } else { format!("{:.2}ms", rands.iter().map(|r| r.millis).fold(0.0, f64::max)) })
+        } else {
+            "OT".to_string()
+        };
+        row(&[q.name, gopt_run.display(), neo_run.display(), rand_disp]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 9(a): LDBC IC/BI queries on the Neo4j-like single-machine backend —
+//! Neo4j-plan (CypherPlanner-like baseline) vs GOpt-plan.
+
+use gopt_bench::*;
+use gopt_core::GOptConfig;
+use gopt_workloads::{bi_queries, ic_queries};
+
+fn main() {
+    let env = Env::ldbc("G-medium", 600);
+    let target = Target::SingleMachine;
+    header("Fig 9(a): LDBC queries on the Neo4j-like backend", &["query", "GOpt-plan", "Neo4j-plan", "speedup"]);
+    let mut speedups = Vec::new();
+    for q in ic_queries().into_iter().chain(bi_queries()) {
+        let logical = cypher(&env, &q.text);
+        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
+        let neo = neo_baseline_plan(&env, &logical);
+        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let neo_run = execute(&env, &neo, target, DEFAULT_RECORD_LIMIT);
+        let s = gopt_run.speedup_over(&neo_run);
+        speedups.push(s);
+        row(&[q.name, gopt_run.display(), neo_run.display(), format!("{s:.1}x")]);
+    }
+    println!("average speedup (geometric mean, finite only): {:.1}x", geomean(&speedups));
+}

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks of the execution engines: the same triangle plan run with
+//! ExpandInto (flattening) vs ExpandIntersect (worst-case optimal), and on the
+//! single-machine vs partitioned backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopt_bench::{cypher, execute, gopt_neo_cost_plan, gopt_plan, Env, Target, DEFAULT_RECORD_LIMIT};
+use gopt_core::GOptConfig;
+use gopt_workloads::qc_queries;
+
+fn bench_exec(c: &mut Criterion) {
+    let env = Env::ldbc("G-micro", 150);
+    let qc1a = qc_queries().into_iter().find(|q| q.name == "QC1a").unwrap();
+    let logical = cypher(&env, &qc1a.text);
+    let intersect_plan = gopt_plan(&env, &logical, Target::Partitioned(8), GOptConfig::default());
+    let flatten_plan = gopt_neo_cost_plan(&env, &logical);
+    c.bench_function("exec_triangle_expand_intersect", |b| {
+        b.iter(|| std::hint::black_box(execute(&env, &intersect_plan, Target::Partitioned(8), DEFAULT_RECORD_LIMIT)))
+    });
+    c.bench_function("exec_triangle_expand_into", |b| {
+        b.iter(|| std::hint::black_box(execute(&env, &flatten_plan, Target::Partitioned(8), DEFAULT_RECORD_LIMIT)))
+    });
+    c.bench_function("exec_triangle_single_machine", |b| {
+        b.iter(|| std::hint::black_box(execute(&env, &flatten_plan, Target::SingleMachine, DEFAULT_RECORD_LIMIT)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exec
+}
+criterion_main!(benches);

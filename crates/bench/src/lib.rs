@@ -1,0 +1,304 @@
+//! Support library for the GOpt benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding bench target in
+//! `benches/` (see DESIGN.md's per-experiment index). The targets share this small
+//! harness: environment construction (graph + GLogue statistics), planning with GOpt or
+//! one of the baselines, execution on the single-machine or partitioned backend, and
+//! uniform row printing. Queries whose execution exceeds a configurable intermediate
+//! record budget are reported as `OT`, mirroring the paper's one-hour timeouts.
+
+use gopt_core::{ExpandStrategy, GOpt, GOptConfig, GraphScopeSpec, GsRuleOnlyPlanner, Neo4jSpec, NeoPlanner, PhysicalSpec, RandomPlanner};
+use gopt_exec::{Backend, PartitionedBackend, SingleMachineBackend};
+use gopt_gir::{LogicalPlan, PhysicalPlan};
+use gopt_glogue::{CardEstimator, GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
+use gopt_graph::PropertyGraph;
+use gopt_parser::{parse_cypher, parse_gremlin};
+use gopt_workloads::{generate_fraud_graph, generate_ldbc_graph, FraudConfig, LdbcScale};
+use std::time::Instant;
+
+/// Default intermediate-record budget standing in for the paper's 1-hour timeout.
+pub const DEFAULT_RECORD_LIMIT: u64 = 3_000_000;
+
+/// A benchmark environment: a graph plus its pre-computed statistics.
+pub struct Env {
+    /// Human-readable name (e.g. `G-tiny`).
+    pub name: String,
+    /// The data graph.
+    pub graph: PropertyGraph,
+    /// High-order statistics mined from the graph.
+    pub glogue: GLogue,
+}
+
+impl Env {
+    /// Build an LDBC-like environment with the given number of persons.
+    pub fn ldbc(name: &str, persons: usize) -> Env {
+        let graph = generate_ldbc_graph(&LdbcScale { persons, seed: 42 });
+        let glogue = GLogue::build(
+            &graph,
+            &GLogueConfig {
+                max_pattern_vertices: 3,
+                max_anchors: Some(500),
+                seed: 9,
+            },
+        );
+        Env {
+            name: name.to_string(),
+            graph,
+            glogue,
+        }
+    }
+
+    /// Build the fraud/transfer environment for the case study.
+    pub fn fraud(accounts: usize) -> Env {
+        let graph = generate_fraud_graph(&FraudConfig {
+            accounts,
+            avg_transfers: 3,
+            seed: 11,
+        });
+        let glogue = GLogue::build(
+            &graph,
+            &GLogueConfig {
+                max_pattern_vertices: 2,
+                max_anchors: Some(500),
+                seed: 9,
+            },
+        );
+        Env {
+            name: format!("fraud-{accounts}"),
+            graph,
+            glogue,
+        }
+    }
+}
+
+/// Which backend to execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Neo4j-like single-machine backend.
+    SingleMachine,
+    /// GraphScope-like partitioned backend (with the given partition count).
+    Partitioned(usize),
+}
+
+impl Target {
+    fn backend(&self, limit: u64) -> Box<dyn Backend> {
+        match self {
+            Target::SingleMachine => Box::new(SingleMachineBackend {
+                record_limit: Some(limit),
+            }),
+            Target::Partitioned(p) => {
+                Box::new(PartitionedBackend::new(*p).with_record_limit(limit))
+            }
+        }
+    }
+
+    /// The matching backend spec for the optimizer.
+    pub fn spec(&self) -> Box<dyn PhysicalSpec> {
+        match self {
+            Target::SingleMachine => Box::new(Neo4jSpec),
+            Target::Partitioned(_) => Box::new(GraphScopeSpec),
+        }
+    }
+}
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock execution time in milliseconds (planning excluded, as in the paper).
+    pub millis: f64,
+    /// Number of result rows.
+    pub rows: usize,
+    /// Total intermediate records produced.
+    pub intermediate: u64,
+    /// Simulated cross-partition communication records.
+    pub comm: u64,
+    /// Whether the run exceeded the record budget ("over time").
+    pub ot: bool,
+}
+
+impl RunResult {
+    /// Render the runtime column (`OT` when over budget).
+    pub fn display(&self) -> String {
+        if self.ot {
+            "OT".to_string()
+        } else {
+            format!("{:.2}ms", self.millis)
+        }
+    }
+
+    /// Speedup of `self` relative to `other` (how many times faster `self` is).
+    pub fn speedup_over(&self, other: &RunResult) -> f64 {
+        if self.ot {
+            return 0.0;
+        }
+        let denom = self.millis.max(0.001);
+        if other.ot {
+            f64::INFINITY
+        } else {
+            other.millis / denom
+        }
+    }
+}
+
+/// Execute a physical plan, measuring wall-clock time.
+pub fn execute(env: &Env, plan: &PhysicalPlan, target: Target, limit: u64) -> RunResult {
+    let backend = target.backend(limit);
+    let start = Instant::now();
+    match backend.execute(&env.graph, plan) {
+        Ok(result) => RunResult {
+            millis: start.elapsed().as_secs_f64() * 1e3,
+            rows: result.len(),
+            intermediate: result.stats.intermediate_records,
+            comm: result.stats.comm_records,
+            ot: false,
+        },
+        Err(_) => RunResult {
+            millis: start.elapsed().as_secs_f64() * 1e3,
+            rows: 0,
+            intermediate: 0,
+            comm: 0,
+            ot: true,
+        },
+    }
+}
+
+/// Parse a Cypher query against the environment's schema.
+pub fn cypher(env: &Env, text: &str) -> LogicalPlan {
+    parse_cypher(text, env.graph.schema()).expect("benchmark query parses")
+}
+
+/// Parse a Gremlin query against the environment's schema.
+pub fn gremlin(env: &Env, text: &str) -> LogicalPlan {
+    parse_gremlin(text, env.graph.schema()).expect("benchmark query parses")
+}
+
+/// Optimize with GOpt (high-order statistics) under the given configuration.
+pub fn gopt_plan(env: &Env, logical: &LogicalPlan, target: Target, config: GOptConfig) -> PhysicalPlan {
+    let gq = GlogueQuery::new(&env.glogue);
+    let spec = target.spec();
+    GOpt::new(env.graph.schema(), &gq, spec.as_ref())
+        .with_config(config)
+        .optimize(logical)
+        .expect("optimization succeeds")
+}
+
+/// Optimize with GOpt but using only low-order statistics (Fig. 8(d)).
+pub fn gopt_low_order_plan(env: &Env, logical: &LogicalPlan, target: Target) -> PhysicalPlan {
+    let lo = LowOrderEstimator::new(&env.glogue);
+    let spec = target.spec();
+    GOpt::new(env.graph.schema(), &lo, spec.as_ref())
+        .optimize(logical)
+        .expect("optimization succeeds")
+}
+
+/// Optimize with GOpt but pricing operators with the *other* backend's cost model
+/// (the "GOpt-Neo-Plan" of Fig. 8(c)): plans are produced with Neo4j's ExpandInto cost
+/// model yet executed on the partitioned backend.
+pub fn gopt_neo_cost_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
+    let gq = GlogueQuery::new(&env.glogue);
+    let spec = Neo4jSpec;
+    GOpt::new(env.graph.schema(), &gq, &spec)
+        .optimize(logical)
+        .expect("optimization succeeds")
+}
+
+/// Optimize with the CypherPlanner-like baseline (low-order statistics, greedy,
+/// flattening only).
+pub fn neo_baseline_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
+    let lo = LowOrderEstimator::new(&env.glogue);
+    NeoPlanner::new(&lo).optimize(logical).expect("baseline optimizes")
+}
+
+/// Optimize with GraphScope's rule-only baseline (user-written order).
+pub fn gs_baseline_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
+    let _ = env;
+    GsRuleOnlyPlanner::new().optimize(logical).expect("baseline optimizes")
+}
+
+/// Optimize with a random (but valid) pattern order.
+pub fn random_plan(env: &Env, logical: &LogicalPlan, seed: u64) -> PhysicalPlan {
+    let _ = env;
+    RandomPlanner::new(seed, ExpandStrategy::Intersect)
+        .optimize(logical)
+        .expect("random plan builds")
+}
+
+/// Estimate the cardinality of every MATCH pattern in the plan with both estimators,
+/// returning (high-order estimate, low-order estimate) summed over patterns. Used by the
+/// cardinality-estimation analysis of Fig. 8(d).
+pub fn estimate_both(env: &Env, logical: &LogicalPlan) -> (f64, f64) {
+    let gq = GlogueQuery::new(&env.glogue);
+    let lo = LowOrderEstimator::new(&env.glogue);
+    let mut hi_total = 0.0;
+    let mut lo_total = 0.0;
+    for (_, p) in logical.match_nodes() {
+        hi_total += gq.pattern_freq(p);
+        lo_total += lo.pattern_freq(p);
+    }
+    (hi_total, lo_total)
+}
+
+/// Print a table header.
+pub fn header(title: &str, columns: &[&str]) {
+    println!();
+    println!("=== {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// Print a table row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Geometric mean of speedups, ignoring non-finite entries (used for "average speedup"
+/// summaries like the paper's 9.2× / 33.4× numbers).
+pub fn geomean(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    if finite.is_empty() {
+        return 0.0;
+    }
+    (finite.iter().map(|v| v.ln()).sum::<f64>() / finite.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environments_build_and_queries_run_end_to_end() {
+        let env = Env::ldbc("G-unit", 60);
+        assert!(env.graph.vertex_count() > 100);
+        let logical = cypher(
+            &env,
+            "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'China' RETURN count(*) AS cnt",
+        );
+        let plan = gopt_plan(&env, &logical, Target::Partitioned(4), GOptConfig::default());
+        let run = execute(&env, &plan, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        assert!(!run.ot);
+        assert_eq!(run.rows, 1);
+        assert!(run.comm > 0);
+        let neo = neo_baseline_plan(&env, &logical);
+        let run_neo = execute(&env, &neo, Target::SingleMachine, DEFAULT_RECORD_LIMIT);
+        assert!(!run_neo.ot);
+        assert!(run.speedup_over(&run_neo) > 0.0);
+        let gs = gs_baseline_plan(&env, &logical);
+        let _ = execute(&env, &gs, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        let rnd = random_plan(&env, &logical, 3);
+        let _ = execute(&env, &rnd, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        let lo_plan = gopt_low_order_plan(&env, &logical, Target::Partitioned(4));
+        let _ = execute(&env, &lo_plan, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        let neo_cost = gopt_neo_cost_plan(&env, &logical);
+        let _ = execute(&env, &neo_cost, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        let (hi, lo) = estimate_both(&env, &logical);
+        assert!(hi >= 0.0 && lo >= 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        // the record budget triggers the OT path
+        let tiny_budget = execute(&env, &plan, Target::Partitioned(4), 1);
+        assert!(tiny_budget.ot);
+        assert_eq!(tiny_budget.display(), "OT");
+        // gremlin parsing path
+        let glog = gremlin(&env, "g.V().hasLabel('Person').as('a').out('Knows').as('b').count()");
+        assert!(!glog.match_nodes().is_empty());
+    }
+}

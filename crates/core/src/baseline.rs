@@ -1,0 +1,371 @@
+//! Baseline planners used by the paper's evaluation as comparison points.
+//!
+//! * [`NeoPlanner`] — a CypherPlanner-like optimizer: it performs the conventional
+//!   rule-based rewrites and a **greedy** cost-based ordering driven by whatever
+//!   cardinality estimator it is given (the evaluation pairs it with low-order
+//!   statistics), always lowering multi-edge expansions with the flattening
+//!   `ExpandInto` strategy and never considering worst-case-optimal intersections or
+//!   bidirectional join splits.
+//! * [`GsRuleOnlyPlanner`] — GraphScope's native behaviour before GOpt: rule-based only,
+//!   executing the pattern in the order the user wrote it (the "GS-plan" of Fig. 8(e)).
+//! * [`RandomPlanner`] — random (valid) expansion orders, the red dots of Fig. 8(c).
+
+use crate::cbo::{ExpandStrategy, Neo4jSpec, PatternPlan, PatternPlanner, PatternStep};
+use crate::convert::logical_to_physical;
+use crate::error::OptError;
+use crate::rbo::HeuristicPlanner;
+use gopt_gir::logical::LogicalPlan;
+use gopt_gir::pattern::{Pattern, PatternEdgeId, PatternVertexId};
+use gopt_gir::physical::PhysicalPlan;
+use gopt_glogue::CardEstimator;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Build a pattern plan that binds the vertices in the given order (each vertex after
+/// the first must be adjacent to an earlier one; if not, the closest valid order is
+/// used). Costs are not estimated (set to 0) — these plans exist to be *executed*, not
+/// to win the search.
+pub fn ordered_plan(pattern: &Pattern, order: &[PatternVertexId]) -> PatternPlan {
+    assert!(!order.is_empty(), "order must cover at least one vertex");
+    let mut bound: BTreeSet<PatternVertexId> = BTreeSet::new();
+    let mut remaining: Vec<PatternVertexId> = order.to_vec();
+    let first = remaining.remove(0);
+    bound.insert(first);
+    let mut plan = PatternPlan {
+        cost: 0.0,
+        est_rows: 0.0,
+        step: PatternStep::Scan { vertex: first },
+    };
+    while !remaining.is_empty() {
+        // next vertex in the requested order that is adjacent to the bound set
+        let pos = remaining
+            .iter()
+            .position(|v| {
+                pattern
+                    .neighbors(*v)
+                    .iter()
+                    .any(|n| bound.contains(n))
+            })
+            .unwrap_or(0);
+        let v = remaining.remove(pos);
+        let edges: Vec<PatternEdgeId> = pattern
+            .adjacent_edges(v)
+            .into_iter()
+            .filter(|e| {
+                let e = pattern.edge(*e);
+                let other = if e.src == v { e.dst } else { e.src };
+                bound.contains(&other)
+            })
+            .collect();
+        bound.insert(v);
+        if edges.is_empty() {
+            // disconnected order (shouldn't happen for connected patterns): fall back to
+            // scanning and joining on nothing is not supported, so just skip the vertex
+            continue;
+        }
+        plan = PatternPlan {
+            cost: 0.0,
+            est_rows: 0.0,
+            step: PatternStep::Expand {
+                input: Box::new(plan),
+                new_vertex: v,
+                edges,
+            },
+        };
+    }
+    plan
+}
+
+/// The order in which the user wrote the pattern (ascending pattern-vertex id).
+pub fn user_order_plan(pattern: &Pattern) -> PatternPlan {
+    ordered_plan(pattern, &pattern.vertex_ids())
+}
+
+/// A CypherPlanner-like baseline: conventional RBO + greedy ordering + flattening
+/// expansion only.
+pub struct NeoPlanner<'a> {
+    estimator: &'a dyn CardEstimator,
+    rbo: HeuristicPlanner,
+}
+
+impl<'a> NeoPlanner<'a> {
+    /// Create the baseline over a cardinality estimator (the evaluation uses low-order
+    /// statistics here).
+    pub fn new(estimator: &'a dyn CardEstimator) -> Self {
+        NeoPlanner {
+            estimator,
+            rbo: HeuristicPlanner::with_default_rules(),
+        }
+    }
+
+    /// Greedy, flattening-only plan for one pattern.
+    pub fn plan_pattern(&self, pattern: &Pattern) -> PatternPlan {
+        let spec = Neo4jSpec;
+        PatternPlanner::new(self.estimator, &spec).greedy_initial(pattern)
+    }
+
+    /// Optimize a full logical plan into a physical plan.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, OptError> {
+        let rewritten = self.rbo.optimize(plan);
+        logical_to_physical(&rewritten, |p| (self.plan_pattern(p), ExpandStrategy::Flatten))
+    }
+}
+
+/// GraphScope's rule-based-only behaviour: user-written order, worst-case-optimal
+/// expansion available, no cost model.
+pub struct GsRuleOnlyPlanner {
+    rbo: HeuristicPlanner,
+}
+
+impl Default for GsRuleOnlyPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GsRuleOnlyPlanner {
+    /// Create the planner with GraphScope's native heuristic rules.
+    pub fn new() -> Self {
+        GsRuleOnlyPlanner {
+            rbo: HeuristicPlanner::with_default_rules(),
+        }
+    }
+
+    /// Optimize a full logical plan into a physical plan, keeping the user order.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, OptError> {
+        let rewritten = self.rbo.optimize(plan);
+        logical_to_physical(&rewritten, |p| {
+            (user_order_plan(p), ExpandStrategy::Intersect)
+        })
+    }
+}
+
+/// Random valid expansion orders (Fig. 8(c)'s randomly generated plans).
+pub struct RandomPlanner {
+    rng: SmallRng,
+    strategy: ExpandStrategy,
+}
+
+impl RandomPlanner {
+    /// Create a random planner with a deterministic seed.
+    pub fn new(seed: u64, strategy: ExpandStrategy) -> Self {
+        RandomPlanner {
+            rng: SmallRng::seed_from_u64(seed),
+            strategy,
+        }
+    }
+
+    /// A random (but valid/connected) binding order for the pattern.
+    pub fn plan_pattern(&mut self, pattern: &Pattern) -> PatternPlan {
+        let mut order = pattern.vertex_ids();
+        order.shuffle(&mut self.rng);
+        // repair into a connected order: repeatedly pick the first remaining vertex
+        // adjacent to the bound prefix
+        let mut connected: Vec<PatternVertexId> = vec![order[0]];
+        let mut remaining: Vec<PatternVertexId> = order[1..].to_vec();
+        while !remaining.is_empty() {
+            let pos = remaining
+                .iter()
+                .position(|v| {
+                    pattern
+                        .neighbors(*v)
+                        .iter()
+                        .any(|n| connected.contains(n))
+                })
+                .unwrap_or(0);
+            connected.push(remaining.remove(pos));
+        }
+        ordered_plan(pattern, &connected)
+    }
+
+    /// Optimize a full logical plan with random pattern orders (no RBO).
+    pub fn optimize(&mut self, plan: &LogicalPlan) -> Result<PhysicalPlan, OptError> {
+        let strategy = self.strategy;
+        // borrow self.rng mutably inside the closure via a local planner
+        let mut plans: Vec<PatternPlan> = Vec::new();
+        for (_, p) in plan.match_nodes() {
+            plans.push(self.plan_pattern(p));
+        }
+        let mut iter = plans.into_iter();
+        logical_to_physical(plan, |_| {
+            (
+                iter.next().expect("one plan per match node"),
+                strategy,
+            )
+        })
+    }
+}
+
+/// Build a bidirectional s-t path plan that expands `left_hops` hops from the source
+/// side and the remaining hops from the target side, joining in the middle — the
+/// alternative plans of the Fig. 11 case study. `pattern` must be a simple directed
+/// path `v0 -> v1 -> ... -> vk` (in pattern-vertex id order).
+pub fn path_split_plan(pattern: &Pattern, left_hops: usize) -> PatternPlan {
+    let vertices = pattern.vertex_ids();
+    let k = vertices.len() - 1;
+    assert!(left_hops <= k, "split position out of range");
+    let left_order: Vec<PatternVertexId> = vertices[..=left_hops].to_vec();
+    let right_order: Vec<PatternVertexId> = vertices[left_hops..].iter().rev().copied().collect();
+    if left_hops == 0 {
+        return ordered_plan(pattern, &right_order);
+    }
+    if left_hops == k {
+        return ordered_plan(pattern, &left_order);
+    }
+    let left_edges: BTreeSet<PatternEdgeId> = pattern
+        .edge_ids()
+        .into_iter()
+        .filter(|e| {
+            let e = pattern.edge(*e);
+            vertices[..=left_hops].contains(&e.src) && vertices[..=left_hops].contains(&e.dst)
+        })
+        .collect();
+    let right_edges: BTreeSet<PatternEdgeId> = pattern
+        .edge_ids()
+        .into_iter()
+        .filter(|e| !left_edges.contains(e))
+        .collect();
+    let left_pattern = pattern.induced_by_edges(&left_edges);
+    let right_pattern = pattern.induced_by_edges(&right_edges);
+    let left_plan = ordered_plan(&left_pattern, &left_order);
+    let right_plan = ordered_plan(&right_pattern, &right_order);
+    PatternPlan {
+        cost: 0.0,
+        est_rows: 0.0,
+        step: PatternStep::Join {
+            left: Box::new(left_plan),
+            right: Box::new(right_plan),
+            keys: vec![vertices[left_hops]],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::pattern::Direction;
+    use gopt_gir::types::TypeConstraint;
+    use gopt_gir::{Expr, GraphIrBuilder, PatternBuilder};
+    use gopt_glogue::{GLogue, LowOrderEstimator};
+    use gopt_graph::schema::fig6_schema;
+
+    fn chain(n: usize) -> Pattern {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let mut b = PatternBuilder::new().get_v("p0", TypeConstraint::basic(person));
+        for i in 1..n {
+            b = b
+                .expand_e(
+                    &format!("p{}", i - 1),
+                    &format!("e{i}"),
+                    TypeConstraint::basic(knows),
+                    Direction::Out,
+                )
+                .get_v_end(&format!("e{i}"), &format!("p{i}"), TypeConstraint::basic(person));
+        }
+        b.finish().unwrap()
+    }
+
+    fn small_glogue() -> GLogue {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        GLogue::from_counts(
+            schema,
+            vec![(person, 100.0)],
+            vec![(person, knows, person, 500.0)],
+        )
+    }
+
+    #[test]
+    fn user_order_plan_binds_in_id_order() {
+        let p = chain(4);
+        let plan = user_order_plan(&p);
+        let order = plan.binding_order();
+        assert_eq!(order, p.vertex_ids());
+        assert_eq!(plan.join_count(), 0);
+    }
+
+    #[test]
+    fn ordered_plan_accepts_arbitrary_connected_orders() {
+        let p = chain(4);
+        let ids = p.vertex_ids();
+        let reversed: Vec<_> = ids.iter().rev().copied().collect();
+        let plan = ordered_plan(&p, &reversed);
+        assert_eq!(plan.binding_order(), reversed);
+    }
+
+    #[test]
+    fn random_planner_is_deterministic_per_seed_and_valid() {
+        let p = chain(5);
+        let mut r1 = RandomPlanner::new(7, ExpandStrategy::Flatten);
+        let mut r2 = RandomPlanner::new(7, ExpandStrategy::Flatten);
+        let o1 = r1.plan_pattern(&p).binding_order();
+        let o2 = r2.plan_pattern(&p).binding_order();
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), 5);
+        // every prefix is connected
+        for i in 1..o1.len() {
+            let set: BTreeSet<_> = o1[..=i].iter().copied().collect();
+            let edges: BTreeSet<_> = p
+                .edge_ids()
+                .into_iter()
+                .filter(|e| {
+                    let e = p.edge(*e);
+                    set.contains(&e.src) && set.contains(&e.dst)
+                })
+                .collect();
+            assert!(p.induced(&set, &edges).is_connected());
+        }
+        // different seeds usually differ
+        let mut r3 = RandomPlanner::new(99, ExpandStrategy::Flatten);
+        let differs = (0..5).any(|_| r3.plan_pattern(&p).binding_order() != o1);
+        assert!(differs);
+    }
+
+    #[test]
+    fn baseline_planners_produce_executable_physical_plans() {
+        let gl = small_glogue();
+        let lo = LowOrderEstimator::new(&gl);
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(chain(3));
+        let s = b.select(m, Expr::prop_eq("p2", "name", "x"));
+        let plan = b.build(s);
+
+        let neo = NeoPlanner::new(&lo).optimize(&plan).unwrap();
+        assert!(neo.count_op("Scan") >= 1);
+        assert_eq!(neo.count_op("ExpandIntersect"), 0, "Neo4j never intersects");
+
+        let gs = GsRuleOnlyPlanner::new().optimize(&plan).unwrap();
+        assert!(gs.count_op("Scan") >= 1);
+
+        let mut rnd = RandomPlanner::new(1, ExpandStrategy::Intersect);
+        let r = rnd.optimize(&plan).unwrap();
+        assert!(r.count_op("Scan") >= 1);
+    }
+
+    #[test]
+    fn path_split_plan_joins_at_requested_position() {
+        let p = chain(7); // 6 hops
+        for split in 0..=6 {
+            let plan = path_split_plan(&p, split);
+            if split == 0 || split == 6 {
+                assert_eq!(plan.join_count(), 0);
+            } else {
+                assert_eq!(plan.join_count(), 1);
+                let PatternStep::Join { keys, .. } = &plan.step else {
+                    panic!("expected a join at the top");
+                };
+                assert_eq!(keys, &vec![p.vertex_ids()[split]]);
+            }
+            // the plan binds every vertex exactly once
+            let order = plan.binding_order();
+            assert_eq!(order.len(), 7);
+            let set: BTreeSet<_> = order.into_iter().collect();
+            assert_eq!(set.len(), 7);
+        }
+    }
+}

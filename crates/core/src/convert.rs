@@ -1,0 +1,426 @@
+//! Physical plan generation (the paper's `PhysicalConvertor`).
+//!
+//! Converts an optimized logical plan into a [`PhysicalPlan`]: every `MATCH_PATTERN`
+//! node is lowered according to a chosen [`PatternPlan`] (from the CBO, from a baseline
+//! planner, or from the user-written order), with multi-edge vertex expansions realised
+//! either as `EdgeExpand` + `ExpandInto` (flattening backends) or as a single
+//! `ExpandIntersect` (worst-case-optimal backends); relational operators are lowered
+//! one-to-one.
+//!
+//! After a pattern is matched, `PropertyFetch` operators materialise the property columns
+//! recorded by `FieldTrim` (or *all* declared columns when the rule did not run), which
+//! is how the paper's `COLUMNS` annotation reaches the execution engine.
+
+use crate::cbo::{ExpandStrategy, PatternPlan, PatternStep};
+use crate::error::OptError;
+use gopt_gir::logical::{LogicalOp, LogicalPlan};
+use gopt_gir::pattern::{Direction, Pattern, PatternEdgeId, PatternVertexId};
+use gopt_gir::physical::{IntersectStep, PhysicalNodeId, PhysicalOp, PhysicalPlan};
+
+/// The alias under which a pattern vertex is bound in the physical plan: its user tag,
+/// or a synthetic `@v<i>` alias when untagged.
+pub fn vertex_alias(pattern: &Pattern, v: PatternVertexId) -> String {
+    pattern
+        .vertex(v)
+        .tag
+        .clone()
+        .unwrap_or_else(|| format!("@v{}", v.0))
+}
+
+/// The alias of a pattern edge (user tag only; untagged edges are not bound).
+pub fn edge_alias(pattern: &Pattern, e: PatternEdgeId) -> Option<String> {
+    pattern.edge(e).tag.clone()
+}
+
+fn bound_endpoint_and_direction(
+    pattern: &Pattern,
+    edge: PatternEdgeId,
+    new_vertex: PatternVertexId,
+) -> (PatternVertexId, Direction) {
+    let e = pattern.edge(edge);
+    if e.dst == new_vertex {
+        (e.src, Direction::Out)
+    } else {
+        (e.dst, Direction::In)
+    }
+}
+
+/// Lower one pattern plan into physical operators appended to `phys`; returns the id of
+/// the last operator.
+pub fn pattern_plan_to_physical(
+    pattern: &Pattern,
+    plan: &PatternPlan,
+    strategy: ExpandStrategy,
+    phys: &mut PhysicalPlan,
+) -> PhysicalNodeId {
+    match &plan.step {
+        PatternStep::Scan { vertex } => {
+            let v = pattern.vertex(*vertex);
+            phys.add(
+                PhysicalOp::Scan {
+                    alias: vertex_alias(pattern, *vertex),
+                    constraint: v.constraint.clone(),
+                    predicate: v.predicate.clone(),
+                },
+                vec![],
+            )
+        }
+        PatternStep::Expand {
+            input,
+            new_vertex,
+            edges,
+        } => {
+            let mut last = pattern_plan_to_physical(pattern, input, strategy, phys);
+            let nv = pattern.vertex(*new_vertex);
+            let dst_alias = vertex_alias(pattern, *new_vertex);
+            // split edges into the first (always a flattening EdgeExpand / PathExpand)
+            // and the rest (ExpandInto or folded into an ExpandIntersect)
+            if strategy == ExpandStrategy::Intersect && edges.len() > 1 {
+                let steps: Vec<IntersectStep> = edges
+                    .iter()
+                    .map(|eid| {
+                        let (bound, dir) = bound_endpoint_and_direction(pattern, *eid, *new_vertex);
+                        IntersectStep {
+                            src: vertex_alias(pattern, bound),
+                            edge_constraint: pattern.edge(*eid).constraint.clone(),
+                            direction: dir,
+                            edge_alias: edge_alias(pattern, *eid),
+                        }
+                    })
+                    .collect();
+                return phys.add(
+                    PhysicalOp::ExpandIntersect {
+                        steps,
+                        dst_alias,
+                        dst_constraint: nv.constraint.clone(),
+                        dst_predicate: nv.predicate.clone(),
+                    },
+                    vec![last],
+                );
+            }
+            // flattening lowering: first edge binds the vertex, the rest close edges
+            let (first, rest) = edges.split_first().expect("expand has at least one edge");
+            let e = pattern.edge(*first);
+            let (bound, dir) = bound_endpoint_and_direction(pattern, *first, *new_vertex);
+            let first_op = if let Some(spec) = e.path {
+                PhysicalOp::PathExpand {
+                    src: vertex_alias(pattern, bound),
+                    dst_alias: dst_alias.clone(),
+                    edge_constraint: e.constraint.clone(),
+                    direction: dir,
+                    min_hops: spec.min_hops,
+                    max_hops: spec.max_hops,
+                    semantics: spec.semantics,
+                    path_alias: edge_alias(pattern, *first),
+                }
+            } else {
+                PhysicalOp::EdgeExpand {
+                    src: vertex_alias(pattern, bound),
+                    edge_alias: edge_alias(pattern, *first),
+                    edge_constraint: e.constraint.clone(),
+                    direction: dir,
+                    dst_alias: dst_alias.clone(),
+                    dst_constraint: nv.constraint.clone(),
+                    dst_predicate: nv.predicate.clone(),
+                    edge_predicate: e.predicate.clone(),
+                }
+            };
+            last = phys.add(first_op, vec![last]);
+            for eid in rest {
+                let e = pattern.edge(*eid);
+                let (bound, dir) = bound_endpoint_and_direction(pattern, *eid, *new_vertex);
+                last = phys.add(
+                    PhysicalOp::ExpandInto {
+                        src: vertex_alias(pattern, bound),
+                        dst: dst_alias.clone(),
+                        edge_constraint: e.constraint.clone(),
+                        direction: dir,
+                        edge_alias: edge_alias(pattern, *eid),
+                        edge_predicate: e.predicate.clone(),
+                    },
+                    vec![last],
+                );
+            }
+            last
+        }
+        PatternStep::Join { left, right, keys } => {
+            let l = pattern_plan_to_physical(pattern, left, strategy, phys);
+            let r = pattern_plan_to_physical(pattern, right, strategy, phys);
+            phys.add(
+                PhysicalOp::HashJoin {
+                    keys: keys.iter().map(|k| vertex_alias(pattern, *k)).collect(),
+                    kind: gopt_gir::JoinType::Inner,
+                },
+                vec![l, r],
+            )
+        }
+    }
+}
+
+/// Append `PropertyFetch` operators for every tagged pattern vertex, following the
+/// `COLUMNS` recorded by `FieldTrim` (`None` = fetch everything).
+pub fn append_property_fetch(
+    pattern: &Pattern,
+    mut last: PhysicalNodeId,
+    phys: &mut PhysicalPlan,
+) -> PhysicalNodeId {
+    for v in pattern.vertices() {
+        let Some(tag) = &v.tag else { continue };
+        let props = match &v.columns {
+            None => None,
+            Some(cols) if cols.is_empty() => continue,
+            Some(cols) => Some(cols.iter().cloned().collect::<Vec<_>>()),
+        };
+        last = phys.add(
+            PhysicalOp::PropertyFetch {
+                tag: tag.clone(),
+                props,
+            },
+            vec![last],
+        );
+    }
+    last
+}
+
+/// Lower a full logical plan to a physical plan. `plan_pattern` supplies, per
+/// `MATCH_PATTERN`, the chosen pattern plan and the expansion strategy of the target
+/// backend.
+pub fn logical_to_physical(
+    plan: &LogicalPlan,
+    mut plan_pattern: impl FnMut(&Pattern) -> (PatternPlan, ExpandStrategy),
+) -> Result<PhysicalPlan, OptError> {
+    if plan.is_empty() {
+        return Err(OptError::MalformedPlan("empty logical plan".into()));
+    }
+    let mut phys = PhysicalPlan::new();
+    let mut mapping: Vec<Option<PhysicalNodeId>> = vec![None; plan.len()];
+    for id in plan.topo_order() {
+        let inputs: Vec<PhysicalNodeId> = plan
+            .inputs(id)
+            .iter()
+            .map(|i| mapping[i.0].expect("producers lowered first"))
+            .collect();
+        let node = match plan.op(id) {
+            LogicalOp::Match { pattern } => {
+                let (pplan, strategy) = plan_pattern(pattern);
+                let last = pattern_plan_to_physical(pattern, &pplan, strategy, &mut phys);
+                append_property_fetch(pattern, last, &mut phys)
+            }
+            LogicalOp::Select { predicate } => phys.add(
+                PhysicalOp::Select {
+                    predicate: predicate.clone(),
+                },
+                inputs,
+            ),
+            LogicalOp::Project { items } => phys.add(
+                PhysicalOp::Project {
+                    items: items.clone(),
+                },
+                inputs,
+            ),
+            LogicalOp::Group { keys, aggs } => phys.add(
+                PhysicalOp::HashGroup {
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                },
+                inputs,
+            ),
+            LogicalOp::Order { keys, limit } => phys.add(
+                PhysicalOp::OrderLimit {
+                    keys: keys.clone(),
+                    limit: *limit,
+                },
+                inputs,
+            ),
+            LogicalOp::Limit { count } => phys.add(PhysicalOp::Limit { count: *count }, inputs),
+            LogicalOp::Dedup { keys } => {
+                phys.add(PhysicalOp::Dedup { keys: keys.clone() }, inputs)
+            }
+            LogicalOp::Join { kind, keys } => {
+                if inputs.len() != 2 {
+                    return Err(OptError::MalformedPlan(format!(
+                        "JOIN expects 2 inputs, got {}",
+                        inputs.len()
+                    )));
+                }
+                phys.add(
+                    PhysicalOp::HashJoin {
+                        keys: keys.clone(),
+                        kind: *kind,
+                    },
+                    inputs,
+                )
+            }
+            LogicalOp::Union { .. } => phys.add(PhysicalOp::Union, inputs),
+        };
+        mapping[id.0] = Some(node);
+    }
+    phys.set_root(mapping[plan.root().0].expect("root lowered"));
+    Ok(phys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbo::{GraphScopeSpec, Neo4jSpec, PatternPlanner, PhysicalSpec};
+    use gopt_gir::pattern::PathSpec;
+    use gopt_gir::types::TypeConstraint;
+    use gopt_gir::{AggFunc, Expr, GraphIrBuilder, SortDir};
+    use gopt_glogue::{GLogue, GlogueQuery};
+    use gopt_graph::schema::fig6_schema;
+
+    fn glogue() -> GLogue {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let product = schema.vertex_label("Product").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let purchases = schema.edge_label("Purchases").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        let produced = schema.edge_label("ProducedIn").unwrap();
+        GLogue::from_counts(
+            schema,
+            vec![(person, 1000.0), (product, 200.0), (place, 10.0)],
+            vec![
+                (person, knows, person, 5000.0),
+                (person, purchases, product, 2000.0),
+                (person, located, place, 1000.0),
+                (product, produced, place, 200.0),
+            ],
+        )
+    }
+
+    fn triangle() -> Pattern {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        let mut p = Pattern::new();
+        let a = p.add_vertex_tagged("a", TypeConstraint::basic(person));
+        let b = p.add_vertex_tagged("b", TypeConstraint::basic(person));
+        let c = p.add_vertex_tagged("c", TypeConstraint::basic(place));
+        p.add_edge_tagged(a, b, "k", TypeConstraint::basic(knows));
+        p.add_edge(a, c, TypeConstraint::basic(located));
+        p.add_edge(b, c, TypeConstraint::basic(located));
+        p
+    }
+
+    #[test]
+    fn flatten_strategy_emits_expand_into() {
+        let gl = glogue();
+        let gq = GlogueQuery::new(&gl);
+        let spec = Neo4jSpec;
+        let pattern = triangle();
+        let pplan = PatternPlanner::new(&gq, &spec).plan(&pattern);
+        let mut phys = PhysicalPlan::new();
+        pattern_plan_to_physical(&pattern, &pplan, spec.expand_strategy(), &mut phys);
+        assert_eq!(phys.count_op("Scan") + phys.count_op("HashJoin") / 2, phys.count_op("Scan"));
+        assert!(phys.count_op("Scan") >= 1);
+        assert!(
+            phys.count_op("ExpandInto") >= 1 || phys.count_op("HashJoin") >= 1,
+            "closing the triangle needs ExpandInto (or a join): {}",
+            phys.encode()
+        );
+        assert_eq!(phys.count_op("ExpandIntersect"), 0);
+    }
+
+    #[test]
+    fn intersect_strategy_emits_expand_intersect() {
+        let gl = glogue();
+        let gq = GlogueQuery::new(&gl);
+        let spec = GraphScopeSpec;
+        let pattern = triangle();
+        let pplan = PatternPlanner::new(&gq, &spec).plan(&pattern);
+        let mut phys = PhysicalPlan::new();
+        pattern_plan_to_physical(&pattern, &pplan, spec.expand_strategy(), &mut phys);
+        assert!(
+            phys.count_op("ExpandIntersect") >= 1 || phys.count_op("HashJoin") >= 1,
+            "multi-edge expansion should use ExpandIntersect: {}",
+            phys.encode()
+        );
+        assert_eq!(phys.count_op("ExpandInto"), 0);
+    }
+
+    #[test]
+    fn property_fetch_follows_columns() {
+        let mut pattern = triangle();
+        let a = pattern.vertex_by_tag("a").unwrap();
+        let c = pattern.vertex_by_tag("c").unwrap();
+        pattern.vertex_mut(a).columns = Some(["name".to_string()].into_iter().collect());
+        pattern.vertex_mut(c).columns = Some(Default::default());
+        // b keeps None -> fetch all
+        let mut phys = PhysicalPlan::new();
+        let scan = phys.add(
+            PhysicalOp::Scan {
+                alias: "a".into(),
+                constraint: TypeConstraint::all(),
+                predicate: None,
+            },
+            vec![],
+        );
+        append_property_fetch(&pattern, scan, &mut phys);
+        assert_eq!(phys.count_op("PropertyFetch"), 2, "a (trimmed) and b (all), not c");
+        let enc = phys.encode();
+        assert!(enc.contains("a.[name]"));
+        assert!(enc.contains("b.*"));
+    }
+
+    #[test]
+    fn path_edges_lower_to_path_expand() {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let mut p = Pattern::new();
+        let a = p.add_vertex_tagged("a", TypeConstraint::basic(person));
+        let b = p.add_vertex_tagged("b", TypeConstraint::basic(person));
+        p.add_edge_full(
+            a,
+            b,
+            Some("path".into()),
+            TypeConstraint::basic(knows),
+            None,
+            Some(PathSpec::exact(3)),
+        );
+        let gl = glogue();
+        let gq = GlogueQuery::new(&gl);
+        let spec = Neo4jSpec;
+        let pplan = PatternPlanner::new(&gq, &spec).plan(&p);
+        let mut phys = PhysicalPlan::new();
+        pattern_plan_to_physical(&p, &pplan, spec.expand_strategy(), &mut phys);
+        assert_eq!(phys.count_op("PathExpand"), 1);
+    }
+
+    #[test]
+    fn full_logical_plan_lowering() {
+        let gl = glogue();
+        let gq = GlogueQuery::new(&gl);
+        let spec = GraphScopeSpec;
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(triangle());
+        let s = b.select(m, Expr::prop_eq("c", "name", "China"));
+        let g = b.group(
+            s,
+            vec![(Expr::tag("a"), "a".into())],
+            vec![(AggFunc::Count, Expr::tag("b"), "cnt".into())],
+        );
+        let o = b.order(g, vec![(Expr::tag("cnt"), SortDir::Desc)], Some(5));
+        let plan = b.build(o);
+        let phys = logical_to_physical(&plan, |p| {
+            (
+                PatternPlanner::new(&gq, &spec).plan(p),
+                spec.expand_strategy(),
+            )
+        })
+        .unwrap();
+        assert!(phys.count_op("Scan") >= 1);
+        assert_eq!(phys.count_op("Select"), 1);
+        assert_eq!(phys.count_op("HashGroup"), 1);
+        assert_eq!(phys.count_op("OrderLimit"), 1);
+        // untrimmed pattern: every tagged vertex fetches all columns
+        assert_eq!(phys.count_op("PropertyFetch"), 3);
+        assert_eq!(phys.op(phys.root()).name(), "OrderLimit");
+        // empty plans are rejected
+        assert!(logical_to_physical(&LogicalPlan::new(), |_| unreachable!()).is_err());
+    }
+}

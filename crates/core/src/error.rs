@@ -1,0 +1,45 @@
+//! Optimizer errors.
+
+use std::fmt;
+
+/// Errors produced by the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// Type inference proved that the pattern can never match (the paper's INVALID
+    /// outcome of Algorithm 1).
+    InvalidPattern {
+        /// Human-readable explanation of the contradiction.
+        reason: String,
+    },
+    /// The logical plan is empty or structurally broken.
+    MalformedPlan(String),
+    /// A join key tag is not produced by both join inputs.
+    UnknownJoinKey(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::InvalidPattern { reason } => write!(f, "INVALID pattern: {reason}"),
+            OptError::MalformedPlan(m) => write!(f, "malformed plan: {m}"),
+            OptError::UnknownJoinKey(k) => write!(f, "unknown join key: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = OptError::InvalidPattern {
+            reason: "no such edge".into(),
+        };
+        assert!(e.to_string().contains("INVALID"));
+        assert!(OptError::MalformedPlan("x".into()).to_string().contains("x"));
+        assert!(OptError::UnknownJoinKey("v1".into()).to_string().contains("v1"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # gopt-core — the GOpt graph-native optimizer
+//!
+//! This crate is the paper's primary contribution: a modular, graph-native optimizer for
+//! Complex Graph Patterns (CGPs) that sits between any query front-end (Cypher, Gremlin —
+//! see `gopt-parser`) and any execution backend (see `gopt-exec`), communicating through
+//! the unified GIR (`gopt-gir`).
+//!
+//! The optimization pipeline follows Section 4 of the paper:
+//!
+//! 1. **Rule-based optimization** ([`rbo`]) — a fixpoint rule engine (the stand-in for
+//!    Calcite's HepPlanner) with the paper's heuristic rules: `FilterIntoPattern`,
+//!    `FieldTrim`, `JoinToPattern`, `ComSubPattern`, plus `LimitIntoOrder`.
+//! 2. **Type inference and validation** ([`type_infer`]) — Algorithm 1: propagate schema
+//!    connectivity through the pattern to replace AllType/UnionType constraints with the
+//!    tightest valid constraint sets, or reject the pattern as INVALID.
+//! 3. **Cost-based optimization** ([`cbo`]) — the top-down branch-and-bound search of
+//!    Algorithm 2 over hybrid plans (vertex expansion + binary joins), driven by the
+//!    high-order cardinality estimates of `gopt-glogue` and by backend-registered
+//!    [`cbo::PhysicalSpec`] cost models (`ExpandInto` for Neo4j-like backends,
+//!    `ExpandIntersect` for GraphScope-like backends).
+//! 4. **Physical plan generation** ([`convert`]) — turning the chosen pattern plans and
+//!    the relational operators into a [`gopt_gir::PhysicalPlan`].
+//!
+//! [`planner::GOpt`] wires the stages together behind one call and exposes per-stage
+//! switches used by the ablation experiments. [`baseline`] contains the comparison
+//! planners: a CypherPlanner-like greedy optimizer (`NeoPlanner`), a rule-only planner
+//! that follows the user-written order (`GsRuleOnlyPlanner`), and a `RandomPlanner`.
+
+pub mod baseline;
+pub mod cbo;
+pub mod convert;
+pub mod error;
+pub mod planner;
+pub mod rbo;
+pub mod type_infer;
+
+pub use baseline::{GsRuleOnlyPlanner, NeoPlanner, RandomPlanner};
+pub use cbo::{ExpandStrategy, GraphScopeSpec, Neo4jSpec, PatternPlan, PatternPlanner, PhysicalSpec};
+pub use error::OptError;
+pub use planner::{GOpt, GOptConfig};
+pub use rbo::{HeuristicPlanner, Rule};
+pub use type_infer::{infer_pattern_types, TypeInference};

@@ -1,0 +1,288 @@
+//! The GOpt facade: the full optimization pipeline behind one call.
+//!
+//! `GIR logical plan → RBO → type inference → CBO → physical plan`, with per-stage
+//! switches so the evaluation can isolate each technique (Fig. 8(a): RBO on/off,
+//! Fig. 8(b): type inference on/off, Fig. 8(c)/(d): CBO and its statistics).
+
+use crate::baseline::user_order_plan;
+use crate::cbo::{PatternPlanner, PhysicalSpec};
+use crate::convert::logical_to_physical;
+use crate::error::OptError;
+use crate::rbo::HeuristicPlanner;
+use crate::type_infer::TypeInference;
+use gopt_gir::logical::{LogicalOp, LogicalPlan};
+use gopt_gir::physical::PhysicalPlan;
+use gopt_glogue::CardEstimator;
+use gopt_graph::GraphSchema;
+
+/// Per-stage switches of the optimization pipeline.
+#[derive(Debug, Clone)]
+pub struct GOptConfig {
+    /// Apply the heuristic rule program (Section 6.1).
+    pub enable_rbo: bool,
+    /// Apply type inference and validation (Section 6.2).
+    pub enable_type_inference: bool,
+    /// Apply cost-based pattern ordering (Section 6.3); when off, patterns are executed
+    /// in the order the user wrote them.
+    pub enable_cbo: bool,
+    /// Upper bound on the pattern edge count for which join decompositions are
+    /// enumerated during CBO.
+    pub max_join_edges: usize,
+}
+
+impl Default for GOptConfig {
+    fn default() -> Self {
+        GOptConfig {
+            enable_rbo: true,
+            enable_type_inference: true,
+            enable_cbo: true,
+            max_join_edges: 10,
+        }
+    }
+}
+
+impl GOptConfig {
+    /// Everything disabled (the "NoOpt" configuration of the micro-benchmarks).
+    pub fn none() -> Self {
+        GOptConfig {
+            enable_rbo: false,
+            enable_type_inference: false,
+            enable_cbo: false,
+            max_join_edges: 10,
+        }
+    }
+}
+
+/// The GOpt optimizer.
+pub struct GOpt<'a> {
+    schema: &'a GraphSchema,
+    estimator: &'a dyn CardEstimator,
+    spec: &'a dyn PhysicalSpec,
+    config: GOptConfig,
+    rbo: HeuristicPlanner,
+}
+
+impl<'a> GOpt<'a> {
+    /// Create an optimizer for the given schema, cardinality estimator and backend spec,
+    /// with all stages enabled.
+    pub fn new(
+        schema: &'a GraphSchema,
+        estimator: &'a dyn CardEstimator,
+        spec: &'a dyn PhysicalSpec,
+    ) -> Self {
+        GOpt {
+            schema,
+            estimator,
+            spec,
+            config: GOptConfig::default(),
+            rbo: HeuristicPlanner::with_default_rules(),
+        }
+    }
+
+    /// Replace the stage configuration.
+    pub fn with_config(mut self, config: GOptConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GOptConfig {
+        &self.config
+    }
+
+    /// The backend spec this optimizer targets.
+    pub fn spec(&self) -> &dyn PhysicalSpec {
+        self.spec
+    }
+
+    /// Run the optimized-logical-plan part of the pipeline (RBO + type inference),
+    /// returning the rewritten logical plan. Exposed separately for inspection/EXPLAIN.
+    pub fn optimize_logical(&self, plan: &LogicalPlan) -> Result<LogicalPlan, OptError> {
+        if plan.is_empty() {
+            return Err(OptError::MalformedPlan("empty logical plan".into()));
+        }
+        let mut current = if self.config.enable_rbo {
+            self.rbo.optimize(plan)
+        } else {
+            plan.clone()
+        };
+        if self.config.enable_type_inference {
+            let checker = TypeInference::new(self.schema);
+            for id in current.node_ids() {
+                let LogicalOp::Match { pattern } = current.op(id) else {
+                    continue;
+                };
+                let inferred = checker.infer(pattern)?;
+                *current.op_mut(id) = LogicalOp::Match { pattern: inferred };
+            }
+        }
+        Ok(current)
+    }
+
+    /// Run the full pipeline, producing a physical plan for the configured backend.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, OptError> {
+        let logical = self.optimize_logical(plan)?;
+        let strategy = self.spec.expand_strategy();
+        if self.config.enable_cbo {
+            let mut planner = PatternPlanner::new(self.estimator, self.spec);
+            planner.max_join_edges = self.config.max_join_edges;
+            logical_to_physical(&logical, |p| (planner.plan(p), strategy))
+        } else {
+            logical_to_physical(&logical, |p| (user_order_plan(p), strategy))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbo::{GraphScopeSpec, Neo4jSpec};
+    use gopt_gir::pattern::Direction;
+    use gopt_gir::types::TypeConstraint;
+    use gopt_gir::{AggFunc, Expr, GraphIrBuilder, PatternBuilder, SortDir};
+    use gopt_glogue::{GLogue, GLogueConfig, GlogueQuery};
+    use gopt_graph::generator::{random_graph, RandomGraphConfig};
+    use gopt_graph::schema::fig6_schema;
+    use gopt_graph::PropertyGraph;
+
+    fn setup() -> (PropertyGraph, GLogue) {
+        let schema = fig6_schema();
+        let graph = random_graph(
+            &schema,
+            &RandomGraphConfig {
+                vertices_per_label: 25,
+                edges_per_endpoint: 80,
+                seed: 5,
+            },
+        );
+        let glogue = GLogue::build(&graph, &GLogueConfig::default());
+        (graph, glogue)
+    }
+
+    /// The paper's running example, written without explicit types.
+    fn running_example() -> LogicalPlan {
+        let pattern1 = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e1", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e1", "v2", TypeConstraint::all())
+            .expand_e("v2", "e2", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e2", "v3", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let place = fig6_schema().vertex_label("Place").unwrap();
+        let pattern2 = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e3", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e3", "v3", TypeConstraint::basic(place))
+            .finish()
+            .unwrap();
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(pattern1);
+        let m2 = b.match_pattern(pattern2);
+        let j = b.join(m1, m2, vec!["v1".into(), "v3".into()], gopt_gir::JoinType::Inner);
+        let s = b.select(j, Expr::prop_eq("v3", "name", "Place_3"));
+        let g = b.group(
+            s,
+            vec![(Expr::tag("v2"), "v2".into())],
+            vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+        );
+        let o = b.order(g, vec![(Expr::tag("cnt"), SortDir::Desc)], Some(10));
+        b.build(o)
+    }
+
+    #[test]
+    fn full_pipeline_produces_a_physical_plan() {
+        let (graph, glogue) = setup();
+        let gq = GlogueQuery::new(&glogue);
+        let spec = GraphScopeSpec;
+        let gopt = GOpt::new(graph.schema(), &gq, &spec);
+        assert!(gopt.config().enable_cbo);
+        assert_eq!(gopt.spec().name(), "graphscope");
+        let phys = gopt.optimize(&running_example()).unwrap();
+        // RBO merged the two matches, so there is no HashJoin from the logical JOIN and
+        // no standalone Select (the filter went into the pattern)
+        assert_eq!(phys.count_op("Select"), 0);
+        assert!(phys.count_op("Scan") >= 1);
+        assert_eq!(phys.count_op("HashGroup"), 1);
+        assert_eq!(phys.count_op("OrderLimit"), 1);
+    }
+
+    #[test]
+    fn logical_stage_applies_rbo_and_type_inference() {
+        let (graph, glogue) = setup();
+        let gq = GlogueQuery::new(&glogue);
+        let spec = Neo4jSpec;
+        let gopt = GOpt::new(graph.schema(), &gq, &spec);
+        let logical = gopt.optimize_logical(&running_example()).unwrap();
+        assert_eq!(logical.match_nodes().len(), 1);
+        let (_, pattern) = logical.match_nodes()[0];
+        // v1 now has a concrete (inferred) constraint instead of AllType
+        let v1 = pattern.vertex(pattern.vertex_by_tag("v1").unwrap());
+        assert!(!v1.constraint.is_all());
+        // disabling stages changes the outcome
+        let gopt_noopt = GOpt::new(graph.schema(), &gq, &spec).with_config(GOptConfig::none());
+        let logical_noopt = gopt_noopt.optimize_logical(&running_example()).unwrap();
+        assert_eq!(logical_noopt.match_nodes().len(), 2);
+        let (_, p0) = logical_noopt.match_nodes()[0];
+        assert!(p0
+            .vertices()
+            .any(|v| v.constraint.is_all()), "no inference without the stage");
+        // empty plans are rejected
+        assert!(gopt.optimize_logical(&LogicalPlan::new()).is_err());
+    }
+
+    #[test]
+    fn optimized_and_unoptimized_plans_return_identical_results() {
+        use gopt_exec::{Backend, PartitionedBackend, SingleMachineBackend};
+        let (graph, glogue) = setup();
+        let gq = GlogueQuery::new(&glogue);
+        let spec = GraphScopeSpec;
+        let plan = running_example();
+
+        let optimized = GOpt::new(graph.schema(), &gq, &spec).optimize(&plan).unwrap();
+        let unoptimized = GOpt::new(graph.schema(), &gq, &spec)
+            .with_config(GOptConfig::none())
+            .optimize(&plan)
+            .unwrap();
+
+        let backend = PartitionedBackend::new(4);
+        let r_opt = backend.execute(&graph, &optimized).unwrap();
+        let r_noopt = backend.execute(&graph, &unoptimized).unwrap();
+        assert_eq!(
+            r_opt.sorted_rows_for(&["v2", "cnt"]),
+            r_noopt.sorted_rows_for(&["v2", "cnt"]),
+            "optimization must not change results"
+        );
+        // the optimized plan does not produce more intermediate records
+        assert!(r_opt.stats.intermediate_records <= r_noopt.stats.intermediate_records);
+
+        // the Neo4j-targeted plan gives the same answer on the single-machine backend
+        let neo_spec = Neo4jSpec;
+        let neo_plan = GOpt::new(graph.schema(), &gq, &neo_spec).optimize(&plan).unwrap();
+        let r_neo = SingleMachineBackend::new().execute(&graph, &neo_plan).unwrap();
+        assert_eq!(
+            r_neo.sorted_rows_for(&["v2", "cnt"]),
+            r_opt.sorted_rows_for(&["v2", "cnt"])
+        );
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected_by_the_pipeline() {
+        let (graph, glogue) = setup();
+        let gq = GlogueQuery::new(&glogue);
+        let spec = GraphScopeSpec;
+        let place = graph.schema().vertex_label("Place").unwrap();
+        // (a:Place)-[]->(b): Place has no outgoing edges in this schema
+        let pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::basic(place))
+            .expand_e("a", "e", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(pattern);
+        let plan = b.build(m);
+        let err = GOpt::new(graph.schema(), &gq, &spec).optimize(&plan);
+        assert!(matches!(err, Err(OptError::InvalidPattern { .. })));
+    }
+}

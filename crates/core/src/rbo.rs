@@ -1,0 +1,768 @@
+//! Rule-based optimization (RBO).
+//!
+//! The [`HeuristicPlanner`] is the stand-in for Calcite's HepPlanner used by the paper:
+//! it applies a program of [`Rule`]s in phases, each phase running its rules to a
+//! fixpoint. The default program contains the four heuristic rules of Section 6.1 plus a
+//! conventional relational rule:
+//!
+//! * [`FilterIntoPattern`] — push `SELECT` conjuncts that reference a single pattern
+//!   element into the pattern, so matching applies them while expanding (Fig. 4);
+//! * [`JoinToPattern`] — merge two `MATCH_PATTERN`s connected by an inner `JOIN` on
+//!   their common vertex tags into one pattern (valid under homomorphism semantics);
+//! * [`LimitIntoOrder`] — fuse `ORDER` + `LIMIT` into a top-k `ORDER`;
+//! * [`ComSubPattern`] — factor out the common sub-pattern of the branches of a `UNION`
+//!   so it is matched only once and each branch joins its residual onto it;
+//! * [`FieldTrim`] — record, per pattern vertex, the property columns actually used
+//!   downstream (`COLUMNS`), so the physical plan only materialises those.
+
+use gopt_gir::expr::Expr;
+use gopt_gir::logical::{JoinType, LogicalOp, LogicalPlan};
+use gopt_gir::pattern::Pattern;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A rewrite rule over logical plans.
+///
+/// `apply` attempts a single rewrite anywhere in the plan, returning the rewritten plan
+/// when something changed. The planner drives rules to a fixpoint.
+pub trait Rule {
+    /// Rule name (for explain output and tests).
+    fn name(&self) -> &'static str;
+    /// Try to apply the rule once; `None` when nothing matched.
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan>;
+}
+
+/// A HepPlanner-like driver: phases of rules, each run to a fixpoint.
+pub struct HeuristicPlanner {
+    phases: Vec<Vec<Box<dyn Rule>>>,
+    max_iterations: usize,
+}
+
+impl Default for HeuristicPlanner {
+    fn default() -> Self {
+        Self::with_default_rules()
+    }
+}
+
+impl HeuristicPlanner {
+    /// A planner with no rules; add phases with [`HeuristicPlanner::add_phase`].
+    pub fn empty() -> Self {
+        HeuristicPlanner {
+            phases: Vec::new(),
+            max_iterations: 64,
+        }
+    }
+
+    /// The default rule program used by GOpt.
+    pub fn with_default_rules() -> Self {
+        let mut p = Self::empty();
+        p.add_phase(vec![
+            Box::new(FilterIntoPattern),
+            Box::new(JoinToPattern),
+            Box::new(LimitIntoOrder),
+        ]);
+        p.add_phase(vec![Box::new(ComSubPattern)]);
+        p.add_phase(vec![Box::new(FieldTrim)]);
+        p
+    }
+
+    /// Append a phase of rules (run to fixpoint after the previous phases).
+    pub fn add_phase(&mut self, rules: Vec<Box<dyn Rule>>) -> &mut Self {
+        self.phases.push(rules);
+        self
+    }
+
+    /// Names of all registered rules, in program order.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.phases
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.name()))
+            .collect()
+    }
+
+    /// Run the rule program.
+    pub fn optimize(&self, plan: &LogicalPlan) -> LogicalPlan {
+        let mut current = plan.clone();
+        for phase in &self.phases {
+            let mut iterations = 0;
+            loop {
+                let mut changed = false;
+                for rule in phase {
+                    if let Some(next) = rule.apply(&current) {
+                        current = next;
+                        changed = true;
+                    }
+                }
+                iterations += 1;
+                if !changed || iterations >= self.max_iterations {
+                    break;
+                }
+            }
+        }
+        current
+    }
+}
+
+/// Push single-element filters from a `SELECT` into the upstream `MATCH_PATTERN`.
+pub struct FilterIntoPattern;
+
+impl Rule for FilterIntoPattern {
+    fn name(&self) -> &'static str {
+        "FilterIntoPattern"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        for id in plan.node_ids() {
+            let LogicalOp::Select { predicate } = plan.op(id) else {
+                continue;
+            };
+            let inputs = plan.inputs(id);
+            if inputs.len() != 1 {
+                continue;
+            }
+            let input = inputs[0];
+            let LogicalOp::Match { pattern } = plan.op(input) else {
+                continue;
+            };
+            let mut pushable: Vec<Expr> = Vec::new();
+            let mut remaining: Vec<Expr> = Vec::new();
+            for conjunct in predicate.conjuncts() {
+                let tags = conjunct.referenced_tags();
+                let single = tags.len() == 1
+                    && tags.iter().next().is_some_and(|t| {
+                        pattern.vertex_by_tag(t).is_some() || pattern.edge_by_tag(t).is_some()
+                    });
+                if single {
+                    pushable.push(conjunct);
+                } else {
+                    remaining.push(conjunct);
+                }
+            }
+            if pushable.is_empty() {
+                continue;
+            }
+            let mut new_plan = plan.clone();
+            // push each conjunct into the owning pattern element
+            {
+                let LogicalOp::Match { pattern } = new_plan.op_mut(input) else {
+                    unreachable!("checked above")
+                };
+                for c in pushable {
+                    let tag = c.referenced_tags().into_iter().next().expect("one tag");
+                    if let Some(v) = pattern.vertex_by_tag(&tag) {
+                        let pv = pattern.vertex_mut(v);
+                        pv.predicate = Some(match pv.predicate.take() {
+                            Some(p) => p.and(c),
+                            None => c,
+                        });
+                    } else if let Some(e) = pattern.edge_by_tag(&tag) {
+                        let pe = pattern.edge_mut(e);
+                        pe.predicate = Some(match pe.predicate.take() {
+                            Some(p) => p.and(c),
+                            None => c,
+                        });
+                    }
+                }
+            }
+            match Expr::conjunction(remaining) {
+                Some(rest) => {
+                    *new_plan.op_mut(id) = LogicalOp::Select { predicate: rest };
+                }
+                None => new_plan.bypass(id),
+            }
+            return Some(new_plan.compact());
+        }
+        None
+    }
+}
+
+/// Merge `Match ⋈ Match` (inner join on all common vertex tags) into a single pattern.
+pub struct JoinToPattern;
+
+impl Rule for JoinToPattern {
+    fn name(&self) -> &'static str {
+        "JoinToPattern"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        for id in plan.node_ids() {
+            let LogicalOp::Join { kind, keys } = plan.op(id) else {
+                continue;
+            };
+            if *kind != JoinType::Inner {
+                continue;
+            }
+            let inputs = plan.inputs(id).to_vec();
+            if inputs.len() != 2 {
+                continue;
+            }
+            let (l, r) = (inputs[0], inputs[1]);
+            let (LogicalOp::Match { pattern: pl }, LogicalOp::Match { pattern: pr }) =
+                (plan.op(l), plan.op(r))
+            else {
+                continue;
+            };
+            // only merge when the matches feed this join exclusively (otherwise the
+            // shared match is intentionally computed once, e.g. after ComSubPattern)
+            if plan.consumers(l).len() != 1 || plan.consumers(r).len() != 1 {
+                continue;
+            }
+            // the join keys must be exactly the common vertex tags of the two patterns
+            let tags_l: BTreeSet<String> = pl
+                .vertices()
+                .filter_map(|v| v.tag.clone())
+                .collect();
+            let tags_r: BTreeSet<String> = pr
+                .vertices()
+                .filter_map(|v| v.tag.clone())
+                .collect();
+            let common: BTreeSet<String> = tags_l.intersection(&tags_r).cloned().collect();
+            let keyset: BTreeSet<String> = keys.iter().cloned().collect();
+            if common.is_empty() || keyset != common {
+                continue;
+            }
+            let (merged, _) = pl.merge_by_tag(pr);
+            let mut new_plan = plan.clone();
+            *new_plan.op_mut(id) = LogicalOp::Match { pattern: merged };
+            new_plan.set_inputs(id, vec![]);
+            return Some(new_plan.compact());
+        }
+        None
+    }
+}
+
+/// Fuse `ORDER` (without a limit) followed by `LIMIT` into a top-k `ORDER`.
+pub struct LimitIntoOrder;
+
+impl Rule for LimitIntoOrder {
+    fn name(&self) -> &'static str {
+        "LimitIntoOrder"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        for id in plan.node_ids() {
+            let LogicalOp::Limit { count } = plan.op(id) else {
+                continue;
+            };
+            let count = *count;
+            let inputs = plan.inputs(id);
+            if inputs.len() != 1 {
+                continue;
+            }
+            let input = inputs[0];
+            let LogicalOp::Order { keys, limit } = plan.op(input) else {
+                continue;
+            };
+            if plan.consumers(input).len() != 1 {
+                continue;
+            }
+            let new_limit = Some(limit.map_or(count, |l| l.min(count)));
+            if *limit == new_limit {
+                continue;
+            }
+            let keys = keys.clone();
+            let mut new_plan = plan.clone();
+            *new_plan.op_mut(input) = LogicalOp::Order {
+                keys,
+                limit: new_limit,
+            };
+            new_plan.bypass(id);
+            return Some(new_plan.compact());
+        }
+        None
+    }
+}
+
+/// Factor the common sub-pattern out of the `MATCH` branches of a `UNION`, computing it
+/// once and joining each branch's residual pattern back onto it.
+pub struct ComSubPattern;
+
+impl ComSubPattern {
+    /// The common sub-pattern of a list of patterns, identified by vertex/edge tags.
+    fn common_subpattern(patterns: &[&Pattern]) -> Pattern {
+        let first = patterns[0];
+        let mut common = Pattern::new();
+        let mut vertex_map = BTreeMap::new();
+        // common vertices: same tag and same constraint in every branch
+        for v in first.vertices() {
+            let Some(tag) = &v.tag else { continue };
+            let in_all = patterns.iter().all(|p| {
+                p.vertex_by_tag(tag)
+                    .map(|id| p.vertex(id).constraint == v.constraint)
+                    .unwrap_or(false)
+            });
+            if in_all {
+                let nv = common.add_vertex_full(Some(tag.clone()), v.constraint.clone(), v.predicate.clone());
+                vertex_map.insert(tag.clone(), nv);
+            }
+        }
+        // common edges: both endpoint tags common, and an edge with the same endpoints
+        // and constraint exists in every branch
+        for e in first.edges() {
+            let (Some(st), Some(dt)) = (
+                first.vertex(e.src).tag.clone(),
+                first.vertex(e.dst).tag.clone(),
+            ) else {
+                continue;
+            };
+            if !vertex_map.contains_key(&st) || !vertex_map.contains_key(&dt) {
+                continue;
+            }
+            let in_all = patterns.iter().all(|p| {
+                let (Some(s), Some(d)) = (p.vertex_by_tag(&st), p.vertex_by_tag(&dt)) else {
+                    return false;
+                };
+                p.edges().any(|pe| {
+                    pe.src == s && pe.dst == d && pe.constraint == e.constraint && pe.path == e.path
+                })
+            });
+            if in_all {
+                common.add_edge_full(
+                    vertex_map[&st],
+                    vertex_map[&dt],
+                    e.tag.clone(),
+                    e.constraint.clone(),
+                    e.predicate.clone(),
+                    e.path,
+                );
+            }
+        }
+        common
+    }
+
+    /// The residual of `branch` after removing the common edges; keeps every vertex that
+    /// still has an incident edge plus nothing else.
+    fn residual(branch: &Pattern, common: &Pattern) -> Pattern {
+        let mut keep: BTreeSet<gopt_gir::PatternEdgeId> = branch.edge_ids().into_iter().collect();
+        for ce in common.edges() {
+            let (Some(st), Some(dt)) = (
+                common.vertex(ce.src).tag.clone(),
+                common.vertex(ce.dst).tag.clone(),
+            ) else {
+                continue;
+            };
+            let (Some(s), Some(d)) = (branch.vertex_by_tag(&st), branch.vertex_by_tag(&dt)) else {
+                continue;
+            };
+            if let Some(be) = branch
+                .edges()
+                .find(|be| be.src == s && be.dst == d && be.constraint == ce.constraint)
+            {
+                keep.remove(&be.id);
+            }
+        }
+        branch.induced_by_edges(&keep)
+    }
+}
+
+impl Rule for ComSubPattern {
+    fn name(&self) -> &'static str {
+        "ComSubPattern"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        for id in plan.node_ids() {
+            let LogicalOp::Union { .. } = plan.op(id) else {
+                continue;
+            };
+            let inputs = plan.inputs(id).to_vec();
+            if inputs.len() < 2 {
+                continue;
+            }
+            let mut patterns = Vec::new();
+            for i in &inputs {
+                match plan.op(*i) {
+                    LogicalOp::Match { pattern } if plan.consumers(*i).len() == 1 => {
+                        patterns.push(pattern)
+                    }
+                    _ => {
+                        patterns.clear();
+                        break;
+                    }
+                }
+            }
+            if patterns.len() != inputs.len() {
+                continue;
+            }
+            let common = Self::common_subpattern(&patterns);
+            if common.edge_count() == 0 || !common.is_connected() {
+                continue;
+            }
+            // every branch must have a residual (otherwise the branches are identical
+            // and the union itself already deduplicates)
+            let residuals: Vec<Pattern> = patterns
+                .iter()
+                .map(|p| Self::residual(p, &common))
+                .collect();
+            if residuals.iter().any(|r| r.edge_count() == 0) {
+                continue;
+            }
+            let mut new_plan = plan.clone();
+            let common_node = new_plan.add(LogicalOp::Match { pattern: common.clone() }, vec![]);
+            let mut new_inputs = Vec::new();
+            for (i, residual) in residuals.into_iter().enumerate() {
+                let keys: Vec<String> = residual
+                    .vertices()
+                    .filter_map(|v| v.tag.clone())
+                    .filter(|t| common.vertex_by_tag(t).is_some())
+                    .collect();
+                let branch_match = new_plan.add(LogicalOp::Match { pattern: residual }, vec![]);
+                let join = new_plan.add(
+                    LogicalOp::Join {
+                        kind: JoinType::Inner,
+                        keys,
+                    },
+                    vec![common_node, branch_match],
+                );
+                new_inputs.push(join);
+                let _ = i;
+            }
+            new_plan.set_inputs(id, new_inputs);
+            // keep the union as root if it was; compact drops the detached old matches
+            let root = plan.root();
+            new_plan.set_root(if root == id { id } else { root });
+            return Some(new_plan.compact());
+        }
+        None
+    }
+}
+
+/// Record, per pattern vertex, the property columns required by downstream operators.
+pub struct FieldTrim;
+
+impl FieldTrim {
+    /// All `(tag, property)` pairs and bare tags referenced by non-Match operators.
+    fn downstream_usage(plan: &LogicalPlan) -> (BTreeSet<(String, String)>, BTreeSet<String>) {
+        let mut props = BTreeSet::new();
+        let mut tags = BTreeSet::new();
+        let visit_expr = |e: &Expr, props: &mut BTreeSet<(String, String)>, tags: &mut BTreeSet<String>| {
+            props.extend(e.referenced_props());
+            tags.extend(e.referenced_tags());
+        };
+        for id in plan.node_ids() {
+            match plan.op(id) {
+                LogicalOp::Match { pattern } => {
+                    // predicates already pushed into the pattern still need their columns
+                    for v in pattern.vertices() {
+                        if let Some(p) = &v.predicate {
+                            visit_expr(p, &mut props, &mut tags);
+                        }
+                    }
+                    for e in pattern.edges() {
+                        if let Some(p) = &e.predicate {
+                            visit_expr(p, &mut props, &mut tags);
+                        }
+                    }
+                }
+                LogicalOp::Select { predicate } => visit_expr(predicate, &mut props, &mut tags),
+                LogicalOp::Project { items } => {
+                    for (e, _) in items {
+                        visit_expr(e, &mut props, &mut tags);
+                    }
+                }
+                LogicalOp::Group { keys, aggs } => {
+                    for (e, _) in keys {
+                        visit_expr(e, &mut props, &mut tags);
+                    }
+                    for (_, e, _) in aggs {
+                        visit_expr(e, &mut props, &mut tags);
+                    }
+                }
+                LogicalOp::Order { keys, .. } => {
+                    for (e, _) in keys {
+                        visit_expr(e, &mut props, &mut tags);
+                    }
+                }
+                LogicalOp::Dedup { keys } => {
+                    for e in keys {
+                        visit_expr(e, &mut props, &mut tags);
+                    }
+                }
+                LogicalOp::Join { keys, .. } => tags.extend(keys.iter().cloned()),
+                LogicalOp::Limit { .. } | LogicalOp::Union { .. } => {}
+            }
+        }
+        (props, tags)
+    }
+}
+
+impl Rule for FieldTrim {
+    fn name(&self) -> &'static str {
+        "FieldTrim"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        // if the final operator is a bare MATCH the full result is returned to the user,
+        // so nothing can be trimmed
+        if matches!(plan.op(plan.root()), LogicalOp::Match { .. }) {
+            return None;
+        }
+        let (used_props, _used_tags) = Self::downstream_usage(plan);
+        let mut new_plan = plan.clone();
+        let mut changed = false;
+        for (id, _) in plan.match_nodes() {
+            let LogicalOp::Match { pattern } = new_plan.op_mut(id) else {
+                unreachable!("match node")
+            };
+            for vid in pattern.vertex_ids() {
+                let tag = pattern.vertex(vid).tag.clone();
+                let needed: BTreeSet<String> = match &tag {
+                    Some(t) => used_props
+                        .iter()
+                        .filter(|(tag, _)| tag == t)
+                        .map(|(_, p)| p.clone())
+                        .collect(),
+                    None => BTreeSet::new(),
+                };
+                let v = pattern.vertex_mut(vid);
+                if v.columns.as_ref() != Some(&needed) {
+                    v.columns = Some(needed);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            Some(new_plan)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::expr::{AggFunc, SortDir};
+    use gopt_gir::pattern::Direction;
+    use gopt_gir::types::TypeConstraint;
+    use gopt_gir::{GraphIrBuilder, PatternBuilder};
+    use gopt_graph::LabelId;
+
+    const PERSON: LabelId = LabelId(0);
+    const PRODUCT: LabelId = LabelId(1);
+    const PLACE: LabelId = LabelId(2);
+
+    fn chain_pattern(tags: &[&str]) -> Pattern {
+        let mut b = PatternBuilder::new().get_v(tags[0], TypeConstraint::all());
+        for w in tags.windows(2) {
+            let e = format!("e_{}_{}", w[0], w[1]);
+            b = b
+                .expand_e(w[0], &e, TypeConstraint::all(), Direction::Out)
+                .get_v_end(&e, w[1], TypeConstraint::all());
+        }
+        b.finish().unwrap()
+    }
+
+    /// The paper's Fig. 3/4 running example as a logical plan.
+    fn running_example() -> LogicalPlan {
+        let p1 = chain_pattern(&["v1", "v2", "v3"]);
+        let p2 = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e3", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e3", "v3", TypeConstraint::basic(PLACE))
+            .finish()
+            .unwrap();
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(p1);
+        let m2 = b.match_pattern(p2);
+        let j = b.join(m1, m2, vec!["v1".into(), "v3".into()], JoinType::Inner);
+        let s = b.select(j, Expr::prop_eq("v3", "name", "China"));
+        let g = b.group(
+            s,
+            vec![(Expr::tag("v2"), "v2".into())],
+            vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+        );
+        let o = b.order(g, vec![(Expr::tag("cnt"), SortDir::Asc)], None);
+        let l = b.limit(o, 10);
+        b.build(l)
+    }
+
+    #[test]
+    fn filter_into_pattern_pushes_single_tag_conjuncts() {
+        let p = chain_pattern(&["a", "b"]);
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(p);
+        let s = b.select(
+            m,
+            Expr::prop_eq("b", "name", "China").and(Expr::binary(
+                gopt_gir::BinOp::Eq,
+                Expr::prop("a", "id"),
+                Expr::prop("b", "id"),
+            )),
+        );
+        let plan = b.build(s);
+        let out = FilterIntoPattern.apply(&plan).expect("applies");
+        // the single-tag conjunct was pushed; the two-tag conjunct remains in the SELECT
+        let (_, pattern) = out.match_nodes()[0];
+        let bv = pattern.vertex(pattern.vertex_by_tag("b").unwrap());
+        assert!(bv.predicate.is_some());
+        assert!(matches!(out.op(out.root()), LogicalOp::Select { .. }));
+        // applying again finds nothing new
+        assert!(FilterIntoPattern.apply(&out).is_none());
+
+        // a select with only a pushable predicate disappears entirely
+        let p = chain_pattern(&["a", "b"]);
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(p);
+        let s = b.select(m, Expr::prop_eq("b", "name", "China"));
+        let plan = b.build(s);
+        let out = FilterIntoPattern.apply(&plan).expect("applies");
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out.op(out.root()), LogicalOp::Match { .. }));
+    }
+
+    #[test]
+    fn join_to_pattern_merges_matches() {
+        let plan = running_example();
+        let out = JoinToPattern.apply(&plan).expect("applies");
+        assert_eq!(out.match_nodes().len(), 1, "one merged pattern");
+        let (_, merged) = out.match_nodes()[0];
+        assert_eq!(merged.vertex_count(), 3);
+        assert_eq!(merged.edge_count(), 3);
+        assert!(JoinToPattern.apply(&out).is_none());
+    }
+
+    #[test]
+    fn join_with_partial_keys_is_not_merged() {
+        let p1 = chain_pattern(&["v1", "v2", "v3"]);
+        let p2 = chain_pattern(&["v1", "v3"]);
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(p1);
+        let m2 = b.match_pattern(p2);
+        // join keys do not cover the common tags {v1, v3}
+        let j = b.join(m1, m2, vec!["v1".into()], JoinType::Inner);
+        let plan = b.build(j);
+        assert!(JoinToPattern.apply(&plan).is_none());
+        // outer joins are never merged
+        let p1 = chain_pattern(&["v1", "v2"]);
+        let p2 = chain_pattern(&["v1", "v4"]);
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(p1);
+        let m2 = b.match_pattern(p2);
+        let j = b.join(m1, m2, vec!["v1".into()], JoinType::LeftOuter);
+        let plan = b.build(j);
+        assert!(JoinToPattern.apply(&plan).is_none());
+    }
+
+    #[test]
+    fn limit_into_order_fuses() {
+        let plan = running_example();
+        let out = LimitIntoOrder.apply(&plan).expect("applies");
+        let LogicalOp::Order { limit, .. } = out.op(out.root()) else {
+            panic!("root should be the fused ORDER, got {}", out.op(out.root()).name());
+        };
+        assert_eq!(*limit, Some(10));
+        assert!(LimitIntoOrder.apply(&out).is_none());
+    }
+
+    #[test]
+    fn com_sub_pattern_factors_union_branches() {
+        // (v1:Person)-[]->(v2:Person)-[]->(:Product)  UNION  (v1:Person)-[]->(v2:Person)-[]->(:Place)
+        let mk = |leaf: LabelId| {
+            PatternBuilder::new()
+                .get_v("v1", TypeConstraint::basic(PERSON))
+                .expand_e("v1", "e1", TypeConstraint::all(), Direction::Out)
+                .get_v_end("e1", "v2", TypeConstraint::basic(PERSON))
+                .expand_e("v2", "e2", TypeConstraint::all(), Direction::Out)
+                .get_v_end("e2", "leaf", TypeConstraint::basic(leaf))
+                .finish()
+                .unwrap()
+        };
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(mk(PRODUCT));
+        let m2 = b.match_pattern(mk(PLACE));
+        let u = b.union(vec![m1, m2], true);
+        let plan = b.build(u);
+        let out = ComSubPattern.apply(&plan).expect("applies");
+        // the union's inputs are now joins over a shared common match
+        let union_id = out.root();
+        assert!(matches!(out.op(union_id), LogicalOp::Union { .. }));
+        let join_inputs = out.inputs(union_id).to_vec();
+        assert_eq!(join_inputs.len(), 2);
+        for j in &join_inputs {
+            assert!(matches!(out.op(*j), LogicalOp::Join { .. }));
+        }
+        // both joins share the same common-match node
+        let shared: BTreeSet<_> = join_inputs
+            .iter()
+            .map(|j| out.inputs(*j)[0])
+            .collect();
+        assert_eq!(shared.len(), 1);
+        let common_id = *shared.iter().next().unwrap();
+        let LogicalOp::Match { pattern } = out.op(common_id) else {
+            panic!("shared input is a match");
+        };
+        assert_eq!(pattern.edge_count(), 1, "the common (v1)->(v2) edge");
+        // JoinToPattern must not undo the sharing (the common match has two consumers)
+        assert!(JoinToPattern.apply(&out).is_none());
+        // and ComSubPattern itself does not re-apply
+        assert!(ComSubPattern.apply(&out).is_none());
+    }
+
+    #[test]
+    fn com_sub_pattern_skips_identical_or_disjoint_branches() {
+        let mk = || chain_pattern(&["a", "b"]);
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(mk());
+        let m2 = b.match_pattern(mk());
+        let u = b.union(vec![m1, m2], true);
+        let plan = b.build(u);
+        // identical branches: residual would be empty, rule does not fire
+        assert!(ComSubPattern.apply(&plan).is_none());
+        // disjoint branches: no common sub-pattern
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(chain_pattern(&["a", "b"]));
+        let m2 = b.match_pattern(chain_pattern(&["x", "y"]));
+        let u = b.union(vec![m1, m2], true);
+        let plan = b.build(u);
+        assert!(ComSubPattern.apply(&plan).is_none());
+    }
+
+    #[test]
+    fn field_trim_records_used_columns() {
+        let plan = running_example();
+        let out = FieldTrim.apply(&plan).expect("applies");
+        let (_, pattern) = out.match_nodes()[0];
+        let v3 = pattern.vertex(pattern.vertex_by_tag("v3").unwrap());
+        assert_eq!(
+            v3.columns,
+            Some(["name".to_string()].into_iter().collect())
+        );
+        let v2 = pattern.vertex(pattern.vertex_by_tag("v2").unwrap());
+        assert_eq!(v2.columns, Some(BTreeSet::new()), "v2 is grouped on, no properties needed");
+        // idempotent
+        assert!(FieldTrim.apply(&out).is_none());
+        // a bare match as root is never trimmed
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(chain_pattern(&["a", "b"]));
+        let plan = b.build(m);
+        assert!(FieldTrim.apply(&plan).is_none());
+    }
+
+    #[test]
+    fn default_program_optimizes_running_example_like_fig4() {
+        let plan = running_example();
+        let planner = HeuristicPlanner::with_default_rules();
+        assert!(planner.rule_names().contains(&"FilterIntoPattern"));
+        let out = planner.optimize(&plan);
+        // one merged pattern, filter pushed into v3, order with fused limit, no JOIN/SELECT left
+        assert_eq!(out.match_nodes().len(), 1);
+        let (_, pattern) = out.match_nodes()[0];
+        assert_eq!(pattern.vertex_count(), 3);
+        let v3 = pattern.vertex(pattern.vertex_by_tag("v3").unwrap());
+        assert!(v3.predicate.is_some(), "filter pushed into the pattern");
+        assert_eq!(v3.columns, Some(["name".to_string()].into_iter().collect()));
+        let names: Vec<&str> = out.topo_order().iter().map(|id| out.op(*id).name()).collect();
+        assert!(!names.contains(&"JOIN"));
+        assert!(!names.contains(&"SELECT"));
+        assert!(!names.contains(&"LIMIT"));
+        let LogicalOp::Order { limit, .. } = out.op(out.root()) else {
+            panic!("root is the fused order");
+        };
+        assert_eq!(*limit, Some(10));
+        // the planner is a fixpoint: re-optimizing changes nothing
+        let again = planner.optimize(&out);
+        assert_eq!(again.explain(), out.explain());
+        // an empty planner is the identity
+        assert_eq!(HeuristicPlanner::empty().optimize(&plan).explain(), plan.explain());
+    }
+}

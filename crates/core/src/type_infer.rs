@@ -1,0 +1,277 @@
+//! Type inference and validation (Algorithm 1 of the paper).
+//!
+//! Patterns written without explicit type constraints (AllType) or with UnionTypes are
+//! refined against the graph schema: for every pattern edge `(u)-[e]->(v)` only the
+//! `(src label, edge label, dst label)` triples that (a) the schema declares and (b) the
+//! current constraints of `u`, `e`, `v` admit can survive. Constraints are propagated
+//! with a work-list until a fixpoint is reached, processing the most constrained vertices
+//! first exactly as Algorithm 1 does. If any constraint becomes empty the pattern can
+//! never match and `INVALID` is reported.
+//!
+//! Compared with the pseudo-code in the paper (which, for brevity, only spells out the
+//! outgoing direction), the implementation propagates through both outgoing and incoming
+//! adjacency and keeps the result as a UnionType rather than enumerating basic-type
+//! combinations — the behaviour the paper describes in Section 6.2.
+
+use crate::error::OptError;
+use gopt_gir::pattern::{Pattern, PatternEdgeId, PatternVertexId};
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::{GraphSchema, LabelId};
+use std::collections::BTreeSet;
+
+/// The type-inference engine (the paper's "type checker" component).
+#[derive(Debug, Clone)]
+pub struct TypeInference<'a> {
+    schema: &'a GraphSchema,
+}
+
+impl<'a> TypeInference<'a> {
+    /// Create a type checker over a schema.
+    pub fn new(schema: &'a GraphSchema) -> Self {
+        TypeInference { schema }
+    }
+
+    /// Infer and validate type constraints for a pattern.
+    ///
+    /// Returns the refined pattern, or [`OptError::InvalidPattern`] when some vertex or
+    /// edge admits no label at all (the pattern can never match any data conforming to
+    /// the schema).
+    pub fn infer(&self, pattern: &Pattern) -> Result<Pattern, OptError> {
+        let mut p = pattern.clone();
+        let all_v: Vec<LabelId> = self.schema.vertex_label_ids().collect();
+        let all_e: Vec<LabelId> = self.schema.edge_label_ids().collect();
+        // materialise AllType into explicit label sets so intersections are meaningful
+        for vid in p.vertex_ids() {
+            let c = p.vertex(vid).constraint.clone();
+            p.vertex_mut(vid).constraint = TypeConstraint::union(c.materialize(&all_v));
+        }
+        for eid in p.edge_ids() {
+            let c = p.edge(eid).constraint.clone();
+            p.edge_mut(eid).constraint = TypeConstraint::union(c.materialize(&all_e));
+        }
+        // work-list over vertices, most constrained first (Algorithm 1, line 1)
+        let mut queue: BTreeSet<(usize, PatternVertexId)> = p
+            .vertex_ids()
+            .into_iter()
+            .map(|v| (p.vertex(v).constraint.len().unwrap_or(usize::MAX), v))
+            .collect();
+        let mut guard = 0usize;
+        let max_iterations = 4 * (p.vertex_count() + 1) * (p.edge_count() + 1).max(1) + 16;
+        while let Some(&(_, u)) = queue.iter().next() {
+            queue.remove(&(queue.iter().next().expect("non-empty").0, u));
+            guard += 1;
+            if guard > max_iterations {
+                break; // fixpoint is guaranteed, but stay defensive
+            }
+            for eid in p.adjacent_edges(u) {
+                let (changed_v, changed_e) = self.refine_edge(&mut p, eid)?;
+                for v in changed_v {
+                    queue.insert((p.vertex(v).constraint.len().unwrap_or(usize::MAX), v));
+                }
+                let _ = changed_e;
+            }
+        }
+        Ok(p)
+    }
+
+    /// Constrain one edge and its endpoints to the schema-consistent label triples.
+    /// Returns the endpoints whose constraints changed.
+    fn refine_edge(
+        &self,
+        p: &mut Pattern,
+        eid: PatternEdgeId,
+    ) -> Result<(Vec<PatternVertexId>, bool), OptError> {
+        let e = p.edge(eid).clone();
+        let src_c = p.vertex(e.src).constraint.clone();
+        let dst_c = p.vertex(e.dst).constraint.clone();
+        let mut src_new: BTreeSet<LabelId> = BTreeSet::new();
+        let mut dst_new: BTreeSet<LabelId> = BTreeSet::new();
+        let mut edge_new: BTreeSet<LabelId> = BTreeSet::new();
+        let edge_labels = e
+            .constraint
+            .materialize(&self.schema.edge_label_ids().collect::<Vec<_>>());
+        for el in edge_labels {
+            for &(s, d) in self.schema.edge_endpoints(el) {
+                if src_c.contains(s) && dst_c.contains(d) {
+                    src_new.insert(s);
+                    dst_new.insert(d);
+                    edge_new.insert(el);
+                }
+            }
+        }
+        if src_new.is_empty() || dst_new.is_empty() || edge_new.is_empty() {
+            return Err(OptError::InvalidPattern {
+                reason: format!(
+                    "edge {:?} admits no (src, edge, dst) label combination under the schema",
+                    e.tag.clone().unwrap_or_else(|| format!("e{}", eid.0))
+                ),
+            });
+        }
+        let mut changed = Vec::new();
+        let src_tc = TypeConstraint::union(src_new);
+        let dst_tc = TypeConstraint::union(dst_new);
+        let edge_tc = TypeConstraint::union(edge_new);
+        if src_tc != src_c {
+            p.vertex_mut(e.src).constraint = src_tc;
+            changed.push(e.src);
+        }
+        if dst_tc != dst_c {
+            p.vertex_mut(e.dst).constraint = dst_tc;
+            changed.push(e.dst);
+        }
+        let edge_changed = edge_tc != e.constraint;
+        if edge_changed {
+            p.edge_mut(eid).constraint = edge_tc;
+        }
+        Ok((changed, edge_changed))
+    }
+}
+
+/// Convenience wrapper: infer types for a single pattern.
+pub fn infer_pattern_types(pattern: &Pattern, schema: &GraphSchema) -> Result<Pattern, OptError> {
+    TypeInference::new(schema).infer(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::pattern::Direction;
+    use gopt_gir::PatternBuilder;
+    use gopt_graph::schema::{fig5_schema, fig6_schema};
+
+    /// The paper's Fig. 5(b) pattern: (v1)-[e1]->(v2), (v2)-[e2]->(v3:Place), (v1)-[e3]->(v3),
+    /// everything else untyped. Expected result (Fig. 5(c)):
+    /// v1: Person, v2: Person|Product, v3: Place,
+    /// e1: Knows|Purchases, e2: LocatedIn|ProducedIn, e3: LocatedIn.
+    #[test]
+    fn reproduces_fig5_example() {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let product = schema.vertex_label("Product").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let purchases = schema.edge_label("Purchases").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        let produced = schema.edge_label("ProducedIn").unwrap();
+
+        let pattern = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e1", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e1", "v2", TypeConstraint::all())
+            .expand_e("v2", "e2", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e2", "v3", TypeConstraint::basic(place))
+            .expand_e("v1", "e3", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e3", "v3", TypeConstraint::all())
+            .finish()
+            .unwrap();
+
+        let inferred = infer_pattern_types(&pattern, &schema).unwrap();
+        let v = |tag: &str| inferred.vertex(inferred.vertex_by_tag(tag).unwrap()).constraint.clone();
+        let e = |tag: &str| inferred.edge(inferred.edge_by_tag(tag).unwrap()).constraint.clone();
+        assert_eq!(v("v1"), TypeConstraint::basic(person));
+        assert_eq!(v("v2"), TypeConstraint::union([person, product]));
+        assert_eq!(v("v3"), TypeConstraint::basic(place));
+        assert_eq!(e("e1"), TypeConstraint::union([knows, purchases]));
+        assert_eq!(e("e2"), TypeConstraint::union([located, produced]));
+        assert_eq!(e("e3"), TypeConstraint::basic(located));
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        let schema = fig6_schema();
+        let place = schema.vertex_label("Place").unwrap();
+        // Place has no outgoing edges: (v1:Place)-[]->(v2) is unsatisfiable
+        let pattern = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::basic(place))
+            .expand_e("v1", "e", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e", "v2", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let err = infer_pattern_types(&pattern, &schema).unwrap_err();
+        assert!(matches!(err, OptError::InvalidPattern { .. }));
+
+        // Knows cannot reach a Place
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::basic(person))
+            .expand_e("a", "e", TypeConstraint::basic(knows), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::basic(place))
+            .finish()
+            .unwrap();
+        assert!(infer_pattern_types(&pattern, &schema).is_err());
+    }
+
+    #[test]
+    fn already_typed_patterns_are_unchanged() {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::basic(person))
+            .expand_e("a", "e", TypeConstraint::basic(knows), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::basic(person))
+            .finish()
+            .unwrap();
+        let inferred = infer_pattern_types(&pattern, &schema).unwrap();
+        assert_eq!(
+            inferred.vertex(inferred.vertex_by_tag("a").unwrap()).constraint,
+            TypeConstraint::basic(person)
+        );
+        assert_eq!(
+            inferred.edge(inferred.edge_by_tag("e").unwrap()).constraint,
+            TypeConstraint::basic(knows)
+        );
+    }
+
+    #[test]
+    fn incoming_edges_propagate_constraints_too() {
+        // In the Fig. 5(a) schema (Person, Post, Forum): an untyped vertex with an
+        // incoming HasMember edge must be a Person, and the source must be a Forum.
+        let schema = fig5_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let forum = schema.vertex_label("Forum").unwrap();
+        let hasmember = schema.edge_label("HasMember").unwrap();
+        let pattern = PatternBuilder::new()
+            .get_v("m", TypeConstraint::all())
+            .expand_e("m", "e", TypeConstraint::basic(hasmember), Direction::In)
+            .get_v_end("e", "f", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let inferred = infer_pattern_types(&pattern, &schema).unwrap();
+        assert_eq!(
+            inferred.vertex(inferred.vertex_by_tag("m").unwrap()).constraint,
+            TypeConstraint::basic(person)
+        );
+        assert_eq!(
+            inferred.vertex(inferred.vertex_by_tag("f").unwrap()).constraint,
+            TypeConstraint::basic(forum)
+        );
+    }
+
+    #[test]
+    fn union_constraints_are_narrowed_not_exploded() {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let product = schema.vertex_label("Product").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        // v restricted to Person|Product|Place but has an outgoing LocatedIn edge:
+        // only Person survives
+        let pattern = PatternBuilder::new()
+            .get_v("v", TypeConstraint::union([person, product, place]))
+            .expand_e("v", "e", TypeConstraint::basic(located), Direction::Out)
+            .get_v_end("e", "c", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let inferred = infer_pattern_types(&pattern, &schema).unwrap();
+        assert_eq!(
+            inferred.vertex(inferred.vertex_by_tag("v").unwrap()).constraint,
+            TypeConstraint::basic(person)
+        );
+        assert_eq!(
+            inferred.vertex(inferred.vertex_by_tag("c").unwrap()).constraint,
+            TypeConstraint::basic(place)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors produced while executing a physical plan.
+
+use std::fmt;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A tag referenced by an operator is not bound in the incoming records.
+    UnboundTag(String),
+    /// An operator received an unexpected number of inputs.
+    ArityMismatch {
+        /// Operator name.
+        op: &'static str,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// The plan was empty.
+    EmptyPlan,
+    /// A record limit configured on the engine was exceeded (guards against runaway
+    /// un-optimized plans in benchmarks — the analogue of the paper's OT timeouts).
+    RecordLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundTag(t) => write!(f, "unbound tag: {t}"),
+            ExecError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected {expected} inputs, got {actual}"),
+            ExecError::EmptyPlan => write!(f, "empty physical plan"),
+            ExecError::RecordLimitExceeded { limit } => {
+                write!(f, "intermediate record limit exceeded ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ExecError::UnboundTag("v1".into()).to_string().contains("v1"));
+        assert!(ExecError::EmptyPlan.to_string().contains("empty"));
+        assert!(ExecError::RecordLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        let e = ExecError::ArityMismatch {
+            op: "HashJoin",
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("HashJoin"));
+    }
+}

@@ -1,0 +1,741 @@
+//! Pattern-matching (graph) physical operators.
+//!
+//! These implement the vertex-expansion strategies of Section 6.3.2:
+//!
+//! * [`scan`] — bind the first pattern vertex;
+//! * [`edge_expand`] — flattening expansion to a new vertex (`Expand`);
+//! * [`expand_into`] — Neo4j-style closing of an edge between two bound vertices;
+//! * [`expand_intersect`] — GraphScope-style worst-case-optimal intersection expansion;
+//! * [`path_expand`] — variable-length path expansion.
+//!
+//! Each function returns the produced records together with the number of records that
+//! would cross a partition boundary in a distributed deployment (`comm`), which the
+//! partitioned backend accumulates as communication cost. With `partitions = None` the
+//! communication count is always zero.
+
+use crate::record::{Entry, Record, RecordContext, TagMap};
+use gopt_gir::expr::Expr;
+use gopt_gir::pattern::{Direction, PathSemantics};
+use gopt_gir::physical::IntersectStep;
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::{LabelId, PropertyGraph, VertexId};
+use std::collections::BTreeSet;
+
+fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
+    match partitions {
+        Some(p) if p > 1 => (v.0 as usize) % p,
+        _ => 0,
+    }
+}
+
+fn vertex_matches(
+    graph: &PropertyGraph,
+    tags: &TagMap,
+    record: &Record,
+    v: VertexId,
+    constraint: &TypeConstraint,
+    predicate: &Option<Expr>,
+    alias: &str,
+    slot: usize,
+) -> bool {
+    if !constraint.contains(graph.vertex_label(v)) {
+        return false;
+    }
+    match predicate {
+        None => true,
+        Some(p) => {
+            let probe = record.with(slot, Entry::Vertex(v));
+            let ctx = RecordContext {
+                graph,
+                tags,
+                record: &probe,
+            };
+            let _ = alias;
+            p.evaluate_predicate(&ctx)
+        }
+    }
+}
+
+fn edge_labels(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<LabelId> {
+    constraint.materialize(&graph.schema().edge_label_ids().collect::<Vec<_>>())
+}
+
+/// Scan all vertices admitted by `constraint` (and `predicate`), producing one record per
+/// vertex with `alias` bound.
+pub fn scan(
+    graph: &PropertyGraph,
+    tags: &mut TagMap,
+    alias: &str,
+    constraint: &TypeConstraint,
+    predicate: &Option<Expr>,
+) -> Vec<Record> {
+    let slot = tags.slot_or_insert(alias);
+    let labels: Vec<LabelId> =
+        constraint.materialize(&graph.schema().vertex_label_ids().collect::<Vec<_>>());
+    let mut out = Vec::new();
+    let empty = Record::new();
+    for l in labels {
+        for &v in graph.vertices_with_label(l) {
+            if vertex_matches(graph, tags, &empty, v, constraint, predicate, alias, slot) {
+                out.push(empty.with(slot, Entry::Vertex(v)));
+            }
+        }
+    }
+    out
+}
+
+/// Parameters of a flattening edge expansion.
+pub struct EdgeExpandArgs<'a> {
+    /// Bound source tag.
+    pub src: &'a str,
+    /// Optional tag to bind the traversed edge to.
+    pub edge_alias: Option<&'a str>,
+    /// Edge type constraint.
+    pub edge_constraint: &'a TypeConstraint,
+    /// Expansion direction.
+    pub direction: Direction,
+    /// Tag of the newly bound vertex.
+    pub dst_alias: &'a str,
+    /// Type constraint on the new vertex.
+    pub dst_constraint: &'a TypeConstraint,
+    /// Optional predicate on the new vertex.
+    pub dst_predicate: &'a Option<Expr>,
+    /// Optional predicate on the traversed edge.
+    pub edge_predicate: &'a Option<Expr>,
+}
+
+/// Flattening expansion: for every input record and every matching incident edge of the
+/// bound source vertex, emit a record with the neighbour (and optionally the edge) bound.
+pub fn edge_expand(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &mut TagMap,
+    args: &EdgeExpandArgs<'_>,
+    partitions: Option<usize>,
+) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(args.src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(args.src.to_string()))?;
+    let dst_slot = tags.slot_or_insert(args.dst_alias);
+    let edge_slot = args.edge_alias.map(|a| tags.slot_or_insert(a));
+    let labels = edge_labels(graph, args.edge_constraint);
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    // Matching follows the paper's vertex-homomorphism semantics: a pattern edge is
+    // satisfied when at least one data edge connects the mapped endpoints, so expansion
+    // binds each *distinct neighbour* once (parallel edges do not multiply results),
+    // keeping EdgeExpand consistent with ExpandInto and ExpandIntersect.
+    let mut candidates: Vec<(gopt_graph::EdgeId, VertexId)> = Vec::new();
+    for rec in input {
+        let Some(src) = rec.get(src_slot).as_vertex() else {
+            continue;
+        };
+        let mut emit = |edge: gopt_graph::EdgeId, neighbor: VertexId| {
+            if !vertex_matches(
+                graph,
+                tags,
+                rec,
+                neighbor,
+                args.dst_constraint,
+                args.dst_predicate,
+                args.dst_alias,
+                dst_slot,
+            ) {
+                return;
+            }
+            if let Some(p) = args.edge_predicate {
+                let mut probe = rec.clone();
+                if let Some(es) = edge_slot {
+                    probe.set(es, Entry::Edge(edge));
+                }
+                let ctx = RecordContext {
+                    graph,
+                    tags,
+                    record: &probe,
+                };
+                if !p.evaluate_predicate(&ctx) {
+                    return;
+                }
+            }
+            let mut r = rec.with(dst_slot, Entry::Vertex(neighbor));
+            if let Some(es) = edge_slot {
+                r.set(es, Entry::Edge(edge));
+            }
+            if partition_of(src, partitions) != partition_of(neighbor, partitions) {
+                comm += 1;
+            }
+            out.push(r);
+        };
+        candidates.clear();
+        for &l in &labels {
+            match args.direction {
+                Direction::Out => {
+                    candidates.extend(
+                        graph
+                            .out_edges_with_label(src, l)
+                            .iter()
+                            .map(|a| (a.edge, a.neighbor)),
+                    );
+                }
+                Direction::In => {
+                    candidates.extend(
+                        graph
+                            .in_edges_with_label(src, l)
+                            .iter()
+                            .map(|a| (a.edge, a.neighbor)),
+                    );
+                }
+                Direction::Both => {
+                    candidates.extend(
+                        graph
+                            .out_edges_with_label(src, l)
+                            .iter()
+                            .chain(graph.in_edges_with_label(src, l).iter())
+                            .map(|a| (a.edge, a.neighbor)),
+                    );
+                }
+            }
+        }
+        // keep one (the smallest-id) edge per distinct neighbour
+        candidates.sort_unstable_by_key(|(e, n)| (*n, *e));
+        candidates.dedup_by_key(|(_, n)| *n);
+        for &(edge, neighbor) in candidates.iter() {
+            emit(edge, neighbor);
+        }
+    }
+    Ok((out, comm))
+}
+
+/// Close a pattern edge between two already-bound vertices (Neo4j's `ExpandInto`).
+#[allow(clippy::too_many_arguments)]
+pub fn expand_into(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &mut TagMap,
+    src: &str,
+    dst: &str,
+    edge_constraint: &TypeConstraint,
+    direction: Direction,
+    edge_alias: Option<&str>,
+    edge_predicate: &Option<Expr>,
+    partitions: Option<usize>,
+) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
+    let dst_slot = tags
+        .slot(dst)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(dst.to_string()))?;
+    let edge_slot = edge_alias.map(|a| tags.slot_or_insert(a));
+    let labels = edge_labels(graph, edge_constraint);
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    for rec in input {
+        let (Some(s), Some(d)) = (rec.get(src_slot).as_vertex(), rec.get(dst_slot).as_vertex())
+        else {
+            continue;
+        };
+        // find a connecting edge in the requested direction
+        let mut found: Option<gopt_graph::EdgeId> = None;
+        'search: for &l in &labels {
+            let candidates: Vec<(VertexId, VertexId)> = match direction {
+                Direction::Out => vec![(s, d)],
+                Direction::In => vec![(d, s)],
+                Direction::Both => vec![(s, d), (d, s)],
+            };
+            for (from, to) in candidates {
+                if let Some(e) = graph.edges_between(from, l, to).first() {
+                    found = Some(*e);
+                    break 'search;
+                }
+            }
+        }
+        let Some(e) = found else { continue };
+        if let Some(p) = edge_predicate {
+            let mut probe = rec.clone();
+            if let Some(es) = edge_slot {
+                probe.set(es, Entry::Edge(e));
+            }
+            let ctx = RecordContext {
+                graph,
+                tags,
+                record: &probe,
+            };
+            if !p.evaluate_predicate(&ctx) {
+                continue;
+            }
+        }
+        if partition_of(s, partitions) != partition_of(d, partitions) {
+            comm += 1;
+        }
+        let mut r = rec.clone();
+        if let Some(es) = edge_slot {
+            r.set(es, Entry::Edge(e));
+        }
+        out.push(r);
+    }
+    Ok((out, comm))
+}
+
+/// Bind a new vertex by intersecting the adjacency lists of several bound vertices
+/// (GraphScope's worst-case-optimal `ExpandIntersect`).
+pub fn expand_intersect(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &mut TagMap,
+    steps: &[IntersectStep],
+    dst_alias: &str,
+    dst_constraint: &TypeConstraint,
+    dst_predicate: &Option<Expr>,
+    partitions: Option<usize>,
+) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    let dst_slot = tags.slot_or_insert(dst_alias);
+    let mut step_slots = Vec::with_capacity(steps.len());
+    for s in steps {
+        step_slots.push(
+            tags.slot(&s.src)
+                .ok_or_else(|| crate::error::ExecError::UnboundTag(s.src.clone()))?,
+        );
+    }
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    for rec in input {
+        // the record is shipped once to perform the intersection when any step source is
+        // remote relative to the first one
+        if let Some(p) = partitions {
+            if p > 1 && steps.len() > 1 {
+                let parts: BTreeSet<usize> = step_slots
+                    .iter()
+                    .filter_map(|&s| rec.get(s).as_vertex())
+                    .map(|v| partition_of(v, partitions))
+                    .collect();
+                if parts.len() > 1 {
+                    comm += 1;
+                }
+            }
+        }
+        let mut candidates: Option<BTreeSet<VertexId>> = None;
+        for (step, &slot) in steps.iter().zip(&step_slots) {
+            let Some(src) = rec.get(slot).as_vertex() else {
+                candidates = Some(BTreeSet::new());
+                break;
+            };
+            let labels = edge_labels(graph, &step.edge_constraint);
+            let mut set: BTreeSet<VertexId> = BTreeSet::new();
+            for &l in &labels {
+                match step.direction {
+                    Direction::Out => {
+                        set.extend(graph.out_edges_with_label(src, l).iter().map(|a| a.neighbor))
+                    }
+                    Direction::In => {
+                        set.extend(graph.in_edges_with_label(src, l).iter().map(|a| a.neighbor))
+                    }
+                    Direction::Both => {
+                        set.extend(graph.out_edges_with_label(src, l).iter().map(|a| a.neighbor));
+                        set.extend(graph.in_edges_with_label(src, l).iter().map(|a| a.neighbor));
+                    }
+                }
+            }
+            candidates = Some(match candidates {
+                None => set,
+                Some(prev) => prev.intersection(&set).copied().collect(),
+            });
+            if candidates.as_ref().is_some_and(|c| c.is_empty()) {
+                break;
+            }
+        }
+        for v in candidates.unwrap_or_default() {
+            if vertex_matches(
+                graph,
+                tags,
+                rec,
+                v,
+                dst_constraint,
+                dst_predicate,
+                dst_alias,
+                dst_slot,
+            ) {
+                out.push(rec.with(dst_slot, Entry::Vertex(v)));
+            }
+        }
+    }
+    Ok((out, comm))
+}
+
+/// Variable-length path expansion from a bound source vertex.
+#[allow(clippy::too_many_arguments)]
+pub fn path_expand(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &mut TagMap,
+    src: &str,
+    dst_alias: &str,
+    edge_constraint: &TypeConstraint,
+    direction: Direction,
+    min_hops: u32,
+    max_hops: u32,
+    semantics: PathSemantics,
+    path_alias: Option<&str>,
+    partitions: Option<usize>,
+) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
+    let dst_slot = tags.slot_or_insert(dst_alias);
+    let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
+    let labels = edge_labels(graph, edge_constraint);
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    for rec in input {
+        let Some(start) = rec.get(src_slot).as_vertex() else {
+            continue;
+        };
+        // iterative deepening over hop counts, carrying the full vertex path
+        let mut frontier: Vec<Vec<VertexId>> = vec![vec![start]];
+        for hop in 1..=max_hops {
+            let mut next: Vec<Vec<VertexId>> = Vec::new();
+            for path in &frontier {
+                let cur = *path.last().expect("non-empty path");
+                for &l in &labels {
+                    let adj: Vec<VertexId> = match direction {
+                        Direction::Out => graph
+                            .out_edges_with_label(cur, l)
+                            .iter()
+                            .map(|a| a.neighbor)
+                            .collect(),
+                        Direction::In => graph
+                            .in_edges_with_label(cur, l)
+                            .iter()
+                            .map(|a| a.neighbor)
+                            .collect(),
+                        Direction::Both => graph
+                            .out_edges_with_label(cur, l)
+                            .iter()
+                            .chain(graph.in_edges_with_label(cur, l).iter())
+                            .map(|a| a.neighbor)
+                            .collect(),
+                    };
+                    for n in adj {
+                        if semantics == PathSemantics::Simple && path.contains(&n) {
+                            continue;
+                        }
+                        if partition_of(cur, partitions) != partition_of(n, partitions) {
+                            comm += 1;
+                        }
+                        let mut np = path.clone();
+                        np.push(n);
+                        next.push(np);
+                    }
+                }
+            }
+            for path in &next {
+                if hop >= min_hops {
+                    let dst = *path.last().expect("non-empty");
+                    let mut r = rec.with(dst_slot, Entry::Vertex(dst));
+                    if let Some(ps) = path_slot {
+                        r.set(ps, Entry::Path(path.clone()));
+                    }
+                    out.push(r);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+    }
+    Ok((out, comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_graph::graph::GraphBuilder;
+    use gopt_graph::schema::fig6_schema;
+    use gopt_graph::PropValue;
+
+    fn graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new(fig6_schema());
+        let p: Vec<_> = (0..4)
+            .map(|i| {
+                b.add_vertex_by_name(
+                    "Person",
+                    vec![("id", PropValue::Int(i)), ("name", PropValue::str(format!("p{i}")))],
+                )
+                .unwrap()
+            })
+            .collect();
+        let place = b
+            .add_vertex_by_name("Place", vec![("name", PropValue::str("China"))])
+            .unwrap();
+        b.add_edge_by_name("Knows", p[0], p[1], vec![]).unwrap();
+        b.add_edge_by_name("Knows", p[0], p[2], vec![]).unwrap();
+        b.add_edge_by_name("Knows", p[1], p[2], vec![]).unwrap();
+        b.add_edge_by_name("Knows", p[2], p[3], vec![]).unwrap();
+        for v in &p {
+            b.add_edge_by_name("LocatedIn", *v, place, vec![("w", PropValue::Int(1))])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn person(g: &PropertyGraph) -> TypeConstraint {
+        TypeConstraint::basic(g.schema().vertex_label("Person").unwrap())
+    }
+    fn knows(g: &PropertyGraph) -> TypeConstraint {
+        TypeConstraint::basic(g.schema().edge_label("Knows").unwrap())
+    }
+
+    #[test]
+    fn scan_with_constraint_and_predicate() {
+        let g = graph();
+        let mut tags = TagMap::new();
+        let recs = scan(&g, &mut tags, "p", &person(&g), &None);
+        assert_eq!(recs.len(), 4);
+        let mut tags = TagMap::new();
+        let recs = scan(
+            &g,
+            &mut tags,
+            "p",
+            &person(&g),
+            &Some(Expr::prop_eq("p", "name", "p2")),
+        );
+        assert_eq!(recs.len(), 1);
+        let mut tags = TagMap::new();
+        let recs = scan(&g, &mut tags, "x", &TypeConstraint::all(), &None);
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn edge_expand_out_in_both() {
+        let g = graph();
+        let mut tags = TagMap::new();
+        let input = scan(&g, &mut tags, "a", &person(&g), &None);
+        let args = EdgeExpandArgs {
+            src: "a",
+            edge_alias: Some("e"),
+            edge_constraint: &knows(&g),
+            direction: Direction::Out,
+            dst_alias: "b",
+            dst_constraint: &person(&g),
+            dst_predicate: &None,
+            edge_predicate: &None,
+        };
+        let (out, comm0) = edge_expand(&g, &input, &mut tags, &args, None).unwrap();
+        assert_eq!(out.len(), 4, "four Knows edges");
+        assert_eq!(comm0, 0);
+        // every output has the edge bound
+        assert!(out.iter().all(|r| r.get(tags.slot("e").unwrap()).as_edge().is_some()));
+
+        let mut tags = TagMap::new();
+        let input = scan(&g, &mut tags, "a", &person(&g), &None);
+        let args = EdgeExpandArgs {
+            src: "a",
+            edge_alias: None,
+            edge_constraint: &knows(&g),
+            direction: Direction::In,
+            dst_alias: "b",
+            dst_constraint: &person(&g),
+            dst_predicate: &None,
+            edge_predicate: &None,
+        };
+        let (out, _) = edge_expand(&g, &input, &mut tags, &args, None).unwrap();
+        assert_eq!(out.len(), 4);
+
+        let mut tags = TagMap::new();
+        let input = scan(&g, &mut tags, "a", &person(&g), &None);
+        let args = EdgeExpandArgs {
+            src: "a",
+            edge_alias: None,
+            edge_constraint: &knows(&g),
+            direction: Direction::Both,
+            dst_alias: "b",
+            dst_constraint: &person(&g),
+            dst_predicate: &None,
+            edge_predicate: &None,
+        };
+        let (out, _) = edge_expand(&g, &input, &mut tags, &args, None).unwrap();
+        assert_eq!(out.len(), 8);
+
+        // partitioned: some expansions cross partitions
+        let mut tags = TagMap::new();
+        let input = scan(&g, &mut tags, "a", &person(&g), &None);
+        let args = EdgeExpandArgs {
+            src: "a",
+            edge_alias: None,
+            edge_constraint: &knows(&g),
+            direction: Direction::Out,
+            dst_alias: "b",
+            dst_constraint: &person(&g),
+            dst_predicate: &None,
+            edge_predicate: &None,
+        };
+        let (_, comm) = edge_expand(&g, &input, &mut tags, &args, Some(2)).unwrap();
+        assert!(comm > 0);
+
+        // unbound source tag errors
+        let mut tags = TagMap::new();
+        let err = edge_expand(&g, &[], &mut tags, &args, None);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn expand_into_checks_edge_existence() {
+        let g = graph();
+        // bind a=p0, b=p2 (edge exists) and a=p1, b=p0 (no outgoing edge p1->p0)
+        let mut tags = TagMap::new();
+        let sa = tags.slot_or_insert("a");
+        let sb = tags.slot_or_insert("b");
+        let mut r1 = Record::new();
+        r1.set(sa, Entry::Vertex(VertexId(0)));
+        r1.set(sb, Entry::Vertex(VertexId(2)));
+        let mut r2 = Record::new();
+        r2.set(sa, Entry::Vertex(VertexId(1)));
+        r2.set(sb, Entry::Vertex(VertexId(0)));
+        let (out, _) = expand_into(
+            &g,
+            &[r1.clone(), r2.clone()],
+            &mut tags,
+            "a",
+            "b",
+            &knows(&g),
+            Direction::Out,
+            Some("e"),
+            &None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        // with Both direction the second record also matches (p0 -> p1 exists)
+        let mut tags2 = TagMap::new();
+        tags2.slot_or_insert("a");
+        tags2.slot_or_insert("b");
+        let (out, _) = expand_into(
+            &g,
+            &[r1, r2],
+            &mut tags2,
+            "a",
+            "b",
+            &knows(&g),
+            Direction::Both,
+            None,
+            &None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn expand_intersect_finds_common_neighbors() {
+        let g = graph();
+        // bind a=p0, b=p1; common out-neighbour over Knows is p2
+        let mut tags = TagMap::new();
+        let sa = tags.slot_or_insert("a");
+        let sb = tags.slot_or_insert("b");
+        let mut r = Record::new();
+        r.set(sa, Entry::Vertex(VertexId(0)));
+        r.set(sb, Entry::Vertex(VertexId(1)));
+        let steps = vec![
+            IntersectStep {
+                src: "a".into(),
+                edge_constraint: knows(&g),
+                direction: Direction::Out,
+                edge_alias: None,
+            },
+            IntersectStep {
+                src: "b".into(),
+                edge_constraint: knows(&g),
+                direction: Direction::Out,
+                edge_alias: None,
+            },
+        ];
+        let (out, _) = expand_intersect(
+            &g,
+            &[r.clone()],
+            &mut tags,
+            &steps,
+            "c",
+            &person(&g),
+            &None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].get(tags.slot("c").unwrap()).as_vertex(),
+            Some(VertexId(2))
+        );
+        // with a predicate that rejects p2, nothing matches
+        let mut tags2 = TagMap::new();
+        tags2.slot_or_insert("a");
+        tags2.slot_or_insert("b");
+        let (out, _) = expand_intersect(
+            &g,
+            &[r.clone()],
+            &mut tags2,
+            &steps,
+            "c",
+            &person(&g),
+            &Some(Expr::prop_eq("c", "name", "nonexistent")),
+            None,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        // partitioned intersection counts a shuffle when sources land on different partitions
+        let mut tags3 = TagMap::new();
+        tags3.slot_or_insert("a");
+        tags3.slot_or_insert("b");
+        let (_, comm) =
+            expand_intersect(&g, &[r], &mut tags3, &steps, "c", &person(&g), &None, Some(2))
+                .unwrap();
+        assert_eq!(comm, 1);
+    }
+
+    #[test]
+    fn path_expand_respects_hops_and_semantics() {
+        let g = graph();
+        let mut tags = TagMap::new();
+        let sa = tags.slot_or_insert("a");
+        let mut r = Record::new();
+        r.set(sa, Entry::Vertex(VertexId(0)));
+        // arbitrary paths of exactly 2 hops over Knows from p0: p0->1->2, p0->2->3 = 2
+        let (out, _) = path_expand(
+            &g,
+            &[r.clone()],
+            &mut tags,
+            "a",
+            "b",
+            &knows(&g),
+            Direction::Out,
+            2,
+            2,
+            PathSemantics::Arbitrary,
+            Some("path"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let path_slot = tags.slot("path").unwrap();
+        assert!(matches!(out[0].get(path_slot), Entry::Path(p) if p.len() == 3));
+        // 1..2 hops includes the three 1-hop results as well
+        let mut tags2 = TagMap::new();
+        tags2.slot_or_insert("a");
+        let (out, _) = path_expand(
+            &g,
+            &[r],
+            &mut tags2,
+            "a",
+            "b",
+            &knows(&g),
+            Direction::Out,
+            1,
+            2,
+            PathSemantics::Simple,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2 + 2);
+    }
+}

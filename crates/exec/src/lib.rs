@@ -1,0 +1,35 @@
+//! # gopt-exec — execution engines for GOpt physical plans
+//!
+//! The paper integrates GOpt with two very different backends: Neo4j (a single-machine
+//! interpreted runtime) and GraphScope (a distributed dataflow engine). This crate
+//! provides laptop-scale equivalents of both so that the optimizer's plans can actually
+//! be executed and compared end-to-end:
+//!
+//! * [`backend::SingleMachineBackend`] — a row-at-a-time interpreter in the spirit of
+//!   Neo4j's interpreted runtime; intermediate results are always flattened and there is
+//!   no communication cost;
+//! * [`backend::PartitionedBackend`] — a hash-partitioned executor modelling a
+//!   GraphScope/Gaia-like distributed dataflow engine: vertices are assigned to `P`
+//!   partitions and every record that crosses a partition boundary (remote expansion,
+//!   shuffle before joins/aggregations) is counted as communication, which is the
+//!   cost the paper's distributed cost model charges for;
+//! * the physical operator implementations themselves ([`expand`], [`relational`]),
+//!   including `ExpandInto` (edge-existence closing, Neo4j-style) and `ExpandIntersect`
+//!   (worst-case-optimal adjacency intersection, GraphScope-style);
+//! * [`engine::Engine`] — the plan interpreter that walks a
+//!   [`gopt_gir::PhysicalPlan`] and gathers [`engine::ExecStats`].
+//!
+//! Results come back as [`record::Record`]s plus a [`record::TagMap`]; helpers convert
+//! them to plain value rows for comparisons in tests and benchmarks.
+
+pub mod backend;
+pub mod engine;
+pub mod error;
+pub mod expand;
+pub mod record;
+pub mod relational;
+
+pub use backend::{Backend, PartitionedBackend, SingleMachineBackend};
+pub use engine::{Engine, EngineConfig, ExecResult, ExecStats};
+pub use error::ExecError;
+pub use record::{Entry, Record, RecordContext, TagMap};

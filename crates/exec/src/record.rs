@@ -1,0 +1,285 @@
+//! Runtime records and the tag → slot mapping.
+//!
+//! A [`Record`] is one intermediate result row: a vector of [`Entry`] values, one per
+//! bound tag. The [`TagMap`] maps tag names (query aliases such as `v1`, `e3`, `cnt`) to
+//! slot indices and is shared by all records of one operator output.
+//!
+//! [`RecordContext`] adapts a record to the [`EvalContext`](gopt_gir::expr::EvalContext)
+//! trait so GIR expressions can be evaluated directly against graph properties.
+
+use gopt_gir::expr::EvalContext;
+use gopt_graph::{EdgeId, PropValue, PropertyGraph, VertexId};
+use std::collections::HashMap;
+
+/// One bound value inside a record.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Entry {
+    /// An unbound / padded slot.
+    Null,
+    /// A graph vertex.
+    Vertex(VertexId),
+    /// A graph edge.
+    Edge(EdgeId),
+    /// A path through the graph (sequence of vertices, starting at the source).
+    Path(Vec<VertexId>),
+    /// A computed scalar value (projection, aggregate, group key).
+    Value(PropValue),
+}
+
+impl Entry {
+    /// Convert the entry into a comparable/printable scalar value. Vertices and edges
+    /// are represented by their ids; paths by their length (number of hops).
+    pub fn to_value(&self) -> PropValue {
+        match self {
+            Entry::Null => PropValue::Null,
+            Entry::Vertex(v) => PropValue::Int(v.0 as i64),
+            Entry::Edge(e) => PropValue::Int(e.0 as i64),
+            Entry::Path(p) => PropValue::Int(p.len().saturating_sub(1) as i64),
+            Entry::Value(v) => v.clone(),
+        }
+    }
+
+    /// The vertex id if this entry is a vertex.
+    pub fn as_vertex(&self) -> Option<VertexId> {
+        match self {
+            Entry::Vertex(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The edge id if this entry is an edge.
+    pub fn as_edge(&self) -> Option<EdgeId> {
+        match self {
+            Entry::Edge(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+/// Mapping from tag names to record slots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TagMap {
+    slots: HashMap<String, usize>,
+    order: Vec<String>,
+}
+
+impl TagMap {
+    /// An empty tag map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot of `tag`, registering a new slot if it is unknown.
+    pub fn slot_or_insert(&mut self, tag: &str) -> usize {
+        if let Some(&s) = self.slots.get(tag) {
+            return s;
+        }
+        let s = self.order.len();
+        self.slots.insert(tag.to_string(), s);
+        self.order.push(tag.to_string());
+        s
+    }
+
+    /// The slot of `tag`, if bound.
+    pub fn slot(&self, tag: &str) -> Option<usize> {
+        self.slots.get(tag).copied()
+    }
+
+    /// Whether `tag` is bound.
+    pub fn contains(&self, tag: &str) -> bool {
+        self.slots.contains_key(tag)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Tags in slot order.
+    pub fn tags(&self) -> &[String] {
+        &self.order
+    }
+}
+
+/// One intermediate result row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Record {
+    entries: Vec<Entry>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry at `slot` (Null when out of range).
+    pub fn get(&self, slot: usize) -> &Entry {
+        self.entries.get(slot).unwrap_or(&Entry::Null)
+    }
+
+    /// Set `slot` to `entry`, growing with nulls as needed.
+    pub fn set(&mut self, slot: usize, entry: Entry) {
+        if slot >= self.entries.len() {
+            self.entries.resize(slot + 1, Entry::Null);
+        }
+        self.entries[slot] = entry;
+    }
+
+    /// A copy of this record with `slot` set to `entry`.
+    pub fn with(&self, slot: usize, entry: Entry) -> Record {
+        let mut r = self.clone();
+        r.set(slot, entry);
+        r
+    }
+
+    /// Number of (possibly null) slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the record has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+}
+
+/// Adapter implementing [`EvalContext`] for a record against a graph.
+pub struct RecordContext<'a> {
+    /// The data graph (for property access).
+    pub graph: &'a PropertyGraph,
+    /// The tag → slot map of the record.
+    pub tags: &'a TagMap,
+    /// The record being evaluated.
+    pub record: &'a Record,
+}
+
+impl EvalContext for RecordContext<'_> {
+    fn tag_value(&self, tag: &str) -> Option<PropValue> {
+        let slot = self.tags.slot(tag)?;
+        match self.record.get(slot) {
+            Entry::Null => None,
+            e => Some(e.to_value()),
+        }
+    }
+
+    fn prop_value(&self, tag: &str, prop: &str) -> Option<PropValue> {
+        let slot = self.tags.slot(tag)?;
+        match self.record.get(slot) {
+            Entry::Vertex(v) => self.graph.vertex_prop_by_name(*v, prop).cloned(),
+            Entry::Edge(e) => self.graph.edge_prop_by_name(*e, prop).cloned(),
+            Entry::Path(p) => {
+                // only `length` is meaningful on paths
+                if prop == "length" {
+                    Some(PropValue::Int(p.len().saturating_sub(1) as i64))
+                } else {
+                    None
+                }
+            }
+            Entry::Value(_) | Entry::Null => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::Expr;
+    use gopt_graph::graph::GraphBuilder;
+    use gopt_graph::schema::fig6_schema;
+
+    #[test]
+    fn tagmap_assigns_dense_slots() {
+        let mut t = TagMap::new();
+        assert!(t.is_empty());
+        assert_eq!(t.slot_or_insert("v1"), 0);
+        assert_eq!(t.slot_or_insert("v2"), 1);
+        assert_eq!(t.slot_or_insert("v1"), 0);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("v2"));
+        assert!(!t.contains("v3"));
+        assert_eq!(t.slot("v2"), Some(1));
+        assert_eq!(t.tags(), &["v1".to_string(), "v2".to_string()]);
+    }
+
+    #[test]
+    fn record_set_get_with() {
+        let mut r = Record::new();
+        assert!(r.is_empty());
+        r.set(2, Entry::Value(PropValue::Int(5)));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0), &Entry::Null);
+        assert_eq!(r.get(2), &Entry::Value(PropValue::Int(5)));
+        assert_eq!(r.get(99), &Entry::Null);
+        let r2 = r.with(0, Entry::Vertex(VertexId(7)));
+        assert_eq!(r2.get(0).as_vertex(), Some(VertexId(7)));
+        assert_eq!(r.get(0), &Entry::Null, "with() does not mutate the original");
+        assert_eq!(r2.entries().len(), 3);
+    }
+
+    #[test]
+    fn entry_value_conversion() {
+        assert_eq!(Entry::Null.to_value(), PropValue::Null);
+        assert_eq!(Entry::Vertex(VertexId(3)).to_value(), PropValue::Int(3));
+        assert_eq!(Entry::Edge(EdgeId(4)).to_value(), PropValue::Int(4));
+        assert_eq!(
+            Entry::Path(vec![VertexId(0), VertexId(1), VertexId(2)]).to_value(),
+            PropValue::Int(2)
+        );
+        assert_eq!(
+            Entry::Value(PropValue::str("x")).to_value(),
+            PropValue::str("x")
+        );
+        assert_eq!(Entry::Edge(EdgeId(4)).as_edge(), Some(EdgeId(4)));
+        assert_eq!(Entry::Null.as_vertex(), None);
+    }
+
+    #[test]
+    fn record_context_evaluates_graph_properties() {
+        let mut b = GraphBuilder::new(fig6_schema());
+        let p = b
+            .add_vertex_by_name("Person", vec![("name", PropValue::str("alice")), ("age", PropValue::Int(30))])
+            .unwrap();
+        let c = b.add_vertex_by_name("Place", vec![("name", PropValue::str("China"))]).unwrap();
+        let e = b.add_edge_by_name("LocatedIn", p, c, vec![("since", PropValue::Int(2001))]).unwrap();
+        let g = b.finish();
+
+        let mut tags = TagMap::new();
+        let s_p = tags.slot_or_insert("p");
+        let s_c = tags.slot_or_insert("c");
+        let s_e = tags.slot_or_insert("e");
+        let s_cnt = tags.slot_or_insert("cnt");
+        let s_path = tags.slot_or_insert("path");
+        let mut r = Record::new();
+        r.set(s_p, Entry::Vertex(p));
+        r.set(s_c, Entry::Vertex(c));
+        r.set(s_e, Entry::Edge(e));
+        r.set(s_cnt, Entry::Value(PropValue::Int(9)));
+        r.set(s_path, Entry::Path(vec![p, c]));
+
+        let ctx = RecordContext {
+            graph: &g,
+            tags: &tags,
+            record: &r,
+        };
+        assert!(Expr::prop_eq("p", "name", "alice").evaluate_predicate(&ctx));
+        assert!(Expr::prop_eq("c", "name", "China").evaluate_predicate(&ctx));
+        assert!(Expr::prop_eq("e", "since", 2001).evaluate_predicate(&ctx));
+        assert!(Expr::prop_eq("path", "length", 1).evaluate_predicate(&ctx));
+        assert!(!Expr::prop_eq("p", "missing", 1).evaluate_predicate(&ctx));
+        assert!(!Expr::prop_eq("ghost", "name", "x").evaluate_predicate(&ctx));
+        assert!(Expr::binary(gopt_gir::BinOp::Gt, Expr::tag("cnt"), Expr::lit(5)).evaluate_predicate(&ctx));
+        // prop access on scalar tags yields null
+        assert!(!Expr::prop_eq("cnt", "x", 1).evaluate_predicate(&ctx));
+    }
+}

@@ -1,0 +1,679 @@
+//! Relational physical operators: select, project, aggregation, ordering, joins, union.
+//!
+//! These operate on [`Record`]s and evaluate GIR expressions through
+//! [`RecordContext`], so predicates and projections can freely mix graph property access
+//! with computed values. Join/aggregation operators report the number of records that a
+//! partitioned deployment would need to shuffle, which the partitioned backend counts as
+//! communication cost.
+
+use crate::error::ExecError;
+use crate::record::{Entry, Record, RecordContext, TagMap};
+use gopt_gir::expr::{AggFunc, Expr, SortDir};
+use gopt_gir::logical::JoinType;
+use gopt_graph::{PropValue, PropertyGraph};
+use std::collections::HashMap;
+
+fn eval(graph: &PropertyGraph, tags: &TagMap, record: &Record, expr: &Expr) -> PropValue {
+    expr.evaluate(&RecordContext {
+        graph,
+        tags,
+        record,
+    })
+}
+
+/// Filter records by a predicate.
+pub fn select(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &TagMap,
+    predicate: &Expr,
+) -> Vec<Record> {
+    input
+        .iter()
+        .filter(|r| {
+            predicate.evaluate_predicate(&RecordContext {
+                graph,
+                tags,
+                record: r,
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Project each record onto `(expr AS alias)*`, producing a fresh tag map.
+pub fn project(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &TagMap,
+    items: &[(Expr, String)],
+) -> (Vec<Record>, TagMap) {
+    let mut out_tags = TagMap::new();
+    let mut passthrough: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    for (expr, alias) in items {
+        out_tags.slot_or_insert(alias);
+        // a bare tag projection of a graph element keeps the element entry (so later
+        // property access still works); everything else becomes a computed value
+        passthrough.push(match expr {
+            Expr::Tag(t) => tags.slot(t),
+            _ => None,
+        });
+    }
+    let records = input
+        .iter()
+        .map(|r| {
+            let mut out = Record::new();
+            for (i, (expr, _alias)) in items.iter().enumerate() {
+                let entry = match passthrough[i] {
+                    Some(slot) => r.get(slot).clone(),
+                    None => Entry::Value(eval(graph, tags, r, expr)),
+                };
+                out.set(i, entry);
+            }
+            out
+        })
+        .collect();
+    (records, out_tags)
+}
+
+/// Materialise properties of a bound element into the record (the paper's `COLUMNS`).
+///
+/// Each fetched property `p` of tag `t` is appended as a value column tagged `t.p`.
+/// When `props` is `None`, all properties declared by the schema for the element's label
+/// are fetched — the behaviour of an un-trimmed plan.
+pub fn property_fetch(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &mut TagMap,
+    tag: &str,
+    props: &Option<Vec<String>>,
+) -> Result<Vec<Record>, ExecError> {
+    let slot = tags
+        .slot(tag)
+        .ok_or_else(|| ExecError::UnboundTag(tag.to_string()))?;
+    // resolve the property list lazily per element label when `props` is None
+    let explicit: Option<Vec<String>> = props.clone();
+    let mut out = Vec::with_capacity(input.len());
+    for r in input {
+        let mut nr = r.clone();
+        let names: Vec<String> = match (&explicit, r.get(slot)) {
+            (Some(ps), _) => ps.clone(),
+            (None, Entry::Vertex(v)) => graph
+                .schema()
+                .vertex_label_def(graph.vertex_label(*v))
+                .properties
+                .iter()
+                .map(|p| p.name.clone())
+                .collect(),
+            (None, Entry::Edge(e)) => graph
+                .schema()
+                .edge_label_def(graph.edge_label(*e))
+                .properties
+                .iter()
+                .map(|p| p.name.clone())
+                .collect(),
+            (None, _) => vec![],
+        };
+        for name in names {
+            let col = format!("{tag}.{name}");
+            let s = tags.slot_or_insert(&col);
+            let value = match r.get(slot) {
+                Entry::Vertex(v) => graph.vertex_prop_by_name(*v, &name).cloned(),
+                Entry::Edge(e) => graph.edge_prop_by_name(*e, &name).cloned(),
+                _ => None,
+            };
+            nr.set(s, Entry::Value(value.unwrap_or(PropValue::Null)));
+        }
+        out.push(nr);
+    }
+    Ok(out)
+}
+
+/// Hash aggregation: group by `keys`, compute `aggs`, output one record per group with a
+/// fresh tag map (keys first, then aggregates).
+pub fn hash_group(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &TagMap,
+    keys: &[(Expr, String)],
+    aggs: &[(AggFunc, Expr, String)],
+    partitions: Option<usize>,
+) -> (Vec<Record>, TagMap, u64) {
+    let mut out_tags = TagMap::new();
+    let mut key_passthrough: Vec<Option<usize>> = Vec::new();
+    for (expr, alias) in keys {
+        out_tags.slot_or_insert(alias);
+        key_passthrough.push(match expr {
+            Expr::Tag(t) => tags.slot(t),
+            _ => None,
+        });
+    }
+    for (_, _, alias) in aggs {
+        out_tags.slot_or_insert(alias);
+    }
+    let comm = match partitions {
+        Some(p) if p > 1 => input.len() as u64,
+        _ => 0,
+    };
+    // group index: key values -> (representative key entries, accumulators)
+    let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
+    let mut group_order: Vec<Vec<PropValue>> = Vec::new();
+    for r in input {
+        let key_vals: Vec<PropValue> = keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect();
+        let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
+            group_order.push(key_vals.clone());
+            let reps = keys
+                .iter()
+                .enumerate()
+                .map(|(i, _)| match key_passthrough[i] {
+                    Some(slot) => r.get(slot).clone(),
+                    None => Entry::Value(key_vals[i].clone()),
+                })
+                .collect();
+            let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
+            (reps, accs)
+        });
+        for (acc, (_, e, _)) in entry.1.iter_mut().zip(aggs) {
+            acc.update(eval(graph, tags, r, e));
+        }
+    }
+    let records = group_order
+        .into_iter()
+        .map(|k| {
+            let (reps, accs) = groups.remove(&k).expect("group exists");
+            let mut rec = Record::new();
+            let mut slot = 0;
+            for rep in reps {
+                rec.set(slot, rep);
+                slot += 1;
+            }
+            for acc in accs {
+                rec.set(slot, Entry::Value(acc.finish()));
+                slot += 1;
+            }
+            rec
+        })
+        .collect();
+    (records, out_tags, comm)
+}
+
+/// Aggregate accumulator.
+#[derive(Debug, Clone)]
+struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    int_only: bool,
+    min: Option<PropValue>,
+    max: Option<PropValue>,
+    distinct: std::collections::HashSet<PropValue>,
+}
+
+impl Accumulator {
+    fn new(func: AggFunc) -> Self {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            int_only: true,
+            min: None,
+            max: None,
+            distinct: std::collections::HashSet::new(),
+        }
+    }
+
+    fn update(&mut self, v: PropValue) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_float() {
+            self.sum += f;
+            if !matches!(v, PropValue::Int(_) | PropValue::Bool(_) | PropValue::Date(_)) {
+                self.int_only = false;
+            }
+        }
+        if self.min.as_ref().is_none_or(|m| v < *m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > *m) {
+            self.max = Some(v.clone());
+        }
+        if matches!(self.func, AggFunc::CountDistinct) {
+            self.distinct.insert(v);
+        }
+    }
+
+    fn finish(self) -> PropValue {
+        match self.func {
+            AggFunc::Count => PropValue::Int(self.count as i64),
+            AggFunc::CountDistinct => PropValue::Int(self.distinct.len() as i64),
+            AggFunc::Sum => {
+                if self.int_only {
+                    PropValue::Int(self.sum as i64)
+                } else {
+                    PropValue::Float(self.sum)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(PropValue::Null),
+            AggFunc::Max => self.max.unwrap_or(PropValue::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    PropValue::Null
+                } else {
+                    PropValue::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Sort records by `keys`; keep only the first `limit` when given.
+pub fn order_limit(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &TagMap,
+    keys: &[(Expr, SortDir)],
+    limit: Option<usize>,
+) -> Vec<Record> {
+    let mut keyed: Vec<(Vec<PropValue>, &Record)> = input
+        .iter()
+        .map(|r| {
+            (
+                keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect(),
+                r,
+            )
+        })
+        .collect();
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, dir)) in keys.iter().enumerate() {
+            let ord = ka[i].cmp(&kb[i]);
+            let ord = match dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let take = limit.unwrap_or(keyed.len());
+    keyed.into_iter().take(take).map(|(_, r)| r.clone()).collect()
+}
+
+/// Keep the first `count` records.
+pub fn limit(input: &[Record], count: usize) -> Vec<Record> {
+    input.iter().take(count).cloned().collect()
+}
+
+/// Remove duplicate records with respect to the given key expressions (or the whole
+/// record when no keys are given).
+pub fn dedup(graph: &PropertyGraph, input: &[Record], tags: &TagMap, keys: &[Expr]) -> Vec<Record> {
+    let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in input {
+        let key: Vec<PropValue> = if keys.is_empty() {
+            r.entries().iter().map(|e| e.to_value()).collect()
+        } else {
+            keys.iter().map(|e| eval(graph, tags, r, e)).collect()
+        };
+        if seen.insert(key) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// Concatenate several inputs, remapping each input's slots onto the first input's tag
+/// map (tags missing from the first map are appended).
+pub fn union(inputs: &[(&[Record], &TagMap)]) -> (Vec<Record>, TagMap) {
+    let mut out_tags = TagMap::new();
+    for (_, t) in inputs {
+        for tag in t.tags() {
+            out_tags.slot_or_insert(tag);
+        }
+    }
+    let mut out = Vec::new();
+    for (records, t) in inputs {
+        for r in *records {
+            let mut nr = Record::new();
+            for (i, tag) in t.tags().iter().enumerate() {
+                nr.set(out_tags.slot(tag).expect("tag registered"), r.get(i).clone());
+            }
+            out.push(nr);
+        }
+    }
+    (out, out_tags)
+}
+
+/// Hash join of two inputs on equality of `keys` (tags bound on both sides).
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    graph: &PropertyGraph,
+    left: &[Record],
+    left_tags: &TagMap,
+    right: &[Record],
+    right_tags: &TagMap,
+    keys: &[String],
+    kind: JoinType,
+    partitions: Option<usize>,
+) -> Result<(Vec<Record>, TagMap, u64), ExecError> {
+    let _ = graph;
+    let mut lkey_slots = Vec::new();
+    let mut rkey_slots = Vec::new();
+    for k in keys {
+        lkey_slots.push(
+            left_tags
+                .slot(k)
+                .ok_or_else(|| ExecError::UnboundTag(k.clone()))?,
+        );
+        rkey_slots.push(
+            right_tags
+                .slot(k)
+                .ok_or_else(|| ExecError::UnboundTag(k.clone()))?,
+        );
+    }
+    let comm = match partitions {
+        Some(p) if p > 1 => (left.len() + right.len()) as u64,
+        _ => 0,
+    };
+    // output tag map: left tags then the right tags that are new
+    let mut out_tags = left_tags.clone();
+    let mut right_extra: Vec<(usize, usize)> = Vec::new(); // (right slot, out slot)
+    for (i, tag) in right_tags.tags().iter().enumerate() {
+        if !left_tags.contains(tag) {
+            let s = out_tags.slot_or_insert(tag);
+            right_extra.push((i, s));
+        }
+    }
+    // build on the right
+    let mut table: HashMap<Vec<PropValue>, Vec<&Record>> = HashMap::new();
+    for r in right {
+        let key: Vec<PropValue> = rkey_slots.iter().map(|&s| r.get(s).to_value()).collect();
+        table.entry(key).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for l in left {
+        let key: Vec<PropValue> = lkey_slots.iter().map(|&s| l.get(s).to_value()).collect();
+        let matches = table.get(&key);
+        match kind {
+            JoinType::Inner | JoinType::LeftOuter => {
+                if let Some(ms) = matches {
+                    for m in ms {
+                        let mut rec = l.clone();
+                        for &(rs, os) in &right_extra {
+                            rec.set(os, m.get(rs).clone());
+                        }
+                        out.push(rec);
+                    }
+                } else if kind == JoinType::LeftOuter {
+                    let mut rec = l.clone();
+                    for &(_, os) in &right_extra {
+                        rec.set(os, Entry::Null);
+                    }
+                    out.push(rec);
+                }
+            }
+            JoinType::Semi => {
+                if matches.is_some() {
+                    out.push(l.clone());
+                }
+            }
+            JoinType::Anti => {
+                if matches.is_none() {
+                    out.push(l.clone());
+                }
+            }
+        }
+    }
+    Ok((out, out_tags, comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_graph::graph::GraphBuilder;
+    use gopt_graph::schema::fig6_schema;
+
+    fn tiny_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new(fig6_schema());
+        for i in 0..3 {
+            b.add_vertex_by_name(
+                "Person",
+                vec![("id", PropValue::Int(i)), ("age", PropValue::Int(20 + i))],
+            )
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn value_records(vals: &[(i64, i64)]) -> (Vec<Record>, TagMap) {
+        let mut tags = TagMap::new();
+        let a = tags.slot_or_insert("a");
+        let b = tags.slot_or_insert("b");
+        let recs = vals
+            .iter()
+            .map(|(x, y)| {
+                let mut r = Record::new();
+                r.set(a, Entry::Value(PropValue::Int(*x)));
+                r.set(b, Entry::Value(PropValue::Int(*y)));
+                r
+            })
+            .collect();
+        (recs, tags)
+    }
+
+    #[test]
+    fn select_and_project() {
+        let g = tiny_graph();
+        let (recs, tags) = value_records(&[(1, 10), (2, 20), (3, 30)]);
+        let filtered = select(
+            &g,
+            &recs,
+            &tags,
+            &Expr::binary(gopt_gir::BinOp::Ge, Expr::tag("a"), Expr::lit(2)),
+        );
+        assert_eq!(filtered.len(), 2);
+        let (projected, ptags) = project(
+            &g,
+            &filtered,
+            &tags,
+            &[
+                (Expr::tag("b"), "b".into()),
+                (
+                    Expr::binary(gopt_gir::BinOp::Mul, Expr::tag("a"), Expr::lit(2)),
+                    "double".into(),
+                ),
+            ],
+        );
+        assert_eq!(ptags.len(), 2);
+        assert_eq!(projected[0].get(0).to_value(), PropValue::Int(20));
+        assert_eq!(projected[0].get(1).to_value(), PropValue::Int(4));
+    }
+
+    #[test]
+    fn group_with_all_aggregates() {
+        let g = tiny_graph();
+        let (recs, tags) = value_records(&[(1, 10), (1, 30), (2, 20), (2, 20), (2, 40)]);
+        let (out, otags, comm) = hash_group(
+            &g,
+            &recs,
+            &tags,
+            &[(Expr::tag("a"), "a".into())],
+            &[
+                (AggFunc::Count, Expr::tag("b"), "cnt".into()),
+                (AggFunc::Sum, Expr::tag("b"), "sum".into()),
+                (AggFunc::Min, Expr::tag("b"), "min".into()),
+                (AggFunc::Max, Expr::tag("b"), "max".into()),
+                (AggFunc::Avg, Expr::tag("b"), "avg".into()),
+                (AggFunc::CountDistinct, Expr::tag("b"), "dcnt".into()),
+            ],
+            None,
+        );
+        assert_eq!(comm, 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(otags.len(), 7);
+        // group a=1
+        let g1 = out
+            .iter()
+            .find(|r| r.get(0).to_value() == PropValue::Int(1))
+            .unwrap();
+        assert_eq!(g1.get(1).to_value(), PropValue::Int(2)); // count
+        assert_eq!(g1.get(2).to_value(), PropValue::Int(40)); // sum
+        assert_eq!(g1.get(3).to_value(), PropValue::Int(10)); // min
+        assert_eq!(g1.get(4).to_value(), PropValue::Int(30)); // max
+        assert_eq!(g1.get(5).to_value(), PropValue::Float(20.0)); // avg
+        assert_eq!(g1.get(6).to_value(), PropValue::Int(2)); // distinct
+        // group a=2 distinct count is 2 (20, 40)
+        let g2 = out
+            .iter()
+            .find(|r| r.get(0).to_value() == PropValue::Int(2))
+            .unwrap();
+        assert_eq!(g2.get(6).to_value(), PropValue::Int(2));
+        // partitioned grouping shuffles every input record
+        let (_, _, comm) = hash_group(
+            &g,
+            &recs,
+            &tags,
+            &[(Expr::tag("a"), "a".into())],
+            &[(AggFunc::Count, Expr::tag("b"), "cnt".into())],
+            Some(4),
+        );
+        assert_eq!(comm, recs.len() as u64);
+    }
+
+    #[test]
+    fn order_limit_and_dedup() {
+        let g = tiny_graph();
+        let (recs, tags) = value_records(&[(3, 1), (1, 2), (2, 3), (1, 4)]);
+        let sorted = order_limit(
+            &g,
+            &recs,
+            &tags,
+            &[(Expr::tag("a"), SortDir::Asc), (Expr::tag("b"), SortDir::Desc)],
+            None,
+        );
+        let col_a: Vec<PropValue> = sorted.iter().map(|r| r.get(0).to_value()).collect();
+        assert_eq!(
+            col_a,
+            vec![
+                PropValue::Int(1),
+                PropValue::Int(1),
+                PropValue::Int(2),
+                PropValue::Int(3)
+            ]
+        );
+        assert_eq!(sorted[0].get(1).to_value(), PropValue::Int(4));
+        let top2 = order_limit(&g, &recs, &tags, &[(Expr::tag("a"), SortDir::Asc)], Some(2));
+        assert_eq!(top2.len(), 2);
+        assert_eq!(limit(&recs, 3).len(), 3);
+        assert_eq!(limit(&recs, 10).len(), 4);
+        let d = dedup(&g, &recs, &tags, &[Expr::tag("a")]);
+        assert_eq!(d.len(), 3);
+        let d_all = dedup(&g, &recs, &tags, &[]);
+        assert_eq!(d_all.len(), 4);
+    }
+
+    #[test]
+    fn hash_join_kinds() {
+        let g = tiny_graph();
+        let (left, ltags) = value_records(&[(1, 100), (2, 200), (3, 300)]);
+        // right side keyed on "a" with extra column "c"
+        let mut rtags = TagMap::new();
+        let ra = rtags.slot_or_insert("a");
+        let rc = rtags.slot_or_insert("c");
+        let right: Vec<Record> = [(1, 7), (1, 8), (3, 9)]
+            .iter()
+            .map(|(x, y)| {
+                let mut r = Record::new();
+                r.set(ra, Entry::Value(PropValue::Int(*x)));
+                r.set(rc, Entry::Value(PropValue::Int(*y)));
+                r
+            })
+            .collect();
+        let (out, otags, comm) = hash_join(
+            &g,
+            &left,
+            &ltags,
+            &right,
+            &rtags,
+            &["a".to_string()],
+            JoinType::Inner,
+            None,
+        )
+        .unwrap();
+        assert_eq!(comm, 0);
+        assert_eq!(out.len(), 3); // a=1 matches twice, a=3 once
+        assert_eq!(otags.len(), 3);
+        assert!(otags.contains("c"));
+        let (out, _, _) = hash_join(
+            &g,
+            &left,
+            &ltags,
+            &right,
+            &rtags,
+            &["a".to_string()],
+            JoinType::LeftOuter,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4); // a=2 padded
+        let (out, _, _) = hash_join(
+            &g,
+            &left,
+            &ltags,
+            &right,
+            &rtags,
+            &["a".to_string()],
+            JoinType::Semi,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let (out, _, comm) = hash_join(
+            &g,
+            &left,
+            &ltags,
+            &right,
+            &rtags,
+            &["a".to_string()],
+            JoinType::Anti,
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(comm, (left.len() + right.len()) as u64);
+        // unknown key errors
+        assert!(hash_join(
+            &g,
+            &left,
+            &ltags,
+            &right,
+            &rtags,
+            &["zzz".to_string()],
+            JoinType::Inner,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn union_remaps_tags() {
+        let (r1, t1) = value_records(&[(1, 2)]);
+        // second input has the columns in reverse order
+        let mut t2 = TagMap::new();
+        let b = t2.slot_or_insert("b");
+        let a = t2.slot_or_insert("a");
+        let mut rec = Record::new();
+        rec.set(b, Entry::Value(PropValue::Int(20)));
+        rec.set(a, Entry::Value(PropValue::Int(10)));
+        let r2 = vec![rec];
+        let (out, tags) = union(&[(&r1, &t1), (&r2, &t2)]);
+        assert_eq!(out.len(), 2);
+        let a_slot = tags.slot("a").unwrap();
+        let b_slot = tags.slot("b").unwrap();
+        assert_eq!(out[1].get(a_slot).to_value(), PropValue::Int(10));
+        assert_eq!(out[1].get(b_slot).to_value(), PropValue::Int(20));
+    }
+}

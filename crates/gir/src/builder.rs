@@ -1,0 +1,516 @@
+//! `GraphIrBuilder` — the high-level interface for constructing GIR plans.
+//!
+//! This mirrors the builder shown in Section 5.2 of the paper: language front-ends
+//! (or applications embedding GOpt directly) call `pattern_start()`-style methods to
+//! describe patterns and then chain relational operators, producing a
+//! language-independent [`LogicalPlan`].
+//!
+//! ```
+//! use gopt_gir::{GraphIrBuilder, PatternBuilder, TypeConstraint, Direction, Expr, AggFunc, SortDir};
+//! use gopt_graph::LabelId;
+//!
+//! // MATCH (v1)-[e1]->(v2), (v2)-[e2]->(v3:Place) WHERE v3.name = 'China'
+//! // RETURN v2, count(v2) AS cnt ORDER BY cnt LIMIT 10
+//! let pattern = PatternBuilder::new()
+//!     .get_v("v1", TypeConstraint::all())
+//!     .expand_e("v1", "e1", TypeConstraint::all(), Direction::Out)
+//!     .get_v_end("e1", "v2", TypeConstraint::all())
+//!     .expand_e("v2", "e2", TypeConstraint::all(), Direction::Out)
+//!     .get_v_end("e2", "v3", TypeConstraint::basic(LabelId(2)))
+//!     .finish()
+//!     .unwrap();
+//!
+//! let mut b = GraphIrBuilder::new();
+//! let m = b.match_pattern(pattern);
+//! let s = b.select(m, Expr::prop_eq("v3", "name", "China"));
+//! let g = b.group(s, vec![(Expr::tag("v2"), "v2".into())],
+//!                 vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())]);
+//! let o = b.order(g, vec![(Expr::tag("cnt"), SortDir::Asc)], Some(10));
+//! let plan = b.build(o);
+//! assert_eq!(plan.len(), 4);
+//! ```
+
+use crate::expr::{AggFunc, Expr, SortDir};
+use crate::logical::{JoinType, LogicalNodeId, LogicalOp, LogicalPlan};
+use crate::pattern::{Direction, PathSemantics, PathSpec, Pattern, PatternVertexId};
+use crate::types::TypeConstraint;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while building a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError(pub String);
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern build error: {}", self.0)
+    }
+}
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Clone)]
+struct PendingEdge {
+    from: PatternVertexId,
+    alias: String,
+    constraint: TypeConstraint,
+    direction: Direction,
+    path: Option<PathSpec>,
+    predicate: Option<Expr>,
+}
+
+/// Fluent builder for [`Pattern`]s, mirroring the paper's
+/// `patternStart().getV(..).expandE(..).getV(..).patternEnd()` API.
+///
+/// Misuse (e.g. closing an edge that was never opened) is recorded and reported by
+/// [`PatternBuilder::finish`], so the chain itself stays ergonomic.
+#[derive(Debug, Clone, Default)]
+pub struct PatternBuilder {
+    pattern: Pattern,
+    tags: HashMap<String, PatternVertexId>,
+    pending: HashMap<String, PendingEdge>,
+    error: Option<String>,
+}
+
+impl PatternBuilder {
+    /// Start building a pattern (`patternStart()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fail(mut self, msg: impl Into<String>) -> Self {
+        if self.error.is_none() {
+            self.error = Some(msg.into());
+        }
+        self
+    }
+
+    fn vertex_for(&mut self, alias: &str, constraint: &TypeConstraint) -> PatternVertexId {
+        if let Some(&v) = self.tags.get(alias) {
+            let existing = self.pattern.vertex_mut(v);
+            existing.constraint = existing.constraint.intersect(constraint);
+            v
+        } else {
+            let v = self
+                .pattern
+                .add_vertex_tagged(alias.to_string(), constraint.clone());
+            self.tags.insert(alias.to_string(), v);
+            v
+        }
+    }
+
+    /// Declare (or refine) a vertex with the given alias and type constraint
+    /// (`getV(Alias(..), Type)`).
+    pub fn get_v(mut self, alias: &str, constraint: TypeConstraint) -> Self {
+        self.vertex_for(alias, &constraint);
+        self
+    }
+
+    /// Attach a predicate to an already-declared vertex.
+    pub fn where_v(mut self, alias: &str, predicate: Expr) -> Self {
+        match self.tags.get(alias) {
+            Some(&v) => {
+                let pv = self.pattern.vertex_mut(v);
+                pv.predicate = match pv.predicate.take() {
+                    Some(p) => Some(p.and(predicate)),
+                    None => Some(predicate),
+                };
+                self
+            }
+            None => self.fail(format!("where_v: unknown vertex alias {alias}")),
+        }
+    }
+
+    /// Open an edge expansion from the vertex tagged `from_tag`
+    /// (`expandE(Tag(..), Alias(..), Type, Dir)`). The edge is completed by
+    /// [`get_v_end`](Self::get_v_end).
+    pub fn expand_e(
+        mut self,
+        from_tag: &str,
+        edge_alias: &str,
+        constraint: TypeConstraint,
+        direction: Direction,
+    ) -> Self {
+        let from = match self.tags.get(from_tag) {
+            Some(&v) => v,
+            None => return self.fail(format!("expand_e: unknown source vertex {from_tag}")),
+        };
+        if self.pending.contains_key(edge_alias) {
+            return self.fail(format!("expand_e: edge alias {edge_alias} already pending"));
+        }
+        self.pending.insert(
+            edge_alias.to_string(),
+            PendingEdge {
+                from,
+                alias: edge_alias.to_string(),
+                constraint,
+                direction,
+                path: None,
+                predicate: None,
+            },
+        );
+        self
+    }
+
+    /// Open a variable-length path expansion (`EXPAND_PATH`) from `from_tag`.
+    pub fn expand_path(
+        mut self,
+        from_tag: &str,
+        path_alias: &str,
+        constraint: TypeConstraint,
+        direction: Direction,
+        min_hops: u32,
+        max_hops: u32,
+        semantics: PathSemantics,
+    ) -> Self {
+        let from = match self.tags.get(from_tag) {
+            Some(&v) => v,
+            None => return self.fail(format!("expand_path: unknown source vertex {from_tag}")),
+        };
+        if min_hops == 0 || max_hops < min_hops {
+            return self.fail("expand_path: invalid hop bounds".to_string());
+        }
+        self.pending.insert(
+            path_alias.to_string(),
+            PendingEdge {
+                from,
+                alias: path_alias.to_string(),
+                constraint,
+                direction,
+                path: Some(PathSpec {
+                    min_hops,
+                    max_hops,
+                    semantics,
+                }),
+                predicate: None,
+            },
+        );
+        self
+    }
+
+    /// Close a pending edge (or path) at a vertex with the given alias and constraint
+    /// (`getV(Tag(edge), Alias(v), Type, Vertex.END)`).
+    pub fn get_v_end(mut self, edge_tag: &str, vertex_alias: &str, constraint: TypeConstraint) -> Self {
+        let pending = match self.pending.remove(edge_tag) {
+            Some(p) => p,
+            None => return self.fail(format!("get_v_end: no pending edge {edge_tag}")),
+        };
+        let to = self.vertex_for(vertex_alias, &constraint);
+        let (src, dst) = match pending.direction {
+            Direction::Out | Direction::Both => (pending.from, to),
+            Direction::In => (to, pending.from),
+        };
+        self.pattern.add_edge_full(
+            src,
+            dst,
+            Some(pending.alias),
+            pending.constraint,
+            pending.predicate,
+            pending.path,
+        );
+        self
+    }
+
+    /// Finish the pattern (`patternEnd()`): all opened edges must have been closed and
+    /// the pattern must be connected (the paper treats disconnected patterns as separate
+    /// `MATCH_PATTERN`s combined with a join/product).
+    pub fn finish(self) -> Result<Pattern, BuildError> {
+        if let Some(e) = self.error {
+            return Err(BuildError(e));
+        }
+        if !self.pending.is_empty() {
+            let mut names: Vec<_> = self.pending.keys().cloned().collect();
+            names.sort();
+            return Err(BuildError(format!(
+                "unclosed edge expansion(s): {}",
+                names.join(", ")
+            )));
+        }
+        if self.pattern.is_empty() {
+            return Err(BuildError("empty pattern".to_string()));
+        }
+        if !self.pattern.is_connected() {
+            return Err(BuildError(
+                "pattern is not connected; build separate patterns and JOIN them".to_string(),
+            ));
+        }
+        Ok(self.pattern)
+    }
+}
+
+/// The high-level GIR construction interface.
+///
+/// Each method appends one logical operator and returns its node id; ids are then used
+/// as inputs to downstream operators, so arbitrary DAGs (joins, unions) can be expressed.
+#[derive(Debug, Clone, Default)]
+pub struct GraphIrBuilder {
+    plan: LogicalPlan,
+}
+
+impl GraphIrBuilder {
+    /// Create a new builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a fresh [`PatternBuilder`] (convenience; equivalent to `PatternBuilder::new()`).
+    pub fn pattern(&self) -> PatternBuilder {
+        PatternBuilder::new()
+    }
+
+    /// Add a `MATCH_PATTERN` operator.
+    pub fn match_pattern(&mut self, pattern: Pattern) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Match { pattern }, vec![])
+    }
+
+    /// Add a `SELECT` operator over `input`.
+    pub fn select(&mut self, input: LogicalNodeId, predicate: Expr) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Select { predicate }, vec![input])
+    }
+
+    /// Add a `PROJECT` operator over `input`.
+    pub fn project(&mut self, input: LogicalNodeId, items: Vec<(Expr, String)>) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Project { items }, vec![input])
+    }
+
+    /// Add a `GROUP` operator over `input`.
+    pub fn group(
+        &mut self,
+        input: LogicalNodeId,
+        keys: Vec<(Expr, String)>,
+        aggs: Vec<(AggFunc, Expr, String)>,
+    ) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Group { keys, aggs }, vec![input])
+    }
+
+    /// Add an `ORDER` operator (optionally top-k) over `input`.
+    pub fn order(
+        &mut self,
+        input: LogicalNodeId,
+        keys: Vec<(Expr, SortDir)>,
+        limit: Option<usize>,
+    ) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Order { keys, limit }, vec![input])
+    }
+
+    /// Add a `LIMIT` operator over `input`.
+    pub fn limit(&mut self, input: LogicalNodeId, count: usize) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Limit { count }, vec![input])
+    }
+
+    /// Add a `DEDUP` operator over `input`.
+    pub fn dedup(&mut self, input: LogicalNodeId, keys: Vec<Expr>) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Dedup { keys }, vec![input])
+    }
+
+    /// Add a `JOIN` of `left` and `right` on the given tags.
+    pub fn join(
+        &mut self,
+        left: LogicalNodeId,
+        right: LogicalNodeId,
+        keys: Vec<String>,
+        kind: JoinType,
+    ) -> LogicalNodeId {
+        self.plan
+            .add(LogicalOp::Join { kind, keys }, vec![left, right])
+    }
+
+    /// Add a `UNION` of the given inputs.
+    pub fn union(&mut self, inputs: Vec<LogicalNodeId>, all: bool) -> LogicalNodeId {
+        self.plan.add(LogicalOp::Union { all }, inputs)
+    }
+
+    /// Finish, declaring `root` as the final operator.
+    pub fn build(mut self, root: LogicalNodeId) -> LogicalPlan {
+        self.plan.set_root(root);
+        self.plan
+    }
+
+    /// Finish with the most recently added operator as root.
+    pub fn build_last(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_graph::LabelId;
+
+    const PLACE: LabelId = LabelId(2);
+
+    /// Build the running example of the paper (Fig. 3): two patterns joined on (v1, v3),
+    /// a filter on v3.name, grouping by v2 with COUNT and an ordered LIMIT 10.
+    fn paper_running_example() -> LogicalPlan {
+        let pattern1 = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e1", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e1", "v2", TypeConstraint::all())
+            .expand_e("v2", "e2", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e2", "v3", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let pattern2 = PatternBuilder::new()
+            .get_v("v1", TypeConstraint::all())
+            .expand_e("v1", "e3", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e3", "v3", TypeConstraint::basic(PLACE))
+            .finish()
+            .unwrap();
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(pattern1);
+        let m2 = b.match_pattern(pattern2);
+        let j = b.join(m1, m2, vec!["v1".into(), "v3".into()], JoinType::Inner);
+        let s = b.select(j, Expr::prop_eq("v3", "name", "China"));
+        let g = b.group(
+            s,
+            vec![(Expr::tag("v2"), "v2".into())],
+            vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+        );
+        let o = b.order(g, vec![(Expr::tag("cnt"), SortDir::Asc)], Some(10));
+        b.build(o)
+    }
+
+    #[test]
+    fn running_example_has_expected_shape() {
+        let plan = paper_running_example();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.match_nodes().len(), 2);
+        assert_eq!(plan.op(plan.root()).name(), "ORDER");
+        let text = plan.explain();
+        assert!(text.contains("JOIN"));
+        assert!(text.contains("China"));
+    }
+
+    #[test]
+    fn pattern_builder_reuses_tagged_vertices() {
+        let p = PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_e("a", "e1", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e1", "b", TypeConstraint::all())
+            .expand_e("b", "e2", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e2", "a", TypeConstraint::all()) // cycle back to a
+            .finish()
+            .unwrap();
+        assert_eq!(p.vertex_count(), 2);
+        assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn incoming_direction_flips_edge() {
+        let p = PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_e("a", "e", TypeConstraint::all(), Direction::In)
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let e = p.edge(p.edge_ids()[0]);
+        // a expanded along incoming edges, so the pattern edge is b -> a
+        assert_eq!(p.vertex(e.src).tag.as_deref(), Some("b"));
+        assert_eq!(p.vertex(e.dst).tag.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn builder_misuse_is_reported() {
+        // unknown source vertex
+        assert!(PatternBuilder::new()
+            .expand_e("ghost", "e", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .is_err());
+        // unclosed edge
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_e("a", "e", TypeConstraint::all(), Direction::Out)
+            .finish()
+            .is_err());
+        // empty pattern
+        assert!(PatternBuilder::new().finish().is_err());
+        // closing a non-existent edge
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .is_err());
+        // duplicate pending edge alias
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_e("a", "e", TypeConstraint::all(), Direction::Out)
+            .expand_e("a", "e", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .is_err());
+        // where_v on unknown alias
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .where_v("zzz", Expr::prop_eq("zzz", "x", 1))
+            .finish()
+            .is_err());
+        // disconnected pattern
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .get_v("b", TypeConstraint::all())
+            .finish()
+            .is_err());
+        // invalid hop bounds
+        assert!(PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_path("a", "p", TypeConstraint::all(), Direction::Out, 3, 2, PathSemantics::Arbitrary)
+            .get_v_end("p", "b", TypeConstraint::all())
+            .finish()
+            .is_err());
+    }
+
+    #[test]
+    fn predicates_and_paths_are_recorded() {
+        let p = PatternBuilder::new()
+            .get_v("p1", TypeConstraint::all())
+            .where_v("p1", Expr::prop_eq("p1", "name", "alice"))
+            .where_v("p1", Expr::prop_eq("p1", "active", true))
+            .expand_path(
+                "p1",
+                "path",
+                TypeConstraint::all(),
+                Direction::Out,
+                1,
+                6,
+                PathSemantics::Arbitrary,
+            )
+            .get_v_end("path", "p2", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let v = p.vertex(p.vertex_by_tag("p1").unwrap());
+        assert_eq!(v.predicate.as_ref().unwrap().conjuncts().len(), 2);
+        assert!(p.has_path_edges());
+        let e = p.edge(p.edge_ids()[0]);
+        assert_eq!(e.path.unwrap().max_hops, 6);
+    }
+
+    #[test]
+    fn union_and_dedup_and_project_and_limit() {
+        let mk = || {
+            PatternBuilder::new()
+                .get_v("a", TypeConstraint::all())
+                .expand_e("a", "e", TypeConstraint::all(), Direction::Out)
+                .get_v_end("e", "b", TypeConstraint::all())
+                .finish()
+                .unwrap()
+        };
+        let mut b = GraphIrBuilder::new();
+        let m1 = b.match_pattern(mk());
+        let m2 = b.match_pattern(mk());
+        let u = b.union(vec![m1, m2], true);
+        let d = b.dedup(u, vec![Expr::tag("a")]);
+        let p = b.project(d, vec![(Expr::prop("a", "name"), "name".into())]);
+        let l = b.limit(p, 3);
+        let plan = b.build(l);
+        assert_eq!(plan.op(plan.root()).name(), "LIMIT");
+        assert_eq!(plan.topo_order().len(), 6);
+        let b2 = GraphIrBuilder::new();
+        let _ = b2.pattern();
+    }
+
+    #[test]
+    fn build_error_display() {
+        let err = PatternBuilder::new().finish().unwrap_err();
+        assert!(err.to_string().contains("pattern build error"));
+    }
+}

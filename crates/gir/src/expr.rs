@@ -1,0 +1,540 @@
+//! The expression language of the GIR.
+//!
+//! Expressions appear in `SELECT` predicates, `PROJECT` items, `GROUP` keys and
+//! aggregate arguments, and `ORDER` keys. They reference query elements by **tag**
+//! (the alias assigned with `Alias(..)` in the builder, e.g. `v3`) and access their
+//! properties (`v3.name`).
+//!
+//! Evaluation is decoupled from the runtime record layout through the [`EvalContext`]
+//! trait, so the same expression tree is used by the optimizer (e.g. for constant
+//! folding and required-column analysis in the `FieldTrim` rule) and by the execution
+//! engines.
+
+use gopt_graph::PropValue;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// logical AND
+    And,
+    /// logical OR
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// logical NOT
+    Not,
+    /// numeric negation
+    Neg,
+    /// `IS NULL`
+    IsNull,
+    /// `IS NOT NULL`
+    IsNotNull,
+}
+
+/// Aggregate functions usable in `GROUP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(expr)` (nulls excluded) / `COUNT(*)` when the argument is a bare tag.
+    Count,
+    /// `COUNT(DISTINCT expr)`
+    CountDistinct,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+}
+
+/// Sort direction for `ORDER`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    /// ascending
+    Asc,
+    /// descending
+    Desc,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(PropValue),
+    /// A whole query element referenced by tag (vertex, edge, path or projected value).
+    Tag(String),
+    /// A property of a tagged element, e.g. `v3.name`.
+    Property {
+        /// Tag of the element.
+        tag: String,
+        /// Property name.
+        prop: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Membership test against a literal list, e.g. `p1.id IN $S1`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<PropValue>,
+    },
+}
+
+/// Context against which expressions are evaluated.
+///
+/// The execution engine implements this over its record layout; tests implement it
+/// over simple maps.
+pub trait EvalContext {
+    /// The value bound to a bare tag (for vertices/edges this is an opaque id value; for
+    /// projected columns it is the column value).
+    fn tag_value(&self, tag: &str) -> Option<PropValue>;
+    /// The value of `tag.prop`.
+    fn prop_value(&self, tag: &str, prop: &str) -> Option<PropValue>;
+}
+
+impl Expr {
+    /// Convenience constructor: `lhs op rhs`.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor: `tag.prop`.
+    pub fn prop(tag: impl Into<String>, prop: impl Into<String>) -> Expr {
+        Expr::Property {
+            tag: tag.into(),
+            prop: prop.into(),
+        }
+    }
+
+    /// Convenience constructor: a bare tag reference.
+    pub fn tag(tag: impl Into<String>) -> Expr {
+        Expr::Tag(tag.into())
+    }
+
+    /// Convenience constructor: a literal.
+    pub fn lit(v: impl Into<PropValue>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience constructor: `tag.prop = literal`.
+    pub fn prop_eq(tag: &str, prop: &str, v: impl Into<PropValue>) -> Expr {
+        Expr::binary(BinOp::Eq, Expr::prop(tag, prop), Expr::lit(v))
+    }
+
+    /// Conjunction of two expressions.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinOp::And, self, other)
+    }
+
+    /// All tags referenced anywhere in the expression.
+    pub fn referenced_tags(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_tags(&mut out);
+        out
+    }
+
+    fn collect_tags(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Tag(t) => {
+                out.insert(t.clone());
+            }
+            Expr::Property { tag, .. } => {
+                out.insert(tag.clone());
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_tags(out);
+                rhs.collect_tags(out);
+            }
+            Expr::Unary { operand, .. } => operand.collect_tags(out),
+            Expr::InList { expr, .. } => expr.collect_tags(out),
+        }
+    }
+
+    /// All `(tag, property)` pairs referenced in the expression, used by `FieldTrim`
+    /// to compute the required columns of each pattern element.
+    pub fn referenced_props(&self) -> BTreeSet<(String, String)> {
+        let mut out = BTreeSet::new();
+        self.collect_props(&mut out);
+        out
+    }
+
+    fn collect_props(&self, out: &mut BTreeSet<(String, String)>) {
+        match self {
+            Expr::Property { tag, prop } => {
+                out.insert((tag.clone(), prop.clone()));
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_props(out);
+                rhs.collect_props(out);
+            }
+            Expr::Unary { operand, .. } => operand.collect_props(out),
+            Expr::InList { expr, .. } => expr.collect_props(out),
+            Expr::Literal(_) | Expr::Tag(_) => {}
+        }
+    }
+
+    /// Split a conjunction into its conjuncts (`a AND b AND c` → `[a, b, c]`).
+    pub fn conjuncts(&self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                let mut v = lhs.conjuncts();
+                v.extend(rhs.conjuncts());
+                v
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts; `None` if the list is empty.
+    pub fn conjunction(mut exprs: Vec<Expr>) -> Option<Expr> {
+        if exprs.is_empty() {
+            return None;
+        }
+        let first = exprs.remove(0);
+        Some(exprs.into_iter().fold(first, |acc, e| acc.and(e)))
+    }
+
+    /// Evaluate the expression against a context. Missing tags/properties evaluate to
+    /// `Null`, which is falsy; comparisons against `Null` yield `Null`.
+    pub fn evaluate(&self, ctx: &dyn EvalContext) -> PropValue {
+        match self {
+            Expr::Literal(v) => v.clone(),
+            Expr::Tag(t) => ctx.tag_value(t).unwrap_or(PropValue::Null),
+            Expr::Property { tag, prop } => ctx.prop_value(tag, prop).unwrap_or(PropValue::Null),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.evaluate(ctx);
+                let r = rhs.evaluate(ctx);
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Unary { op, operand } => {
+                let v = operand.evaluate(ctx);
+                match op {
+                    UnaryOp::Not => PropValue::Bool(!v.truthy()),
+                    UnaryOp::Neg => match v {
+                        PropValue::Int(i) => PropValue::Int(-i),
+                        PropValue::Float(f) => PropValue::Float(-f),
+                        _ => PropValue::Null,
+                    },
+                    UnaryOp::IsNull => PropValue::Bool(v.is_null()),
+                    UnaryOp::IsNotNull => PropValue::Bool(!v.is_null()),
+                }
+            }
+            Expr::InList { expr, list } => {
+                let v = expr.evaluate(ctx);
+                if v.is_null() {
+                    PropValue::Null
+                } else {
+                    PropValue::Bool(list.iter().any(|x| *x == v))
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a boolean predicate (Null → false).
+    pub fn evaluate_predicate(&self, ctx: &dyn EvalContext) -> bool {
+        self.evaluate(ctx).truthy()
+    }
+}
+
+fn eval_binary(op: BinOp, l: &PropValue, r: &PropValue) -> PropValue {
+    use BinOp::*;
+    match op {
+        And => return PropValue::Bool(l.truthy() && r.truthy()),
+        Or => return PropValue::Bool(l.truthy() || r.truthy()),
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return PropValue::Null;
+    }
+    match op {
+        Eq => PropValue::Bool(l == r),
+        Ne => PropValue::Bool(l != r),
+        Lt => PropValue::Bool(l < r),
+        Le => PropValue::Bool(l <= r),
+        Gt => PropValue::Bool(l > r),
+        Ge => PropValue::Bool(l >= r),
+        Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+fn eval_arith(op: BinOp, l: &PropValue, r: &PropValue) -> PropValue {
+    // integer arithmetic when both sides are integers, float otherwise
+    if let (PropValue::Int(a), PropValue::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => PropValue::Int(a.wrapping_add(*b)),
+            BinOp::Sub => PropValue::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => PropValue::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    PropValue::Null
+                } else {
+                    PropValue::Int(a / b)
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    PropValue::Null
+                } else {
+                    PropValue::Int(a % b)
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    match (l.as_float(), r.as_float()) {
+        (Some(a), Some(b)) => match op {
+            BinOp::Add => PropValue::Float(a + b),
+            BinOp::Sub => PropValue::Float(a - b),
+            BinOp::Mul => PropValue::Float(a * b),
+            BinOp::Div => {
+                if b == 0.0 {
+                    PropValue::Null
+                } else {
+                    PropValue::Float(a / b)
+                }
+            }
+            BinOp::Mod => PropValue::Float(a % b),
+            _ => unreachable!(),
+        },
+        _ => PropValue::Null,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                PropValue::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Tag(t) => write!(f, "{t}"),
+            Expr::Property { tag, prop } => write!(f, "{tag}.{prop}"),
+            Expr::Binary { op, lhs, rhs } => {
+                let sym = match op {
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                };
+                write!(f, "({lhs} {sym} {rhs})")
+            }
+            Expr::Unary { op, operand } => match op {
+                UnaryOp::Not => write!(f, "NOT ({operand})"),
+                UnaryOp::Neg => write!(f, "-({operand})"),
+                UnaryOp::IsNull => write!(f, "({operand}) IS NULL"),
+                UnaryOp::IsNotNull => write!(f, "({operand}) IS NOT NULL"),
+            },
+            Expr::InList { expr, list } => {
+                let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                write!(f, "{expr} IN [{}]", items.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapCtx {
+        tags: HashMap<String, PropValue>,
+        props: HashMap<(String, String), PropValue>,
+    }
+
+    impl EvalContext for MapCtx {
+        fn tag_value(&self, tag: &str) -> Option<PropValue> {
+            self.tags.get(tag).cloned()
+        }
+        fn prop_value(&self, tag: &str, prop: &str) -> Option<PropValue> {
+            self.props.get(&(tag.to_string(), prop.to_string())).cloned()
+        }
+    }
+
+    fn ctx() -> MapCtx {
+        let mut tags = HashMap::new();
+        tags.insert("cnt".to_string(), PropValue::Int(7));
+        let mut props = HashMap::new();
+        props.insert(
+            ("v3".to_string(), "name".to_string()),
+            PropValue::str("China"),
+        );
+        props.insert(("v1".to_string(), "age".to_string()), PropValue::Int(30));
+        MapCtx { tags, props }
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let c = ctx();
+        let e = Expr::prop_eq("v3", "name", "China");
+        assert!(e.evaluate_predicate(&c));
+        let e = Expr::prop_eq("v3", "name", "India");
+        assert!(!e.evaluate_predicate(&c));
+        let e = Expr::binary(BinOp::Gt, Expr::prop("v1", "age"), Expr::lit(18));
+        assert!(e.evaluate_predicate(&c));
+        // missing property -> Null -> falsy
+        let e = Expr::prop_eq("v1", "missing", 1);
+        assert!(!e.evaluate_predicate(&c));
+        // conjunction / disjunction
+        let both = Expr::prop_eq("v3", "name", "China").and(Expr::prop_eq("v1", "age", 30));
+        assert!(both.evaluate_predicate(&c));
+        let either = Expr::binary(
+            BinOp::Or,
+            Expr::prop_eq("v3", "name", "India"),
+            Expr::prop_eq("v1", "age", 30),
+        );
+        assert!(either.evaluate_predicate(&c));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let c = ctx();
+        let e = Expr::binary(BinOp::Add, Expr::prop("v1", "age"), Expr::lit(12));
+        assert_eq!(e.evaluate(&c), PropValue::Int(42));
+        let e = Expr::binary(BinOp::Div, Expr::lit(7), Expr::lit(2));
+        assert_eq!(e.evaluate(&c), PropValue::Int(3));
+        let e = Expr::binary(BinOp::Div, Expr::lit(7), Expr::lit(0));
+        assert!(e.evaluate(&c).is_null());
+        let e = Expr::binary(BinOp::Mul, Expr::lit(2.5), Expr::lit(2));
+        assert_eq!(e.evaluate(&c), PropValue::Float(5.0));
+        let e = Expr::binary(BinOp::Mod, Expr::lit(7), Expr::lit(3));
+        assert_eq!(e.evaluate(&c), PropValue::Int(1));
+        let e = Expr::binary(BinOp::Le, Expr::tag("cnt"), Expr::lit(7));
+        assert!(e.evaluate_predicate(&c));
+    }
+
+    #[test]
+    fn unary_and_in_list() {
+        let c = ctx();
+        let e = Expr::Unary {
+            op: UnaryOp::Not,
+            operand: Box::new(Expr::prop_eq("v3", "name", "India")),
+        };
+        assert!(e.evaluate_predicate(&c));
+        let e = Expr::Unary {
+            op: UnaryOp::Neg,
+            operand: Box::new(Expr::lit(5)),
+        };
+        assert_eq!(e.evaluate(&c), PropValue::Int(-5));
+        let e = Expr::Unary {
+            op: UnaryOp::IsNull,
+            operand: Box::new(Expr::prop("v1", "missing")),
+        };
+        assert!(e.evaluate_predicate(&c));
+        let e = Expr::Unary {
+            op: UnaryOp::IsNotNull,
+            operand: Box::new(Expr::prop("v1", "age")),
+        };
+        assert!(e.evaluate_predicate(&c));
+        let e = Expr::InList {
+            expr: Box::new(Expr::prop("v1", "age")),
+            list: vec![PropValue::Int(29), PropValue::Int(30)],
+        };
+        assert!(e.evaluate_predicate(&c));
+        let e = Expr::InList {
+            expr: Box::new(Expr::prop("v1", "age")),
+            list: vec![PropValue::Int(1)],
+        };
+        assert!(!e.evaluate_predicate(&c));
+    }
+
+    #[test]
+    fn tag_and_prop_analysis() {
+        let e = Expr::prop_eq("v3", "name", "China").and(Expr::binary(
+            BinOp::Gt,
+            Expr::tag("cnt"),
+            Expr::lit(1),
+        ));
+        let tags = e.referenced_tags();
+        assert!(tags.contains("v3") && tags.contains("cnt"));
+        let props = e.referenced_props();
+        assert!(props.contains(&("v3".to_string(), "name".to_string())));
+        assert_eq!(props.len(), 1);
+    }
+
+    #[test]
+    fn conjunct_splitting_roundtrip() {
+        let a = Expr::prop_eq("a", "x", 1);
+        let b = Expr::prop_eq("b", "y", 2);
+        let cexp = Expr::prop_eq("c", "z", 3);
+        let all = a.clone().and(b.clone()).and(cexp.clone());
+        let parts = all.conjuncts();
+        assert_eq!(parts, vec![a, b, cexp]);
+        let rebuilt = Expr::conjunction(parts.clone()).unwrap();
+        assert_eq!(rebuilt.conjuncts(), parts);
+        assert!(Expr::conjunction(vec![]).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Expr::prop_eq("v3", "name", "China");
+        assert_eq!(e.to_string(), "(v3.name = 'China')");
+        let e = Expr::InList {
+            expr: Box::new(Expr::prop("p", "id")),
+            list: vec![PropValue::Int(1), PropValue::Int(2)],
+        };
+        assert_eq!(e.to_string(), "p.id IN [1, 2]");
+    }
+}

@@ -1,0 +1,38 @@
+//! # gopt-gir — the unified Graph Intermediate Representation
+//!
+//! GIR is the language-independent plan representation at the heart of GOpt
+//! (Section 5 of the paper). Queries written in Cypher or Gremlin are lowered by the
+//! front-ends in `gopt-parser` into the same GIR, which the optimizer in `gopt-core`
+//! rewrites and finally converts into a backend-specific [`physical::PhysicalPlan`].
+//!
+//! The crate provides:
+//!
+//! * [`types::TypeConstraint`] — BasicType / UnionType / AllType constraints on pattern
+//!   vertices and edges (Section 3),
+//! * [`pattern::Pattern`] — the pattern graph underlying `MATCH_PATTERN`, with canonical
+//!   encoding, sub-pattern extraction and connectivity utilities used by both the CBO and
+//!   the GLogue statistics store,
+//! * [`expr::Expr`] — the expression language used by `SELECT`, `PROJECT`, `GROUP`
+//!   and `ORDER`,
+//! * [`logical`] — the logical operators and the [`logical::LogicalPlan`] DAG built by
+//!   [`builder::GraphIrBuilder`],
+//! * [`physical`] — backend-tagged physical operators registered via `PhysicalSpec`
+//!   (ExpandInto for Neo4j-like backends, ExpandIntersect for GraphScope-like backends,
+//!   HashJoin, plus relational operators) and a plain-text plan encoding that stands in
+//!   for the paper's protobuf output format.
+
+pub mod builder;
+pub mod expr;
+pub mod logical;
+pub mod pattern;
+pub mod physical;
+pub mod types;
+
+pub use builder::{GraphIrBuilder, PatternBuilder};
+pub use expr::{AggFunc, BinOp, EvalContext, Expr, SortDir, UnaryOp};
+pub use logical::{JoinType, LogicalNodeId, LogicalOp, LogicalPlan};
+pub use pattern::{
+    Direction, PathSemantics, Pattern, PatternEdge, PatternEdgeId, PatternVertex, PatternVertexId,
+};
+pub use physical::{PhysicalNodeId, PhysicalOp, PhysicalPlan};
+pub use types::TypeConstraint;

@@ -1,0 +1,458 @@
+//! Logical operators and the logical plan DAG.
+//!
+//! A [`LogicalPlan`] is a small arena-allocated DAG: each node holds a [`LogicalOp`] and
+//! the ids of its input (producer) nodes. The final operator is the plan root. The
+//! `GraphIrBuilder` constructs these plans; the rule-based optimizer rewrites them; the
+//! cost-based optimizer converts the `Match` nodes into physical pattern plans.
+//!
+//! Following the paper, graph operators (`GET_VERTEX`, `EXPAND_EDGE`, `EXPAND_PATH`)
+//! appearing between `MATCH_START` and `MATCH_END` are folded into a composite
+//! [`LogicalOp::Match`] node that carries the [`Pattern`] graph; the remaining operators
+//! are the relational ones (`SELECT`, `PROJECT`, `GROUP`, `ORDER`, `LIMIT`, `JOIN`,
+//! `UNION`, `DEDUP`).
+
+use crate::expr::{AggFunc, Expr, SortDir};
+use crate::pattern::Pattern;
+use std::fmt;
+
+/// Identifier of a node within one [`LogicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalNodeId(pub usize);
+
+/// Join semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with nulls).
+    LeftOuter,
+    /// Semi join (left rows with at least one match).
+    Semi,
+    /// Anti join (left rows with no match).
+    Anti,
+}
+
+/// A logical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalOp {
+    /// `MATCH_PATTERN`: match a pattern graph; produces one record per homomorphism.
+    Match {
+        /// The pattern to match.
+        pattern: Pattern,
+    },
+    /// `SELECT`: keep records satisfying the predicate.
+    Select {
+        /// Filter predicate.
+        predicate: Expr,
+    },
+    /// `PROJECT`: compute `(expr AS alias)*`, dropping all other fields.
+    Project {
+        /// Projection items.
+        items: Vec<(Expr, String)>,
+    },
+    /// `GROUP`: group by keys and compute aggregates.
+    Group {
+        /// Grouping keys `(expr AS alias)`.
+        keys: Vec<(Expr, String)>,
+        /// Aggregates `(function, argument, alias)`.
+        aggs: Vec<(AggFunc, Expr, String)>,
+    },
+    /// `ORDER`: sort by keys, optionally keeping only the first `limit` records.
+    Order {
+        /// Sort keys with direction.
+        keys: Vec<(Expr, SortDir)>,
+        /// Optional row limit (top-k).
+        limit: Option<usize>,
+    },
+    /// `LIMIT`: keep the first `count` records.
+    Limit {
+        /// Number of records to keep.
+        count: usize,
+    },
+    /// `DEDUP`: remove duplicate records w.r.t. the given keys.
+    Dedup {
+        /// Deduplication keys.
+        keys: Vec<Expr>,
+    },
+    /// `JOIN`: join the two inputs on equality of the given tags.
+    Join {
+        /// Join semantics.
+        kind: JoinType,
+        /// Tags that must match between the two sides.
+        keys: Vec<String>,
+    },
+    /// `UNION`: concatenate the inputs (UNION ALL when `all` is true, else distinct).
+    Union {
+        /// Whether duplicates are kept.
+        all: bool,
+    },
+}
+
+impl LogicalOp {
+    /// Short operator name (upper-case, as in the paper's figures).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalOp::Match { .. } => "MATCH_PATTERN",
+            LogicalOp::Select { .. } => "SELECT",
+            LogicalOp::Project { .. } => "PROJECT",
+            LogicalOp::Group { .. } => "GROUP",
+            LogicalOp::Order { .. } => "ORDER",
+            LogicalOp::Limit { .. } => "LIMIT",
+            LogicalOp::Dedup { .. } => "DEDUP",
+            LogicalOp::Join { .. } => "JOIN",
+            LogicalOp::Union { .. } => "UNION",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LogicalNode {
+    op: LogicalOp,
+    inputs: Vec<LogicalNodeId>,
+}
+
+/// A logical plan: an arena of operators with producer links and a root (final) operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogicalPlan {
+    nodes: Vec<LogicalNode>,
+    root: Option<LogicalNodeId>,
+}
+
+impl LogicalPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an operator with the given inputs; returns its id. The most recently added
+    /// node becomes the root.
+    pub fn add(&mut self, op: LogicalOp, inputs: Vec<LogicalNodeId>) -> LogicalNodeId {
+        debug_assert!(inputs.iter().all(|i| i.0 < self.nodes.len()));
+        let id = LogicalNodeId(self.nodes.len());
+        self.nodes.push(LogicalNode { op, inputs });
+        self.root = Some(id);
+        id
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root (final) operator.
+    pub fn root(&self) -> LogicalNodeId {
+        self.root.expect("plan has at least one operator")
+    }
+
+    /// Explicitly set the root operator.
+    pub fn set_root(&mut self, id: LogicalNodeId) {
+        assert!(id.0 < self.nodes.len());
+        self.root = Some(id);
+    }
+
+    /// The operator at `id`.
+    pub fn op(&self, id: LogicalNodeId) -> &LogicalOp {
+        &self.nodes[id.0].op
+    }
+
+    /// Mutable access to the operator at `id`.
+    pub fn op_mut(&mut self, id: LogicalNodeId) -> &mut LogicalOp {
+        &mut self.nodes[id.0].op
+    }
+
+    /// Input (producer) nodes of `id`.
+    pub fn inputs(&self, id: LogicalNodeId) -> &[LogicalNodeId] {
+        &self.nodes[id.0].inputs
+    }
+
+    /// Replace the inputs of a node.
+    pub fn set_inputs(&mut self, id: LogicalNodeId, inputs: Vec<LogicalNodeId>) {
+        self.nodes[id.0].inputs = inputs;
+    }
+
+    /// Ids of all nodes that consume the output of `id`.
+    pub fn consumers(&self, id: LogicalNodeId) -> Vec<LogicalNodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&id))
+            .map(|(i, _)| LogicalNodeId(i))
+            .collect()
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = LogicalNodeId> {
+        (0..self.nodes.len()).map(LogicalNodeId)
+    }
+
+    /// Node ids in topological order (producers before consumers), restricted to nodes
+    /// reachable from the root.
+    pub fn topo_order(&self) -> Vec<LogicalNodeId> {
+        let mut order = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        fn visit(
+            plan: &LogicalPlan,
+            id: LogicalNodeId,
+            visited: &mut [bool],
+            order: &mut Vec<LogicalNodeId>,
+        ) {
+            if visited[id.0] {
+                return;
+            }
+            visited[id.0] = true;
+            for &i in plan.inputs(id) {
+                visit(plan, i, visited, order);
+            }
+            order.push(id);
+        }
+        if let Some(root) = self.root {
+            visit(self, root, &mut visited, &mut order);
+        }
+        order
+    }
+
+    /// Bypass a single-input node: its consumers now read from its input directly.
+    /// If the node was the root, the root becomes its input.
+    pub fn bypass(&mut self, id: LogicalNodeId) {
+        assert_eq!(
+            self.nodes[id.0].inputs.len(),
+            1,
+            "only single-input nodes can be bypassed"
+        );
+        let input = self.nodes[id.0].inputs[0];
+        for n in &mut self.nodes {
+            for i in &mut n.inputs {
+                if *i == id {
+                    *i = input;
+                }
+            }
+        }
+        if self.root == Some(id) {
+            self.root = Some(input);
+        }
+    }
+
+    /// Rebuild the plan keeping only nodes reachable from the root (compacting ids).
+    /// Returns the compacted plan.
+    pub fn compact(&self) -> LogicalPlan {
+        let order = self.topo_order();
+        let mut mapping = vec![None; self.nodes.len()];
+        let mut out = LogicalPlan::new();
+        for id in order {
+            let inputs = self
+                .inputs(id)
+                .iter()
+                .map(|i| mapping[i.0].expect("topological order"))
+                .collect();
+            let new_id = out.add(self.nodes[id.0].op.clone(), inputs);
+            mapping[id.0] = Some(new_id);
+        }
+        if let Some(r) = self.root {
+            out.root = mapping[r.0];
+        }
+        out
+    }
+
+    /// All `Match` nodes (id, pattern).
+    pub fn match_nodes(&self) -> Vec<(LogicalNodeId, &Pattern)> {
+        self.node_ids()
+            .filter_map(|id| match self.op(id) {
+                LogicalOp::Match { pattern } => Some((id, pattern)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Multi-line textual rendering of the plan (root last), for debugging and EXPLAIN
+    /// output.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        for id in self.topo_order() {
+            let node = &self.nodes[id.0];
+            let inputs: Vec<String> = node.inputs.iter().map(|i| format!("#{}", i.0)).collect();
+            let detail = match &node.op {
+                LogicalOp::Match { pattern } => format!("{pattern}"),
+                LogicalOp::Select { predicate } => format!("{predicate}"),
+                LogicalOp::Project { items } => items
+                    .iter()
+                    .map(|(e, a)| format!("{e} AS {a}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                LogicalOp::Group { keys, aggs } => format!(
+                    "keys=[{}] aggs=[{}]",
+                    keys.iter()
+                        .map(|(e, a)| format!("{e} AS {a}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    aggs.iter()
+                        .map(|(f, e, a)| format!("{f:?}({e}) AS {a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                LogicalOp::Order { keys, limit } => format!(
+                    "keys=[{}] limit={limit:?}",
+                    keys.iter()
+                        .map(|(e, d)| format!("{e} {d:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                LogicalOp::Limit { count } => format!("{count}"),
+                LogicalOp::Dedup { keys } => keys
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                LogicalOp::Join { kind, keys } => format!("{kind:?} ON [{}]", keys.join(", ")),
+                LogicalOp::Union { all } => format!("all={all}"),
+            };
+            s.push_str(&format!(
+                "#{} {} [{}] {}\n",
+                id.0,
+                node.op.name(),
+                inputs.join(","),
+                detail
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeConstraint;
+
+    fn simple_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let a = p.add_vertex_tagged("v1", TypeConstraint::all());
+        let b = p.add_vertex_tagged("v2", TypeConstraint::all());
+        p.add_edge(a, b, TypeConstraint::all());
+        p
+    }
+
+    fn simple_plan() -> LogicalPlan {
+        let mut plan = LogicalPlan::new();
+        let m = plan.add(
+            LogicalOp::Match {
+                pattern: simple_pattern(),
+            },
+            vec![],
+        );
+        let s = plan.add(
+            LogicalOp::Select {
+                predicate: Expr::prop_eq("v2", "name", "China"),
+            },
+            vec![m],
+        );
+        let g = plan.add(
+            LogicalOp::Group {
+                keys: vec![(Expr::tag("v1"), "v1".into())],
+                aggs: vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+            },
+            vec![s],
+        );
+        plan.add(
+            LogicalOp::Order {
+                keys: vec![(Expr::tag("cnt"), SortDir::Desc)],
+                limit: Some(10),
+            },
+            vec![g],
+        );
+        plan
+    }
+
+    #[test]
+    fn plan_construction_and_accessors() {
+        let plan = simple_plan();
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        let root = plan.root();
+        assert_eq!(plan.op(root).name(), "ORDER");
+        assert_eq!(plan.inputs(root).len(), 1);
+        assert_eq!(plan.consumers(LogicalNodeId(0)), vec![LogicalNodeId(1)]);
+        assert_eq!(plan.match_nodes().len(), 1);
+        let topo = plan.topo_order();
+        assert_eq!(topo.len(), 4);
+        assert_eq!(topo[0], LogicalNodeId(0));
+        assert_eq!(topo[3], root);
+    }
+
+    #[test]
+    fn bypass_removes_select() {
+        let mut plan = simple_plan();
+        plan.bypass(LogicalNodeId(1));
+        // the group node now reads directly from the match node
+        assert_eq!(plan.inputs(LogicalNodeId(2)), &[LogicalNodeId(0)]);
+        let compacted = plan.compact();
+        assert_eq!(compacted.len(), 3);
+        assert_eq!(compacted.op(compacted.root()).name(), "ORDER");
+    }
+
+    #[test]
+    fn bypass_root_moves_root() {
+        let mut plan = LogicalPlan::new();
+        let m = plan.add(
+            LogicalOp::Match {
+                pattern: simple_pattern(),
+            },
+            vec![],
+        );
+        let l = plan.add(LogicalOp::Limit { count: 5 }, vec![m]);
+        assert_eq!(plan.root(), l);
+        plan.bypass(l);
+        assert_eq!(plan.root(), m);
+    }
+
+    #[test]
+    fn explain_mentions_operators() {
+        let plan = simple_plan();
+        let text = plan.explain();
+        assert!(text.contains("MATCH_PATTERN"));
+        assert!(text.contains("SELECT"));
+        assert!(text.contains("GROUP"));
+        assert!(text.contains("ORDER"));
+        assert_eq!(plan.to_string(), text);
+    }
+
+    #[test]
+    fn join_and_union_ops() {
+        let mut plan = LogicalPlan::new();
+        let m1 = plan.add(
+            LogicalOp::Match {
+                pattern: simple_pattern(),
+            },
+            vec![],
+        );
+        let m2 = plan.add(
+            LogicalOp::Match {
+                pattern: simple_pattern(),
+            },
+            vec![],
+        );
+        let j = plan.add(
+            LogicalOp::Join {
+                kind: JoinType::Inner,
+                keys: vec!["v1".into()],
+            },
+            vec![m1, m2],
+        );
+        let u = plan.add(LogicalOp::Union { all: true }, vec![j, m1]);
+        assert_eq!(plan.inputs(j).len(), 2);
+        assert_eq!(plan.inputs(u).len(), 2);
+        assert_eq!(plan.op(j).name(), "JOIN");
+        assert_eq!(plan.op(u).name(), "UNION");
+        // consumers of m1: the join and the union
+        assert_eq!(plan.consumers(m1).len(), 2);
+    }
+}

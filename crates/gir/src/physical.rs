@@ -1,0 +1,591 @@
+//! Physical operators and physical plans.
+//!
+//! The physical plan is what GOpt hands to a backend for execution. Its pattern-matching
+//! operators correspond to the strategies discussed in Section 6.3 of the paper:
+//!
+//! * [`PhysicalOp::Scan`] — scan the vertices admitted by a type constraint (optionally
+//!   filtered), binding the first pattern vertex;
+//! * [`PhysicalOp::EdgeExpand`] — expand to a **new** vertex along one pattern edge,
+//!   flattening the intermediate results (the basic `Expand` of both backends);
+//! * [`PhysicalOp::ExpandInto`] — close a pattern edge between two **already bound**
+//!   vertices by checking edge existence (Neo4j's implementation of vertex expansion);
+//! * [`PhysicalOp::ExpandIntersect`] — bind a new vertex by intersecting the adjacency
+//!   lists of several already-bound vertices (GraphScope's worst-case-optimal
+//!   implementation);
+//! * [`PhysicalOp::HashJoin`] — binary join of two sub-plans on common tags;
+//! * [`PhysicalOp::PathExpand`] — variable-length path expansion;
+//! * plus the relational operators (`Select`, `Project`, `HashGroup`, `OrderLimit`,
+//!   `Limit`, `Dedup`, `Union`).
+//!
+//! The paper serialises physical plans with Protocol Buffers to ship them to backends;
+//! here [`PhysicalPlan::encode`] produces an equivalent line-oriented textual encoding
+//! (see DESIGN.md, substitution table).
+
+use crate::expr::{AggFunc, Expr, SortDir};
+use crate::logical::JoinType;
+use crate::pattern::{Direction, PathSemantics};
+use crate::types::TypeConstraint;
+use std::fmt;
+
+/// Identifier of a node within one [`PhysicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysicalNodeId(pub usize);
+
+/// One adjacency-intersection step of an [`PhysicalOp::ExpandIntersect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntersectStep {
+    /// Tag of the already-bound source vertex.
+    pub src: String,
+    /// Edge type constraint.
+    pub edge_constraint: TypeConstraint,
+    /// Expansion direction relative to `src`.
+    pub direction: Direction,
+    /// Optional alias under which the matched edge is recorded.
+    pub edge_alias: Option<String>,
+}
+
+/// A physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    /// Scan all vertices admitted by `constraint`, binding them to `alias`.
+    Scan {
+        /// Output tag.
+        alias: String,
+        /// Vertex type constraint.
+        constraint: TypeConstraint,
+        /// Optional pushed-down predicate.
+        predicate: Option<Expr>,
+    },
+    /// Expand from `src` along edges admitted by `edge_constraint` to a new vertex
+    /// bound to `dst_alias`, flattening results.
+    EdgeExpand {
+        /// Tag of the bound source vertex.
+        src: String,
+        /// Optional output tag for the traversed edge.
+        edge_alias: Option<String>,
+        /// Edge type constraint.
+        edge_constraint: TypeConstraint,
+        /// Expansion direction relative to `src`.
+        direction: Direction,
+        /// Output tag of the newly bound vertex.
+        dst_alias: String,
+        /// Type constraint on the destination vertex.
+        dst_constraint: TypeConstraint,
+        /// Optional predicate on the destination vertex.
+        dst_predicate: Option<Expr>,
+        /// Optional predicate on the traversed edge.
+        edge_predicate: Option<Expr>,
+    },
+    /// Close an edge between two already-bound vertices (`src`, `dst`) by checking edge
+    /// existence. This is Neo4j's `ExpandInto`.
+    ExpandInto {
+        /// Tag of the bound source vertex.
+        src: String,
+        /// Tag of the bound destination vertex.
+        dst: String,
+        /// Edge type constraint.
+        edge_constraint: TypeConstraint,
+        /// Direction of the pattern edge relative to `src`.
+        direction: Direction,
+        /// Optional output tag for the matched edge.
+        edge_alias: Option<String>,
+        /// Optional predicate on the matched edge.
+        edge_predicate: Option<Expr>,
+    },
+    /// Bind a new vertex `dst_alias` by intersecting adjacency lists from several bound
+    /// vertices. This is GraphScope's worst-case-optimal `ExpandIntersect`.
+    ExpandIntersect {
+        /// The adjacency lists to intersect (one per pattern edge incident to the new vertex).
+        steps: Vec<IntersectStep>,
+        /// Output tag of the newly bound vertex.
+        dst_alias: String,
+        /// Type constraint on the new vertex.
+        dst_constraint: TypeConstraint,
+        /// Optional predicate on the new vertex.
+        dst_predicate: Option<Expr>,
+    },
+    /// Variable-length path expansion from `src` to a new vertex.
+    PathExpand {
+        /// Tag of the bound source vertex.
+        src: String,
+        /// Output tag of the reached vertex.
+        dst_alias: String,
+        /// Edge type constraint applied to every hop.
+        edge_constraint: TypeConstraint,
+        /// Direction of every hop.
+        direction: Direction,
+        /// Minimum number of hops.
+        min_hops: u32,
+        /// Maximum number of hops.
+        max_hops: u32,
+        /// Path semantics (arbitrary / simple / trail).
+        semantics: PathSemantics,
+        /// Optional output tag for the whole path.
+        path_alias: Option<String>,
+    },
+    /// Hash join of the two inputs on equality of the given tags.
+    HashJoin {
+        /// Join keys (tags bound on both sides).
+        keys: Vec<String>,
+        /// Join semantics.
+        kind: JoinType,
+    },
+    /// Materialise properties of a bound element into the record (the paper's `COLUMNS`).
+    ///
+    /// Without the `FieldTrim` rule the optimizer materialises **all** declared
+    /// properties of every tagged pattern element; with the rule only the columns that
+    /// later operators actually reference are fetched.
+    PropertyFetch {
+        /// Tag of the bound vertex or edge.
+        tag: String,
+        /// Properties to fetch; `None` means all properties declared for the element's label.
+        props: Option<Vec<String>>,
+    },
+    /// Filter.
+    Select {
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Projection (keeps only the produced columns).
+    Project {
+        /// `(expr, alias)` items.
+        items: Vec<(Expr, String)>,
+    },
+    /// Hash aggregation.
+    HashGroup {
+        /// Grouping keys.
+        keys: Vec<(Expr, String)>,
+        /// Aggregates.
+        aggs: Vec<(AggFunc, Expr, String)>,
+    },
+    /// Sort (optionally top-k).
+    OrderLimit {
+        /// Sort keys.
+        keys: Vec<(Expr, SortDir)>,
+        /// Optional row limit.
+        limit: Option<usize>,
+    },
+    /// Row limit.
+    Limit {
+        /// Number of rows to keep.
+        count: usize,
+    },
+    /// Duplicate elimination on the given keys.
+    Dedup {
+        /// Deduplication keys.
+        keys: Vec<Expr>,
+    },
+    /// Concatenation of all inputs.
+    Union,
+}
+
+impl PhysicalOp {
+    /// Operator name in CamelCase (physical operators use CamelCase in the paper's figures).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::Scan { .. } => "Scan",
+            PhysicalOp::EdgeExpand { .. } => "EdgeExpand",
+            PhysicalOp::ExpandInto { .. } => "ExpandInto",
+            PhysicalOp::ExpandIntersect { .. } => "ExpandIntersect",
+            PhysicalOp::PathExpand { .. } => "PathExpand",
+            PhysicalOp::HashJoin { .. } => "HashJoin",
+            PhysicalOp::PropertyFetch { .. } => "PropertyFetch",
+            PhysicalOp::Select { .. } => "Select",
+            PhysicalOp::Project { .. } => "Project",
+            PhysicalOp::HashGroup { .. } => "HashGroup",
+            PhysicalOp::OrderLimit { .. } => "OrderLimit",
+            PhysicalOp::Limit { .. } => "Limit",
+            PhysicalOp::Dedup { .. } => "Dedup",
+            PhysicalOp::Union => "Union",
+        }
+    }
+
+    /// Whether this is one of the pattern-matching (graph) operators.
+    pub fn is_graph_op(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::Scan { .. }
+                | PhysicalOp::EdgeExpand { .. }
+                | PhysicalOp::ExpandInto { .. }
+                | PhysicalOp::ExpandIntersect { .. }
+                | PhysicalOp::PathExpand { .. }
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PhysicalNode {
+    op: PhysicalOp,
+    inputs: Vec<PhysicalNodeId>,
+}
+
+/// A physical plan: an arena of physical operators with producer links and a root.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhysicalPlan {
+    nodes: Vec<PhysicalNode>,
+    root: Option<PhysicalNodeId>,
+}
+
+impl PhysicalPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an operator; the most recently added node becomes the root.
+    pub fn add(&mut self, op: PhysicalOp, inputs: Vec<PhysicalNodeId>) -> PhysicalNodeId {
+        debug_assert!(inputs.iter().all(|i| i.0 < self.nodes.len()));
+        let id = PhysicalNodeId(self.nodes.len());
+        self.nodes.push(PhysicalNode { op, inputs });
+        self.root = Some(id);
+        id
+    }
+
+    /// Append an operator consuming the current root (convenience for linear plans).
+    pub fn push(&mut self, op: PhysicalOp) -> PhysicalNodeId {
+        let inputs = match self.root {
+            Some(r) => vec![r],
+            None => vec![],
+        };
+        self.add(op, inputs)
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root (final) operator id.
+    pub fn root(&self) -> PhysicalNodeId {
+        self.root.expect("physical plan has at least one operator")
+    }
+
+    /// Set the root operator explicitly.
+    pub fn set_root(&mut self, id: PhysicalNodeId) {
+        assert!(id.0 < self.nodes.len());
+        self.root = Some(id);
+    }
+
+    /// The operator at `id`.
+    pub fn op(&self, id: PhysicalNodeId) -> &PhysicalOp {
+        &self.nodes[id.0].op
+    }
+
+    /// Inputs of the operator at `id`.
+    pub fn inputs(&self, id: PhysicalNodeId) -> &[PhysicalNodeId] {
+        &self.nodes[id.0].inputs
+    }
+
+    /// Node ids in topological order (producers first), restricted to nodes reachable
+    /// from the root.
+    pub fn topo_order(&self) -> Vec<PhysicalNodeId> {
+        let mut order = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        fn visit(
+            plan: &PhysicalPlan,
+            id: PhysicalNodeId,
+            visited: &mut [bool],
+            order: &mut Vec<PhysicalNodeId>,
+        ) {
+            if visited[id.0] {
+                return;
+            }
+            visited[id.0] = true;
+            for &i in plan.inputs(id) {
+                visit(plan, i, visited, order);
+            }
+            order.push(id);
+        }
+        if let Some(root) = self.root {
+            visit(self, root, &mut visited, &mut order);
+        }
+        order
+    }
+
+    /// Count of operators by name (useful for plan-shape assertions in tests).
+    pub fn count_op(&self, name: &str) -> usize {
+        self.topo_order()
+            .into_iter()
+            .filter(|id| self.op(*id).name() == name)
+            .count()
+    }
+
+    /// Graft another plan into this one: all nodes of `other` are copied with fresh
+    /// ids and the id of (the copy of) `other`'s root is returned. The current root is
+    /// left unchanged.
+    pub fn graft(&mut self, other: &PhysicalPlan) -> PhysicalNodeId {
+        let order = other.topo_order();
+        let mut mapping = vec![None; other.nodes.len()];
+        let saved_root = self.root;
+        let mut last = None;
+        for id in order {
+            let inputs = other
+                .inputs(id)
+                .iter()
+                .map(|i| mapping[i.0].expect("topo order"))
+                .collect();
+            let new_id = self.add(other.nodes[id.0].op.clone(), inputs);
+            mapping[id.0] = Some(new_id);
+            last = Some(new_id);
+        }
+        self.root = saved_root.or(last);
+        last.expect("other plan is non-empty")
+    }
+
+    /// Line-oriented textual encoding of the plan (the protobuf substitute). One line
+    /// per operator: `#id Name [input ids] {details}`.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        for id in self.topo_order() {
+            let node = &self.nodes[id.0];
+            let inputs: Vec<String> = node.inputs.iter().map(|i| format!("#{}", i.0)).collect();
+            s.push_str(&format!(
+                "#{} {} [{}] {}\n",
+                id.0,
+                node.op.name(),
+                inputs.join(","),
+                op_detail(&node.op)
+            ));
+        }
+        s
+    }
+}
+
+fn op_detail(op: &PhysicalOp) -> String {
+    match op {
+        PhysicalOp::Scan {
+            alias,
+            constraint,
+            predicate,
+        } => format!(
+            "{alias}:{constraint}{}",
+            predicate
+                .as_ref()
+                .map(|p| format!(" where {p}"))
+                .unwrap_or_default()
+        ),
+        PhysicalOp::EdgeExpand {
+            src,
+            dst_alias,
+            edge_constraint,
+            direction,
+            ..
+        } => format!("{src} -[{edge_constraint} {direction:?}]-> {dst_alias}"),
+        PhysicalOp::ExpandInto {
+            src,
+            dst,
+            edge_constraint,
+            direction,
+            ..
+        } => format!("({src},{dst}) close [{edge_constraint} {direction:?}]"),
+        PhysicalOp::ExpandIntersect {
+            steps, dst_alias, ..
+        } => format!(
+            "intersect[{}] -> {dst_alias}",
+            steps
+                .iter()
+                .map(|s| format!("{}:{}", s.src, s.edge_constraint))
+                .collect::<Vec<_>>()
+                .join(" ∩ ")
+        ),
+        PhysicalOp::PathExpand {
+            src,
+            dst_alias,
+            min_hops,
+            max_hops,
+            ..
+        } => format!("{src} -[*{min_hops}..{max_hops}]-> {dst_alias}"),
+        PhysicalOp::HashJoin { keys, kind } => format!("{kind:?} on [{}]", keys.join(",")),
+        PhysicalOp::PropertyFetch { tag, props } => match props {
+            None => format!("{tag}.*"),
+            Some(ps) => format!("{tag}.[{}]", ps.join(",")),
+        },
+        PhysicalOp::Select { predicate } => format!("{predicate}"),
+        PhysicalOp::Project { items } => items
+            .iter()
+            .map(|(e, a)| format!("{e} AS {a}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        PhysicalOp::HashGroup { keys, aggs } => format!(
+            "keys=[{}] aggs=[{}]",
+            keys.iter()
+                .map(|(e, a)| format!("{e} AS {a}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            aggs.iter()
+                .map(|(f, e, a)| format!("{f:?}({e}) AS {a}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        PhysicalOp::OrderLimit { keys, limit } => format!(
+            "keys=[{}] limit={limit:?}",
+            keys.iter()
+                .map(|(e, d)| format!("{e} {d:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        PhysicalOp::Limit { count } => format!("{count}"),
+        PhysicalOp::Dedup { keys } => keys
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        PhysicalOp::Union => String::new(),
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(alias: &str) -> PhysicalOp {
+        PhysicalOp::Scan {
+            alias: alias.into(),
+            constraint: TypeConstraint::all(),
+            predicate: None,
+        }
+    }
+
+    fn expand(src: &str, dst: &str) -> PhysicalOp {
+        PhysicalOp::EdgeExpand {
+            src: src.into(),
+            edge_alias: None,
+            edge_constraint: TypeConstraint::all(),
+            direction: Direction::Out,
+            dst_alias: dst.into(),
+            dst_constraint: TypeConstraint::all(),
+            dst_predicate: None,
+            edge_predicate: None,
+        }
+    }
+
+    #[test]
+    fn linear_plan_construction() {
+        let mut plan = PhysicalPlan::new();
+        plan.push(scan("v3"));
+        plan.push(expand("v3", "v1"));
+        plan.push(PhysicalOp::ExpandInto {
+            src: "v1".into(),
+            dst: "v2".into(),
+            edge_constraint: TypeConstraint::all(),
+            direction: Direction::Out,
+            edge_alias: None,
+            edge_predicate: None,
+        });
+        plan.push(PhysicalOp::HashGroup {
+            keys: vec![(Expr::tag("v2"), "v2".into())],
+            aggs: vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+        });
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.op(plan.root()).name(), "HashGroup");
+        assert_eq!(plan.count_op("Scan"), 1);
+        assert_eq!(plan.count_op("ExpandInto"), 1);
+        assert!(plan.op(PhysicalNodeId(0)).is_graph_op());
+        assert!(!plan.op(plan.root()).is_graph_op());
+        let text = plan.encode();
+        assert!(text.contains("Scan") && text.contains("ExpandInto") && text.contains("HashGroup"));
+        assert_eq!(plan.to_string(), text);
+    }
+
+    #[test]
+    fn join_plan_with_graft() {
+        let mut left = PhysicalPlan::new();
+        left.push(scan("a"));
+        left.push(expand("a", "b"));
+        let mut right = PhysicalPlan::new();
+        right.push(scan("c"));
+        right.push(expand("c", "b"));
+
+        let mut plan = left.clone();
+        let lroot = plan.root();
+        let rroot = plan.graft(&right);
+        plan.add(
+            PhysicalOp::HashJoin {
+                keys: vec!["b".into()],
+                kind: JoinType::Inner,
+            },
+            vec![lroot, rroot],
+        );
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.op(plan.root()).name(), "HashJoin");
+        assert_eq!(plan.count_op("Scan"), 2);
+        let topo = plan.topo_order();
+        assert_eq!(*topo.last().unwrap(), plan.root());
+    }
+
+    #[test]
+    fn intersect_and_path_ops_encode() {
+        let mut plan = PhysicalPlan::new();
+        plan.push(scan("v1"));
+        plan.push(expand("v1", "v2"));
+        plan.push(PhysicalOp::ExpandIntersect {
+            steps: vec![
+                IntersectStep {
+                    src: "v1".into(),
+                    edge_constraint: TypeConstraint::all(),
+                    direction: Direction::Out,
+                    edge_alias: None,
+                },
+                IntersectStep {
+                    src: "v2".into(),
+                    edge_constraint: TypeConstraint::all(),
+                    direction: Direction::Out,
+                    edge_alias: None,
+                },
+            ],
+            dst_alias: "v3".into(),
+            dst_constraint: TypeConstraint::all(),
+            dst_predicate: None,
+        });
+        plan.push(PhysicalOp::PathExpand {
+            src: "v3".into(),
+            dst_alias: "v4".into(),
+            edge_constraint: TypeConstraint::all(),
+            direction: Direction::Out,
+            min_hops: 1,
+            max_hops: 3,
+            semantics: PathSemantics::Arbitrary,
+            path_alias: Some("p".into()),
+        });
+        plan.push(PhysicalOp::Select {
+            predicate: Expr::prop_eq("v4", "name", "x"),
+        });
+        plan.push(PhysicalOp::OrderLimit {
+            keys: vec![(Expr::tag("v4"), SortDir::Asc)],
+            limit: Some(5),
+        });
+        plan.push(PhysicalOp::Limit { count: 5 });
+        plan.push(PhysicalOp::Dedup {
+            keys: vec![Expr::tag("v4")],
+        });
+        plan.push(PhysicalOp::Project {
+            items: vec![(Expr::prop("v4", "name"), "name".into())],
+        });
+        let enc = plan.encode();
+        assert!(enc.contains("ExpandIntersect"));
+        assert!(enc.contains("PathExpand"));
+        assert!(enc.contains("*1..3"));
+        assert!(enc.contains("OrderLimit"));
+        // union as a separate plan
+        let mut u = PhysicalPlan::new();
+        let a = u.push(scan("x"));
+        let mut other = PhysicalPlan::new();
+        other.push(scan("y"));
+        let b = u.graft(&other);
+        u.add(PhysicalOp::Union, vec![a, b]);
+        assert_eq!(u.count_op("Union"), 1);
+        assert!(u.encode().contains("Union"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Type constraints on pattern vertices and edges.
+//!
+//! The paper distinguishes three categories (Section 3):
+//!
+//! * **BasicType** — a single label; matches exactly that label,
+//! * **UnionType** — a set of labels; matches any of them (e.g. `{Post, Comment}`),
+//! * **AllType** — matches any label in the data graph.
+//!
+//! [`TypeConstraint`] represents all three with one enum. The label-set algebra
+//! (intersection, membership, materialisation against a schema universe) is what the
+//! type-inference algorithm (Algorithm 1) and the cardinality estimator operate on.
+
+use gopt_graph::LabelId;
+use std::fmt;
+
+/// A type constraint: AllType or an explicit, sorted, de-duplicated label set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeConstraint {
+    /// Matches any label (the paper's AllType).
+    All,
+    /// Matches any label in the (sorted, deduplicated) set.
+    /// A singleton set is a BasicType; a larger set is a UnionType; an **empty set is
+    /// unsatisfiable** and signals an INVALID pattern during type inference.
+    Labels(Vec<LabelId>),
+}
+
+impl TypeConstraint {
+    /// A BasicType constraint.
+    pub fn basic(label: LabelId) -> Self {
+        TypeConstraint::Labels(vec![label])
+    }
+
+    /// A UnionType constraint built from any iterator of labels.
+    pub fn union(labels: impl IntoIterator<Item = LabelId>) -> Self {
+        let mut v: Vec<LabelId> = labels.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        TypeConstraint::Labels(v)
+    }
+
+    /// The AllType constraint.
+    pub fn all() -> Self {
+        TypeConstraint::All
+    }
+
+    /// Whether this is AllType.
+    pub fn is_all(&self) -> bool {
+        matches!(self, TypeConstraint::All)
+    }
+
+    /// Whether this is a BasicType (exactly one label).
+    pub fn is_basic(&self) -> bool {
+        matches!(self, TypeConstraint::Labels(v) if v.len() == 1)
+    }
+
+    /// Whether this is a UnionType (two or more labels).
+    pub fn is_union(&self) -> bool {
+        matches!(self, TypeConstraint::Labels(v) if v.len() > 1)
+    }
+
+    /// Whether the constraint is unsatisfiable (empty label set).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, TypeConstraint::Labels(v) if v.is_empty())
+    }
+
+    /// The single label of a BasicType constraint, if any.
+    pub fn as_basic(&self) -> Option<LabelId> {
+        match self {
+            TypeConstraint::Labels(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// The explicit label set, if not AllType.
+    pub fn as_labels(&self) -> Option<&[LabelId]> {
+        match self {
+            TypeConstraint::Labels(v) => Some(v),
+            TypeConstraint::All => None,
+        }
+    }
+
+    /// Number of labels, or `None` for AllType (unbounded until materialised).
+    pub fn len(&self) -> Option<usize> {
+        self.as_labels().map(|v| v.len())
+    }
+
+    /// Whether the constraint admits the given label.
+    pub fn contains(&self, label: LabelId) -> bool {
+        match self {
+            TypeConstraint::All => true,
+            TypeConstraint::Labels(v) => v.binary_search(&label).is_ok(),
+        }
+    }
+
+    /// Materialise the constraint into an explicit label list, resolving AllType against
+    /// the given universe of labels.
+    pub fn materialize(&self, universe: &[LabelId]) -> Vec<LabelId> {
+        match self {
+            TypeConstraint::All => universe.to_vec(),
+            TypeConstraint::Labels(v) => v.clone(),
+        }
+    }
+
+    /// Intersection of two constraints. `All ∩ x = x`.
+    pub fn intersect(&self, other: &TypeConstraint) -> TypeConstraint {
+        match (self, other) {
+            (TypeConstraint::All, x) => x.clone(),
+            (x, TypeConstraint::All) => x.clone(),
+            (TypeConstraint::Labels(a), TypeConstraint::Labels(b)) => {
+                TypeConstraint::Labels(a.iter().copied().filter(|l| b.binary_search(l).is_ok()).collect())
+            }
+        }
+    }
+
+    /// Intersection with an explicit (unsorted) candidate label set.
+    pub fn intersect_labels(&self, candidates: &[LabelId]) -> TypeConstraint {
+        let mut c = candidates.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        self.intersect(&TypeConstraint::Labels(c))
+    }
+
+    /// Union of two constraints. `All ∪ x = All`.
+    pub fn union_with(&self, other: &TypeConstraint) -> TypeConstraint {
+        match (self, other) {
+            (TypeConstraint::All, _) | (_, TypeConstraint::All) => TypeConstraint::All,
+            (TypeConstraint::Labels(a), TypeConstraint::Labels(b)) => {
+                TypeConstraint::union(a.iter().copied().chain(b.iter().copied()))
+            }
+        }
+    }
+
+    /// Human-readable rendering using a label-name lookup function.
+    pub fn render(&self, name_of: impl Fn(LabelId) -> String) -> String {
+        match self {
+            TypeConstraint::All => "AllType".to_string(),
+            TypeConstraint::Labels(v) if v.is_empty() => "∅".to_string(),
+            TypeConstraint::Labels(v) => v
+                .iter()
+                .map(|l| name_of(*l))
+                .collect::<Vec<_>>()
+                .join("|"),
+        }
+    }
+}
+
+impl Default for TypeConstraint {
+    fn default() -> Self {
+        TypeConstraint::All
+    }
+}
+
+impl fmt::Display for TypeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeConstraint::All => write!(f, "AllType"),
+            TypeConstraint::Labels(v) if v.is_empty() => write!(f, "∅"),
+            TypeConstraint::Labels(v) => {
+                let s: Vec<String> = v.iter().map(|l| format!("{}", l.0)).collect();
+                write!(f, "{}", s.join("|"))
+            }
+        }
+    }
+}
+
+impl From<LabelId> for TypeConstraint {
+    fn from(l: LabelId) -> Self {
+        TypeConstraint::basic(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LabelId = LabelId(0);
+    const B: LabelId = LabelId(1);
+    const C: LabelId = LabelId(2);
+
+    #[test]
+    fn classification() {
+        assert!(TypeConstraint::all().is_all());
+        assert!(TypeConstraint::basic(A).is_basic());
+        assert!(TypeConstraint::union([A, B]).is_union());
+        assert!(TypeConstraint::union([A, A]).is_basic());
+        assert!(TypeConstraint::Labels(vec![]).is_empty());
+        assert_eq!(TypeConstraint::basic(B).as_basic(), Some(B));
+        assert_eq!(TypeConstraint::all().as_basic(), None);
+        assert_eq!(TypeConstraint::union([B, A]).len(), Some(2));
+        assert_eq!(TypeConstraint::all().len(), None);
+        assert_eq!(TypeConstraint::default(), TypeConstraint::All);
+        assert_eq!(TypeConstraint::from(C), TypeConstraint::basic(C));
+    }
+
+    #[test]
+    fn union_sorts_and_dedups() {
+        let t = TypeConstraint::union([C, A, B, A]);
+        assert_eq!(t.as_labels().unwrap(), &[A, B, C]);
+    }
+
+    #[test]
+    fn contains_and_materialize() {
+        let t = TypeConstraint::union([A, C]);
+        assert!(t.contains(A));
+        assert!(!t.contains(B));
+        assert!(TypeConstraint::all().contains(B));
+        let uni = vec![A, B, C];
+        assert_eq!(TypeConstraint::all().materialize(&uni), uni);
+        assert_eq!(t.materialize(&uni), vec![A, C]);
+    }
+
+    #[test]
+    fn intersection_and_union_algebra() {
+        let ab = TypeConstraint::union([A, B]);
+        let bc = TypeConstraint::union([B, C]);
+        assert_eq!(ab.intersect(&bc), TypeConstraint::basic(B));
+        assert_eq!(ab.intersect(&TypeConstraint::all()), ab);
+        assert_eq!(TypeConstraint::all().intersect(&bc), bc);
+        assert!(ab.intersect(&TypeConstraint::basic(C)).is_empty());
+        assert_eq!(ab.union_with(&bc), TypeConstraint::union([A, B, C]));
+        assert!(ab.union_with(&TypeConstraint::all()).is_all());
+        assert_eq!(ab.intersect_labels(&[B, C, B]), TypeConstraint::basic(B));
+    }
+
+    #[test]
+    fn rendering() {
+        let names = |l: LabelId| ["Person", "Post", "Comment"][l.index()].to_string();
+        assert_eq!(TypeConstraint::all().render(names), "AllType");
+        assert_eq!(
+            TypeConstraint::union([B, C]).render(|l| ["Person", "Post", "Comment"][l.index()].to_string()),
+            "Post|Comment"
+        );
+        assert_eq!(
+            TypeConstraint::Labels(vec![]).render(|_| unreachable!("empty set renders without names")),
+            "∅"
+        );
+        assert_eq!(TypeConstraint::union([A, B]).to_string(), "0|1");
+    }
+}

@@ -1,0 +1,26 @@
+//! # gopt-glogue — high-order statistics and cardinality estimation
+//!
+//! This crate implements the statistics side of GOpt's cost-based optimizer
+//! (Section 6.3.1 of the paper):
+//!
+//! * [`mining`] — homomorphism counting of patterns over a property graph, with optional
+//!   anchor sampling (the sparsification knob the paper inherits from GLogS);
+//! * [`glogue::GLogue`] — the *high-order statistics* store: pre-computed frequencies of
+//!   all schema-consistent small patterns (up to `k` vertices, `k = 3` by default) with
+//!   basic types, keyed by canonical pattern codes, plus low-order label counts;
+//! * [`estimate::GlogueQuery`] — the `getFreq` interface used by the optimizer: estimates
+//!   the frequency of **arbitrary** patterns (with BasicType, UnionType or AllType
+//!   constraints and variable-length path edges) by decomposing them with Eq. 1
+//!   (independent sub-pattern join) and Eq. 2 (expand ratios `σ_e`), memoizing
+//!   intermediate results;
+//! * [`estimate::LowOrderEstimator`] — the baseline estimator that only uses per-label
+//!   vertex/edge counts under an independence assumption (what Fig. 8(d) compares
+//!   against).
+
+pub mod estimate;
+pub mod glogue;
+pub mod mining;
+
+pub use estimate::{CardEstimator, GlogueQuery, LowOrderEstimator, DEFAULT_SELECTIVITY};
+pub use glogue::{GLogue, GLogueConfig};
+pub use mining::{count_homomorphisms, count_homomorphisms_sampled};

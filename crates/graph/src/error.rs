@@ -1,0 +1,71 @@
+//! Error type for graph construction and access.
+
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::PropertyGraph`] or
+/// [`crate::GraphSchema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex or edge label name was not found in the schema.
+    UnknownLabel(String),
+    /// A label id is out of range for the schema it is used with.
+    InvalidLabelId(u16),
+    /// A vertex id does not exist in the graph.
+    InvalidVertex(u64),
+    /// An edge id does not exist in the graph.
+    InvalidEdge(u64),
+    /// An edge was added whose (source label, destination label) pair is not
+    /// declared for the edge label in the schema.
+    SchemaViolation {
+        /// Edge label name.
+        edge_label: String,
+        /// Source vertex label name.
+        src_label: String,
+        /// Destination vertex label name.
+        dst_label: String,
+    },
+    /// A label with the same name was declared twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownLabel(name) => write!(f, "unknown label: {name}"),
+            GraphError::InvalidLabelId(id) => write!(f, "invalid label id: {id}"),
+            GraphError::InvalidVertex(id) => write!(f, "invalid vertex id: {id}"),
+            GraphError::InvalidEdge(id) => write!(f, "invalid edge id: {id}"),
+            GraphError::SchemaViolation {
+                edge_label,
+                src_label,
+                dst_label,
+            } => write!(
+                f,
+                "schema violation: edge label {edge_label} cannot connect {src_label} -> {dst_label}"
+            ),
+            GraphError::DuplicateLabel(name) => write!(f, "duplicate label: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GraphError::UnknownLabel("Person".into());
+        assert!(e.to_string().contains("Person"));
+        let e = GraphError::SchemaViolation {
+            edge_label: "KNOWS".into(),
+            src_label: "Person".into(),
+            dst_label: "Place".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("KNOWS") && s.contains("Person") && s.contains("Place"));
+        let e = GraphError::InvalidVertex(42);
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The in-memory property graph store.
+//!
+//! [`PropertyGraph`] is an immutable-after-build, label-partitioned graph with
+//! per-vertex adjacency lists sorted by edge label, so that expanding a vertex
+//! over a specific edge label is a binary search plus a contiguous scan — the
+//! access pattern that the physical operators (`ExpandEdge`, `ExpandInto`,
+//! `ExpandIntersect`) rely on.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
+use crate::schema::GraphSchema;
+use crate::value::PropValue;
+use std::collections::HashMap;
+
+/// One adjacency entry: the incident edge and the neighbouring vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adj {
+    /// Label of the incident edge.
+    pub edge_label: LabelId,
+    /// Id of the incident edge.
+    pub edge: EdgeId,
+    /// Id of the neighbouring vertex (head for out-adjacency, tail for in-adjacency).
+    pub neighbor: VertexId,
+}
+
+#[derive(Debug, Clone)]
+struct VertexRecord {
+    label: LabelId,
+    props: Box<[(PropKeyId, PropValue)]>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeRecord {
+    label: LabelId,
+    src: VertexId,
+    dst: VertexId,
+    props: Box<[(PropKeyId, PropValue)]>,
+}
+
+/// An immutable in-memory property graph.
+///
+/// Build one with [`GraphBuilder`]. Vertices and edges get dense ids in insertion
+/// order; adjacency lists are finalised (sorted by edge label, then neighbour id)
+/// when [`GraphBuilder::finish`] is called.
+#[derive(Debug, Clone)]
+pub struct PropertyGraph {
+    schema: GraphSchema,
+    vertices: Vec<VertexRecord>,
+    edges: Vec<EdgeRecord>,
+    out_adj: Vec<Vec<Adj>>,
+    in_adj: Vec<Vec<Adj>>,
+    vertices_by_label: Vec<Vec<VertexId>>,
+    edge_count_by_label: Vec<u64>,
+    prop_keys: Vec<String>,
+    prop_key_idx: HashMap<String, PropKeyId>,
+}
+
+impl PropertyGraph {
+    /// The schema this graph conforms to.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// Total number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices carrying the given label.
+    pub fn vertex_count_by_label(&self, label: LabelId) -> usize {
+        self.vertices_by_label
+            .get(label.index())
+            .map_or(0, |v| v.len())
+    }
+
+    /// Number of edges carrying the given label.
+    pub fn edge_count_by_label(&self, label: LabelId) -> u64 {
+        self.edge_count_by_label
+            .get(label.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Ids of all vertices with the given label.
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        self.vertices_by_label
+            .get(label.index())
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u64).map(VertexId)
+    }
+
+    /// Iterate over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u64).map(EdgeId)
+    }
+
+    /// Label of a vertex.
+    pub fn vertex_label(&self, v: VertexId) -> LabelId {
+        self.vertices[v.index()].label
+    }
+
+    /// Label of an edge.
+    pub fn edge_label(&self, e: EdgeId) -> LabelId {
+        self.edges[e.index()].label
+    }
+
+    /// (source, destination) endpoints of an edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let r = &self.edges[e.index()];
+        (r.src, r.dst)
+    }
+
+    /// All outgoing adjacency entries of a vertex, sorted by (edge label, neighbour).
+    pub fn out_edges(&self, v: VertexId) -> &[Adj] {
+        &self.out_adj[v.index()]
+    }
+
+    /// All incoming adjacency entries of a vertex, sorted by (edge label, neighbour).
+    pub fn in_edges(&self, v: VertexId) -> &[Adj] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Outgoing adjacency entries of `v` restricted to one edge label (contiguous slice).
+    pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+        Self::label_slice(&self.out_adj[v.index()], label)
+    }
+
+    /// Incoming adjacency entries of `v` restricted to one edge label (contiguous slice).
+    pub fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+        Self::label_slice(&self.in_adj[v.index()], label)
+    }
+
+    fn label_slice(adj: &[Adj], label: LabelId) -> &[Adj] {
+        let start = adj.partition_point(|a| a.edge_label < label);
+        let end = adj.partition_point(|a| a.edge_label <= label);
+        &adj[start..end]
+    }
+
+    /// Out-degree of a vertex.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of a vertex.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Whether there is at least one edge with label `label` from `src` to `dst`.
+    pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        self.out_edges_with_label(src, label)
+            .iter()
+            .any(|a| a.neighbor == dst)
+    }
+
+    /// All edges with label `label` from `src` to `dst`.
+    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> Vec<EdgeId> {
+        self.out_edges_with_label(src, label)
+            .iter()
+            .filter(|a| a.neighbor == dst)
+            .map(|a| a.edge)
+            .collect()
+    }
+
+    /// Intern (or look up) a property key name.
+    pub fn prop_key(&self, name: &str) -> Option<PropKeyId> {
+        self.prop_key_idx.get(name).copied()
+    }
+
+    /// Name of an interned property key.
+    pub fn prop_key_name(&self, id: PropKeyId) -> &str {
+        &self.prop_keys[id.index()]
+    }
+
+    /// Look up a vertex property by key id.
+    pub fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
+        self.vertices[v.index()]
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, val)| val)
+    }
+
+    /// Look up a vertex property by name.
+    pub fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<&PropValue> {
+        self.prop_key(name).and_then(|k| self.vertex_prop(v, k))
+    }
+
+    /// Look up an edge property by key id.
+    pub fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
+        self.edges[e.index()]
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, val)| val)
+    }
+
+    /// Look up an edge property by name.
+    pub fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<&PropValue> {
+        self.prop_key(name).and_then(|k| self.edge_prop(e, k))
+    }
+
+    /// Extract a schema from the data itself: one vertex label per observed label,
+    /// and edge-label endpoint pairs from the observed (src-label, dst-label) pairs.
+    ///
+    /// This models the paper's Remark 6.1: for schema-loose backends such as Neo4j the
+    /// schema needed by type inference can be recovered from the stored data.
+    pub fn extract_schema(&self) -> GraphSchema {
+        let mut s = GraphSchema::new();
+        for id in self.schema.vertex_label_ids() {
+            s.add_vertex_label(
+                self.schema.vertex_label_name(id).to_string(),
+                self.schema.vertex_label_def(id).properties.clone(),
+            )
+            .expect("labels are unique");
+        }
+        // declare edge labels with endpoints observed in the data only
+        let mut observed: Vec<Vec<(LabelId, LabelId)>> =
+            vec![Vec::new(); self.schema.edge_label_count()];
+        for e in &self.edges {
+            let pair = (self.vertices[e.src.index()].label, self.vertices[e.dst.index()].label);
+            if !observed[e.label.index()].contains(&pair) {
+                observed[e.label.index()].push(pair);
+            }
+        }
+        for id in self.schema.edge_label_ids() {
+            s.add_edge_label(
+                self.schema.edge_label_name(id).to_string(),
+                observed[id.index()].clone(),
+                self.schema.edge_label_def(id).properties.clone(),
+            )
+            .expect("labels are unique");
+        }
+        s
+    }
+}
+
+/// Builder for [`PropertyGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    schema: GraphSchema,
+    vertices: Vec<VertexRecord>,
+    edges: Vec<EdgeRecord>,
+    prop_keys: Vec<String>,
+    prop_key_idx: HashMap<String, PropKeyId>,
+    /// When true (default), added edges are checked against the schema's endpoint pairs.
+    validate: bool,
+}
+
+impl GraphBuilder {
+    /// Start building a graph that conforms to `schema`.
+    pub fn new(schema: GraphSchema) -> Self {
+        GraphBuilder {
+            schema,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            prop_keys: Vec::new(),
+            prop_key_idx: HashMap::new(),
+            validate: true,
+        }
+    }
+
+    /// Disable schema validation of edge endpoints (useful for schema-loose ingestion).
+    pub fn without_validation(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    fn intern(&mut self, name: &str) -> PropKeyId {
+        if let Some(id) = self.prop_key_idx.get(name) {
+            return *id;
+        }
+        let id = PropKeyId(self.prop_keys.len() as u16);
+        self.prop_keys.push(name.to_string());
+        self.prop_key_idx.insert(name.to_string(), id);
+        id
+    }
+
+    fn intern_props(&mut self, props: Vec<(&str, PropValue)>) -> Box<[(PropKeyId, PropValue)]> {
+        props
+            .into_iter()
+            .map(|(k, v)| (self.intern(k), v))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    /// Add a vertex with the given label and properties; returns its id.
+    pub fn add_vertex(
+        &mut self,
+        label: LabelId,
+        props: Vec<(&str, PropValue)>,
+    ) -> Result<VertexId, GraphError> {
+        if label.index() >= self.schema.vertex_label_count() {
+            return Err(GraphError::InvalidLabelId(label.0));
+        }
+        let props = self.intern_props(props);
+        let id = VertexId(self.vertices.len() as u64);
+        self.vertices.push(VertexRecord { label, props });
+        Ok(id)
+    }
+
+    /// Add a vertex looking the label up by name.
+    pub fn add_vertex_by_name(
+        &mut self,
+        label: &str,
+        props: Vec<(&str, PropValue)>,
+    ) -> Result<VertexId, GraphError> {
+        let l = self
+            .schema
+            .vertex_label(label)
+            .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))?;
+        self.add_vertex(l, props)
+    }
+
+    /// Add an edge with the given label and properties; returns its id.
+    pub fn add_edge(
+        &mut self,
+        label: LabelId,
+        src: VertexId,
+        dst: VertexId,
+        props: Vec<(&str, PropValue)>,
+    ) -> Result<EdgeId, GraphError> {
+        if label.index() >= self.schema.edge_label_count() {
+            return Err(GraphError::InvalidLabelId(label.0));
+        }
+        let sv = self
+            .vertices
+            .get(src.index())
+            .ok_or(GraphError::InvalidVertex(src.0))?;
+        let dv = self
+            .vertices
+            .get(dst.index())
+            .ok_or(GraphError::InvalidVertex(dst.0))?;
+        if self.validate && !self.schema.can_connect(sv.label, label, dv.label) {
+            return Err(GraphError::SchemaViolation {
+                edge_label: self.schema.edge_label_name(label).to_string(),
+                src_label: self.schema.vertex_label_name(sv.label).to_string(),
+                dst_label: self.schema.vertex_label_name(dv.label).to_string(),
+            });
+        }
+        let props = self.intern_props(props);
+        let id = EdgeId(self.edges.len() as u64);
+        self.edges.push(EdgeRecord {
+            label,
+            src,
+            dst,
+            props,
+        });
+        Ok(id)
+    }
+
+    /// Add an edge looking the label up by name.
+    pub fn add_edge_by_name(
+        &mut self,
+        label: &str,
+        src: VertexId,
+        dst: VertexId,
+        props: Vec<(&str, PropValue)>,
+    ) -> Result<EdgeId, GraphError> {
+        let l = self
+            .schema
+            .edge_label(label)
+            .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))?;
+        self.add_edge(l, src, dst, props)
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalise the graph: build sorted adjacency lists and label partitions.
+    pub fn finish(self) -> PropertyGraph {
+        let n = self.vertices.len();
+        let mut out_adj: Vec<Vec<Adj>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<Adj>> = vec![Vec::new(); n];
+        let mut edge_count_by_label = vec![0u64; self.schema.edge_label_count()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let eid = EdgeId(i as u64);
+            out_adj[e.src.index()].push(Adj {
+                edge_label: e.label,
+                edge: eid,
+                neighbor: e.dst,
+            });
+            in_adj[e.dst.index()].push(Adj {
+                edge_label: e.label,
+                edge: eid,
+                neighbor: e.src,
+            });
+            edge_count_by_label[e.label.index()] += 1;
+        }
+        for adj in out_adj.iter_mut().chain(in_adj.iter_mut()) {
+            adj.sort_unstable_by_key(|a| (a.edge_label, a.neighbor, a.edge));
+        }
+        let mut vertices_by_label: Vec<Vec<VertexId>> =
+            vec![Vec::new(); self.schema.vertex_label_count()];
+        for (i, v) in self.vertices.iter().enumerate() {
+            vertices_by_label[v.label.index()].push(VertexId(i as u64));
+        }
+        PropertyGraph {
+            schema: self.schema,
+            vertices: self.vertices,
+            edges: self.edges,
+            out_adj,
+            in_adj,
+            vertices_by_label,
+            edge_count_by_label,
+            prop_keys: self.prop_keys,
+            prop_key_idx: self.prop_key_idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::fig6_schema;
+
+    fn small_graph() -> PropertyGraph {
+        // 2 persons, 1 product, 1 place
+        let schema = fig6_schema();
+        let mut b = GraphBuilder::new(schema);
+        let p1 = b
+            .add_vertex_by_name("Person", vec![("name", PropValue::str("alice"))])
+            .unwrap();
+        let p2 = b
+            .add_vertex_by_name("Person", vec![("name", PropValue::str("bob"))])
+            .unwrap();
+        let prod = b
+            .add_vertex_by_name("Product", vec![("name", PropValue::str("widget"))])
+            .unwrap();
+        let place = b
+            .add_vertex_by_name("Place", vec![("name", PropValue::str("China"))])
+            .unwrap();
+        b.add_edge_by_name("Knows", p1, p2, vec![]).unwrap();
+        b.add_edge_by_name("Purchases", p1, prod, vec![]).unwrap();
+        b.add_edge_by_name("LocatedIn", p2, place, vec![]).unwrap();
+        b.add_edge_by_name("ProducedIn", prod, place, vec![("year", PropValue::Int(2020))])
+            .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let g = small_graph();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        let person = g.schema().vertex_label("Person").unwrap();
+        assert_eq!(g.vertex_count_by_label(person), 2);
+        assert_eq!(g.vertices_with_label(person).len(), 2);
+        let knows = g.schema().edge_label("Knows").unwrap();
+        assert_eq!(g.edge_count_by_label(knows), 1);
+        assert_eq!(g.vertex_ids().count(), 4);
+        assert_eq!(g.edge_ids().count(), 4);
+    }
+
+    #[test]
+    fn adjacency_and_expansion() {
+        let g = small_graph();
+        let p1 = VertexId(0);
+        let p2 = VertexId(1);
+        let place = VertexId(3);
+        assert_eq!(g.out_degree(p1), 2);
+        assert_eq!(g.in_degree(place), 2);
+        let knows = g.schema().edge_label("Knows").unwrap();
+        let adj = g.out_edges_with_label(p1, knows);
+        assert_eq!(adj.len(), 1);
+        assert_eq!(adj[0].neighbor, p2);
+        assert!(g.has_edge(p1, knows, p2));
+        assert!(!g.has_edge(p2, knows, p1));
+        assert_eq!(g.edges_between(p1, knows, p2).len(), 1);
+        let located = g.schema().edge_label("LocatedIn").unwrap();
+        assert!(g.out_edges_with_label(p1, located).is_empty());
+        // edge endpoints
+        let e0 = EdgeId(0);
+        assert_eq!(g.edge_endpoints(e0), (p1, p2));
+        assert_eq!(g.edge_label(e0), knows);
+    }
+
+    #[test]
+    fn properties_are_interned_and_retrievable() {
+        let g = small_graph();
+        let p1 = VertexId(0);
+        assert_eq!(
+            g.vertex_prop_by_name(p1, "name"),
+            Some(&PropValue::str("alice"))
+        );
+        assert!(g.vertex_prop_by_name(p1, "missing").is_none());
+        let e3 = EdgeId(3);
+        assert_eq!(g.edge_prop_by_name(e3, "year"), Some(&PropValue::Int(2020)));
+        let key = g.prop_key("name").unwrap();
+        assert_eq!(g.prop_key_name(key), "name");
+    }
+
+    #[test]
+    fn schema_violation_is_detected() {
+        let schema = fig6_schema();
+        let mut b = GraphBuilder::new(schema);
+        let place = b.add_vertex_by_name("Place", vec![]).unwrap();
+        let person = b.add_vertex_by_name("Person", vec![]).unwrap();
+        // LocatedIn goes Person -> Place, not the reverse
+        let err = b.add_edge_by_name("LocatedIn", place, person, vec![]);
+        assert!(matches!(err, Err(GraphError::SchemaViolation { .. })));
+        // without validation the edge is accepted
+        let mut b2 = GraphBuilder::new(fig6_schema()).without_validation();
+        let place = b2.add_vertex_by_name("Place", vec![]).unwrap();
+        let person = b2.add_vertex_by_name("Person", vec![]).unwrap();
+        assert!(b2.add_edge_by_name("LocatedIn", place, person, vec![]).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut b = GraphBuilder::new(fig6_schema());
+        assert!(matches!(
+            b.add_vertex_by_name("Alien", vec![]),
+            Err(GraphError::UnknownLabel(_))
+        ));
+        let v = b.add_vertex_by_name("Person", vec![]).unwrap();
+        assert!(matches!(
+            b.add_edge_by_name("Flies", v, v, vec![]),
+            Err(GraphError::UnknownLabel(_))
+        ));
+        assert!(b.add_edge(LabelId(99), v, v, vec![]).is_err());
+        assert!(b.add_vertex(LabelId(99), vec![]).is_err());
+        assert!(b
+            .add_edge_by_name("Knows", v, VertexId(42), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn extract_schema_reflects_observed_endpoints() {
+        let g = small_graph();
+        let extracted = g.extract_schema();
+        let person = extracted.vertex_label("Person").unwrap();
+        let place = extracted.vertex_label("Place").unwrap();
+        let located = extracted.edge_label("LocatedIn").unwrap();
+        assert!(extracted.can_connect(person, located, place));
+        assert_eq!(extracted.vertex_label_count(), g.schema().vertex_label_count());
+        assert_eq!(extracted.edge_label_count(), g.schema().edge_label_count());
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly-typed identifiers used across the framework.
+//!
+//! Using newtypes rather than bare integers prevents accidentally mixing up
+//! vertex ids, edge ids, label ids and property-key ids — a class of bugs that
+//! is otherwise easy to introduce in a query engine where everything is "just
+//! an integer".
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::PropertyGraph`]. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u64);
+
+/// Identifier of an edge in a [`crate::PropertyGraph`]. Dense, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u64);
+
+/// Identifier of a vertex label or an edge label in a [`crate::GraphSchema`].
+///
+/// Vertex labels and edge labels live in two separate id spaces; the context
+/// (vertex vs. edge position) disambiguates them, mirroring the paper's
+/// `λ_G(v)` / `λ_G(e)` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u16);
+
+/// Identifier of an interned property key (e.g. `name`, `id`, `creationDate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropKeyId(pub u16);
+
+impl VertexId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LabelId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PropKeyId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u64> for EdgeId {
+    fn from(v: u64) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<u16> for LabelId {
+    fn from(v: u16) -> Self {
+        LabelId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(7) > EdgeId(3));
+        assert_eq!(VertexId(5).to_string(), "v5");
+        assert_eq!(EdgeId(5).to_string(), "e5");
+        assert_eq!(LabelId(2).to_string(), "l2");
+        assert_eq!(LabelId::from(3u16).index(), 3);
+        assert_eq!(VertexId::from(9u64).index(), 9);
+        assert_eq!(EdgeId::from(9u64).index(), 9);
+        assert_eq!(PropKeyId(4).index(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gopt-graph
+//!
+//! In-memory property graph substrate for the GOpt query optimization framework.
+//!
+//! This crate provides the data-graph side of the system described in the paper
+//! *"A Modular Graph-Native Query Optimization Framework"*:
+//!
+//! * typed identifiers for vertices, edges, labels and property keys ([`ids`]),
+//! * property values ([`value`]),
+//! * the graph **schema** (vertex/edge labels and their connectivity, used heavily by
+//!   the optimizer's type-inference stage) ([`schema`]),
+//! * a CSR-style in-memory [`PropertyGraph`] with label-partitioned vertex sets and
+//!   per-label sorted adjacency ([`graph`]),
+//! * low-order statistics (vertex/edge counts per label, degrees) ([`stats`]), and
+//! * a small random graph generator used by unit and property tests ([`generator`]).
+//!
+//! The graph model follows the property graph model used by the paper: every vertex and
+//! edge carries exactly one label (type) and a set of key/value properties; edges are
+//! directed.
+
+pub mod error;
+pub mod generator;
+pub mod graph;
+pub mod ids;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::GraphError;
+pub use graph::{Adj, GraphBuilder, PropertyGraph};
+pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
+pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
+pub use stats::LowOrderStats;
+pub use value::PropValue;

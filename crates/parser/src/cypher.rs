@@ -1,0 +1,755 @@
+//! Cypher front-end.
+//!
+//! Parses the Cypher subset used throughout the paper and its workloads and lowers it to
+//! a GIR [`LogicalPlan`]:
+//!
+//! * one or more `MATCH` clauses, each with comma-separated path patterns; node and
+//!   relationship patterns with labels (including `|` unions), inline property maps and
+//!   variable-length relationships (`*min..max`);
+//! * `WHERE` with boolean/comparison expressions, property access and `IN [..]` lists;
+//! * `WITH` / `RETURN` items with aggregates (`count`, `sum`, `min`, `max`, `avg`,
+//!   `count(DISTINCT ..)`) and `AS` aliases;
+//! * `ORDER BY ... [ASC|DESC]`, `LIMIT n`, and `UNION [ALL]` between query blocks.
+//!
+//! Multiple `MATCH` clauses in one block become separate `MATCH_PATTERN`s joined on
+//! their shared aliases — exactly the structure of the paper's Fig. 3 example — which
+//! the optimizer's `JoinToPattern` rule may later merge.
+
+use crate::error::ParseError;
+use crate::lexer::{Cursor, Token};
+use gopt_gir::expr::{AggFunc, BinOp, Expr, SortDir, UnaryOp};
+use gopt_gir::logical::{JoinType, LogicalNodeId, LogicalPlan};
+use gopt_gir::pattern::{PathSemantics, PathSpec, Pattern};
+use gopt_gir::types::TypeConstraint;
+use gopt_gir::GraphIrBuilder;
+use gopt_graph::{GraphSchema, PropValue};
+
+/// Parse a Cypher query into a logical plan, resolving labels against `schema`.
+pub fn parse_cypher(query: &str, schema: &GraphSchema) -> Result<LogicalPlan, ParseError> {
+    let mut parser = CypherParser {
+        cur: Cursor::new(query)?,
+        schema,
+        anon: 0,
+        builder: GraphIrBuilder::new(),
+    };
+    parser.parse_query()
+}
+
+struct CypherParser<'a> {
+    cur: Cursor,
+    schema: &'a GraphSchema,
+    anon: usize,
+    builder: GraphIrBuilder,
+}
+
+/// A parsed projection item.
+enum ReturnItem {
+    Plain(Expr, String),
+    Agg(AggFunc, Expr, String),
+}
+
+impl<'a> CypherParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.cur.pos())
+    }
+
+    fn fresh_anon(&mut self) -> String {
+        self.anon += 1;
+        format!("_anon{}", self.anon)
+    }
+
+    fn parse_query(&mut self) -> Result<LogicalPlan, ParseError> {
+        let mut roots = vec![self.parse_block()?];
+        let mut all = true;
+        while self.cur.eat_keyword("UNION") {
+            all = self.cur.eat_keyword("ALL");
+            roots.push(self.parse_block()?);
+        }
+        if !self.cur.at_end() {
+            return Err(self.err(format!("unexpected trailing token {:?}", self.cur.peek())));
+        }
+        let root = if roots.len() == 1 {
+            roots[0]
+        } else {
+            self.builder.union(roots, all)
+        };
+        Ok(std::mem::take(&mut self.builder).build(root))
+    }
+
+    /// One query block: MATCH+ [WHERE] (WITH items [WHERE])* RETURN items [ORDER BY] [LIMIT]
+    fn parse_block(&mut self) -> Result<LogicalNodeId, ParseError> {
+        let mut patterns: Vec<Pattern> = Vec::new();
+        let mut wheres: Vec<Expr> = Vec::new();
+        loop {
+            if self.cur.eat_keyword("MATCH") {
+                patterns.push(self.parse_match()?);
+            } else if self.cur.eat_keyword("WHERE") {
+                wheres.push(self.parse_expr()?);
+            } else if self.cur.is_keyword("WITH") || self.cur.is_keyword("RETURN") {
+                break;
+            } else {
+                return Err(self.err(format!(
+                    "expected MATCH, WHERE, WITH or RETURN, found {:?}",
+                    self.cur.peek()
+                )));
+            }
+        }
+        if patterns.is_empty() {
+            return Err(self.err("query has no MATCH clause"));
+        }
+        // combine patterns: join consecutive matches on their shared vertex aliases
+        let mut node = self.builder.match_pattern(patterns[0].clone());
+        let mut seen = patterns[0].clone();
+        for p in &patterns[1..] {
+            let shared: Vec<String> = p
+                .vertices()
+                .filter_map(|v| v.tag.clone())
+                .filter(|t| !t.starts_with("_anon") && seen.vertex_by_tag(t).is_some())
+                .collect();
+            let m = self.builder.match_pattern(p.clone());
+            if shared.is_empty() {
+                return Err(self.err("MATCH clauses must share at least one alias"));
+            }
+            node = self.builder.join(node, m, shared, JoinType::Inner);
+            let (merged, _) = seen.merge_by_tag(p);
+            seen = merged;
+        }
+        if let Some(predicate) = Expr::conjunction(wheres) {
+            node = self.builder.select(node, predicate);
+        }
+        // WITH* then RETURN
+        loop {
+            if self.cur.eat_keyword("WITH") {
+                node = self.parse_projection(node)?;
+                node = self.parse_order_limit(node)?;
+                while self.cur.eat_keyword("WHERE") {
+                    let e = self.parse_expr()?;
+                    node = self.builder.select(node, e);
+                }
+            } else if self.cur.eat_keyword("RETURN") {
+                if self.cur.eat_keyword("DISTINCT") {
+                    node = self.parse_projection(node)?;
+                    node = self.builder.dedup(node, vec![]);
+                } else {
+                    node = self.parse_projection(node)?;
+                }
+                node = self.parse_order_limit(node)?;
+                return Ok(node);
+            } else {
+                return Err(self.err("expected WITH or RETURN"));
+            }
+        }
+    }
+
+    fn parse_order_limit(&mut self, mut node: LogicalNodeId) -> Result<LogicalNodeId, ParseError> {
+        if self.cur.eat_keyword("ORDER") {
+            if !self.cur.eat_keyword("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            let mut keys = Vec::new();
+            loop {
+                let e = self.parse_expr()?;
+                let dir = if self.cur.eat_keyword("DESC") {
+                    SortDir::Desc
+                } else {
+                    self.cur.eat_keyword("ASC");
+                    SortDir::Asc
+                };
+                keys.push((e, dir));
+                if !self.cur.eat_sym(",") {
+                    break;
+                }
+            }
+            let limit = if self.cur.eat_keyword("LIMIT") {
+                Some(self.parse_usize()?)
+            } else {
+                None
+            };
+            node = self.builder.order(node, keys, limit);
+        } else if self.cur.eat_keyword("LIMIT") {
+            let n = self.parse_usize()?;
+            node = self.builder.limit(node, n);
+        }
+        Ok(node)
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, ParseError> {
+        match self.cur.next() {
+            Some(Token::Int(i)) if i >= 0 => Ok(i as usize),
+            other => Err(self.err(format!("expected a non-negative integer, found {other:?}"))),
+        }
+    }
+
+    fn parse_projection(&mut self, node: LogicalNodeId) -> Result<LogicalNodeId, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_return_item()?);
+            if !self.cur.eat_sym(",") {
+                break;
+            }
+        }
+        let has_agg = items.iter().any(|i| matches!(i, ReturnItem::Agg(..)));
+        if has_agg {
+            let mut keys = Vec::new();
+            let mut aggs = Vec::new();
+            for item in items {
+                match item {
+                    ReturnItem::Plain(e, a) => keys.push((e, a)),
+                    ReturnItem::Agg(f, e, a) => aggs.push((f, e, a)),
+                }
+            }
+            Ok(self.builder.group(node, keys, aggs))
+        } else {
+            let items = items
+                .into_iter()
+                .map(|i| match i {
+                    ReturnItem::Plain(e, a) => (e, a),
+                    ReturnItem::Agg(..) => unreachable!("no aggregates in this branch"),
+                })
+                .collect();
+            Ok(self.builder.project(node, items))
+        }
+    }
+
+    fn parse_return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        // aggregate?
+        if let Some(Token::Ident(name)) = self.cur.peek() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(mut func) = func {
+                if matches!(self.cur.peek_ahead(1), Some(Token::Sym(s)) if s == "(") {
+                    self.cur.next(); // function name
+                    self.cur.next(); // '('
+                    if self.cur.eat_keyword("DISTINCT") {
+                        if func == AggFunc::Count {
+                            func = AggFunc::CountDistinct;
+                        }
+                    }
+                    let arg = if self.cur.eat_sym("*") {
+                        Expr::lit(1)
+                    } else {
+                        self.parse_expr()?
+                    };
+                    self.cur.expect_sym(")")?;
+                    let alias = if self.cur.eat_keyword("AS") {
+                        self.cur.expect_ident()?
+                    } else {
+                        format!("{}", func_name(func))
+                    };
+                    return Ok(ReturnItem::Agg(func, arg, alias));
+                }
+            }
+        }
+        let e = self.parse_expr()?;
+        let alias = if self.cur.eat_keyword("AS") {
+            self.cur.expect_ident()?
+        } else {
+            default_alias(&e)
+        };
+        Ok(ReturnItem::Plain(e, alias))
+    }
+
+    // ---- MATCH pattern parsing -------------------------------------------------
+
+    fn parse_match(&mut self) -> Result<Pattern, ParseError> {
+        let mut pattern = Pattern::new();
+        loop {
+            self.parse_path(&mut pattern)?;
+            if !self.cur.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(pattern)
+    }
+
+    fn parse_path(&mut self, pattern: &mut Pattern) -> Result<(), ParseError> {
+        let mut prev = self.parse_node(pattern)?;
+        loop {
+            // relationship?
+            let (direction_in, present) = if self.cur.is_sym("<-") {
+                (true, true)
+            } else if self.cur.is_sym("-") {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            if !present {
+                break;
+            }
+            self.cur.next();
+            let (alias, constraint, path) = if self.cur.eat_sym("[") {
+                let r = self.parse_rel_body()?;
+                self.cur.expect_sym("]")?;
+                r
+            } else {
+                (None, TypeConstraint::all(), None)
+            };
+            // closing arrow
+            let outgoing = if self.cur.eat_sym("->") {
+                true
+            } else if self.cur.eat_sym("-") {
+                // undirected in the query; modelled as outgoing from the left node
+                !direction_in
+            } else {
+                return Err(self.err("expected '->' or '-' to close the relationship"));
+            };
+            let next = self.parse_node(pattern)?;
+            let (src, dst) = if direction_in || !outgoing {
+                (next, prev)
+            } else {
+                (prev, next)
+            };
+            pattern.add_edge_full(src, dst, alias, constraint, None, path);
+            prev = next;
+        }
+        Ok(())
+    }
+
+    /// `[alias][:TYPE1|TYPE2][*min..max]`
+    #[allow(clippy::type_complexity)]
+    fn parse_rel_body(
+        &mut self,
+    ) -> Result<(Option<String>, TypeConstraint, Option<PathSpec>), ParseError> {
+        let mut alias = None;
+        if let Some(Token::Ident(name)) = self.cur.peek() {
+            alias = Some(name.clone());
+            self.cur.next();
+        }
+        let mut constraint = TypeConstraint::all();
+        if self.cur.eat_sym(":") {
+            constraint = self.parse_label_union(false)?;
+        }
+        let mut path = None;
+        if self.cur.eat_sym("*") {
+            let min = match self.cur.peek() {
+                Some(Token::Int(i)) => {
+                    let v = *i as u32;
+                    self.cur.next();
+                    v
+                }
+                _ => 1,
+            };
+            let max = if self.cur.eat_sym("..") {
+                match self.cur.next() {
+                    Some(Token::Int(i)) => i as u32,
+                    other => return Err(self.err(format!("expected hop bound, found {other:?}"))),
+                }
+            } else {
+                min.max(1)
+            };
+            path = Some(PathSpec {
+                min_hops: min.max(1),
+                max_hops: max.max(min.max(1)),
+                semantics: PathSemantics::Arbitrary,
+            });
+        }
+        Ok((alias, constraint, path))
+    }
+
+    /// `(alias?:Label1|Label2? {prop: value, ...}?)`
+    fn parse_node(
+        &mut self,
+        pattern: &mut Pattern,
+    ) -> Result<gopt_gir::PatternVertexId, ParseError> {
+        self.cur.expect_sym("(")?;
+        let alias = if let Some(Token::Ident(name)) = self.cur.peek() {
+            let a = name.clone();
+            self.cur.next();
+            a
+        } else {
+            self.fresh_anon()
+        };
+        let mut constraint = TypeConstraint::all();
+        if self.cur.eat_sym(":") {
+            constraint = self.parse_label_union(true)?;
+        }
+        // inline property map { key: literal, ... } becomes an equality predicate
+        let mut predicate = None;
+        if self.cur.eat_sym("{") {
+            loop {
+                let key = self.cur.expect_ident()?;
+                self.cur.expect_sym(":")?;
+                let value = self.parse_literal()?;
+                let eq = Expr::binary(BinOp::Eq, Expr::prop(&alias, &key), Expr::Literal(value));
+                predicate = Some(match predicate.take() {
+                    None => eq,
+                    Some(p) => Expr::and(p, eq),
+                });
+                if !self.cur.eat_sym(",") {
+                    break;
+                }
+            }
+            self.cur.expect_sym("}")?;
+        }
+        self.cur.expect_sym(")")?;
+        // reuse the vertex if the alias is already bound in this pattern
+        let id = match pattern.vertex_by_tag(&alias) {
+            Some(v) => {
+                let pv = pattern.vertex_mut(v);
+                pv.constraint = pv.constraint.intersect(&constraint);
+                v
+            }
+            None => pattern.add_vertex_tagged(alias.clone(), constraint),
+        };
+        if let Some(p) = predicate {
+            let pv = pattern.vertex_mut(id);
+            pv.predicate = Some(match pv.predicate.take() {
+                None => p,
+                Some(old) => old.and(p),
+            });
+        }
+        Ok(id)
+    }
+
+    fn parse_label_union(&mut self, vertex: bool) -> Result<TypeConstraint, ParseError> {
+        let mut labels = Vec::new();
+        loop {
+            let name = self.cur.expect_ident()?;
+            let id = if vertex {
+                self.schema.vertex_label(&name)
+            } else {
+                self.schema.edge_label(&name)
+            };
+            match id {
+                Some(l) => labels.push(l),
+                None => {
+                    return Err(self.err(format!(
+                        "unknown {} label '{name}'",
+                        if vertex { "vertex" } else { "edge" }
+                    )))
+                }
+            }
+            if !self.cur.eat_sym("|") {
+                break;
+            }
+        }
+        Ok(TypeConstraint::union(labels))
+    }
+
+    // ---- expressions -------------------------------------------------------------
+
+    fn parse_literal(&mut self) -> Result<PropValue, ParseError> {
+        match self.cur.next() {
+            Some(Token::Int(i)) => Ok(PropValue::Int(i)),
+            Some(Token::Float(f)) => Ok(PropValue::Float(f)),
+            Some(Token::Str(s)) => Ok(PropValue::str(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(PropValue::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(PropValue::Bool(false)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(PropValue::Null),
+            Some(Token::Sym(s)) if s == "-" => match self.cur.next() {
+                Some(Token::Int(i)) => Ok(PropValue::Int(-i)),
+                Some(Token::Float(f)) => Ok(PropValue::Float(-f)),
+                other => Err(self.err(format!("expected number after '-', found {other:?}"))),
+            },
+            other => Err(self.err(format!("expected a literal, found {other:?}"))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.cur.eat_keyword("OR") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.cur.eat_keyword("AND") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.cur.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(inner),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_additive()?;
+        if self.cur.eat_keyword("IN") {
+            self.cur.expect_sym("[")?;
+            let mut list = Vec::new();
+            if !self.cur.is_sym("]") {
+                loop {
+                    list.push(self.parse_literal()?);
+                    if !self.cur.eat_sym(",") {
+                        break;
+                    }
+                }
+            }
+            self.cur.expect_sym("]")?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+            });
+        }
+        if self.cur.eat_keyword("IS") {
+            let not = self.cur.eat_keyword("NOT");
+            if !self.cur.eat_keyword("NULL") {
+                return Err(self.err("expected NULL after IS [NOT]"));
+            }
+            return Ok(Expr::Unary {
+                op: if not { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+                operand: Box::new(lhs),
+            });
+        }
+        let op = if self.cur.eat_sym("=") {
+            Some(BinOp::Eq)
+        } else if self.cur.eat_sym("<>") || self.cur.eat_sym("!=") {
+            Some(BinOp::Ne)
+        } else if self.cur.eat_sym("<=") {
+            Some(BinOp::Le)
+        } else if self.cur.eat_sym(">=") {
+            Some(BinOp::Ge)
+        } else if self.cur.eat_sym("<") {
+            Some(BinOp::Lt)
+        } else if self.cur.eat_sym(">") {
+            Some(BinOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.parse_additive()?;
+                Ok(Expr::binary(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            if self.cur.eat_sym("+") {
+                lhs = Expr::binary(BinOp::Add, lhs, self.parse_multiplicative()?);
+            } else if self.cur.is_sym("-") {
+                self.cur.next();
+                lhs = Expr::binary(BinOp::Sub, lhs, self.parse_multiplicative()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            if self.cur.eat_sym("*") {
+                lhs = Expr::binary(BinOp::Mul, lhs, self.parse_primary()?);
+            } else if self.cur.eat_sym("/") {
+                lhs = Expr::binary(BinOp::Div, lhs, self.parse_primary()?);
+            } else if self.cur.eat_sym("%") {
+                lhs = Expr::binary(BinOp::Mod, lhs, self.parse_primary()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.cur.peek().cloned() {
+            Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Str(_)) => {
+                Ok(Expr::Literal(self.parse_literal()?))
+            }
+            Some(Token::Sym(s)) if s == "-" => Ok(Expr::Literal(self.parse_literal()?)),
+            Some(Token::Sym(s)) if s == "(" => {
+                self.cur.next();
+                let e = self.parse_expr()?;
+                self.cur.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true")
+                    || name.eq_ignore_ascii_case("false")
+                    || name.eq_ignore_ascii_case("null")
+                {
+                    return Ok(Expr::Literal(self.parse_literal()?));
+                }
+                self.cur.next();
+                if self.cur.eat_sym(".") {
+                    let prop = self.cur.expect_ident()?;
+                    Ok(Expr::prop(name, prop))
+                } else {
+                    Ok(Expr::tag(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+fn func_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Count => "count",
+        AggFunc::CountDistinct => "count_distinct",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Avg => "avg",
+    }
+}
+
+fn default_alias(e: &Expr) -> String {
+    match e {
+        Expr::Tag(t) => t.clone(),
+        Expr::Property { tag, prop } => format!("{tag}_{prop}"),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::logical::LogicalOp;
+    use gopt_graph::schema::fig6_schema;
+
+    fn schema() -> GraphSchema {
+        fig6_schema()
+    }
+
+    #[test]
+    fn parses_the_paper_running_example() {
+        let q = "MATCH (v1)-[e1]->(v2), (v2)-[e2]->(v3)\n\
+                 MATCH (v1)-[e3]->(v3:Place)\n\
+                 WHERE v3.name = 'China'\n\
+                 WITH v2, COUNT(v2) as cnt\n\
+                 RETURN v2, cnt ORDER BY cnt LIMIT 10";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        assert_eq!(plan.match_nodes().len(), 2);
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"JOIN"));
+        assert!(names.contains(&"SELECT"));
+        assert!(names.contains(&"GROUP"));
+        assert!(names.contains(&"ORDER"));
+        // the first pattern has 3 vertices, shared alias v2 reused
+        let (_, p1) = plan.match_nodes()[0];
+        assert_eq!(p1.vertex_count(), 3);
+        assert_eq!(p1.edge_count(), 2);
+        // the second pattern constrains v3 to Place
+        let (_, p2) = plan.match_nodes()[1];
+        let place = schema().vertex_label("Place").unwrap();
+        assert_eq!(
+            p2.vertex(p2.vertex_by_tag("v3").unwrap()).constraint,
+            TypeConstraint::basic(place)
+        );
+    }
+
+    #[test]
+    fn parses_labels_property_maps_and_directions() {
+        let q = "MATCH (a:Person {name: 'alice'})<-[k:Knows]-(b:Person|Product) RETURN a";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        let (_, p) = plan.match_nodes()[0];
+        let a = p.vertex(p.vertex_by_tag("a").unwrap());
+        assert!(a.predicate.is_some());
+        let person = schema().vertex_label("Person").unwrap();
+        let product = schema().vertex_label("Product").unwrap();
+        assert_eq!(a.constraint, TypeConstraint::basic(person));
+        let b = p.vertex(p.vertex_by_tag("b").unwrap());
+        assert_eq!(b.constraint, TypeConstraint::union([person, product]));
+        // the edge direction is b -> a because of the incoming arrow
+        let e = p.edge(p.edge_by_tag("k").unwrap());
+        assert_eq!(p.vertex(e.src).tag.as_deref(), Some("b"));
+        assert_eq!(p.vertex(e.dst).tag.as_deref(), Some("a"));
+        // root is a projection of a
+        assert!(matches!(plan.op(plan.root()), LogicalOp::Project { .. }));
+    }
+
+    #[test]
+    fn parses_variable_length_paths_and_in_lists() {
+        let q = "MATCH (p1:Person)-[p:Knows*6]->(p2:Person)\n\
+                 WHERE p1.id IN [1, 2] AND p2.id IN [3]\n\
+                 RETURN p";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        let (_, pat) = plan.match_nodes()[0];
+        let e = pat.edge(pat.edge_by_tag("p").unwrap());
+        assert_eq!(e.path.unwrap().min_hops, 6);
+        assert_eq!(e.path.unwrap().max_hops, 6);
+        let q2 = "MATCH (a)-[*1..3]->(b) RETURN a";
+        let plan2 = parse_cypher(q2, &schema()).unwrap();
+        let (_, pat2) = plan2.match_nodes()[0];
+        assert_eq!(pat2.edges().next().unwrap().path.unwrap().max_hops, 3);
+    }
+
+    #[test]
+    fn parses_aggregates_distinct_and_union() {
+        let q = "MATCH (a:Person)-[:Knows]->(b:Person) RETURN a, count(DISTINCT b) AS friends, sum(b.id) AS total \
+                 UNION ALL MATCH (a:Person)-[:Purchases]->(c:Product) RETURN a, count(*) AS friends, sum(c.id) AS total";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        assert!(matches!(plan.op(plan.root()), LogicalOp::Union { all: true }));
+        assert_eq!(plan.match_nodes().len(), 2);
+        let groups: Vec<_> = plan
+            .topo_order()
+            .into_iter()
+            .filter(|id| matches!(plan.op(*id), LogicalOp::Group { .. }))
+            .collect();
+        assert_eq!(groups.len(), 2);
+        let LogicalOp::Group { keys, aggs } = plan.op(groups[0]) else {
+            unreachable!()
+        };
+        assert_eq!(keys.len(), 1);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].0, AggFunc::CountDistinct);
+        assert_eq!(aggs[1].0, AggFunc::Sum);
+    }
+
+    #[test]
+    fn parses_return_distinct_order_desc_and_where_expressions() {
+        let q = "MATCH (a:Person)-[e:LocatedIn]->(c:Place)\n\
+                 WHERE (a.age >= 18 OR a.name <> 'bob') AND NOT c.name = 'Mars' AND a.id IS NOT NULL\n\
+                 RETURN DISTINCT a.name AS name, c.name AS place ORDER BY name DESC, place ASC LIMIT 5";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"DEDUP"));
+        let LogicalOp::Order { keys, limit } = plan.op(plan.root()) else {
+            panic!("root should be ORDER, got {}", plan.op(plan.root()).name());
+        };
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].1, SortDir::Desc);
+        assert_eq!(*limit, Some(5));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        let s = schema();
+        assert!(parse_cypher("RETURN 1", &s).is_err());
+        assert!(parse_cypher("MATCH (a:Alien) RETURN a", &s).is_err());
+        assert!(parse_cypher("MATCH (a)-[:Flies]->(b) RETURN a", &s).is_err());
+        assert!(parse_cypher("MATCH (a RETURN a", &s).is_err());
+        assert!(parse_cypher("MATCH (a)->(b) RETURN a", &s).is_err());
+        assert!(parse_cypher("MATCH (a) MATCH (b) RETURN a", &s).is_err(), "no shared alias");
+        assert!(parse_cypher("MATCH (a) WHERE a.x = RETURN a", &s).is_err());
+        assert!(parse_cypher("MATCH (a) RETURN a LIMIT -1", &s).is_err());
+        assert!(parse_cypher("MATCH (a) RETURN a garbage", &s).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_parentheses_in_projections() {
+        let q = "MATCH (a:Person) RETURN (a.id + 1) * 2 AS x, a.id % 3 AS m, a.id / 2 AS h, a.id - 1 AS d";
+        let plan = parse_cypher(q, &schema()).unwrap();
+        let LogicalOp::Project { items } = plan.op(plan.root()) else {
+            panic!("expected projection");
+        };
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0].1, "x");
+    }
+}

@@ -1,0 +1,42 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// An error encountered while parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset in the query text where the problem was detected.
+    pub position: usize,
+}
+
+impl ParseError {
+    /// Create a parse error.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_message() {
+        let e = ParseError::new("unexpected token", 17);
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,675 @@
+//! Gremlin front-end.
+//!
+//! Parses the Gremlin traversal subset used by the paper's workloads and lowers it to
+//! the same GIR as the Cypher front-end. Supported steps:
+//!
+//! * `g.V()` start, `hasLabel('L' [, 'L2'...])`, `has('prop', value)`, `as('tag')`,
+//!   `out('T'...)`, `in('T'...)`, `both('T'...)` — pattern construction;
+//! * `match(__.as('a')...out()...as('b'), ...)` — multi-fragment pattern construction;
+//! * `select('tag')` — refocus on a tagged element (pattern phase) or project (after);
+//! * `values('prop')` — project a property of the current element;
+//! * `groupCount().by('tag')`, `group().by('tag').by(count())`, `count()` — aggregation
+//!   (counts are exposed under the alias `values`, matching `order().by(values)`);
+//! * `order().by(key [, asc|desc|incr|decr])`, `dedup()`, `limit(n)`.
+//!
+//! A traversal such as the paper's Fig. 3(b) therefore produces a logical plan with the
+//! same `MATCH_PATTERN` / `GROUP` / `ORDER` structure as its Cypher counterpart in
+//! Fig. 3(a).
+
+use crate::error::ParseError;
+use crate::lexer::{Cursor, Token};
+use gopt_gir::expr::{AggFunc, BinOp, Expr, SortDir};
+use gopt_gir::logical::{LogicalNodeId, LogicalPlan};
+use gopt_gir::pattern::{Direction, Pattern, PatternVertexId};
+use gopt_gir::types::TypeConstraint;
+use gopt_gir::GraphIrBuilder;
+use gopt_graph::{GraphSchema, PropValue};
+
+/// Parse a Gremlin traversal into a logical plan, resolving labels against `schema`.
+pub fn parse_gremlin(query: &str, schema: &GraphSchema) -> Result<LogicalPlan, ParseError> {
+    let mut cur = Cursor::new(query)?;
+    // expect `g.V()`
+    if !cur.eat_keyword("g") {
+        return Err(ParseError::new("traversal must start with g.V()", cur.pos()));
+    }
+    cur.expect_sym(".")?;
+    let v = cur.expect_ident()?;
+    if v != "V" {
+        return Err(ParseError::new("traversal must start with g.V()", cur.pos()));
+    }
+    cur.expect_sym("(")?;
+    cur.expect_sym(")")?;
+    let steps = parse_steps(&mut cur)?;
+    if !cur.at_end() {
+        return Err(ParseError::new(
+            format!("unexpected trailing token {:?}", cur.peek()),
+            cur.pos(),
+        ));
+    }
+    Lowerer::new(schema).lower(&steps)
+}
+
+/// One parsed step: name plus arguments.
+#[derive(Debug, Clone)]
+struct Step {
+    name: String,
+    args: Vec<Arg>,
+}
+
+/// A step argument.
+#[derive(Debug, Clone)]
+enum Arg {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    /// An anonymous sub-traversal (`__.as('a').out()...`).
+    Traversal(Vec<Step>),
+    /// A nested call such as `count()` or `eq(5)`; only its presence matters to the
+    /// lowering (e.g. `group().by(count())` keeps the default count aggregate).
+    #[allow(dead_code)]
+    Call(String, Vec<Arg>),
+}
+
+/// Parse a dotted chain of steps: `.name(args).name(args)...`
+fn parse_steps(cur: &mut Cursor) -> Result<Vec<Step>, ParseError> {
+    let mut steps = Vec::new();
+    while cur.eat_sym(".") {
+        let name = cur.expect_ident()?;
+        cur.expect_sym("(")?;
+        let args = parse_args(cur)?;
+        cur.expect_sym(")")?;
+        steps.push(Step { name, args });
+    }
+    Ok(steps)
+}
+
+fn parse_args(cur: &mut Cursor) -> Result<Vec<Arg>, ParseError> {
+    let mut args = Vec::new();
+    if cur.is_sym(")") {
+        return Ok(args);
+    }
+    loop {
+        args.push(parse_arg(cur)?);
+        if !cur.eat_sym(",") {
+            break;
+        }
+    }
+    Ok(args)
+}
+
+fn parse_arg(cur: &mut Cursor) -> Result<Arg, ParseError> {
+    match cur.peek().cloned() {
+        Some(Token::Str(s)) => {
+            cur.next();
+            Ok(Arg::Str(s))
+        }
+        Some(Token::Int(i)) => {
+            cur.next();
+            Ok(Arg::Int(i))
+        }
+        Some(Token::Float(f)) => {
+            cur.next();
+            Ok(Arg::Float(f))
+        }
+        Some(Token::Ident(name)) => {
+            cur.next();
+            if name == "__" {
+                // anonymous traversal
+                let steps = parse_steps(cur)?;
+                Ok(Arg::Traversal(steps))
+            } else if cur.is_sym("(") {
+                cur.next();
+                let args = parse_args(cur)?;
+                cur.expect_sym(")")?;
+                Ok(Arg::Call(name, args))
+            } else {
+                Ok(Arg::Ident(name))
+            }
+        }
+        other => Err(ParseError::new(
+            format!("unexpected token in step arguments: {other:?}"),
+            cur.pos(),
+        )),
+    }
+}
+
+struct Lowerer<'a> {
+    schema: &'a GraphSchema,
+    builder: GraphIrBuilder,
+    pattern: Pattern,
+    current: Option<PatternVertexId>,
+    anon: usize,
+    /// The logical node produced once the pattern phase has been flushed.
+    flushed: Option<LogicalNodeId>,
+    /// Tag of the "current" value after aggregation/projection steps.
+    current_tag: Option<String>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(schema: &'a GraphSchema) -> Self {
+        Lowerer {
+            schema,
+            builder: GraphIrBuilder::new(),
+            pattern: Pattern::new(),
+            current: None,
+            anon: 0,
+            flushed: None,
+            current_tag: None,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, 0)
+    }
+
+    fn fresh(&mut self) -> String {
+        self.anon += 1;
+        format!("_g{}", self.anon)
+    }
+
+    fn arg_str(&self, step: &Step, i: usize) -> Result<String, ParseError> {
+        match step.args.get(i) {
+            Some(Arg::Str(s)) => Ok(s.clone()),
+            Some(Arg::Ident(s)) => Ok(s.clone()),
+            other => Err(self.err(format!("{}: expected a string argument, found {other:?}", step.name))),
+        }
+    }
+
+    fn vertex_labels(&self, step: &Step) -> Result<TypeConstraint, ParseError> {
+        if step.args.is_empty() {
+            return Ok(TypeConstraint::all());
+        }
+        let mut labels = Vec::new();
+        for (i, _) in step.args.iter().enumerate() {
+            let name = self.arg_str(step, i)?;
+            labels.push(
+                self.schema
+                    .vertex_label(&name)
+                    .ok_or_else(|| self.err(format!("unknown vertex label '{name}'")))?,
+            );
+        }
+        Ok(TypeConstraint::union(labels))
+    }
+
+    fn edge_labels(&self, step: &Step) -> Result<TypeConstraint, ParseError> {
+        if step.args.is_empty() {
+            return Ok(TypeConstraint::all());
+        }
+        let mut labels = Vec::new();
+        for (i, _) in step.args.iter().enumerate() {
+            let name = self.arg_str(step, i)?;
+            labels.push(
+                self.schema
+                    .edge_label(&name)
+                    .ok_or_else(|| self.err(format!("unknown edge label '{name}'")))?,
+            );
+        }
+        Ok(TypeConstraint::union(labels))
+    }
+
+    fn literal(&self, arg: &Arg) -> Result<PropValue, ParseError> {
+        match arg {
+            Arg::Str(s) => Ok(PropValue::str(s)),
+            Arg::Int(i) => Ok(PropValue::Int(*i)),
+            Arg::Float(f) => Ok(PropValue::Float(*f)),
+            Arg::Ident(s) if s == "true" => Ok(PropValue::Bool(true)),
+            Arg::Ident(s) if s == "false" => Ok(PropValue::Bool(false)),
+            other => Err(self.err(format!("expected a literal argument, found {other:?}"))),
+        }
+    }
+
+    fn ensure_start(&mut self) -> PatternVertexId {
+        match self.current {
+            Some(v) => v,
+            None => {
+                let tag = self.fresh();
+                let v = self.pattern.add_vertex_tagged(tag, TypeConstraint::all());
+                self.current = Some(v);
+                v
+            }
+        }
+    }
+
+    fn current_tag_name(&mut self) -> String {
+        match (self.current, &self.current_tag) {
+            (_, Some(t)) => t.clone(),
+            (Some(v), None) => self
+                .pattern
+                .vertex(v)
+                .tag
+                .clone()
+                .expect("pattern vertices built here always carry a tag"),
+            (None, None) => {
+                let v = self.ensure_start();
+                self.pattern.vertex(v).tag.clone().expect("tagged")
+            }
+        }
+    }
+
+    /// Finish the pattern phase, producing (or returning) the MATCH node.
+    fn flush(&mut self) -> Result<LogicalNodeId, ParseError> {
+        if let Some(node) = self.flushed {
+            return Ok(node);
+        }
+        if self.pattern.is_empty() {
+            self.ensure_start();
+        }
+        if !self.pattern.is_connected() {
+            return Err(self.err("traversal builds a disconnected pattern"));
+        }
+        let node = self.builder.match_pattern(self.pattern.clone());
+        self.flushed = Some(node);
+        Ok(node)
+    }
+
+    fn lower(mut self, steps: &[Step]) -> Result<LogicalPlan, ParseError> {
+        let mut i = 0;
+        let mut root: Option<LogicalNodeId> = None;
+        while i < steps.len() {
+            let step = &steps[i];
+            match step.name.as_str() {
+                // ---- pattern phase steps ----
+                "hasLabel" => {
+                    let c = self.vertex_labels(step)?;
+                    let v = self.ensure_start();
+                    let pv = self.pattern.vertex_mut(v);
+                    pv.constraint = pv.constraint.intersect(&c);
+                }
+                "has" if self.flushed.is_none() => {
+                    let prop = self.arg_str(step, 0)?;
+                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let v = self.ensure_start();
+                    let tag = self.pattern.vertex(v).tag.clone().expect("tagged");
+                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    let pv = self.pattern.vertex_mut(v);
+                    pv.predicate = Some(match pv.predicate.take() {
+                        None => pred,
+                        Some(p) => p.and(pred),
+                    });
+                }
+                "as" if self.flushed.is_none() => {
+                    let tag = self.arg_str(step, 0)?;
+                    let v = self.ensure_start();
+                    // if the tag already exists, unify the two vertices is not supported;
+                    // instead just rename when unused, or move focus when it exists
+                    if let Some(existing) = self.pattern.vertex_by_tag(&tag) {
+                        self.current = Some(existing);
+                    } else {
+                        self.pattern.vertex_mut(v).tag = Some(tag);
+                    }
+                }
+                "out" | "in" | "both" if self.flushed.is_none() => {
+                    let c = self.edge_labels(step)?;
+                    let v = self.ensure_start();
+                    let tag = self.fresh();
+                    let nv = self.pattern.add_vertex_tagged(tag, TypeConstraint::all());
+                    let dir = match step.name.as_str() {
+                        "out" => Direction::Out,
+                        "in" => Direction::In,
+                        _ => Direction::Both,
+                    };
+                    match dir {
+                        Direction::Out | Direction::Both => {
+                            self.pattern.add_edge(v, nv, c);
+                        }
+                        Direction::In => {
+                            self.pattern.add_edge(nv, v, c);
+                        }
+                    }
+                    self.current = Some(nv);
+                }
+                "match" if self.flushed.is_none() => {
+                    for arg in &step.args {
+                        let Arg::Traversal(fragment) = arg else {
+                            return Err(self.err("match: arguments must be anonymous traversals"));
+                        };
+                        self.lower_fragment(fragment)?;
+                    }
+                }
+                "select" if self.flushed.is_none() && step.args.len() == 1 => {
+                    let tag = self.arg_str(step, 0)?;
+                    match self.pattern.vertex_by_tag(&tag) {
+                        Some(v) => self.current = Some(v),
+                        None => return Err(self.err(format!("select: unknown tag '{tag}'"))),
+                    }
+                }
+                // ---- relational steps ----
+                "has" => {
+                    let node = self.flush()?;
+                    let prop = self.arg_str(step, 0)?;
+                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let tag = self.current_tag_name();
+                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    root = Some(self.builder.select(root.unwrap_or(node), pred));
+                }
+                "select" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let mut items = Vec::new();
+                    for (idx, _) in step.args.iter().enumerate() {
+                        let tag = self.arg_str(step, idx)?;
+                        items.push((Expr::tag(&tag), tag));
+                    }
+                    if items.len() == 1 {
+                        // refocus only; no projection necessary
+                        self.current_tag = Some(items[0].1.clone());
+                        root = Some(node);
+                    } else {
+                        root = Some(self.builder.project(node, items));
+                    }
+                }
+                "values" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let prop = self.arg_str(step, 0)?;
+                    let tag = self.current_tag_name();
+                    root = Some(self.builder.project(
+                        node,
+                        vec![(Expr::prop(&tag, &prop), format!("{tag}_{prop}"))],
+                    ));
+                    self.current_tag = Some(format!("{tag}_{prop}"));
+                }
+                "groupCount" | "group" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    // consume the following by(...) steps
+                    let mut key_tag = self.current_tag_name();
+                    let mut j = i + 1;
+                    while j < steps.len() && steps[j].name == "by" {
+                        if let Some(Arg::Str(s) | Arg::Ident(s)) = steps[j].args.first() {
+                            key_tag = s.clone();
+                        }
+                        // `.by(count())` and similar nested calls keep the default count
+                        j += 1;
+                    }
+                    i = j - 1;
+                    root = Some(self.builder.group(
+                        node,
+                        vec![(Expr::tag(&key_tag), key_tag.clone())],
+                        vec![(AggFunc::Count, Expr::tag(&key_tag), "values".to_string())],
+                    ));
+                    self.current_tag = Some("values".to_string());
+                }
+                "count" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let tag = self.current_tag_name();
+                    root = Some(self.builder.group(
+                        node,
+                        vec![],
+                        vec![(AggFunc::Count, Expr::tag(&tag), "count".to_string())],
+                    ));
+                    self.current_tag = Some("count".to_string());
+                }
+                "order" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let mut keys = Vec::new();
+                    let mut j = i + 1;
+                    while j < steps.len() && steps[j].name == "by" {
+                        let by = &steps[j];
+                        let key = match by.args.first() {
+                            Some(Arg::Str(s)) => Expr::tag(s),
+                            Some(Arg::Ident(s)) if s == "values" => Expr::tag("values"),
+                            Some(Arg::Ident(s)) if s == "keys" => Expr::tag(&self.current_tag_name()),
+                            Some(Arg::Ident(s)) => Expr::tag(s),
+                            _ => Expr::tag(&self.current_tag_name()),
+                        };
+                        let dir = match by.args.get(1) {
+                            Some(Arg::Ident(d)) if d == "desc" || d == "decr" => SortDir::Desc,
+                            _ => SortDir::Asc,
+                        };
+                        keys.push((key, dir));
+                        j += 1;
+                    }
+                    if keys.is_empty() {
+                        keys.push((Expr::tag(&self.current_tag_name()), SortDir::Asc));
+                    }
+                    i = j - 1;
+                    root = Some(self.builder.order(node, keys, None));
+                }
+                "limit" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let n = match step.args.first() {
+                        Some(Arg::Int(n)) if *n >= 0 => *n as usize,
+                        other => return Err(self.err(format!("limit: expected a count, found {other:?}"))),
+                    };
+                    root = Some(self.builder.limit(node, n));
+                }
+                "dedup" => {
+                    let node = root.unwrap_or(self.flush()?);
+                    let keys = if step.args.is_empty() {
+                        vec![]
+                    } else {
+                        (0..step.args.len())
+                            .map(|idx| self.arg_str(step, idx).map(Expr::tag))
+                            .collect::<Result<Vec<_>, _>>()?
+                    };
+                    root = Some(self.builder.dedup(node, keys));
+                }
+                other => return Err(self.err(format!("unsupported Gremlin step '{other}'"))),
+            }
+            i += 1;
+        }
+        let root = match root {
+            Some(r) => r,
+            None => self.flush()?,
+        };
+        Ok(self.builder.build(root))
+    }
+
+    /// Lower one `__....` fragment of a `match(...)` step into the shared pattern.
+    fn lower_fragment(&mut self, steps: &[Step]) -> Result<(), ParseError> {
+        let mut current: Option<PatternVertexId> = None;
+        for step in steps {
+            match step.name.as_str() {
+                "as" => {
+                    let tag = self.arg_str(step, 0)?;
+                    match current {
+                        None => {
+                            // starting tag: reuse or create
+                            current = Some(match self.pattern.vertex_by_tag(&tag) {
+                                Some(v) => v,
+                                None => self.pattern.add_vertex_tagged(tag, TypeConstraint::all()),
+                            });
+                        }
+                        Some(v) => {
+                            // closing tag: rename or unify with an existing vertex
+                            if let Some(existing) = self.pattern.vertex_by_tag(&tag) {
+                                if existing != v {
+                                    // unify: redirect edges that touch `v` to `existing`
+                                    let edges: Vec<_> = self.pattern.adjacent_edges(v);
+                                    for eid in edges {
+                                        let e = self.pattern.edge_mut(eid);
+                                        if e.src == v {
+                                            e.src = existing;
+                                        }
+                                        if e.dst == v {
+                                            e.dst = existing;
+                                        }
+                                    }
+                                    let merged = self.pattern.clone();
+                                    // drop the now-isolated placeholder vertex
+                                    let keep: std::collections::BTreeSet<_> = merged
+                                        .vertex_ids()
+                                        .into_iter()
+                                        .filter(|x| *x != v)
+                                        .collect();
+                                    let edge_ids: std::collections::BTreeSet<_> =
+                                        merged.edge_ids().into_iter().collect();
+                                    self.pattern = merged.induced(&keep, &edge_ids);
+                                    current = Some(existing);
+                                } else {
+                                    current = Some(existing);
+                                }
+                            } else {
+                                self.pattern.vertex_mut(v).tag = Some(tag);
+                                current = Some(v);
+                            }
+                        }
+                    }
+                }
+                "out" | "in" | "both" => {
+                    let c = self.edge_labels(step)?;
+                    let v = current.ok_or_else(|| self.err("fragment must start with as()"))?;
+                    let tag = self.fresh();
+                    let nv = self.pattern.add_vertex_tagged(tag, TypeConstraint::all());
+                    if step.name == "in" {
+                        self.pattern.add_edge(nv, v, c);
+                    } else {
+                        self.pattern.add_edge(v, nv, c);
+                    }
+                    current = Some(nv);
+                }
+                "hasLabel" => {
+                    let c = self.vertex_labels(step)?;
+                    let v = current.ok_or_else(|| self.err("fragment must start with as()"))?;
+                    let pv = self.pattern.vertex_mut(v);
+                    pv.constraint = pv.constraint.intersect(&c);
+                }
+                "has" => {
+                    let v = current.ok_or_else(|| self.err("fragment must start with as()"))?;
+                    let prop = self.arg_str(step, 0)?;
+                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let tag = self
+                        .pattern
+                        .vertex(v)
+                        .tag
+                        .clone()
+                        .expect("fragment vertices are tagged");
+                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    let pv = self.pattern.vertex_mut(v);
+                    pv.predicate = Some(match pv.predicate.take() {
+                        None => pred,
+                        Some(p) => p.and(pred),
+                    });
+                }
+                other => return Err(self.err(format!("unsupported step '{other}' inside match()"))),
+            }
+        }
+        if let Some(v) = current {
+            self.current = Some(v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::logical::LogicalOp;
+    use gopt_graph::schema::fig6_schema;
+
+    fn schema() -> GraphSchema {
+        fig6_schema()
+    }
+
+    #[test]
+    fn parses_the_paper_fig3b_traversal() {
+        let q = "g.V().match(__.as('v1').out().as('v2'), __.as('v2').out().as('v3')) \
+                 .match(__.as('v1').out().as('v3')) \
+                 .select('v3').has('name', 'China').hasLabel('Place') \
+                 .groupCount().by('v2').order().by(values).limit(10)";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        // one pattern (fragments merged by tags), with 3 vertices and 3 edges
+        assert_eq!(plan.match_nodes().len(), 1);
+        let (_, p) = plan.match_nodes()[0];
+        assert_eq!(p.vertex_count(), 3, "{p}");
+        assert_eq!(p.edge_count(), 3);
+        // the has()/hasLabel() steps applied while still in the pattern phase, so the
+        // filter and the Place constraint live on v3 inside the pattern
+        let place = schema().vertex_label("Place").unwrap();
+        let v3 = p.vertex(p.vertex_by_tag("v3").unwrap());
+        assert!(v3.predicate.is_some());
+        assert_eq!(v3.constraint, TypeConstraint::basic(place));
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"GROUP"));
+        assert!(names.contains(&"ORDER"));
+        assert!(names.contains(&"LIMIT"));
+    }
+
+    #[test]
+    fn linear_traversal_builds_a_chain_pattern() {
+        let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b').out('LocatedIn').as('c').hasLabel('Place').count()";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        let (_, p) = plan.match_nodes()[0];
+        assert_eq!(p.vertex_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        let person = schema().vertex_label("Person").unwrap();
+        let place = schema().vertex_label("Place").unwrap();
+        assert_eq!(
+            p.vertex(p.vertex_by_tag("a").unwrap()).constraint,
+            TypeConstraint::basic(person)
+        );
+        assert_eq!(
+            p.vertex(p.vertex_by_tag("c").unwrap()).constraint,
+            TypeConstraint::basic(place)
+        );
+        assert!(matches!(plan.op(plan.root()), LogicalOp::Group { .. }));
+    }
+
+    #[test]
+    fn has_before_and_after_pattern_phase() {
+        // `has` during the pattern phase becomes a vertex predicate; after an
+        // aggregation it becomes a SELECT
+        let q = "g.V().hasLabel('Place').as('c').has('name', 'China') \
+                 .in('LocatedIn').as('p').groupCount().by('p').has('values', 2)";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        let (_, p) = plan.match_nodes()[0];
+        let c = p.vertex(p.vertex_by_tag("c").unwrap());
+        assert!(c.predicate.is_some());
+        // the in() step produced an edge p -> c
+        let e = p.edges().next().unwrap();
+        assert_eq!(p.vertex(e.dst).tag.as_deref(), Some("c"));
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"SELECT"));
+    }
+
+    #[test]
+    fn values_select_dedup_and_order_desc() {
+        let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b') \
+                 .select('b').values('name').dedup().order().by('b_name', desc).limit(3)";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"PROJECT"));
+        assert!(names.contains(&"DEDUP"));
+        let LogicalOp::Order { keys, .. } = plan
+            .topo_order()
+            .into_iter()
+            .find_map(|id| match plan.op(id) {
+                LogicalOp::Order { keys, limit } => Some(LogicalOp::Order {
+                    keys: keys.clone(),
+                    limit: *limit,
+                }),
+                _ => None,
+            })
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(keys[0].1, SortDir::Desc);
+    }
+
+    #[test]
+    fn multi_tag_select_projects() {
+        let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b').select('a', 'b').dedup()";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        assert!(names.contains(&"PROJECT"));
+    }
+
+    #[test]
+    fn bare_traversal_returns_the_pattern() {
+        let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b')";
+        let plan = parse_gremlin(q, &schema()).unwrap();
+        assert!(matches!(plan.op(plan.root()), LogicalOp::Match { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_traversals() {
+        let s = schema();
+        assert!(parse_gremlin("h.V().count()", &s).is_err());
+        assert!(parse_gremlin("g.V().hasLabel('Alien')", &s).is_err());
+        assert!(parse_gremlin("g.V().out('Flies')", &s).is_err());
+        assert!(parse_gremlin("g.V().teleport()", &s).is_err());
+        assert!(parse_gremlin("g.V().limit('x')", &s).is_err());
+        assert!(parse_gremlin("g.V().select('ghost').count()", &s).is_err());
+        assert!(parse_gremlin("g.V().count() trailing", &s).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! A small shared tokenizer used by both front-ends.
+
+use crate::error::ParseError;
+
+/// Token kinds shared by the Cypher and Gremlin grammars.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`MATCH`, `Person`, `v1`, `out`, ...).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single- or double-quoted string literal.
+    Str(String),
+    /// Any punctuation / operator symbol (`(`, `)`, `-`, `->`, `<=`, `..`, ...).
+    Sym(String),
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the input.
+    pub pos: usize,
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' || c == '@' {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            out.push(Spanned {
+                token: Token::Ident(input[i..j].to_string()),
+                pos: start,
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            while j < bytes.len() {
+                let cj = bytes[j] as char;
+                if cj.is_ascii_digit() {
+                    j += 1;
+                } else if cj == '.'
+                    && !is_float
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &input[i..j];
+            let token = if is_float {
+                Token::Float(text.parse().map_err(|_| ParseError::new("bad float", start))?)
+            } else {
+                Token::Int(text.parse().map_err(|_| ParseError::new("bad integer", start))?)
+            };
+            out.push(Spanned { token, pos: start });
+            i = j;
+        } else if c == '\'' || c == '"' {
+            let quote = c;
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] as char != quote {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(ParseError::new("unterminated string literal", start));
+            }
+            out.push(Spanned {
+                token: Token::Str(input[i + 1..j].to_string()),
+                pos: start,
+            });
+            i = j + 1;
+        } else {
+            // multi-character symbols first
+            let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+            let sym = match two {
+                "->" | "<-" | "<=" | ">=" | "<>" | ".." | "!=" => two.to_string(),
+                _ => c.to_string(),
+            };
+            i += sym.len();
+            out.push(Spanned {
+                token: Token::Sym(sym),
+                pos: start,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// A cursor over tokens with convenience accessors used by both parsers.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    tokens: Vec<Spanned>,
+    index: usize,
+}
+
+impl Cursor {
+    /// Create a cursor over the tokens of `input`.
+    pub fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Cursor {
+            tokens: tokenize(input)?,
+            index: 0,
+        })
+    }
+
+    /// Byte position of the current token (or end of input).
+    pub fn pos(&self) -> usize {
+        self.tokens.get(self.index).map_or(usize::MAX, |t| t.pos)
+    }
+
+    /// Whether all tokens have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.index >= self.tokens.len()
+    }
+
+    /// Peek at the current token.
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|t| &t.token)
+    }
+
+    /// Peek `n` tokens ahead.
+    pub fn peek_ahead(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.index + n).map(|t| &t.token)
+    }
+
+    /// Consume and return the current token.
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.index).map(|t| t.token.clone());
+        if t.is_some() {
+            self.index += 1;
+        }
+        t
+    }
+
+    /// Whether the current token is the given keyword (case-insensitive identifier).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword if present; returns whether it was consumed.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(kw) {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the current token is the given symbol.
+    pub fn is_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Token::Sym(s)) if s == sym)
+    }
+
+    /// Consume the given symbol if present; returns whether it was consumed.
+    pub fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.is_sym(sym) {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the given symbol or fail.
+    pub fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected '{sym}', found {:?}", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    /// Consume an identifier or fail.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other:?}"),
+                self.pos(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_cypher_fragments() {
+        let toks = tokenize("MATCH (a:Person)-[e:KNOWS*1..3]->(b) WHERE a.id >= 10.5").unwrap();
+        let kinds: Vec<String> = toks
+            .iter()
+            .map(|t| match &t.token {
+                Token::Ident(s) => format!("I:{s}"),
+                Token::Int(i) => format!("N:{i}"),
+                Token::Float(f) => format!("F:{f}"),
+                Token::Str(s) => format!("S:{s}"),
+                Token::Sym(s) => format!("Y:{s}"),
+            })
+            .collect();
+        assert!(kinds.contains(&"I:MATCH".to_string()));
+        assert!(kinds.contains(&"Y:->".to_string()));
+        assert!(kinds.contains(&"Y:..".to_string()));
+        assert!(kinds.contains(&"Y:>=".to_string()));
+        assert!(kinds.contains(&"F:10.5".to_string()));
+    }
+
+    #[test]
+    fn tokenizes_strings_and_detects_errors() {
+        let toks = tokenize("has('name', \"China\")").unwrap();
+        assert!(toks.iter().any(|t| t.token == Token::Str("name".into())));
+        assert!(toks.iter().any(|t| t.token == Token::Str("China".into())));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn cursor_navigation() {
+        let mut c = Cursor::new("MATCH (a) RETURN a").unwrap();
+        assert!(c.is_keyword("match"));
+        assert!(c.eat_keyword("MATCH"));
+        assert!(c.eat_sym("("));
+        assert_eq!(c.expect_ident().unwrap(), "a");
+        assert!(c.expect_sym(")").is_ok());
+        assert!(c.expect_sym("(").is_err());
+        assert!(c.eat_keyword("RETURN"));
+        assert_eq!(c.peek(), Some(&Token::Ident("a".into())));
+        assert_eq!(c.peek_ahead(1), None);
+        assert!(!c.at_end());
+        c.next();
+        assert!(c.at_end());
+        assert_eq!(c.next(), None);
+        assert_eq!(Token::Ident("x".into()).as_ident(), Some("x"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Synthetic transfer graph for the fraud-detection case study (Section 8.5).
+//!
+//! The production graph (3.6 B vertices) is replaced by a laptop-scale account/transfer
+//! graph that preserves what the experiment studies: long transfer chains between two
+//! small, differently-sized sets of suspicious accounts, with enough fan-out that
+//! single-direction expansion explodes while bidirectional search does not.
+
+use gopt_graph::{GraphBuilder, GraphSchema, PropType, PropValue, PropertyDef, PropertyGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic transfer graph.
+#[derive(Debug, Clone)]
+pub struct FraudConfig {
+    /// Number of account vertices.
+    pub accounts: usize,
+    /// Average number of outgoing transfers per account.
+    pub avg_transfers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FraudConfig {
+    fn default() -> Self {
+        FraudConfig {
+            accounts: 2_000,
+            avg_transfers: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// The Account/Transfer schema.
+pub fn fraud_schema() -> GraphSchema {
+    let mut s = GraphSchema::new();
+    let account = s
+        .add_vertex_label(
+            "Account",
+            vec![
+                PropertyDef::new("id", PropType::Int),
+                PropertyDef::new("balance", PropType::Int),
+            ],
+        )
+        .unwrap();
+    s.add_edge_label(
+        "Transfer",
+        vec![(account, account)],
+        vec![PropertyDef::new("amount", PropType::Int)],
+    )
+    .unwrap();
+    s
+}
+
+/// Generate the transfer graph.
+pub fn generate_fraud_graph(config: &FraudConfig) -> PropertyGraph {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new(fraud_schema());
+    let n = config.accounts.max(16);
+    let mut accounts = Vec::with_capacity(n);
+    for i in 0..n {
+        accounts.push(
+            b.add_vertex_by_name(
+                "Account",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("balance", PropValue::Int(rng.gen_range(0..1_000_000))),
+                ],
+            )
+            .expect("account"),
+        );
+    }
+    // transfers: mostly local (id-close) with a few long-range hops and hub "mule"
+    // accounts that receive many transfers
+    let hubs: Vec<usize> = (0..(n / 50).max(2)).map(|_| rng.gen_range(0..n)).collect();
+    for (i, a) in accounts.iter().enumerate() {
+        let k = 1 + rng.gen_range(0..config.avg_transfers * 2);
+        for _ in 0..k {
+            let to = if rng.gen_bool(0.2) {
+                hubs[rng.gen_range(0..hubs.len())]
+            } else if rng.gen_bool(0.7) {
+                (i + rng.gen_range(1..20)) % n
+            } else {
+                rng.gen_range(0..n)
+            };
+            if to != i {
+                b.add_edge_by_name(
+                    "Transfer",
+                    *a,
+                    accounts[to],
+                    vec![("amount", PropValue::Int(rng.gen_range(1..10_000)))],
+                )
+                .expect("transfer");
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraud_graph_has_accounts_and_transfers() {
+        let g = generate_fraud_graph(&FraudConfig {
+            accounts: 300,
+            avg_transfers: 3,
+            seed: 1,
+        });
+        let account = g.schema().vertex_label("Account").unwrap();
+        let transfer = g.schema().edge_label("Transfer").unwrap();
+        assert_eq!(g.vertex_count_by_label(account), 300);
+        assert!(g.edge_count_by_label(transfer) > 300);
+        // hub accounts exist (skewed in-degree)
+        let max_in = g.vertex_ids().map(|v| g.in_degree(v)).max().unwrap();
+        assert!(max_in > 10, "expected hub accounts, max in-degree {max_in}");
+        // default config is larger
+        assert!(FraudConfig::default().accounts >= 1000);
+    }
+}

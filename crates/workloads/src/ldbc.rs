@@ -1,0 +1,497 @@
+//! LDBC-SNB-like schema and synthetic social-network generator.
+//!
+//! The generator preserves the properties that matter to the optimizer experiments:
+//! the LDBC type structure (so type inference has real work to do), heavy-tailed degree
+//! distributions (preferential attachment for `Knows`, `Likes` and `HasMember`), and
+//! correlations between relationships (friends tend to live in the same place, replies
+//! attach to popular posts) that only high-order statistics can capture.
+
+use gopt_graph::{GraphBuilder, GraphSchema, LabelId, PropType, PropValue, PropertyDef, PropertyGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale factor of the generated social network (the analogue of Table 3's SF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdbcScale {
+    /// Number of Person vertices; all other entity counts are derived from it.
+    pub persons: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LdbcScale {
+    /// A tiny graph for unit tests (~hundreds of elements).
+    pub fn tiny() -> Self {
+        LdbcScale {
+            persons: 60,
+            seed: 1,
+        }
+    }
+
+    /// The default benchmark scale (analogue of G30).
+    pub fn small() -> Self {
+        LdbcScale {
+            persons: 300,
+            seed: 30,
+        }
+    }
+
+    /// A medium scale (analogue of G100).
+    pub fn medium() -> Self {
+        LdbcScale {
+            persons: 1_000,
+            seed: 100,
+        }
+    }
+
+    /// A large scale (analogue of G300).
+    pub fn large(persons: usize) -> Self {
+        LdbcScale { persons, seed: 300 }
+    }
+}
+
+/// Build the LDBC-SNB-like schema.
+pub fn ldbc_schema() -> GraphSchema {
+    let mut s = GraphSchema::new();
+    let props = |names: &[(&str, PropType)]| {
+        names
+            .iter()
+            .map(|(n, t)| PropertyDef::new(*n, *t))
+            .collect::<Vec<_>>()
+    };
+    let person = s
+        .add_vertex_label(
+            "Person",
+            props(&[
+                ("id", PropType::Int),
+                ("firstName", PropType::Str),
+                ("lastName", PropType::Str),
+                ("birthday", PropType::Int),
+                ("creationDate", PropType::Int),
+            ]),
+        )
+        .unwrap();
+    let forum = s
+        .add_vertex_label(
+            "Forum",
+            props(&[("id", PropType::Int), ("title", PropType::Str), ("creationDate", PropType::Int)]),
+        )
+        .unwrap();
+    let post = s
+        .add_vertex_label(
+            "Post",
+            props(&[("id", PropType::Int), ("content", PropType::Str), ("creationDate", PropType::Int), ("length", PropType::Int)]),
+        )
+        .unwrap();
+    let comment = s
+        .add_vertex_label(
+            "Comment",
+            props(&[("id", PropType::Int), ("content", PropType::Str), ("creationDate", PropType::Int), ("length", PropType::Int)]),
+        )
+        .unwrap();
+    let place = s
+        .add_vertex_label(
+            "Place",
+            props(&[("id", PropType::Int), ("name", PropType::Str)]),
+        )
+        .unwrap();
+    let tag = s
+        .add_vertex_label(
+            "Tag",
+            props(&[("id", PropType::Int), ("name", PropType::Str)]),
+        )
+        .unwrap();
+    let organisation = s
+        .add_vertex_label(
+            "Organisation",
+            props(&[("id", PropType::Int), ("name", PropType::Str)]),
+        )
+        .unwrap();
+    s.add_edge_label("Knows", vec![(person, person)], props(&[("creationDate", PropType::Int)]))
+        .unwrap();
+    s.add_edge_label(
+        "HasCreator",
+        vec![(post, person), (comment, person)],
+        vec![],
+    )
+    .unwrap();
+    s.add_edge_label("Likes", vec![(person, post), (person, comment)], props(&[("creationDate", PropType::Int)]))
+        .unwrap();
+    s.add_edge_label("HasMember", vec![(forum, person)], props(&[("joinDate", PropType::Int)]))
+        .unwrap();
+    s.add_edge_label("ContainerOf", vec![(forum, post)], vec![])
+        .unwrap();
+    s.add_edge_label("ReplyOf", vec![(comment, post), (comment, comment)], vec![])
+        .unwrap();
+    s.add_edge_label(
+        "IsLocatedIn",
+        vec![(person, place), (post, place), (comment, place), (organisation, place)],
+        vec![],
+    )
+    .unwrap();
+    s.add_edge_label(
+        "HasTag",
+        vec![(post, tag), (comment, tag), (forum, tag)],
+        vec![],
+    )
+    .unwrap();
+    s.add_edge_label("HasInterest", vec![(person, tag)], vec![])
+        .unwrap();
+    s.add_edge_label("WorkAt", vec![(person, organisation)], props(&[("workFrom", PropType::Int)]))
+        .unwrap();
+    s.add_edge_label("StudyAt", vec![(person, organisation)], props(&[("classYear", PropType::Int)]))
+        .unwrap();
+    s
+}
+
+/// Preferential-attachment target selection: recently referenced vertices are more likely
+/// to be picked again, producing a heavy-tailed in-degree distribution.
+struct Preferential {
+    pool: Vec<VertexId>,
+}
+
+impl Preferential {
+    fn new(initial: &[VertexId]) -> Self {
+        Preferential {
+            pool: initial.to_vec(),
+        }
+    }
+    fn pick(&mut self, rng: &mut SmallRng, universe: &[VertexId]) -> VertexId {
+        // 60%: preferential (re-pick from pool); 40%: uniform
+        let v = if !self.pool.is_empty() && rng.gen_bool(0.6) {
+            self.pool[rng.gen_range(0..self.pool.len())]
+        } else {
+            universe[rng.gen_range(0..universe.len())]
+        };
+        self.pool.push(v);
+        if self.pool.len() > 4 * universe.len().max(16) {
+            self.pool.drain(0..self.pool.len() / 2);
+        }
+        v
+    }
+}
+
+/// Generate an LDBC-SNB-like property graph at the given scale.
+pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
+    let schema = ldbc_schema();
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let mut b = GraphBuilder::new(schema);
+
+    let n_person = scale.persons.max(10);
+    let n_forum = n_person / 3 + 1;
+    let n_post = n_person * 4;
+    let n_comment = n_person * 6;
+    let n_place = (n_person / 20).clamp(5, 200);
+    let n_tag = (n_person / 10).clamp(5, 500);
+    let n_org = (n_person / 10).clamp(3, 300);
+
+    let first_names = ["Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi"];
+    let place_names = ["China", "India", "Germany", "Chile", "Kenya", "Japan", "Brazil", "Spain"];
+
+    let mut persons = Vec::with_capacity(n_person);
+    for i in 0..n_person {
+        persons.push(
+            b.add_vertex_by_name(
+                "Person",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("firstName", PropValue::str(first_names[i % first_names.len()])),
+                    ("lastName", PropValue::str(format!("Last{}", i % 97))),
+                    ("birthday", PropValue::Int(7000 + (i as i64 * 37) % 15000)),
+                    ("creationDate", PropValue::Int(10_000 + (i as i64 * 13) % 5000)),
+                ],
+            )
+            .expect("schema-conforming person"),
+        );
+    }
+    let mut forums = Vec::with_capacity(n_forum);
+    for i in 0..n_forum {
+        forums.push(
+            b.add_vertex_by_name(
+                "Forum",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("title", PropValue::str(format!("Forum {i}"))),
+                    ("creationDate", PropValue::Int(10_000 + (i as i64 * 7) % 5000)),
+                ],
+            )
+            .expect("forum"),
+        );
+    }
+    let mut posts = Vec::with_capacity(n_post);
+    for i in 0..n_post {
+        posts.push(
+            b.add_vertex_by_name(
+                "Post",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("content", PropValue::str(format!("post {i}"))),
+                    ("creationDate", PropValue::Int(11_000 + (i as i64 * 3) % 6000)),
+                    ("length", PropValue::Int((i as i64 * 17) % 240)),
+                ],
+            )
+            .expect("post"),
+        );
+    }
+    let mut comments = Vec::with_capacity(n_comment);
+    for i in 0..n_comment {
+        comments.push(
+            b.add_vertex_by_name(
+                "Comment",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("content", PropValue::str(format!("comment {i}"))),
+                    ("creationDate", PropValue::Int(12_000 + (i as i64 * 5) % 6000)),
+                    ("length", PropValue::Int((i as i64 * 11) % 200)),
+                ],
+            )
+            .expect("comment"),
+        );
+    }
+    let mut places = Vec::with_capacity(n_place);
+    for i in 0..n_place {
+        places.push(
+            b.add_vertex_by_name(
+                "Place",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    (
+                        "name",
+                        PropValue::str(if i < place_names.len() {
+                            place_names[i].to_string()
+                        } else {
+                            format!("Place {i}")
+                        }),
+                    ),
+                ],
+            )
+            .expect("place"),
+        );
+    }
+    let mut tags = Vec::with_capacity(n_tag);
+    for i in 0..n_tag {
+        tags.push(
+            b.add_vertex_by_name(
+                "Tag",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("name", PropValue::str(format!("Tag{i}"))),
+                ],
+            )
+            .expect("tag"),
+        );
+    }
+    let mut orgs = Vec::with_capacity(n_org);
+    for i in 0..n_org {
+        orgs.push(
+            b.add_vertex_by_name(
+                "Organisation",
+                vec![
+                    ("id", PropValue::Int(i as i64)),
+                    ("name", PropValue::str(format!("Org{i}"))),
+                ],
+            )
+            .expect("org"),
+        );
+    }
+
+    // Person locations: correlated — persons with close ids share a place.
+    let person_place: Vec<VertexId> = persons
+        .iter()
+        .enumerate()
+        .map(|(i, _)| places[(i / 10) % n_place])
+        .collect();
+    for (i, p) in persons.iter().enumerate() {
+        b.add_edge_by_name("IsLocatedIn", *p, person_place[i], vec![]).expect("located");
+    }
+
+    // Knows: preferential attachment, biased towards persons in the same place.
+    let avg_friends = 6;
+    let mut pref = Preferential::new(&persons[..persons.len().min(8)]);
+    for (i, p) in persons.iter().enumerate() {
+        let friends = 1 + rng.gen_range(0..avg_friends * 2);
+        for _ in 0..friends {
+            let q = if rng.gen_bool(0.5) {
+                // same-place friend
+                let base = (i / 10) * 10;
+                let idx = base + rng.gen_range(0..10usize.min(n_person - base));
+                persons[idx.min(n_person - 1)]
+            } else {
+                pref.pick(&mut rng, &persons)
+            };
+            if q != *p {
+                b.add_edge_by_name(
+                    "Knows",
+                    *p,
+                    q,
+                    vec![("creationDate", PropValue::Int(rng.gen_range(10_000..16_000)))],
+                )
+                .expect("knows");
+            }
+        }
+    }
+
+    // Forums: members and contained posts.
+    for (i, f) in forums.iter().enumerate() {
+        let members = 3 + rng.gen_range(0..12);
+        for _ in 0..members {
+            let p = persons[rng.gen_range(0..n_person)];
+            b.add_edge_by_name(
+                "HasMember",
+                *f,
+                p,
+                vec![("joinDate", PropValue::Int(rng.gen_range(10_000..16_000)))],
+            )
+            .expect("member");
+        }
+        b.add_edge_by_name("HasTag", *f, tags[i % n_tag], vec![]).expect("forum tag");
+    }
+    for (i, post) in posts.iter().enumerate() {
+        let creator = persons[rng.gen_range(0..n_person)];
+        b.add_edge_by_name("HasCreator", *post, creator, vec![]).expect("creator");
+        b.add_edge_by_name("ContainerOf", forums[i % n_forum], *post, vec![]).expect("container");
+        b.add_edge_by_name("IsLocatedIn", *post, places[rng.gen_range(0..n_place)], vec![])
+            .expect("post place");
+        b.add_edge_by_name("HasTag", *post, tags[rng.gen_range(0..n_tag)], vec![]).expect("post tag");
+    }
+    let mut post_pref = Preferential::new(&posts[..posts.len().min(16)]);
+    for comment in &comments {
+        let creator = persons[rng.gen_range(0..n_person)];
+        b.add_edge_by_name("HasCreator", *comment, creator, vec![]).expect("creator");
+        // replies attach preferentially to popular posts
+        let parent = post_pref.pick(&mut rng, &posts);
+        b.add_edge_by_name("ReplyOf", *comment, parent, vec![]).expect("reply");
+        b.add_edge_by_name("IsLocatedIn", *comment, places[rng.gen_range(0..n_place)], vec![])
+            .expect("comment place");
+        if rng.gen_bool(0.5) {
+            b.add_edge_by_name("HasTag", *comment, tags[rng.gen_range(0..n_tag)], vec![])
+                .expect("comment tag");
+        }
+    }
+    // Likes: persons like popular posts/comments.
+    let mut like_pref = Preferential::new(&posts[..posts.len().min(16)]);
+    for p in &persons {
+        let likes = rng.gen_range(0..8);
+        for _ in 0..likes {
+            let target = if rng.gen_bool(0.7) {
+                like_pref.pick(&mut rng, &posts)
+            } else {
+                comments[rng.gen_range(0..n_comment)]
+            };
+            b.add_edge_by_name(
+                "Likes",
+                *p,
+                target,
+                vec![("creationDate", PropValue::Int(rng.gen_range(12_000..16_000)))],
+            )
+            .expect("likes");
+        }
+    }
+    // interests, work, study
+    for (i, p) in persons.iter().enumerate() {
+        b.add_edge_by_name("HasInterest", *p, tags[(i * 7) % n_tag], vec![]).expect("interest");
+        if i % 2 == 0 {
+            b.add_edge_by_name(
+                "WorkAt",
+                *p,
+                orgs[(i * 3) % n_org],
+                vec![("workFrom", PropValue::Int(2000 + (i as i64 % 20)))],
+            )
+            .expect("work");
+        }
+        if i % 3 == 0 {
+            b.add_edge_by_name(
+                "StudyAt",
+                *p,
+                orgs[(i * 5) % n_org],
+                vec![("classYear", PropValue::Int(2005 + (i as i64 % 15)))],
+            )
+            .expect("study");
+        }
+        b.add_edge_by_name("IsLocatedIn", orgs[i % n_org], places[i % n_place], vec![])
+            .ok();
+    }
+    b.finish()
+}
+
+/// Look up a label id in the LDBC schema by name (panics on unknown names; test helper).
+pub fn label(schema: &GraphSchema, name: &str) -> LabelId {
+    schema
+        .vertex_label(name)
+        .or_else(|| schema.edge_label(name))
+        .unwrap_or_else(|| panic!("unknown label {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_declares_the_core_ldbc_types() {
+        let s = ldbc_schema();
+        for v in ["Person", "Forum", "Post", "Comment", "Place", "Tag", "Organisation"] {
+            assert!(s.vertex_label(v).is_some(), "missing vertex label {v}");
+        }
+        for e in [
+            "Knows",
+            "HasCreator",
+            "Likes",
+            "HasMember",
+            "ContainerOf",
+            "ReplyOf",
+            "IsLocatedIn",
+            "HasTag",
+            "HasInterest",
+            "WorkAt",
+            "StudyAt",
+        ] {
+            assert!(s.edge_label(e).is_some(), "missing edge label {e}");
+        }
+        // connectivity used by type inference: only Person and Product-like types reach Place
+        let place = s.vertex_label("Place").unwrap();
+        assert!(!s.has_out_edges(place));
+        assert!(s.in_vertex_neighbors(place).len() >= 3);
+    }
+
+    #[test]
+    fn generator_produces_a_schema_conforming_skewed_graph() {
+        let g = generate_ldbc_graph(&LdbcScale::tiny());
+        assert!(g.vertex_count() > 500);
+        assert!(g.edge_count() > 1000);
+        for e in g.edge_ids() {
+            let (s, d) = g.edge_endpoints(e);
+            assert!(g
+                .schema()
+                .can_connect(g.vertex_label(s), g.edge_label(e), g.vertex_label(d)));
+        }
+        // degree skew: the max Likes in-degree is much larger than the average
+        let post = g.schema().vertex_label("Post").unwrap();
+        let likes = g.schema().edge_label("Likes").unwrap();
+        let (mut max_in, mut sum_in, mut n) = (0usize, 0usize, 0usize);
+        for &v in g.vertices_with_label(post) {
+            let d = g.in_edges_with_label(v, likes).len();
+            max_in = max_in.max(d);
+            sum_in += d;
+            n += 1;
+        }
+        let avg = sum_in as f64 / n as f64;
+        assert!(max_in as f64 > 3.0 * avg, "expected skew: max {max_in}, avg {avg:.2}");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = generate_ldbc_graph(&LdbcScale::tiny());
+        let small = generate_ldbc_graph(&LdbcScale {
+            persons: 120,
+            seed: 1,
+        });
+        assert!(small.vertex_count() > tiny.vertex_count());
+        assert!(small.edge_count() > tiny.edge_count());
+        assert_eq!(LdbcScale::small().persons, 300);
+        assert_eq!(LdbcScale::medium().persons, 1000);
+        assert_eq!(LdbcScale::large(5000).persons, 5000);
+        let s = ldbc_schema();
+        assert_eq!(label(&s, "Person"), s.vertex_label("Person").unwrap());
+        assert_eq!(label(&s, "Knows"), s.edge_label("Knows").unwrap());
+    }
+}

@@ -1,0 +1,222 @@
+//! The benchmark query sets.
+//!
+//! All queries are expressed in the Cypher subset understood by `gopt-parser` against the
+//! LDBC-like schema of [`crate::ldbc`] (or the Account/Transfer schema for the ST set).
+//! They are simplified but structurally faithful versions of the paper's workloads: the
+//! pattern shapes (multi-hop expansions, cyclic sub-patterns, unions), the presence or
+//! absence of type constraints, and the relational tails (filters, aggregation, ordering,
+//! limits) match what each experiment needs to exercise.
+
+/// A named query.
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Short name used in benchmark output (e.g. `IC5`, `QR2`, `QC3b`).
+    pub name: String,
+    /// Query text (Cypher unless stated otherwise).
+    pub text: String,
+}
+
+fn q(name: &str, text: &str) -> NamedQuery {
+    NamedQuery {
+        name: name.to_string(),
+        text: text.to_string(),
+    }
+}
+
+/// LDBC Interactive-style queries IC1–IC12 (simplified CGPs).
+pub fn ic_queries() -> Vec<NamedQuery> {
+    vec![
+        q("IC1", "MATCH (p:Person)-[:Knows]->(f:Person) WHERE p.id = 10 RETURN f.firstName AS name, f.id AS id ORDER BY name LIMIT 20"),
+        q("IC2", "MATCH (p:Person)-[:Knows]->(f:Person), (m:Post)-[:HasCreator]->(f) WHERE p.id = 10 AND m.creationDate < 16000 RETURN f.id AS friend, m.id AS msg, m.creationDate AS date ORDER BY date DESC LIMIT 20"),
+        q("IC3", "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) WHERE p.id = 12 AND c.name = 'China' RETURN f.id AS friend, count(*) AS cnt ORDER BY cnt DESC LIMIT 20"),
+        q("IC4", "MATCH (p:Person)-[:Knows]->(f:Person), (post:Post)-[:HasCreator]->(f), (post)-[:HasTag]->(t:Tag) WHERE p.id = 14 RETURN t.name AS tag, count(*) AS postCount ORDER BY postCount DESC LIMIT 10"),
+        q("IC5", "MATCH (p:Person)-[:Knows]->(f:Person), (fo:Forum)-[:HasMember]->(f), (fo)-[:ContainerOf]->(post:Post), (post)-[:HasCreator]->(f) WHERE p.id = 16 RETURN fo.title AS forum, count(post) AS posts ORDER BY posts DESC LIMIT 20"),
+        q("IC6", "MATCH (p:Person)-[:Knows]->(f:Person)-[:Knows]->(fof:Person), (post:Post)-[:HasCreator]->(fof), (post)-[:HasTag]->(t:Tag) WHERE p.id = 18 RETURN t.name AS tag, count(post) AS cnt ORDER BY cnt DESC LIMIT 10"),
+        q("IC7", "MATCH (p:Person)-[:Knows]->(f:Person), (liker:Person)-[:Likes]->(m:Post), (m)-[:HasCreator]->(p) WHERE p.id = 20 RETURN liker.id AS liker, count(m) AS likes ORDER BY likes DESC LIMIT 20"),
+        q("IC8", "MATCH (c:Comment)-[:ReplyOf]->(m:Post), (m)-[:HasCreator]->(p:Person), (c)-[:HasCreator]->(author:Person) WHERE p.id = 22 RETURN author.id AS author, c.creationDate AS date ORDER BY date DESC LIMIT 20"),
+        q("IC9", "MATCH (p:Person)-[:Knows]->(f:Person)-[:Knows]->(fof:Person), (m:Comment)-[:HasCreator]->(fof) WHERE p.id = 24 AND m.creationDate < 17000 RETURN fof.id AS person, count(m) AS msgs ORDER BY msgs DESC LIMIT 20"),
+        q("IC10", "MATCH (p:Person)-[:Knows]->(f:Person)-[:Knows]->(fof:Person), (fof)-[:IsLocatedIn]->(c:Place), (fof)-[:HasInterest]->(t:Tag) WHERE p.id = 26 RETURN fof.id AS candidate, count(t) AS commonInterests ORDER BY commonInterests DESC LIMIT 10"),
+        q("IC11", "MATCH (p:Person)-[:Knows]->(f:Person)-[:WorkAt]->(o:Organisation), (o)-[:IsLocatedIn]->(c:Place) WHERE p.id = 28 AND c.name = 'Germany' RETURN f.id AS friend, o.name AS org ORDER BY friend LIMIT 10"),
+        q("IC12", "MATCH (p:Person)-[:Knows]->(f:Person), (c:Comment)-[:HasCreator]->(f), (c)-[:ReplyOf]->(post:Post), (post)-[:HasTag]->(t:Tag) WHERE p.id = 30 RETURN f.id AS expert, count(c) AS replies ORDER BY replies DESC LIMIT 20"),
+    ]
+}
+
+/// LDBC Business-Intelligence-style queries (BI1–BI14, BI16–BI18, simplified CGPs).
+pub fn bi_queries() -> Vec<NamedQuery> {
+    vec![
+        q("BI1", "MATCH (m:Post)-[:HasCreator]->(p:Person) WHERE m.creationDate > 12000 RETURN p.id AS person, count(m) AS msgs ORDER BY msgs DESC LIMIT 20"),
+        q("BI2", "MATCH (m:Post)-[:HasTag]->(t:Tag) WHERE m.creationDate > 12000 RETURN t.name AS tag, count(m) AS cnt ORDER BY cnt DESC LIMIT 20"),
+        q("BI3", "MATCH (fo:Forum)-[:HasMember]->(p:Person)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'India' RETURN fo.title AS forum, count(p) AS members ORDER BY members DESC LIMIT 20"),
+        q("BI4", "MATCH (fo:Forum)-[:ContainerOf]->(m:Post)-[:HasCreator]->(p:Person) RETURN p.id AS person, count(m) AS posts ORDER BY posts DESC LIMIT 20"),
+        q("BI5", "MATCH (t:Tag)<-[:HasTag]-(m:Post)-[:HasCreator]->(p:Person) WHERE t.name = 'Tag1' RETURN p.id AS person, count(m) AS cnt ORDER BY cnt DESC LIMIT 20"),
+        q("BI6", "MATCH (m:Post)-[:HasTag]->(t:Tag), (liker:Person)-[:Likes]->(m) WHERE t.name = 'Tag2' RETURN m.id AS msg, count(liker) AS score ORDER BY score DESC LIMIT 20"),
+        q("BI7", "MATCH (m:Post)-[:HasTag]->(t:Tag), (c:Comment)-[:ReplyOf]->(m), (c)-[:HasTag]->(rt:Tag) WHERE t.name = 'Tag3' RETURN rt.name AS related, count(c) AS cnt ORDER BY cnt DESC LIMIT 20"),
+        q("BI8", "MATCH (p:Person)-[:HasInterest]->(t:Tag), (m:Post)-[:HasTag]->(t) RETURN t.name AS tag, count(*) AS score ORDER BY score DESC LIMIT 20"),
+        q("BI9", "MATCH (fo:Forum)-[:ContainerOf]->(m:Post), (c:Comment)-[:ReplyOf]->(m) RETURN fo.title AS forum, count(c) AS threads ORDER BY threads DESC LIMIT 20"),
+        q("BI10", "MATCH (p:Person)-[:HasInterest]->(t:Tag), (p)-[:Knows]->(f:Person)-[:HasInterest]->(t) RETURN t.name AS tag, count(*) AS pairs ORDER BY pairs DESC LIMIT 20"),
+        q("BI11", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Knows]->(c:Person), (a)-[:Knows]->(c), (a)-[:IsLocatedIn]->(pl:Place) WHERE pl.name = 'China' RETURN count(*) AS triangles"),
+        q("BI12", "MATCH (m:Post)-[:HasCreator]->(p:Person), (c:Comment)-[:ReplyOf]->(m) WHERE m.length > 100 RETURN p.id AS person, count(c) AS replies ORDER BY replies DESC LIMIT 20"),
+        q("BI13", "MATCH (c:Place)<-[:IsLocatedIn]-(p:Person), (m:Comment)-[:HasCreator]->(p) WHERE c.name = 'Japan' RETURN p.id AS zombie, count(m) AS msgs ORDER BY msgs ASC LIMIT 20"),
+        q("BI14", "MATCH (a:Person)-[:IsLocatedIn]->(c1:Place), (b:Person)-[:IsLocatedIn]->(c2:Place), (a)-[:Knows]->(b) WHERE c1.name = 'China' AND c2.name = 'India' RETURN a.id AS a, b.id AS b, count(*) AS score ORDER BY score DESC LIMIT 20"),
+        q("BI16", "MATCH (p:Person)-[:HasInterest]->(t:Tag), (m:Comment)-[:HasCreator]->(p) WHERE t.name = 'Tag4' RETURN p.id AS person, count(m) AS msgs ORDER BY msgs DESC LIMIT 20"),
+        q("BI17", "MATCH (a:Person)-[:Knows]->(b:Person), (a)-[:Knows]->(c:Person), (b)-[:Knows]->(c), (m:Post)-[:HasCreator]->(a) RETURN a.id AS person, count(m) AS msgs ORDER BY msgs DESC LIMIT 20"),
+        q("BI18", "MATCH (p1:Person)-[:Knows]->(p2:Person)-[:Knows]->(p3:Person), (m:Comment)-[:HasCreator]->(p3), (p1)-[:HasInterest]->(t:Tag) WHERE t.name = 'Tag5' RETURN p3.id AS person, count(m) AS msgs ORDER BY msgs DESC LIMIT 20"),
+    ]
+}
+
+/// Heuristic-rule probes QR1–QR8 (Fig. 8(a)).
+///
+/// QR1/QR2 exercise `FilterIntoPattern`, QR3/QR4 `FieldTrim`, QR5/QR6 `JoinToPattern`
+/// (two MATCH clauses), QR7/QR8 `ComSubPattern` (UNION with a common sub-pattern).
+pub fn qr_queries() -> Vec<NamedQuery> {
+    vec![
+        q("QR1", "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'China' RETURN count(*) AS cnt"),
+        q("QR2", "MATCH (m:Post)-[:HasCreator]->(p:Person)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'Chile' AND m.length > 200 RETURN count(*) AS cnt"),
+        q("QR3", "MATCH (p:Person)-[:Knows]->(f:Person), (m:Post)-[:HasCreator]->(f), (m)-[:HasTag]->(t:Tag) RETURN count(*) AS cnt"),
+        q("QR4", "MATCH (fo:Forum)-[:HasMember]->(p:Person)-[:Knows]->(f:Person) RETURN fo.title AS forum, count(*) AS cnt ORDER BY cnt DESC LIMIT 10"),
+        q("QR5", "MATCH (p:Person)-[:Knows]->(f:Person) MATCH (f)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'Kenya' RETURN count(*) AS cnt"),
+        q("QR6", "MATCH (m:Post)-[:HasCreator]->(p:Person) MATCH (p)-[:Knows]->(f:Person) MATCH (f)-[:IsLocatedIn]->(c:Place) RETURN count(*) AS cnt"),
+        q("QR7", "MATCH (p:Person)-[:Knows]->(f:Person)-[:WorkAt]->(o:Organisation) RETURN p.id AS id UNION ALL MATCH (p:Person)-[:Knows]->(f:Person)-[:StudyAt]->(o:Organisation) RETURN p.id AS id"),
+        q("QR8", "MATCH (p:Person)-[:Knows]->(f:Person)-[:Likes]->(m:Post) RETURN f.id AS id UNION ALL MATCH (p:Person)-[:Knows]->(f:Person)-[:HasInterest]->(t:Tag) RETURN f.id AS id"),
+    ]
+}
+
+/// Type-inference probes QT1–QT5 (Fig. 8(b)): patterns without explicit vertex types.
+pub fn qt_queries() -> Vec<NamedQuery> {
+    vec![
+        q("QT1", "MATCH (a)-[:HasCreator]->(b), (a)-[:ReplyOf]->(c) RETURN count(*) AS cnt"),
+        q("QT2", "MATCH (a)-[:HasMember]->(b)-[:Knows]->(c), (c)-[:IsLocatedIn]->(d) WHERE d.name = 'China' RETURN count(*) AS cnt"),
+        q("QT3", "MATCH (a)-[:ContainerOf]->(b)-[:HasTag]->(c) RETURN count(*) AS cnt"),
+        q("QT4", "MATCH (a)-[:Knows]->(b)-[:WorkAt]->(c), (c)-[:IsLocatedIn]->(d) RETURN count(*) AS cnt"),
+        q("QT5", "MATCH (a)-[:Likes]->(b)-[:HasCreator]->(c), (b)-[:HasTag]->(d) RETURN count(*) AS cnt"),
+    ]
+}
+
+/// CBO probes QC1–QC4 (Fig. 8(c)/(d)): triangle, square, 5-path, and a complex pattern
+/// with 7 vertices and 8 edges. Variant `a` uses BasicTypes, variant `b` UnionTypes.
+pub fn qc_queries() -> Vec<NamedQuery> {
+    vec![
+        q("QC1a", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Knows]->(c:Person), (a)-[:Knows]->(c) RETURN count(*) AS cnt"),
+        q("QC1b", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Likes]->(m:Post|Comment), (a)-[:Likes]->(m) RETURN count(*) AS cnt"),
+        q("QC2a", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Knows]->(c:Person), (c)-[:Knows]->(d:Person), (a)-[:Knows]->(d) RETURN count(*) AS cnt"),
+        q("QC2b", "MATCH (a:Person)-[:Likes]->(m:Post|Comment), (m)-[:HasCreator]->(b:Person), (b)-[:Knows]->(c:Person), (a)-[:Knows]->(c) RETURN count(*) AS cnt"),
+        q("QC3a", "MATCH (a:Person)-[:Knows]->(b:Person)-[:Knows]->(c:Person)-[:Knows]->(d:Person)-[:IsLocatedIn]->(e:Place) WHERE e.name = 'Brazil' RETURN count(*) AS cnt"),
+        q("QC3b", "MATCH (a:Person)-[:Likes]->(m:Post|Comment)-[:HasCreator]->(b:Person)-[:Knows]->(c:Person)-[:IsLocatedIn]->(e:Place) RETURN count(*) AS cnt"),
+        q("QC4a", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Knows]->(c:Person), (a)-[:Knows]->(c), (m:Post)-[:HasCreator]->(a), (m)-[:HasTag]->(t:Tag), (cm:Comment)-[:ReplyOf]->(m), (cm)-[:HasCreator]->(b), (b)-[:IsLocatedIn]->(pl:Place) RETURN count(*) AS cnt"),
+        q("QC4b", "MATCH (a:Person)-[:Knows]->(b:Person), (b)-[:Knows]->(c:Person), (a)-[:Knows]->(c), (m:Post|Comment)-[:HasCreator]->(a), (m)-[:HasTag]->(t:Tag), (x:Post|Comment)-[:ReplyOf]->(m), (x)-[:HasCreator]->(b), (b)-[:IsLocatedIn]->(pl:Place) RETURN count(*) AS cnt"),
+    ]
+}
+
+/// Gremlin versions of the QR1–QR6 and QC1–QC4(a) queries (Fig. 8(e)).
+pub fn qr_gremlin_queries() -> Vec<NamedQuery> {
+    vec![
+        q("QR1", "g.V().hasLabel('Person').as('p').out('Knows').as('f').out('IsLocatedIn').as('c').hasLabel('Place').has('name', 'China').count()"),
+        q("QR2", "g.V().hasLabel('Post').as('m').has('length', 210).out('HasCreator').as('p').out('IsLocatedIn').as('c').has('name', 'Chile').count()"),
+        q("QR3", "g.V().hasLabel('Person').as('p').out('Knows').as('f').in('HasCreator').as('m').hasLabel('Post').out('HasTag').as('t').count()"),
+        q("QR4", "g.V().hasLabel('Forum').as('fo').out('HasMember').as('p').out('Knows').as('f').groupCount().by('fo').order().by(values, desc).limit(10)"),
+        q("QR5", "g.V().hasLabel('Person').as('p').out('Knows').as('f').out('IsLocatedIn').as('c').has('name', 'Kenya').count()"),
+        q("QR6", "g.V().hasLabel('Post').as('m').out('HasCreator').as('p').out('Knows').as('f').out('IsLocatedIn').as('c').count()"),
+        q("QC1a", "g.V().match(__.as('a').hasLabel('Person').out('Knows').as('b'), __.as('b').hasLabel('Person').out('Knows').as('c'), __.as('a').out('Knows').as('c')).select('c').hasLabel('Person').count()"),
+        q("QC2a", "g.V().match(__.as('a').hasLabel('Person').out('Knows').as('b'), __.as('b').out('Knows').as('c'), __.as('c').out('Knows').as('d'), __.as('a').out('Knows').as('d')).select('d').hasLabel('Person').count()"),
+        q("QC3a", "g.V().hasLabel('Person').as('a').out('Knows').as('b').out('Knows').as('c').out('Knows').as('d').out('IsLocatedIn').as('e').hasLabel('Place').has('name', 'Brazil').count()"),
+        q("QC4a", "g.V().match(__.as('a').hasLabel('Person').out('Knows').as('b'), __.as('b').out('Knows').as('c'), __.as('a').out('Knows').as('c'), __.as('m').hasLabel('Post').out('HasCreator').as('a'), __.as('m').out('HasTag').as('t'), __.as('x').hasLabel('Comment').out('ReplyOf').as('m'), __.as('x').out('HasCreator').as('b'), __.as('b').out('IsLocatedIn').as('pl')).select('pl').count()"),
+    ]
+}
+
+/// The s-t path case-study queries ST1–ST5 (Fig. 11): `k`-hop transfer chains between
+/// two account sets of different sizes. Written as explicit chains so the optimizer can
+/// choose the join position.
+pub fn st_queries(k: usize, sets: &[(Vec<i64>, Vec<i64>)]) -> Vec<NamedQuery> {
+    sets.iter()
+        .enumerate()
+        .map(|(i, (s1, s2))| {
+            let mut pattern = String::new();
+            for hop in 0..k {
+                if hop > 0 {
+                    pattern.push_str(", ");
+                }
+                pattern.push_str(&format!("(a{hop}:Account)-[:Transfer]->(a{}:Account)", hop + 1));
+            }
+            let fmt_list = |v: &[i64]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let text = format!(
+                "MATCH {pattern} WHERE a0.id IN [{}] AND a{k}.id IN [{}] RETURN count(*) AS paths",
+                fmt_list(s1),
+                fmt_list(s2)
+            );
+            q(&format!("ST{}", i + 1), &text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fraud::fraud_schema;
+    use crate::ldbc::ldbc_schema;
+    use gopt_parser::{parse_cypher, parse_gremlin};
+
+    #[test]
+    fn all_cypher_queries_parse_against_the_ldbc_schema() {
+        let schema = ldbc_schema();
+        let mut all = Vec::new();
+        all.extend(ic_queries());
+        all.extend(bi_queries());
+        all.extend(qr_queries());
+        all.extend(qt_queries());
+        all.extend(qc_queries());
+        assert_eq!(all.len(), 12 + 17 + 8 + 5 + 8);
+        for nq in &all {
+            let plan = parse_cypher(&nq.text, &schema)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", nq.name));
+            assert!(!plan.match_nodes().is_empty(), "{} has no pattern", nq.name);
+        }
+    }
+
+    #[test]
+    fn all_gremlin_queries_parse() {
+        let schema = ldbc_schema();
+        for nq in qr_gremlin_queries() {
+            let plan = parse_gremlin(&nq.text, &schema)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", nq.name));
+            assert!(!plan.match_nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn st_queries_build_k_hop_chains() {
+        let schema = fraud_schema();
+        let sets = vec![
+            (vec![1, 2], vec![100, 101, 102, 103]),
+            (vec![5], vec![50]),
+        ];
+        let queries = st_queries(6, &sets);
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].name, "ST1");
+        for nq in &queries {
+            let plan = parse_cypher(&nq.text, &schema)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", nq.name));
+            let (_, p) = plan.match_nodes()[0];
+            assert_eq!(p.vertex_count(), 7);
+            assert_eq!(p.edge_count(), 6);
+        }
+    }
+
+    #[test]
+    fn qt_queries_leave_vertices_untyped() {
+        let schema = ldbc_schema();
+        for nq in qt_queries() {
+            let plan = parse_cypher(&nq.text, &schema).unwrap();
+            let (_, p) = plan.match_nodes()[0];
+            assert!(
+                p.vertices().filter(|v| v.constraint.is_all()).count() >= 2,
+                "{} should have untyped vertices",
+                nq.name
+            );
+        }
+    }
+}

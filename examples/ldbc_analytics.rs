@@ -1,0 +1,43 @@
+//! LDBC-style analytics: run a few Interactive/BI queries on the synthetic social
+//! network, comparing the GOpt plan with the CypherPlanner-like baseline.
+//!
+//! Run with `cargo run --example ldbc_analytics --release`.
+
+use gopt::core::{GOpt, GraphScopeSpec, NeoPlanner};
+use gopt::exec::{Backend, PartitionedBackend};
+use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
+use gopt::parser::parse_cypher;
+use gopt::workloads::{generate_ldbc_graph, ic_queries, LdbcScale};
+use std::time::Instant;
+
+fn main() {
+    let graph = generate_ldbc_graph(&LdbcScale::small());
+    let glogue = GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(300),
+            seed: 1,
+        },
+    );
+    let hi = GlogueQuery::new(&glogue);
+    let lo = LowOrderEstimator::new(&glogue);
+    let spec = GraphScopeSpec;
+    let backend = PartitionedBackend::new(4).with_record_limit(2_000_000);
+
+    println!("query\tGOpt\tbaseline");
+    for q in ic_queries().into_iter().take(6) {
+        let logical = parse_cypher(&q.text, graph.schema()).unwrap();
+        let gopt_plan = GOpt::new(graph.schema(), &hi, &spec).optimize(&logical).unwrap();
+        let base_plan = NeoPlanner::new(&lo).optimize(&logical).unwrap();
+        let time = |plan| {
+            let start = Instant::now();
+            let out = backend.execute(&graph, plan);
+            (start.elapsed().as_secs_f64() * 1e3, out.map(|r| r.len()).unwrap_or(0))
+        };
+        let (t1, n1) = time(&gopt_plan);
+        let (t2, n2) = time(&base_plan);
+        assert_eq!(n1, n2, "plans must agree on the result size");
+        println!("{}\t{t1:.1} ms\t{t2:.1} ms", q.name);
+    }
+}

@@ -1,0 +1,39 @@
+//! Multi-language support: the same CGP written in Cypher and in Gremlin lowers to the
+//! same GIR, gets the same optimized plan shape, and returns identical results.
+//!
+//! Run with `cargo run --example multi_language`.
+
+use gopt::core::{GOpt, GraphScopeSpec};
+use gopt::exec::{Backend, PartitionedBackend};
+use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery};
+use gopt::parser::{parse_cypher, parse_gremlin};
+use gopt::workloads::{generate_ldbc_graph, LdbcScale};
+
+fn main() {
+    let graph = generate_ldbc_graph(&LdbcScale::tiny());
+    let glogue = GLogue::build(&graph, &GLogueConfig::default());
+    let estimator = GlogueQuery::new(&glogue);
+    let spec = GraphScopeSpec;
+    let backend = PartitionedBackend::new(4);
+
+    let cypher = "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) \
+                  WHERE c.name = 'China' RETURN count(*) AS cnt";
+    let gremlin = "g.V().hasLabel('Person').as('p').out('Knows').as('f')\
+                   .out('IsLocatedIn').as('c').hasLabel('Place').has('name', 'China').count()";
+
+    let mut results = Vec::new();
+    for (lang, logical) in [
+        ("Cypher", parse_cypher(cypher, graph.schema()).unwrap()),
+        ("Gremlin", parse_gremlin(gremlin, graph.schema()).unwrap()),
+    ] {
+        let physical = GOpt::new(graph.schema(), &estimator, &spec)
+            .optimize(&logical)
+            .unwrap();
+        let result = backend.execute(&graph, &physical).unwrap();
+        let count = result.rows()[0].last().unwrap().clone();
+        println!("{lang:8} -> {count} (plan: {} operators)", physical.len());
+        results.push(count);
+    }
+    assert_eq!(results[0], results[1], "both languages must agree");
+    println!("Cypher and Gremlin produced identical results through the same GIR.");
+}

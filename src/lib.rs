@@ -1,0 +1,32 @@
+//! # GOpt-rs — a modular graph-native query optimization framework
+//!
+//! Facade crate re-exporting the public API of all GOpt workspace crates.
+//! See the repository README for an architecture overview and the examples in
+//! `examples/` for end-to-end usage.
+//!
+//! ```
+//! use gopt::graph::schema::fig6_schema;
+//! let schema = fig6_schema();
+//! assert!(schema.vertex_label("Person").is_some());
+//! ```
+
+/// Property graph substrate (schema, storage, statistics).
+pub use gopt_graph as graph;
+
+/// Unified graph intermediate representation (patterns, expressions, logical & physical plans).
+pub use gopt_gir as gir;
+
+/// High-order statistics (GLogue) and cardinality estimation.
+pub use gopt_glogue as glogue;
+
+/// Execution engines (single-machine and partitioned backends).
+pub use gopt_exec as exec;
+
+/// Cypher and Gremlin front-ends.
+pub use gopt_parser as parser;
+
+/// The optimizer: RBO, type inference, CBO, PhysicalSpec, baselines.
+pub use gopt_core as core;
+
+/// LDBC-like workload generator and benchmark query sets.
+pub use gopt_workloads as workloads;

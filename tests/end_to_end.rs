@@ -1,0 +1,125 @@
+//! End-to-end integration tests: Cypher text → GIR → optimization → execution, checking
+//! that every optimization stage preserves results and reduces (or at least does not
+//! increase) intermediate work.
+
+use gopt::core::{GOpt, GOptConfig, GraphScopeSpec, Neo4jSpec, NeoPlanner, GsRuleOnlyPlanner};
+use gopt::exec::{Backend, PartitionedBackend, SingleMachineBackend};
+use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
+use gopt::parser::parse_cypher;
+use gopt::workloads::{generate_ldbc_graph, qc_queries, qr_queries, qt_queries, LdbcScale};
+
+struct Fixture {
+    graph: gopt::graph::PropertyGraph,
+    glogue: GLogue,
+}
+
+fn fixture() -> Fixture {
+    let graph = generate_ldbc_graph(&LdbcScale::tiny());
+    let glogue = GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(300),
+            seed: 3,
+        },
+    );
+    Fixture { graph, glogue }
+}
+
+fn sorted_rows(
+    f: &Fixture,
+    plan: &gopt::gir::PhysicalPlan,
+    partitions: Option<usize>,
+) -> Vec<Vec<gopt::graph::PropValue>> {
+    match partitions {
+        Some(p) => PartitionedBackend::new(p)
+            .execute(&f.graph, plan)
+            .expect("plan executes")
+            .sorted_rows(),
+        None => SingleMachineBackend::new()
+            .execute(&f.graph, plan)
+            .expect("plan executes")
+            .sorted_rows(),
+    }
+}
+
+#[test]
+fn optimization_stages_preserve_results_on_the_micro_workloads() {
+    let f = fixture();
+    let gq = GlogueQuery::new(&f.glogue);
+    let spec = GraphScopeSpec;
+    let queries: Vec<_> = qr_queries()
+        .into_iter()
+        .chain(qt_queries())
+        .chain(qc_queries().into_iter().take(4))
+        .collect();
+    for q in queries {
+        let logical = parse_cypher(&q.text, f.graph.schema()).expect("parses");
+        let optimized = GOpt::new(f.graph.schema(), &gq, &spec)
+            .optimize(&logical)
+            .unwrap_or_else(|e| panic!("{} failed to optimize: {e}", q.name));
+        let unoptimized = GOpt::new(f.graph.schema(), &gq, &spec)
+            .with_config(GOptConfig::none())
+            .optimize(&logical)
+            .unwrap();
+        let a = sorted_rows(&f, &optimized, Some(4));
+        let b = sorted_rows(&f, &unoptimized, Some(4));
+        assert_eq!(a, b, "{}: optimized and unoptimized plans disagree", q.name);
+    }
+}
+
+#[test]
+fn both_backends_and_both_specs_agree() {
+    let f = fixture();
+    let gq = GlogueQuery::new(&f.glogue);
+    for q in qc_queries().into_iter().take(4) {
+        let logical = parse_cypher(&q.text, f.graph.schema()).unwrap();
+        let gs_spec = GraphScopeSpec;
+        let neo_spec = Neo4jSpec;
+        let gs_plan = GOpt::new(f.graph.schema(), &gq, &gs_spec).optimize(&logical).unwrap();
+        let neo_plan = GOpt::new(f.graph.schema(), &gq, &neo_spec).optimize(&logical).unwrap();
+        let on_partitioned = sorted_rows(&f, &gs_plan, Some(4));
+        let on_single = sorted_rows(&f, &neo_plan, None);
+        assert_eq!(on_partitioned, on_single, "{} differs across backends", q.name);
+    }
+}
+
+#[test]
+fn baselines_agree_with_gopt_on_results() {
+    let f = fixture();
+    let gq = GlogueQuery::new(&f.glogue);
+    let lo = LowOrderEstimator::new(&f.glogue);
+    let spec = GraphScopeSpec;
+    for q in qr_queries().into_iter().take(6) {
+        let logical = parse_cypher(&q.text, f.graph.schema()).unwrap();
+        let gopt = GOpt::new(f.graph.schema(), &gq, &spec).optimize(&logical).unwrap();
+        let neo = NeoPlanner::new(&lo).optimize(&logical).unwrap();
+        let gs = GsRuleOnlyPlanner::new().optimize(&logical).unwrap();
+        let a = sorted_rows(&f, &gopt, Some(2));
+        let b = sorted_rows(&f, &neo, Some(2));
+        let c = sorted_rows(&f, &gs, Some(2));
+        assert_eq!(a, b, "{}: NeoPlanner differs", q.name);
+        assert_eq!(a, c, "{}: GsRuleOnly differs", q.name);
+    }
+}
+
+#[test]
+fn type_inference_rejects_impossible_patterns_and_keeps_possible_ones() {
+    let f = fixture();
+    let gq = GlogueQuery::new(&f.glogue);
+    let spec = GraphScopeSpec;
+    // a Place can never have an outgoing Knows edge
+    let bad = parse_cypher(
+        "MATCH (a:Place)-[:Knows]->(b) RETURN count(*) AS cnt",
+        f.graph.schema(),
+    )
+    .unwrap();
+    assert!(GOpt::new(f.graph.schema(), &gq, &spec).optimize(&bad).is_err());
+    // but the same query without the wrong label optimizes fine
+    let good = parse_cypher(
+        "MATCH (a)-[:Knows]->(b) RETURN count(*) AS cnt",
+        f.graph.schema(),
+    )
+    .unwrap();
+    assert!(GOpt::new(f.graph.schema(), &gq, &spec).optimize(&good).is_ok());
+}

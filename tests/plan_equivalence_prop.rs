@@ -1,0 +1,111 @@
+//! Property-based integration tests: on random graphs, every plan the system can produce
+//! for a pattern (GOpt with either backend spec, random orders, baselines) returns the
+//! same match count as the reference homomorphism counter.
+
+use gopt::core::{ExpandStrategy, GOpt, GraphScopeSpec, Neo4jSpec, RandomPlanner};
+use gopt::exec::{Backend, PartitionedBackend, SingleMachineBackend};
+use gopt::gir::{AggFunc, Expr, GraphIrBuilder, TypeConstraint};
+use gopt::glogue::{count_homomorphisms, GLogue, GLogueConfig, GlogueQuery};
+use gopt::graph::generator::{random_graph, RandomGraphConfig};
+use gopt::graph::schema::fig6_schema;
+use gopt::graph::PropValue;
+use proptest::prelude::*;
+
+/// Build one of a few representative pattern shapes over the fig6 schema.
+fn shape(idx: usize) -> gopt::gir::Pattern {
+    let schema = fig6_schema();
+    let person = schema.vertex_label("Person").unwrap();
+    let place = schema.vertex_label("Place").unwrap();
+    let knows = schema.edge_label("Knows").unwrap();
+    let located = schema.edge_label("LocatedIn").unwrap();
+    let mut p = gopt::gir::Pattern::new();
+    match idx % 3 {
+        0 => {
+            // single edge
+            let a = p.add_vertex_tagged("a", TypeConstraint::basic(person));
+            let b = p.add_vertex_tagged("b", TypeConstraint::basic(person));
+            p.add_edge(a, b, TypeConstraint::basic(knows));
+        }
+        1 => {
+            // wedge
+            let a = p.add_vertex_tagged("a", TypeConstraint::basic(person));
+            let b = p.add_vertex_tagged("b", TypeConstraint::basic(person));
+            let c = p.add_vertex_tagged("c", TypeConstraint::basic(place));
+            p.add_edge(a, b, TypeConstraint::basic(knows));
+            p.add_edge(b, c, TypeConstraint::basic(located));
+        }
+        _ => {
+            // triangle
+            let a = p.add_vertex_tagged("a", TypeConstraint::basic(person));
+            let b = p.add_vertex_tagged("b", TypeConstraint::basic(person));
+            let c = p.add_vertex_tagged("c", TypeConstraint::basic(place));
+            p.add_edge(a, b, TypeConstraint::basic(knows));
+            p.add_edge(a, c, TypeConstraint::basic(located));
+            p.add_edge(b, c, TypeConstraint::basic(located));
+        }
+    }
+    p
+}
+
+fn count_plan(pattern: &gopt::gir::Pattern) -> gopt::gir::LogicalPlan {
+    let mut b = GraphIrBuilder::new();
+    let m = b.match_pattern(pattern.clone());
+    let g = b.group(
+        m,
+        vec![],
+        vec![(AggFunc::Count, Expr::tag("a"), "cnt".into())],
+    );
+    b.build(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_plan_matches_the_reference_count(seed in 0u64..500, shape_idx in 0usize..3, edges in 20usize..80) {
+        let schema = fig6_schema();
+        let graph = random_graph(&schema, &RandomGraphConfig {
+            vertices_per_label: 12,
+            edges_per_endpoint: edges,
+            seed,
+        });
+        let pattern = shape(shape_idx);
+        let expected = count_homomorphisms(&graph, &pattern);
+        let glogue = GLogue::build(&graph, &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: None,
+            seed: 0,
+        });
+        let gq = GlogueQuery::new(&glogue);
+        let logical = count_plan(&pattern);
+
+        let extract = |rows: Vec<Vec<PropValue>>| -> f64 {
+            match rows.first().and_then(|r| r.last()).cloned() {
+                Some(PropValue::Int(i)) => i as f64,
+                _ => 0.0,
+            }
+        };
+
+        // GOpt plan on the partitioned backend
+        let gs_spec = GraphScopeSpec;
+        let plan = GOpt::new(graph.schema(), &gq, &gs_spec).optimize(&logical).unwrap();
+        let got = extract(PartitionedBackend::new(3).execute(&graph, &plan).unwrap().rows());
+        prop_assert_eq!(got, expected);
+
+        // GOpt plan on the single-machine backend with the Neo4j spec
+        let neo_spec = Neo4jSpec;
+        let plan = GOpt::new(graph.schema(), &gq, &neo_spec).optimize(&logical).unwrap();
+        let got = extract(SingleMachineBackend::new().execute(&graph, &plan).unwrap().rows());
+        prop_assert_eq!(got, expected);
+
+        // random order plan
+        let mut rnd = RandomPlanner::new(seed, ExpandStrategy::Intersect);
+        let plan = rnd.optimize(&logical).unwrap();
+        let got = extract(PartitionedBackend::new(2).execute(&graph, &plan).unwrap().rows());
+        prop_assert_eq!(got, expected);
+
+        // the high-order estimate of a fully mined pattern is exact
+        let est = gq.get_freq(&pattern);
+        prop_assert!((est - expected).abs() < 1e-6, "estimate {} vs actual {}", est, expected);
+    }
+}
