@@ -9,7 +9,10 @@ fn main() {
     let scales = [("G1x", 150usize), ("G2x", 300), ("G4x", 600)];
     let envs: Vec<Env> = scales.iter().map(|(n, p)| Env::ldbc(n, *p)).collect();
     let target = Target::Partitioned(8);
-    for (title, queries) in [("Fig 10(a): IC queries vs data scale", ic_queries()), ("Fig 10(b): BI queries vs data scale", bi_queries())] {
+    for (title, queries) in [
+        ("Fig 10(a): IC queries vs data scale", ic_queries()),
+        ("Fig 10(b): BI queries vs data scale", bi_queries()),
+    ] {
         let mut cols = vec!["query"];
         for (n, _) in &scales {
             cols.push(n);

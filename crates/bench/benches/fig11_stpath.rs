@@ -6,8 +6,8 @@ use gopt_bench::*;
 use gopt_core::baseline::path_split_plan;
 use gopt_core::convert::{append_property_fetch, pattern_plan_to_physical};
 use gopt_core::{ExpandStrategy, GOptConfig};
-use gopt_gir::PhysicalPlan;
 use gopt_gir::physical::PhysicalOp;
+use gopt_gir::PhysicalPlan;
 use gopt_gir::{AggFunc, Expr};
 use gopt_workloads::st_queries;
 
@@ -39,7 +39,16 @@ fn main() {
         (vec![30], vec![400, 401, 402, 403]),
         (vec![40, 41, 42, 43], vec![500]),
     ];
-    header("Fig 11: s-t path case study (k=6 transfers)", &["query", "GOpt-plan", "Neo4j-plan (single direction)", "Alt-plan (3,3)", "Alt-plan (2,4)"]);
+    header(
+        "Fig 11: s-t path case study (k=6 transfers)",
+        &[
+            "query",
+            "GOpt-plan",
+            "Neo4j-plan (single direction)",
+            "Alt-plan (3,3)",
+            "Alt-plan (2,4)",
+        ],
+    );
     for q in st_queries(K, &sets) {
         let logical = cypher(&env, &q.text);
         // GOpt: full CBO (join position chosen by cost)
@@ -53,6 +62,12 @@ fn main() {
         let alt33_run = execute(&env, &alt33, target, DEFAULT_RECORD_LIMIT);
         let alt24 = split_physical(&env, &q.text, 2);
         let alt24_run = execute(&env, &alt24, target, DEFAULT_RECORD_LIMIT);
-        row(&[q.name, gopt_run.display(), single_run.display(), alt33_run.display(), alt24_run.display()]);
+        row(&[
+            q.name,
+            gopt_run.display(),
+            single_run.display(),
+            alt33_run.display(),
+            alt24_run.display(),
+        ]);
     }
 }

@@ -9,19 +9,40 @@ use gopt_workloads::qr_queries;
 fn main() {
     let env = Env::ldbc("G-small", 300);
     let target = Target::Partitioned(8);
-    header("Fig 8(a): heuristic rules (WithOpt = RBO on, NoOpt = RBO off)", &["query", "WithOpt", "NoOpt", "speedup"]);
+    header(
+        "Fig 8(a): heuristic rules (WithOpt = RBO on, NoOpt = RBO off)",
+        &["query", "WithOpt", "NoOpt", "speedup"],
+    );
     let mut speedups = Vec::new();
     for q in qr_queries() {
         let logical = cypher(&env, &q.text);
-        let with_cfg = GOptConfig { enable_rbo: true, enable_type_inference: false, enable_cbo: false, max_join_edges: 10 };
-        let no_cfg = GOptConfig { enable_rbo: false, enable_type_inference: false, enable_cbo: false, max_join_edges: 10 };
+        let with_cfg = GOptConfig {
+            enable_rbo: true,
+            enable_type_inference: false,
+            enable_cbo: false,
+            max_join_edges: 10,
+        };
+        let no_cfg = GOptConfig {
+            enable_rbo: false,
+            enable_type_inference: false,
+            enable_cbo: false,
+            max_join_edges: 10,
+        };
         let with_plan = gopt_plan(&env, &logical, target, with_cfg);
         let no_plan = gopt_plan(&env, &logical, target, no_cfg);
         let with_run = execute(&env, &with_plan, target, DEFAULT_RECORD_LIMIT);
         let no_run = execute(&env, &no_plan, target, DEFAULT_RECORD_LIMIT);
         let s = with_run.speedup_over(&no_run);
         speedups.push(s);
-        row(&[q.name, with_run.display(), no_run.display(), format!("{s:.1}x")]);
+        row(&[
+            q.name,
+            with_run.display(),
+            no_run.display(),
+            format!("{s:.1}x"),
+        ]);
     }
-    println!("average speedup (geometric mean, finite only): {:.1}x", geomean(&speedups));
+    println!(
+        "average speedup (geometric mean, finite only): {:.1}x",
+        geomean(&speedups)
+    );
 }

@@ -8,7 +8,15 @@ use gopt_workloads::qc_queries;
 fn main() {
     let env = Env::ldbc("G-small", 300);
     let target = Target::Partitioned(8);
-    header("Fig 8(c): cost-based optimization", &["query", "GOpt-plan", "GOpt-Neo-plan", "random (min..max of 3)"]);
+    header(
+        "Fig 8(c): cost-based optimization",
+        &[
+            "query",
+            "GOpt-plan",
+            "GOpt-Neo-plan",
+            "random (min..max of 3)",
+        ],
+    );
     for q in qc_queries() {
         let logical = cypher(&env, &q.text);
         let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
@@ -20,10 +28,24 @@ fn main() {
             let rp = random_plan(&env, &logical, seed);
             rands.push(execute(&env, &rp, target, DEFAULT_RECORD_LIMIT));
         }
-        let rand_min = rands.iter().filter(|r| !r.ot).map(|r| r.millis).fold(f64::INFINITY, f64::min);
+        let rand_min = rands
+            .iter()
+            .filter(|r| !r.ot)
+            .map(|r| r.millis)
+            .fold(f64::INFINITY, f64::min);
         let rand_max_ot = rands.iter().any(|r| r.ot);
         let rand_disp = if rand_min.is_finite() {
-            format!("{rand_min:.2}ms..{}", if rand_max_ot { "OT".into() } else { format!("{:.2}ms", rands.iter().map(|r| r.millis).fold(0.0, f64::max)) })
+            format!(
+                "{rand_min:.2}ms..{}",
+                if rand_max_ot {
+                    "OT".into()
+                } else {
+                    format!(
+                        "{:.2}ms",
+                        rands.iter().map(|r| r.millis).fold(0.0, f64::max)
+                    )
+                }
+            )
         } else {
             "OT".to_string()
         };

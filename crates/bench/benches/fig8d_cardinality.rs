@@ -7,7 +7,16 @@ use gopt_workloads::qc_queries;
 fn main() {
     let env = Env::ldbc("G-small", 300);
     let target = Target::Partitioned(8);
-    header("Fig 8(d): cardinality estimation (high-order vs low-order statistics)", &["query", "High-order Stats", "Low-order Stats", "hi estimate", "lo estimate"]);
+    header(
+        "Fig 8(d): cardinality estimation (high-order vs low-order statistics)",
+        &[
+            "query",
+            "High-order Stats",
+            "Low-order Stats",
+            "hi estimate",
+            "lo estimate",
+        ],
+    );
     for q in qc_queries() {
         let logical = cypher(&env, &q.text);
         let hi_plan = gopt_plan(&env, &logical, target, GOptConfig::default());
@@ -15,6 +24,12 @@ fn main() {
         let hi_run = execute(&env, &hi_plan, target, DEFAULT_RECORD_LIMIT);
         let lo_run = execute(&env, &lo_plan, target, DEFAULT_RECORD_LIMIT);
         let (hi_est, lo_est) = estimate_both(&env, &logical);
-        row(&[q.name, hi_run.display(), lo_run.display(), format!("{hi_est:.0}"), format!("{lo_est:.0}")]);
+        row(&[
+            q.name,
+            hi_run.display(),
+            lo_run.display(),
+            format!("{hi_est:.0}"),
+            format!("{lo_est:.0}"),
+        ]);
     }
 }

@@ -8,7 +8,10 @@ use gopt_workloads::qr_gremlin_queries;
 fn main() {
     let env = Env::ldbc("G-small", 300);
     let target = Target::Partitioned(8);
-    header("Fig 8(e): Gremlin queries on the GraphScope-like backend", &["query", "GOpt-plan", "GS-plan", "speedup"]);
+    header(
+        "Fig 8(e): Gremlin queries on the GraphScope-like backend",
+        &["query", "GOpt-plan", "GS-plan", "speedup"],
+    );
     let mut speedups = Vec::new();
     for q in qr_gremlin_queries() {
         let logical = gremlin(&env, &q.text);
@@ -18,7 +21,15 @@ fn main() {
         let gs_run = execute(&env, &gs, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&gs_run);
         speedups.push(s);
-        row(&[q.name, gopt_run.display(), gs_run.display(), format!("{s:.1}x")]);
+        row(&[
+            q.name,
+            gopt_run.display(),
+            gs_run.display(),
+            format!("{s:.1}x"),
+        ]);
     }
-    println!("average speedup (geometric mean, finite only): {:.1}x", geomean(&speedups));
+    println!(
+        "average speedup (geometric mean, finite only): {:.1}x",
+        geomean(&speedups)
+    );
 }

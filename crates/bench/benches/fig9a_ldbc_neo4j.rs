@@ -8,7 +8,10 @@ use gopt_workloads::{bi_queries, ic_queries};
 fn main() {
     let env = Env::ldbc("G-medium", 600);
     let target = Target::SingleMachine;
-    header("Fig 9(a): LDBC queries on the Neo4j-like backend", &["query", "GOpt-plan", "Neo4j-plan", "speedup"]);
+    header(
+        "Fig 9(a): LDBC queries on the Neo4j-like backend",
+        &["query", "GOpt-plan", "Neo4j-plan", "speedup"],
+    );
     let mut speedups = Vec::new();
     for q in ic_queries().into_iter().chain(bi_queries()) {
         let logical = cypher(&env, &q.text);
@@ -18,7 +21,15 @@ fn main() {
         let neo_run = execute(&env, &neo, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&neo_run);
         speedups.push(s);
-        row(&[q.name, gopt_run.display(), neo_run.display(), format!("{s:.1}x")]);
+        row(&[
+            q.name,
+            gopt_run.display(),
+            neo_run.display(),
+            format!("{s:.1}x"),
+        ]);
     }
-    println!("average speedup (geometric mean, finite only): {:.1}x", geomean(&speedups));
+    println!(
+        "average speedup (geometric mean, finite only): {:.1}x",
+        geomean(&speedups)
+    );
 }

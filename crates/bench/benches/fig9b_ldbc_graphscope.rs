@@ -8,7 +8,17 @@ use gopt_workloads::{bi_queries, ic_queries};
 fn main() {
     let env = Env::ldbc("G-medium", 600);
     let target = Target::Partitioned(8);
-    header("Fig 9(b): LDBC queries on the GraphScope-like backend", &["query", "GOpt-plan", "Neo4j-plan", "speedup", "GOpt comm", "Neo comm"]);
+    header(
+        "Fig 9(b): LDBC queries on the GraphScope-like backend",
+        &[
+            "query",
+            "GOpt-plan",
+            "Neo4j-plan",
+            "speedup",
+            "GOpt comm",
+            "Neo comm",
+        ],
+    );
     let mut speedups = Vec::new();
     for q in ic_queries().into_iter().chain(bi_queries()) {
         let logical = cypher(&env, &q.text);
@@ -18,7 +28,17 @@ fn main() {
         let neo_run = execute(&env, &neo, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&neo_run);
         speedups.push(s);
-        row(&[q.name, gopt_run.display(), neo_run.display(), format!("{s:.1}x"), gopt_run.comm.to_string(), neo_run.comm.to_string()]);
+        row(&[
+            q.name,
+            gopt_run.display(),
+            neo_run.display(),
+            format!("{s:.1}x"),
+            gopt_run.comm.to_string(),
+            neo_run.comm.to_string(),
+        ]);
     }
-    println!("average speedup (geometric mean, finite only): {:.1}x", geomean(&speedups));
+    println!(
+        "average speedup (geometric mean, finite only): {:.1}x",
+        geomean(&speedups)
+    );
 }

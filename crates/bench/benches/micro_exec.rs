@@ -1,32 +1,148 @@
 //! Criterion micro-benchmarks of the execution engines: the same triangle plan run with
 //! ExpandInto (flattening) vs ExpandIntersect (worst-case optimal), and on the
-//! single-machine vs partitioned backend.
+//! single-machine vs partitioned backend; plus operator-level benchmarks of the
+//! hot expand path (`edge_expand`, `expand_intersect`) used to track the CSR
+//! storage layout's before/after numbers (`BENCH_pr1.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gopt_bench::{cypher, execute, gopt_neo_cost_plan, gopt_plan, Env, Target, DEFAULT_RECORD_LIMIT};
+use gopt_bench::{
+    cypher, execute, gopt_neo_cost_plan, gopt_plan, Env, Target, DEFAULT_RECORD_LIMIT,
+};
 use gopt_core::GOptConfig;
+use gopt_exec::expand::{self, EdgeExpandArgs};
+use gopt_exec::TagMap;
+use gopt_gir::pattern::Direction;
+use gopt_gir::physical::IntersectStep;
+use gopt_gir::types::TypeConstraint;
 use gopt_workloads::qc_queries;
+
+/// Operator-level benchmarks over the generated LDBC-like graph: a full
+/// `edge_expand` sweep over Knows, and the triangle-closing `expand_intersect`
+/// on the records it produces. These isolate the storage layout's adjacency
+/// access cost from planning and the rest of the operator pipeline.
+fn bench_expand_ops(c: &mut Criterion) {
+    let env = Env::ldbc("G-ops", 300);
+    let g = &env.graph;
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+
+    let mut tags = TagMap::new();
+    let input = expand::scan(g, &mut tags, "a", &person, &None);
+    let args = EdgeExpandArgs {
+        src: "a",
+        edge_alias: None,
+        edge_constraint: &knows,
+        direction: Direction::Out,
+        dst_alias: "b",
+        dst_constraint: &person,
+        dst_predicate: &None,
+        edge_predicate: &None,
+    };
+    c.bench_function("op_edge_expand_knows", |b| {
+        b.iter(|| {
+            let mut t = tags.clone();
+            std::hint::black_box(expand::edge_expand(g, &input, &mut t, &args, None).unwrap())
+        })
+    });
+
+    // pairs (a)-[:Knows]->(b), then intersect out-neighbourhoods to close triangles
+    let mut pair_tags = tags.clone();
+    let (pairs, _) = expand::edge_expand(g, &input, &mut pair_tags, &args, None).unwrap();
+    let steps = vec![
+        IntersectStep {
+            src: "a".into(),
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            edge_alias: None,
+        },
+        IntersectStep {
+            src: "b".into(),
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            edge_alias: None,
+        },
+    ];
+    c.bench_function("op_expand_intersect_triangle", |b| {
+        b.iter(|| {
+            let mut t = pair_tags.clone();
+            std::hint::black_box(
+                expand::expand_intersect(g, &pairs, &mut t, &steps, "c", &person, &None, None)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // two-hop variable-length paths stress path_expand's inner adjacency loop
+    c.bench_function("op_path_expand_2hop", |b| {
+        b.iter(|| {
+            let mut t = tags.clone();
+            std::hint::black_box(
+                expand::path_expand(
+                    g,
+                    &input,
+                    &mut t,
+                    "a",
+                    "b",
+                    &knows,
+                    Direction::Out,
+                    2,
+                    2,
+                    gopt_gir::pattern::PathSemantics::Arbitrary,
+                    None,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
 
 fn bench_exec(c: &mut Criterion) {
     let env = Env::ldbc("G-micro", 150);
     let qc1a = qc_queries().into_iter().find(|q| q.name == "QC1a").unwrap();
     let logical = cypher(&env, &qc1a.text);
-    let intersect_plan = gopt_plan(&env, &logical, Target::Partitioned(8), GOptConfig::default());
+    let intersect_plan = gopt_plan(
+        &env,
+        &logical,
+        Target::Partitioned(8),
+        GOptConfig::default(),
+    );
     let flatten_plan = gopt_neo_cost_plan(&env, &logical);
     c.bench_function("exec_triangle_expand_intersect", |b| {
-        b.iter(|| std::hint::black_box(execute(&env, &intersect_plan, Target::Partitioned(8), DEFAULT_RECORD_LIMIT)))
+        b.iter(|| {
+            std::hint::black_box(execute(
+                &env,
+                &intersect_plan,
+                Target::Partitioned(8),
+                DEFAULT_RECORD_LIMIT,
+            ))
+        })
     });
     c.bench_function("exec_triangle_expand_into", |b| {
-        b.iter(|| std::hint::black_box(execute(&env, &flatten_plan, Target::Partitioned(8), DEFAULT_RECORD_LIMIT)))
+        b.iter(|| {
+            std::hint::black_box(execute(
+                &env,
+                &flatten_plan,
+                Target::Partitioned(8),
+                DEFAULT_RECORD_LIMIT,
+            ))
+        })
     });
     c.bench_function("exec_triangle_single_machine", |b| {
-        b.iter(|| std::hint::black_box(execute(&env, &flatten_plan, Target::SingleMachine, DEFAULT_RECORD_LIMIT)))
+        b.iter(|| {
+            std::hint::black_box(execute(
+                &env,
+                &flatten_plan,
+                Target::SingleMachine,
+                DEFAULT_RECORD_LIMIT,
+            ))
+        })
     });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_exec
+    targets = bench_expand_ops, bench_exec
 }
 criterion_main!(benches);

@@ -12,7 +12,11 @@ fn bench_glogue(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(GLogue::build(
                 &env.graph,
-                &GLogueConfig { max_pattern_vertices: 2, max_anchors: Some(200), seed: 1 },
+                &GLogueConfig {
+                    max_pattern_vertices: 2,
+                    max_anchors: Some(200),
+                    seed: 1,
+                },
             ))
         })
     });
@@ -20,7 +24,11 @@ fn bench_glogue(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(GLogue::build(
                 &env.graph,
-                &GLogueConfig { max_pattern_vertices: 3, max_anchors: Some(100), seed: 1 },
+                &GLogueConfig {
+                    max_pattern_vertices: 3,
+                    max_anchors: Some(100),
+                    seed: 1,
+                },
             ))
         })
     });

@@ -5,7 +5,12 @@ use gopt_bench::Env;
 fn main() {
     println!("\n=== Table 3: LDBC-like datasets (synthetic stand-ins for G30..G1000) ===");
     println!("Graph\t|V|\t|E|\tapprox size");
-    for (name, persons) in [("G-tiny", 100usize), ("G-small", 300), ("G-medium", 800), ("G-large", 1600)] {
+    for (name, persons) in [
+        ("G-tiny", 100usize),
+        ("G-small", 300),
+        ("G-medium", 800),
+        ("G-large", 1600),
+    ] {
         let env = Env::ldbc(name, persons);
         let bytes = env.graph.vertex_count() * 64 + env.graph.edge_count() * 48;
         println!(

@@ -7,7 +7,10 @@
 //! uniform row printing. Queries whose execution exceeds a configurable intermediate
 //! record budget are reported as `OT`, mirroring the paper's one-hour timeouts.
 
-use gopt_core::{ExpandStrategy, GOpt, GOptConfig, GraphScopeSpec, GsRuleOnlyPlanner, Neo4jSpec, NeoPlanner, PhysicalSpec, RandomPlanner};
+use gopt_core::{
+    ExpandStrategy, GOpt, GOptConfig, GraphScopeSpec, GsRuleOnlyPlanner, Neo4jSpec, NeoPlanner,
+    PhysicalSpec, RandomPlanner,
+};
 use gopt_exec::{Backend, PartitionedBackend, SingleMachineBackend};
 use gopt_gir::{LogicalPlan, PhysicalPlan};
 use gopt_glogue::{CardEstimator, GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
@@ -173,7 +176,12 @@ pub fn gremlin(env: &Env, text: &str) -> LogicalPlan {
 }
 
 /// Optimize with GOpt (high-order statistics) under the given configuration.
-pub fn gopt_plan(env: &Env, logical: &LogicalPlan, target: Target, config: GOptConfig) -> PhysicalPlan {
+pub fn gopt_plan(
+    env: &Env,
+    logical: &LogicalPlan,
+    target: Target,
+    config: GOptConfig,
+) -> PhysicalPlan {
     let gq = GlogueQuery::new(&env.glogue);
     let spec = target.spec();
     GOpt::new(env.graph.schema(), &gq, spec.as_ref())
@@ -206,13 +214,17 @@ pub fn gopt_neo_cost_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
 /// flattening only).
 pub fn neo_baseline_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
     let lo = LowOrderEstimator::new(&env.glogue);
-    NeoPlanner::new(&lo).optimize(logical).expect("baseline optimizes")
+    NeoPlanner::new(&lo)
+        .optimize(logical)
+        .expect("baseline optimizes")
 }
 
 /// Optimize with GraphScope's rule-only baseline (user-written order).
 pub fn gs_baseline_plan(env: &Env, logical: &LogicalPlan) -> PhysicalPlan {
     let _ = env;
-    GsRuleOnlyPlanner::new().optimize(logical).expect("baseline optimizes")
+    GsRuleOnlyPlanner::new()
+        .optimize(logical)
+        .expect("baseline optimizes")
 }
 
 /// Optimize with a random (but valid) pattern order.
@@ -253,7 +265,11 @@ pub fn row(cells: &[String]) {
 /// Geometric mean of speedups, ignoring non-finite entries (used for "average speedup"
 /// summaries like the paper's 9.2× / 33.4× numbers).
 pub fn geomean(values: &[f64]) -> f64 {
-    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let finite: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
     if finite.is_empty() {
         return 0.0;
     }
@@ -272,7 +288,12 @@ mod tests {
             &env,
             "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) WHERE c.name = 'China' RETURN count(*) AS cnt",
         );
-        let plan = gopt_plan(&env, &logical, Target::Partitioned(4), GOptConfig::default());
+        let plan = gopt_plan(
+            &env,
+            &logical,
+            Target::Partitioned(4),
+            GOptConfig::default(),
+        );
         let run = execute(&env, &plan, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
         assert!(!run.ot);
         assert_eq!(run.rows, 1);
@@ -288,7 +309,12 @@ mod tests {
         let lo_plan = gopt_low_order_plan(&env, &logical, Target::Partitioned(4));
         let _ = execute(&env, &lo_plan, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
         let neo_cost = gopt_neo_cost_plan(&env, &logical);
-        let _ = execute(&env, &neo_cost, Target::Partitioned(4), DEFAULT_RECORD_LIMIT);
+        let _ = execute(
+            &env,
+            &neo_cost,
+            Target::Partitioned(4),
+            DEFAULT_RECORD_LIMIT,
+        );
         let (hi, lo) = estimate_both(&env, &logical);
         assert!(hi >= 0.0 && lo >= 0.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
@@ -298,7 +324,10 @@ mod tests {
         assert!(tiny_budget.ot);
         assert_eq!(tiny_budget.display(), "OT");
         // gremlin parsing path
-        let glog = gremlin(&env, "g.V().hasLabel('Person').as('a').out('Knows').as('b').count()");
+        let glog = gremlin(
+            &env,
+            "g.V().hasLabel('Person').as('a').out('Knows').as('b').count()",
+        );
         assert!(!glog.match_nodes().is_empty());
     }
 }

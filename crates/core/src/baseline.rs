@@ -42,12 +42,7 @@ pub fn ordered_plan(pattern: &Pattern, order: &[PatternVertexId]) -> PatternPlan
         // next vertex in the requested order that is adjacent to the bound set
         let pos = remaining
             .iter()
-            .position(|v| {
-                pattern
-                    .neighbors(*v)
-                    .iter()
-                    .any(|n| bound.contains(n))
-            })
+            .position(|v| pattern.neighbors(*v).iter().any(|n| bound.contains(n)))
             .unwrap_or(0);
         let v = remaining.remove(pos);
         let edges: Vec<PatternEdgeId> = pattern
@@ -109,7 +104,9 @@ impl<'a> NeoPlanner<'a> {
     /// Optimize a full logical plan into a physical plan.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, OptError> {
         let rewritten = self.rbo.optimize(plan);
-        logical_to_physical(&rewritten, |p| (self.plan_pattern(p), ExpandStrategy::Flatten))
+        logical_to_physical(&rewritten, |p| {
+            (self.plan_pattern(p), ExpandStrategy::Flatten)
+        })
     }
 }
 
@@ -168,12 +165,7 @@ impl RandomPlanner {
         while !remaining.is_empty() {
             let pos = remaining
                 .iter()
-                .position(|v| {
-                    pattern
-                        .neighbors(*v)
-                        .iter()
-                        .any(|n| connected.contains(n))
-                })
+                .position(|v| pattern.neighbors(*v).iter().any(|n| connected.contains(n)))
                 .unwrap_or(0);
             connected.push(remaining.remove(pos));
         }
@@ -190,10 +182,7 @@ impl RandomPlanner {
         }
         let mut iter = plans.into_iter();
         logical_to_physical(plan, |_| {
-            (
-                iter.next().expect("one plan per match node"),
-                strategy,
-            )
+            (iter.next().expect("one plan per match node"), strategy)
         })
     }
 }
@@ -264,7 +253,11 @@ mod tests {
                     TypeConstraint::basic(knows),
                     Direction::Out,
                 )
-                .get_v_end(&format!("e{i}"), &format!("p{i}"), TypeConstraint::basic(person));
+                .get_v_end(
+                    &format!("e{i}"),
+                    &format!("p{i}"),
+                    TypeConstraint::basic(person),
+                );
         }
         b.finish().unwrap()
     }

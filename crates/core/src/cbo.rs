@@ -86,8 +86,7 @@ impl PhysicalSpec for Neo4jSpec {
     ) -> f64 {
         // ExpandInto flattens: pay the frequency of every intermediate pattern obtained
         // by appending the edges one at a time.
-        let mut vertex_ids: BTreeSet<PatternVertexId> =
-            ps.vertex_ids().into_iter().collect();
+        let mut vertex_ids: BTreeSet<PatternVertexId> = ps.vertex_ids().into_iter().collect();
         vertex_ids.insert(new_vertex);
         let mut edge_ids: BTreeSet<PatternEdgeId> = ps.edge_ids().into_iter().collect();
         let mut cost = 0.0;
@@ -248,10 +247,7 @@ impl<'a> PatternPlanner<'a> {
 
     /// Find the (estimated) optimal plan for `pattern`.
     pub fn plan(&self, pattern: &Pattern) -> PatternPlan {
-        assert!(
-            pattern.vertex_count() > 0,
-            "cannot plan an empty pattern"
-        );
+        assert!(pattern.vertex_count() > 0, "cannot plan an empty pattern");
         let greedy = self.greedy_initial(pattern);
         let budget = greedy.cost;
         let mut memo: BTreeMap<MemoKey, PatternPlan> = BTreeMap::new();
@@ -310,9 +306,11 @@ impl<'a> PatternPlanner<'a> {
                 let mut new_vertices = bound.clone();
                 new_vertices.insert(v);
                 let next = pattern.induced(&new_vertices, &new_edges);
-                let op_cost = self.spec.expand_cost(self.estimator, &ps, pattern, v, &connecting);
+                let op_cost = self
+                    .spec
+                    .expand_cost(self.estimator, &ps, pattern, v, &connecting);
                 let step_cost = op_cost + comm * self.freq(&next);
-                if best.as_ref().map_or(true, |(c, ..)| step_cost < *c) {
+                if best.as_ref().is_none_or(|(c, ..)| step_cost < *c) {
                     best = Some((step_cost, v, connecting, next));
                 }
             }
@@ -366,14 +364,16 @@ impl<'a> PatternPlanner<'a> {
                 continue;
             }
             let edges = pattern.adjacent_edges(v);
-            let op_cost = self.spec.expand_cost(self.estimator, &remainder, pattern, v, &edges);
+            let op_cost = self
+                .spec
+                .expand_cost(self.estimator, &remainder, pattern, v, &edges);
             let noncumulative = op_cost + comm * freq;
             if !self.disable_pruning && best.is_some() && noncumulative >= budget {
                 continue; // branch cannot beat the known bound
             }
             let sub = self.search(&remainder, memo, budget);
             let cost = sub.cost + noncumulative;
-            if best.as_ref().map_or(true, |b| cost < b.cost) {
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(PatternPlan {
                     cost,
                     est_rows: freq,
@@ -421,7 +421,7 @@ impl<'a> PatternPlanner<'a> {
                 let sub_l = self.search(&left, memo, budget);
                 let sub_r = self.search(&right, memo, budget);
                 let cost = sub_l.cost + sub_r.cost + noncumulative;
-                if best.as_ref().map_or(true, |b| cost < b.cost) {
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
                     best = Some(PatternPlan {
                         cost,
                         est_rows: freq,
@@ -604,7 +604,10 @@ mod tests {
         // join cost is symmetric and additive
         let left = pattern.induced_by_edges(&[pattern.edge_ids()[0]].into_iter().collect());
         let right = pattern.induced_by_edges(
-            &pattern.edge_ids()[1..].iter().copied().collect::<BTreeSet<_>>(),
+            &pattern.edge_ids()[1..]
+                .iter()
+                .copied()
+                .collect::<BTreeSet<_>>(),
         );
         let j1 = Neo4jSpec.join_cost(&gq, &left, &right);
         let j2 = Neo4jSpec.join_cost(&gq, &right, &left);

@@ -233,9 +233,7 @@ pub fn logical_to_physical(
                 inputs,
             ),
             LogicalOp::Limit { count } => phys.add(PhysicalOp::Limit { count: *count }, inputs),
-            LogicalOp::Dedup { keys } => {
-                phys.add(PhysicalOp::Dedup { keys: keys.clone() }, inputs)
-            }
+            LogicalOp::Dedup { keys } => phys.add(PhysicalOp::Dedup { keys: keys.clone() }, inputs),
             LogicalOp::Join { kind, keys } => {
                 if inputs.len() != 2 {
                     return Err(OptError::MalformedPlan(format!(
@@ -315,7 +313,10 @@ mod tests {
         let pplan = PatternPlanner::new(&gq, &spec).plan(&pattern);
         let mut phys = PhysicalPlan::new();
         pattern_plan_to_physical(&pattern, &pplan, spec.expand_strategy(), &mut phys);
-        assert_eq!(phys.count_op("Scan") + phys.count_op("HashJoin") / 2, phys.count_op("Scan"));
+        assert_eq!(
+            phys.count_op("Scan") + phys.count_op("HashJoin") / 2,
+            phys.count_op("Scan")
+        );
         assert!(phys.count_op("Scan") >= 1);
         assert!(
             phys.count_op("ExpandInto") >= 1 || phys.count_op("HashJoin") >= 1,
@@ -360,7 +361,11 @@ mod tests {
             vec![],
         );
         append_property_fetch(&pattern, scan, &mut phys);
-        assert_eq!(phys.count_op("PropertyFetch"), 2, "a (trimmed) and b (all), not c");
+        assert_eq!(
+            phys.count_op("PropertyFetch"),
+            2,
+            "a (trimmed) and b (all), not c"
+        );
         let enc = phys.encode();
         assert!(enc.contains("a.[name]"));
         assert!(enc.contains("b.*"));

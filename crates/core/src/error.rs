@@ -39,7 +39,11 @@ mod tests {
             reason: "no such edge".into(),
         };
         assert!(e.to_string().contains("INVALID"));
-        assert!(OptError::MalformedPlan("x".into()).to_string().contains("x"));
-        assert!(OptError::UnknownJoinKey("v1".into()).to_string().contains("v1"));
+        assert!(OptError::MalformedPlan("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(OptError::UnknownJoinKey("v1".into())
+            .to_string()
+            .contains("v1"));
     }
 }

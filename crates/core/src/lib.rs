@@ -35,7 +35,9 @@ pub mod rbo;
 pub mod type_infer;
 
 pub use baseline::{GsRuleOnlyPlanner, NeoPlanner, RandomPlanner};
-pub use cbo::{ExpandStrategy, GraphScopeSpec, Neo4jSpec, PatternPlan, PatternPlanner, PhysicalSpec};
+pub use cbo::{
+    ExpandStrategy, GraphScopeSpec, Neo4jSpec, PatternPlan, PatternPlanner, PhysicalSpec,
+};
 pub use error::OptError;
 pub use planner::{GOpt, GOptConfig};
 pub use rbo::{HeuristicPlanner, Rule};

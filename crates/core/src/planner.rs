@@ -179,7 +179,12 @@ mod tests {
         let mut b = GraphIrBuilder::new();
         let m1 = b.match_pattern(pattern1);
         let m2 = b.match_pattern(pattern2);
-        let j = b.join(m1, m2, vec!["v1".into(), "v3".into()], gopt_gir::JoinType::Inner);
+        let j = b.join(
+            m1,
+            m2,
+            vec!["v1".into(), "v3".into()],
+            gopt_gir::JoinType::Inner,
+        );
         let s = b.select(j, Expr::prop_eq("v3", "name", "Place_3"));
         let g = b.group(
             s,
@@ -224,9 +229,10 @@ mod tests {
         let logical_noopt = gopt_noopt.optimize_logical(&running_example()).unwrap();
         assert_eq!(logical_noopt.match_nodes().len(), 2);
         let (_, p0) = logical_noopt.match_nodes()[0];
-        assert!(p0
-            .vertices()
-            .any(|v| v.constraint.is_all()), "no inference without the stage");
+        assert!(
+            p0.vertices().any(|v| v.constraint.is_all()),
+            "no inference without the stage"
+        );
         // empty plans are rejected
         assert!(gopt.optimize_logical(&LogicalPlan::new()).is_err());
     }
@@ -239,7 +245,9 @@ mod tests {
         let spec = GraphScopeSpec;
         let plan = running_example();
 
-        let optimized = GOpt::new(graph.schema(), &gq, &spec).optimize(&plan).unwrap();
+        let optimized = GOpt::new(graph.schema(), &gq, &spec)
+            .optimize(&plan)
+            .unwrap();
         let unoptimized = GOpt::new(graph.schema(), &gq, &spec)
             .with_config(GOptConfig::none())
             .optimize(&plan)
@@ -258,8 +266,12 @@ mod tests {
 
         // the Neo4j-targeted plan gives the same answer on the single-machine backend
         let neo_spec = Neo4jSpec;
-        let neo_plan = GOpt::new(graph.schema(), &gq, &neo_spec).optimize(&plan).unwrap();
-        let r_neo = SingleMachineBackend::new().execute(&graph, &neo_plan).unwrap();
+        let neo_plan = GOpt::new(graph.schema(), &gq, &neo_spec)
+            .optimize(&plan)
+            .unwrap();
+        let r_neo = SingleMachineBackend::new()
+            .execute(&graph, &neo_plan)
+            .unwrap();
         assert_eq!(
             r_neo.sorted_rows_for(&["v2", "cnt"]),
             r_opt.sorted_rows_for(&["v2", "cnt"])

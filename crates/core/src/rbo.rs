@@ -207,14 +207,8 @@ impl Rule for JoinToPattern {
                 continue;
             }
             // the join keys must be exactly the common vertex tags of the two patterns
-            let tags_l: BTreeSet<String> = pl
-                .vertices()
-                .filter_map(|v| v.tag.clone())
-                .collect();
-            let tags_r: BTreeSet<String> = pr
-                .vertices()
-                .filter_map(|v| v.tag.clone())
-                .collect();
+            let tags_l: BTreeSet<String> = pl.vertices().filter_map(|v| v.tag.clone()).collect();
+            let tags_r: BTreeSet<String> = pr.vertices().filter_map(|v| v.tag.clone()).collect();
             let common: BTreeSet<String> = tags_l.intersection(&tags_r).cloned().collect();
             let keyset: BTreeSet<String> = keys.iter().cloned().collect();
             if common.is_empty() || keyset != common {
@@ -291,7 +285,11 @@ impl ComSubPattern {
                     .unwrap_or(false)
             });
             if in_all {
-                let nv = common.add_vertex_full(Some(tag.clone()), v.constraint.clone(), v.predicate.clone());
+                let nv = common.add_vertex_full(
+                    Some(tag.clone()),
+                    v.constraint.clone(),
+                    v.predicate.clone(),
+                );
                 vertex_map.insert(tag.clone(), nv);
             }
         }
@@ -397,7 +395,12 @@ impl Rule for ComSubPattern {
                 continue;
             }
             let mut new_plan = plan.clone();
-            let common_node = new_plan.add(LogicalOp::Match { pattern: common.clone() }, vec![]);
+            let common_node = new_plan.add(
+                LogicalOp::Match {
+                    pattern: common.clone(),
+                },
+                vec![],
+            );
             let mut new_inputs = Vec::new();
             for (i, residual) in residuals.into_iter().enumerate() {
                 let keys: Vec<String> = residual
@@ -434,10 +437,11 @@ impl FieldTrim {
     fn downstream_usage(plan: &LogicalPlan) -> (BTreeSet<(String, String)>, BTreeSet<String>) {
         let mut props = BTreeSet::new();
         let mut tags = BTreeSet::new();
-        let visit_expr = |e: &Expr, props: &mut BTreeSet<(String, String)>, tags: &mut BTreeSet<String>| {
-            props.extend(e.referenced_props());
-            tags.extend(e.referenced_tags());
-        };
+        let visit_expr =
+            |e: &Expr, props: &mut BTreeSet<(String, String)>, tags: &mut BTreeSet<String>| {
+                props.extend(e.referenced_props());
+                tags.extend(e.referenced_tags());
+            };
         for id in plan.node_ids() {
             match plan.op(id) {
                 LogicalOp::Match { pattern } => {
@@ -648,7 +652,10 @@ mod tests {
         let plan = running_example();
         let out = LimitIntoOrder.apply(&plan).expect("applies");
         let LogicalOp::Order { limit, .. } = out.op(out.root()) else {
-            panic!("root should be the fused ORDER, got {}", out.op(out.root()).name());
+            panic!(
+                "root should be the fused ORDER, got {}",
+                out.op(out.root()).name()
+            );
         };
         assert_eq!(*limit, Some(10));
         assert!(LimitIntoOrder.apply(&out).is_none());
@@ -682,10 +689,7 @@ mod tests {
             assert!(matches!(out.op(*j), LogicalOp::Join { .. }));
         }
         // both joins share the same common-match node
-        let shared: BTreeSet<_> = join_inputs
-            .iter()
-            .map(|j| out.inputs(*j)[0])
-            .collect();
+        let shared: BTreeSet<_> = join_inputs.iter().map(|j| out.inputs(*j)[0]).collect();
         assert_eq!(shared.len(), 1);
         let common_id = *shared.iter().next().unwrap();
         let LogicalOp::Match { pattern } = out.op(common_id) else {
@@ -723,12 +727,13 @@ mod tests {
         let out = FieldTrim.apply(&plan).expect("applies");
         let (_, pattern) = out.match_nodes()[0];
         let v3 = pattern.vertex(pattern.vertex_by_tag("v3").unwrap());
-        assert_eq!(
-            v3.columns,
-            Some(["name".to_string()].into_iter().collect())
-        );
+        assert_eq!(v3.columns, Some(["name".to_string()].into_iter().collect()));
         let v2 = pattern.vertex(pattern.vertex_by_tag("v2").unwrap());
-        assert_eq!(v2.columns, Some(BTreeSet::new()), "v2 is grouped on, no properties needed");
+        assert_eq!(
+            v2.columns,
+            Some(BTreeSet::new()),
+            "v2 is grouped on, no properties needed"
+        );
         // idempotent
         assert!(FieldTrim.apply(&out).is_none());
         // a bare match as root is never trimmed
@@ -751,7 +756,11 @@ mod tests {
         let v3 = pattern.vertex(pattern.vertex_by_tag("v3").unwrap());
         assert!(v3.predicate.is_some(), "filter pushed into the pattern");
         assert_eq!(v3.columns, Some(["name".to_string()].into_iter().collect()));
-        let names: Vec<&str> = out.topo_order().iter().map(|id| out.op(*id).name()).collect();
+        let names: Vec<&str> = out
+            .topo_order()
+            .iter()
+            .map(|id| out.op(*id).name())
+            .collect();
         assert!(!names.contains(&"JOIN"));
         assert!(!names.contains(&"SELECT"));
         assert!(!names.contains(&"LIMIT"));
@@ -763,6 +772,9 @@ mod tests {
         let again = planner.optimize(&out);
         assert_eq!(again.explain(), out.explain());
         // an empty planner is the identity
-        assert_eq!(HeuristicPlanner::empty().optimize(&plan).explain(), plan.explain());
+        assert_eq!(
+            HeuristicPlanner::empty().optimize(&plan).explain(),
+            plan.explain()
+        );
     }
 }

@@ -166,8 +166,18 @@ mod tests {
             .unwrap();
 
         let inferred = infer_pattern_types(&pattern, &schema).unwrap();
-        let v = |tag: &str| inferred.vertex(inferred.vertex_by_tag(tag).unwrap()).constraint.clone();
-        let e = |tag: &str| inferred.edge(inferred.edge_by_tag(tag).unwrap()).constraint.clone();
+        let v = |tag: &str| {
+            inferred
+                .vertex(inferred.vertex_by_tag(tag).unwrap())
+                .constraint
+                .clone()
+        };
+        let e = |tag: &str| {
+            inferred
+                .edge(inferred.edge_by_tag(tag).unwrap())
+                .constraint
+                .clone()
+        };
         assert_eq!(v("v1"), TypeConstraint::basic(person));
         assert_eq!(v("v2"), TypeConstraint::union([person, product]));
         assert_eq!(v("v3"), TypeConstraint::basic(place));
@@ -215,7 +225,9 @@ mod tests {
             .unwrap();
         let inferred = infer_pattern_types(&pattern, &schema).unwrap();
         assert_eq!(
-            inferred.vertex(inferred.vertex_by_tag("a").unwrap()).constraint,
+            inferred
+                .vertex(inferred.vertex_by_tag("a").unwrap())
+                .constraint,
             TypeConstraint::basic(person)
         );
         assert_eq!(
@@ -240,11 +252,15 @@ mod tests {
             .unwrap();
         let inferred = infer_pattern_types(&pattern, &schema).unwrap();
         assert_eq!(
-            inferred.vertex(inferred.vertex_by_tag("m").unwrap()).constraint,
+            inferred
+                .vertex(inferred.vertex_by_tag("m").unwrap())
+                .constraint,
             TypeConstraint::basic(person)
         );
         assert_eq!(
-            inferred.vertex(inferred.vertex_by_tag("f").unwrap()).constraint,
+            inferred
+                .vertex(inferred.vertex_by_tag("f").unwrap())
+                .constraint,
             TypeConstraint::basic(forum)
         );
     }
@@ -266,11 +282,15 @@ mod tests {
             .unwrap();
         let inferred = infer_pattern_types(&pattern, &schema).unwrap();
         assert_eq!(
-            inferred.vertex(inferred.vertex_by_tag("v").unwrap()).constraint,
+            inferred
+                .vertex(inferred.vertex_by_tag("v").unwrap())
+                .constraint,
             TypeConstraint::basic(person)
         );
         assert_eq!(
-            inferred.vertex(inferred.vertex_by_tag("c").unwrap()).constraint,
+            inferred
+                .vertex(inferred.vertex_by_tag("c").unwrap())
+                .constraint,
             TypeConstraint::basic(place)
         );
     }

@@ -128,7 +128,8 @@ impl<'a> Engine<'a> {
         let mut outputs: Vec<Option<(Vec<Record>, TagMap)>> = vec![None; plan.len()];
         for id in &order {
             let input_ids = plan.inputs(*id).to_vec();
-            let (records, tags) = self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let (records, tags) =
+                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats)?;
             stats.intermediate_records += records.len() as u64;
             stats.peak_records = stats.peak_records.max(records.len() as u64);
             if let Some(limit) = self.config.record_limit {
@@ -164,7 +165,11 @@ impl<'a> Engine<'a> {
         }
         Ok(inputs
             .iter()
-            .map(|i| outputs[i.0].as_ref().expect("inputs executed before consumers"))
+            .map(|i| {
+                outputs[i.0]
+                    .as_ref()
+                    .expect("inputs executed before consumers")
+            })
             .collect())
     }
 
@@ -310,7 +315,10 @@ impl<'a> Engine<'a> {
             PhysicalOp::Select { predicate } => {
                 let input = Self::take_input("Select", inputs, outputs, 1)?;
                 let (recs, tags) = input[0];
-                Ok((relational::select(self.graph, recs, tags, predicate), tags.clone()))
+                Ok((
+                    relational::select(self.graph, recs, tags, predicate),
+                    tags.clone(),
+                ))
             }
             PhysicalOp::Project { items } => {
                 let input = Self::take_input("Project", inputs, outputs, 1)?;
@@ -342,7 +350,10 @@ impl<'a> Engine<'a> {
             PhysicalOp::Dedup { keys } => {
                 let input = Self::take_input("Dedup", inputs, outputs, 1)?;
                 let (recs, tags) = input[0];
-                Ok((relational::dedup(self.graph, recs, tags, keys), tags.clone()))
+                Ok((
+                    relational::dedup(self.graph, recs, tags, keys),
+                    tags.clone(),
+                ))
             }
             PhysicalOp::Union => {
                 if inputs.is_empty() {
@@ -356,10 +367,8 @@ impl<'a> Engine<'a> {
                     .iter()
                     .map(|i| outputs[i.0].as_ref().expect("inputs executed"))
                     .collect();
-                let pairs: Vec<(&[Record], &TagMap)> = gathered
-                    .iter()
-                    .map(|(r, t)| (r.as_slice(), t))
-                    .collect();
+                let pairs: Vec<(&[Record], &TagMap)> =
+                    gathered.iter().map(|(r, t)| (r.as_slice(), t)).collect();
                 let (out, tags) = relational::union(&pairs);
                 Ok((out, tags))
             }
@@ -382,7 +391,10 @@ mod tests {
             .map(|i| {
                 b.add_vertex_by_name(
                     "Person",
-                    vec![("id", PropValue::Int(i)), ("name", PropValue::str(format!("p{i}")))],
+                    vec![
+                        ("id", PropValue::Int(i)),
+                        ("name", PropValue::str(format!("p{i}"))),
+                    ],
                 )
                 .unwrap()
             })
@@ -397,10 +409,14 @@ mod tests {
         b.add_edge_by_name("Knows", p[0], p[2], vec![]).unwrap();
         b.add_edge_by_name("Knows", p[1], p[2], vec![]).unwrap();
         b.add_edge_by_name("Knows", p[2], p[3], vec![]).unwrap();
-        b.add_edge_by_name("LocatedIn", p[0], china, vec![]).unwrap();
-        b.add_edge_by_name("LocatedIn", p[1], china, vec![]).unwrap();
-        b.add_edge_by_name("LocatedIn", p[2], china, vec![]).unwrap();
-        b.add_edge_by_name("LocatedIn", p[3], spain, vec![]).unwrap();
+        b.add_edge_by_name("LocatedIn", p[0], china, vec![])
+            .unwrap();
+        b.add_edge_by_name("LocatedIn", p[1], china, vec![])
+            .unwrap();
+        b.add_edge_by_name("LocatedIn", p[2], china, vec![])
+            .unwrap();
+        b.add_edge_by_name("LocatedIn", p[3], spain, vec![])
+            .unwrap();
         b.finish()
     }
 
@@ -450,7 +466,10 @@ mod tests {
             aggs: vec![(AggFunc::Count, Expr::tag("b"), "cnt".into())],
         });
         plan.push(PhysicalOp::OrderLimit {
-            keys: vec![(Expr::tag("cnt"), SortDir::Desc), (Expr::tag("name"), SortDir::Asc)],
+            keys: vec![
+                (Expr::tag("cnt"), SortDir::Desc),
+                (Expr::tag("name"), SortDir::Asc),
+            ],
             limit: Some(10),
         });
         plan
@@ -492,7 +511,11 @@ mod tests {
         )
         .execute(&plan_group_count(&g))
         .unwrap();
-        assert_eq!(single.sorted_rows(), parted.sorted_rows(), "results identical");
+        assert_eq!(
+            single.sorted_rows(),
+            parted.sorted_rows(),
+            "results identical"
+        );
         assert!(parted.stats.comm_records > 0);
         assert_eq!(single.stats.comm_records, 0);
     }
@@ -508,7 +531,10 @@ mod tests {
             },
         );
         let err = engine.execute(&plan_group_count(&g));
-        assert!(matches!(err, Err(ExecError::RecordLimitExceeded { limit: 3 })));
+        assert!(matches!(
+            err,
+            Err(ExecError::RecordLimitExceeded { limit: 3 })
+        ));
     }
 
     #[test]
@@ -584,7 +610,12 @@ mod tests {
             },
             vec![l1, r1],
         );
-        plan.add(PhysicalOp::Dedup { keys: vec![Expr::tag("a")] }, vec![j]);
+        plan.add(
+            PhysicalOp::Dedup {
+                keys: vec![Expr::tag("a")],
+            },
+            vec![j],
+        );
         let engine = Engine::new(&g, EngineConfig::default());
         let res = engine.execute(&plan).unwrap();
         // persons in China who know someone: p0, p1, p2

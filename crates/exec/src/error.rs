@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ExecError::UnboundTag("v1".into()).to_string().contains("v1"));
+        assert!(ExecError::UnboundTag("v1".into())
+            .to_string()
+            .contains("v1"));
         assert!(ExecError::EmptyPlan.to_string().contains("empty"));
         assert!(ExecError::RecordLimitExceeded { limit: 10 }
             .to_string()

@@ -19,7 +19,6 @@ use gopt_gir::pattern::{Direction, PathSemantics};
 use gopt_gir::physical::IntersectStep;
 use gopt_gir::types::TypeConstraint;
 use gopt_graph::{LabelId, PropertyGraph, VertexId};
-use std::collections::BTreeSet;
 
 fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
     match partitions {
@@ -28,6 +27,7 @@ fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn vertex_matches(
     graph: &PropertyGraph,
     tags: &TagMap,
@@ -58,6 +58,99 @@ fn vertex_matches(
 
 fn edge_labels(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<LabelId> {
     constraint.materialize(&graph.schema().edge_label_ids().collect::<Vec<_>>())
+}
+
+/// Collect the distinct neighbours of `src` over the given labels/direction
+/// into `buf`, sorted ascending. The per-(vertex, label) CSR segments are
+/// already sorted by neighbour, so a single segment needs no sort at all and
+/// multiple segments only sort what was gathered.
+fn gather_sorted_neighbors(
+    graph: &PropertyGraph,
+    src: VertexId,
+    labels: &[LabelId],
+    direction: Direction,
+    buf: &mut Vec<VertexId>,
+) {
+    buf.clear();
+    let mut segments = 0usize;
+    let mut push_seg = |buf: &mut Vec<VertexId>, seg: &[gopt_graph::Adj]| {
+        if !seg.is_empty() {
+            segments += 1;
+            buf.extend(seg.iter().map(|a| a.neighbor));
+        }
+    };
+    for &l in labels {
+        match direction {
+            Direction::Out => push_seg(buf, graph.out_edges_with_label(src, l)),
+            Direction::In => push_seg(buf, graph.in_edges_with_label(src, l)),
+            Direction::Both => {
+                push_seg(buf, graph.out_edges_with_label(src, l));
+                push_seg(buf, graph.in_edges_with_label(src, l));
+            }
+        }
+    }
+    if segments > 1 {
+        buf.sort_unstable();
+    }
+    buf.dedup();
+}
+
+/// Galloping lower bound: the first index `i` with `s[i] >= t`, found by
+/// exponential probing followed by a binary search of the bracketed range.
+/// O(log distance) instead of O(log len) — cheap when successive probes are
+/// close together, as they are during a merge-intersection.
+#[inline]
+fn gallop_lower_bound(s: &[VertexId], t: VertexId) -> usize {
+    if s.first().is_none_or(|&x| x >= t) {
+        return 0;
+    }
+    // invariant: s[base] < t
+    let mut base = 0usize;
+    let mut step = 1usize;
+    while base + step < s.len() && s[base + step] < t {
+        base += step;
+        step <<= 1;
+    }
+    let end = (base + step).min(s.len());
+    base + 1 + s[base + 1..end].partition_point(|x| *x < t)
+}
+
+/// Intersect two sorted, deduplicated vertex lists into `out` (ascending).
+/// Uses a linear merge for similarly-sized inputs and switches to galloping
+/// (iterate the small side, exponential-search the large side) when the sizes
+/// are lopsided — the worst-case-optimal-join access pattern of
+/// `ExpandIntersect`.
+fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() >= 16 * small.len() {
+        let mut rest = large;
+        for &v in small {
+            let i = gallop_lower_bound(rest, v);
+            rest = &rest[i..];
+            match rest.first() {
+                Some(&x) if x == v => out.push(v),
+                Some(_) => {}
+                None => break,
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Scan all vertices admitted by `constraint` (and `predicate`), producing one record per
@@ -166,38 +259,35 @@ pub fn edge_expand(
             }
             out.push(r);
         };
+        // Each CSR (vertex, label) segment is already sorted by (neighbor,
+        // edge), so a single-segment expansion needs neither sort nor copy
+        // ordering work; only multi-segment gathers (several labels, or
+        // direction Both) re-sort what was gathered.
         candidates.clear();
-        for &l in &labels {
-            match args.direction {
-                Direction::Out => {
-                    candidates.extend(
-                        graph
-                            .out_edges_with_label(src, l)
-                            .iter()
-                            .map(|a| (a.edge, a.neighbor)),
-                    );
+        let mut segments = 0usize;
+        {
+            let mut push_seg = |candidates: &mut Vec<(gopt_graph::EdgeId, VertexId)>,
+                                seg: &[gopt_graph::Adj]| {
+                if !seg.is_empty() {
+                    segments += 1;
+                    candidates.extend(seg.iter().map(|a| (a.edge, a.neighbor)));
                 }
-                Direction::In => {
-                    candidates.extend(
-                        graph
-                            .in_edges_with_label(src, l)
-                            .iter()
-                            .map(|a| (a.edge, a.neighbor)),
-                    );
-                }
-                Direction::Both => {
-                    candidates.extend(
-                        graph
-                            .out_edges_with_label(src, l)
-                            .iter()
-                            .chain(graph.in_edges_with_label(src, l).iter())
-                            .map(|a| (a.edge, a.neighbor)),
-                    );
+            };
+            for &l in &labels {
+                match args.direction {
+                    Direction::Out => push_seg(&mut candidates, graph.out_edges_with_label(src, l)),
+                    Direction::In => push_seg(&mut candidates, graph.in_edges_with_label(src, l)),
+                    Direction::Both => {
+                        push_seg(&mut candidates, graph.out_edges_with_label(src, l));
+                        push_seg(&mut candidates, graph.in_edges_with_label(src, l));
+                    }
                 }
             }
         }
         // keep one (the smallest-id) edge per distinct neighbour
-        candidates.sort_unstable_by_key(|(e, n)| (*n, *e));
+        if segments > 1 {
+            candidates.sort_unstable_by_key(|(e, n)| (*n, *e));
+        }
         candidates.dedup_by_key(|(_, n)| *n);
         for &(edge, neighbor) in candidates.iter() {
             emit(edge, neighbor);
@@ -235,17 +325,18 @@ pub fn expand_into(
         else {
             continue;
         };
-        // find a connecting edge in the requested direction
+        // find a connecting edge in the requested direction: binary search of
+        // the sorted (vertex, label) segment per candidate endpoint pair
         let mut found: Option<gopt_graph::EdgeId> = None;
         'search: for &l in &labels {
-            let candidates: Vec<(VertexId, VertexId)> = match direction {
-                Direction::Out => vec![(s, d)],
-                Direction::In => vec![(d, s)],
-                Direction::Both => vec![(s, d), (d, s)],
+            let endpoint_pairs: &[(VertexId, VertexId)] = match direction {
+                Direction::Out => &[(s, d)],
+                Direction::In => &[(d, s)],
+                Direction::Both => &[(s, d), (d, s)],
             };
-            for (from, to) in candidates {
-                if let Some(e) = graph.edges_between(from, l, to).first() {
-                    found = Some(*e);
+            for &(from, to) in endpoint_pairs {
+                if let Some(e) = graph.first_edge_between(from, l, to) {
+                    found = Some(e);
                     break 'search;
                 }
             }
@@ -279,6 +370,7 @@ pub fn expand_into(
 
 /// Bind a new vertex by intersecting the adjacency lists of several bound vertices
 /// (GraphScope's worst-case-optimal `ExpandIntersect`).
+#[allow(clippy::too_many_arguments)]
 pub fn expand_intersect(
     graph: &PropertyGraph,
     input: &[Record],
@@ -297,54 +389,61 @@ pub fn expand_intersect(
                 .ok_or_else(|| crate::error::ExecError::UnboundTag(s.src.clone()))?,
         );
     }
+    // per-step edge labels are fixed across records: materialize them once
+    let step_labels: Vec<Vec<LabelId>> = steps
+        .iter()
+        .map(|s| edge_labels(graph, &s.edge_constraint))
+        .collect();
     let mut out = Vec::new();
     let mut comm = 0u64;
+    // scratch buffers reused across all records: the current candidate set,
+    // the next step's sorted neighbour list, and the intersection output
+    let mut cur: Vec<VertexId> = Vec::new();
+    let mut step_buf: Vec<VertexId> = Vec::new();
+    let mut merged: Vec<VertexId> = Vec::new();
     for rec in input {
         // the record is shipped once to perform the intersection when any step source is
         // remote relative to the first one
         if let Some(p) = partitions {
             if p > 1 && steps.len() > 1 {
-                let parts: BTreeSet<usize> = step_slots
+                let mut parts = step_slots
                     .iter()
                     .filter_map(|&s| rec.get(s).as_vertex())
-                    .map(|v| partition_of(v, partitions))
-                    .collect();
-                if parts.len() > 1 {
-                    comm += 1;
+                    .map(|v| partition_of(v, partitions));
+                if let Some(first) = parts.next() {
+                    if parts.any(|p| p != first) {
+                        comm += 1;
+                    }
                 }
             }
         }
-        let mut candidates: Option<BTreeSet<VertexId>> = None;
-        for (step, &slot) in steps.iter().zip(&step_slots) {
+        // intersect the sorted CSR neighbour lists step by step; `initialized`
+        // distinguishes "no step ran yet" (no candidates at all) from an empty
+        // intersection
+        cur.clear();
+        let mut initialized = false;
+        for (i, (step, &slot)) in steps.iter().zip(&step_slots).enumerate() {
             let Some(src) = rec.get(slot).as_vertex() else {
-                candidates = Some(BTreeSet::new());
+                cur.clear();
+                initialized = true;
                 break;
             };
-            let labels = edge_labels(graph, &step.edge_constraint);
-            let mut set: BTreeSet<VertexId> = BTreeSet::new();
-            for &l in &labels {
-                match step.direction {
-                    Direction::Out => {
-                        set.extend(graph.out_edges_with_label(src, l).iter().map(|a| a.neighbor))
-                    }
-                    Direction::In => {
-                        set.extend(graph.in_edges_with_label(src, l).iter().map(|a| a.neighbor))
-                    }
-                    Direction::Both => {
-                        set.extend(graph.out_edges_with_label(src, l).iter().map(|a| a.neighbor));
-                        set.extend(graph.in_edges_with_label(src, l).iter().map(|a| a.neighbor));
-                    }
-                }
+            if !initialized {
+                gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, &mut cur);
+                initialized = true;
+            } else {
+                gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, &mut step_buf);
+                intersect_sorted_into(&cur, &step_buf, &mut merged);
+                std::mem::swap(&mut cur, &mut merged);
             }
-            candidates = Some(match candidates {
-                None => set,
-                Some(prev) => prev.intersection(&set).copied().collect(),
-            });
-            if candidates.as_ref().is_some_and(|c| c.is_empty()) {
+            if cur.is_empty() {
                 break;
             }
         }
-        for v in candidates.unwrap_or_default() {
+        if !initialized {
+            continue;
+        }
+        for &v in &cur {
             if vertex_matches(
                 graph,
                 tags,
@@ -396,35 +495,39 @@ pub fn path_expand(
             let mut next: Vec<Vec<VertexId>> = Vec::new();
             for path in &frontier {
                 let cur = *path.last().expect("non-empty path");
+                // iterate the CSR segments directly — no intermediate Vec per
+                // (path, label) pair
+                let mut step = |n: VertexId, next: &mut Vec<Vec<VertexId>>| {
+                    if semantics == PathSemantics::Simple && path.contains(&n) {
+                        return;
+                    }
+                    if partition_of(cur, partitions) != partition_of(n, partitions) {
+                        comm += 1;
+                    }
+                    let mut np = path.clone();
+                    np.push(n);
+                    next.push(np);
+                };
                 for &l in &labels {
-                    let adj: Vec<VertexId> = match direction {
-                        Direction::Out => graph
-                            .out_edges_with_label(cur, l)
-                            .iter()
-                            .map(|a| a.neighbor)
-                            .collect(),
-                        Direction::In => graph
-                            .in_edges_with_label(cur, l)
-                            .iter()
-                            .map(|a| a.neighbor)
-                            .collect(),
-                        Direction::Both => graph
-                            .out_edges_with_label(cur, l)
-                            .iter()
-                            .chain(graph.in_edges_with_label(cur, l).iter())
-                            .map(|a| a.neighbor)
-                            .collect(),
-                    };
-                    for n in adj {
-                        if semantics == PathSemantics::Simple && path.contains(&n) {
-                            continue;
+                    match direction {
+                        Direction::Out => {
+                            for a in graph.out_edges_with_label(cur, l) {
+                                step(a.neighbor, &mut next);
+                            }
                         }
-                        if partition_of(cur, partitions) != partition_of(n, partitions) {
-                            comm += 1;
+                        Direction::In => {
+                            for a in graph.in_edges_with_label(cur, l) {
+                                step(a.neighbor, &mut next);
+                            }
                         }
-                        let mut np = path.clone();
-                        np.push(n);
-                        next.push(np);
+                        Direction::Both => {
+                            for a in graph.out_edges_with_label(cur, l) {
+                                step(a.neighbor, &mut next);
+                            }
+                            for a in graph.in_edges_with_label(cur, l) {
+                                step(a.neighbor, &mut next);
+                            }
+                        }
                     }
                 }
             }
@@ -460,7 +563,10 @@ mod tests {
             .map(|i| {
                 b.add_vertex_by_name(
                     "Person",
-                    vec![("id", PropValue::Int(i)), ("name", PropValue::str(format!("p{i}")))],
+                    vec![
+                        ("id", PropValue::Int(i)),
+                        ("name", PropValue::str(format!("p{i}"))),
+                    ],
                 )
                 .unwrap()
             })
@@ -525,7 +631,9 @@ mod tests {
         assert_eq!(out.len(), 4, "four Knows edges");
         assert_eq!(comm0, 0);
         // every output has the edge bound
-        assert!(out.iter().all(|r| r.get(tags.slot("e").unwrap()).as_edge().is_some()));
+        assert!(out
+            .iter()
+            .all(|r| r.get(tags.slot("e").unwrap()).as_edge().is_some()));
 
         let mut tags = TagMap::new();
         let input = scan(&g, &mut tags, "a", &person(&g), &None);
@@ -686,9 +794,17 @@ mod tests {
         let mut tags3 = TagMap::new();
         tags3.slot_or_insert("a");
         tags3.slot_or_insert("b");
-        let (_, comm) =
-            expand_intersect(&g, &[r], &mut tags3, &steps, "c", &person(&g), &None, Some(2))
-                .unwrap();
+        let (_, comm) = expand_intersect(
+            &g,
+            &[r],
+            &mut tags3,
+            &steps,
+            "c",
+            &person(&g),
+            &None,
+            Some(2),
+        )
+        .unwrap();
         assert_eq!(comm, 1);
     }
 

@@ -223,7 +223,11 @@ mod tests {
         assert_eq!(r.get(99), &Entry::Null);
         let r2 = r.with(0, Entry::Vertex(VertexId(7)));
         assert_eq!(r2.get(0).as_vertex(), Some(VertexId(7)));
-        assert_eq!(r.get(0), &Entry::Null, "with() does not mutate the original");
+        assert_eq!(
+            r.get(0),
+            &Entry::Null,
+            "with() does not mutate the original"
+        );
         assert_eq!(r2.entries().len(), 3);
     }
 
@@ -248,10 +252,20 @@ mod tests {
     fn record_context_evaluates_graph_properties() {
         let mut b = GraphBuilder::new(fig6_schema());
         let p = b
-            .add_vertex_by_name("Person", vec![("name", PropValue::str("alice")), ("age", PropValue::Int(30))])
+            .add_vertex_by_name(
+                "Person",
+                vec![
+                    ("name", PropValue::str("alice")),
+                    ("age", PropValue::Int(30)),
+                ],
+            )
             .unwrap();
-        let c = b.add_vertex_by_name("Place", vec![("name", PropValue::str("China"))]).unwrap();
-        let e = b.add_edge_by_name("LocatedIn", p, c, vec![("since", PropValue::Int(2001))]).unwrap();
+        let c = b
+            .add_vertex_by_name("Place", vec![("name", PropValue::str("China"))])
+            .unwrap();
+        let e = b
+            .add_edge_by_name("LocatedIn", p, c, vec![("since", PropValue::Int(2001))])
+            .unwrap();
         let g = b.finish();
 
         let mut tags = TagMap::new();
@@ -278,7 +292,10 @@ mod tests {
         assert!(Expr::prop_eq("path", "length", 1).evaluate_predicate(&ctx));
         assert!(!Expr::prop_eq("p", "missing", 1).evaluate_predicate(&ctx));
         assert!(!Expr::prop_eq("ghost", "name", "x").evaluate_predicate(&ctx));
-        assert!(Expr::binary(gopt_gir::BinOp::Gt, Expr::tag("cnt"), Expr::lit(5)).evaluate_predicate(&ctx));
+        assert!(
+            Expr::binary(gopt_gir::BinOp::Gt, Expr::tag("cnt"), Expr::lit(5))
+                .evaluate_predicate(&ctx)
+        );
         // prop access on scalar tags yields null
         assert!(!Expr::prop_eq("cnt", "x", 1).evaluate_predicate(&ctx));
     }

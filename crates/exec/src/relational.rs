@@ -229,7 +229,10 @@ impl Accumulator {
         self.count += 1;
         if let Some(f) = v.as_float() {
             self.sum += f;
-            if !matches!(v, PropValue::Int(_) | PropValue::Bool(_) | PropValue::Date(_)) {
+            if !matches!(
+                v,
+                PropValue::Int(_) | PropValue::Bool(_) | PropValue::Date(_)
+            ) {
                 self.int_only = false;
             }
         }
@@ -299,7 +302,11 @@ pub fn order_limit(
         std::cmp::Ordering::Equal
     });
     let take = limit.unwrap_or(keyed.len());
-    keyed.into_iter().take(take).map(|(_, r)| r.clone()).collect()
+    keyed
+        .into_iter()
+        .take(take)
+        .map(|(_, r)| r.clone())
+        .collect()
 }
 
 /// Keep the first `count` records.
@@ -339,7 +346,10 @@ pub fn union(inputs: &[(&[Record], &TagMap)]) -> (Vec<Record>, TagMap) {
         for r in *records {
             let mut nr = Record::new();
             for (i, tag) in t.tags().iter().enumerate() {
-                nr.set(out_tags.slot(tag).expect("tag registered"), r.get(i).clone());
+                nr.set(
+                    out_tags.slot(tag).expect("tag registered"),
+                    r.get(i).clone(),
+                );
             }
             out.push(nr);
         }
@@ -525,7 +535,7 @@ mod tests {
         assert_eq!(g1.get(4).to_value(), PropValue::Int(30)); // max
         assert_eq!(g1.get(5).to_value(), PropValue::Float(20.0)); // avg
         assert_eq!(g1.get(6).to_value(), PropValue::Int(2)); // distinct
-        // group a=2 distinct count is 2 (20, 40)
+                                                             // group a=2 distinct count is 2 (20, 40)
         let g2 = out
             .iter()
             .find(|r| r.get(0).to_value() == PropValue::Int(2))
@@ -551,7 +561,10 @@ mod tests {
             &g,
             &recs,
             &tags,
-            &[(Expr::tag("a"), SortDir::Asc), (Expr::tag("b"), SortDir::Desc)],
+            &[
+                (Expr::tag("a"), SortDir::Asc),
+                (Expr::tag("b"), SortDir::Desc),
+            ],
             None,
         );
         let col_a: Vec<PropValue> = sorted.iter().map(|r| r.get(0).to_value()).collect();

@@ -151,6 +151,7 @@ impl PatternBuilder {
         self
     }
 
+    #[allow(clippy::too_many_arguments)]
     /// Open a variable-length path expansion (`EXPAND_PATH`) from `from_tag`.
     pub fn expand_path(
         mut self,
@@ -189,7 +190,12 @@ impl PatternBuilder {
 
     /// Close a pending edge (or path) at a vertex with the given alias and constraint
     /// (`getV(Tag(edge), Alias(v), Type, Vertex.END)`).
-    pub fn get_v_end(mut self, edge_tag: &str, vertex_alias: &str, constraint: TypeConstraint) -> Self {
+    pub fn get_v_end(
+        mut self,
+        edge_tag: &str,
+        vertex_alias: &str,
+        constraint: TypeConstraint,
+    ) -> Self {
         let pending = match self.pending.remove(edge_tag) {
             Some(p) => p,
             None => return self.fail(format!("get_v_end: no pending edge {edge_tag}")),
@@ -453,7 +459,15 @@ mod tests {
         // invalid hop bounds
         assert!(PatternBuilder::new()
             .get_v("a", TypeConstraint::all())
-            .expand_path("a", "p", TypeConstraint::all(), Direction::Out, 3, 2, PathSemantics::Arbitrary)
+            .expand_path(
+                "a",
+                "p",
+                TypeConstraint::all(),
+                Direction::Out,
+                3,
+                2,
+                PathSemantics::Arbitrary
+            )
             .get_v_end("p", "b", TypeConstraint::all())
             .finish()
             .is_err());

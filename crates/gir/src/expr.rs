@@ -276,7 +276,7 @@ impl Expr {
                 if v.is_null() {
                     PropValue::Null
                 } else {
-                    PropValue::Bool(list.iter().any(|x| *x == v))
+                    PropValue::Bool(list.contains(&v))
                 }
             }
         }
@@ -409,7 +409,9 @@ mod tests {
             self.tags.get(tag).cloned()
         }
         fn prop_value(&self, tag: &str, prop: &str) -> Option<PropValue> {
-            self.props.get(&(tag.to_string(), prop.to_string())).cloned()
+            self.props
+                .get(&(tag.to_string(), prop.to_string()))
+                .cloned()
         }
     }
 

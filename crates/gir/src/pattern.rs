@@ -480,14 +480,14 @@ impl Pattern {
     /// This is the structural operation behind the `JoinToPattern` rule: two
     /// `MATCH_PATTERN`s joined on their common tags collapse into one pattern.
     /// Returns the merged pattern and the vertex-id mapping from `other` into the result.
-    pub fn merge_by_tag(&self, other: &Pattern) -> (Pattern, BTreeMap<PatternVertexId, PatternVertexId>) {
+    pub fn merge_by_tag(
+        &self,
+        other: &Pattern,
+    ) -> (Pattern, BTreeMap<PatternVertexId, PatternVertexId>) {
         let mut merged = self.clone();
         let mut vmap: BTreeMap<PatternVertexId, PatternVertexId> = BTreeMap::new();
         for v in other.vertices.values() {
-            let target = v
-                .tag
-                .as_deref()
-                .and_then(|t| merged.vertex_by_tag(t));
+            let target = v.tag.as_deref().and_then(|t| merged.vertex_by_tag(t));
             match target {
                 Some(existing) => {
                     let mv = merged.vertex_mut(existing);
@@ -500,8 +500,11 @@ impl Pattern {
                     vmap.insert(v.id, existing);
                 }
                 None => {
-                    let nid =
-                        merged.add_vertex_full(v.tag.clone(), v.constraint.clone(), v.predicate.clone());
+                    let nid = merged.add_vertex_full(
+                        v.tag.clone(),
+                        v.constraint.clone(),
+                        v.predicate.clone(),
+                    );
                     merged.vertex_mut(nid).columns = v.columns.clone();
                     vmap.insert(v.id, nid);
                 }
@@ -582,7 +585,11 @@ impl Pattern {
     }
 
     /// Render the pattern using label names from a naming function.
-    pub fn render(&self, vertex_name: impl Fn(gopt_graph::LabelId) -> String, edge_name: impl Fn(gopt_graph::LabelId) -> String) -> String {
+    pub fn render(
+        &self,
+        vertex_name: impl Fn(gopt_graph::LabelId) -> String,
+        edge_name: impl Fn(gopt_graph::LabelId) -> String,
+    ) -> String {
         let vs: Vec<String> = self
             .vertices
             .values()
@@ -782,10 +789,7 @@ mod tests {
         assert_eq!(vmap[&a2], a1);
         assert_eq!(vmap[&c2], c1);
         // the constraint of the unified v3 is the intersection (Place)
-        assert_eq!(
-            merged.vertex(c1).constraint,
-            TypeConstraint::basic(PLACE)
-        );
+        assert_eq!(merged.vertex(c1).constraint, TypeConstraint::basic(PLACE));
         assert!(merged.is_connected());
     }
 

@@ -14,9 +14,10 @@ use gopt_graph::LabelId;
 use std::fmt;
 
 /// A type constraint: AllType or an explicit, sorted, de-duplicated label set.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum TypeConstraint {
     /// Matches any label (the paper's AllType).
+    #[default]
     All,
     /// Matches any label in the (sorted, deduplicated) set.
     /// A singleton set is a BasicType; a larger set is a UnionType; an **empty set is
@@ -106,9 +107,12 @@ impl TypeConstraint {
         match (self, other) {
             (TypeConstraint::All, x) => x.clone(),
             (x, TypeConstraint::All) => x.clone(),
-            (TypeConstraint::Labels(a), TypeConstraint::Labels(b)) => {
-                TypeConstraint::Labels(a.iter().copied().filter(|l| b.binary_search(l).is_ok()).collect())
-            }
+            (TypeConstraint::Labels(a), TypeConstraint::Labels(b)) => TypeConstraint::Labels(
+                a.iter()
+                    .copied()
+                    .filter(|l| b.binary_search(l).is_ok())
+                    .collect(),
+            ),
         }
     }
 
@@ -135,18 +139,10 @@ impl TypeConstraint {
         match self {
             TypeConstraint::All => "AllType".to_string(),
             TypeConstraint::Labels(v) if v.is_empty() => "∅".to_string(),
-            TypeConstraint::Labels(v) => v
-                .iter()
-                .map(|l| name_of(*l))
-                .collect::<Vec<_>>()
-                .join("|"),
+            TypeConstraint::Labels(v) => {
+                v.iter().map(|l| name_of(*l)).collect::<Vec<_>>().join("|")
+            }
         }
-    }
-}
-
-impl Default for TypeConstraint {
-    fn default() -> Self {
-        TypeConstraint::All
     }
 }
 
@@ -227,11 +223,13 @@ mod tests {
         let names = |l: LabelId| ["Person", "Post", "Comment"][l.index()].to_string();
         assert_eq!(TypeConstraint::all().render(names), "AllType");
         assert_eq!(
-            TypeConstraint::union([B, C]).render(|l| ["Person", "Post", "Comment"][l.index()].to_string()),
+            TypeConstraint::union([B, C])
+                .render(|l| ["Person", "Post", "Comment"][l.index()].to_string()),
             "Post|Comment"
         );
         assert_eq!(
-            TypeConstraint::Labels(vec![]).render(|_| unreachable!("empty set renders without names")),
+            TypeConstraint::Labels(vec![])
+                .render(|_| unreachable!("empty set renders without names")),
             "∅"
         );
         assert_eq!(TypeConstraint::union([A, B]).to_string(), "0|1");

@@ -33,10 +33,7 @@ pub trait CardEstimator {
 
     /// Estimated frequency including the default selectivity of each filtered element.
     fn pattern_freq_with_filters(&self, pattern: &Pattern) -> f64 {
-        let filters = pattern
-            .vertices()
-            .filter(|v| v.predicate.is_some())
-            .count()
+        let filters = pattern.vertices().filter(|v| v.predicate.is_some()).count()
             + pattern.edges().filter(|e| e.predicate.is_some()).count();
         self.pattern_freq(pattern) * DEFAULT_SELECTIVITY.powi(filters as i32)
     }
@@ -144,7 +141,11 @@ impl<'a> GlogueQuery<'a> {
             .max(1.0);
         for (i, eid) in pattern.adjacent_edges(v).into_iter().enumerate() {
             let e = pattern.edge(eid);
-            let (anchor, _new) = if e.src == v { (e.dst, e.src) } else { (e.src, e.dst) };
+            let (anchor, _new) = if e.src == v {
+                (e.dst, e.src)
+            } else {
+                (e.src, e.dst)
+            };
             let src_c = &pattern.vertex(e.src).constraint;
             let dst_c = &pattern.vertex(e.dst).constraint;
             let edge_f = glogue.edge_constraint_freq(src_c, &e.constraint, dst_c);
@@ -176,7 +177,7 @@ impl<'a> GlogueQuery<'a> {
                 continue;
             }
             let deg = pattern.degree(v);
-            if best.map_or(true, |(d, _)| deg < d) {
+            if best.is_none_or(|(d, _)| deg < d) {
                 best = Some((deg, v));
             }
         }

@@ -64,24 +64,20 @@ impl GLogue {
         for l in schema.edge_label_ids() {
             edge_counts[l.index()] = graph.edge_count_by_label(l) as f64;
         }
-        // distinct connected pairs per (src label, edge label, dst label): adjacency is
-        // sorted by (edge label, neighbour), so distinct neighbours per label are a scan.
+        // distinct connected pairs per (src label, edge label, dst label): each CSR
+        // (vertex, label) segment is sorted by neighbour, so distinct neighbours per
+        // label are a linear scan of the segment.
         let mut typed_pair_counts: HashMap<(LabelId, LabelId, LabelId), f64> = HashMap::new();
         for u in graph.vertex_ids() {
             let ul = graph.vertex_label(u);
-            let adj = graph.out_edges(u);
-            let mut i = 0;
-            while i < adj.len() {
-                let el = adj[i].edge_label;
+            for el in schema.edge_label_ids() {
                 let mut prev = None;
-                while i < adj.len() && adj[i].edge_label == el {
-                    let n = adj[i].neighbor;
-                    if prev != Some(n) {
-                        let nl = graph.vertex_label(n);
+                for a in graph.out_edges_with_label(u, el) {
+                    if prev != Some(a.neighbor) {
+                        let nl = graph.vertex_label(a.neighbor);
                         *typed_pair_counts.entry((ul, el, nl)).or_insert(0.0) += 1.0;
-                        prev = Some(n);
+                        prev = Some(a.neighbor);
                     }
-                    i += 1;
                 }
             }
         }
@@ -147,8 +143,11 @@ impl GLogue {
                 .insert(p.canonical_code(), self.vertex_counts[l.index()]);
         }
         // size-2 patterns from typed pair counts
-        let entries: Vec<((LabelId, LabelId, LabelId), f64)> =
-            self.typed_pair_counts.iter().map(|(k, v)| (*k, *v)).collect();
+        let entries: Vec<((LabelId, LabelId, LabelId), f64)> = self
+            .typed_pair_counts
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
         for ((s, e, d), c) in entries {
             let mut p = Pattern::new();
             let a = p.add_vertex(TypeConstraint::basic(s));
@@ -168,8 +167,7 @@ impl GLogue {
             if !seen.insert(code.clone()) {
                 continue;
             }
-            let freq =
-                count_homomorphisms_sampled(graph, &p, config.max_anchors, config.seed);
+            let freq = count_homomorphisms_sampled(graph, &p, config.max_anchors, config.seed);
             if freq > 0.0 {
                 self.pattern_freqs.insert(code, freq);
             }
@@ -193,7 +191,10 @@ impl GLogue {
 
     /// Frequency of a vertex label.
     pub fn vertex_freq(&self, label: LabelId) -> f64 {
-        self.vertex_counts.get(label.index()).copied().unwrap_or(0.0)
+        self.vertex_counts
+            .get(label.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Total number of vertices.

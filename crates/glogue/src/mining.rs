@@ -105,7 +105,8 @@ fn matching_order(pattern: &Pattern) -> Vec<PatternVertexId> {
 }
 
 fn candidate_vertices(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<VertexId> {
-    let labels: Vec<LabelId> = constraint.materialize(&graph.schema().vertex_label_ids().collect::<Vec<_>>());
+    let labels: Vec<LabelId> =
+        constraint.materialize(&graph.schema().vertex_label_ids().collect::<Vec<_>>());
     let mut out = Vec::new();
     for l in labels {
         out.extend_from_slice(graph.vertices_with_label(l));
@@ -113,13 +114,11 @@ fn candidate_vertices(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec
     out
 }
 
-fn edge_matches(
-    graph: &PropertyGraph,
-    edge: &PatternEdge,
-    src: VertexId,
-    dst: VertexId,
-) -> bool {
-    debug_assert!(edge.path.is_none(), "path edges are not counted by the miner");
+fn edge_matches(graph: &PropertyGraph, edge: &PatternEdge, src: VertexId, dst: VertexId) -> bool {
+    debug_assert!(
+        edge.path.is_none(),
+        "path edges are not counted by the miner"
+    );
     let labels: Vec<LabelId> = edge
         .constraint
         .materialize(&graph.schema().edge_label_ids().collect::<Vec<_>>());
@@ -149,7 +148,11 @@ fn extend(
     }
     // candidate generation: expand from one assigned neighbour if possible, else scan
     let candidates: Vec<VertexId> = if let Some(e) = back_edges.first() {
-        let (from_pv, outgoing) = if e.dst == pv { (e.src, true) } else { (e.dst, false) };
+        let (from_pv, outgoing) = if e.dst == pv {
+            (e.src, true)
+        } else {
+            (e.dst, false)
+        };
         let from = assignment[&from_pv];
         let elabels: Vec<LabelId> = e
             .constraint
@@ -227,7 +230,17 @@ mod tests {
         b.finish()
     }
 
-    fn labels(g: &PropertyGraph) -> (LabelId, LabelId, LabelId, LabelId, LabelId, LabelId, LabelId) {
+    fn labels(
+        g: &PropertyGraph,
+    ) -> (
+        LabelId,
+        LabelId,
+        LabelId,
+        LabelId,
+        LabelId,
+        LabelId,
+        LabelId,
+    ) {
         let s = g.schema();
         (
             s.vertex_label("Person").unwrap(),

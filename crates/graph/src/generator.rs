@@ -40,7 +40,8 @@ impl Default for RandomGraphConfig {
 pub fn random_graph(schema: &GraphSchema, cfg: &RandomGraphConfig) -> PropertyGraph {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::new(schema.clone());
-    let mut by_label: Vec<Vec<crate::ids::VertexId>> = vec![Vec::new(); schema.vertex_label_count()];
+    let mut by_label: Vec<Vec<crate::ids::VertexId>> =
+        vec![Vec::new(); schema.vertex_label_count()];
     for l in schema.vertex_label_ids() {
         for i in 0..cfg.vertices_per_label {
             let name = format!("{}_{}", schema.vertex_label_name(l), i);
@@ -67,8 +68,13 @@ pub fn random_graph(schema: &GraphSchema, cfg: &RandomGraphConfig) -> PropertyGr
             for _ in 0..cfg.edges_per_endpoint {
                 let s = srcs[rng.gen_range(0..srcs.len())];
                 let d = dsts[rng.gen_range(0..dsts.len())];
-                b.add_edge(el, s, d, vec![("weight", PropValue::Int(rng.gen_range(0..100)))])
-                    .expect("schema-conforming edge");
+                b.add_edge(
+                    el,
+                    s,
+                    d,
+                    vec![("weight", PropValue::Int(rng.gen_range(0..100)))],
+                )
+                .expect("schema-conforming edge");
             }
         }
     }

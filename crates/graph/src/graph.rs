@@ -1,10 +1,66 @@
 //! The in-memory property graph store.
 //!
-//! [`PropertyGraph`] is an immutable-after-build, label-partitioned graph with
-//! per-vertex adjacency lists sorted by edge label, so that expanding a vertex
-//! over a specific edge label is a binary search plus a contiguous scan — the
-//! access pattern that the physical operators (`ExpandEdge`, `ExpandInto`,
-//! `ExpandIntersect`) rely on.
+//! # Storage layout: CSR adjacency + columnar properties
+//!
+//! [`PropertyGraph`] is immutable after build and organised for the access
+//! pattern of the physical operators (`ExpandEdge`, `ExpandInto`,
+//! `ExpandIntersect`): *expand a vertex over one edge label* must be a pure
+//! array lookup returning a contiguous, sorted slice — no pointer chasing, no
+//! per-call allocation.
+//!
+//! ## Adjacency: flat CSR with a per-(vertex, label) segment index
+//!
+//! Each direction (out/in) is one [`CsrAdjacency`]:
+//!
+//! ```text
+//! entries:       [ Adj | Adj | Adj | ... ]        one flat Vec for ALL vertices
+//! offsets:       [ o_0, o_1, ..., o_n ]           n+1; entries[o_v..o_{v+1}] = adjacency of v
+//! label_offsets: [ s_{0,0}, ..., s_{v,l}, ... ]   n*L+1; entries[s_{v,l}..s_{v,l+1}] =
+//!                                                 adjacency of v restricted to edge label l
+//! ```
+//!
+//! `out_edges_with_label(v, l)` is therefore **two array lookups** into
+//! `label_offsets` plus a slice construction — O(1), zero allocation, and the
+//! returned entries are contiguous in memory. Within each (vertex, label)
+//! segment the entries are sorted by `(neighbor, edge)`, which is the contract
+//! the operators rely on:
+//!
+//! * [`PropertyGraph::has_edge`] / [`PropertyGraph::edges_between`] binary-search
+//!   the segment by neighbour (`O(log d)`);
+//! * `ExpandIntersect` merge-intersects two segments with a galloping scan
+//!   instead of hashing;
+//! * distinct-neighbour deduplication during expansion is a linear `dedup`.
+//!
+//! The `label_offsets` index trades `n_vertices * n_edge_labels * 4` bytes of
+//! memory for O(1) label slicing (the previous layout binary-searched a
+//! per-vertex `Vec<Adj>`, costing two searches and a cache miss per hop).
+//!
+//! ## Properties: per-(label, key) columns
+//!
+//! Vertex and edge properties live in [`PropColumns`]: one dense column per
+//! (label, interned property key) pair, indexed by the record's *in-label
+//! offset* (its position among records of the same label, assigned in
+//! insertion order). `vertex_prop` / `edge_prop` are O(1) — label lookup,
+//! offset lookup, column cell — replacing the previous per-record boxed slice
+//! that was linearly scanned on every access. Endpoints and labels of edges
+//! are likewise stored as flat columns (`edge_labels`, `edge_srcs`,
+//! `edge_dsts`), which the statistics layer scans directly.
+//!
+//! ## Operator access contract
+//!
+//! Code outside this crate may rely on exactly this:
+//!
+//! 1. `{out,in}_edges_with_label(v, l)` returns a contiguous slice sorted by
+//!    `(neighbor, edge)`, without allocating;
+//! 2. `{out,in}_edges(v)` returns the full per-vertex slice, grouped by edge
+//!    label in increasing label order (segments concatenated);
+//! 3. `edges_between(src, l, dst)` returns the contiguous sub-slice of parallel
+//!    edges (sorted by edge id), located by binary search;
+//! 4. vertex/edge ids are dense and assigned in insertion order, so columns can
+//!    be zipped with id ranges.
+//!
+//! Build one with [`GraphBuilder`]; the CSR arrays and property columns are
+//! materialised in [`GraphBuilder::finish`].
 
 use crate::error::GraphError;
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
@@ -23,34 +79,194 @@ pub struct Adj {
     pub neighbor: VertexId,
 }
 
-#[derive(Debug, Clone)]
-struct VertexRecord {
-    label: LabelId,
-    props: Box<[(PropKeyId, PropValue)]>,
-}
-
-#[derive(Debug, Clone)]
-struct EdgeRecord {
-    label: LabelId,
-    src: VertexId,
-    dst: VertexId,
-    props: Box<[(PropKeyId, PropValue)]>,
-}
-
-/// An immutable in-memory property graph.
+/// Flat compressed-sparse-row adjacency for one direction.
 ///
-/// Build one with [`GraphBuilder`]. Vertices and edges get dense ids in insertion
-/// order; adjacency lists are finalised (sorted by edge label, then neighbour id)
-/// when [`GraphBuilder::finish`] is called.
+/// See the [module documentation](self) for the layout. All offsets are `u32`
+/// (graphs are capped at `u32::MAX` edges per direction, asserted at build).
+#[derive(Debug, Clone, Default)]
+pub struct CsrAdjacency {
+    /// All adjacency entries, grouped by vertex, then by edge label, each
+    /// (vertex, label) segment sorted by `(neighbor, edge)`.
+    entries: Vec<Adj>,
+    /// Per-vertex extents: `entries[offsets[v] .. offsets[v+1]]`. Length `n+1`.
+    offsets: Vec<u32>,
+    /// Per-(vertex, label) extents: `entries[label_offsets[v*L+l] .. label_offsets[v*L+l+1]]`.
+    /// Length `n*L + 1`; monotone, ending at `entries.len()`.
+    label_offsets: Vec<u32>,
+    /// Number of edge labels `L` the segment index is built over.
+    n_labels: usize,
+}
+
+impl CsrAdjacency {
+    /// Build from per-edge endpoint/label columns. `endpoint(e)` gives the
+    /// vertex whose adjacency the edge belongs to, `other(e)` the neighbour.
+    fn build(
+        n_vertices: usize,
+        n_labels: usize,
+        edge_labels: &[LabelId],
+        endpoint: impl Fn(usize) -> VertexId,
+        other: impl Fn(usize) -> VertexId,
+    ) -> CsrAdjacency {
+        assert!(
+            edge_labels.len() <= u32::MAX as usize,
+            "CSR adjacency is limited to u32::MAX edges"
+        );
+        // counting sort by (vertex, label): one pass to size segments,
+        // a prefix sum for extents, one pass to scatter
+        let mut label_offsets = vec![0u32; n_vertices * n_labels + 1];
+        for (i, &l) in edge_labels.iter().enumerate() {
+            label_offsets[endpoint(i).index() * n_labels + l.index() + 1] += 1;
+        }
+        for i in 1..label_offsets.len() {
+            label_offsets[i] += label_offsets[i - 1];
+        }
+        let mut cursors: Vec<u32> = label_offsets[..label_offsets.len() - 1].to_vec();
+        let total = edge_labels.len();
+        let mut entries = vec![
+            Adj {
+                edge_label: LabelId(0),
+                edge: EdgeId(0),
+                neighbor: VertexId(0),
+            };
+            total
+        ];
+        for (i, &l) in edge_labels.iter().enumerate() {
+            let seg = endpoint(i).index() * n_labels + l.index();
+            let pos = cursors[seg] as usize;
+            cursors[seg] += 1;
+            entries[pos] = Adj {
+                edge_label: l,
+                edge: EdgeId(i as u64),
+                neighbor: other(i),
+            };
+        }
+        // establish per-segment (neighbor, edge) order
+        for seg in 0..n_vertices * n_labels {
+            let (s, e) = (label_offsets[seg] as usize, label_offsets[seg + 1] as usize);
+            if e - s > 1 {
+                entries[s..e].sort_unstable_by_key(|a| (a.neighbor, a.edge));
+            }
+        }
+        let offsets = (0..=n_vertices)
+            .map(|v| label_offsets[(v * n_labels).min(label_offsets.len() - 1)])
+            .collect();
+        CsrAdjacency {
+            entries,
+            offsets,
+            label_offsets,
+            n_labels,
+        }
+    }
+
+    /// All adjacency entries of `v` (grouped by label, label-ascending).
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> &[Adj] {
+        &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Adjacency entries of `v` restricted to `label`: two array lookups, one
+    /// contiguous slice sorted by `(neighbor, edge)`.
+    #[inline]
+    pub fn edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+        if label.index() >= self.n_labels {
+            return &[];
+        }
+        let seg = v.index() * self.n_labels + label.index();
+        &self.entries[self.label_offsets[seg] as usize..self.label_offsets[seg + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The contiguous run of entries of `v` with `label` whose neighbour is
+    /// `to` — the parallel edges between the pair, sorted by edge id. Located
+    /// by binary search (`O(log d)`), sliced without allocation.
+    #[inline]
+    pub fn edges_to(&self, v: VertexId, label: LabelId, to: VertexId) -> &[Adj] {
+        let seg = self.edges_with_label(v, label);
+        let start = seg.partition_point(|a| a.neighbor < to);
+        let end = start + seg[start..].partition_point(|a| a.neighbor == to);
+        &seg[start..end]
+    }
+}
+
+/// Columnar property storage: one dense column per (record label, property
+/// key), indexed by the record's in-label offset. `None` cells are absent
+/// properties; whole columns are `None` when no record of that label carries
+/// the key.
+#[derive(Debug, Clone, Default)]
+struct PropColumns {
+    n_keys: usize,
+    /// `columns[label.index() * n_keys + key.index()]`.
+    columns: Vec<Option<Box<[Option<PropValue>]>>>,
+}
+
+impl PropColumns {
+    /// Scatter per-record property lists into columns. `label_sizes[l]` is the
+    /// number of records with label `l`; `(label, in_label_offset)` locates
+    /// each record.
+    fn build(
+        n_keys: usize,
+        label_sizes: &[usize],
+        records: impl Iterator<Item = (LabelId, u32, Box<[(PropKeyId, PropValue)]>)>,
+    ) -> PropColumns {
+        let mut columns: Vec<Option<Box<[Option<PropValue>]>>> =
+            vec![None; label_sizes.len() * n_keys];
+        for (label, off, props) in records {
+            for (key, value) in props.into_vec() {
+                let col = &mut columns[label.index() * n_keys + key.index()];
+                let col = col.get_or_insert_with(|| {
+                    vec![None; label_sizes[label.index()]].into_boxed_slice()
+                });
+                let cell = &mut col[off as usize];
+                // first-wins on duplicate keys within one record, matching the
+                // pre-columnar layout's linear `find` over the property list
+                if cell.is_none() {
+                    *cell = Some(value);
+                }
+            }
+        }
+        PropColumns { n_keys, columns }
+    }
+
+    #[inline]
+    fn get(&self, label: LabelId, in_label_offset: u32, key: PropKeyId) -> Option<&PropValue> {
+        if key.index() >= self.n_keys {
+            return None;
+        }
+        self.columns[label.index() * self.n_keys + key.index()].as_ref()?[in_label_offset as usize]
+            .as_ref()
+    }
+}
+
+/// An immutable in-memory property graph in CSR + columnar layout.
+///
+/// Build one with [`GraphBuilder`]. Vertices and edges get dense ids in
+/// insertion order; the adjacency arrays and property columns are materialised
+/// by [`GraphBuilder::finish`]. See the [module documentation](self) for the
+/// storage layout and the access contract operators rely on.
 #[derive(Debug, Clone)]
 pub struct PropertyGraph {
     schema: GraphSchema,
-    vertices: Vec<VertexRecord>,
-    edges: Vec<EdgeRecord>,
-    out_adj: Vec<Vec<Adj>>,
-    in_adj: Vec<Vec<Adj>>,
+    // vertex columns
+    vertex_labels: Vec<LabelId>,
+    vertex_in_label_offset: Vec<u32>,
     vertices_by_label: Vec<Vec<VertexId>>,
+    vertex_props: PropColumns,
+    // edge columns
+    edge_labels: Vec<LabelId>,
+    edge_srcs: Vec<VertexId>,
+    edge_dsts: Vec<VertexId>,
+    edge_in_label_offset: Vec<u32>,
     edge_count_by_label: Vec<u64>,
+    edge_props: PropColumns,
+    // adjacency
+    out_adj: CsrAdjacency,
+    in_adj: CsrAdjacency,
+    // interned property keys
     prop_keys: Vec<String>,
     prop_key_idx: HashMap<String, PropKeyId>,
 }
@@ -63,12 +279,12 @@ impl PropertyGraph {
 
     /// Total number of vertices.
     pub fn vertex_count(&self) -> usize {
-        self.vertices.len()
+        self.vertex_labels.len()
     }
 
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_labels.len()
     }
 
     /// Number of vertices carrying the given label.
@@ -95,80 +311,128 @@ impl PropertyGraph {
 
     /// Iterate over all vertex ids.
     pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.vertices.len() as u64).map(VertexId)
+        (0..self.vertex_labels.len() as u64).map(VertexId)
     }
 
     /// Iterate over all edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len() as u64).map(EdgeId)
+        (0..self.edge_labels.len() as u64).map(EdgeId)
     }
 
     /// Label of a vertex.
+    #[inline]
     pub fn vertex_label(&self, v: VertexId) -> LabelId {
-        self.vertices[v.index()].label
+        self.vertex_labels[v.index()]
     }
 
     /// Label of an edge.
+    #[inline]
     pub fn edge_label(&self, e: EdgeId) -> LabelId {
-        self.edges[e.index()].label
+        self.edge_labels[e.index()]
     }
 
     /// (source, destination) endpoints of an edge.
+    #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
-        let r = &self.edges[e.index()];
-        (r.src, r.dst)
+        (self.edge_srcs[e.index()], self.edge_dsts[e.index()])
     }
 
-    /// All outgoing adjacency entries of a vertex, sorted by (edge label, neighbour).
+    /// The per-vertex label column (indexed by `VertexId`). For columnar
+    /// consumers such as the statistics layer.
+    pub fn vertex_label_column(&self) -> &[LabelId] {
+        &self.vertex_labels
+    }
+
+    /// The per-edge label column (indexed by `EdgeId`).
+    pub fn edge_label_column(&self) -> &[LabelId] {
+        &self.edge_labels
+    }
+
+    /// The per-edge source-vertex column (indexed by `EdgeId`).
+    pub fn edge_source_column(&self) -> &[VertexId] {
+        &self.edge_srcs
+    }
+
+    /// The per-edge destination-vertex column (indexed by `EdgeId`).
+    pub fn edge_target_column(&self) -> &[VertexId] {
+        &self.edge_dsts
+    }
+
+    /// The outgoing CSR adjacency (for layout-aware consumers).
+    pub fn out_adjacency(&self) -> &CsrAdjacency {
+        &self.out_adj
+    }
+
+    /// The incoming CSR adjacency (for layout-aware consumers).
+    pub fn in_adjacency(&self) -> &CsrAdjacency {
+        &self.in_adj
+    }
+
+    /// All outgoing adjacency entries of a vertex, grouped by edge label
+    /// (ascending), each label group sorted by `(neighbor, edge)`.
+    #[inline]
     pub fn out_edges(&self, v: VertexId) -> &[Adj] {
-        &self.out_adj[v.index()]
+        self.out_adj.edges(v)
     }
 
-    /// All incoming adjacency entries of a vertex, sorted by (edge label, neighbour).
+    /// All incoming adjacency entries of a vertex, grouped by edge label
+    /// (ascending), each label group sorted by `(neighbor, edge)`.
+    #[inline]
     pub fn in_edges(&self, v: VertexId) -> &[Adj] {
-        &self.in_adj[v.index()]
+        self.in_adj.edges(v)
     }
 
-    /// Outgoing adjacency entries of `v` restricted to one edge label (contiguous slice).
+    /// Outgoing adjacency entries of `v` restricted to one edge label:
+    /// two array lookups, one contiguous slice, zero allocation.
+    #[inline]
     pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
-        Self::label_slice(&self.out_adj[v.index()], label)
+        self.out_adj.edges_with_label(v, label)
     }
 
-    /// Incoming adjacency entries of `v` restricted to one edge label (contiguous slice).
+    /// Incoming adjacency entries of `v` restricted to one edge label:
+    /// two array lookups, one contiguous slice, zero allocation.
+    #[inline]
     pub fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
-        Self::label_slice(&self.in_adj[v.index()], label)
-    }
-
-    fn label_slice(adj: &[Adj], label: LabelId) -> &[Adj] {
-        let start = adj.partition_point(|a| a.edge_label < label);
-        let end = adj.partition_point(|a| a.edge_label <= label);
-        &adj[start..end]
+        self.in_adj.edges_with_label(v, label)
     }
 
     /// Out-degree of a vertex.
+    #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.out_adj[v.index()].len()
+        self.out_adj.degree(v)
     }
 
     /// In-degree of a vertex.
+    #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.in_adj[v.index()].len()
+        self.in_adj.degree(v)
     }
 
-    /// Whether there is at least one edge with label `label` from `src` to `dst`.
+    /// Whether there is at least one edge with label `label` from `src` to
+    /// `dst`. Binary search over the sorted (vertex, label) segment.
+    #[inline]
     pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
-        self.out_edges_with_label(src, label)
-            .iter()
-            .any(|a| a.neighbor == dst)
+        let seg = self.out_adj.edges_with_label(src, label);
+        let i = seg.partition_point(|a| a.neighbor < dst);
+        seg.get(i).is_some_and(|a| a.neighbor == dst)
     }
 
-    /// All edges with label `label` from `src` to `dst`.
-    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> Vec<EdgeId> {
-        self.out_edges_with_label(src, label)
-            .iter()
-            .filter(|a| a.neighbor == dst)
-            .map(|a| a.edge)
-            .collect()
+    /// All edges with label `label` from `src` to `dst`, as a contiguous slice
+    /// sorted by edge id. Binary search, zero allocation.
+    #[inline]
+    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> &[Adj] {
+        self.out_adj.edges_to(src, label, dst)
+    }
+
+    /// The smallest-id edge with label `label` from `src` to `dst`, if any.
+    #[inline]
+    pub fn first_edge_between(
+        &self,
+        src: VertexId,
+        label: LabelId,
+        dst: VertexId,
+    ) -> Option<EdgeId> {
+        self.edges_between(src, label, dst).first().map(|a| a.edge)
     }
 
     /// Intern (or look up) a property key name.
@@ -181,13 +445,14 @@ impl PropertyGraph {
         &self.prop_keys[id.index()]
     }
 
-    /// Look up a vertex property by key id.
+    /// Look up a vertex property by key id: O(1) column access.
+    #[inline]
     pub fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
-        self.vertices[v.index()]
-            .props
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, val)| val)
+        self.vertex_props.get(
+            self.vertex_labels[v.index()],
+            self.vertex_in_label_offset[v.index()],
+            key,
+        )
     }
 
     /// Look up a vertex property by name.
@@ -195,13 +460,14 @@ impl PropertyGraph {
         self.prop_key(name).and_then(|k| self.vertex_prop(v, k))
     }
 
-    /// Look up an edge property by key id.
+    /// Look up an edge property by key id: O(1) column access.
+    #[inline]
     pub fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
-        self.edges[e.index()]
-            .props
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, val)| val)
+        self.edge_props.get(
+            self.edge_labels[e.index()],
+            self.edge_in_label_offset[e.index()],
+            key,
+        )
     }
 
     /// Look up an edge property by name.
@@ -226,10 +492,13 @@ impl PropertyGraph {
         // declare edge labels with endpoints observed in the data only
         let mut observed: Vec<Vec<(LabelId, LabelId)>> =
             vec![Vec::new(); self.schema.edge_label_count()];
-        for e in &self.edges {
-            let pair = (self.vertices[e.src.index()].label, self.vertices[e.dst.index()].label);
-            if !observed[e.label.index()].contains(&pair) {
-                observed[e.label.index()].push(pair);
+        for i in 0..self.edge_labels.len() {
+            let pair = (
+                self.vertex_labels[self.edge_srcs[i].index()],
+                self.vertex_labels[self.edge_dsts[i].index()],
+            );
+            if !observed[self.edge_labels[i].index()].contains(&pair) {
+                observed[self.edge_labels[i].index()].push(pair);
             }
         }
         for id in self.schema.edge_label_ids() {
@@ -244,12 +513,29 @@ impl PropertyGraph {
     }
 }
 
+#[derive(Debug, Clone)]
+struct PendingVertex {
+    label: LabelId,
+    props: Box<[(PropKeyId, PropValue)]>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingEdge {
+    label: LabelId,
+    src: VertexId,
+    dst: VertexId,
+    props: Box<[(PropKeyId, PropValue)]>,
+}
+
 /// Builder for [`PropertyGraph`].
+///
+/// Records are buffered row-wise during insertion; [`GraphBuilder::finish`]
+/// performs the column scatter and CSR construction in O(V + E).
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     schema: GraphSchema,
-    vertices: Vec<VertexRecord>,
-    edges: Vec<EdgeRecord>,
+    vertices: Vec<PendingVertex>,
+    edges: Vec<PendingEdge>,
     prop_keys: Vec<String>,
     prop_key_idx: HashMap<String, PropKeyId>,
     /// When true (default), added edges are checked against the schema's endpoint pairs.
@@ -309,7 +595,7 @@ impl GraphBuilder {
         }
         let props = self.intern_props(props);
         let id = VertexId(self.vertices.len() as u64);
-        self.vertices.push(VertexRecord { label, props });
+        self.vertices.push(PendingVertex { label, props });
         Ok(id)
     }
 
@@ -354,7 +640,7 @@ impl GraphBuilder {
         }
         let props = self.intern_props(props);
         let id = EdgeId(self.edges.len() as u64);
-        self.edges.push(EdgeRecord {
+        self.edges.push(PendingEdge {
             label,
             src,
             dst,
@@ -388,42 +674,91 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    /// Finalise the graph: build sorted adjacency lists and label partitions.
+    /// Finalise the graph: flatten adjacency into CSR arrays and scatter
+    /// properties into per-(label, key) columns.
     pub fn finish(self) -> PropertyGraph {
         let n = self.vertices.len();
-        let mut out_adj: Vec<Vec<Adj>> = vec![Vec::new(); n];
-        let mut in_adj: Vec<Vec<Adj>> = vec![Vec::new(); n];
-        let mut edge_count_by_label = vec![0u64; self.schema.edge_label_count()];
-        for (i, e) in self.edges.iter().enumerate() {
-            let eid = EdgeId(i as u64);
-            out_adj[e.src.index()].push(Adj {
-                edge_label: e.label,
-                edge: eid,
-                neighbor: e.dst,
-            });
-            in_adj[e.dst.index()].push(Adj {
-                edge_label: e.label,
-                edge: eid,
-                neighbor: e.src,
-            });
+        let n_vlabels = self.schema.vertex_label_count();
+        let n_elabels = self.schema.edge_label_count();
+        let n_keys = self.prop_keys.len();
+
+        // vertex columns + label partitions + in-label offsets
+        let mut vertex_labels = Vec::with_capacity(n);
+        let mut vertex_in_label_offset = Vec::with_capacity(n);
+        let mut vertices_by_label: Vec<Vec<VertexId>> = vec![Vec::new(); n_vlabels];
+        for (i, v) in self.vertices.iter().enumerate() {
+            vertex_labels.push(v.label);
+            let part = &mut vertices_by_label[v.label.index()];
+            vertex_in_label_offset.push(part.len() as u32);
+            part.push(VertexId(i as u64));
+        }
+        let vertex_label_sizes: Vec<usize> = vertices_by_label.iter().map(|p| p.len()).collect();
+
+        // edge columns + per-label counts + in-label offsets
+        let ne = self.edges.len();
+        let mut edge_labels = Vec::with_capacity(ne);
+        let mut edge_srcs = Vec::with_capacity(ne);
+        let mut edge_dsts = Vec::with_capacity(ne);
+        let mut edge_in_label_offset = Vec::with_capacity(ne);
+        let mut edge_count_by_label = vec![0u64; n_elabels];
+        for e in &self.edges {
+            edge_labels.push(e.label);
+            edge_srcs.push(e.src);
+            edge_dsts.push(e.dst);
+            edge_in_label_offset.push(edge_count_by_label[e.label.index()] as u32);
             edge_count_by_label[e.label.index()] += 1;
         }
-        for adj in out_adj.iter_mut().chain(in_adj.iter_mut()) {
-            adj.sort_unstable_by_key(|a| (a.edge_label, a.neighbor, a.edge));
-        }
-        let mut vertices_by_label: Vec<Vec<VertexId>> =
-            vec![Vec::new(); self.schema.vertex_label_count()];
-        for (i, v) in self.vertices.iter().enumerate() {
-            vertices_by_label[v.label.index()].push(VertexId(i as u64));
-        }
+        let edge_label_sizes: Vec<usize> =
+            edge_count_by_label.iter().map(|&c| c as usize).collect();
+
+        // CSR adjacency per direction
+        let out_adj = CsrAdjacency::build(
+            n,
+            n_elabels,
+            &edge_labels,
+            |i| edge_srcs[i],
+            |i| edge_dsts[i],
+        );
+        let in_adj = CsrAdjacency::build(
+            n,
+            n_elabels,
+            &edge_labels,
+            |i| edge_dsts[i],
+            |i| edge_srcs[i],
+        );
+
+        // property column scatter
+        let vertex_props = PropColumns::build(
+            n_keys,
+            &vertex_label_sizes,
+            self.vertices
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.label, vertex_in_label_offset[i], v.props)),
+        );
+        let edge_props = PropColumns::build(
+            n_keys,
+            &edge_label_sizes,
+            self.edges
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| (e.label, edge_in_label_offset[i], e.props)),
+        );
+
         PropertyGraph {
             schema: self.schema,
-            vertices: self.vertices,
-            edges: self.edges,
+            vertex_labels,
+            vertex_in_label_offset,
+            vertices_by_label,
+            vertex_props,
+            edge_labels,
+            edge_srcs,
+            edge_dsts,
+            edge_in_label_offset,
+            edge_count_by_label,
+            edge_props,
             out_adj,
             in_adj,
-            vertices_by_label,
-            edge_count_by_label,
             prop_keys: self.prop_keys,
             prop_key_idx: self.prop_key_idx,
         }
@@ -454,8 +789,13 @@ mod tests {
         b.add_edge_by_name("Knows", p1, p2, vec![]).unwrap();
         b.add_edge_by_name("Purchases", p1, prod, vec![]).unwrap();
         b.add_edge_by_name("LocatedIn", p2, place, vec![]).unwrap();
-        b.add_edge_by_name("ProducedIn", prod, place, vec![("year", PropValue::Int(2020))])
-            .unwrap();
+        b.add_edge_by_name(
+            "ProducedIn",
+            prod,
+            place,
+            vec![("year", PropValue::Int(2020))],
+        )
+        .unwrap();
         b.finish()
     }
 
@@ -488,12 +828,61 @@ mod tests {
         assert!(g.has_edge(p1, knows, p2));
         assert!(!g.has_edge(p2, knows, p1));
         assert_eq!(g.edges_between(p1, knows, p2).len(), 1);
+        assert_eq!(g.first_edge_between(p1, knows, p2), Some(EdgeId(0)));
+        assert_eq!(g.first_edge_between(p2, knows, p1), None);
         let located = g.schema().edge_label("LocatedIn").unwrap();
         assert!(g.out_edges_with_label(p1, located).is_empty());
+        // out-of-range labels are empty, not a panic
+        assert!(g.out_edges_with_label(p1, LabelId(999)).is_empty());
+        assert!(!g.has_edge(p1, LabelId(999), p2));
         // edge endpoints
         let e0 = EdgeId(0);
         assert_eq!(g.edge_endpoints(e0), (p1, p2));
         assert_eq!(g.edge_label(e0), knows);
+        // columnar accessors line up with the record accessors
+        assert_eq!(g.edge_label_column()[0], knows);
+        assert_eq!(g.edge_source_column()[0], p1);
+        assert_eq!(g.edge_target_column()[0], p2);
+        assert_eq!(g.vertex_label_column()[0], g.vertex_label(p1));
+        assert_eq!(g.out_adjacency().degree(p1), 2);
+        assert_eq!(g.in_adjacency().degree(place), 2);
+    }
+
+    #[test]
+    fn full_adjacency_is_grouped_by_label() {
+        let g = small_graph();
+        let p1 = VertexId(0);
+        let all = g.out_edges(p1);
+        assert_eq!(all.len(), 2);
+        // groups appear in ascending label order
+        assert!(all.windows(2).all(|w| w[0].edge_label <= w[1].edge_label));
+        // the concatenation of per-label slices equals the full slice
+        let mut concat: Vec<Adj> = Vec::new();
+        for l in g.schema().edge_label_ids() {
+            concat.extend_from_slice(g.out_edges_with_label(p1, l));
+        }
+        assert_eq!(concat, all);
+    }
+
+    #[test]
+    fn parallel_edges_form_a_contiguous_run() {
+        let schema = fig6_schema();
+        let mut b = GraphBuilder::new(schema);
+        let p1 = b.add_vertex_by_name("Person", vec![]).unwrap();
+        let p2 = b.add_vertex_by_name("Person", vec![]).unwrap();
+        let p3 = b.add_vertex_by_name("Person", vec![]).unwrap();
+        let e1 = b.add_edge_by_name("Knows", p1, p2, vec![]).unwrap();
+        b.add_edge_by_name("Knows", p1, p3, vec![]).unwrap();
+        let e3 = b.add_edge_by_name("Knows", p1, p2, vec![]).unwrap();
+        let g = b.finish();
+        let knows = g.schema().edge_label("Knows").unwrap();
+        let run = g.edges_between(p1, knows, p2);
+        assert_eq!(run.len(), 2);
+        assert_eq!(run[0].edge, e1, "parallel edges sorted by edge id");
+        assert_eq!(run[1].edge, e3);
+        assert_eq!(g.first_edge_between(p1, knows, p2), Some(e1));
+        assert_eq!(g.edges_between(p1, knows, p3).len(), 1);
+        assert!(g.edges_between(p2, knows, p1).is_empty());
     }
 
     #[test]
@@ -507,8 +896,37 @@ mod tests {
         assert!(g.vertex_prop_by_name(p1, "missing").is_none());
         let e3 = EdgeId(3);
         assert_eq!(g.edge_prop_by_name(e3, "year"), Some(&PropValue::Int(2020)));
+        // edges without the property return None even when the column exists
+        assert!(g.edge_prop_by_name(EdgeId(0), "year").is_none());
         let key = g.prop_key("name").unwrap();
         assert_eq!(g.prop_key_name(key), "name");
+        // out-of-range key ids return None
+        assert!(g.vertex_prop(p1, PropKeyId(999)).is_none());
+    }
+
+    #[test]
+    fn duplicate_property_keys_keep_the_first_value() {
+        // the builder does not reject duplicate keys; the pre-columnar layout
+        // returned the first occurrence and the column scatter must agree
+        let mut b = GraphBuilder::new(fig6_schema());
+        let v = b
+            .add_vertex_by_name(
+                "Person",
+                vec![("name", PropValue::Int(1)), ("name", PropValue::Int(2))],
+            )
+            .unwrap();
+        let w = b.add_vertex_by_name("Person", vec![]).unwrap();
+        let e = b
+            .add_edge_by_name(
+                "Knows",
+                v,
+                w,
+                vec![("since", PropValue::Int(3)), ("since", PropValue::Int(4))],
+            )
+            .unwrap();
+        let g = b.finish();
+        assert_eq!(g.vertex_prop_by_name(v, "name"), Some(&PropValue::Int(1)));
+        assert_eq!(g.edge_prop_by_name(e, "since"), Some(&PropValue::Int(3)));
     }
 
     #[test]
@@ -524,7 +942,9 @@ mod tests {
         let mut b2 = GraphBuilder::new(fig6_schema()).without_validation();
         let place = b2.add_vertex_by_name("Place", vec![]).unwrap();
         let person = b2.add_vertex_by_name("Person", vec![]).unwrap();
-        assert!(b2.add_edge_by_name("LocatedIn", place, person, vec![]).is_ok());
+        assert!(b2
+            .add_edge_by_name("LocatedIn", place, person, vec![])
+            .is_ok());
     }
 
     #[test]
@@ -554,7 +974,10 @@ mod tests {
         let place = extracted.vertex_label("Place").unwrap();
         let located = extracted.edge_label("LocatedIn").unwrap();
         assert!(extracted.can_connect(person, located, place));
-        assert_eq!(extracted.vertex_label_count(), g.schema().vertex_label_count());
+        assert_eq!(
+            extracted.vertex_label_count(),
+            g.schema().vertex_label_count()
+        );
         assert_eq!(extracted.edge_label_count(), g.schema().edge_label_count());
     }
 }

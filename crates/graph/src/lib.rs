@@ -22,12 +22,13 @@ pub mod error;
 pub mod generator;
 pub mod graph;
 pub mod ids;
+pub mod reference;
 pub mod schema;
 pub mod stats;
 pub mod value;
 
 pub use error::GraphError;
-pub use graph::{Adj, GraphBuilder, PropertyGraph};
+pub use graph::{Adj, CsrAdjacency, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
 pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
 pub use stats::LowOrderStats;

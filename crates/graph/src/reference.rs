@@ -1,0 +1,185 @@
+//! A deliberately naive graph layout used as a test oracle.
+//!
+//! [`NaiveGraph`] stores adjacency as `Vec<Vec<Adj>>` (one heap allocation per
+//! vertex) and properties as per-record association lists searched linearly —
+//! exactly the layout [`crate::PropertyGraph`] used before the CSR + columnar
+//! refactor. It is built from the same insertion sequence and must agree with
+//! the CSR layout on every query; the property tests in
+//! `crates/graph/tests/csr_equivalence.rs` assert that. It is **not** meant
+//! for production use.
+
+use crate::graph::Adj;
+use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
+use crate::value::PropValue;
+
+/// One vertex or edge insertion, mirroring the `GraphBuilder` call sequence.
+#[derive(Debug, Clone)]
+pub enum Insertion {
+    /// `add_vertex(label, props)`.
+    Vertex {
+        /// Vertex label.
+        label: LabelId,
+        /// Property list as passed to the builder (pre-interned keys).
+        props: Vec<(PropKeyId, PropValue)>,
+    },
+    /// `add_edge(label, src, dst, props)`.
+    Edge {
+        /// Edge label.
+        label: LabelId,
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+        /// Property list as passed to the builder (pre-interned keys).
+        props: Vec<(PropKeyId, PropValue)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NaiveRecord {
+    label: LabelId,
+    props: Vec<(PropKeyId, PropValue)>,
+}
+
+/// Reference implementation: per-vertex `Vec<Vec<Adj>>` adjacency sorted by
+/// `(edge_label, neighbor, edge)` and linearly-scanned per-record properties.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveGraph {
+    vertices: Vec<NaiveRecord>,
+    edges: Vec<NaiveRecord>,
+    endpoints: Vec<(VertexId, VertexId)>,
+    out_adj: Vec<Vec<Adj>>,
+    in_adj: Vec<Vec<Adj>>,
+}
+
+impl NaiveGraph {
+    /// Replay an insertion sequence (vertex ids are assigned densely in order,
+    /// exactly like `GraphBuilder`).
+    pub fn from_insertions(insertions: &[Insertion]) -> NaiveGraph {
+        let mut g = NaiveGraph::default();
+        for ins in insertions {
+            match ins {
+                Insertion::Vertex { label, props } => {
+                    g.vertices.push(NaiveRecord {
+                        label: *label,
+                        props: props.clone(),
+                    });
+                    g.out_adj.push(Vec::new());
+                    g.in_adj.push(Vec::new());
+                }
+                Insertion::Edge {
+                    label,
+                    src,
+                    dst,
+                    props,
+                } => {
+                    let edge = EdgeId(g.edges.len() as u64);
+                    g.edges.push(NaiveRecord {
+                        label: *label,
+                        props: props.clone(),
+                    });
+                    g.endpoints.push((*src, *dst));
+                    g.out_adj[src.index()].push(Adj {
+                        edge_label: *label,
+                        edge,
+                        neighbor: *dst,
+                    });
+                    g.in_adj[dst.index()].push(Adj {
+                        edge_label: *label,
+                        edge,
+                        neighbor: *src,
+                    });
+                }
+            }
+        }
+        for adj in g.out_adj.iter_mut().chain(g.in_adj.iter_mut()) {
+            adj.sort_unstable_by_key(|a| (a.edge_label, a.neighbor, a.edge));
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Label of a vertex.
+    pub fn vertex_label(&self, v: VertexId) -> LabelId {
+        self.vertices[v.index()].label
+    }
+
+    /// Label of an edge.
+    pub fn edge_label(&self, e: EdgeId) -> LabelId {
+        self.edges[e.index()].label
+    }
+
+    /// (source, destination) of an edge.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Full out-adjacency of `v`, sorted by `(edge_label, neighbor, edge)`.
+    pub fn out_edges(&self, v: VertexId) -> &[Adj] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Full in-adjacency of `v`, sorted by `(edge_label, neighbor, edge)`.
+    pub fn in_edges(&self, v: VertexId) -> &[Adj] {
+        &self.in_adj[v.index()]
+    }
+
+    fn label_slice(adj: &[Adj], label: LabelId) -> &[Adj] {
+        let start = adj.partition_point(|a| a.edge_label < label);
+        let end = adj.partition_point(|a| a.edge_label <= label);
+        &adj[start..end]
+    }
+
+    /// Out-adjacency restricted to one label (binary search over the sorted list).
+    pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+        Self::label_slice(&self.out_adj[v.index()], label)
+    }
+
+    /// In-adjacency restricted to one label (binary search over the sorted list).
+    pub fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+        Self::label_slice(&self.in_adj[v.index()], label)
+    }
+
+    /// Whether an edge `src -[label]-> dst` exists (linear scan).
+    pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
+        self.out_edges_with_label(src, label)
+            .iter()
+            .any(|a| a.neighbor == dst)
+    }
+
+    /// Ids of all `label` edges from `src` to `dst` (allocating filter scan).
+    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> Vec<EdgeId> {
+        self.out_edges_with_label(src, label)
+            .iter()
+            .filter(|a| a.neighbor == dst)
+            .map(|a| a.edge)
+            .collect()
+    }
+
+    /// Vertex property lookup (linear scan of the record's association list).
+    pub fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
+        self.vertices[v.index()]
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, val)| val)
+    }
+
+    /// Edge property lookup (linear scan of the record's association list).
+    pub fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
+        self.edges[e.index()]
+            .props
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, val)| val)
+    }
+}

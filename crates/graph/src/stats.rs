@@ -34,14 +34,20 @@ impl LowOrderStats {
         for l in g.schema().edge_label_ids() {
             edge_counts[l.index()] = g.edge_count_by_label(l);
         }
-        // out-degree sums per (src label, edge label); in-degree per (dst label, edge label)
+        // out-degree sums per (src label, edge label); in-degree per (dst label,
+        // edge label): a single pass zipping the columnar edge arrays — no
+        // per-edge id indirection
         let mut out_sums = vec![vec![0u64; ne_labels]; nv_labels];
         let mut in_sums = vec![vec![0u64; ne_labels]; nv_labels];
-        for e in g.edge_ids() {
-            let (src, dst) = g.edge_endpoints(e);
-            let el = g.edge_label(e);
-            out_sums[g.vertex_label(src).index()][el.index()] += 1;
-            in_sums[g.vertex_label(dst).index()][el.index()] += 1;
+        let vlabels = g.vertex_label_column();
+        for ((&el, &src), &dst) in g
+            .edge_label_column()
+            .iter()
+            .zip(g.edge_source_column())
+            .zip(g.edge_target_column())
+        {
+            out_sums[vlabels[src.index()].index()][el.index()] += 1;
+            in_sums[vlabels[dst.index()].index()][el.index()] += 1;
         }
         let avg = |sums: Vec<Vec<u64>>| -> Vec<Vec<f64>> {
             sums.into_iter()

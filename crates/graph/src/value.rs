@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn nulls_sort_first_and_are_falsy() {
-        let mut vals = vec![PropValue::Int(1), PropValue::Null, PropValue::str("a")];
+        let mut vals = [PropValue::Int(1), PropValue::Null, PropValue::str("a")];
         vals.sort();
         assert!(vals[0].is_null());
         assert!(!PropValue::Null.truthy());

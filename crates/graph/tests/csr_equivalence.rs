@@ -1,0 +1,181 @@
+//! Property-based equivalence tests: the CSR + columnar [`PropertyGraph`]
+//! must return exactly the same adjacency and property answers as the naive
+//! `Vec<Vec<Adj>>` / per-record-list reference layout
+//! ([`gopt_graph::reference::NaiveGraph`]) built from the same insertion
+//! sequence.
+
+use gopt_graph::graph::GraphBuilder;
+use gopt_graph::reference::{Insertion, NaiveGraph};
+use gopt_graph::schema::fig6_schema;
+use gopt_graph::{EdgeId, LabelId, PropKeyId, PropValue, PropertyGraph, VertexId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PROP_KEYS: [&str; 4] = ["id", "name", "weight", "since"];
+
+/// Generate a random insertion sequence over the fig6 schema and replay it
+/// into both layouts. Schema validation is off so edges can connect arbitrary
+/// label pairs — the storage layer must not care.
+fn random_layouts(
+    seed: u64,
+    n_vertices: usize,
+    n_edges: usize,
+) -> (PropertyGraph, NaiveGraph, Vec<Insertion>) {
+    let schema = fig6_schema();
+    let n_vlabels = schema.vertex_label_count() as u16;
+    let n_elabels = schema.edge_label_count() as u16;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(schema).without_validation();
+    let mut insertions = Vec::new();
+
+    let random_props = |rng: &mut SmallRng| {
+        let mut props: Vec<(&'static str, PropValue)> = Vec::new();
+        for key in PROP_KEYS {
+            if rng.gen_bool(0.4) {
+                props.push((key, PropValue::Int(rng.gen_range(0i64..1000))));
+                // occasionally duplicate a key: both layouts must keep the
+                // first occurrence
+                if rng.gen_bool(0.15) {
+                    props.push((key, PropValue::Int(rng.gen_range(0i64..1000))));
+                }
+            }
+        }
+        props
+    };
+
+    for _ in 0..n_vertices {
+        let label = LabelId(rng.gen_range(0u16..n_vlabels));
+        let props = random_props(&mut rng);
+        b.add_vertex(label, props.clone()).unwrap();
+        insertions.push(Insertion::Vertex {
+            label,
+            props: interned(&props),
+        });
+    }
+    for _ in 0..n_edges {
+        let label = LabelId(rng.gen_range(0u16..n_elabels));
+        let src = VertexId(rng.gen_range(0u64..n_vertices as u64));
+        let dst = VertexId(rng.gen_range(0u64..n_vertices as u64));
+        let props = random_props(&mut rng);
+        b.add_edge(label, src, dst, props.clone()).unwrap();
+        insertions.push(Insertion::Edge {
+            label,
+            src,
+            dst,
+            props: interned(&props),
+        });
+    }
+    let naive = NaiveGraph::from_insertions(&insertions);
+    (b.finish(), naive, insertions)
+}
+
+/// The naive replay keys properties by `PROP_KEYS` array position; the
+/// comparison always translates by *name* on both sides (via [`naive_key`] and
+/// `PropertyGraph::prop_key`), so the two id schemes never mix.
+fn interned(props: &[(&'static str, PropValue)]) -> Vec<(PropKeyId, PropValue)> {
+    props
+        .iter()
+        .map(|(k, v)| (naive_key(k), v.clone()))
+        .collect()
+}
+
+/// Key id used by the naive replay: the key's `PROP_KEYS` array position.
+fn naive_key(name: &str) -> PropKeyId {
+    PropKeyId(PROP_KEYS.iter().position(|p| *p == name).unwrap() as u16)
+}
+
+fn assert_layouts_agree(g: &PropertyGraph, naive: &NaiveGraph) {
+    assert_eq!(g.vertex_count(), naive.vertex_count());
+    assert_eq!(g.edge_count(), naive.edge_count());
+    let n_elabels = g.schema().edge_label_count() as u16;
+
+    for v in g.vertex_ids() {
+        assert_eq!(g.vertex_label(v), naive.vertex_label(v));
+        assert_eq!(g.out_degree(v), naive.out_edges(v).len());
+        assert_eq!(g.in_degree(v), naive.in_edges(v).len());
+        // full adjacency (CSR label-segment concatenation == naive triple sort)
+        assert_eq!(g.out_edges(v), naive.out_edges(v), "out adjacency of {v}");
+        assert_eq!(g.in_edges(v), naive.in_edges(v), "in adjacency of {v}");
+        // per-label slices, including labels unused by this vertex
+        for l in 0..n_elabels + 2 {
+            let l = LabelId(l);
+            assert_eq!(
+                g.out_edges_with_label(v, l),
+                naive.out_edges_with_label(v, l),
+                "out[{v}, {l}]"
+            );
+            assert_eq!(
+                g.in_edges_with_label(v, l),
+                naive.in_edges_with_label(v, l),
+                "in[{v}, {l}]"
+            );
+        }
+        // vertex properties, present and missing
+        for key in PROP_KEYS {
+            let got = g.prop_key(key).and_then(|k| g.vertex_prop(v, k));
+            let want = naive.vertex_prop(v, naive_key(key));
+            assert_eq!(got, want, "vertex prop {key} of {v}");
+        }
+        assert!(g.vertex_prop_by_name(v, "no_such_key").is_none());
+    }
+
+    // pairwise connectivity probes: has_edge + edges_between against the
+    // naive linear scans
+    for v in g.vertex_ids() {
+        for w in g.vertex_ids() {
+            for l in 0..n_elabels {
+                let l = LabelId(l);
+                assert_eq!(g.has_edge(v, l, w), naive.has_edge(v, l, w));
+                let run: Vec<EdgeId> = g.edges_between(v, l, w).iter().map(|a| a.edge).collect();
+                assert_eq!(run, naive.edges_between(v, l, w), "edges {v} -[{l}]-> {w}");
+                assert_eq!(g.first_edge_between(v, l, w), run.first().copied());
+            }
+        }
+    }
+
+    for e in g.edge_ids() {
+        assert_eq!(g.edge_label(e), naive.edge_label(e));
+        assert_eq!(g.edge_endpoints(e), naive.edge_endpoints(e));
+        for key in PROP_KEYS {
+            let got = g.prop_key(key).and_then(|k| g.edge_prop(e, k));
+            let want = naive.edge_prop(e, naive_key(key));
+            assert_eq!(got, want, "edge prop {key} of {e}");
+        }
+    }
+
+    // columnar accessors agree with the record accessors
+    for (i, &l) in g.edge_label_column().iter().enumerate() {
+        let e = EdgeId(i as u64);
+        assert_eq!(l, g.edge_label(e));
+        assert_eq!(g.edge_source_column()[i], g.edge_endpoints(e).0);
+        assert_eq!(g.edge_target_column()[i], g.edge_endpoints(e).1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_layout_equals_naive_reference(seed in 0u64..10_000, vertices in 2usize..24, edges in 0usize..120) {
+        let (g, naive, _) = random_layouts(seed, vertices, edges);
+        assert_layouts_agree(&g, &naive);
+    }
+}
+
+#[test]
+fn csr_layout_equals_naive_reference_on_dense_multigraph() {
+    // many parallel edges between few vertices stresses the edges_between runs
+    let (g, naive, _) = random_layouts(7, 3, 200);
+    assert_layouts_agree(&g, &naive);
+}
+
+#[test]
+fn csr_layout_handles_empty_and_edgeless_graphs() {
+    let (g, naive, _) = random_layouts(1, 5, 0);
+    assert_layouts_agree(&g, &naive);
+    let schema = fig6_schema();
+    let g = GraphBuilder::new(schema).finish();
+    assert_eq!(g.vertex_count(), 0);
+    assert_eq!(g.edge_count(), 0);
+}

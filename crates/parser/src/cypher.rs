@@ -226,10 +226,8 @@ impl<'a> CypherParser<'a> {
                 if matches!(self.cur.peek_ahead(1), Some(Token::Sym(s)) if s == "(") {
                     self.cur.next(); // function name
                     self.cur.next(); // '('
-                    if self.cur.eat_keyword("DISTINCT") {
-                        if func == AggFunc::Count {
-                            func = AggFunc::CountDistinct;
-                        }
+                    if self.cur.eat_keyword("DISTINCT") && func == AggFunc::Count {
+                        func = AggFunc::CountDistinct;
                     }
                     let arg = if self.cur.eat_sym("*") {
                         Expr::lit(1)
@@ -240,7 +238,7 @@ impl<'a> CypherParser<'a> {
                     let alias = if self.cur.eat_keyword("AS") {
                         self.cur.expect_ident()?
                     } else {
-                        format!("{}", func_name(func))
+                        func_name(func).to_string()
                     };
                     return Ok(ReturnItem::Agg(func, arg, alias));
                 }
@@ -509,7 +507,11 @@ impl<'a> CypherParser<'a> {
                 return Err(self.err("expected NULL after IS [NOT]"));
             }
             return Ok(Expr::Unary {
-                op: if not { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+                op: if not {
+                    UnaryOp::IsNotNull
+                } else {
+                    UnaryOp::IsNull
+                },
                 operand: Box::new(lhs),
             });
         }
@@ -636,7 +638,11 @@ mod tests {
                  RETURN v2, cnt ORDER BY cnt LIMIT 10";
         let plan = parse_cypher(q, &schema()).unwrap();
         assert_eq!(plan.match_nodes().len(), 2);
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"JOIN"));
         assert!(names.contains(&"SELECT"));
         assert!(names.contains(&"GROUP"));
@@ -695,7 +701,10 @@ mod tests {
         let q = "MATCH (a:Person)-[:Knows]->(b:Person) RETURN a, count(DISTINCT b) AS friends, sum(b.id) AS total \
                  UNION ALL MATCH (a:Person)-[:Purchases]->(c:Product) RETURN a, count(*) AS friends, sum(c.id) AS total";
         let plan = parse_cypher(q, &schema()).unwrap();
-        assert!(matches!(plan.op(plan.root()), LogicalOp::Union { all: true }));
+        assert!(matches!(
+            plan.op(plan.root()),
+            LogicalOp::Union { all: true }
+        ));
         assert_eq!(plan.match_nodes().len(), 2);
         let groups: Vec<_> = plan
             .topo_order()
@@ -718,7 +727,11 @@ mod tests {
                  WHERE (a.age >= 18 OR a.name <> 'bob') AND NOT c.name = 'Mars' AND a.id IS NOT NULL\n\
                  RETURN DISTINCT a.name AS name, c.name AS place ORDER BY name DESC, place ASC LIMIT 5";
         let plan = parse_cypher(q, &schema()).unwrap();
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"DEDUP"));
         let LogicalOp::Order { keys, limit } = plan.op(plan.root()) else {
             panic!("root should be ORDER, got {}", plan.op(plan.root()).name());
@@ -736,7 +749,10 @@ mod tests {
         assert!(parse_cypher("MATCH (a)-[:Flies]->(b) RETURN a", &s).is_err());
         assert!(parse_cypher("MATCH (a RETURN a", &s).is_err());
         assert!(parse_cypher("MATCH (a)->(b) RETURN a", &s).is_err());
-        assert!(parse_cypher("MATCH (a) MATCH (b) RETURN a", &s).is_err(), "no shared alias");
+        assert!(
+            parse_cypher("MATCH (a) MATCH (b) RETURN a", &s).is_err(),
+            "no shared alias"
+        );
         assert!(parse_cypher("MATCH (a) WHERE a.x = RETURN a", &s).is_err());
         assert!(parse_cypher("MATCH (a) RETURN a LIMIT -1", &s).is_err());
         assert!(parse_cypher("MATCH (a) RETURN a garbage", &s).is_err());

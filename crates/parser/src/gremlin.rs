@@ -30,12 +30,18 @@ pub fn parse_gremlin(query: &str, schema: &GraphSchema) -> Result<LogicalPlan, P
     let mut cur = Cursor::new(query)?;
     // expect `g.V()`
     if !cur.eat_keyword("g") {
-        return Err(ParseError::new("traversal must start with g.V()", cur.pos()));
+        return Err(ParseError::new(
+            "traversal must start with g.V()",
+            cur.pos(),
+        ));
     }
     cur.expect_sym(".")?;
     let v = cur.expect_ident()?;
     if v != "V" {
-        return Err(ParseError::new("traversal must start with g.V()", cur.pos()));
+        return Err(ParseError::new(
+            "traversal must start with g.V()",
+            cur.pos(),
+        ));
     }
     cur.expect_sym("(")?;
     cur.expect_sym(")")?;
@@ -172,7 +178,10 @@ impl<'a> Lowerer<'a> {
         match step.args.get(i) {
             Some(Arg::Str(s)) => Ok(s.clone()),
             Some(Arg::Ident(s)) => Ok(s.clone()),
-            other => Err(self.err(format!("{}: expected a string argument, found {other:?}", step.name))),
+            other => Err(self.err(format!(
+                "{}: expected a string argument, found {other:?}",
+                step.name
+            ))),
         }
     }
 
@@ -278,10 +287,15 @@ impl<'a> Lowerer<'a> {
                 }
                 "has" if self.flushed.is_none() => {
                     let prop = self.arg_str(step, 0)?;
-                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let value = self.literal(
+                        step.args
+                            .get(1)
+                            .ok_or_else(|| self.err("has: missing value"))?,
+                    )?;
                     let v = self.ensure_start();
                     let tag = self.pattern.vertex(v).tag.clone().expect("tagged");
-                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    let pred =
+                        Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
                     let pv = self.pattern.vertex_mut(v);
                     pv.predicate = Some(match pv.predicate.take() {
                         None => pred,
@@ -338,9 +352,14 @@ impl<'a> Lowerer<'a> {
                 "has" => {
                     let node = self.flush()?;
                     let prop = self.arg_str(step, 0)?;
-                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let value = self.literal(
+                        step.args
+                            .get(1)
+                            .ok_or_else(|| self.err("has: missing value"))?,
+                    )?;
                     let tag = self.current_tag_name();
-                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    let pred =
+                        Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
                     root = Some(self.builder.select(root.unwrap_or(node), pred));
                 }
                 "select" => {
@@ -407,9 +426,11 @@ impl<'a> Lowerer<'a> {
                         let key = match by.args.first() {
                             Some(Arg::Str(s)) => Expr::tag(s),
                             Some(Arg::Ident(s)) if s == "values" => Expr::tag("values"),
-                            Some(Arg::Ident(s)) if s == "keys" => Expr::tag(&self.current_tag_name()),
+                            Some(Arg::Ident(s)) if s == "keys" => {
+                                Expr::tag(self.current_tag_name())
+                            }
                             Some(Arg::Ident(s)) => Expr::tag(s),
-                            _ => Expr::tag(&self.current_tag_name()),
+                            _ => Expr::tag(self.current_tag_name()),
                         };
                         let dir = match by.args.get(1) {
                             Some(Arg::Ident(d)) if d == "desc" || d == "decr" => SortDir::Desc,
@@ -419,7 +440,7 @@ impl<'a> Lowerer<'a> {
                         j += 1;
                     }
                     if keys.is_empty() {
-                        keys.push((Expr::tag(&self.current_tag_name()), SortDir::Asc));
+                        keys.push((Expr::tag(self.current_tag_name()), SortDir::Asc));
                     }
                     i = j - 1;
                     root = Some(self.builder.order(node, keys, None));
@@ -428,7 +449,11 @@ impl<'a> Lowerer<'a> {
                     let node = root.unwrap_or(self.flush()?);
                     let n = match step.args.first() {
                         Some(Arg::Int(n)) if *n >= 0 => *n as usize,
-                        other => return Err(self.err(format!("limit: expected a count, found {other:?}"))),
+                        other => {
+                            return Err(
+                                self.err(format!("limit: expected a count, found {other:?}"))
+                            )
+                        }
                     };
                     root = Some(self.builder.limit(node, n));
                 }
@@ -526,14 +551,19 @@ impl<'a> Lowerer<'a> {
                 "has" => {
                     let v = current.ok_or_else(|| self.err("fragment must start with as()"))?;
                     let prop = self.arg_str(step, 0)?;
-                    let value = self.literal(step.args.get(1).ok_or_else(|| self.err("has: missing value"))?)?;
+                    let value = self.literal(
+                        step.args
+                            .get(1)
+                            .ok_or_else(|| self.err("has: missing value"))?,
+                    )?;
                     let tag = self
                         .pattern
                         .vertex(v)
                         .tag
                         .clone()
                         .expect("fragment vertices are tagged");
-                    let pred = Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
+                    let pred =
+                        Expr::binary(BinOp::Eq, Expr::prop(&tag, &prop), Expr::Literal(value));
                     let pv = self.pattern.vertex_mut(v);
                     pv.predicate = Some(match pv.predicate.take() {
                         None => pred,
@@ -578,7 +608,11 @@ mod tests {
         let v3 = p.vertex(p.vertex_by_tag("v3").unwrap());
         assert!(v3.predicate.is_some());
         assert_eq!(v3.constraint, TypeConstraint::basic(place));
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"GROUP"));
         assert!(names.contains(&"ORDER"));
         assert!(names.contains(&"LIMIT"));
@@ -617,7 +651,11 @@ mod tests {
         // the in() step produced an edge p -> c
         let e = p.edges().next().unwrap();
         assert_eq!(p.vertex(e.dst).tag.as_deref(), Some("c"));
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"SELECT"));
     }
 
@@ -626,7 +664,11 @@ mod tests {
         let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b') \
                  .select('b').values('name').dedup().order().by('b_name', desc).limit(3)";
         let plan = parse_gremlin(q, &schema()).unwrap();
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"PROJECT"));
         assert!(names.contains(&"DEDUP"));
         let LogicalOp::Order { keys, .. } = plan
@@ -650,7 +692,11 @@ mod tests {
     fn multi_tag_select_projects() {
         let q = "g.V().hasLabel('Person').as('a').out('Knows').as('b').select('a', 'b').dedup()";
         let plan = parse_gremlin(q, &schema()).unwrap();
-        let names: Vec<&str> = plan.topo_order().iter().map(|id| plan.op(*id).name()).collect();
+        let names: Vec<&str> = plan
+            .topo_order()
+            .iter()
+            .map(|id| plan.op(*id).name())
+            .collect();
         assert!(names.contains(&"PROJECT"));
     }
 

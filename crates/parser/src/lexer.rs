@@ -80,9 +80,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             let text = &input[i..j];
             let token = if is_float {
-                Token::Float(text.parse().map_err(|_| ParseError::new("bad float", start))?)
+                Token::Float(
+                    text.parse()
+                        .map_err(|_| ParseError::new("bad float", start))?,
+                )
             } else {
-                Token::Int(text.parse().map_err(|_| ParseError::new("bad integer", start))?)
+                Token::Int(
+                    text.parse()
+                        .map_err(|_| ParseError::new("bad integer", start))?,
+                )
             };
             out.push(Spanned { token, pos: start });
             i = j;
@@ -102,7 +108,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             i = j + 1;
         } else {
             // multi-character symbols first
-            let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+            let two = if i + 1 < bytes.len() {
+                &input[i..i + 2]
+            } else {
+                ""
+            };
             let sym = match two {
                 "->" | "<-" | "<=" | ">=" | "<>" | ".." | "!=" => two.to_string(),
                 _ => c.to_string(),
@@ -153,6 +163,7 @@ impl Cursor {
         self.tokens.get(self.index + n).map(|t| &t.token)
     }
 
+    #[allow(clippy::should_implement_trait)]
     /// Consume and return the current token.
     pub fn next(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.index).map(|t| t.token.clone());

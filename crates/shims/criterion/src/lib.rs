@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Implements the `bench_function` / `iter` / `criterion_group!` /
+//! `criterion_main!` surface with a simple but real measurement loop: each
+//! benchmark is warmed up, then timed for `sample_size` samples, and the
+//! mean / median / min are printed criterion-style. When the environment
+//! variable `GOPT_BENCH_JSON` names a file, one JSON object per benchmark is
+//! appended to it — the repository's bench harness uses this to build
+//! machine-readable before/after reports (see `BENCH_pr1.json`).
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        assert!(
+            !samples.is_empty(),
+            "benchmark {name} never called Bencher::iter"
+        );
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+        println!(
+            "{name:<44} time: [min {} median {} mean {}]  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples.len()
+        );
+        if let Ok(path) = std::env::var("GOPT_BENCH_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"bench\":\"{name}\",\"mean_ns\":{mean},\"median_ns\":{median},\"min_ns\":{min},\"samples\":{}}}\n",
+                    samples.len()
+                );
+                let r = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| f.write_all(line.as_bytes()));
+                if let Err(e) = r {
+                    eprintln!("warning: could not append to {path}: {e}");
+                }
+            }
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    samples: Vec<u128>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Measure the closure: warm-up, then `sample_size` timed samples. Each
+    /// sample runs the closure enough times that timer overhead is negligible.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // warm-up, and calibrate iterations-per-sample so one sample >= ~1ms
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            iters_per_sample += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() / iters_per_sample.max(1) as u128;
+        let iters = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() / iters as u128);
+        }
+    }
+}
+
+/// Define a benchmark group: both the `name/config/targets` form and the
+/// positional `group!(name, target, ...)` form of real criterion are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(5));
+        targets = target
+    }
+
+    #[test]
+    fn groups_run_and_measure() {
+        benches();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.500µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate (see `crates/shims/README.md`).
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `#![proptest_config(...)]`, integer-range strategies (`0u64..500`), and the
+//! `prop_assert!` / `prop_assert_eq!` assertions. Cases are generated from a
+//! deterministic per-case RNG, so failures are reproducible; there is no
+//! shrinking — the failing case's inputs are printed instead.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for the `case`-th generated case of a test.
+    pub fn for_case(case: u32) -> Self {
+        // fixed base seed: reproducible across runs, distinct per case
+        TestRng(SmallRng::seed_from_u64(0xC0FF_EE00_u64 + case as u64))
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}
+
+/// A value generator. Implemented for half-open integer ranges.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Everything a `proptest!`-based test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a `proptest!` body (plain panic; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Property-test entry point: generates each argument from its strategy and
+/// runs the body for `cases` deterministic cases, printing the inputs of a
+/// failing case before propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            concat!("proptest case ", "{}", " failed with inputs:" $(, " ", stringify!($arg), " = {:?}")*),
+                            __case $(, $arg)*
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_give_values_in_bounds(a in 0u64..100, b in 5usize..9, c in -3i64..4) {
+            prop_assert!(a < 100);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((-3..4).contains(&c), "c out of range: {}", c);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(b, b + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = TestRng::for_case(3);
+        let mut r2 = TestRng::for_case(3);
+        let s = 0u64..1000;
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

@@ -78,7 +78,7 @@ pub fn generate_fraud_graph(config: &FraudConfig) -> PropertyGraph {
             let to = if rng.gen_bool(0.2) {
                 hubs[rng.gen_range(0..hubs.len())]
             } else if rng.gen_bool(0.7) {
-                (i + rng.gen_range(1..20)) % n
+                (i + rng.gen_range(1usize..20)) % n
             } else {
                 rng.gen_range(0..n)
             };

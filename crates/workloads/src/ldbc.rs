@@ -6,7 +6,9 @@
 //! correlations between relationships (friends tend to live in the same place, replies
 //! attach to popular posts) that only high-order statistics can capture.
 
-use gopt_graph::{GraphBuilder, GraphSchema, LabelId, PropType, PropValue, PropertyDef, PropertyGraph, VertexId};
+use gopt_graph::{
+    GraphBuilder, GraphSchema, LabelId, PropType, PropValue, PropertyDef, PropertyGraph, VertexId,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,19 +76,33 @@ pub fn ldbc_schema() -> GraphSchema {
     let forum = s
         .add_vertex_label(
             "Forum",
-            props(&[("id", PropType::Int), ("title", PropType::Str), ("creationDate", PropType::Int)]),
+            props(&[
+                ("id", PropType::Int),
+                ("title", PropType::Str),
+                ("creationDate", PropType::Int),
+            ]),
         )
         .unwrap();
     let post = s
         .add_vertex_label(
             "Post",
-            props(&[("id", PropType::Int), ("content", PropType::Str), ("creationDate", PropType::Int), ("length", PropType::Int)]),
+            props(&[
+                ("id", PropType::Int),
+                ("content", PropType::Str),
+                ("creationDate", PropType::Int),
+                ("length", PropType::Int),
+            ]),
         )
         .unwrap();
     let comment = s
         .add_vertex_label(
             "Comment",
-            props(&[("id", PropType::Int), ("content", PropType::Str), ("creationDate", PropType::Int), ("length", PropType::Int)]),
+            props(&[
+                ("id", PropType::Int),
+                ("content", PropType::Str),
+                ("creationDate", PropType::Int),
+                ("length", PropType::Int),
+            ]),
         )
         .unwrap();
     let place = s
@@ -107,25 +123,42 @@ pub fn ldbc_schema() -> GraphSchema {
             props(&[("id", PropType::Int), ("name", PropType::Str)]),
         )
         .unwrap();
-    s.add_edge_label("Knows", vec![(person, person)], props(&[("creationDate", PropType::Int)]))
-        .unwrap();
+    s.add_edge_label(
+        "Knows",
+        vec![(person, person)],
+        props(&[("creationDate", PropType::Int)]),
+    )
+    .unwrap();
     s.add_edge_label(
         "HasCreator",
         vec![(post, person), (comment, person)],
         vec![],
     )
     .unwrap();
-    s.add_edge_label("Likes", vec![(person, post), (person, comment)], props(&[("creationDate", PropType::Int)]))
-        .unwrap();
-    s.add_edge_label("HasMember", vec![(forum, person)], props(&[("joinDate", PropType::Int)]))
-        .unwrap();
+    s.add_edge_label(
+        "Likes",
+        vec![(person, post), (person, comment)],
+        props(&[("creationDate", PropType::Int)]),
+    )
+    .unwrap();
+    s.add_edge_label(
+        "HasMember",
+        vec![(forum, person)],
+        props(&[("joinDate", PropType::Int)]),
+    )
+    .unwrap();
     s.add_edge_label("ContainerOf", vec![(forum, post)], vec![])
         .unwrap();
     s.add_edge_label("ReplyOf", vec![(comment, post), (comment, comment)], vec![])
         .unwrap();
     s.add_edge_label(
         "IsLocatedIn",
-        vec![(person, place), (post, place), (comment, place), (organisation, place)],
+        vec![
+            (person, place),
+            (post, place),
+            (comment, place),
+            (organisation, place),
+        ],
         vec![],
     )
     .unwrap();
@@ -137,10 +170,18 @@ pub fn ldbc_schema() -> GraphSchema {
     .unwrap();
     s.add_edge_label("HasInterest", vec![(person, tag)], vec![])
         .unwrap();
-    s.add_edge_label("WorkAt", vec![(person, organisation)], props(&[("workFrom", PropType::Int)]))
-        .unwrap();
-    s.add_edge_label("StudyAt", vec![(person, organisation)], props(&[("classYear", PropType::Int)]))
-        .unwrap();
+    s.add_edge_label(
+        "WorkAt",
+        vec![(person, organisation)],
+        props(&[("workFrom", PropType::Int)]),
+    )
+    .unwrap();
+    s.add_edge_label(
+        "StudyAt",
+        vec![(person, organisation)],
+        props(&[("classYear", PropType::Int)]),
+    )
+    .unwrap();
     s
 }
 
@@ -185,8 +226,12 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
     let n_tag = (n_person / 10).clamp(5, 500);
     let n_org = (n_person / 10).clamp(3, 300);
 
-    let first_names = ["Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi"];
-    let place_names = ["China", "India", "Germany", "Chile", "Kenya", "Japan", "Brazil", "Spain"];
+    let first_names = [
+        "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi",
+    ];
+    let place_names = [
+        "China", "India", "Germany", "Chile", "Kenya", "Japan", "Brazil", "Spain",
+    ];
 
     let mut persons = Vec::with_capacity(n_person);
     for i in 0..n_person {
@@ -195,10 +240,16 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                 "Person",
                 vec![
                     ("id", PropValue::Int(i as i64)),
-                    ("firstName", PropValue::str(first_names[i % first_names.len()])),
+                    (
+                        "firstName",
+                        PropValue::str(first_names[i % first_names.len()]),
+                    ),
                     ("lastName", PropValue::str(format!("Last{}", i % 97))),
                     ("birthday", PropValue::Int(7000 + (i as i64 * 37) % 15000)),
-                    ("creationDate", PropValue::Int(10_000 + (i as i64 * 13) % 5000)),
+                    (
+                        "creationDate",
+                        PropValue::Int(10_000 + (i as i64 * 13) % 5000),
+                    ),
                 ],
             )
             .expect("schema-conforming person"),
@@ -212,7 +263,10 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                 vec![
                     ("id", PropValue::Int(i as i64)),
                     ("title", PropValue::str(format!("Forum {i}"))),
-                    ("creationDate", PropValue::Int(10_000 + (i as i64 * 7) % 5000)),
+                    (
+                        "creationDate",
+                        PropValue::Int(10_000 + (i as i64 * 7) % 5000),
+                    ),
                 ],
             )
             .expect("forum"),
@@ -226,7 +280,10 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                 vec![
                     ("id", PropValue::Int(i as i64)),
                     ("content", PropValue::str(format!("post {i}"))),
-                    ("creationDate", PropValue::Int(11_000 + (i as i64 * 3) % 6000)),
+                    (
+                        "creationDate",
+                        PropValue::Int(11_000 + (i as i64 * 3) % 6000),
+                    ),
                     ("length", PropValue::Int((i as i64 * 17) % 240)),
                 ],
             )
@@ -241,7 +298,10 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                 vec![
                     ("id", PropValue::Int(i as i64)),
                     ("content", PropValue::str(format!("comment {i}"))),
-                    ("creationDate", PropValue::Int(12_000 + (i as i64 * 5) % 6000)),
+                    (
+                        "creationDate",
+                        PropValue::Int(12_000 + (i as i64 * 5) % 6000),
+                    ),
                     ("length", PropValue::Int((i as i64 * 11) % 200)),
                 ],
             )
@@ -302,7 +362,8 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
         .map(|(i, _)| places[(i / 10) % n_place])
         .collect();
     for (i, p) in persons.iter().enumerate() {
-        b.add_edge_by_name("IsLocatedIn", *p, person_place[i], vec![]).expect("located");
+        b.add_edge_by_name("IsLocatedIn", *p, person_place[i], vec![])
+            .expect("located");
     }
 
     // Knows: preferential attachment, biased towards persons in the same place.
@@ -324,7 +385,10 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                     "Knows",
                     *p,
                     q,
-                    vec![("creationDate", PropValue::Int(rng.gen_range(10_000..16_000)))],
+                    vec![(
+                        "creationDate",
+                        PropValue::Int(rng.gen_range(10_000..16_000)),
+                    )],
                 )
                 .expect("knows");
             }
@@ -344,25 +408,41 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
             )
             .expect("member");
         }
-        b.add_edge_by_name("HasTag", *f, tags[i % n_tag], vec![]).expect("forum tag");
+        b.add_edge_by_name("HasTag", *f, tags[i % n_tag], vec![])
+            .expect("forum tag");
     }
     for (i, post) in posts.iter().enumerate() {
         let creator = persons[rng.gen_range(0..n_person)];
-        b.add_edge_by_name("HasCreator", *post, creator, vec![]).expect("creator");
-        b.add_edge_by_name("ContainerOf", forums[i % n_forum], *post, vec![]).expect("container");
-        b.add_edge_by_name("IsLocatedIn", *post, places[rng.gen_range(0..n_place)], vec![])
-            .expect("post place");
-        b.add_edge_by_name("HasTag", *post, tags[rng.gen_range(0..n_tag)], vec![]).expect("post tag");
+        b.add_edge_by_name("HasCreator", *post, creator, vec![])
+            .expect("creator");
+        b.add_edge_by_name("ContainerOf", forums[i % n_forum], *post, vec![])
+            .expect("container");
+        b.add_edge_by_name(
+            "IsLocatedIn",
+            *post,
+            places[rng.gen_range(0..n_place)],
+            vec![],
+        )
+        .expect("post place");
+        b.add_edge_by_name("HasTag", *post, tags[rng.gen_range(0..n_tag)], vec![])
+            .expect("post tag");
     }
     let mut post_pref = Preferential::new(&posts[..posts.len().min(16)]);
     for comment in &comments {
         let creator = persons[rng.gen_range(0..n_person)];
-        b.add_edge_by_name("HasCreator", *comment, creator, vec![]).expect("creator");
+        b.add_edge_by_name("HasCreator", *comment, creator, vec![])
+            .expect("creator");
         // replies attach preferentially to popular posts
         let parent = post_pref.pick(&mut rng, &posts);
-        b.add_edge_by_name("ReplyOf", *comment, parent, vec![]).expect("reply");
-        b.add_edge_by_name("IsLocatedIn", *comment, places[rng.gen_range(0..n_place)], vec![])
-            .expect("comment place");
+        b.add_edge_by_name("ReplyOf", *comment, parent, vec![])
+            .expect("reply");
+        b.add_edge_by_name(
+            "IsLocatedIn",
+            *comment,
+            places[rng.gen_range(0..n_place)],
+            vec![],
+        )
+        .expect("comment place");
         if rng.gen_bool(0.5) {
             b.add_edge_by_name("HasTag", *comment, tags[rng.gen_range(0..n_tag)], vec![])
                 .expect("comment tag");
@@ -382,14 +462,18 @@ pub fn generate_ldbc_graph(scale: &LdbcScale) -> PropertyGraph {
                 "Likes",
                 *p,
                 target,
-                vec![("creationDate", PropValue::Int(rng.gen_range(12_000..16_000)))],
+                vec![(
+                    "creationDate",
+                    PropValue::Int(rng.gen_range(12_000..16_000)),
+                )],
             )
             .expect("likes");
         }
     }
     // interests, work, study
     for (i, p) in persons.iter().enumerate() {
-        b.add_edge_by_name("HasInterest", *p, tags[(i * 7) % n_tag], vec![]).expect("interest");
+        b.add_edge_by_name("HasInterest", *p, tags[(i * 7) % n_tag], vec![])
+            .expect("interest");
         if i % 2 == 0 {
             b.add_edge_by_name(
                 "WorkAt",
@@ -429,7 +513,15 @@ mod tests {
     #[test]
     fn schema_declares_the_core_ldbc_types() {
         let s = ldbc_schema();
-        for v in ["Person", "Forum", "Post", "Comment", "Place", "Tag", "Organisation"] {
+        for v in [
+            "Person",
+            "Forum",
+            "Post",
+            "Comment",
+            "Place",
+            "Tag",
+            "Organisation",
+        ] {
             assert!(s.vertex_label(v).is_some(), "missing vertex label {v}");
         }
         for e in [
@@ -475,7 +567,10 @@ mod tests {
             n += 1;
         }
         let avg = sum_in as f64 / n as f64;
-        assert!(max_in as f64 > 3.0 * avg, "expected skew: max {max_in}, avg {avg:.2}");
+        assert!(
+            max_in as f64 > 3.0 * avg,
+            "expected skew: max {max_in}, avg {avg:.2}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ pub fn st_queries(k: usize, sets: &[(Vec<i64>, Vec<i64>)]) -> Vec<NamedQuery> {
                 if hop > 0 {
                     pattern.push_str(", ");
                 }
-                pattern.push_str(&format!("(a{hop}:Account)-[:Transfer]->(a{}:Account)", hop + 1));
+                pattern.push_str(&format!(
+                    "(a{hop}:Account)-[:Transfer]->(a{}:Account)",
+                    hop + 1
+                ));
             }
             let fmt_list = |v: &[i64]| {
                 v.iter()
@@ -190,10 +193,7 @@ mod tests {
     #[test]
     fn st_queries_build_k_hop_chains() {
         let schema = fraud_schema();
-        let sets = vec![
-            (vec![1, 2], vec![100, 101, 102, 103]),
-            (vec![5], vec![50]),
-        ];
+        let sets = vec![(vec![1, 2], vec![100, 101, 102, 103]), (vec![5], vec![50])];
         let queries = st_queries(6, &sets);
         assert_eq!(queries.len(), 2);
         assert_eq!(queries[0].name, "ST1");

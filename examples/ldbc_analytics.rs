@@ -28,12 +28,17 @@ fn main() {
     println!("query\tGOpt\tbaseline");
     for q in ic_queries().into_iter().take(6) {
         let logical = parse_cypher(&q.text, graph.schema()).unwrap();
-        let gopt_plan = GOpt::new(graph.schema(), &hi, &spec).optimize(&logical).unwrap();
+        let gopt_plan = GOpt::new(graph.schema(), &hi, &spec)
+            .optimize(&logical)
+            .unwrap();
         let base_plan = NeoPlanner::new(&lo).optimize(&logical).unwrap();
         let time = |plan| {
             let start = Instant::now();
             let out = backend.execute(&graph, plan);
-            (start.elapsed().as_secs_f64() * 1e3, out.map(|r| r.len()).unwrap_or(0))
+            (
+                start.elapsed().as_secs_f64() * 1e3,
+                out.map(|r| r.len()).unwrap_or(0),
+            )
         };
         let (t1, n1) = time(&gopt_plan);
         let (t2, n2) = time(&base_plan);

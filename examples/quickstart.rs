@@ -15,19 +15,31 @@ fn main() {
     // 1. Build a small data graph that conforms to the Person/Product/Place schema.
     let schema = fig6_schema();
     let mut b = GraphBuilder::new(schema);
-    let alice = b.add_vertex_by_name("Person", vec![("name", PropValue::str("alice"))]).unwrap();
-    let bob = b.add_vertex_by_name("Person", vec![("name", PropValue::str("bob"))]).unwrap();
-    let carol = b.add_vertex_by_name("Person", vec![("name", PropValue::str("carol"))]).unwrap();
-    let widget = b.add_vertex_by_name("Product", vec![("name", PropValue::str("widget"))]).unwrap();
-    let china = b.add_vertex_by_name("Place", vec![("name", PropValue::str("China"))]).unwrap();
+    let alice = b
+        .add_vertex_by_name("Person", vec![("name", PropValue::str("alice"))])
+        .unwrap();
+    let bob = b
+        .add_vertex_by_name("Person", vec![("name", PropValue::str("bob"))])
+        .unwrap();
+    let carol = b
+        .add_vertex_by_name("Person", vec![("name", PropValue::str("carol"))])
+        .unwrap();
+    let widget = b
+        .add_vertex_by_name("Product", vec![("name", PropValue::str("widget"))])
+        .unwrap();
+    let china = b
+        .add_vertex_by_name("Place", vec![("name", PropValue::str("China"))])
+        .unwrap();
     b.add_edge_by_name("Knows", alice, bob, vec![]).unwrap();
     b.add_edge_by_name("Knows", bob, carol, vec![]).unwrap();
     b.add_edge_by_name("Knows", alice, carol, vec![]).unwrap();
-    b.add_edge_by_name("Purchases", bob, widget, vec![]).unwrap();
+    b.add_edge_by_name("Purchases", bob, widget, vec![])
+        .unwrap();
     for p in [alice, bob, carol] {
         b.add_edge_by_name("LocatedIn", p, china, vec![]).unwrap();
     }
-    b.add_edge_by_name("ProducedIn", widget, china, vec![]).unwrap();
+    b.add_edge_by_name("ProducedIn", widget, china, vec![])
+        .unwrap();
     let graph = b.finish();
 
     // 2. Mine high-order statistics (GLogue) once per graph.
@@ -50,7 +62,9 @@ fn main() {
     println!("--- physical plan ---\n{}", physical.encode());
 
     let backend = PartitionedBackend::new(2);
-    let result = backend.execute(&graph, &physical).expect("execution succeeds");
+    let result = backend
+        .execute(&graph, &physical)
+        .expect("execution succeeds");
     println!("--- results ---");
     for row in result.rows_for(&["person", "friends_in_china"]) {
         println!("{} -> {}", row[0], row[1]);

@@ -38,8 +38,12 @@ fn cypher_and_gremlin_agree_on_counts() {
     for (cy, gr) in pairs {
         let from_cypher = parse_cypher(cy, graph.schema()).expect("cypher parses");
         let from_gremlin = parse_gremlin(gr, graph.schema()).expect("gremlin parses");
-        let p1 = GOpt::new(graph.schema(), &gq, &spec).optimize(&from_cypher).unwrap();
-        let p2 = GOpt::new(graph.schema(), &gq, &spec).optimize(&from_gremlin).unwrap();
+        let p1 = GOpt::new(graph.schema(), &gq, &spec)
+            .optimize(&from_cypher)
+            .unwrap();
+        let p2 = GOpt::new(graph.schema(), &gq, &spec)
+            .optimize(&from_gremlin)
+            .unwrap();
         let r1 = backend.execute(&graph, &p1).unwrap();
         let r2 = backend.execute(&graph, &p2).unwrap();
         let c1 = r1.rows()[0].last().unwrap().clone();

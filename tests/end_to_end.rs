@@ -2,7 +2,7 @@
 //! that every optimization stage preserves results and reduces (or at least does not
 //! increase) intermediate work.
 
-use gopt::core::{GOpt, GOptConfig, GraphScopeSpec, Neo4jSpec, NeoPlanner, GsRuleOnlyPlanner};
+use gopt::core::{GOpt, GOptConfig, GraphScopeSpec, GsRuleOnlyPlanner, Neo4jSpec, NeoPlanner};
 use gopt::exec::{Backend, PartitionedBackend, SingleMachineBackend};
 use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
 use gopt::parser::parse_cypher;
@@ -76,11 +76,19 @@ fn both_backends_and_both_specs_agree() {
         let logical = parse_cypher(&q.text, f.graph.schema()).unwrap();
         let gs_spec = GraphScopeSpec;
         let neo_spec = Neo4jSpec;
-        let gs_plan = GOpt::new(f.graph.schema(), &gq, &gs_spec).optimize(&logical).unwrap();
-        let neo_plan = GOpt::new(f.graph.schema(), &gq, &neo_spec).optimize(&logical).unwrap();
+        let gs_plan = GOpt::new(f.graph.schema(), &gq, &gs_spec)
+            .optimize(&logical)
+            .unwrap();
+        let neo_plan = GOpt::new(f.graph.schema(), &gq, &neo_spec)
+            .optimize(&logical)
+            .unwrap();
         let on_partitioned = sorted_rows(&f, &gs_plan, Some(4));
         let on_single = sorted_rows(&f, &neo_plan, None);
-        assert_eq!(on_partitioned, on_single, "{} differs across backends", q.name);
+        assert_eq!(
+            on_partitioned, on_single,
+            "{} differs across backends",
+            q.name
+        );
     }
 }
 
@@ -92,7 +100,9 @@ fn baselines_agree_with_gopt_on_results() {
     let spec = GraphScopeSpec;
     for q in qr_queries().into_iter().take(6) {
         let logical = parse_cypher(&q.text, f.graph.schema()).unwrap();
-        let gopt = GOpt::new(f.graph.schema(), &gq, &spec).optimize(&logical).unwrap();
+        let gopt = GOpt::new(f.graph.schema(), &gq, &spec)
+            .optimize(&logical)
+            .unwrap();
         let neo = NeoPlanner::new(&lo).optimize(&logical).unwrap();
         let gs = GsRuleOnlyPlanner::new().optimize(&logical).unwrap();
         let a = sorted_rows(&f, &gopt, Some(2));
@@ -114,12 +124,16 @@ fn type_inference_rejects_impossible_patterns_and_keeps_possible_ones() {
         f.graph.schema(),
     )
     .unwrap();
-    assert!(GOpt::new(f.graph.schema(), &gq, &spec).optimize(&bad).is_err());
+    assert!(GOpt::new(f.graph.schema(), &gq, &spec)
+        .optimize(&bad)
+        .is_err());
     // but the same query without the wrong label optimizes fine
     let good = parse_cypher(
         "MATCH (a)-[:Knows]->(b) RETURN count(*) AS cnt",
         f.graph.schema(),
     )
     .unwrap();
-    assert!(GOpt::new(f.graph.schema(), &gq, &spec).optimize(&good).is_ok());
+    assert!(GOpt::new(f.graph.schema(), &gq, &spec)
+        .optimize(&good)
+        .is_ok());
 }
