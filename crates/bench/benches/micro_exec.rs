@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks of the execution engines: the same triangle plan run with
 //! ExpandInto (flattening) vs ExpandIntersect (worst-case optimal), and on the
-//! single-machine vs partitioned backend; plus operator-level benchmarks of the
+//! single-machine vs partitioned backend; operator-level benchmarks of the
 //! hot expand path (`edge_expand`, `expand_intersect`) used to track the CSR
-//! storage layout's before/after numbers (`BENCH_pr1.json`).
+//! storage layout's before/after numbers (`BENCH_pr1.json`); and scalar-vs-batched
+//! engine comparisons on expand+filter and group/count pipelines, recorded in
+//! `BENCH_pr2.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gopt_bench::{
@@ -10,9 +12,10 @@ use gopt_bench::{
 };
 use gopt_core::GOptConfig;
 use gopt_exec::expand::{self, EdgeExpandArgs};
-use gopt_exec::TagMap;
+use gopt_exec::{BatchEngine, Engine, EngineConfig, TagMap};
+use gopt_gir::expr::{BinOp, Expr};
 use gopt_gir::pattern::Direction;
-use gopt_gir::physical::IntersectStep;
+use gopt_gir::physical::{IntersectStep, PhysicalOp, PhysicalPlan};
 use gopt_gir::types::TypeConstraint;
 use gopt_workloads::qc_queries;
 
@@ -140,9 +143,83 @@ fn bench_exec(c: &mut Criterion) {
     });
 }
 
+/// Scalar `Engine` vs vectorized `BatchEngine` on the pipelines the batch
+/// layout targets: a wide expand+filter sweep (predicate on the expansion
+/// target) and an expand → group/count → top-k pipeline. Same plans, same
+/// graph — only the engine differs; the pairwise ratios are recorded in
+/// `BENCH_pr2.json`.
+fn bench_batch_vs_row(c: &mut Criterion) {
+    let env = Env::ldbc("G-batch", 300);
+    let g = &env.graph;
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+
+    // expand + filter: all Knows pairs whose target joined early
+    let mut filter_plan = PhysicalPlan::new();
+    filter_plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    filter_plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows.clone(),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person.clone(),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    filter_plan.push(PhysicalOp::Select {
+        predicate: Expr::binary(BinOp::Lt, Expr::prop("b", "creationDate"), Expr::lit(8000)),
+    });
+
+    // expand -> group/count -> top-10
+    let mut group_plan = PhysicalPlan::new();
+    group_plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    group_plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows,
+        direction: Direction::Both,
+        dst_alias: "b".into(),
+        dst_constraint: person,
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    group_plan.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::tag("a"), "a".into())],
+        aggs: vec![(gopt_gir::AggFunc::Count, Expr::tag("b"), "friends".into())],
+    });
+    group_plan.push(PhysicalOp::OrderLimit {
+        keys: vec![(Expr::tag("friends"), gopt_gir::SortDir::Desc)],
+        limit: Some(10),
+    });
+
+    let config = EngineConfig::default();
+    for (name, plan) in [
+        ("exec_expand_filter", &filter_plan),
+        ("exec_expand_group_count", &group_plan),
+    ] {
+        c.bench_function(&format!("{name}_row"), |b| {
+            b.iter(|| std::hint::black_box(Engine::new(g, config.clone()).execute(plan).unwrap()))
+        });
+        c.bench_function(&format!("{name}_batched"), |b| {
+            b.iter(|| {
+                std::hint::black_box(BatchEngine::new(g, config.clone()).execute(plan).unwrap())
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_expand_ops, bench_exec
+    targets = bench_expand_ops, bench_exec, bench_batch_vs_row
 }
 criterion_main!(benches);

@@ -86,9 +86,7 @@ pub enum Target {
 impl Target {
     fn backend(&self, limit: u64) -> Box<dyn Backend> {
         match self {
-            Target::SingleMachine => Box::new(SingleMachineBackend {
-                record_limit: Some(limit),
-            }),
+            Target::SingleMachine => Box::new(SingleMachineBackend::with_record_limit(limit)),
             Target::Partitioned(p) => {
                 Box::new(PartitionedBackend::new(*p).with_record_limit(limit))
             }

@@ -15,7 +15,8 @@
 //! `ExpandIntersect` plan) — the difference the optimizer must reason about is *cost*,
 //! which is exactly what the `PhysicalSpec` registration in `gopt-core` captures.
 
-use crate::engine::{Engine, EngineConfig, ExecResult};
+use crate::batch::DEFAULT_BATCH_SIZE;
+use crate::engine::{BatchEngine, Engine, EngineConfig, ExecResult};
 use crate::error::ExecError;
 use gopt_gir::physical::PhysicalPlan;
 use gopt_graph::PropertyGraph;
@@ -28,11 +29,49 @@ pub trait Backend {
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError>;
 }
 
+/// How a backend's engine processes intermediate results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Row-at-a-time interpretation with [`Engine`] — the original path, kept as
+    /// the behavioural oracle for the batched engine.
+    Scalar,
+    /// Vectorized execution with [`BatchEngine`] over struct-of-arrays record
+    /// batches of at most `batch_size` rows. The default.
+    Batched {
+        /// Maximum rows per batch.
+        batch_size: usize,
+    },
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Batched {
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+fn run(
+    graph: &PropertyGraph,
+    plan: &PhysicalPlan,
+    config: EngineConfig,
+    mode: ExecMode,
+) -> Result<ExecResult, ExecError> {
+    match mode {
+        ExecMode::Scalar => Engine::new(graph, config).execute(plan),
+        ExecMode::Batched { batch_size } => BatchEngine::new(graph, config)
+            .with_batch_size(batch_size)
+            .execute(plan),
+    }
+}
+
 /// A Neo4j-like single-machine interpreted backend.
 #[derive(Debug, Clone, Default)]
 pub struct SingleMachineBackend {
     /// Optional intermediate-record limit (abort instead of running away).
     pub record_limit: Option<u64>,
+    /// Scalar or batched execution (batched by default).
+    pub mode: ExecMode,
 }
 
 impl SingleMachineBackend {
@@ -45,7 +84,14 @@ impl SingleMachineBackend {
     pub fn with_record_limit(limit: u64) -> Self {
         SingleMachineBackend {
             record_limit: Some(limit),
+            ..Self::default()
         }
+    }
+
+    /// Select scalar or batched execution.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -55,14 +101,15 @@ impl Backend for SingleMachineBackend {
     }
 
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
-        Engine::new(
+        run(
             graph,
+            plan,
             EngineConfig {
                 partitions: None,
                 record_limit: self.record_limit,
             },
+            self.mode,
         )
-        .execute(plan)
     }
 }
 
@@ -73,6 +120,9 @@ pub struct PartitionedBackend {
     pub partitions: usize,
     /// Optional intermediate-record limit.
     pub record_limit: Option<u64>,
+    /// Scalar or batched execution (batched by default). Communication
+    /// accounting is identical in both modes.
+    pub mode: ExecMode,
 }
 
 impl PartitionedBackend {
@@ -81,12 +131,19 @@ impl PartitionedBackend {
         PartitionedBackend {
             partitions: partitions.max(1),
             record_limit: None,
+            mode: ExecMode::default(),
         }
     }
 
     /// Set an intermediate-record limit.
     pub fn with_record_limit(mut self, limit: u64) -> Self {
         self.record_limit = Some(limit);
+        self
+    }
+
+    /// Select scalar or batched execution.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -97,14 +154,15 @@ impl Backend for PartitionedBackend {
     }
 
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
-        Engine::new(
+        run(
             graph,
+            plan,
             EngineConfig {
                 partitions: Some(self.partitions),
                 record_limit: self.record_limit,
             },
+            self.mode,
         )
-        .execute(plan)
     }
 }
 

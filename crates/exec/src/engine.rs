@@ -1,13 +1,24 @@
-//! The physical-plan interpreter.
+//! The physical-plan interpreters.
 //!
-//! [`Engine`] walks a [`PhysicalPlan`] in topological order, materialising the output of
-//! each operator, and gathers [`ExecStats`]: the number of intermediate records produced
-//! (the paper's communication/computation cost proxy), the simulated cross-partition
-//! communication count, and wall-clock time.
+//! Two engines walk a [`PhysicalPlan`] in topological order, materialise the output of
+//! each operator, and gather [`ExecStats`] (intermediate records — the paper's
+//! communication/computation cost proxy —, simulated cross-partition communication,
+//! wall-clock time):
+//!
+//! * [`Engine`] — the scalar interpreter: each operator consumes and produces
+//!   `Vec<Record>`. This is the original row-at-a-time path, kept as the behavioural
+//!   **oracle** for the batched engine.
+//! * [`BatchEngine`] — the vectorized interpreter: each operator consumes and produces
+//!   `Vec<RecordBatch>` (struct-of-arrays columns, at most `batch_size` rows per
+//!   batch; see [`crate::batch`]). Operators are required to emit exactly the same
+//!   rows in exactly the same order as their scalar counterparts, with identical
+//!   communication accounting, so the two engines agree on every plan — including
+//!   record-limit aborts, which compare against the same running total.
 //!
 //! A configurable intermediate-record limit plays the role of the paper's one-hour
 //! timeout ("OT"): grossly un-optimized plans are cut off instead of exhausting memory.
 
+use crate::batch::{self, RecordBatch};
 use crate::error::ExecError;
 use crate::expand::{self, EdgeExpandArgs};
 use crate::record::{Record, TagMap};
@@ -370,6 +381,316 @@ impl<'a> Engine<'a> {
                 let pairs: Vec<(&[Record], &TagMap)> =
                     gathered.iter().map(|(r, t)| (r.as_slice(), t)).collect();
                 let (out, tags) = relational::union(&pairs);
+                Ok((out, tags))
+            }
+        }
+    }
+}
+
+/// The vectorized plan interpreter: identical semantics to [`Engine`], but every
+/// operator pulls and pushes [`RecordBatch`]es (struct-of-arrays columns, see
+/// [`crate::batch`]) of at most `batch_size` rows instead of single [`Record`]s.
+///
+/// The scalar [`Engine`] is kept as the behavioural oracle: for every plan both
+/// engines must produce identical rows and identical [`ExecStats`] (except wall-clock
+/// time) — `tests/batch_engine_equivalence.rs` and the `gopt-exec` operator tests
+/// enforce this on all example plans and on randomized plans.
+pub struct BatchEngine<'a> {
+    graph: &'a PropertyGraph,
+    config: EngineConfig,
+    batch_size: usize,
+}
+
+impl<'a> BatchEngine<'a> {
+    /// Create a batch engine over a graph with the given configuration and the
+    /// default batch size ([`crate::batch::DEFAULT_BATCH_SIZE`]).
+    pub fn new(graph: &'a PropertyGraph, config: EngineConfig) -> Self {
+        BatchEngine {
+            graph,
+            config,
+            batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Override the maximum number of rows per batch (values below 1 are clamped).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The graph being queried.
+    pub fn graph(&self) -> &PropertyGraph {
+        self.graph
+    }
+
+    /// Execute a physical plan, materialising the final batches back into
+    /// records for the uniform [`ExecResult`] interface.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        if plan.is_empty() {
+            return Err(ExecError::EmptyPlan);
+        }
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+        let order = plan.topo_order();
+        let mut outputs: Vec<Option<(Vec<RecordBatch>, TagMap)>> = vec![None; plan.len()];
+        for id in &order {
+            let input_ids = plan.inputs(*id).to_vec();
+            let (batches, tags) =
+                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let produced = batch::total_rows(&batches) as u64;
+            stats.intermediate_records += produced;
+            stats.peak_records = stats.peak_records.max(produced);
+            if let Some(limit) = self.config.record_limit {
+                if stats.intermediate_records > limit {
+                    return Err(ExecError::RecordLimitExceeded { limit });
+                }
+            }
+            outputs[id.0] = Some((batches, tags));
+        }
+        let (batches, tags) = outputs[plan.root().0]
+            .take()
+            .expect("root was executed last");
+        let mut records = Vec::with_capacity(batch::total_rows(&batches));
+        for b in &batches {
+            records.extend(b.to_records());
+        }
+        stats.elapsed_micros = start.elapsed().as_micros();
+        Ok(ExecResult {
+            records,
+            tags,
+            stats,
+        })
+    }
+
+    fn take_input<'b>(
+        op: &'static str,
+        inputs: &[gopt_gir::physical::PhysicalNodeId],
+        outputs: &'b [Option<(Vec<RecordBatch>, TagMap)>],
+        n: usize,
+    ) -> Result<Vec<&'b (Vec<RecordBatch>, TagMap)>, ExecError> {
+        if inputs.len() != n {
+            return Err(ExecError::ArityMismatch {
+                op,
+                expected: n,
+                actual: inputs.len(),
+            });
+        }
+        Ok(inputs
+            .iter()
+            .map(|i| {
+                outputs[i.0]
+                    .as_ref()
+                    .expect("inputs executed before consumers")
+            })
+            .collect())
+    }
+
+    fn execute_op(
+        &self,
+        op: &PhysicalOp,
+        inputs: &[gopt_gir::physical::PhysicalNodeId],
+        outputs: &[Option<(Vec<RecordBatch>, TagMap)>],
+        stats: &mut ExecStats,
+    ) -> Result<(Vec<RecordBatch>, TagMap), ExecError> {
+        let parts = self.config.partitions;
+        let bs = self.batch_size;
+        match op {
+            PhysicalOp::Scan {
+                alias,
+                constraint,
+                predicate,
+            } => {
+                let mut tags = TagMap::new();
+                let batches =
+                    expand::scan_batches(self.graph, &mut tags, alias, constraint, predicate, bs);
+                Ok((batches, tags))
+            }
+            PhysicalOp::EdgeExpand {
+                src,
+                edge_alias,
+                edge_constraint,
+                direction,
+                dst_alias,
+                dst_constraint,
+                dst_predicate,
+                edge_predicate,
+            } => {
+                let input = Self::take_input("EdgeExpand", inputs, outputs, 1)?;
+                let (batches, in_tags) = input[0];
+                let mut tags = in_tags.clone();
+                let args = EdgeExpandArgs {
+                    src,
+                    edge_alias: edge_alias.as_deref(),
+                    edge_constraint,
+                    direction: *direction,
+                    dst_alias,
+                    dst_constraint,
+                    dst_predicate,
+                    edge_predicate,
+                };
+                let (out, comm) =
+                    expand::edge_expand_batches(self.graph, batches, &mut tags, &args, parts, bs)?;
+                stats.comm_records += comm;
+                Ok((out, tags))
+            }
+            PhysicalOp::ExpandInto {
+                src,
+                dst,
+                edge_constraint,
+                direction,
+                edge_alias,
+                edge_predicate,
+            } => {
+                let input = Self::take_input("ExpandInto", inputs, outputs, 1)?;
+                let (batches, in_tags) = input[0];
+                let mut tags = in_tags.clone();
+                let (out, comm) = expand::expand_into_batches(
+                    self.graph,
+                    batches,
+                    &mut tags,
+                    src,
+                    dst,
+                    edge_constraint,
+                    *direction,
+                    edge_alias.as_deref(),
+                    edge_predicate,
+                    parts,
+                    bs,
+                )?;
+                stats.comm_records += comm;
+                Ok((out, tags))
+            }
+            PhysicalOp::ExpandIntersect {
+                steps,
+                dst_alias,
+                dst_constraint,
+                dst_predicate,
+            } => {
+                let input = Self::take_input("ExpandIntersect", inputs, outputs, 1)?;
+                let (batches, in_tags) = input[0];
+                let mut tags = in_tags.clone();
+                let (out, comm) = expand::expand_intersect_batches(
+                    self.graph,
+                    batches,
+                    &mut tags,
+                    steps,
+                    dst_alias,
+                    dst_constraint,
+                    dst_predicate,
+                    parts,
+                    bs,
+                )?;
+                stats.comm_records += comm;
+                Ok((out, tags))
+            }
+            PhysicalOp::PathExpand {
+                src,
+                dst_alias,
+                edge_constraint,
+                direction,
+                min_hops,
+                max_hops,
+                semantics,
+                path_alias,
+            } => {
+                let input = Self::take_input("PathExpand", inputs, outputs, 1)?;
+                let (batches, in_tags) = input[0];
+                let mut tags = in_tags.clone();
+                let (out, comm) = expand::path_expand_batches(
+                    self.graph,
+                    batches,
+                    &mut tags,
+                    src,
+                    dst_alias,
+                    edge_constraint,
+                    *direction,
+                    *min_hops,
+                    *max_hops,
+                    *semantics,
+                    path_alias.as_deref(),
+                    parts,
+                    bs,
+                )?;
+                stats.comm_records += comm;
+                Ok((out, tags))
+            }
+            PhysicalOp::HashJoin { keys, kind } => {
+                let input = Self::take_input("HashJoin", inputs, outputs, 2)?;
+                let (l, lt) = input[0];
+                let (r, rt) = input[1];
+                let (out, tags, comm) = relational::hash_join_batches(
+                    self.graph, l, lt, r, rt, keys, *kind, parts, bs,
+                )?;
+                stats.comm_records += comm;
+                Ok((out, tags))
+            }
+            PhysicalOp::PropertyFetch { tag, props } => {
+                let input = Self::take_input("PropertyFetch", inputs, outputs, 1)?;
+                let (batches, in_tags) = input[0];
+                let mut tags = in_tags.clone();
+                let out =
+                    relational::property_fetch_batches(self.graph, batches, &mut tags, tag, props)?;
+                Ok((out, tags))
+            }
+            PhysicalOp::Select { predicate } => {
+                let input = Self::take_input("Select", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                Ok((
+                    relational::select_batches(self.graph, batches, tags, predicate, bs),
+                    tags.clone(),
+                ))
+            }
+            PhysicalOp::Project { items } => {
+                let input = Self::take_input("Project", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                let (out, otags) = relational::project_batches(self.graph, batches, tags, items);
+                Ok((out, otags))
+            }
+            PhysicalOp::HashGroup { keys, aggs } => {
+                let input = Self::take_input("HashGroup", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                let (out, otags, comm) = relational::hash_group_batches(
+                    self.graph, batches, tags, keys, aggs, parts, bs,
+                );
+                stats.comm_records += comm;
+                Ok((out, otags))
+            }
+            PhysicalOp::OrderLimit { keys, limit } => {
+                let input = Self::take_input("OrderLimit", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                Ok((
+                    relational::order_limit_batches(self.graph, batches, tags, keys, *limit, bs),
+                    tags.clone(),
+                ))
+            }
+            PhysicalOp::Limit { count } => {
+                let input = Self::take_input("Limit", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                Ok((relational::limit_batches(batches, *count), tags.clone()))
+            }
+            PhysicalOp::Dedup { keys } => {
+                let input = Self::take_input("Dedup", inputs, outputs, 1)?;
+                let (batches, tags) = input[0];
+                Ok((
+                    relational::dedup_batches(self.graph, batches, tags, keys),
+                    tags.clone(),
+                ))
+            }
+            PhysicalOp::Union => {
+                if inputs.is_empty() {
+                    return Err(ExecError::ArityMismatch {
+                        op: "Union",
+                        expected: 2,
+                        actual: 0,
+                    });
+                }
+                let gathered: Vec<&(Vec<RecordBatch>, TagMap)> = inputs
+                    .iter()
+                    .map(|i| outputs[i.0].as_ref().expect("inputs executed"))
+                    .collect();
+                let pairs: Vec<(&[RecordBatch], &TagMap)> =
+                    gathered.iter().map(|(b, t)| (b.as_slice(), t)).collect();
+                let (out, tags) = relational::union_batches(&pairs);
                 Ok((out, tags))
             }
         }

@@ -12,13 +12,21 @@
 //! would cross a partition boundary in a distributed deployment (`comm`), which the
 //! partitioned backend accumulates as communication cost. With `partitions = None` the
 //! communication count is always zero.
+//!
+//! Every operator exists in two forms sharing the same traversal code: the scalar form
+//! over `&[Record]` and a batched form (`*_batches`) over `&[RecordBatch]` columns.
+//! The batched forms are the hot path: they read source vertices from a contiguous
+//! column, evaluate compiled predicates (tag → slot resolution hoisted out of the row
+//! loop), reuse scratch buffers across the whole input, and emit selection vectors
+//! that are gathered column-by-column. The batch contract: same rows, same order, same
+//! `comm` as the scalar form, with output batches of at most `batch_size` rows.
 
 use crate::record::{Entry, Record, RecordContext, TagMap};
 use gopt_gir::expr::Expr;
 use gopt_gir::pattern::{Direction, PathSemantics};
 use gopt_gir::physical::IntersectStep;
 use gopt_gir::types::TypeConstraint;
-use gopt_graph::{LabelId, PropertyGraph, VertexId};
+use gopt_graph::{EdgeId, LabelId, PropertyGraph, VertexId};
 
 fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
     match partitions {
@@ -58,6 +66,48 @@ fn vertex_matches(
 
 fn edge_labels(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<LabelId> {
     constraint.materialize(&graph.schema().edge_label_ids().collect::<Vec<_>>())
+}
+
+/// Collect the candidate `(edge, neighbor)` pairs of an edge expansion from
+/// `src` into `candidates`, keeping one (the smallest-id) edge per distinct
+/// neighbour. Shared by the scalar and the batched `EdgeExpand`.
+///
+/// Each CSR (vertex, label) segment is already sorted by (neighbor, edge), so
+/// a single-segment expansion needs neither sort nor copy ordering work; only
+/// multi-segment gathers (several labels, or direction `Both`) re-sort what
+/// was gathered.
+fn collect_expand_candidates(
+    graph: &PropertyGraph,
+    src: VertexId,
+    labels: &[LabelId],
+    direction: Direction,
+    candidates: &mut Vec<(gopt_graph::EdgeId, VertexId)>,
+) {
+    candidates.clear();
+    let mut segments = 0usize;
+    {
+        let mut push_seg = |candidates: &mut Vec<(gopt_graph::EdgeId, VertexId)>,
+                            seg: &[gopt_graph::Adj]| {
+            if !seg.is_empty() {
+                segments += 1;
+                candidates.extend(seg.iter().map(|a| (a.edge, a.neighbor)));
+            }
+        };
+        for &l in labels {
+            match direction {
+                Direction::Out => push_seg(candidates, graph.out_edges_with_label(src, l)),
+                Direction::In => push_seg(candidates, graph.in_edges_with_label(src, l)),
+                Direction::Both => {
+                    push_seg(candidates, graph.out_edges_with_label(src, l));
+                    push_seg(candidates, graph.in_edges_with_label(src, l));
+                }
+            }
+        }
+    }
+    if segments > 1 {
+        candidates.sort_unstable_by_key(|(e, n)| (*n, *e));
+    }
+    candidates.dedup_by_key(|(_, n)| *n);
 }
 
 /// Collect the distinct neighbours of `src` over the given labels/direction
@@ -149,6 +199,101 @@ fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>
                     j += 1;
                 }
             }
+        }
+    }
+}
+
+/// Find one connecting edge between the bound endpoints `s` and `d` over the given
+/// labels/direction: a binary search of the sorted (vertex, label) CSR segment per
+/// candidate endpoint pair. Shared by the scalar and the batched `ExpandInto`.
+fn find_connecting_edge(
+    graph: &PropertyGraph,
+    s: VertexId,
+    d: VertexId,
+    labels: &[LabelId],
+    direction: Direction,
+) -> Option<EdgeId> {
+    for &l in labels {
+        let endpoint_pairs: &[(VertexId, VertexId)] = match direction {
+            Direction::Out => &[(s, d)],
+            Direction::In => &[(d, s)],
+            Direction::Both => &[(s, d), (d, s)],
+        };
+        for &(from, to) in endpoint_pairs {
+            if let Some(e) = graph.first_edge_between(from, l, to) {
+                return Some(e);
+            }
+        }
+    }
+    None
+}
+
+/// Walk every path of `1..=max_hops` hops from `start` (iterative deepening over the
+/// CSR segments, carrying the full vertex path), counting cross-partition steps into
+/// `comm`, and call `emit` for each path of at least `min_hops` hops — in breadth
+/// order: all paths of hop `h`, in frontier order, before any path of hop `h + 1`.
+/// Shared by the scalar and the batched `PathExpand`, which fixes their emission
+/// order and communication accounting to be identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn expand_paths(
+    graph: &PropertyGraph,
+    start: VertexId,
+    labels: &[LabelId],
+    direction: Direction,
+    min_hops: u32,
+    max_hops: u32,
+    semantics: PathSemantics,
+    partitions: Option<usize>,
+    comm: &mut u64,
+    mut emit: impl FnMut(&[VertexId]),
+) {
+    let mut frontier: Vec<Vec<VertexId>> = vec![vec![start]];
+    for hop in 1..=max_hops {
+        let mut next: Vec<Vec<VertexId>> = Vec::new();
+        for path in &frontier {
+            let cur = *path.last().expect("non-empty path");
+            let mut step = |n: VertexId, next: &mut Vec<Vec<VertexId>>| {
+                if semantics == PathSemantics::Simple && path.contains(&n) {
+                    return;
+                }
+                if partition_of(cur, partitions) != partition_of(n, partitions) {
+                    *comm += 1;
+                }
+                let mut np = path.clone();
+                np.push(n);
+                next.push(np);
+            };
+            for &l in labels {
+                match direction {
+                    Direction::Out => {
+                        for a in graph.out_edges_with_label(cur, l) {
+                            step(a.neighbor, &mut next);
+                        }
+                    }
+                    Direction::In => {
+                        for a in graph.in_edges_with_label(cur, l) {
+                            step(a.neighbor, &mut next);
+                        }
+                    }
+                    Direction::Both => {
+                        for a in graph.out_edges_with_label(cur, l) {
+                            step(a.neighbor, &mut next);
+                        }
+                        for a in graph.in_edges_with_label(cur, l) {
+                            step(a.neighbor, &mut next);
+                        }
+                    }
+                }
+            }
+        }
+        if hop >= min_hops {
+            for path in &next {
+                emit(path);
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
         }
     }
 }
@@ -259,36 +404,7 @@ pub fn edge_expand(
             }
             out.push(r);
         };
-        // Each CSR (vertex, label) segment is already sorted by (neighbor,
-        // edge), so a single-segment expansion needs neither sort nor copy
-        // ordering work; only multi-segment gathers (several labels, or
-        // direction Both) re-sort what was gathered.
-        candidates.clear();
-        let mut segments = 0usize;
-        {
-            let mut push_seg = |candidates: &mut Vec<(gopt_graph::EdgeId, VertexId)>,
-                                seg: &[gopt_graph::Adj]| {
-                if !seg.is_empty() {
-                    segments += 1;
-                    candidates.extend(seg.iter().map(|a| (a.edge, a.neighbor)));
-                }
-            };
-            for &l in &labels {
-                match args.direction {
-                    Direction::Out => push_seg(&mut candidates, graph.out_edges_with_label(src, l)),
-                    Direction::In => push_seg(&mut candidates, graph.in_edges_with_label(src, l)),
-                    Direction::Both => {
-                        push_seg(&mut candidates, graph.out_edges_with_label(src, l));
-                        push_seg(&mut candidates, graph.in_edges_with_label(src, l));
-                    }
-                }
-            }
-        }
-        // keep one (the smallest-id) edge per distinct neighbour
-        if segments > 1 {
-            candidates.sort_unstable_by_key(|(e, n)| (*n, *e));
-        }
-        candidates.dedup_by_key(|(_, n)| *n);
+        collect_expand_candidates(graph, src, &labels, args.direction, &mut candidates);
         for &(edge, neighbor) in candidates.iter() {
             emit(edge, neighbor);
         }
@@ -325,23 +441,9 @@ pub fn expand_into(
         else {
             continue;
         };
-        // find a connecting edge in the requested direction: binary search of
-        // the sorted (vertex, label) segment per candidate endpoint pair
-        let mut found: Option<gopt_graph::EdgeId> = None;
-        'search: for &l in &labels {
-            let endpoint_pairs: &[(VertexId, VertexId)] = match direction {
-                Direction::Out => &[(s, d)],
-                Direction::In => &[(d, s)],
-                Direction::Both => &[(s, d), (d, s)],
-            };
-            for &(from, to) in endpoint_pairs {
-                if let Some(e) = graph.first_edge_between(from, l, to) {
-                    found = Some(e);
-                    break 'search;
-                }
-            }
-        }
-        let Some(e) = found else { continue };
+        let Some(e) = find_connecting_edge(graph, s, d, &labels, direction) else {
+            continue;
+        };
         if let Some(p) = edge_predicate {
             let mut probe = rec.clone();
             if let Some(es) = edge_slot {
@@ -489,65 +591,498 @@ pub fn path_expand(
         let Some(start) = rec.get(src_slot).as_vertex() else {
             continue;
         };
-        // iterative deepening over hop counts, carrying the full vertex path
-        let mut frontier: Vec<Vec<VertexId>> = vec![vec![start]];
-        for hop in 1..=max_hops {
-            let mut next: Vec<Vec<VertexId>> = Vec::new();
-            for path in &frontier {
-                let cur = *path.last().expect("non-empty path");
-                // iterate the CSR segments directly — no intermediate Vec per
-                // (path, label) pair
-                let mut step = |n: VertexId, next: &mut Vec<Vec<VertexId>>| {
-                    if semantics == PathSemantics::Simple && path.contains(&n) {
-                        return;
-                    }
-                    if partition_of(cur, partitions) != partition_of(n, partitions) {
-                        comm += 1;
-                    }
-                    let mut np = path.clone();
-                    np.push(n);
-                    next.push(np);
-                };
-                for &l in &labels {
-                    match direction {
-                        Direction::Out => {
-                            for a in graph.out_edges_with_label(cur, l) {
-                                step(a.neighbor, &mut next);
-                            }
-                        }
-                        Direction::In => {
-                            for a in graph.in_edges_with_label(cur, l) {
-                                step(a.neighbor, &mut next);
-                            }
-                        }
-                        Direction::Both => {
-                            for a in graph.out_edges_with_label(cur, l) {
-                                step(a.neighbor, &mut next);
-                            }
-                            for a in graph.in_edges_with_label(cur, l) {
-                                step(a.neighbor, &mut next);
-                            }
-                        }
-                    }
+        expand_paths(
+            graph,
+            start,
+            &labels,
+            direction,
+            min_hops,
+            max_hops,
+            semantics,
+            partitions,
+            &mut comm,
+            |path| {
+                let dst = *path.last().expect("non-empty");
+                let mut r = rec.with(dst_slot, Entry::Vertex(dst));
+                if let Some(ps) = path_slot {
+                    r.set(ps, Entry::Path(path.to_vec()));
                 }
+                out.push(r);
+            },
+        );
+    }
+    Ok((out, comm))
+}
+
+// ---------------------------------------------------------------------------
+// Batched (vectorized) variants
+// ---------------------------------------------------------------------------
+//
+// Same algorithms and — bit for bit — the same emission order, predicates and
+// communication accounting as the scalar functions above, but over
+// `RecordBatch` columns: the source vertices of a whole batch are read from
+// one contiguous column, predicates are compiled once per operator call
+// (tag → slot resolution hoisted out of the row loop), and outputs are built
+// as selection vectors + fresh columns that are gathered column-by-column
+// instead of cloning a `Vec<Entry>` per row.
+
+use crate::batch::{BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch};
+
+/// Check a candidate vertex against the destination constraint and compiled
+/// predicate, probing with a slot override instead of cloning the row.
+#[inline]
+fn batch_vertex_matches(
+    graph: &PropertyGraph,
+    batch: &RecordBatch,
+    row: usize,
+    v: VertexId,
+    constraint: &TypeConstraint,
+    predicate: Option<&CompiledExpr>,
+    slot: usize,
+) -> bool {
+    if !constraint.contains(graph.vertex_label(v)) {
+        return false;
+    }
+    match predicate {
+        None => true,
+        Some(p) => {
+            let overrides = [(slot, EntryRef::Vertex(v))];
+            p.eval_predicate(&BatchRow {
+                graph,
+                batch,
+                row,
+                overrides: &overrides,
+            })
+        }
+    }
+}
+
+/// Cut a selection vector plus freshly produced columns into output batches:
+/// each chunk of `sel` is gathered column-wise from `src` and the new
+/// destination (and optional edge) column slices are installed on top.
+#[allow(clippy::too_many_arguments)]
+fn flush_selection(
+    src: &RecordBatch,
+    sel: &[u32],
+    width: usize,
+    batch_size: usize,
+    dst_slot: Option<(usize, &[VertexId])>,
+    edge_slot: Option<(usize, &[EdgeId])>,
+    out: &mut Vec<RecordBatch>,
+) {
+    let mut start = 0;
+    while start < sel.len() {
+        let end = (start + batch_size).min(sel.len());
+        let mut batch = src.gather(&sel[start..end], width);
+        if let Some((slot, vals)) = dst_slot {
+            batch.set_column(slot, Column::vertices(vals[start..end].to_vec()));
+        }
+        if let Some((slot, vals)) = edge_slot {
+            batch.set_column(slot, Column::edges(vals[start..end].to_vec()));
+        }
+        out.push(batch);
+        start = end;
+    }
+}
+
+/// Batched [`scan`]: one vertex-id column per output batch.
+pub fn scan_batches(
+    graph: &PropertyGraph,
+    tags: &mut TagMap,
+    alias: &str,
+    constraint: &TypeConstraint,
+    predicate: &Option<Expr>,
+    batch_size: usize,
+) -> Vec<RecordBatch> {
+    let slot = tags.slot_or_insert(alias);
+    let width = tags.len();
+    let labels: Vec<LabelId> =
+        constraint.materialize(&graph.schema().vertex_label_ids().collect::<Vec<_>>());
+    let compiled = predicate
+        .as_ref()
+        .map(|p| CompiledExpr::compile(p, tags, graph));
+    let probe = RecordBatch::new(width);
+    let mut kept: Vec<VertexId> = Vec::new();
+    let mut out = Vec::new();
+    let flush = |kept: &mut Vec<VertexId>, out: &mut Vec<RecordBatch>, force: bool| {
+        while kept.len() >= batch_size || (force && !kept.is_empty()) {
+            let take = kept.len().min(batch_size);
+            let rest = kept.split_off(take);
+            let ids = std::mem::replace(kept, rest);
+            let mut batch = RecordBatch::new(0);
+            batch.set_column(slot, Column::vertices(ids));
+            if batch.width() < width {
+                let rows = batch.rows();
+                batch.set_column(width - 1, Column::nulls(rows));
             }
-            for path in &next {
-                if hop >= min_hops {
-                    let dst = *path.last().expect("non-empty");
-                    let mut r = rec.with(dst_slot, Entry::Vertex(dst));
-                    if let Some(ps) = path_slot {
-                        r.set(ps, Entry::Path(path.clone()));
-                    }
-                    out.push(r);
+            out.push(batch);
+        }
+    };
+    for l in labels {
+        for &v in graph.vertices_with_label(l) {
+            if !constraint.contains(graph.vertex_label(v)) {
+                continue;
+            }
+            let matches = match &compiled {
+                None => true,
+                Some(p) => {
+                    let overrides = [(slot, EntryRef::Vertex(v))];
+                    p.eval_predicate(&BatchRow {
+                        graph,
+                        batch: &probe,
+                        row: 0,
+                        overrides: &overrides,
+                    })
                 }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
+            };
+            if matches {
+                kept.push(v);
+                flush(&mut kept, &mut out, false);
             }
         }
     }
+    flush(&mut kept, &mut out, true);
+    out
+}
+
+/// Batched [`edge_expand`]: reads the source column, emits a selection vector
+/// plus destination/edge columns per input batch.
+pub fn edge_expand_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &mut TagMap,
+    args: &EdgeExpandArgs<'_>,
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(args.src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(args.src.to_string()))?;
+    let dst_slot = tags.slot_or_insert(args.dst_alias);
+    let edge_slot = args.edge_alias.map(|a| tags.slot_or_insert(a));
+    let width = tags.len();
+    let labels = edge_labels(graph, args.edge_constraint);
+    let dst_pred = args
+        .dst_predicate
+        .as_ref()
+        .map(|p| CompiledExpr::compile(p, tags, graph));
+    let edge_pred = args
+        .edge_predicate
+        .as_ref()
+        .map(|p| CompiledExpr::compile(p, tags, graph));
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    // scratch reused across the whole input, not per row
+    let mut candidates: Vec<(gopt_graph::EdgeId, VertexId)> = Vec::new();
+    let mut sel: Vec<u32> = Vec::new();
+    let mut dst_vals: Vec<VertexId> = Vec::new();
+    let mut edge_vals: Vec<EdgeId> = Vec::new();
+    for batch in input {
+        sel.clear();
+        dst_vals.clear();
+        edge_vals.clear();
+        for row in 0..batch.rows() {
+            let Some(src) = batch.entry(src_slot, row).as_vertex() else {
+                continue;
+            };
+            collect_expand_candidates(graph, src, &labels, args.direction, &mut candidates);
+            for &(edge, neighbor) in candidates.iter() {
+                if !batch_vertex_matches(
+                    graph,
+                    batch,
+                    row,
+                    neighbor,
+                    args.dst_constraint,
+                    dst_pred.as_ref(),
+                    dst_slot,
+                ) {
+                    continue;
+                }
+                if let Some(p) = &edge_pred {
+                    let overrides: &[(usize, EntryRef)] = match edge_slot {
+                        Some(es) => &[(es, EntryRef::Edge(edge))],
+                        None => &[],
+                    };
+                    if !p.eval_predicate(&BatchRow {
+                        graph,
+                        batch,
+                        row,
+                        overrides,
+                    }) {
+                        continue;
+                    }
+                }
+                if partition_of(src, partitions) != partition_of(neighbor, partitions) {
+                    comm += 1;
+                }
+                sel.push(row as u32);
+                dst_vals.push(neighbor);
+                edge_vals.push(edge);
+            }
+        }
+        flush_selection(
+            batch,
+            &sel,
+            width,
+            batch_size,
+            Some((dst_slot, &dst_vals)),
+            edge_slot.map(|es| (es, edge_vals.as_slice())),
+            &mut out,
+        );
+    }
     Ok((out, comm))
+}
+
+/// Batched [`expand_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn expand_into_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &mut TagMap,
+    src: &str,
+    dst: &str,
+    edge_constraint: &TypeConstraint,
+    direction: Direction,
+    edge_alias: Option<&str>,
+    edge_predicate: &Option<Expr>,
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
+    let dst_slot = tags
+        .slot(dst)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(dst.to_string()))?;
+    let edge_slot = edge_alias.map(|a| tags.slot_or_insert(a));
+    let width = tags.len();
+    let labels = edge_labels(graph, edge_constraint);
+    let edge_pred = edge_predicate
+        .as_ref()
+        .map(|p| CompiledExpr::compile(p, tags, graph));
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    let mut sel: Vec<u32> = Vec::new();
+    let mut edge_vals: Vec<EdgeId> = Vec::new();
+    for batch in input {
+        sel.clear();
+        edge_vals.clear();
+        for row in 0..batch.rows() {
+            let (Some(s), Some(d)) = (
+                batch.entry(src_slot, row).as_vertex(),
+                batch.entry(dst_slot, row).as_vertex(),
+            ) else {
+                continue;
+            };
+            let Some(e) = find_connecting_edge(graph, s, d, &labels, direction) else {
+                continue;
+            };
+            if let Some(p) = &edge_pred {
+                let overrides: &[(usize, EntryRef)] = match edge_slot {
+                    Some(es) => &[(es, EntryRef::Edge(e))],
+                    None => &[],
+                };
+                if !p.eval_predicate(&BatchRow {
+                    graph,
+                    batch,
+                    row,
+                    overrides,
+                }) {
+                    continue;
+                }
+            }
+            if partition_of(s, partitions) != partition_of(d, partitions) {
+                comm += 1;
+            }
+            sel.push(row as u32);
+            edge_vals.push(e);
+        }
+        flush_selection(
+            batch,
+            &sel,
+            width,
+            batch_size,
+            None,
+            edge_slot.map(|es| (es, edge_vals.as_slice())),
+            &mut out,
+        );
+    }
+    Ok((out, comm))
+}
+
+/// Batched [`expand_intersect`]: the CSR segment gathering and galloping
+/// merge-intersection run over a whole batch with shared scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_intersect_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &mut TagMap,
+    steps: &[IntersectStep],
+    dst_alias: &str,
+    dst_constraint: &TypeConstraint,
+    dst_predicate: &Option<Expr>,
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+    let dst_slot = tags.slot_or_insert(dst_alias);
+    let mut step_slots = Vec::with_capacity(steps.len());
+    for s in steps {
+        step_slots.push(
+            tags.slot(&s.src)
+                .ok_or_else(|| crate::error::ExecError::UnboundTag(s.src.clone()))?,
+        );
+    }
+    let width = tags.len();
+    let step_labels: Vec<Vec<LabelId>> = steps
+        .iter()
+        .map(|s| edge_labels(graph, &s.edge_constraint))
+        .collect();
+    let dst_pred = dst_predicate
+        .as_ref()
+        .map(|p| CompiledExpr::compile(p, tags, graph));
+    let mut out = Vec::new();
+    let mut comm = 0u64;
+    // scratch reused across the whole input
+    let mut cur: Vec<VertexId> = Vec::new();
+    let mut step_buf: Vec<VertexId> = Vec::new();
+    let mut merged: Vec<VertexId> = Vec::new();
+    let mut sel: Vec<u32> = Vec::new();
+    let mut dst_vals: Vec<VertexId> = Vec::new();
+    for batch in input {
+        sel.clear();
+        dst_vals.clear();
+        for row in 0..batch.rows() {
+            if let Some(p) = partitions {
+                if p > 1 && steps.len() > 1 {
+                    let mut parts = step_slots
+                        .iter()
+                        .filter_map(|&s| batch.entry(s, row).as_vertex())
+                        .map(|v| partition_of(v, partitions));
+                    if let Some(first) = parts.next() {
+                        if parts.any(|p| p != first) {
+                            comm += 1;
+                        }
+                    }
+                }
+            }
+            cur.clear();
+            let mut initialized = false;
+            for (i, (step, &slot)) in steps.iter().zip(&step_slots).enumerate() {
+                let Some(src) = batch.entry(slot, row).as_vertex() else {
+                    cur.clear();
+                    initialized = true;
+                    break;
+                };
+                if !initialized {
+                    gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, &mut cur);
+                    initialized = true;
+                } else {
+                    gather_sorted_neighbors(
+                        graph,
+                        src,
+                        &step_labels[i],
+                        step.direction,
+                        &mut step_buf,
+                    );
+                    intersect_sorted_into(&cur, &step_buf, &mut merged);
+                    std::mem::swap(&mut cur, &mut merged);
+                }
+                if cur.is_empty() {
+                    break;
+                }
+            }
+            if !initialized {
+                continue;
+            }
+            for &v in &cur {
+                if batch_vertex_matches(
+                    graph,
+                    batch,
+                    row,
+                    v,
+                    dst_constraint,
+                    dst_pred.as_ref(),
+                    dst_slot,
+                ) {
+                    sel.push(row as u32);
+                    dst_vals.push(v);
+                }
+            }
+        }
+        flush_selection(
+            batch,
+            &sel,
+            width,
+            batch_size,
+            Some((dst_slot, &dst_vals)),
+            None,
+            &mut out,
+        );
+    }
+    Ok((out, comm))
+}
+
+/// Batched [`path_expand`]: paths are emitted into a flattened
+/// offsets + vertex-pool column.
+#[allow(clippy::too_many_arguments)]
+pub fn path_expand_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &mut TagMap,
+    src: &str,
+    dst_alias: &str,
+    edge_constraint: &TypeConstraint,
+    direction: Direction,
+    min_hops: u32,
+    max_hops: u32,
+    semantics: PathSemantics,
+    path_alias: Option<&str>,
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+    let src_slot = tags
+        .slot(src)
+        .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
+    let dst_slot = tags.slot_or_insert(dst_alias);
+    let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
+    let labels = edge_labels(graph, edge_constraint);
+    let mut builder = BatchBuilder::new(tags.len(), batch_size);
+    let mut comm = 0u64;
+    for batch in input {
+        for row in 0..batch.rows() {
+            let Some(start) = batch.entry(src_slot, row).as_vertex() else {
+                continue;
+            };
+            expand_paths(
+                graph,
+                start,
+                &labels,
+                direction,
+                min_hops,
+                max_hops,
+                semantics,
+                partitions,
+                &mut comm,
+                |path| {
+                    let dst = *path.last().expect("non-empty");
+                    // stack-allocated overrides: no per-output-row heap traffic
+                    let mut overrides = [
+                        (dst_slot, EntryRef::Vertex(dst)),
+                        (usize::MAX, EntryRef::Null),
+                    ];
+                    let used = match path_slot {
+                        Some(ps) => {
+                            overrides[1] = (ps, EntryRef::Path(path));
+                            2
+                        }
+                        None => 1,
+                    };
+                    builder.push_row_from(batch, row, &overrides[..used]);
+                },
+            );
+        }
+    }
+    Ok((builder.finish(), comm))
 }
 
 #[cfg(test)]

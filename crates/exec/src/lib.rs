@@ -21,15 +21,35 @@
 //!
 //! Results come back as [`record::Record`]s plus a [`record::TagMap`]; helpers convert
 //! them to plain value rows for comparisons in tests and benchmarks.
+//!
+//! # Vectorized execution
+//!
+//! Both backends execute **batched** by default: [`engine::BatchEngine`] pulls and
+//! pushes [`batch::RecordBatch`]es — struct-of-arrays columns of up to
+//! [`batch::DEFAULT_BATCH_SIZE`] rows with validity bitmaps — through batch-wise
+//! operator implementations in [`expand`] and [`relational`]. Predicates and
+//! projections are compiled once per operator call ([`batch::CompiledExpr`], tag → slot
+//! resolution hoisted out of the row loop) and filtering/fan-out is performed with
+//! selection vectors gathered column-by-column. The scalar [`engine::Engine`] is kept
+//! as the behavioural oracle: equivalence suites replay every plan through both engines
+//! and require identical rows and statistics. Select
+//! [`backend::ExecMode::Scalar`] to run a backend row-at-a-time.
+
+#![warn(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod expand;
 pub mod record;
 pub mod relational;
 
-pub use backend::{Backend, PartitionedBackend, SingleMachineBackend};
-pub use engine::{Engine, EngineConfig, ExecResult, ExecStats};
+pub use backend::{Backend, ExecMode, PartitionedBackend, SingleMachineBackend};
+pub use batch::{
+    BatchBuilder, BatchRow, Bitmap, Column, ColumnData, CompiledExpr, EntryRef, RecordBatch,
+    DEFAULT_BATCH_SIZE,
+};
+pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
 pub use error::ExecError;
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -4,8 +4,8 @@
 //! bound tag. The [`TagMap`] maps tag names (query aliases such as `v1`, `e3`, `cnt`) to
 //! slot indices and is shared by all records of one operator output.
 //!
-//! [`RecordContext`] adapts a record to the [`EvalContext`](gopt_gir::expr::EvalContext)
-//! trait so GIR expressions can be evaluated directly against graph properties.
+//! [`RecordContext`] adapts a record to the [`EvalContext`] trait so GIR expressions
+//! can be evaluated directly against graph properties.
 
 use gopt_gir::expr::EvalContext;
 use gopt_graph::{EdgeId, PropValue, PropertyGraph, VertexId};

@@ -5,6 +5,14 @@
 //! with computed values. Join/aggregation operators report the number of records that a
 //! partitioned deployment would need to shuffle, which the partitioned backend counts as
 //! communication cost.
+//!
+//! Like the expand operators, each function has a batched twin (`*_batches`) operating
+//! on `RecordBatch` columns: predicates/projections/keys are compiled once per call,
+//! filters and deduplication produce selection vectors, sorting permutes row indices,
+//! and the pipeline breakers (group/order/join) consume all input batches but stream
+//! their output back out in `batch_size` chunks. The batch contract is the same as for
+//! the expand operators: identical rows, order, and shuffle accounting as the scalar
+//! form.
 
 use crate::error::ExecError;
 use crate::record::{Entry, Record, RecordContext, TagMap};
@@ -315,13 +323,20 @@ pub fn limit(input: &[Record], count: usize) -> Vec<Record> {
 }
 
 /// Remove duplicate records with respect to the given key expressions (or the whole
-/// record when no keys are given).
+/// row when no keys are given).
+///
+/// Keyless deduplication compares rows over all `tags.len()` slots (padding short
+/// records with nulls), so two records representing the same logical row compare equal
+/// regardless of their physical entry-vector length — this keeps the scalar and the
+/// batched engine (where every row always spans the full batch width) in agreement.
 pub fn dedup(graph: &PropertyGraph, input: &[Record], tags: &TagMap, keys: &[Expr]) -> Vec<Record> {
     let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
     let mut out = Vec::new();
     for r in input {
         let key: Vec<PropValue> = if keys.is_empty() {
-            r.entries().iter().map(|e| e.to_value()).collect()
+            (0..tags.len().max(r.len()))
+                .map(|s| r.get(s).to_value())
+                .collect()
         } else {
             keys.iter().map(|e| eval(graph, tags, r, e)).collect()
         };
@@ -438,6 +453,540 @@ pub fn hash_join(
         }
     }
     Ok((out, out_tags, comm))
+}
+
+// ---------------------------------------------------------------------------
+// Batched (vectorized) variants
+// ---------------------------------------------------------------------------
+//
+// Column-at-a-time versions of the relational operators: expressions are
+// compiled once per operator call (tag → slot resolution and property-key
+// interning hoisted out of the row loop), filters produce selection vectors
+// gathered column-wise, sorts/deduplication permute row indices, and the
+// pipeline-breaking operators (group, order, join) consume all input batches
+// but still stream their output back out in `batch_size` chunks.
+
+use crate::batch::{
+    total_rows, BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch,
+};
+
+#[inline]
+fn batch_eval(
+    graph: &PropertyGraph,
+    batch: &RecordBatch,
+    row: usize,
+    expr: &CompiledExpr,
+) -> PropValue {
+    expr.eval(&BatchRow {
+        graph,
+        batch,
+        row,
+        overrides: &[],
+    })
+}
+
+/// Batched [`select`]: the predicate is compiled once, rows are kept through a
+/// selection vector and gathered column-by-column.
+pub fn select_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &TagMap,
+    predicate: &Expr,
+    batch_size: usize,
+) -> Vec<RecordBatch> {
+    let compiled = CompiledExpr::compile(predicate, tags, graph);
+    let width = tags.len();
+    let mut out = Vec::new();
+    let mut sel: Vec<u32> = Vec::new();
+    for batch in input {
+        sel.clear();
+        for row in 0..batch.rows() {
+            if compiled.eval_predicate(&BatchRow {
+                graph,
+                batch,
+                row,
+                overrides: &[],
+            }) {
+                sel.push(row as u32);
+            }
+        }
+        let mut start = 0;
+        while start < sel.len() {
+            let end = (start + batch_size).min(sel.len());
+            out.push(batch.gather(&sel[start..end], width.max(batch.width())));
+            start = end;
+        }
+    }
+    out
+}
+
+/// Batched [`project`]: passthrough items clone whole columns; computed items
+/// are evaluated into fresh value columns.
+pub fn project_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &TagMap,
+    items: &[(Expr, String)],
+) -> (Vec<RecordBatch>, TagMap) {
+    let mut out_tags = TagMap::new();
+    let mut passthrough: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    for (expr, alias) in items {
+        out_tags.slot_or_insert(alias);
+        passthrough.push(match expr {
+            Expr::Tag(t) => tags.slot(t),
+            _ => None,
+        });
+    }
+    let compiled: Vec<Option<CompiledExpr>> = items
+        .iter()
+        .zip(&passthrough)
+        .map(|((expr, _), pt)| match pt {
+            Some(_) => None,
+            None => Some(CompiledExpr::compile(expr, tags, graph)),
+        })
+        .collect();
+    let out = input
+        .iter()
+        .map(|batch| {
+            let rows = batch.rows();
+            let columns: Vec<Column> = passthrough
+                .iter()
+                .zip(&compiled)
+                .map(|(pt, comp)| match (pt, comp) {
+                    (Some(slot), _) => match batch.column(*slot) {
+                        Some(c) => c.clone(),
+                        None => Column::nulls(rows),
+                    },
+                    (None, Some(expr)) => Column::values(
+                        (0..rows)
+                            .map(|row| batch_eval(graph, batch, row, expr))
+                            .collect(),
+                    ),
+                    (None, None) => unreachable!("computed items are compiled"),
+                })
+                .collect();
+            RecordBatch::from_columns(columns)
+        })
+        .collect();
+    (out, out_tags)
+}
+
+/// A property column to fetch, with the output tag slot and the interned
+/// property key resolved ahead of the row loop.
+struct FetchCol {
+    slot: usize,
+    key: Option<gopt_graph::PropKeyId>,
+}
+
+/// Batched [`property_fetch`]: column-name formatting, tag-slot registration
+/// and property-key interning are resolved once per call (explicit `props`)
+/// or once per encountered element label (fetch-all), not per row. Slot
+/// registration order matches the scalar operator's first-encounter order.
+pub fn property_fetch_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &mut TagMap,
+    tag: &str,
+    props: &Option<Vec<String>>,
+) -> Result<Vec<RecordBatch>, ExecError> {
+    let slot = tags
+        .slot(tag)
+        .ok_or_else(|| ExecError::UnboundTag(tag.to_string()))?;
+    if total_rows(input) == 0 {
+        // nothing to fetch; like the scalar operator, register no slots
+        return Ok(input.to_vec());
+    }
+    let resolve = |tags: &mut TagMap, name: &str| FetchCol {
+        slot: tags.slot_or_insert(&format!("{tag}.{name}")),
+        key: graph.prop_key(name),
+    };
+    // explicit props apply to every row: resolve once up front
+    let explicit_cols: Option<Vec<FetchCol>> = props
+        .as_ref()
+        .map(|ps| ps.iter().map(|name| resolve(tags, name)).collect());
+    // fetch-all: resolved per (is-vertex, label) at first encounter
+    let mut label_cols: Vec<((bool, gopt_graph::LabelId), Vec<FetchCol>)> = Vec::new();
+    let mut out = Vec::with_capacity(input.len());
+    for batch in input {
+        let rows = batch.rows();
+        // per-slot fetched values of this batch; None = row did not fetch
+        let mut fetched: Vec<(usize, Vec<Option<PropValue>>)> = Vec::new();
+        let mut fetched_idx: HashMap<usize, usize> = HashMap::new();
+        for row in 0..rows {
+            let entry = batch.entry(slot, row);
+            let cols: &[FetchCol] = match &explicit_cols {
+                Some(cs) => cs,
+                None => {
+                    let kind = match entry {
+                        EntryRef::Vertex(v) => Some((true, graph.vertex_label(v))),
+                        EntryRef::Edge(e) => Some((false, graph.edge_label(e))),
+                        _ => None,
+                    };
+                    match kind {
+                        None => &[],
+                        Some(k) => {
+                            let i = match label_cols.iter().position(|(lk, _)| *lk == k) {
+                                Some(i) => i,
+                                None => {
+                                    let defs = if k.0 {
+                                        &graph.schema().vertex_label_def(k.1).properties
+                                    } else {
+                                        &graph.schema().edge_label_def(k.1).properties
+                                    };
+                                    let cs = defs.iter().map(|p| resolve(tags, &p.name)).collect();
+                                    label_cols.push((k, cs));
+                                    label_cols.len() - 1
+                                }
+                            };
+                            &label_cols[i].1
+                        }
+                    }
+                }
+            };
+            for c in cols {
+                let value = match entry {
+                    EntryRef::Vertex(v) => c.key.and_then(|k| graph.vertex_prop(v, k)).cloned(),
+                    EntryRef::Edge(e) => c.key.and_then(|k| graph.edge_prop(e, k)).cloned(),
+                    _ => None,
+                };
+                let idx = *fetched_idx.entry(c.slot).or_insert_with(|| {
+                    fetched.push((c.slot, vec![None; rows]));
+                    fetched.len() - 1
+                });
+                fetched[idx].1[row] = Some(value.unwrap_or(PropValue::Null));
+            }
+        }
+        let mut nb = batch.clone();
+        for (s, vals) in fetched {
+            let mut col = Column::new();
+            for (row, v) in vals.into_iter().enumerate() {
+                match v {
+                    Some(v) => col.push(EntryRef::Value(&v)),
+                    // rows that fetched nothing keep whatever the slot already
+                    // held, exactly like the scalar operator's per-record set
+                    None => col.push(batch.entry(s, row)),
+                }
+            }
+            nb.set_column(s, col);
+        }
+        out.push(nb);
+    }
+    Ok(out)
+}
+
+/// Batched [`hash_group`]: key and aggregate expressions are compiled once,
+/// grouping state is keyed exactly like the scalar operator, and the one
+/// output row per group streams back out in `batch_size` chunks.
+pub fn hash_group_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &TagMap,
+    keys: &[(Expr, String)],
+    aggs: &[(AggFunc, Expr, String)],
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> (Vec<RecordBatch>, TagMap, u64) {
+    let mut out_tags = TagMap::new();
+    let mut key_passthrough: Vec<Option<usize>> = Vec::new();
+    for (expr, alias) in keys {
+        out_tags.slot_or_insert(alias);
+        key_passthrough.push(match expr {
+            Expr::Tag(t) => tags.slot(t),
+            _ => None,
+        });
+    }
+    for (_, _, alias) in aggs {
+        out_tags.slot_or_insert(alias);
+    }
+    let key_exprs: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|(e, _)| CompiledExpr::compile(e, tags, graph))
+        .collect();
+    let agg_exprs: Vec<CompiledExpr> = aggs
+        .iter()
+        .map(|(_, e, _)| CompiledExpr::compile(e, tags, graph))
+        .collect();
+    let comm = match partitions {
+        Some(p) if p > 1 => total_rows(input) as u64,
+        _ => 0,
+    };
+    let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
+    let mut group_order: Vec<Vec<PropValue>> = Vec::new();
+    for batch in input {
+        for row in 0..batch.rows() {
+            let key_vals: Vec<PropValue> = key_exprs
+                .iter()
+                .map(|e| batch_eval(graph, batch, row, e))
+                .collect();
+            let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
+                group_order.push(key_vals.clone());
+                let reps = key_passthrough
+                    .iter()
+                    .enumerate()
+                    .map(|(i, pt)| match pt {
+                        Some(slot) => batch.entry(*slot, row).to_entry(),
+                        None => Entry::Value(key_vals[i].clone()),
+                    })
+                    .collect();
+                let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
+                (reps, accs)
+            });
+            for (acc, e) in entry.1.iter_mut().zip(&agg_exprs) {
+                acc.update(batch_eval(graph, batch, row, e));
+            }
+        }
+    }
+    let mut builder = BatchBuilder::new(out_tags.len(), batch_size);
+    for k in group_order {
+        let (reps, accs) = groups.remove(&k).expect("group exists");
+        let finished: Vec<Entry> = accs
+            .into_iter()
+            .map(|acc| Entry::Value(acc.finish()))
+            .collect();
+        builder.push_row(reps.iter().chain(finished.iter()).map(EntryRef::from_entry));
+    }
+    (builder.finish(), out_tags, comm)
+}
+
+/// Batched [`order_limit`]: keys are evaluated column-wise and the sort is a
+/// row-index permutation; only the surviving prefix is gathered.
+pub fn order_limit_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &TagMap,
+    keys: &[(Expr, SortDir)],
+    limit: Option<usize>,
+    batch_size: usize,
+) -> Vec<RecordBatch> {
+    let compiled: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|(e, _)| CompiledExpr::compile(e, tags, graph))
+        .collect();
+    // (sort key values, batch index, row index) — the row permutation
+    let mut keyed: Vec<(Vec<PropValue>, u32, u32)> = Vec::with_capacity(total_rows(input));
+    for (bi, batch) in input.iter().enumerate() {
+        for row in 0..batch.rows() {
+            keyed.push((
+                compiled
+                    .iter()
+                    .map(|e| batch_eval(graph, batch, row, e))
+                    .collect(),
+                bi as u32,
+                row as u32,
+            ));
+        }
+    }
+    keyed.sort_by(|(ka, _, _), (kb, _, _)| {
+        for (i, (_, dir)) in keys.iter().enumerate() {
+            let ord = ka[i].cmp(&kb[i]);
+            let ord = match dir {
+                SortDir::Asc => ord,
+                SortDir::Desc => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let take = limit.unwrap_or(keyed.len());
+    let mut builder = BatchBuilder::new(tags.len(), batch_size);
+    for (_, bi, row) in keyed.into_iter().take(take) {
+        builder.push_row_from(&input[bi as usize], row as usize, &[]);
+    }
+    builder.finish()
+}
+
+/// Batched [`limit`]: keeps whole prefix batches and truncates the boundary
+/// batch.
+pub fn limit_batches(input: &[RecordBatch], count: usize) -> Vec<RecordBatch> {
+    let mut out = Vec::new();
+    let mut remaining = count;
+    for batch in input {
+        if remaining == 0 {
+            break;
+        }
+        if batch.rows() <= remaining {
+            remaining -= batch.rows();
+            out.push(batch.clone());
+        } else {
+            let sel: Vec<u32> = (0..remaining as u32).collect();
+            out.push(batch.gather(&sel, batch.width()));
+            remaining = 0;
+        }
+    }
+    out
+}
+
+/// Batched [`dedup`]: compiled keys, a global seen-set, and per-batch
+/// selection vectors.
+pub fn dedup_batches(
+    graph: &PropertyGraph,
+    input: &[RecordBatch],
+    tags: &TagMap,
+    keys: &[Expr],
+) -> Vec<RecordBatch> {
+    let compiled: Vec<CompiledExpr> = keys
+        .iter()
+        .map(|e| CompiledExpr::compile(e, tags, graph))
+        .collect();
+    let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut sel: Vec<u32> = Vec::new();
+    for batch in input {
+        sel.clear();
+        let width = tags.len().max(batch.width());
+        for row in 0..batch.rows() {
+            let key: Vec<PropValue> = if compiled.is_empty() {
+                (0..width).map(|s| batch.entry(s, row).to_value()).collect()
+            } else {
+                compiled
+                    .iter()
+                    .map(|e| batch_eval(graph, batch, row, e))
+                    .collect()
+            };
+            if seen.insert(key) {
+                sel.push(row as u32);
+            }
+        }
+        if sel.len() == batch.rows() {
+            out.push(batch.clone());
+        } else if !sel.is_empty() {
+            out.push(batch.gather(&sel, batch.width()));
+        }
+    }
+    out
+}
+
+/// Batched [`union`]: slot remapping happens column-wise — each input batch's
+/// columns are moved to their output slots and missing slots are padded with
+/// null columns, with no per-row work at all.
+pub fn union_batches(inputs: &[(&[RecordBatch], &TagMap)]) -> (Vec<RecordBatch>, TagMap) {
+    let mut out_tags = TagMap::new();
+    for (_, t) in inputs {
+        for tag in t.tags() {
+            out_tags.slot_or_insert(tag);
+        }
+    }
+    let width = out_tags.len();
+    let mut out = Vec::new();
+    for (batches, t) in inputs {
+        // input column index for each output slot
+        let mut src_of: Vec<Option<usize>> = vec![None; width];
+        for (i, tag) in t.tags().iter().enumerate() {
+            let s = out_tags.slot(tag).expect("tag registered");
+            src_of[s] = Some(i);
+        }
+        for batch in *batches {
+            let rows = batch.rows();
+            let columns: Vec<Column> = src_of
+                .iter()
+                .map(|src| match src.and_then(|i| batch.column(i)) {
+                    Some(c) => c.clone(),
+                    None => Column::nulls(rows),
+                })
+                .collect();
+            out.push(RecordBatch::from_columns(columns));
+        }
+    }
+    (out, out_tags)
+}
+
+/// Batched [`hash_join`]: the build side is indexed as `(batch, row)` pairs
+/// and probe-side matches are emitted through row gathers with the extra
+/// right-side entries as overrides.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_batches(
+    graph: &PropertyGraph,
+    left: &[RecordBatch],
+    left_tags: &TagMap,
+    right: &[RecordBatch],
+    right_tags: &TagMap,
+    keys: &[String],
+    kind: JoinType,
+    partitions: Option<usize>,
+    batch_size: usize,
+) -> Result<(Vec<RecordBatch>, TagMap, u64), ExecError> {
+    let _ = graph;
+    let mut lkey_slots = Vec::new();
+    let mut rkey_slots = Vec::new();
+    for k in keys {
+        lkey_slots.push(
+            left_tags
+                .slot(k)
+                .ok_or_else(|| ExecError::UnboundTag(k.clone()))?,
+        );
+        rkey_slots.push(
+            right_tags
+                .slot(k)
+                .ok_or_else(|| ExecError::UnboundTag(k.clone()))?,
+        );
+    }
+    let comm = match partitions {
+        Some(p) if p > 1 => (total_rows(left) + total_rows(right)) as u64,
+        _ => 0,
+    };
+    let mut out_tags = left_tags.clone();
+    let mut right_extra: Vec<(usize, usize)> = Vec::new(); // (right slot, out slot)
+    for (i, tag) in right_tags.tags().iter().enumerate() {
+        if !left_tags.contains(tag) {
+            let s = out_tags.slot_or_insert(tag);
+            right_extra.push((i, s));
+        }
+    }
+    // build on the right: key → (batch, row) pairs
+    let mut table: HashMap<Vec<PropValue>, Vec<(u32, u32)>> = HashMap::new();
+    for (bi, batch) in right.iter().enumerate() {
+        for row in 0..batch.rows() {
+            let key: Vec<PropValue> = rkey_slots
+                .iter()
+                .map(|&s| batch.entry(s, row).to_value())
+                .collect();
+            table.entry(key).or_default().push((bi as u32, row as u32));
+        }
+    }
+    let mut builder = BatchBuilder::new(out_tags.len(), batch_size);
+    let mut overrides: Vec<(usize, EntryRef)> = Vec::with_capacity(right_extra.len());
+    for batch in left {
+        for row in 0..batch.rows() {
+            let key: Vec<PropValue> = lkey_slots
+                .iter()
+                .map(|&s| batch.entry(s, row).to_value())
+                .collect();
+            let matches = table.get(&key);
+            match kind {
+                JoinType::Inner | JoinType::LeftOuter => {
+                    if let Some(ms) = matches {
+                        for &(rbi, rrow) in ms {
+                            let rb = &right[rbi as usize];
+                            overrides.clear();
+                            for &(rs, os) in &right_extra {
+                                overrides.push((os, rb.entry(rs, rrow as usize)));
+                            }
+                            builder.push_row_from(batch, row, &overrides);
+                        }
+                    } else if kind == JoinType::LeftOuter {
+                        overrides.clear();
+                        for &(_, os) in &right_extra {
+                            overrides.push((os, EntryRef::Null));
+                        }
+                        builder.push_row_from(batch, row, &overrides);
+                    }
+                }
+                JoinType::Semi => {
+                    if matches.is_some() {
+                        builder.push_row_from(batch, row, &[]);
+                    }
+                }
+                JoinType::Anti => {
+                    if matches.is_none() {
+                        builder.push_row_from(batch, row, &[]);
+                    }
+                }
+            }
+        }
+    }
+    Ok((builder.finish(), out_tags, comm))
 }
 
 #[cfg(test)]

@@ -1,0 +1,536 @@
+//! Operator-level equivalence: every physical operator, executed through the scalar
+//! [`Engine`] and the vectorized [`BatchEngine`], must produce identical rows (same
+//! order — the engines share their emission order), identical tag maps, and identical
+//! statistics (except wall-clock time). Batch sizes of 1 and 3 stress chunk
+//! boundaries; 1024 is the default.
+
+use gopt_exec::{BatchEngine, Engine, EngineConfig, ExecResult};
+use gopt_gir::pattern::{Direction, PathSemantics};
+use gopt_gir::physical::{IntersectStep, PhysicalOp, PhysicalPlan};
+use gopt_gir::types::TypeConstraint;
+use gopt_gir::{AggFunc, BinOp, Expr, JoinType, SortDir};
+use gopt_graph::generator::{random_graph, RandomGraphConfig};
+use gopt_graph::schema::fig6_schema;
+use gopt_graph::PropertyGraph;
+
+fn graph(seed: u64) -> PropertyGraph {
+    random_graph(
+        &fig6_schema(),
+        &RandomGraphConfig {
+            vertices_per_label: 14,
+            edges_per_endpoint: 40,
+            seed,
+        },
+    )
+}
+
+fn person(g: &PropertyGraph) -> TypeConstraint {
+    TypeConstraint::basic(g.schema().vertex_label("Person").unwrap())
+}
+fn place(g: &PropertyGraph) -> TypeConstraint {
+    TypeConstraint::basic(g.schema().vertex_label("Place").unwrap())
+}
+fn knows(g: &PropertyGraph) -> TypeConstraint {
+    TypeConstraint::basic(g.schema().edge_label("Knows").unwrap())
+}
+fn located(g: &PropertyGraph) -> TypeConstraint {
+    TypeConstraint::basic(g.schema().edge_label("LocatedIn").unwrap())
+}
+
+/// Run `plan` through both engines (scalar and batched at several batch sizes) and
+/// assert bit-identical results and stats.
+fn assert_equivalent(g: &PropertyGraph, plan: &PhysicalPlan, partitions: Option<usize>) {
+    let config = EngineConfig {
+        partitions,
+        record_limit: None,
+    };
+    let scalar = Engine::new(g, config.clone()).execute(plan).unwrap();
+    for batch_size in [1usize, 3, 1024] {
+        let batched = BatchEngine::new(g, config.clone())
+            .with_batch_size(batch_size)
+            .execute(plan)
+            .unwrap();
+        assert_same(&scalar, &batched, batch_size);
+    }
+}
+
+fn assert_same(scalar: &ExecResult, batched: &ExecResult, batch_size: usize) {
+    assert_eq!(
+        scalar.tags.tags(),
+        batched.tags.tags(),
+        "tag maps diverge (batch_size={batch_size})"
+    );
+    assert_eq!(
+        scalar.rows(),
+        batched.rows(),
+        "rows diverge (batch_size={batch_size})"
+    );
+    assert_eq!(
+        scalar.stats.intermediate_records, batched.stats.intermediate_records,
+        "intermediate record counts diverge (batch_size={batch_size})"
+    );
+    assert_eq!(
+        scalar.stats.peak_records, batched.stats.peak_records,
+        "peak record counts diverge (batch_size={batch_size})"
+    );
+    assert_eq!(
+        scalar.stats.comm_records, batched.stats.comm_records,
+        "communication accounting diverges (batch_size={batch_size})"
+    );
+}
+
+#[test]
+fn scan_select_project() {
+    let g = graph(1);
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: Some(Expr::binary(
+            BinOp::Ge,
+            Expr::prop("a", "id"),
+            Expr::lit(20),
+        )),
+    });
+    plan.push(PhysicalOp::Select {
+        predicate: Expr::binary(BinOp::Lt, Expr::prop("a", "id"), Expr::lit(60)),
+    });
+    plan.push(PhysicalOp::Project {
+        items: vec![
+            (Expr::tag("a"), "a".into()),
+            (
+                Expr::binary(BinOp::Add, Expr::prop("a", "id"), Expr::lit(1)),
+                "next_age".into(),
+            ),
+        ],
+    });
+    assert_equivalent(&g, &plan, None);
+    assert_equivalent(&g, &plan, Some(4));
+}
+
+#[test]
+fn edge_expand_with_predicates_and_edge_alias() {
+    let g = graph(2);
+    for direction in [Direction::Out, Direction::In, Direction::Both] {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person(&g),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "a".into(),
+            edge_alias: Some("e".into()),
+            edge_constraint: knows(&g),
+            direction,
+            dst_alias: "b".into(),
+            dst_constraint: person(&g),
+            dst_predicate: Some(Expr::binary(
+                BinOp::Gt,
+                Expr::prop("b", "id"),
+                Expr::lit(25),
+            )),
+            edge_predicate: Some(Expr::binary(
+                BinOp::Ge,
+                Expr::prop("e", "weight"),
+                Expr::lit(0),
+            )),
+        });
+        assert_equivalent(&g, &plan, None);
+        assert_equivalent(&g, &plan, Some(3));
+    }
+}
+
+#[test]
+fn expand_into_and_intersect() {
+    let g = graph(3);
+    // wedge then close with ExpandInto
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows(&g),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "b".into(),
+        edge_alias: None,
+        edge_constraint: knows(&g),
+        direction: Direction::Out,
+        dst_alias: "c".into(),
+        dst_constraint: person(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::ExpandInto {
+        src: "a".into(),
+        dst: "c".into(),
+        edge_constraint: knows(&g),
+        direction: Direction::Out,
+        edge_alias: Some("closing".into()),
+        edge_predicate: None,
+    });
+    assert_equivalent(&g, &plan, None);
+    assert_equivalent(&g, &plan, Some(2));
+
+    // triangle via worst-case-optimal intersection
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows(&g),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::ExpandIntersect {
+        steps: vec![
+            IntersectStep {
+                src: "a".into(),
+                edge_constraint: knows(&g),
+                direction: Direction::Out,
+                edge_alias: None,
+            },
+            IntersectStep {
+                src: "b".into(),
+                edge_constraint: knows(&g),
+                direction: Direction::Out,
+                edge_alias: None,
+            },
+        ],
+        dst_alias: "c".into(),
+        dst_constraint: person(&g),
+        dst_predicate: Some(Expr::binary(
+            BinOp::Gt,
+            Expr::prop("c", "id"),
+            Expr::lit(10),
+        )),
+    });
+    assert_equivalent(&g, &plan, None);
+    assert_equivalent(&g, &plan, Some(4));
+}
+
+#[test]
+fn path_expand_all_semantics() {
+    let g = graph(4);
+    for semantics in [PathSemantics::Arbitrary, PathSemantics::Simple] {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person(&g),
+            predicate: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::prop("a", "id"),
+                Expr::lit(30),
+            )),
+        });
+        plan.push(PhysicalOp::PathExpand {
+            src: "a".into(),
+            dst_alias: "b".into(),
+            edge_constraint: knows(&g),
+            direction: Direction::Out,
+            min_hops: 1,
+            max_hops: 2,
+            semantics,
+            path_alias: Some("p".into()),
+        });
+        plan.push(PhysicalOp::Select {
+            predicate: Expr::prop_eq("p", "length", 2),
+        });
+        assert_equivalent(&g, &plan, None);
+        assert_equivalent(&g, &plan, Some(5));
+    }
+}
+
+#[test]
+fn group_order_limit_dedup() {
+    let g = graph(5);
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: located(&g),
+        direction: Direction::Out,
+        dst_alias: "c".into(),
+        dst_constraint: place(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("c", "name"), "name".into())],
+        aggs: vec![
+            (AggFunc::Count, Expr::tag("a"), "cnt".into()),
+            (AggFunc::Min, Expr::prop("a", "id"), "youngest".into()),
+            (AggFunc::Avg, Expr::prop("a", "id"), "avg_age".into()),
+            (AggFunc::CountDistinct, Expr::prop("a", "id"), "ages".into()),
+        ],
+    });
+    plan.push(PhysicalOp::OrderLimit {
+        keys: vec![
+            (Expr::tag("cnt"), SortDir::Desc),
+            (Expr::tag("name"), SortDir::Asc),
+        ],
+        limit: Some(3),
+    });
+    assert_equivalent(&g, &plan, None);
+    assert_equivalent(&g, &plan, Some(4));
+
+    // dedup + limit over raw expansion
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows(&g),
+        direction: Direction::Both,
+        dst_alias: "b".into(),
+        dst_constraint: person(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::Dedup {
+        keys: vec![Expr::tag("b")],
+    });
+    plan.push(PhysicalOp::Limit { count: 7 });
+    assert_equivalent(&g, &plan, None);
+}
+
+#[test]
+fn property_fetch_explicit_and_all() {
+    let g = graph(6);
+    for props in [
+        Some(vec!["name".to_string(), "age".to_string()]),
+        None::<Vec<String>>,
+    ] {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person(&g),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::PropertyFetch {
+            tag: "a".into(),
+            props: props.clone(),
+        });
+        plan.push(PhysicalOp::Select {
+            predicate: Expr::Unary {
+                op: gopt_gir::UnaryOp::IsNotNull,
+                operand: Box::new(Expr::tag("a.name")),
+            },
+        });
+        assert_equivalent(&g, &plan, None);
+    }
+}
+
+/// Regression: a fetch-all `PropertyFetch` over a union where the tag is an
+/// element in one branch and a computed value in the other (so some rows fetch
+/// nothing) must preserve the pre-existing entries of non-fetching rows — the
+/// batched operator once rebuilt the whole column and nulled them.
+#[test]
+fn property_fetch_preserves_unfetched_rows() {
+    let g = graph(10);
+    let mut plan = PhysicalPlan::new();
+    let s1 = plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    let p1 = plan.add(
+        PhysicalOp::Project {
+            items: vec![
+                (Expr::tag("a"), "a".into()),
+                (Expr::lit("left"), "a.name".into()),
+            ],
+        },
+        vec![s1],
+    );
+    let s2 = plan.add(
+        PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: place(&g),
+            predicate: None,
+        },
+        vec![],
+    );
+    let p2 = plan.add(
+        PhysicalOp::Project {
+            items: vec![
+                // "a" becomes a computed value on this branch: fetch-all skips it
+                (Expr::prop("a", "id"), "a".into()),
+                (Expr::lit("right"), "a.name".into()),
+            ],
+        },
+        vec![s2],
+    );
+    let u = plan.add(PhysicalOp::Union, vec![p1, p2]);
+    plan.add(
+        PhysicalOp::PropertyFetch {
+            tag: "a".into(),
+            props: None,
+        },
+        vec![u],
+    );
+    assert_equivalent(&g, &plan, None);
+}
+
+#[test]
+fn joins_and_union() {
+    let g = graph(7);
+    for kind in [
+        JoinType::Inner,
+        JoinType::LeftOuter,
+        JoinType::Semi,
+        JoinType::Anti,
+    ] {
+        let mut plan = PhysicalPlan::new();
+        let l0 = plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person(&g),
+            predicate: None,
+        });
+        let l1 = plan.add(
+            PhysicalOp::EdgeExpand {
+                src: "a".into(),
+                edge_alias: None,
+                edge_constraint: located(&g),
+                direction: Direction::Out,
+                dst_alias: "c".into(),
+                dst_constraint: place(&g),
+                dst_predicate: None,
+                edge_predicate: None,
+            },
+            vec![l0],
+        );
+        let r0 = plan.add(
+            PhysicalOp::Scan {
+                alias: "a".into(),
+                constraint: person(&g),
+                predicate: None,
+            },
+            vec![],
+        );
+        let r1 = plan.add(
+            PhysicalOp::EdgeExpand {
+                src: "a".into(),
+                edge_alias: None,
+                edge_constraint: knows(&g),
+                direction: Direction::Out,
+                dst_alias: "b".into(),
+                dst_constraint: person(&g),
+                dst_predicate: None,
+                edge_predicate: None,
+            },
+            vec![r0],
+        );
+        plan.add(
+            PhysicalOp::HashJoin {
+                keys: vec!["a".into()],
+                kind,
+            },
+            vec![l1, r1],
+        );
+        assert_equivalent(&g, &plan, None);
+        assert_equivalent(&g, &plan, Some(3));
+    }
+
+    // union of two scans with different (overlapping) tag sets
+    let mut plan = PhysicalPlan::new();
+    let s1 = plan.push(PhysicalOp::Scan {
+        alias: "x".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    let s2p = plan.add(
+        PhysicalOp::Scan {
+            alias: "x".into(),
+            constraint: place(&g),
+            predicate: None,
+        },
+        vec![],
+    );
+    let s2 = plan.add(
+        PhysicalOp::Project {
+            items: vec![
+                (Expr::tag("x"), "x".into()),
+                (Expr::prop("x", "name"), "name".into()),
+            ],
+        },
+        vec![s2p],
+    );
+    let u = plan.add(PhysicalOp::Union, vec![s1, s2]);
+    plan.add(PhysicalOp::Dedup { keys: vec![] }, vec![u]);
+    assert_equivalent(&g, &plan, None);
+}
+
+#[test]
+fn record_limit_parity() {
+    let g = graph(8);
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows(&g),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person(&g),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    let config = EngineConfig {
+        partitions: None,
+        record_limit: Some(5),
+    };
+    let scalar = Engine::new(&g, config.clone()).execute(&plan);
+    let batched = BatchEngine::new(&g, config).execute(&plan);
+    assert_eq!(scalar.unwrap_err(), batched.unwrap_err());
+}
+
+#[test]
+fn sum_and_max_aggregates_match() {
+    let g = graph(9);
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person(&g),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::HashGroup {
+        keys: vec![],
+        aggs: vec![
+            (AggFunc::Sum, Expr::prop("a", "id"), "total".into()),
+            (AggFunc::Max, Expr::prop("a", "id"), "oldest".into()),
+        ],
+    });
+    assert_equivalent(&g, &plan, None);
+    assert_equivalent(&g, &plan, Some(2));
+}

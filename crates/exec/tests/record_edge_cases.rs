@@ -1,0 +1,118 @@
+//! Edge cases of the scalar record layer that the batch conversion must preserve:
+//! duplicate tag registration, unbound tag/slot access, and the path → length value
+//! conversion. Each case is checked on `Entry`/`TagMap`/`Record` and then through a
+//! `RecordBatch` round trip and the columnar `EntryRef` view, so the scalar and the
+//! vectorized layouts cannot drift apart on them.
+
+use gopt_exec::batch::{EntryRef, RecordBatch};
+use gopt_exec::{Entry, Record, TagMap};
+use gopt_graph::{EdgeId, PropValue, VertexId};
+
+#[test]
+fn duplicate_tag_registration_is_idempotent() {
+    let mut tags = TagMap::new();
+    let s1 = tags.slot_or_insert("v");
+    let s2 = tags.slot_or_insert("v");
+    assert_eq!(s1, s2, "re-registering a tag must return the same slot");
+    assert_eq!(tags.len(), 1);
+    // interleaved duplicates never perturb the slot order
+    tags.slot_or_insert("w");
+    tags.slot_or_insert("v");
+    let s3 = tags.slot_or_insert("w");
+    assert_eq!(s3, 1);
+    assert_eq!(tags.tags(), &["v".to_string(), "w".to_string()]);
+    assert_eq!(tags.len(), 2);
+}
+
+#[test]
+fn unbound_tag_and_slot_access() {
+    let mut tags = TagMap::new();
+    tags.slot_or_insert("v");
+    assert_eq!(tags.slot("ghost"), None);
+    assert!(!tags.contains("ghost"));
+
+    let mut r = Record::new();
+    r.set(0, Entry::Vertex(VertexId(1)));
+    // out-of-range slot reads as Null instead of panicking
+    assert_eq!(r.get(7), &Entry::Null);
+    assert_eq!(r.get(7).to_value(), PropValue::Null);
+    assert_eq!(r.get(7).as_vertex(), None);
+    assert_eq!(r.get(7).as_edge(), None);
+
+    // same behaviour through the batch: out-of-range slots and rows are Null
+    let batch = RecordBatch::from_records(std::slice::from_ref(&r), 1);
+    assert_eq!(batch.entry(7, 0), EntryRef::Null);
+    assert_eq!(batch.entry(7, 0).to_value(), PropValue::Null);
+    assert_eq!(batch.entry(0, 99), EntryRef::Null);
+}
+
+#[test]
+fn path_length_conversion() {
+    // a path's value is its hop count: len - 1, saturating at zero
+    let cases: Vec<(Vec<VertexId>, i64)> = vec![
+        (vec![], 0),
+        (vec![VertexId(5)], 0),
+        (vec![VertexId(5), VertexId(6)], 1),
+        (vec![VertexId(5), VertexId(6), VertexId(5)], 2),
+    ];
+    for (path, hops) in cases {
+        let entry = Entry::Path(path.clone());
+        assert_eq!(entry.to_value(), PropValue::Int(hops), "path {path:?}");
+        // and identically through the columnar view
+        let mut r = Record::new();
+        r.set(0, entry);
+        let batch = RecordBatch::from_records(std::slice::from_ref(&r), 1);
+        assert_eq!(batch.entry(0, 0).to_value(), PropValue::Int(hops));
+        let back = batch.to_records();
+        assert_eq!(back[0].get(0), r.get(0));
+    }
+}
+
+#[test]
+fn entry_to_value_covers_every_variant() {
+    assert_eq!(Entry::Null.to_value(), PropValue::Null);
+    assert_eq!(Entry::Vertex(VertexId(3)).to_value(), PropValue::Int(3));
+    assert_eq!(Entry::Edge(EdgeId(9)).to_value(), PropValue::Int(9));
+    assert_eq!(
+        Entry::Value(PropValue::Float(1.5)).to_value(),
+        PropValue::Float(1.5)
+    );
+    // EntryRef mirrors Entry for every variant
+    let entries = [
+        Entry::Null,
+        Entry::Vertex(VertexId(3)),
+        Entry::Edge(EdgeId(9)),
+        Entry::Path(vec![VertexId(1), VertexId(2)]),
+        Entry::Value(PropValue::str("x")),
+    ];
+    for e in &entries {
+        let r = EntryRef::from_entry(e);
+        assert_eq!(r.to_value(), e.to_value(), "{e:?}");
+        assert_eq!(&r.to_entry(), e, "{e:?}");
+    }
+}
+
+#[test]
+fn batch_preserves_mixed_width_records() {
+    // records of different physical widths land in one batch where every row
+    // spans the full width; missing trailing entries read back as Null
+    let mut tags = TagMap::new();
+    tags.slot_or_insert("a");
+    tags.slot_or_insert("b");
+    tags.slot_or_insert("c");
+    let mut short = Record::new();
+    short.set(0, Entry::Value(PropValue::Int(1)));
+    let mut long = Record::new();
+    long.set(0, Entry::Value(PropValue::Int(1)));
+    long.set(2, Entry::Edge(EdgeId(4)));
+    let batch = RecordBatch::from_records(&[short, long], tags.len());
+    assert_eq!(batch.rows(), 2);
+    assert_eq!(batch.width(), 3);
+    assert_eq!(batch.entry(2, 0), EntryRef::Null);
+    assert_eq!(batch.entry(2, 1).as_edge(), Some(EdgeId(4)));
+    let back = batch.to_records();
+    // round-tripped records are padded to the full width
+    assert_eq!(back[0].len(), 3);
+    assert_eq!(back[0].get(2), &Entry::Null);
+    assert_eq!(back[1].get(2), &Entry::Edge(EdgeId(4)));
+}

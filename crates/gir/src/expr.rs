@@ -256,21 +256,9 @@ impl Expr {
             Expr::Binary { op, lhs, rhs } => {
                 let l = lhs.evaluate(ctx);
                 let r = rhs.evaluate(ctx);
-                eval_binary(*op, &l, &r)
+                op.apply(&l, &r)
             }
-            Expr::Unary { op, operand } => {
-                let v = operand.evaluate(ctx);
-                match op {
-                    UnaryOp::Not => PropValue::Bool(!v.truthy()),
-                    UnaryOp::Neg => match v {
-                        PropValue::Int(i) => PropValue::Int(-i),
-                        PropValue::Float(f) => PropValue::Float(-f),
-                        _ => PropValue::Null,
-                    },
-                    UnaryOp::IsNull => PropValue::Bool(v.is_null()),
-                    UnaryOp::IsNotNull => PropValue::Bool(!v.is_null()),
-                }
-            }
+            Expr::Unary { op, operand } => op.apply(operand.evaluate(ctx)),
             Expr::InList { expr, list } => {
                 let v = expr.evaluate(ctx);
                 if v.is_null() {
@@ -288,25 +276,49 @@ impl Expr {
     }
 }
 
-fn eval_binary(op: BinOp, l: &PropValue, r: &PropValue) -> PropValue {
-    use BinOp::*;
-    match op {
-        And => return PropValue::Bool(l.truthy() && r.truthy()),
-        Or => return PropValue::Bool(l.truthy() || r.truthy()),
-        _ => {}
+impl BinOp {
+    /// Apply the operator to two already-evaluated values.
+    ///
+    /// This is the single source of truth for binary-operator semantics (null
+    /// propagation, integer vs float arithmetic, division by zero): both the
+    /// tree-walking [`Expr::evaluate`] and the execution engines' slot-resolved
+    /// compiled evaluator go through it, so the two evaluators cannot drift.
+    pub fn apply(&self, l: &PropValue, r: &PropValue) -> PropValue {
+        use BinOp::*;
+        match self {
+            And => return PropValue::Bool(l.truthy() && r.truthy()),
+            Or => return PropValue::Bool(l.truthy() || r.truthy()),
+            _ => {}
+        }
+        if l.is_null() || r.is_null() {
+            return PropValue::Null;
+        }
+        match self {
+            Eq => PropValue::Bool(l == r),
+            Ne => PropValue::Bool(l != r),
+            Lt => PropValue::Bool(l < r),
+            Le => PropValue::Bool(l <= r),
+            Gt => PropValue::Bool(l > r),
+            Ge => PropValue::Bool(l >= r),
+            Add | Sub | Mul | Div | Mod => eval_arith(*self, l, r),
+            And | Or => unreachable!("handled above"),
+        }
     }
-    if l.is_null() || r.is_null() {
-        return PropValue::Null;
-    }
-    match op {
-        Eq => PropValue::Bool(l == r),
-        Ne => PropValue::Bool(l != r),
-        Lt => PropValue::Bool(l < r),
-        Le => PropValue::Bool(l <= r),
-        Gt => PropValue::Bool(l > r),
-        Ge => PropValue::Bool(l >= r),
-        Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
-        And | Or => unreachable!("handled above"),
+}
+
+impl UnaryOp {
+    /// Apply the operator to an already-evaluated value (see [`BinOp::apply`]).
+    pub fn apply(&self, v: PropValue) -> PropValue {
+        match self {
+            UnaryOp::Not => PropValue::Bool(!v.truthy()),
+            UnaryOp::Neg => match v {
+                PropValue::Int(i) => PropValue::Int(-i),
+                PropValue::Float(f) => PropValue::Float(-f),
+                _ => PropValue::Null,
+            },
+            UnaryOp::IsNull => PropValue::Bool(v.is_null()),
+            UnaryOp::IsNotNull => PropValue::Bool(!v.is_null()),
+        }
     }
 }
 

@@ -37,7 +37,7 @@
 //!
 //! ## Properties: per-(label, key) columns
 //!
-//! Vertex and edge properties live in [`PropColumns`]: one dense column per
+//! Vertex and edge properties live in `PropColumns`: one dense column per
 //! (label, interned property key) pair, indexed by the record's *in-label
 //! offset* (its position among records of the same label, assigned in
 //! insertion order). `vertex_prop` / `edge_prop` are O(1) — label lookup,
