@@ -1,0 +1,135 @@
+//! Thread-scaling benchmarks of the morsel-driven [`ParallelEngine`] over
+//! partition-aware sharded storage (`BENCH_pr3.json`).
+//!
+//! Two plans, both on a 4-way-sharded LDBC-like graph:
+//!
+//! * `par_expand_filter_t{N}` — Scan(Person) → EdgeExpand(Knows) →
+//!   Select(b.creationDate < 8000), the BENCH_pr2 pipeline, the pipeline PR 2 vectorized;
+//! * `par_triangle_t{N}` — the QC1a triangle as optimized by GOpt for the
+//!   partitioned backend.
+//!
+//! Each plan runs at 1/2/4/8 executor threads; `row_oracle_*` measures the
+//! scalar single-partition `Engine` on the same plans as the absolute
+//! baseline. After the timed runs, the measured cross-partition row counts
+//! (`ExecStats::comm_records`) are printed — and asserted identical across
+//! thread counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopt_bench::{cypher, gopt_plan, Env, Target};
+use gopt_core::GOptConfig;
+use gopt_exec::{Engine, EngineConfig, ParallelEngine};
+use gopt_gir::expr::{BinOp, Expr};
+use gopt_gir::pattern::Direction;
+use gopt_gir::physical::{PhysicalOp, PhysicalPlan};
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::PartitionedGraph;
+use gopt_workloads::qc_queries;
+
+const PARTITIONS: usize = 4;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Morsel size: small enough to give the scheduler parallel slack on the
+/// bench graph (~2k scan rows → ~8 scan morsels, dozens of expand morsels).
+const MORSEL: usize = 256;
+
+fn bench_parallel(c: &mut Criterion) {
+    let env = Env::ldbc("G-par", 2000);
+    let g = &env.graph;
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+
+    // expand + filter (the PR 2 pipeline)
+    let mut filter_plan = PhysicalPlan::new();
+    filter_plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    filter_plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows.clone(),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person.clone(),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    filter_plan.push(PhysicalOp::Select {
+        predicate: Expr::binary(BinOp::Lt, Expr::prop("b", "creationDate"), Expr::lit(8000)),
+    });
+
+    // QC1a triangle, optimized for the partitioned backend
+    let qc1a = qc_queries().into_iter().find(|q| q.name == "QC1a").unwrap();
+    let triangle_plan = gopt_plan(
+        &env,
+        &cypher(&env, &qc1a.text),
+        Target::Partitioned(PARTITIONS),
+        GOptConfig::default(),
+    );
+
+    let sharded = PartitionedGraph::build(g, PARTITIONS);
+
+    for (name, plan) in [
+        ("par_expand_filter", &filter_plan),
+        ("par_triangle", &triangle_plan),
+    ] {
+        // absolute baselines: the scalar row-at-a-time oracle and the
+        // sequential batched engine on monolithic storage
+        c.bench_function(&format!("row_oracle_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Engine::new(g, EngineConfig::default())
+                        .execute(plan)
+                        .unwrap(),
+                )
+            })
+        });
+        c.bench_function(&format!("batched_oracle_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    gopt_exec::BatchEngine::new(g, EngineConfig::default())
+                        .execute(plan)
+                        .unwrap(),
+                )
+            })
+        });
+        for t in THREADS {
+            c.bench_function(&format!("{name}_t{t}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        ParallelEngine::new(&sharded)
+                            .with_threads(t)
+                            .with_batch_size(MORSEL)
+                            .execute(plan)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+        // measured cross-partition rows: print once, assert thread-stability
+        let mut comm = Vec::new();
+        for t in THREADS {
+            let r = ParallelEngine::new(&sharded)
+                .with_threads(t)
+                .with_batch_size(MORSEL)
+                .execute(plan)
+                .unwrap();
+            comm.push(r.stats.comm_records);
+        }
+        assert!(
+            comm.windows(2).all(|w| w[0] == w[1]),
+            "{name}: comm must not depend on thread count: {comm:?}"
+        );
+        println!(
+            "{name}: measured cross-partition rows (p={PARTITIONS}) = {}",
+            comm[0]
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

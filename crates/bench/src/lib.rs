@@ -88,7 +88,7 @@ impl Target {
         match self {
             Target::SingleMachine => Box::new(SingleMachineBackend::with_record_limit(limit)),
             Target::Partitioned(p) => {
-                Box::new(PartitionedBackend::new(*p).with_record_limit(limit))
+                Box::new(PartitionedBackend::saturating(*p).with_record_limit(limit))
             }
         }
     }

@@ -253,7 +253,7 @@ mod tests {
             .optimize(&plan)
             .unwrap();
 
-        let backend = PartitionedBackend::new(4);
+        let backend = PartitionedBackend::new(4).unwrap();
         let r_opt = backend.execute(&graph, &optimized).unwrap();
         let r_noopt = backend.execute(&graph, &unoptimized).unwrap();
         assert_eq!(

@@ -7,19 +7,29 @@
 //!
 //! * [`SingleMachineBackend`] — flattened row-at-a-time execution, no communication cost;
 //!   the natural home for `ExpandInto`-style plans.
-//! * [`PartitionedBackend`] — vertices are hash-partitioned over `partitions` workers and
-//!   records crossing partitions are counted as communication; the natural home for
-//!   `ExpandIntersect` (worst-case-optimal) plans.
+//! * [`PartitionedBackend`] — vertices are hash-partitioned over `partitions` workers,
+//!   each owning its shard of the CSR adjacency and vertex properties
+//!   ([`gopt_graph::PartitionedGraph`]); plans run on the morsel-driven
+//!   [`ParallelEngine`] with a configurable worker-thread count, and
+//!   `ExecStats::comm_records` is a *measured* count of rows crossing shards.
+//!   The natural home for `ExpandIntersect` (worst-case-optimal) plans.
 //!
 //! Both accept any physical operator (e.g. the single-machine backend can still run an
 //! `ExpandIntersect` plan) — the difference the optimizer must reason about is *cost*,
 //! which is exactly what the `PhysicalSpec` registration in `gopt-core` captures.
+//!
+//! Selecting [`ExecMode::Scalar`] on the partitioned backend falls back to the
+//! scalar interpreter with *simulated* partitioning on monolithic storage —
+//! the behavioural oracle the equivalence suites compare against.
 
 use crate::batch::DEFAULT_BATCH_SIZE;
 use crate::engine::{BatchEngine, Engine, EngineConfig, ExecResult};
 use crate::error::ExecError;
+use crate::parallel::ParallelEngine;
 use gopt_gir::physical::PhysicalPlan;
-use gopt_graph::PropertyGraph;
+use gopt_graph::{PartitionedGraph, PropertyGraph};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// A backend capable of executing GOpt physical plans.
 pub trait Backend {
@@ -113,26 +123,65 @@ impl Backend for SingleMachineBackend {
     }
 }
 
-/// A GraphScope-like partitioned backend.
+/// Identity of a sharded-graph cache entry: the source graph's build id
+/// (unique per `GraphBuilder::finish`, shared only by bit-identical clones —
+/// so a different graph at a recycled address can never collide) plus the
+/// partition count the shards were built for.
+type ShardCacheKey = (u64, usize);
+
+/// The lazily built shard cache: source-graph identity → sharded form.
+type ShardCache = Arc<Mutex<Option<(ShardCacheKey, Arc<PartitionedGraph>)>>>;
+
+/// A GraphScope-like partitioned backend: owns the sharded graph and runs
+/// plans on the morsel-driven [`ParallelEngine`].
+///
+/// The shards are built lazily on the first [`Backend::execute`] call and
+/// cached; executing against a different graph rebuilds them. Results are
+/// identical to the single-machine engines for every plan; only
+/// `ExecStats::comm_records` differs — here it counts rows that actually
+/// crossed shards (stable across thread counts).
 #[derive(Debug, Clone)]
 pub struct PartitionedBackend {
-    /// Number of partitions (simulated workers).
+    /// Number of partitions (workers owning a graph shard each).
     pub partitions: usize,
+    /// Number of executor threads the morsel scheduler uses.
+    pub threads: usize,
     /// Optional intermediate-record limit.
     pub record_limit: Option<u64>,
-    /// Scalar or batched execution (batched by default). Communication
-    /// accounting is identical in both modes.
+    /// Batched (morsel-driven, the default) or scalar-oracle execution.
     pub mode: ExecMode,
+    /// Lazily built sharded graph, keyed by the source graph's identity.
+    cache: ShardCache,
 }
 
 impl PartitionedBackend {
-    /// Create a backend with the given number of partitions.
-    pub fn new(partitions: usize) -> Self {
-        PartitionedBackend {
-            partitions: partitions.max(1),
+    /// Create a backend with the given number of partitions. Zero partitions
+    /// is a configuration error.
+    pub fn new(partitions: usize) -> Result<Self, ExecError> {
+        if partitions == 0 {
+            return Err(ExecError::Config(
+                "partitioned backend needs at least one partition".into(),
+            ));
+        }
+        Ok(PartitionedBackend {
+            partitions,
+            threads: 1,
             record_limit: None,
             mode: ExecMode::default(),
-        }
+            cache: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// Create a backend clamping `partitions` up to at least 1 — for bench
+    /// harnesses that sweep partition counts and never mean zero.
+    pub fn saturating(partitions: usize) -> Self {
+        Self::new(partitions.max(1)).expect("at least one partition")
+    }
+
+    /// Set the number of executor threads (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Set an intermediate-record limit.
@@ -141,10 +190,24 @@ impl PartitionedBackend {
         self
     }
 
-    /// Select scalar or batched execution.
+    /// Select batched (morsel-driven parallel) or scalar-oracle execution.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// The sharded form of `graph`, built on first use and cached.
+    fn sharded(&self, graph: &PropertyGraph) -> Arc<PartitionedGraph> {
+        let key: ShardCacheKey = (graph.build_id(), self.partitions);
+        let mut cache = self.cache.lock();
+        if let Some((k, pg)) = cache.as_ref() {
+            if *k == key {
+                return Arc::clone(pg);
+            }
+        }
+        let pg = Arc::new(PartitionedGraph::build(graph, self.partitions));
+        *cache = Some((key, Arc::clone(&pg)));
+        pg
     }
 }
 
@@ -154,15 +217,26 @@ impl Backend for PartitionedBackend {
     }
 
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
-        run(
-            graph,
-            plan,
-            EngineConfig {
-                partitions: Some(self.partitions),
-                record_limit: self.record_limit,
-            },
-            self.mode,
-        )
+        match self.mode {
+            // the scalar oracle: simulated partitioning on monolithic storage
+            ExecMode::Scalar => run(
+                graph,
+                plan,
+                EngineConfig {
+                    partitions: Some(self.partitions),
+                    record_limit: self.record_limit,
+                },
+                ExecMode::Scalar,
+            ),
+            ExecMode::Batched { batch_size } => {
+                let sharded = self.sharded(graph);
+                ParallelEngine::new(&sharded)
+                    .with_threads(self.threads)
+                    .with_batch_size(batch_size)
+                    .with_record_limit(self.record_limit)
+                    .execute(plan)
+            }
+        }
     }
 }
 
@@ -202,14 +276,25 @@ mod tests {
         let g = random_graph(&fig6_schema(), &RandomGraphConfig::default());
         let plan = simple_plan(&g);
         let single = SingleMachineBackend::new();
-        let parted = PartitionedBackend::new(4);
+        let parted = PartitionedBackend::new(4).unwrap().with_threads(2);
         assert_eq!(single.name(), "single-machine");
         assert_eq!(parted.name(), "partitioned");
         let r1 = single.execute(&g, &plan).unwrap();
         let r2 = parted.execute(&g, &plan).unwrap();
         assert_eq!(r1.sorted_rows(), r2.sorted_rows());
         assert_eq!(r1.stats.comm_records, 0);
-        assert!(r2.stats.comm_records > 0);
+        assert!(r2.stats.comm_records > 0, "measured cross-shard rows");
+        // the scalar-oracle mode agrees on rows too
+        let r3 = PartitionedBackend::new(4)
+            .unwrap()
+            .with_mode(ExecMode::Scalar)
+            .execute(&g, &plan)
+            .unwrap();
+        assert_eq!(r1.sorted_rows(), r3.sorted_rows());
+        // repeated execution reuses the cached shards and stays deterministic
+        let r4 = parted.execute(&g, &plan).unwrap();
+        assert_eq!(r2.sorted_rows(), r4.sorted_rows());
+        assert_eq!(r2.stats.comm_records, r4.stats.comm_records);
     }
 
     #[test]
@@ -218,9 +303,47 @@ mod tests {
         let plan = simple_plan(&g);
         let single = SingleMachineBackend::with_record_limit(1);
         assert!(single.execute(&g, &plan).is_err());
-        let parted = PartitionedBackend::new(2).with_record_limit(1);
+        let parted = PartitionedBackend::new(2).unwrap().with_record_limit(1);
         assert!(parted.execute(&g, &plan).is_err());
-        // zero partitions is clamped to one
-        assert_eq!(PartitionedBackend::new(0).partitions, 1);
+    }
+
+    #[test]
+    fn shard_cache_rebuilds_for_a_different_graph() {
+        // two graphs with identical vertex/edge counts but different edges:
+        // the cache must not serve the first graph's shards for the second
+        let g1 = random_graph(
+            &fig6_schema(),
+            &RandomGraphConfig {
+                seed: 1,
+                ..RandomGraphConfig::default()
+            },
+        );
+        let g2 = random_graph(
+            &fig6_schema(),
+            &RandomGraphConfig {
+                seed: 2,
+                ..RandomGraphConfig::default()
+            },
+        );
+        let backend = PartitionedBackend::new(3).unwrap();
+        let single = SingleMachineBackend::new();
+        for g in [&g1, &g2, &g1] {
+            let plan = simple_plan(g);
+            assert_eq!(
+                backend.execute(g, &plan).unwrap().sorted_rows(),
+                single.execute(g, &plan).unwrap().sorted_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_partitions_is_a_config_error() {
+        assert!(matches!(
+            PartitionedBackend::new(0),
+            Err(ExecError::Config(_))
+        ));
+        // the saturating constructor clamps instead, for bench sweeps
+        assert_eq!(PartitionedBackend::saturating(0).partitions, 1);
+        assert_eq!(PartitionedBackend::saturating(3).partitions, 3);
     }
 }

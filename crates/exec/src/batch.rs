@@ -40,7 +40,7 @@
 
 use crate::record::{Entry, Record, TagMap};
 use gopt_gir::expr::{BinOp, Expr, UnaryOp};
-use gopt_graph::{EdgeId, PropKeyId, PropValue, PropertyGraph, VertexId};
+use gopt_graph::{EdgeId, GraphView, PropKeyId, PropValue, PropertyGraph, VertexId};
 
 /// Default number of rows per [`RecordBatch`].
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
@@ -611,9 +611,9 @@ impl BatchBuilder {
 /// overrides for not-yet-materialised candidate bindings (the batch analogue
 /// of probing with `Record::with` — without the clone).
 #[derive(Clone, Copy)]
-pub struct BatchRow<'a> {
+pub struct BatchRow<'a, G: GraphView = PropertyGraph> {
     /// The data graph, for property access.
-    pub graph: &'a PropertyGraph,
+    pub graph: &'a G,
     /// The batch holding the row.
     pub batch: &'a RecordBatch,
     /// Row index within the batch.
@@ -622,7 +622,7 @@ pub struct BatchRow<'a> {
     pub overrides: &'a [(usize, EntryRef<'a>)],
 }
 
-impl<'a> BatchRow<'a> {
+impl<'a, G: GraphView> BatchRow<'a, G> {
     /// The entry visible at `slot` (overrides first, then the batch).
     #[inline]
     pub fn entry(&self, slot: usize) -> EntryRef<'a> {
@@ -682,7 +682,7 @@ pub enum CompiledExpr {
 impl CompiledExpr {
     /// Resolve every tag in `expr` against `tags` and every property name
     /// against the graph's interned keys.
-    pub fn compile(expr: &Expr, tags: &TagMap, graph: &PropertyGraph) -> CompiledExpr {
+    pub fn compile<G: GraphView>(expr: &Expr, tags: &TagMap, graph: &G) -> CompiledExpr {
         match expr {
             Expr::Literal(v) => CompiledExpr::Literal(v.clone()),
             Expr::Tag(t) => CompiledExpr::Slot(tags.slot(t)),
@@ -709,7 +709,7 @@ impl CompiledExpr {
 
     /// Evaluate against one batch row. Semantics match
     /// [`Expr::evaluate`] over a `RecordContext` exactly.
-    pub fn eval(&self, row: &BatchRow<'_>) -> PropValue {
+    pub fn eval<G: GraphView>(&self, row: &BatchRow<'_, G>) -> PropValue {
         match self {
             CompiledExpr::Literal(v) => v.clone(),
             CompiledExpr::Slot(slot) => match slot {
@@ -761,7 +761,7 @@ impl CompiledExpr {
     }
 
     /// Evaluate as a boolean predicate (Null → false).
-    pub fn eval_predicate(&self, row: &BatchRow<'_>) -> bool {
+    pub fn eval_predicate<G: GraphView>(&self, row: &BatchRow<'_, G>) -> bool {
         self.eval(row).truthy()
     }
 }

@@ -24,6 +24,8 @@ pub enum ExecError {
         /// The configured limit.
         limit: u64,
     },
+    /// An invalid engine or backend configuration (e.g. zero partitions).
+    Config(String),
 }
 
 impl fmt::Display for ExecError {
@@ -39,6 +41,7 @@ impl fmt::Display for ExecError {
             ExecError::RecordLimitExceeded { limit } => {
                 write!(f, "intermediate record limit exceeded ({limit})")
             }
+            ExecError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -64,5 +67,8 @@ mod tests {
             actual: 1,
         };
         assert!(e.to_string().contains("HashJoin"));
+        assert!(ExecError::Config("zero partitions".into())
+            .to_string()
+            .contains("zero partitions"));
     }
 }

@@ -26,7 +26,7 @@ use gopt_gir::expr::Expr;
 use gopt_gir::pattern::{Direction, PathSemantics};
 use gopt_gir::physical::IntersectStep;
 use gopt_gir::types::TypeConstraint;
-use gopt_graph::{EdgeId, LabelId, PropertyGraph, VertexId};
+use gopt_graph::{EdgeId, GraphView, LabelId, PropertyGraph, VertexId};
 
 fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
     match partitions {
@@ -64,7 +64,7 @@ fn vertex_matches(
     }
 }
 
-fn edge_labels(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<LabelId> {
+pub(crate) fn edge_labels<G: GraphView>(graph: &G, constraint: &TypeConstraint) -> Vec<LabelId> {
     constraint.materialize(&graph.schema().edge_label_ids().collect::<Vec<_>>())
 }
 
@@ -76,8 +76,8 @@ fn edge_labels(graph: &PropertyGraph, constraint: &TypeConstraint) -> Vec<LabelI
 /// a single-segment expansion needs neither sort nor copy ordering work; only
 /// multi-segment gathers (several labels, or direction `Both`) re-sort what
 /// was gathered.
-fn collect_expand_candidates(
-    graph: &PropertyGraph,
+pub(crate) fn collect_expand_candidates<G: GraphView>(
+    graph: &G,
     src: VertexId,
     labels: &[LabelId],
     direction: Direction,
@@ -114,8 +114,8 @@ fn collect_expand_candidates(
 /// into `buf`, sorted ascending. The per-(vertex, label) CSR segments are
 /// already sorted by neighbour, so a single segment needs no sort at all and
 /// multiple segments only sort what was gathered.
-fn gather_sorted_neighbors(
-    graph: &PropertyGraph,
+fn gather_sorted_neighbors<G: GraphView>(
+    graph: &G,
     src: VertexId,
     labels: &[LabelId],
     direction: Direction,
@@ -206,8 +206,8 @@ fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>
 /// Find one connecting edge between the bound endpoints `s` and `d` over the given
 /// labels/direction: a binary search of the sorted (vertex, label) CSR segment per
 /// candidate endpoint pair. Shared by the scalar and the batched `ExpandInto`.
-fn find_connecting_edge(
-    graph: &PropertyGraph,
+pub(crate) fn find_connecting_edge<G: GraphView>(
+    graph: &G,
     s: VertexId,
     d: VertexId,
     labels: &[LabelId],
@@ -235,8 +235,8 @@ fn find_connecting_edge(
 /// Shared by the scalar and the batched `PathExpand`, which fixes their emission
 /// order and communication accounting to be identical by construction.
 #[allow(clippy::too_many_arguments)]
-fn expand_paths(
-    graph: &PropertyGraph,
+pub(crate) fn expand_paths<G: GraphView>(
+    graph: &G,
     start: VertexId,
     labels: &[LabelId],
     direction: Direction,
@@ -631,8 +631,8 @@ use crate::batch::{BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, Recor
 /// Check a candidate vertex against the destination constraint and compiled
 /// predicate, probing with a slot override instead of cloning the row.
 #[inline]
-fn batch_vertex_matches(
-    graph: &PropertyGraph,
+fn batch_vertex_matches<G: GraphView>(
+    graph: &G,
     batch: &RecordBatch,
     row: usize,
     v: VertexId,
@@ -661,7 +661,7 @@ fn batch_vertex_matches(
 /// each chunk of `sel` is gathered column-wise from `src` and the new
 /// destination (and optional edge) column slices are installed on top.
 #[allow(clippy::too_many_arguments)]
-fn flush_selection(
+pub(crate) fn flush_selection(
     src: &RecordBatch,
     sel: &[u32],
     width: usize,
@@ -686,8 +686,8 @@ fn flush_selection(
 }
 
 /// Batched [`scan`]: one vertex-id column per output batch.
-pub fn scan_batches(
-    graph: &PropertyGraph,
+pub fn scan_batches<G: GraphView>(
+    graph: &G,
     tags: &mut TagMap,
     alias: &str,
     constraint: &TypeConstraint,
@@ -745,31 +745,124 @@ pub fn scan_batches(
     out
 }
 
+/// Resolved slots, labels and compiled predicates of one batched `EdgeExpand`
+/// call — everything that is hoisted out of the per-batch kernel. Shared by
+/// [`edge_expand_batches`] and the morsel executor in [`crate::parallel`].
+pub(crate) struct EdgeExpandCompiled {
+    pub(crate) src_slot: usize,
+    pub(crate) dst_slot: usize,
+    pub(crate) edge_slot: Option<usize>,
+    pub(crate) labels: Vec<LabelId>,
+    pub(crate) direction: Direction,
+    pub(crate) dst_constraint: TypeConstraint,
+    pub(crate) dst_pred: Option<CompiledExpr>,
+    pub(crate) edge_pred: Option<CompiledExpr>,
+}
+
+impl EdgeExpandCompiled {
+    /// Resolve tags (registering the destination/edge aliases) and compile the
+    /// predicates of `args` once per operator call.
+    pub(crate) fn resolve<G: GraphView>(
+        graph: &G,
+        tags: &mut TagMap,
+        args: &EdgeExpandArgs<'_>,
+    ) -> Result<EdgeExpandCompiled, crate::error::ExecError> {
+        let src_slot = tags
+            .slot(args.src)
+            .ok_or_else(|| crate::error::ExecError::UnboundTag(args.src.to_string()))?;
+        let dst_slot = tags.slot_or_insert(args.dst_alias);
+        let edge_slot = args.edge_alias.map(|a| tags.slot_or_insert(a));
+        let labels = edge_labels(graph, args.edge_constraint);
+        Ok(EdgeExpandCompiled {
+            src_slot,
+            dst_slot,
+            edge_slot,
+            labels,
+            direction: args.direction,
+            dst_constraint: args.dst_constraint.clone(),
+            dst_pred: args
+                .dst_predicate
+                .as_ref()
+                .map(|p| CompiledExpr::compile(p, tags, graph)),
+            edge_pred: args
+                .edge_predicate
+                .as_ref()
+                .map(|p| CompiledExpr::compile(p, tags, graph)),
+        })
+    }
+}
+
+/// Per-batch `EdgeExpand` kernel: appends one entry per produced row to the
+/// selection vector (`sel`, input-row indices in ascending order) and the
+/// destination/edge value vectors, and returns the number of rows whose
+/// destination vertex lives on a different partition than the source — the
+/// rows a partitioned deployment ships at the expand boundary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn edge_expand_kernel<G: GraphView>(
+    graph: &G,
+    batch: &RecordBatch,
+    c: &EdgeExpandCompiled,
+    partitions: Option<usize>,
+    candidates: &mut Vec<(EdgeId, VertexId)>,
+    sel: &mut Vec<u32>,
+    dst_vals: &mut Vec<VertexId>,
+    edge_vals: &mut Vec<EdgeId>,
+) -> u64 {
+    let mut comm = 0u64;
+    for row in 0..batch.rows() {
+        let Some(src) = batch.entry(c.src_slot, row).as_vertex() else {
+            continue;
+        };
+        collect_expand_candidates(graph, src, &c.labels, c.direction, candidates);
+        for &(edge, neighbor) in candidates.iter() {
+            if !batch_vertex_matches(
+                graph,
+                batch,
+                row,
+                neighbor,
+                &c.dst_constraint,
+                c.dst_pred.as_ref(),
+                c.dst_slot,
+            ) {
+                continue;
+            }
+            if let Some(p) = &c.edge_pred {
+                let overrides: &[(usize, EntryRef)] = match c.edge_slot {
+                    Some(es) => &[(es, EntryRef::Edge(edge))],
+                    None => &[],
+                };
+                if !p.eval_predicate(&BatchRow {
+                    graph,
+                    batch,
+                    row,
+                    overrides,
+                }) {
+                    continue;
+                }
+            }
+            if partition_of(src, partitions) != partition_of(neighbor, partitions) {
+                comm += 1;
+            }
+            sel.push(row as u32);
+            dst_vals.push(neighbor);
+            edge_vals.push(edge);
+        }
+    }
+    comm
+}
+
 /// Batched [`edge_expand`]: reads the source column, emits a selection vector
 /// plus destination/edge columns per input batch.
-pub fn edge_expand_batches(
-    graph: &PropertyGraph,
+pub fn edge_expand_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &mut TagMap,
     args: &EdgeExpandArgs<'_>,
     partitions: Option<usize>,
     batch_size: usize,
 ) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
-    let src_slot = tags
-        .slot(args.src)
-        .ok_or_else(|| crate::error::ExecError::UnboundTag(args.src.to_string()))?;
-    let dst_slot = tags.slot_or_insert(args.dst_alias);
-    let edge_slot = args.edge_alias.map(|a| tags.slot_or_insert(a));
+    let compiled = EdgeExpandCompiled::resolve(graph, tags, args)?;
     let width = tags.len();
-    let labels = edge_labels(graph, args.edge_constraint);
-    let dst_pred = args
-        .dst_predicate
-        .as_ref()
-        .map(|p| CompiledExpr::compile(p, tags, graph));
-    let edge_pred = args
-        .edge_predicate
-        .as_ref()
-        .map(|p| CompiledExpr::compile(p, tags, graph));
     let mut out = Vec::new();
     let mut comm = 0u64;
     // scratch reused across the whole input, not per row
@@ -781,52 +874,23 @@ pub fn edge_expand_batches(
         sel.clear();
         dst_vals.clear();
         edge_vals.clear();
-        for row in 0..batch.rows() {
-            let Some(src) = batch.entry(src_slot, row).as_vertex() else {
-                continue;
-            };
-            collect_expand_candidates(graph, src, &labels, args.direction, &mut candidates);
-            for &(edge, neighbor) in candidates.iter() {
-                if !batch_vertex_matches(
-                    graph,
-                    batch,
-                    row,
-                    neighbor,
-                    args.dst_constraint,
-                    dst_pred.as_ref(),
-                    dst_slot,
-                ) {
-                    continue;
-                }
-                if let Some(p) = &edge_pred {
-                    let overrides: &[(usize, EntryRef)] = match edge_slot {
-                        Some(es) => &[(es, EntryRef::Edge(edge))],
-                        None => &[],
-                    };
-                    if !p.eval_predicate(&BatchRow {
-                        graph,
-                        batch,
-                        row,
-                        overrides,
-                    }) {
-                        continue;
-                    }
-                }
-                if partition_of(src, partitions) != partition_of(neighbor, partitions) {
-                    comm += 1;
-                }
-                sel.push(row as u32);
-                dst_vals.push(neighbor);
-                edge_vals.push(edge);
-            }
-        }
+        comm += edge_expand_kernel(
+            graph,
+            batch,
+            &compiled,
+            partitions,
+            &mut candidates,
+            &mut sel,
+            &mut dst_vals,
+            &mut edge_vals,
+        );
         flush_selection(
             batch,
             &sel,
             width,
             batch_size,
-            Some((dst_slot, &dst_vals)),
-            edge_slot.map(|es| (es, edge_vals.as_slice())),
+            Some((compiled.dst_slot, &dst_vals)),
+            compiled.edge_slot.map(|es| (es, edge_vals.as_slice())),
             &mut out,
         );
     }
@@ -835,8 +899,8 @@ pub fn edge_expand_batches(
 
 /// Batched [`expand_into`].
 #[allow(clippy::too_many_arguments)]
-pub fn expand_into_batches(
-    graph: &PropertyGraph,
+pub fn expand_into_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &mut TagMap,
     src: &str,
@@ -867,36 +931,19 @@ pub fn expand_into_batches(
     for batch in input {
         sel.clear();
         edge_vals.clear();
-        for row in 0..batch.rows() {
-            let (Some(s), Some(d)) = (
-                batch.entry(src_slot, row).as_vertex(),
-                batch.entry(dst_slot, row).as_vertex(),
-            ) else {
-                continue;
-            };
-            let Some(e) = find_connecting_edge(graph, s, d, &labels, direction) else {
-                continue;
-            };
-            if let Some(p) = &edge_pred {
-                let overrides: &[(usize, EntryRef)] = match edge_slot {
-                    Some(es) => &[(es, EntryRef::Edge(e))],
-                    None => &[],
-                };
-                if !p.eval_predicate(&BatchRow {
-                    graph,
-                    batch,
-                    row,
-                    overrides,
-                }) {
-                    continue;
-                }
-            }
-            if partition_of(s, partitions) != partition_of(d, partitions) {
-                comm += 1;
-            }
-            sel.push(row as u32);
-            edge_vals.push(e);
-        }
+        comm += expand_into_kernel(
+            graph,
+            batch,
+            src_slot,
+            dst_slot,
+            edge_slot,
+            &labels,
+            direction,
+            edge_pred.as_ref(),
+            partitions,
+            &mut sel,
+            &mut edge_vals,
+        );
         flush_selection(
             batch,
             &sel,
@@ -910,11 +957,62 @@ pub fn expand_into_batches(
     Ok((out, comm))
 }
 
+/// Per-batch `ExpandInto` kernel: selection vector + connecting-edge values,
+/// returning the number of kept rows whose endpoints live on different
+/// partitions. Shared by [`expand_into_batches`] and the morsel executor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_into_kernel<G: GraphView>(
+    graph: &G,
+    batch: &RecordBatch,
+    src_slot: usize,
+    dst_slot: usize,
+    edge_slot: Option<usize>,
+    labels: &[LabelId],
+    direction: Direction,
+    edge_pred: Option<&CompiledExpr>,
+    partitions: Option<usize>,
+    sel: &mut Vec<u32>,
+    edge_vals: &mut Vec<EdgeId>,
+) -> u64 {
+    let mut comm = 0u64;
+    for row in 0..batch.rows() {
+        let (Some(s), Some(d)) = (
+            batch.entry(src_slot, row).as_vertex(),
+            batch.entry(dst_slot, row).as_vertex(),
+        ) else {
+            continue;
+        };
+        let Some(e) = find_connecting_edge(graph, s, d, labels, direction) else {
+            continue;
+        };
+        if let Some(p) = edge_pred {
+            let overrides: &[(usize, EntryRef)] = match edge_slot {
+                Some(es) => &[(es, EntryRef::Edge(e))],
+                None => &[],
+            };
+            if !p.eval_predicate(&BatchRow {
+                graph,
+                batch,
+                row,
+                overrides,
+            }) {
+                continue;
+            }
+        }
+        if partition_of(s, partitions) != partition_of(d, partitions) {
+            comm += 1;
+        }
+        sel.push(row as u32);
+        edge_vals.push(e);
+    }
+    comm
+}
+
 /// Batched [`expand_intersect`]: the CSR segment gathering and galloping
 /// merge-intersection run over a whole batch with shared scratch buffers.
 #[allow(clippy::too_many_arguments)]
-pub fn expand_intersect_batches(
-    graph: &PropertyGraph,
+pub fn expand_intersect_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &mut TagMap,
     steps: &[IntersectStep],
@@ -942,73 +1040,26 @@ pub fn expand_intersect_batches(
         .map(|p| CompiledExpr::compile(p, tags, graph));
     let mut out = Vec::new();
     let mut comm = 0u64;
-    // scratch reused across the whole input
-    let mut cur: Vec<VertexId> = Vec::new();
-    let mut step_buf: Vec<VertexId> = Vec::new();
-    let mut merged: Vec<VertexId> = Vec::new();
+    let mut scratch = IntersectScratch::default();
     let mut sel: Vec<u32> = Vec::new();
     let mut dst_vals: Vec<VertexId> = Vec::new();
     for batch in input {
         sel.clear();
         dst_vals.clear();
-        for row in 0..batch.rows() {
-            if let Some(p) = partitions {
-                if p > 1 && steps.len() > 1 {
-                    let mut parts = step_slots
-                        .iter()
-                        .filter_map(|&s| batch.entry(s, row).as_vertex())
-                        .map(|v| partition_of(v, partitions));
-                    if let Some(first) = parts.next() {
-                        if parts.any(|p| p != first) {
-                            comm += 1;
-                        }
-                    }
-                }
-            }
-            cur.clear();
-            let mut initialized = false;
-            for (i, (step, &slot)) in steps.iter().zip(&step_slots).enumerate() {
-                let Some(src) = batch.entry(slot, row).as_vertex() else {
-                    cur.clear();
-                    initialized = true;
-                    break;
-                };
-                if !initialized {
-                    gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, &mut cur);
-                    initialized = true;
-                } else {
-                    gather_sorted_neighbors(
-                        graph,
-                        src,
-                        &step_labels[i],
-                        step.direction,
-                        &mut step_buf,
-                    );
-                    intersect_sorted_into(&cur, &step_buf, &mut merged);
-                    std::mem::swap(&mut cur, &mut merged);
-                }
-                if cur.is_empty() {
-                    break;
-                }
-            }
-            if !initialized {
-                continue;
-            }
-            for &v in &cur {
-                if batch_vertex_matches(
-                    graph,
-                    batch,
-                    row,
-                    v,
-                    dst_constraint,
-                    dst_pred.as_ref(),
-                    dst_slot,
-                ) {
-                    sel.push(row as u32);
-                    dst_vals.push(v);
-                }
-            }
-        }
+        comm += expand_intersect_kernel(
+            graph,
+            batch,
+            steps,
+            &step_slots,
+            &step_labels,
+            dst_slot,
+            dst_constraint,
+            dst_pred.as_ref(),
+            partitions,
+            &mut scratch,
+            &mut sel,
+            &mut dst_vals,
+        );
         flush_selection(
             batch,
             &sel,
@@ -1022,11 +1073,93 @@ pub fn expand_intersect_batches(
     Ok((out, comm))
 }
 
+/// Reusable buffers of the intersection kernel: the running candidate set,
+/// the next step's neighbour list, and the merge output.
+#[derive(Default)]
+pub(crate) struct IntersectScratch {
+    cur: Vec<VertexId>,
+    step_buf: Vec<VertexId>,
+    merged: Vec<VertexId>,
+}
+
+/// Per-batch `ExpandIntersect` kernel: selection vector + intersected
+/// destination values, returning the number of input rows whose step sources
+/// live on different partitions (the record is shipped once to perform the
+/// intersection). Shared by [`expand_intersect_batches`] and the morsel
+/// executor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_intersect_kernel<G: GraphView>(
+    graph: &G,
+    batch: &RecordBatch,
+    steps: &[IntersectStep],
+    step_slots: &[usize],
+    step_labels: &[Vec<LabelId>],
+    dst_slot: usize,
+    dst_constraint: &TypeConstraint,
+    dst_pred: Option<&CompiledExpr>,
+    partitions: Option<usize>,
+    scratch: &mut IntersectScratch,
+    sel: &mut Vec<u32>,
+    dst_vals: &mut Vec<VertexId>,
+) -> u64 {
+    let mut comm = 0u64;
+    let IntersectScratch {
+        cur,
+        step_buf,
+        merged,
+    } = scratch;
+    for row in 0..batch.rows() {
+        if let Some(p) = partitions {
+            if p > 1 && steps.len() > 1 {
+                let mut parts = step_slots
+                    .iter()
+                    .filter_map(|&s| batch.entry(s, row).as_vertex())
+                    .map(|v| partition_of(v, partitions));
+                if let Some(first) = parts.next() {
+                    if parts.any(|p| p != first) {
+                        comm += 1;
+                    }
+                }
+            }
+        }
+        cur.clear();
+        let mut initialized = false;
+        for (i, (step, &slot)) in steps.iter().zip(step_slots).enumerate() {
+            let Some(src) = batch.entry(slot, row).as_vertex() else {
+                cur.clear();
+                initialized = true;
+                break;
+            };
+            if !initialized {
+                gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, cur);
+                initialized = true;
+            } else {
+                gather_sorted_neighbors(graph, src, &step_labels[i], step.direction, step_buf);
+                intersect_sorted_into(cur, step_buf, merged);
+                std::mem::swap(cur, merged);
+            }
+            if cur.is_empty() {
+                break;
+            }
+        }
+        if !initialized {
+            continue;
+        }
+        for &v in cur.iter() {
+            if batch_vertex_matches(graph, batch, row, v, dst_constraint, dst_pred, dst_slot) {
+                sel.push(row as u32);
+                dst_vals.push(v);
+            }
+        }
+    }
+    comm
+}
+
 /// Batched [`path_expand`]: paths are emitted into a flattened
 /// offsets + vertex-pool column.
 #[allow(clippy::too_many_arguments)]
-pub fn path_expand_batches(
-    graph: &PropertyGraph,
+pub fn path_expand_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &mut TagMap,
     src: &str,

@@ -42,6 +42,7 @@ pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod expand;
+pub mod parallel;
 pub mod record;
 pub mod relational;
 
@@ -52,4 +53,5 @@ pub use batch::{
 };
 pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
 pub use error::ExecError;
+pub use parallel::ParallelEngine;
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -1,0 +1,1723 @@
+//! Morsel-driven parallel execution over partition-aware graph storage.
+//!
+//! [`ParallelEngine`] interprets a [`PhysicalPlan`] against a
+//! [`PartitionedGraph`] — the sharded CSR storage of `gopt_graph::partition` —
+//! with a fixed pool of worker threads. The unit of scheduling is the
+//! *morsel*: one [`RecordBatch`] of at most `batch_size` rows, exactly the
+//! batches the vectorized operators of [`crate::expand`] and
+//! [`crate::relational`] already produce.
+//!
+//! # Execution model
+//!
+//! Every plan node's output is an **ordered** sequence of batches whose
+//! concatenated rows are bit-for-bit the rows the sequential [`BatchEngine`]
+//! (and therefore the scalar [`Engine`] oracle) would produce, in the same
+//! order. Parallelism never reorders results:
+//!
+//! * **Element-wise operators** (`Scan`, `Select`, `Project`) process each
+//!   morsel independently on a worker and reassemble outputs in morsel order.
+//! * **Expand operators** run a real partition exchange: each morsel is split
+//!   by the partition owning the routing vertex (the expansion source), the
+//!   per-partition sub-batches run the shared expansion kernels against their
+//!   own [`GraphShard`]'s CSR, and a deterministic per-morsel merge restores
+//!   the oracle row order from the kernels' selection vectors. At the expand
+//!   boundary output rows are routed by the *target* vertex's partition — the
+//!   rows whose target partition differs from the partition that produced
+//!   them are the measured shuffle.
+//! * **Pipeline breakers** (`HashGroup`, `OrderLimit`, `Dedup`) evaluate
+//!   their key/aggregate expressions per morsel on the pool (the per-worker
+//!   partial state), then perform a deterministic merge in morsel order: a
+//!   sequential accumulator fold for grouping, a stable k-way merge of
+//!   per-morsel stable sorts for ordering, a sequential seen-set pass for
+//!   deduplication. Each merge reproduces the oracle's first-encounter /
+//!   stable-sort semantics exactly.
+//!
+//! # Measured communication
+//!
+//! Unlike the scalar/batched engines — which *simulate* a partitioned
+//! deployment on monolithic storage — `ExecStats::comm_records` here is a
+//! measured count of rows crossing shards, accumulated at three points:
+//!
+//! 1. **Alignment shuffles**: when an operator expands from a tag whose
+//!    vertices do not own the rows (the rows' current *home* differs from the
+//!    routing partition), every row that moves is counted.
+//! 2. **Expand boundaries**: rows whose newly bound target vertex lives on a
+//!    different partition than the one that produced them (for `PathExpand`,
+//!    every hop that crosses partitions, matching the traversal model).
+//! 3. **Gathers**: pipeline breakers, joins and unions collect rows at the
+//!    coordinator (partition 0); every row not already homed there is
+//!    counted.
+//!
+//! All three are pure functions of the data and the partitioner — never of
+//! the thread count or scheduling — so communication counts are identical
+//! across thread counts by construction (asserted by
+//! `tests/parallel_equivalence.rs`). With one partition every count is zero.
+//! Accounting assumes the modulo [`HashPartitioner`] that
+//! [`PartitionedGraph::build`] installs (the expansion kernels share its
+//! arithmetic).
+//!
+//! [`BatchEngine`]: crate::engine::BatchEngine
+//! [`Engine`]: crate::engine::Engine
+//! [`GraphShard`]: gopt_graph::GraphShard
+//! [`HashPartitioner`]: gopt_graph::HashPartitioner
+
+use crate::batch::{
+    self, BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch, DEFAULT_BATCH_SIZE,
+};
+use crate::engine::{ExecResult, ExecStats};
+use crate::error::ExecError;
+use crate::expand::{self, EdgeExpandArgs, EdgeExpandCompiled, IntersectScratch};
+use crate::record::{Entry, TagMap};
+use crate::relational::{self, Accumulator};
+use gopt_gir::expr::{AggFunc, Expr, SortDir};
+use gopt_gir::physical::{IntersectStep, PhysicalNodeId, PhysicalOp, PhysicalPlan};
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::{GraphView, PartitionedGraph, PropValue, VertexId};
+use parking_lot::{Condvar, Mutex};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased reference to the current phase's task closure. The pointer
+/// is only dereferenced while [`WorkerPool::run_phase`] is blocked on the
+/// phase, which keeps the borrowed closure alive.
+#[derive(Clone, Copy)]
+struct TaskRef {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is a `Fn(usize) + Sync` closure shared for the duration
+// of one phase; `run_phase` does not return until every index completed.
+unsafe impl Send for TaskRef {}
+
+struct PoolState {
+    task: Option<TaskRef>,
+    count: usize,
+    next: usize,
+    active: usize,
+    shutdown: bool,
+    /// First panic payload raised by a task of the current phase; re-thrown
+    /// on the calling thread once the phase has drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl PoolState {
+    /// Record a task panic: keep the first payload and fast-forward the
+    /// cursor so no further task of this phase starts (in-flight tasks
+    /// finish; the phase result is discarded by the re-thrown panic anyway).
+    fn record_panic(&mut self, payload: Box<dyn std::any::Any + Send>) {
+        if self.panic.is_none() {
+            self.panic = Some(payload);
+        }
+        self.next = self.count;
+    }
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// A fixed pool of workers executing index-addressed phases: `run_phase(n, f)`
+/// runs `f(0) .. f(n-1)` across the workers (the calling thread participates)
+/// and returns once all indices completed. With zero workers everything runs
+/// inline on the caller, giving a lock-free single-threaded baseline.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                task: None,
+                count: 0,
+                next: 0,
+                active: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Run one phase of `count` tasks. Blocks until every task completed, so
+    /// `f` may borrow from the caller's stack.
+    pub(crate) fn run_phase<F: Fn(usize) + Sync>(&self, count: usize, f: &F) {
+        if count == 0 {
+            return;
+        }
+        if self.handles.is_empty() || count == 1 {
+            for i in 0..count {
+                f(i);
+            }
+            return;
+        }
+        unsafe fn trampoline<F: Fn(usize)>(data: *const (), i: usize) {
+            let f = unsafe { &*(data as *const F) };
+            f(i);
+        }
+        let task = TaskRef {
+            data: f as *const F as *const (),
+            call: trampoline::<F>,
+        };
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.task.is_none() && st.active == 0, "phases never overlap");
+            st.task = Some(task);
+            st.count = count;
+            st.next = 0;
+            self.shared.work.notify_all();
+        }
+        // the calling thread participates in its own phase
+        loop {
+            let i = {
+                let mut st = self.shared.state.lock();
+                if st.next >= st.count {
+                    break;
+                }
+                st.next += 1;
+                st.active += 1;
+                st.next - 1
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+            let mut st = self.shared.state.lock();
+            st.active -= 1;
+            if let Err(payload) = outcome {
+                st.record_panic(payload);
+            }
+            if st.next >= st.count && st.active == 0 {
+                self.shared.done.notify_all();
+            }
+        }
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            st = self.shared.done.wait(st);
+        }
+        st.task = None;
+        st.count = 0;
+        st.next = 0;
+        // re-throw a task panic on the caller, like the sequential engines
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(sh: &PoolShared) {
+    loop {
+        let (task, i) = {
+            let mut st = sh.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = st.task {
+                    if st.next < st.count {
+                        st.next += 1;
+                        st.active += 1;
+                        break (t, st.next - 1);
+                    }
+                }
+                st = sh.work.wait(st);
+            }
+        };
+        // SAFETY: see TaskRef — the closure outlives the phase. A panicking
+        // task must still decrement `active` (and wake the caller), or
+        // run_phase would wait forever; the payload is re-thrown over there.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (task.call)(task.data, i)
+        }));
+        let mut st = sh.state.lock();
+        st.active -= 1;
+        if let Err(payload) = outcome {
+            st.record_panic(payload);
+        }
+        if st.next >= st.count && st.active == 0 {
+            sh.done.notify_all();
+        }
+    }
+}
+
+/// Map `f` over `0..count` on the pool, collecting results in index order.
+fn par_map<T, F>(pool: &WorkerPool, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<T>> = Vec::with_capacity(count);
+    results.resize_with(count, || None);
+    struct Slots<T>(*mut Option<T>);
+    // SAFETY: each task writes exactly its own (disjoint) index; the pool's
+    // lock hand-off sequences the writes before the reads below.
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(results.as_mut_ptr());
+    let slots_ref = &slots;
+    pool.run_phase(count, &move |i| {
+        let v = f(i);
+        unsafe { *slots_ref.0.add(i) = Some(v) };
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("phase completed every index"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Where a node's output rows currently live in the partitioned deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    /// Each row is homed on the partition owning the vertex bound at this
+    /// tag slot (rows with an unbound slot sit on partition 0).
+    Tag(usize),
+    /// Rows were gathered at the coordinator (partition 0).
+    Coordinator,
+}
+
+/// One executed plan node: ordered output batches, the tag map, and the rows'
+/// current home.
+struct NodeOut {
+    batches: Vec<RecordBatch>,
+    tags: TagMap,
+    home: Home,
+}
+
+/// One morsel split by routing partition for an expand exchange.
+struct MorselSplit<'a> {
+    /// Input row count of the morsel.
+    rows: usize,
+    /// Routing partition per input row (-1 = routing vertex unbound; the row
+    /// is dropped, exactly as the kernels would drop it).
+    owner: Vec<i32>,
+    /// Per non-empty partition: (partition, sub-batch, original row index of
+    /// each sub-batch row). When every row routes to one partition the
+    /// sub-batch borrows the input morsel instead of gathering a copy —
+    /// always the case at p=1.
+    subs: Vec<(usize, Cow<'a, RecordBatch>, Vec<u32>)>,
+}
+
+/// Output of one expansion kernel over one sub-batch.
+struct KernelOut {
+    /// Sub-batch row index per output row (ascending).
+    sel: Vec<u32>,
+    dst_vals: Vec<VertexId>,
+    edge_vals: Vec<gopt_graph::EdgeId>,
+    comm: u64,
+}
+
+/// The morsel-driven parallel interpreter over a [`PartitionedGraph`].
+///
+/// Produces exactly the rows (and row order) of the sequential engines — the
+/// scalar [`crate::engine::Engine`] on a single partition is the behavioural
+/// oracle — while reading adjacency and vertex properties from per-partition
+/// shards and measuring real cross-shard row movement into
+/// [`ExecStats::comm_records`].
+pub struct ParallelEngine<'g> {
+    graph: &'g PartitionedGraph,
+    record_limit: Option<u64>,
+    threads: usize,
+    batch_size: usize,
+    /// Worker pool, spawned lazily on the first execute and reused across
+    /// queries (concurrent `execute` calls on one engine serialize on it).
+    pool: Mutex<Option<WorkerPool>>,
+}
+
+impl<'g> ParallelEngine<'g> {
+    /// Create an engine over sharded storage with one thread and the default
+    /// morsel size.
+    pub fn new(graph: &'g PartitionedGraph) -> Self {
+        ParallelEngine {
+            graph,
+            record_limit: None,
+            threads: 1,
+            batch_size: DEFAULT_BATCH_SIZE,
+            pool: Mutex::new(None),
+        }
+    }
+
+    /// Set the worker thread count (values below 1 are clamped to 1). Drops
+    /// an already-spawned pool so the next execute respawns at the new size.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.pool = Mutex::new(None);
+        self
+    }
+
+    /// Set the morsel size (maximum rows per batch; clamped to at least 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Abort when the total intermediate records exceed `limit`.
+    pub fn with_record_limit(mut self, limit: Option<u64>) -> Self {
+        self.record_limit = limit;
+        self
+    }
+
+    /// The sharded graph being queried.
+    pub fn graph(&self) -> &PartitionedGraph {
+        self.graph
+    }
+
+    /// Execute a physical plan.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        if plan.is_empty() {
+            return Err(ExecError::EmptyPlan);
+        }
+        let start = Instant::now();
+        let mut pool_slot = self.pool.lock();
+        let pool: &WorkerPool =
+            pool_slot.get_or_insert_with(|| WorkerPool::new(self.threads.saturating_sub(1)));
+        let mut stats = ExecStats::default();
+        let order = plan.topo_order();
+        let mut outputs: Vec<Option<NodeOut>> = Vec::with_capacity(plan.len());
+        outputs.resize_with(plan.len(), || None);
+        for id in &order {
+            let input_ids = plan.inputs(*id).to_vec();
+            let out = self.execute_op(pool, plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let produced = batch::total_rows(&out.batches) as u64;
+            stats.intermediate_records += produced;
+            stats.peak_records = stats.peak_records.max(produced);
+            if let Some(limit) = self.record_limit {
+                if stats.intermediate_records > limit {
+                    return Err(ExecError::RecordLimitExceeded { limit });
+                }
+            }
+            outputs[id.0] = Some(out);
+        }
+        let NodeOut { batches, tags, .. } = outputs[plan.root().0]
+            .take()
+            .expect("root was executed last");
+        let mut records = Vec::with_capacity(batch::total_rows(&batches));
+        for b in &batches {
+            records.extend(b.to_records());
+        }
+        stats.elapsed_micros = start.elapsed().as_micros();
+        Ok(ExecResult {
+            records,
+            tags,
+            stats,
+        })
+    }
+
+    #[inline]
+    fn part(&self, v: VertexId) -> usize {
+        self.graph.partition_of(v)
+    }
+
+    #[inline]
+    fn partitions_opt(&self) -> Option<usize> {
+        Some(self.graph.partitions())
+    }
+
+    /// The partition a row currently sits on.
+    #[inline]
+    fn row_home(&self, batch: &RecordBatch, row: usize, home: Home) -> usize {
+        match home {
+            Home::Coordinator => 0,
+            Home::Tag(slot) => batch
+                .entry(slot, row)
+                .as_vertex()
+                .map(|v| self.part(v))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Measured rows shipped when gathering a node's output at the
+    /// coordinator (pipeline breakers, joins, unions).
+    fn gather_comm(&self, batches: &[RecordBatch], home: Home) -> u64 {
+        if self.graph.partitions() <= 1 || home == Home::Coordinator {
+            return 0;
+        }
+        batches
+            .iter()
+            .map(|b| {
+                (0..b.rows())
+                    .filter(|&r| self.row_home(b, r, home) != 0)
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Partition exchange: split every morsel by the partition owning the
+    /// vertex at `route_slot`, gathering per-partition sub-batches and
+    /// counting the rows that had to move from their current home.
+    fn shuffle_by<'a>(
+        &self,
+        pool: &WorkerPool,
+        batches: &'a [RecordBatch],
+        route_slot: usize,
+        home: Home,
+    ) -> (Vec<MorselSplit<'a>>, u64) {
+        let p = self.graph.partitions();
+        let aligned = home == Home::Tag(route_slot);
+        let splits: Vec<(MorselSplit<'a>, u64)> = par_map(pool, batches.len(), |mi| {
+            let batch = &batches[mi];
+            let mut owner = vec![-1i32; batch.rows()];
+            let mut sels: Vec<Vec<u32>> = vec![Vec::new(); p];
+            let mut moved = 0u64;
+            for (row, own) in owner.iter_mut().enumerate() {
+                let Some(v) = batch.entry(route_slot, row).as_vertex() else {
+                    continue;
+                };
+                let dest = self.part(v);
+                *own = dest as i32;
+                if p > 1 && !aligned && self.row_home(batch, row, home) != dest {
+                    moved += 1;
+                }
+                sels[dest].push(row as u32);
+            }
+            let subs = sels
+                .into_iter()
+                .enumerate()
+                .filter(|(_, sel)| !sel.is_empty())
+                .map(|(part, sel)| {
+                    let sub = if sel.len() == batch.rows() {
+                        Cow::Borrowed(batch)
+                    } else {
+                        Cow::Owned(batch.gather(&sel, batch.width()))
+                    };
+                    (part, sub, sel)
+                })
+                .collect();
+            (
+                MorselSplit {
+                    rows: batch.rows(),
+                    owner,
+                    subs,
+                },
+                moved,
+            )
+        });
+        let comm = splits.iter().map(|(_, m)| *m).sum();
+        (splits.into_iter().map(|(s, _)| s).collect(), comm)
+    }
+
+    /// Deterministic per-morsel merge after a partition-split expansion:
+    /// original input-row order, with each row's outputs taken (in kernel
+    /// emission order) from the sub-batch of the partition owning the row.
+    /// `sub_row(k, j)` names the sub-batch row backing output `j`; `push(b,
+    /// k, j)` appends output `j` of kernel `k` from sub-batch rows.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_morsel(
+        &self,
+        split: &MorselSplit<'_>,
+        kernel_of_sub: &[&KernelOut],
+        width: usize,
+        push: impl Fn(&mut BatchBuilder, usize, usize),
+    ) -> Vec<RecordBatch> {
+        let p = self.graph.partitions();
+        let mut sub_of_part = vec![usize::MAX; p];
+        for (si, (part, _, _)) in split.subs.iter().enumerate() {
+            sub_of_part[*part] = si;
+        }
+        let mut builder = BatchBuilder::new(width, self.batch_size);
+        let mut cursors = vec![0usize; split.subs.len()];
+        for row in 0..split.rows {
+            let part = split.owner[row];
+            if part < 0 {
+                continue;
+            }
+            let si = sub_of_part[part as usize];
+            let origs = &split.subs[si].2;
+            let k = kernel_of_sub[si];
+            let cur = &mut cursors[si];
+            while *cur < k.sel.len() && origs[k.sel[*cur] as usize] as usize == row {
+                push(&mut builder, si, *cur);
+                *cur += 1;
+            }
+        }
+        builder.finish()
+    }
+
+    fn take_input<'b>(
+        op: &'static str,
+        inputs: &[PhysicalNodeId],
+        outputs: &'b [Option<NodeOut>],
+        n: usize,
+    ) -> Result<Vec<&'b NodeOut>, ExecError> {
+        if inputs.len() != n {
+            return Err(ExecError::ArityMismatch {
+                op,
+                expected: n,
+                actual: inputs.len(),
+            });
+        }
+        Ok(inputs
+            .iter()
+            .map(|i| {
+                outputs[i.0]
+                    .as_ref()
+                    .expect("inputs executed before consumers")
+            })
+            .collect())
+    }
+
+    fn execute_op(
+        &self,
+        pool: &WorkerPool,
+        op: &PhysicalOp,
+        inputs: &[PhysicalNodeId],
+        outputs: &[Option<NodeOut>],
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        match op {
+            PhysicalOp::Scan {
+                alias,
+                constraint,
+                predicate,
+            } => Ok(self.run_scan(pool, alias, constraint, predicate)),
+            PhysicalOp::EdgeExpand {
+                src,
+                edge_alias,
+                edge_constraint,
+                direction,
+                dst_alias,
+                dst_constraint,
+                dst_predicate,
+                edge_predicate,
+            } => {
+                let input = Self::take_input("EdgeExpand", inputs, outputs, 1)?[0];
+                let args = EdgeExpandArgs {
+                    src,
+                    edge_alias: edge_alias.as_deref(),
+                    edge_constraint,
+                    direction: *direction,
+                    dst_alias,
+                    dst_constraint,
+                    dst_predicate,
+                    edge_predicate,
+                };
+                self.run_edge_expand(pool, input, &args, stats)
+            }
+            PhysicalOp::ExpandInto {
+                src,
+                dst,
+                edge_constraint,
+                direction,
+                edge_alias,
+                edge_predicate,
+            } => {
+                let input = Self::take_input("ExpandInto", inputs, outputs, 1)?[0];
+                self.run_expand_into(
+                    pool,
+                    input,
+                    src,
+                    dst,
+                    edge_constraint,
+                    *direction,
+                    edge_alias.as_deref(),
+                    edge_predicate,
+                    stats,
+                )
+            }
+            PhysicalOp::ExpandIntersect {
+                steps,
+                dst_alias,
+                dst_constraint,
+                dst_predicate,
+            } => {
+                let input = Self::take_input("ExpandIntersect", inputs, outputs, 1)?[0];
+                self.run_expand_intersect(
+                    pool,
+                    input,
+                    steps,
+                    dst_alias,
+                    dst_constraint,
+                    dst_predicate,
+                    stats,
+                )
+            }
+            PhysicalOp::PathExpand {
+                src,
+                dst_alias,
+                edge_constraint,
+                direction,
+                min_hops,
+                max_hops,
+                semantics,
+                path_alias,
+            } => {
+                let input = Self::take_input("PathExpand", inputs, outputs, 1)?[0];
+                self.run_path_expand(
+                    pool,
+                    input,
+                    src,
+                    dst_alias,
+                    edge_constraint,
+                    *direction,
+                    *min_hops,
+                    *max_hops,
+                    *semantics,
+                    path_alias.as_deref(),
+                    stats,
+                )
+            }
+            PhysicalOp::Select { predicate } => {
+                let input = Self::take_input("Select", inputs, outputs, 1)?[0];
+                let tags = input.tags.clone();
+                let outs: Vec<Vec<RecordBatch>> = par_map(pool, input.batches.len(), |mi| {
+                    relational::select_batches(
+                        self.graph,
+                        std::slice::from_ref(&input.batches[mi]),
+                        &tags,
+                        predicate,
+                        self.batch_size,
+                    )
+                });
+                Ok(NodeOut {
+                    batches: outs.into_iter().flatten().collect(),
+                    tags,
+                    home: input.home,
+                })
+            }
+            PhysicalOp::Project { items } => self.run_project(
+                pool,
+                Self::take_input("Project", inputs, outputs, 1)?[0],
+                items,
+                stats,
+            ),
+            PhysicalOp::PropertyFetch { tag, props } => {
+                let input = Self::take_input("PropertyFetch", inputs, outputs, 1)?[0];
+                let mut tags = input.tags.clone();
+                let batches = relational::property_fetch_batches(
+                    self.graph,
+                    &input.batches,
+                    &mut tags,
+                    tag,
+                    props,
+                )?;
+                Ok(NodeOut {
+                    batches,
+                    tags,
+                    home: input.home,
+                })
+            }
+            PhysicalOp::HashGroup { keys, aggs } => self.run_hash_group(
+                pool,
+                Self::take_input("HashGroup", inputs, outputs, 1)?[0],
+                keys,
+                aggs,
+                stats,
+            ),
+            PhysicalOp::OrderLimit { keys, limit } => self.run_order_limit(
+                pool,
+                Self::take_input("OrderLimit", inputs, outputs, 1)?[0],
+                keys,
+                *limit,
+                stats,
+            ),
+            PhysicalOp::Limit { count } => {
+                let input = Self::take_input("Limit", inputs, outputs, 1)?[0];
+                Ok(NodeOut {
+                    batches: relational::limit_batches(&input.batches, *count),
+                    tags: input.tags.clone(),
+                    home: input.home,
+                })
+            }
+            PhysicalOp::Dedup { keys } => self.run_dedup(
+                pool,
+                Self::take_input("Dedup", inputs, outputs, 1)?[0],
+                keys,
+                stats,
+            ),
+            PhysicalOp::HashJoin { keys, kind } => {
+                let input = Self::take_input("HashJoin", inputs, outputs, 2)?;
+                let (l, r) = (input[0], input[1]);
+                stats.comm_records += self.gather_comm(&l.batches, l.home);
+                stats.comm_records += self.gather_comm(&r.batches, r.home);
+                let (batches, tags, _) = relational::hash_join_batches(
+                    self.graph,
+                    &l.batches,
+                    &l.tags,
+                    &r.batches,
+                    &r.tags,
+                    keys,
+                    *kind,
+                    None,
+                    self.batch_size,
+                )?;
+                Ok(NodeOut {
+                    batches,
+                    tags,
+                    home: Home::Coordinator,
+                })
+            }
+            PhysicalOp::Union => {
+                if inputs.is_empty() {
+                    return Err(ExecError::ArityMismatch {
+                        op: "Union",
+                        expected: 2,
+                        actual: 0,
+                    });
+                }
+                let gathered: Vec<&NodeOut> = inputs
+                    .iter()
+                    .map(|i| outputs[i.0].as_ref().expect("inputs executed"))
+                    .collect();
+                for n in &gathered {
+                    stats.comm_records += self.gather_comm(&n.batches, n.home);
+                }
+                let pairs: Vec<(&[RecordBatch], &TagMap)> = gathered
+                    .iter()
+                    .map(|n| (n.batches.as_slice(), &n.tags))
+                    .collect();
+                let (batches, tags) = relational::union_batches(&pairs);
+                Ok(NodeOut {
+                    batches,
+                    tags,
+                    home: Home::Coordinator,
+                })
+            }
+        }
+    }
+
+    fn run_scan(
+        &self,
+        pool: &WorkerPool,
+        alias: &str,
+        constraint: &TypeConstraint,
+        predicate: &Option<Expr>,
+    ) -> NodeOut {
+        let mut tags = TagMap::new();
+        let slot = tags.slot_or_insert(alias);
+        let width = tags.len();
+        let labels =
+            constraint.materialize(&self.graph.schema().vertex_label_ids().collect::<Vec<_>>());
+        let compiled = predicate
+            .as_ref()
+            .map(|p| CompiledExpr::compile(p, &tags, self.graph));
+        let chunk = self.batch_size;
+        let mut units: Vec<&[VertexId]> = Vec::new();
+        for l in &labels {
+            for c in self.graph.vertices_with_label(*l).chunks(chunk) {
+                units.push(c);
+            }
+        }
+        let probe = RecordBatch::new(width);
+        let kept: Vec<Vec<VertexId>> = par_map(pool, units.len(), |u| {
+            units[u]
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    if !constraint.contains(self.graph.vertex_label(v)) {
+                        return false;
+                    }
+                    match &compiled {
+                        None => true,
+                        Some(p) => {
+                            let overrides = [(slot, EntryRef::Vertex(v))];
+                            p.eval_predicate(&BatchRow {
+                                graph: self.graph,
+                                batch: &probe,
+                                row: 0,
+                                overrides: &overrides,
+                            })
+                        }
+                    }
+                })
+                .collect()
+        });
+        // reassemble in (label, chunk) order — the oracle's scan order — and
+        // cut into morsels
+        let mut batches = Vec::new();
+        let mut cur: Vec<VertexId> = Vec::new();
+        let flush = |ids: Vec<VertexId>, batches: &mut Vec<RecordBatch>| {
+            let rows = ids.len();
+            let mut b = RecordBatch::new(0);
+            b.set_column(slot, Column::vertices(ids));
+            if b.width() < width {
+                b.set_column(width - 1, Column::nulls(rows));
+            }
+            batches.push(b);
+        };
+        for ks in kept {
+            for v in ks {
+                cur.push(v);
+                if cur.len() == self.batch_size {
+                    flush(std::mem::take(&mut cur), &mut batches);
+                }
+            }
+        }
+        if !cur.is_empty() {
+            flush(cur, &mut batches);
+        }
+        NodeOut {
+            batches,
+            tags,
+            home: Home::Tag(slot),
+        }
+    }
+
+    fn run_edge_expand(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        args: &EdgeExpandArgs<'_>,
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        let mut tags = input.tags.clone();
+        let compiled = EdgeExpandCompiled::resolve(self.graph, &mut tags, args)?;
+        let width = tags.len();
+        let (splits, comm_in) =
+            self.shuffle_by(pool, &input.batches, compiled.src_slot, input.home);
+        stats.comm_records += comm_in;
+
+        // flat task list over (morsel, sub-batch)
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
+        for (mi, split) in splits.iter().enumerate() {
+            let mut per = Vec::with_capacity(split.subs.len());
+            for si in 0..split.subs.len() {
+                per.push(tasks.len());
+                tasks.push((mi, si));
+            }
+            task_of.push(per);
+        }
+        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+            let (mi, si) = tasks[t];
+            let sub = &splits[mi].subs[si].1;
+            let mut sel = Vec::new();
+            let mut dst_vals = Vec::new();
+            let mut edge_vals = Vec::new();
+            let mut candidates = Vec::new();
+            let comm = expand::edge_expand_kernel(
+                self.graph,
+                sub,
+                &compiled,
+                self.partitions_opt(),
+                &mut candidates,
+                &mut sel,
+                &mut dst_vals,
+                &mut edge_vals,
+            );
+            KernelOut {
+                sel,
+                dst_vals,
+                edge_vals,
+                comm,
+            }
+        });
+        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
+
+        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+            let split = &splits[mi];
+            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
+            // fast path: every routed row of this morsel lives on one shard,
+            // so kernel emission order IS the oracle order — gather columns
+            // instead of copying row by row
+            if let [(_, sub, _)] = split.subs.as_slice() {
+                let k = ks[0];
+                let mut out = Vec::new();
+                expand::flush_selection(
+                    sub,
+                    &k.sel,
+                    width,
+                    self.batch_size,
+                    Some((compiled.dst_slot, &k.dst_vals)),
+                    compiled.edge_slot.map(|es| (es, k.edge_vals.as_slice())),
+                    &mut out,
+                );
+                return out;
+            }
+            self.merge_morsel(split, &ks, width, |builder, si, j| {
+                let k = ks[si];
+                let sub = &split.subs[si].1;
+                let mut overrides = [
+                    (compiled.dst_slot, EntryRef::Vertex(k.dst_vals[j])),
+                    (usize::MAX, EntryRef::Null),
+                ];
+                let n = match compiled.edge_slot {
+                    Some(es) => {
+                        overrides[1] = (es, EntryRef::Edge(k.edge_vals[j]));
+                        2
+                    }
+                    None => 1,
+                };
+                builder.push_row_from(sub, k.sel[j] as usize, &overrides[..n]);
+            })
+        });
+        Ok(NodeOut {
+            batches: merged.into_iter().flatten().collect(),
+            tags,
+            home: Home::Tag(compiled.dst_slot),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_expand_into(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        src: &str,
+        dst: &str,
+        edge_constraint: &TypeConstraint,
+        direction: gopt_gir::pattern::Direction,
+        edge_alias: Option<&str>,
+        edge_predicate: &Option<Expr>,
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        let mut tags = input.tags.clone();
+        let src_slot = tags
+            .slot(src)
+            .ok_or_else(|| ExecError::UnboundTag(src.to_string()))?;
+        let dst_slot = tags
+            .slot(dst)
+            .ok_or_else(|| ExecError::UnboundTag(dst.to_string()))?;
+        let edge_slot = edge_alias.map(|a| tags.slot_or_insert(a));
+        let width = tags.len();
+        let labels = expand::edge_labels(self.graph, edge_constraint);
+        let edge_pred = edge_predicate
+            .as_ref()
+            .map(|p| CompiledExpr::compile(p, &tags, self.graph));
+        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, src_slot, input.home);
+        stats.comm_records += comm_in;
+
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
+        for (mi, split) in splits.iter().enumerate() {
+            let mut per = Vec::with_capacity(split.subs.len());
+            for si in 0..split.subs.len() {
+                per.push(tasks.len());
+                tasks.push((mi, si));
+            }
+            task_of.push(per);
+        }
+        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+            let (mi, si) = tasks[t];
+            let sub = &splits[mi].subs[si].1;
+            let mut sel = Vec::new();
+            let mut edge_vals = Vec::new();
+            let comm = expand::expand_into_kernel(
+                self.graph,
+                sub,
+                src_slot,
+                dst_slot,
+                edge_slot,
+                &labels,
+                direction,
+                edge_pred.as_ref(),
+                self.partitions_opt(),
+                &mut sel,
+                &mut edge_vals,
+            );
+            KernelOut {
+                sel,
+                dst_vals: Vec::new(),
+                edge_vals,
+                comm,
+            }
+        });
+        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
+
+        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+            let split = &splits[mi];
+            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
+            if let [(_, sub, _)] = split.subs.as_slice() {
+                let k = ks[0];
+                let mut out = Vec::new();
+                expand::flush_selection(
+                    sub,
+                    &k.sel,
+                    width,
+                    self.batch_size,
+                    None,
+                    edge_slot.map(|es| (es, k.edge_vals.as_slice())),
+                    &mut out,
+                );
+                return out;
+            }
+            self.merge_morsel(split, &ks, width, |builder, si, j| {
+                let k = ks[si];
+                let sub = &split.subs[si].1;
+                match edge_slot {
+                    Some(es) => builder.push_row_from(
+                        sub,
+                        k.sel[j] as usize,
+                        &[(es, EntryRef::Edge(k.edge_vals[j]))],
+                    ),
+                    None => builder.push_row_from(sub, k.sel[j] as usize, &[]),
+                }
+            })
+        });
+        Ok(NodeOut {
+            batches: merged.into_iter().flatten().collect(),
+            tags,
+            home: Home::Tag(src_slot),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_expand_intersect(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        steps: &[IntersectStep],
+        dst_alias: &str,
+        dst_constraint: &TypeConstraint,
+        dst_predicate: &Option<Expr>,
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        let mut tags = input.tags.clone();
+        let dst_slot = tags.slot_or_insert(dst_alias);
+        let mut step_slots = Vec::with_capacity(steps.len());
+        for s in steps {
+            step_slots.push(
+                tags.slot(&s.src)
+                    .ok_or_else(|| ExecError::UnboundTag(s.src.clone()))?,
+            );
+        }
+        let width = tags.len();
+        let step_labels: Vec<Vec<gopt_graph::LabelId>> = steps
+            .iter()
+            .map(|s| expand::edge_labels(self.graph, &s.edge_constraint))
+            .collect();
+        let dst_pred = dst_predicate
+            .as_ref()
+            .map(|p| CompiledExpr::compile(p, &tags, self.graph));
+        // rows are shipped to (and intersected on) the first step source's
+        // partition
+        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, step_slots[0], input.home);
+        stats.comm_records += comm_in;
+
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
+        for (mi, split) in splits.iter().enumerate() {
+            let mut per = Vec::with_capacity(split.subs.len());
+            for si in 0..split.subs.len() {
+                per.push(tasks.len());
+                tasks.push((mi, si));
+            }
+            task_of.push(per);
+        }
+        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+            let (mi, si) = tasks[t];
+            let (part, sub, _) = &splits[mi].subs[si];
+            let mut sel = Vec::new();
+            let mut dst_vals = Vec::new();
+            let mut scratch = IntersectScratch::default();
+            let mut comm = expand::expand_intersect_kernel(
+                self.graph,
+                sub,
+                steps,
+                &step_slots,
+                &step_labels,
+                dst_slot,
+                dst_constraint,
+                dst_pred.as_ref(),
+                self.partitions_opt(),
+                &mut scratch,
+                &mut sel,
+                &mut dst_vals,
+            );
+            // expand-boundary shuffle: outputs routed to the target vertex's
+            // partition
+            if self.graph.partitions() > 1 {
+                comm += dst_vals.iter().filter(|&&d| self.part(d) != *part).count() as u64;
+            }
+            KernelOut {
+                sel,
+                dst_vals,
+                edge_vals: Vec::new(),
+                comm,
+            }
+        });
+        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
+
+        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+            let split = &splits[mi];
+            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
+            if let [(_, sub, _)] = split.subs.as_slice() {
+                let k = ks[0];
+                let mut out = Vec::new();
+                expand::flush_selection(
+                    sub,
+                    &k.sel,
+                    width,
+                    self.batch_size,
+                    Some((dst_slot, &k.dst_vals)),
+                    None,
+                    &mut out,
+                );
+                return out;
+            }
+            self.merge_morsel(split, &ks, width, |builder, si, j| {
+                let k = ks[si];
+                let sub = &split.subs[si].1;
+                builder.push_row_from(
+                    sub,
+                    k.sel[j] as usize,
+                    &[(dst_slot, EntryRef::Vertex(k.dst_vals[j]))],
+                );
+            })
+        });
+        Ok(NodeOut {
+            batches: merged.into_iter().flatten().collect(),
+            tags,
+            home: Home::Tag(dst_slot),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_path_expand(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        src: &str,
+        dst_alias: &str,
+        edge_constraint: &TypeConstraint,
+        direction: gopt_gir::pattern::Direction,
+        min_hops: u32,
+        max_hops: u32,
+        semantics: gopt_gir::pattern::PathSemantics,
+        path_alias: Option<&str>,
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        let mut tags = input.tags.clone();
+        let src_slot = tags
+            .slot(src)
+            .ok_or_else(|| ExecError::UnboundTag(src.to_string()))?;
+        let dst_slot = tags.slot_or_insert(dst_alias);
+        let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
+        let width = tags.len();
+        let labels = expand::edge_labels(self.graph, edge_constraint);
+        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, src_slot, input.home);
+        stats.comm_records += comm_in;
+
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
+        for (mi, split) in splits.iter().enumerate() {
+            let mut per = Vec::with_capacity(split.subs.len());
+            for si in 0..split.subs.len() {
+                per.push(tasks.len());
+                tasks.push((mi, si));
+            }
+            task_of.push(per);
+        }
+        // per sub-batch: fully materialised output rows (one oversized batch)
+        // plus the producing sub-row per output row; communication follows the
+        // traversal model (every partition-crossing hop counts)
+        let kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> = par_map(pool, tasks.len(), |t| {
+            let (mi, si) = tasks[t];
+            let sub = &splits[mi].subs[si].1;
+            let mut builder = BatchBuilder::new(width, usize::MAX);
+            let mut origs: Vec<u32> = Vec::new();
+            let mut comm = 0u64;
+            for row in 0..sub.rows() {
+                let Some(start) = sub.entry(src_slot, row).as_vertex() else {
+                    continue;
+                };
+                expand::expand_paths(
+                    self.graph,
+                    start,
+                    &labels,
+                    direction,
+                    min_hops,
+                    max_hops,
+                    semantics,
+                    self.partitions_opt(),
+                    &mut comm,
+                    |path| {
+                        let dst = *path.last().expect("non-empty");
+                        let mut overrides = [
+                            (dst_slot, EntryRef::Vertex(dst)),
+                            (usize::MAX, EntryRef::Null),
+                        ];
+                        let used = match path_slot {
+                            Some(ps) => {
+                                overrides[1] = (ps, EntryRef::Path(path));
+                                2
+                            }
+                            None => 1,
+                        };
+                        builder.push_row_from(sub, row, &overrides[..used]);
+                        origs.push(row as u32);
+                    },
+                );
+            }
+            (builder.finish(), origs, comm)
+        });
+        stats.comm_records += kouts.iter().map(|(_, _, c)| *c).sum::<u64>();
+
+        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+            let split = &splits[mi];
+            // merge by the ORIGIN row of each output: rows were materialised
+            // by the kernels, so the merge copies from the per-sub out batch
+            let p = self.graph.partitions();
+            let mut sub_of_part = vec![usize::MAX; p];
+            for (si, (part, _, _)) in split.subs.iter().enumerate() {
+                sub_of_part[*part] = si;
+            }
+            let mut builder = BatchBuilder::new(width, self.batch_size);
+            let mut cursors = vec![0usize; split.subs.len()];
+            for row in 0..split.rows {
+                let part = split.owner[row];
+                if part < 0 {
+                    continue;
+                }
+                let si = sub_of_part[part as usize];
+                let origs_of_sub = &split.subs[si].2;
+                let (out_batches, out_origs, _) = &kouts[task_of[mi][si]];
+                let cur = &mut cursors[si];
+                while *cur < out_origs.len()
+                    && origs_of_sub[out_origs[*cur] as usize] as usize == row
+                {
+                    if let Some(out) = out_batches.first() {
+                        builder.push_row_from(out, *cur, &[]);
+                    }
+                    *cur += 1;
+                }
+            }
+            builder.finish()
+        });
+        Ok(NodeOut {
+            batches: merged.into_iter().flatten().collect(),
+            tags,
+            home: Home::Tag(dst_slot),
+        })
+    }
+
+    fn run_project(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        items: &[(Expr, String)],
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        let in_tags = input.tags.clone();
+        let outs: Vec<(Vec<RecordBatch>, TagMap)> = par_map(pool, input.batches.len(), |mi| {
+            relational::project_batches(
+                self.graph,
+                std::slice::from_ref(&input.batches[mi]),
+                &in_tags,
+                items,
+            )
+        });
+        // out tags are identical per morsel; recompute for the empty case
+        let tags = outs
+            .first()
+            .map(|(_, t)| t.clone())
+            .unwrap_or_else(|| relational::project_batches(self.graph, &[], &in_tags, items).1);
+        // rows do not move, but a projection that drops the distribution tag
+        // loses the rows' placement: collect them at the coordinator
+        let home = match input.home {
+            Home::Coordinator => Home::Coordinator,
+            Home::Tag(r) => {
+                let kept = items.iter().position(
+                    |(expr, _)| matches!(expr, Expr::Tag(t) if in_tags.slot(t) == Some(r)),
+                );
+                match kept {
+                    Some(out_slot) => Home::Tag(out_slot),
+                    None => {
+                        stats.comm_records += self.gather_comm(&input.batches, input.home);
+                        Home::Coordinator
+                    }
+                }
+            }
+        };
+        Ok(NodeOut {
+            batches: outs.into_iter().flat_map(|(b, _)| b).collect(),
+            tags,
+            home,
+        })
+    }
+
+    fn run_hash_group(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        keys: &[(Expr, String)],
+        aggs: &[(AggFunc, Expr, String)],
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        let tags = &input.tags;
+        let mut out_tags = TagMap::new();
+        let mut key_passthrough: Vec<Option<usize>> = Vec::new();
+        for (expr, alias) in keys {
+            out_tags.slot_or_insert(alias);
+            key_passthrough.push(match expr {
+                Expr::Tag(t) => tags.slot(t),
+                _ => None,
+            });
+        }
+        for (_, _, alias) in aggs {
+            out_tags.slot_or_insert(alias);
+        }
+        let key_exprs: Vec<CompiledExpr> = keys
+            .iter()
+            .map(|(e, _)| CompiledExpr::compile(e, tags, self.graph))
+            .collect();
+        let agg_exprs: Vec<CompiledExpr> = aggs
+            .iter()
+            .map(|(_, e, _)| CompiledExpr::compile(e, tags, self.graph))
+            .collect();
+        // per-worker partial state: evaluated key and aggregate inputs
+        type Evaluated = (Vec<Vec<PropValue>>, Vec<Vec<PropValue>>);
+        let evals: Vec<Evaluated> = par_map(pool, input.batches.len(), |mi| {
+            let batch = &input.batches[mi];
+            let mut key_rows = Vec::with_capacity(batch.rows());
+            let mut agg_rows = Vec::with_capacity(batch.rows());
+            for row in 0..batch.rows() {
+                key_rows.push(
+                    key_exprs
+                        .iter()
+                        .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                        .collect::<Vec<_>>(),
+                );
+                agg_rows.push(
+                    agg_exprs
+                        .iter()
+                        .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            (key_rows, agg_rows)
+        });
+        // deterministic merge: fold morsels in oracle order so group
+        // first-encounter order and accumulator update order match the
+        // sequential engines bit for bit
+        let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
+        let mut group_order: Vec<Vec<PropValue>> = Vec::new();
+        for (mi, (key_rows, agg_rows)) in evals.into_iter().enumerate() {
+            let batch = &input.batches[mi];
+            for (row, (key_vals, agg_vals)) in key_rows.into_iter().zip(agg_rows).enumerate() {
+                let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
+                    group_order.push(key_vals.clone());
+                    let reps = key_passthrough
+                        .iter()
+                        .enumerate()
+                        .map(|(i, pt)| match pt {
+                            Some(slot) => batch.entry(*slot, row).to_entry(),
+                            None => Entry::Value(key_vals[i].clone()),
+                        })
+                        .collect();
+                    let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
+                    (reps, accs)
+                });
+                for (acc, v) in entry.1.iter_mut().zip(agg_vals) {
+                    acc.update(v);
+                }
+            }
+        }
+        let mut builder = BatchBuilder::new(out_tags.len(), self.batch_size);
+        for k in group_order {
+            let (reps, accs) = groups.remove(&k).expect("group exists");
+            let finished: Vec<Entry> = accs
+                .into_iter()
+                .map(|acc| Entry::Value(acc.finish()))
+                .collect();
+            builder.push_row(reps.iter().chain(finished.iter()).map(EntryRef::from_entry));
+        }
+        Ok(NodeOut {
+            batches: builder.finish(),
+            tags: out_tags,
+            home: Home::Coordinator,
+        })
+    }
+
+    fn run_order_limit(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        keys: &[(Expr, SortDir)],
+        limit: Option<usize>,
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        let tags = input.tags.clone();
+        let compiled: Vec<CompiledExpr> = keys
+            .iter()
+            .map(|(e, _)| CompiledExpr::compile(e, &tags, self.graph))
+            .collect();
+        // per-worker partial state: evaluated keys + a stable local sort
+        type Sorted = (Vec<Vec<PropValue>>, Vec<u32>);
+        let sorted: Vec<Sorted> = par_map(pool, input.batches.len(), |mi| {
+            let batch = &input.batches[mi];
+            let key_rows: Vec<Vec<PropValue>> = (0..batch.rows())
+                .map(|row| {
+                    compiled
+                        .iter()
+                        .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                        .collect()
+                })
+                .collect();
+            let mut order: Vec<u32> = (0..batch.rows() as u32).collect();
+            order.sort_by(|&a, &b| {
+                relational::cmp_sort_keys(&key_rows[a as usize], &key_rows[b as usize], keys)
+            });
+            (key_rows, order)
+        });
+        // deterministic k-way merge: smallest key first, ties resolved by
+        // morsel index — exactly the oracle's stable global sort
+        let total: usize = input.batches.iter().map(|b| b.rows()).sum();
+        let take = limit.unwrap_or(total).min(total);
+        let mut cursors = vec![0usize; sorted.len()];
+        let mut builder = BatchBuilder::new(tags.len(), self.batch_size);
+        for _ in 0..take {
+            let mut best: Option<usize> = None;
+            for (mi, (key_rows, order)) in sorted.iter().enumerate() {
+                if cursors[mi] >= order.len() {
+                    continue;
+                }
+                match best {
+                    None => best = Some(mi),
+                    Some(b) => {
+                        let (bk, border) = &sorted[b];
+                        let ord = relational::cmp_sort_keys(
+                            &key_rows[order[cursors[mi]] as usize],
+                            &bk[border[cursors[b]] as usize],
+                            keys,
+                        );
+                        if ord == std::cmp::Ordering::Less {
+                            best = Some(mi);
+                        }
+                    }
+                }
+            }
+            let Some(mi) = best else { break };
+            let row = sorted[mi].1[cursors[mi]] as usize;
+            cursors[mi] += 1;
+            builder.push_row_from(&input.batches[mi], row, &[]);
+        }
+        Ok(NodeOut {
+            batches: builder.finish(),
+            tags,
+            home: Home::Coordinator,
+        })
+    }
+
+    fn run_dedup(
+        &self,
+        pool: &WorkerPool,
+        input: &NodeOut,
+        keys: &[Expr],
+        stats: &mut ExecStats,
+    ) -> Result<NodeOut, ExecError> {
+        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        let tags = input.tags.clone();
+        let compiled: Vec<CompiledExpr> = keys
+            .iter()
+            .map(|e| CompiledExpr::compile(e, &tags, self.graph))
+            .collect();
+        // per-worker partial state: evaluated dedup keys
+        let key_rows: Vec<Vec<Vec<PropValue>>> = par_map(pool, input.batches.len(), |mi| {
+            let batch = &input.batches[mi];
+            let width = relational::keyless_dedup_width(&tags, batch.width());
+            (0..batch.rows())
+                .map(|row| {
+                    if compiled.is_empty() {
+                        (0..width).map(|s| batch.entry(s, row).to_value()).collect()
+                    } else {
+                        compiled
+                            .iter()
+                            .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                            .collect()
+                    }
+                })
+                .collect()
+        });
+        // deterministic merge: first-occurrence wins in oracle order
+        let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
+        let mut batches = Vec::new();
+        for (mi, rows) in key_rows.into_iter().enumerate() {
+            let batch = &input.batches[mi];
+            let mut sel: Vec<u32> = Vec::new();
+            for (row, key) in rows.into_iter().enumerate() {
+                if seen.insert(key) {
+                    sel.push(row as u32);
+                }
+            }
+            if sel.len() == batch.rows() {
+                batches.push(batch.clone());
+            } else if !sel.is_empty() {
+                batches.push(batch.gather(&sel, batch.width()));
+            }
+        }
+        Ok(NodeOut {
+            batches,
+            tags,
+            home: Home::Coordinator,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use gopt_gir::pattern::Direction;
+    use gopt_graph::generator::{random_graph, RandomGraphConfig};
+    use gopt_graph::schema::fig6_schema;
+    use gopt_graph::PropertyGraph;
+
+    fn graph() -> PropertyGraph {
+        random_graph(
+            &fig6_schema(),
+            &RandomGraphConfig {
+                vertices_per_label: 12,
+                edges_per_endpoint: 40,
+                seed: 5,
+            },
+        )
+    }
+
+    fn chain_plan(g: &PropertyGraph) -> PhysicalPlan {
+        let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+        let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person.clone(),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "a".into(),
+            edge_alias: Some("e".into()),
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            dst_alias: "b".into(),
+            dst_constraint: person.clone(),
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "b".into(),
+            edge_alias: None,
+            edge_constraint: knows,
+            direction: Direction::Out,
+            dst_alias: "c".into(),
+            dst_constraint: person,
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+        plan.push(PhysicalOp::Dedup { keys: vec![] });
+        plan
+    }
+
+    #[test]
+    fn parallel_rows_match_the_scalar_oracle_in_order() {
+        let g = graph();
+        let plan = chain_plan(&g);
+        let oracle = Engine::new(&g, EngineConfig::default())
+            .execute(&plan)
+            .unwrap();
+        for parts in [1usize, 2, 4] {
+            let pg = PartitionedGraph::build(&g, parts);
+            let mut comm_per_thread = Vec::new();
+            for threads in [1usize, 2, 4] {
+                for bs in [3usize, 1024] {
+                    let res = ParallelEngine::new(&pg)
+                        .with_threads(threads)
+                        .with_batch_size(bs)
+                        .execute(&plan)
+                        .unwrap();
+                    // exact row order, not just multiset
+                    assert_eq!(res.rows(), oracle.rows(), "p={parts} t={threads} bs={bs}");
+                    assert_eq!(
+                        res.stats.intermediate_records,
+                        oracle.stats.intermediate_records
+                    );
+                    assert_eq!(res.stats.peak_records, oracle.stats.peak_records);
+                    if bs == 1024 {
+                        comm_per_thread.push(res.stats.comm_records);
+                    }
+                }
+            }
+            assert!(
+                comm_per_thread.windows(2).all(|w| w[0] == w[1]),
+                "comm stable across threads: {comm_per_thread:?}"
+            );
+            if parts == 1 {
+                assert_eq!(comm_per_thread[0], 0, "single partition ships nothing");
+            } else {
+                assert!(comm_per_thread[0] > 0, "p={parts} measured shuffles");
+            }
+        }
+    }
+
+    #[test]
+    fn record_limit_aborts_like_the_oracle() {
+        let g = graph();
+        let plan = chain_plan(&g);
+        let pg = PartitionedGraph::build(&g, 2);
+        let err = ParallelEngine::new(&pg)
+            .with_threads(2)
+            .with_record_limit(Some(3))
+            .execute(&plan);
+        assert!(matches!(
+            err,
+            Err(ExecError::RecordLimitExceeded { limit: 3 })
+        ));
+        assert!(matches!(
+            ParallelEngine::new(&pg).execute(&PhysicalPlan::new()),
+            Err(ExecError::EmptyPlan)
+        ));
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&pool, 16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "the task panic reaches the caller");
+        // the pool survives and runs subsequent phases normally
+        let ok = par_map(&pool, 8, |i| i + 1);
+        assert_eq!(ok, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for n in [0usize, 1, 7, 257] {
+            let got = par_map(&pool, n, |i| i * 2);
+            assert_eq!(got, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        // several phases reuse the same workers
+        let sum: usize = par_map(&pool, 100, |i| i).into_iter().sum();
+        assert_eq!(sum, 4950);
+    }
+}

@@ -18,7 +18,7 @@ use crate::error::ExecError;
 use crate::record::{Entry, Record, RecordContext, TagMap};
 use gopt_gir::expr::{AggFunc, Expr, SortDir};
 use gopt_gir::logical::JoinType;
-use gopt_graph::{PropValue, PropertyGraph};
+use gopt_graph::{GraphView, PropValue, PropertyGraph};
 use std::collections::HashMap;
 
 fn eval(graph: &PropertyGraph, tags: &TagMap, record: &Record, expr: &Expr) -> PropValue {
@@ -207,7 +207,7 @@ pub fn hash_group(
 
 /// Aggregate accumulator.
 #[derive(Debug, Clone)]
-struct Accumulator {
+pub(crate) struct Accumulator {
     func: AggFunc,
     count: u64,
     sum: f64,
@@ -218,7 +218,7 @@ struct Accumulator {
 }
 
 impl Accumulator {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         Accumulator {
             func,
             count: 0,
@@ -230,7 +230,7 @@ impl Accumulator {
         }
     }
 
-    fn update(&mut self, v: PropValue) {
+    pub(crate) fn update(&mut self, v: PropValue) {
         if v.is_null() {
             return;
         }
@@ -255,7 +255,7 @@ impl Accumulator {
         }
     }
 
-    fn finish(self) -> PropValue {
+    pub(crate) fn finish(self) -> PropValue {
         match self.func {
             AggFunc::Count => PropValue::Int(self.count as i64),
             AggFunc::CountDistinct => PropValue::Int(self.distinct.len() as i64),
@@ -296,25 +296,42 @@ pub fn order_limit(
             )
         })
         .collect();
-    keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, (_, dir)) in keys.iter().enumerate() {
-            let ord = ka[i].cmp(&kb[i]);
-            let ord = match dir {
-                SortDir::Asc => ord,
-                SortDir::Desc => ord.reverse(),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(ka, kb, keys));
     let take = limit.unwrap_or(keyed.len());
     keyed
         .into_iter()
         .take(take)
         .map(|(_, r)| r.clone())
         .collect()
+}
+
+/// Compare two evaluated sort-key rows under the per-key directions — the one
+/// comparator every ordering path (scalar, batched, parallel merge) shares.
+pub(crate) fn cmp_sort_keys(
+    a: &[PropValue],
+    b: &[PropValue],
+    keys: &[(Expr, SortDir)],
+) -> std::cmp::Ordering {
+    for (i, (_, dir)) in keys.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = match dir {
+            SortDir::Asc => ord,
+            SortDir::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// The row width keyless `Dedup` compares over: every tag slot, plus any
+/// physical slots beyond the tag map. Records shorter than this are padded
+/// with nulls, so two records representing the same logical row compare equal
+/// regardless of their physical entry-vector length. Extracted so the scalar,
+/// batched and parallel deduplication paths cannot drift on the invariant.
+pub(crate) fn keyless_dedup_width(tags: &TagMap, physical_len: usize) -> usize {
+    tags.len().max(physical_len)
 }
 
 /// Keep the first `count` records.
@@ -334,7 +351,7 @@ pub fn dedup(graph: &PropertyGraph, input: &[Record], tags: &TagMap, keys: &[Exp
     let mut out = Vec::new();
     for r in input {
         let key: Vec<PropValue> = if keys.is_empty() {
-            (0..tags.len().max(r.len()))
+            (0..keyless_dedup_width(tags, r.len()))
                 .map(|s| r.get(s).to_value())
                 .collect()
         } else {
@@ -471,8 +488,8 @@ use crate::batch::{
 };
 
 #[inline]
-fn batch_eval(
-    graph: &PropertyGraph,
+pub(crate) fn batch_eval<G: GraphView>(
+    graph: &G,
     batch: &RecordBatch,
     row: usize,
     expr: &CompiledExpr,
@@ -487,8 +504,8 @@ fn batch_eval(
 
 /// Batched [`select`]: the predicate is compiled once, rows are kept through a
 /// selection vector and gathered column-by-column.
-pub fn select_batches(
-    graph: &PropertyGraph,
+pub fn select_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &TagMap,
     predicate: &Expr,
@@ -522,8 +539,8 @@ pub fn select_batches(
 
 /// Batched [`project`]: passthrough items clone whole columns; computed items
 /// are evaluated into fresh value columns.
-pub fn project_batches(
-    graph: &PropertyGraph,
+pub fn project_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &TagMap,
     items: &[(Expr, String)],
@@ -582,8 +599,8 @@ struct FetchCol {
 /// and property-key interning are resolved once per call (explicit `props`)
 /// or once per encountered element label (fetch-all), not per row. Slot
 /// registration order matches the scalar operator's first-encounter order.
-pub fn property_fetch_batches(
-    graph: &PropertyGraph,
+pub fn property_fetch_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &mut TagMap,
     tag: &str,
@@ -677,8 +694,8 @@ pub fn property_fetch_batches(
 /// Batched [`hash_group`]: key and aggregate expressions are compiled once,
 /// grouping state is keyed exactly like the scalar operator, and the one
 /// output row per group streams back out in `batch_size` chunks.
-pub fn hash_group_batches(
-    graph: &PropertyGraph,
+pub fn hash_group_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &TagMap,
     keys: &[(Expr, String)],
@@ -750,8 +767,8 @@ pub fn hash_group_batches(
 
 /// Batched [`order_limit`]: keys are evaluated column-wise and the sort is a
 /// row-index permutation; only the surviving prefix is gathered.
-pub fn order_limit_batches(
-    graph: &PropertyGraph,
+pub fn order_limit_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &TagMap,
     keys: &[(Expr, SortDir)],
@@ -776,19 +793,7 @@ pub fn order_limit_batches(
             ));
         }
     }
-    keyed.sort_by(|(ka, _, _), (kb, _, _)| {
-        for (i, (_, dir)) in keys.iter().enumerate() {
-            let ord = ka[i].cmp(&kb[i]);
-            let ord = match dir {
-                SortDir::Asc => ord,
-                SortDir::Desc => ord.reverse(),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
+    keyed.sort_by(|(ka, _, _), (kb, _, _)| cmp_sort_keys(ka, kb, keys));
     let take = limit.unwrap_or(keyed.len());
     let mut builder = BatchBuilder::new(tags.len(), batch_size);
     for (_, bi, row) in keyed.into_iter().take(take) {
@@ -820,8 +825,8 @@ pub fn limit_batches(input: &[RecordBatch], count: usize) -> Vec<RecordBatch> {
 
 /// Batched [`dedup`]: compiled keys, a global seen-set, and per-batch
 /// selection vectors.
-pub fn dedup_batches(
-    graph: &PropertyGraph,
+pub fn dedup_batches<G: GraphView>(
+    graph: &G,
     input: &[RecordBatch],
     tags: &TagMap,
     keys: &[Expr],
@@ -835,7 +840,7 @@ pub fn dedup_batches(
     let mut sel: Vec<u32> = Vec::new();
     for batch in input {
         sel.clear();
-        let width = tags.len().max(batch.width());
+        let width = keyless_dedup_width(tags, batch.width());
         for row in 0..batch.rows() {
             let key: Vec<PropValue> = if compiled.is_empty() {
                 (0..width).map(|s| batch.entry(s, row).to_value()).collect()
@@ -896,8 +901,8 @@ pub fn union_batches(inputs: &[(&[RecordBatch], &TagMap)]) -> (Vec<RecordBatch>,
 /// and probe-side matches are emitted through row gathers with the extra
 /// right-side entries as overrides.
 #[allow(clippy::too_many_arguments)]
-pub fn hash_join_batches(
-    graph: &PropertyGraph,
+pub fn hash_join_batches<G: GraphView>(
+    graph: &G,
     left: &[RecordBatch],
     left_tags: &TagMap,
     right: &[RecordBatch],

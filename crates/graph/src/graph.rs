@@ -107,6 +107,23 @@ impl CsrAdjacency {
         endpoint: impl Fn(usize) -> VertexId,
         other: impl Fn(usize) -> VertexId,
     ) -> CsrAdjacency {
+        Self::build_with_ids(n_vertices, n_labels, edge_labels, endpoint, other, |i| {
+            EdgeId(i as u64)
+        })
+    }
+
+    /// Like [`CsrAdjacency::build`], but with the stored edge id supplied by
+    /// `edge_id(i)` instead of the dense position `i`. This is what lets a
+    /// partition shard index a *subset* of the edges while keeping global edge
+    /// ids in its entries (see [`crate::partition`]).
+    pub(crate) fn build_with_ids(
+        n_vertices: usize,
+        n_labels: usize,
+        edge_labels: &[LabelId],
+        endpoint: impl Fn(usize) -> VertexId,
+        other: impl Fn(usize) -> VertexId,
+        edge_id: impl Fn(usize) -> EdgeId,
+    ) -> CsrAdjacency {
         assert!(
             edge_labels.len() <= u32::MAX as usize,
             "CSR adjacency is limited to u32::MAX edges"
@@ -136,7 +153,7 @@ impl CsrAdjacency {
             cursors[seg] += 1;
             entries[pos] = Adj {
                 edge_label: l,
-                edge: EdgeId(i as u64),
+                edge: edge_id(i),
                 neighbor: other(i),
             };
         }
@@ -198,7 +215,7 @@ impl CsrAdjacency {
 /// properties; whole columns are `None` when no record of that label carries
 /// the key.
 #[derive(Debug, Clone, Default)]
-struct PropColumns {
+pub(crate) struct PropColumns {
     n_keys: usize,
     /// `columns[label.index() * n_keys + key.index()]`.
     columns: Vec<Option<Box<[Option<PropValue>]>>>,
@@ -208,7 +225,7 @@ impl PropColumns {
     /// Scatter per-record property lists into columns. `label_sizes[l]` is the
     /// number of records with label `l`; `(label, in_label_offset)` locates
     /// each record.
-    fn build(
+    pub(crate) fn build(
         n_keys: usize,
         label_sizes: &[usize],
         records: impl Iterator<Item = (LabelId, u32, Box<[(PropKeyId, PropValue)]>)>,
@@ -233,7 +250,12 @@ impl PropColumns {
     }
 
     #[inline]
-    fn get(&self, label: LabelId, in_label_offset: u32, key: PropKeyId) -> Option<&PropValue> {
+    pub(crate) fn get(
+        &self,
+        label: LabelId,
+        in_label_offset: u32,
+        key: PropKeyId,
+    ) -> Option<&PropValue> {
         if key.index() >= self.n_keys {
             return None;
         }
@@ -251,6 +273,11 @@ impl PropColumns {
 #[derive(Debug, Clone)]
 pub struct PropertyGraph {
     schema: GraphSchema,
+    /// Unique id of the `GraphBuilder::finish` call that built this graph.
+    /// Clones share it — they are bit-identical — so it identifies graph
+    /// *content* cheaply (used by shard caches to detect a different graph
+    /// reallocated at a recycled address).
+    build_id: u64,
     // vertex columns
     vertex_labels: Vec<LabelId>,
     vertex_in_label_offset: Vec<u32>,
@@ -438,6 +465,43 @@ impl PropertyGraph {
     /// Intern (or look up) a property key name.
     pub fn prop_key(&self, name: &str) -> Option<PropKeyId> {
         self.prop_key_idx.get(name).copied()
+    }
+
+    /// Number of interned property keys.
+    pub fn prop_key_count(&self) -> usize {
+        self.prop_keys.len()
+    }
+
+    /// Unique id of the build that produced this graph. Clones share it;
+    /// independently built graphs never do — a cheap content identity.
+    pub fn build_id(&self) -> u64 {
+        self.build_id
+    }
+
+    /// A copy of everything *except* the adjacency arrays and vertex property
+    /// columns (left empty) — the global catalog a [`crate::PartitionedGraph`]
+    /// keeps after routing those members into per-partition shards. Cloning
+    /// only the catalog avoids a transient full copy of the adjacency during
+    /// shard construction.
+    pub(crate) fn catalog_clone(&self) -> PropertyGraph {
+        PropertyGraph {
+            schema: self.schema.clone(),
+            build_id: self.build_id,
+            vertex_labels: self.vertex_labels.clone(),
+            vertex_in_label_offset: self.vertex_in_label_offset.clone(),
+            vertices_by_label: self.vertices_by_label.clone(),
+            vertex_props: PropColumns::default(),
+            edge_labels: self.edge_labels.clone(),
+            edge_srcs: self.edge_srcs.clone(),
+            edge_dsts: self.edge_dsts.clone(),
+            edge_in_label_offset: self.edge_in_label_offset.clone(),
+            edge_count_by_label: self.edge_count_by_label.clone(),
+            edge_props: self.edge_props.clone(),
+            out_adj: CsrAdjacency::default(),
+            in_adj: CsrAdjacency::default(),
+            prop_keys: self.prop_keys.clone(),
+            prop_key_idx: self.prop_key_idx.clone(),
+        }
     }
 
     /// Name of an interned property key.
@@ -745,8 +809,10 @@ impl GraphBuilder {
                 .map(|(i, e)| (e.label, edge_in_label_offset[i], e.props)),
         );
 
+        static NEXT_BUILD_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         PropertyGraph {
             schema: self.schema,
+            build_id: NEXT_BUILD_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             vertex_labels,
             vertex_in_label_offset,
             vertices_by_label,

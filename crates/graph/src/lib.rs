@@ -22,14 +22,18 @@ pub mod error;
 pub mod generator;
 pub mod graph;
 pub mod ids;
+pub mod partition;
 pub mod reference;
 pub mod schema;
 pub mod stats;
 pub mod value;
+pub mod view;
 
 pub use error::GraphError;
 pub use graph::{Adj, CsrAdjacency, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
+pub use partition::{GraphShard, HashPartitioner, PartitionedGraph, Partitioner};
 pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
 pub use stats::LowOrderStats;
 pub use value::PropValue;
+pub use view::GraphView;

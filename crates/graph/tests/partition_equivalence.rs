@@ -1,0 +1,196 @@
+//! Property-based equivalence tests for partition routing: merging all
+//! [`GraphShard`]s of a [`PartitionedGraph`] must reproduce the monolithic
+//! layout — and therefore the naive `Vec<Vec<Adj>>` reference
+//! ([`gopt_graph::reference::NaiveGraph`]) — exactly, for every partition
+//! count. This is the storage-level guarantee the morsel executor relies on:
+//! expanding through the façade reads only the owning shard, yet sees
+//! precisely the monolithic adjacency slices.
+
+use gopt_graph::graph::GraphBuilder;
+use gopt_graph::reference::{Insertion, NaiveGraph};
+use gopt_graph::schema::fig6_schema;
+use gopt_graph::view::GraphView;
+use gopt_graph::{Adj, LabelId, PartitionedGraph, PropKeyId, PropValue, PropertyGraph, VertexId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PROP_KEYS: [&str; 4] = ["id", "name", "weight", "since"];
+
+/// Random insertion sequence over the fig6 schema, replayed into the CSR
+/// layout and the naive reference (same generator as `csr_equivalence.rs`).
+fn random_layouts(seed: u64, n_vertices: usize, n_edges: usize) -> (PropertyGraph, NaiveGraph) {
+    let schema = fig6_schema();
+    let n_vlabels = schema.vertex_label_count() as u16;
+    let n_elabels = schema.edge_label_count() as u16;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(schema).without_validation();
+    let mut insertions = Vec::new();
+
+    let random_props = |rng: &mut SmallRng| {
+        let mut props: Vec<(&'static str, PropValue)> = Vec::new();
+        for key in PROP_KEYS {
+            if rng.gen_bool(0.4) {
+                props.push((key, PropValue::Int(rng.gen_range(0i64..1000))));
+            }
+        }
+        props
+    };
+
+    for _ in 0..n_vertices {
+        let label = LabelId(rng.gen_range(0u16..n_vlabels));
+        let props = random_props(&mut rng);
+        b.add_vertex(label, props.clone()).unwrap();
+        insertions.push(Insertion::Vertex {
+            label,
+            props: interned(&props),
+        });
+    }
+    for _ in 0..n_edges {
+        let label = LabelId(rng.gen_range(0u16..n_elabels));
+        let src = VertexId(rng.gen_range(0u64..n_vertices as u64));
+        let dst = VertexId(rng.gen_range(0u64..n_vertices as u64));
+        let props = random_props(&mut rng);
+        b.add_edge(label, src, dst, props.clone()).unwrap();
+        insertions.push(Insertion::Edge {
+            label,
+            src,
+            dst,
+            props: interned(&props),
+        });
+    }
+    (b.finish(), NaiveGraph::from_insertions(&insertions))
+}
+
+fn interned(props: &[(&'static str, PropValue)]) -> Vec<(PropKeyId, PropValue)> {
+    props
+        .iter()
+        .map(|(k, v)| (naive_key(k), v.clone()))
+        .collect()
+}
+
+fn naive_key(name: &str) -> PropKeyId {
+    PropKeyId(PROP_KEYS.iter().position(|p| *p == name).unwrap() as u16)
+}
+
+/// The core property: every shard slice equals the corresponding monolithic
+/// (and naive-reference) slice, and the shards partition the vertex and edge
+/// sets without loss or duplication.
+fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usize) {
+    let pg = PartitionedGraph::build(g, partitions);
+    assert_eq!(pg.partitions(), partitions);
+    assert_eq!(pg.vertex_count(), naive.vertex_count());
+    assert_eq!(pg.edge_count(), naive.edge_count());
+    let n_elabels = GraphView::schema(g).edge_label_count() as u16;
+
+    // shards partition the vertices: disjoint, exhaustive, correctly routed
+    let mut seen = vec![false; naive.vertex_count()];
+    for (p, shard) in pg.shards().iter().enumerate() {
+        for (local, &v) in shard.vertices().iter().enumerate() {
+            assert_eq!(pg.partition_of(v), p, "vertex {v} routed to shard {p}");
+            assert_eq!(pg.local_index(v), local);
+            assert!(!seen[v.index()], "vertex {v} appears in two shards");
+            seen[v.index()] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every vertex lands in some shard");
+
+    // merged shard adjacency == naive reference, per vertex and per label
+    let mut merged_out = 0usize;
+    for v in g.vertex_ids() {
+        assert_eq!(pg.out_edges(v), naive.out_edges(v), "out adjacency of {v}");
+        assert_eq!(pg.in_edges(v), naive.in_edges(v), "in adjacency of {v}");
+        merged_out += pg.out_edges(v).len();
+        for l in 0..n_elabels + 2 {
+            let l = LabelId(l);
+            assert_eq!(
+                GraphView::out_edges_with_label(&pg, v, l),
+                naive.out_edges_with_label(v, l),
+                "out[{v}, {l}]"
+            );
+            assert_eq!(
+                GraphView::in_edges_with_label(&pg, v, l),
+                naive.in_edges_with_label(v, l),
+                "in[{v}, {l}]"
+            );
+        }
+        // vertex properties now answered by the shard's columns
+        for key in PROP_KEYS {
+            let got = GraphView::vertex_prop_by_name(&pg, v, key);
+            let want = naive.vertex_prop(v, naive_key(key));
+            assert_eq!(got, want, "vertex prop {key} of {v}");
+        }
+    }
+    assert_eq!(merged_out, naive.edge_count(), "no edge lost or duplicated");
+
+    // connectivity probes through the façade
+    for v in g.vertex_ids() {
+        for w in g.vertex_ids() {
+            for l in 0..n_elabels {
+                let l = LabelId(l);
+                assert_eq!(GraphView::has_edge(&pg, v, l, w), naive.has_edge(v, l, w));
+                let run: Vec<_> = GraphView::edges_between(&pg, v, l, w)
+                    .iter()
+                    .map(|a| a.edge)
+                    .collect();
+                assert_eq!(run, naive.edges_between(v, l, w), "edges {v} -[{l}]-> {w}");
+            }
+        }
+    }
+
+    // edge catalog (labels, endpoints, properties) is global and intact
+    for e in g.edge_ids() {
+        assert_eq!(GraphView::edge_label(&pg, e), naive.edge_label(e));
+        assert_eq!(GraphView::edge_endpoints(&pg, e), naive.edge_endpoints(e));
+        for key in PROP_KEYS {
+            let got = GraphView::edge_prop_by_name(&pg, e, key);
+            assert_eq!(got, naive.edge_prop(e, naive_key(key)), "edge prop of {e}");
+        }
+    }
+
+    // flattening all shards' local CSRs reproduces the monolithic entry
+    // multiset (same entries, independent of which shard stores them)
+    let mut from_shards: Vec<Adj> = Vec::new();
+    for shard in pg.shards() {
+        for local in 0..shard.vertex_count() {
+            from_shards.extend_from_slice(shard.out_edges_local(local));
+        }
+    }
+    let mut from_mono: Vec<Adj> = Vec::new();
+    for v in g.vertex_ids() {
+        from_mono.extend_from_slice(g.out_edges(v));
+    }
+    let key = |a: &Adj| (a.edge_label, a.edge, a.neighbor);
+    from_shards.sort_unstable_by_key(key);
+    from_mono.sort_unstable_by_key(key);
+    assert_eq!(from_shards, from_mono);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_layout_equals_naive_reference(
+        seed in 0u64..10_000,
+        vertices in 2usize..20,
+        edges in 0usize..100,
+        partitions in 1usize..6,
+    ) {
+        let (g, naive) = random_layouts(seed, vertices, edges);
+        assert_sharding_agrees(&g, &naive, partitions);
+    }
+}
+
+#[test]
+fn sharding_handles_more_partitions_than_vertices() {
+    let (g, naive) = random_layouts(3, 2, 10);
+    assert_sharding_agrees(&g, &naive, 7);
+}
+
+#[test]
+fn sharding_handles_dense_multigraphs() {
+    let (g, naive) = random_layouts(11, 4, 150);
+    for p in [1, 2, 3, 4] {
+        assert_sharding_agrees(&g, &naive, p);
+    }
+}

@@ -3,7 +3,7 @@
 //! Wraps `std::sync::Mutex` behind `parking_lot`'s non-poisoning API: `lock()`
 //! returns the guard directly instead of a `Result`.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s panic-transparent API.
 #[derive(Debug, Default)]
@@ -37,9 +37,60 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with the shim [`Mutex`].
+///
+/// One API deviation from the real `parking_lot`: `wait` takes the guard by
+/// value and returns it (the `std::sync::Condvar` calling convention) instead
+/// of `&mut guard`, because the shim guard is a plain `std` guard. Poisoning
+/// is swallowed, matching the shim mutex.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Block until notified, releasing the lock while waiting. Spurious
+    /// wake-ups are possible; callers must re-check their condition.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+
+    #[test]
+    fn condvar_signals_between_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        t.join().unwrap();
+        assert!(*ready);
+    }
 
     #[test]
     fn lock_and_into_inner() {

@@ -27,7 +27,9 @@ fn main() {
     );
     let estimator = GlogueQuery::new(&glogue);
     let spec = GraphScopeSpec;
-    let backend = PartitionedBackend::new(4).with_record_limit(2_000_000);
+    let backend = PartitionedBackend::new(4)
+        .expect("non-zero partitions")
+        .with_record_limit(2_000_000);
 
     let sets = vec![(vec![1, 2, 3], vec![500, 501, 502, 503, 504, 505])];
     for q in st_queries(6, &sets) {

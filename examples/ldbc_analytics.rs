@@ -23,7 +23,9 @@ fn main() {
     let hi = GlogueQuery::new(&glogue);
     let lo = LowOrderEstimator::new(&glogue);
     let spec = GraphScopeSpec;
-    let backend = PartitionedBackend::new(4).with_record_limit(2_000_000);
+    let backend = PartitionedBackend::new(4)
+        .expect("non-zero partitions")
+        .with_record_limit(2_000_000);
 
     println!("query\tGOpt\tbaseline");
     for q in ic_queries().into_iter().take(6) {

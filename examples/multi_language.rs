@@ -14,7 +14,7 @@ fn main() {
     let glogue = GLogue::build(&graph, &GLogueConfig::default());
     let estimator = GlogueQuery::new(&glogue);
     let spec = GraphScopeSpec;
-    let backend = PartitionedBackend::new(4);
+    let backend = PartitionedBackend::new(4).expect("non-zero partitions");
 
     let cypher = "MATCH (p:Person)-[:Knows]->(f:Person)-[:IsLocatedIn]->(c:Place) \
                   WHERE c.name = 'China' RETURN count(*) AS cnt";

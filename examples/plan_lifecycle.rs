@@ -77,7 +77,7 @@ fn main() {
     for row in result.rows_for(&["name", "friends"]).iter().take(5) {
         println!("  {row:?}");
     }
-    let parted = PartitionedBackend::new(8);
+    let parted = PartitionedBackend::new(8).expect("non-zero partitions");
     let result = parted.execute(&graph, &plan_gs).expect("executes");
     println!(
         "partitioned x8 (batched):                  {} result rows, {} intermediate records, \

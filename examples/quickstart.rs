@@ -61,7 +61,7 @@ fn main() {
         .expect("optimization succeeds");
     println!("--- physical plan ---\n{}", physical.encode());
 
-    let backend = PartitionedBackend::new(2);
+    let backend = PartitionedBackend::new(2).expect("non-zero partitions");
     let result = backend
         .execute(&graph, &physical)
         .expect("execution succeeds");

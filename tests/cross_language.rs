@@ -20,7 +20,7 @@ fn cypher_and_gremlin_agree_on_counts() {
     );
     let gq = GlogueQuery::new(&glogue);
     let spec = GraphScopeSpec;
-    let backend = PartitionedBackend::new(4);
+    let backend = PartitionedBackend::new(4).unwrap();
     let pairs = [
         (
             "MATCH (p:Person)-[:Knows]->(f:Person) RETURN count(*) AS cnt",

@@ -33,6 +33,7 @@ fn sorted_rows(
 ) -> Vec<Vec<gopt::graph::PropValue>> {
     match partitions {
         Some(p) => PartitionedBackend::new(p)
+            .expect("non-zero partitions")
             .execute(&f.graph, plan)
             .expect("plan executes")
             .sorted_rows(),

@@ -1,0 +1,234 @@
+//! `ParallelEngine` vs scalar `Engine` equivalence: partitioned, morsel-driven
+//! parallel execution over sharded storage must return exactly the rows of the
+//! scalar single-partition oracle — for every workload query the repository
+//! ships (optimized by GOpt for both backend specs) and for randomized plan
+//! orders — at partitions {1, 2, 4} × threads {1, 2, 4}, with communication
+//! counts identical across thread counts (they are measured from the data, not
+//! from scheduling).
+//!
+//! The thread axis can be narrowed from the environment for CI matrix runs:
+//! `GOPT_THREADS=1,4` restricts the suite to those thread counts.
+
+use gopt::core::{ExpandStrategy, GOpt, GOptConfig, GraphScopeSpec, Neo4jSpec, RandomPlanner};
+use gopt::exec::{Engine, EngineConfig, ExecResult, ParallelEngine};
+use gopt::gir::PhysicalPlan;
+use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery};
+use gopt::graph::generator::{random_graph, RandomGraphConfig};
+use gopt::graph::schema::fig6_schema;
+use gopt::graph::{PartitionedGraph, PropertyGraph};
+use gopt::parser::{parse_cypher, parse_gremlin};
+use gopt::workloads::{
+    generate_ldbc_graph, ic_queries, qc_queries, qr_gremlin_queries, qt_queries, LdbcScale,
+};
+use proptest::prelude::*;
+
+const PARTITIONS: [usize; 3] = [1, 2, 4];
+
+/// Thread counts under test: `GOPT_THREADS` (comma-separated) or {1, 2, 4}.
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("GOPT_THREADS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .expect("GOPT_THREADS is comma-separated integers")
+            })
+            .collect(),
+        _ => vec![1, 2, 4],
+    }
+}
+
+/// Execute `plan` on the scalar single-partition oracle and on the parallel
+/// engine at every (partition, thread) combination; rows (including order)
+/// and record statistics must match, and the measured communication must not
+/// depend on the thread count.
+fn assert_parallel_agrees(g: &PropertyGraph, plan: &PhysicalPlan) {
+    let config = EngineConfig {
+        partitions: None,
+        record_limit: Some(3_000_000),
+    };
+    let oracle = Engine::new(g, config).execute(plan);
+    let threads = thread_matrix();
+    for parts in PARTITIONS {
+        let sharded = PartitionedGraph::build(g, parts);
+        let mut comm_seen: Option<u64> = None;
+        for &t in &threads {
+            let got = ParallelEngine::new(&sharded)
+                .with_threads(t)
+                .with_record_limit(Some(3_000_000))
+                .execute(plan);
+            match (&oracle, &got) {
+                (Ok(o), Ok(r)) => {
+                    assert_same(o, r, parts, t);
+                    match comm_seen {
+                        None => comm_seen = Some(r.stats.comm_records),
+                        Some(c) => assert_eq!(
+                            c, r.stats.comm_records,
+                            "communication depends on thread count (p={parts}, t={t})"
+                        ),
+                    }
+                    if parts == 1 {
+                        assert_eq!(
+                            r.stats.comm_records, 0,
+                            "a single partition ships no rows (t={t})"
+                        );
+                    }
+                }
+                (Err(eo), Err(eg)) => assert_eq!(eo, eg, "errors diverge (p={parts}, t={t})"),
+                _ => panic!(
+                    "one engine failed where the other succeeded (p={parts}, t={t}): \
+                     oracle={oracle:?} parallel={got:?}"
+                ),
+            }
+        }
+    }
+}
+
+fn assert_same(oracle: &ExecResult, got: &ExecResult, parts: usize, threads: usize) {
+    assert_eq!(
+        oracle.tags.tags(),
+        got.tags.tags(),
+        "tag maps diverge (p={parts}, t={threads})"
+    );
+    // exact rows in exact order — parallelism must not reorder results
+    assert_eq!(
+        oracle.rows(),
+        got.rows(),
+        "rows diverge (p={parts}, t={threads})"
+    );
+    assert_eq!(
+        oracle.stats.intermediate_records, got.stats.intermediate_records,
+        "intermediate records diverge (p={parts}, t={threads})"
+    );
+    assert_eq!(
+        oracle.stats.peak_records, got.stats.peak_records,
+        "peak records diverge (p={parts}, t={threads})"
+    );
+}
+
+fn ldbc_env() -> (PropertyGraph, GLogue) {
+    let graph = generate_ldbc_graph(&LdbcScale {
+        persons: 40,
+        seed: 42,
+    });
+    let glogue = GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 2,
+            max_anchors: Some(200),
+            seed: 9,
+        },
+    );
+    (graph, glogue)
+}
+
+/// Every shipped workload query, planned by GOpt for both backend specs,
+/// executes identically on the parallel partitioned engine.
+#[test]
+fn workload_plans_agree_with_the_scalar_oracle() {
+    let (graph, glogue) = ldbc_env();
+    let gq = GlogueQuery::new(&glogue);
+    let queries = qc_queries()
+        .into_iter()
+        .chain(ic_queries())
+        .chain(qt_queries())
+        .chain(qr_gremlin_queries())
+        .collect::<Vec<_>>();
+    let mut planned = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        let logical = match parse_cypher(&q.text, graph.schema()) {
+            Ok(l) => l,
+            Err(_) => match parse_gremlin(&q.text, graph.schema()) {
+                Ok(l) => l,
+                Err(_) => continue,
+            },
+        };
+        // alternate the backend spec across queries (both specs are covered
+        // many times over the query set at half the wall-clock cost)
+        let plan = if qi % 2 == 0 {
+            GOpt::new(graph.schema(), &gq, &GraphScopeSpec)
+                .with_config(GOptConfig::default())
+                .optimize(&logical)
+        } else {
+            GOpt::new(graph.schema(), &gq, &Neo4jSpec)
+                .with_config(GOptConfig::default())
+                .optimize(&logical)
+        };
+        let Ok(plan) = plan else { continue };
+        planned += 1;
+        assert_parallel_agrees(&graph, &plan);
+    }
+    assert!(
+        planned >= 8,
+        "expected to replay at least 8 optimized workload plans, got {planned}"
+    );
+}
+
+/// Randomized (but valid) plan orders over random graphs with both expansion
+/// strategies.
+#[test]
+fn random_plan_orders_agree_with_the_scalar_oracle() {
+    let schema = fig6_schema();
+    for seed in 0..4u64 {
+        let graph = random_graph(
+            &schema,
+            &RandomGraphConfig {
+                vertices_per_label: 10,
+                edges_per_endpoint: 35,
+                seed,
+            },
+        );
+        let person = schema.vertex_label("Person").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let located = schema.edge_label("LocatedIn").unwrap();
+        let mut pattern = gopt::gir::Pattern::new();
+        let a = pattern.add_vertex_tagged("a", gopt::gir::TypeConstraint::basic(person));
+        let b = pattern.add_vertex_tagged("b", gopt::gir::TypeConstraint::basic(person));
+        let c = pattern.add_vertex_tagged("c", gopt::gir::TypeConstraint::basic(place));
+        pattern.add_edge(a, b, gopt::gir::TypeConstraint::basic(knows));
+        pattern.add_edge(a, c, gopt::gir::TypeConstraint::basic(located));
+        pattern.add_edge(b, c, gopt::gir::TypeConstraint::basic(located));
+        let mut builder = gopt::gir::GraphIrBuilder::new();
+        let m = builder.match_pattern(pattern);
+        let logical = builder.build(m);
+        for strategy in [ExpandStrategy::Intersect, ExpandStrategy::Flatten] {
+            let plan = RandomPlanner::new(seed, strategy)
+                .optimize(&logical)
+                .expect("random plan builds");
+            assert_parallel_agrees(&graph, &plan);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property test: random graph, random plan order — the parallel engine
+    /// always agrees with the oracle over the whole partition × thread matrix.
+    #[test]
+    fn parallel_agrees_on_random_graphs(seed in 0u64..200, edges in 15usize..60) {
+        let schema = fig6_schema();
+        let graph = random_graph(&schema, &RandomGraphConfig {
+            vertices_per_label: 8,
+            edges_per_endpoint: edges,
+            seed,
+        });
+        let person = schema.vertex_label("Person").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+        let mut pattern = gopt::gir::Pattern::new();
+        let a = pattern.add_vertex_tagged("a", gopt::gir::TypeConstraint::basic(person));
+        let b = pattern.add_vertex_tagged("b", gopt::gir::TypeConstraint::basic(person));
+        let c = pattern.add_vertex_tagged("c", gopt::gir::TypeConstraint::basic(person));
+        pattern.add_edge(a, b, gopt::gir::TypeConstraint::basic(knows));
+        pattern.add_edge(b, c, gopt::gir::TypeConstraint::basic(knows));
+        let mut builder = gopt::gir::GraphIrBuilder::new();
+        let m = builder.match_pattern(pattern);
+        let logical = builder.build(m);
+        let plan = RandomPlanner::new(seed, ExpandStrategy::Intersect)
+            .optimize(&logical)
+            .expect("random plan builds");
+        assert_parallel_agrees(&graph, &plan);
+    }
+}

@@ -89,7 +89,7 @@ proptest! {
         // GOpt plan on the partitioned backend
         let gs_spec = GraphScopeSpec;
         let plan = GOpt::new(graph.schema(), &gq, &gs_spec).optimize(&logical).unwrap();
-        let got = extract(PartitionedBackend::new(3).execute(&graph, &plan).unwrap().rows());
+        let got = extract(PartitionedBackend::new(3).unwrap().execute(&graph, &plan).unwrap().rows());
         prop_assert_eq!(got, expected);
 
         // GOpt plan on the single-machine backend with the Neo4j spec
@@ -101,7 +101,7 @@ proptest! {
         // random order plan
         let mut rnd = RandomPlanner::new(seed, ExpandStrategy::Intersect);
         let plan = rnd.optimize(&logical).unwrap();
-        let got = extract(PartitionedBackend::new(2).execute(&graph, &plan).unwrap().rows());
+        let got = extract(PartitionedBackend::new(2).unwrap().execute(&graph, &plan).unwrap().rows());
         prop_assert_eq!(got, expected);
 
         // the high-order estimate of a fully mined pattern is exact
