@@ -16,7 +16,7 @@
 use crate::error::OptError;
 use gopt_gir::pattern::{Pattern, PatternEdgeId, PatternVertexId};
 use gopt_gir::types::TypeConstraint;
-use gopt_graph::{GraphSchema, LabelId};
+use gopt_graph::{GraphSchema, LabelId, PropType};
 use std::collections::BTreeSet;
 
 /// The type-inference engine (the paper's "type checker" component).
@@ -72,6 +72,70 @@ impl<'a> TypeInference<'a> {
             }
         }
         Ok(p)
+    }
+
+    /// The value type of property `prop` on a pattern **vertex** constrained
+    /// to `constraint`.
+    ///
+    /// Consults the schema's per-(label, key) property types — both the
+    /// declared ones and the ones `GraphBuilder::finish` registers after
+    /// inferring them from the data's typed columns — instead of giving every
+    /// property access up as *Unknown*. Returns `Some(t)` exactly when every
+    /// label the constraint admits agrees on `t`; a label missing the
+    /// property, or two labels disagreeing, yields `None` (the access may be
+    /// null or mixed-typed at runtime, so no single type is sound).
+    pub fn vertex_property_type(
+        &self,
+        constraint: &TypeConstraint,
+        prop: &str,
+    ) -> Option<PropType> {
+        let labels = constraint.materialize(&self.schema.vertex_label_ids().collect::<Vec<_>>());
+        Self::unify_types(
+            labels
+                .iter()
+                .map(|&l| self.schema.vertex_prop_type(l, prop)),
+        )
+    }
+
+    /// The value type of property `prop` on a pattern **edge** constrained to
+    /// `constraint` (see [`vertex_property_type`](Self::vertex_property_type)).
+    pub fn edge_property_type(&self, constraint: &TypeConstraint, prop: &str) -> Option<PropType> {
+        let labels = constraint.materialize(&self.schema.edge_label_ids().collect::<Vec<_>>());
+        Self::unify_types(labels.iter().map(|&l| self.schema.edge_prop_type(l, prop)))
+    }
+
+    /// The value type of `tag.prop` for a tagged element of an inferred
+    /// pattern: resolves the tag to its refined constraint (vertex first,
+    /// then edge) and unifies the admitted labels' property types.
+    pub fn pattern_property_type(
+        &self,
+        pattern: &Pattern,
+        tag: &str,
+        prop: &str,
+    ) -> Option<PropType> {
+        if let Some(v) = pattern.vertex_by_tag(tag) {
+            return self.vertex_property_type(&pattern.vertex(v).constraint, prop);
+        }
+        if let Some(e) = pattern.edge_by_tag(tag) {
+            return self.edge_property_type(&pattern.edge(e).constraint, prop);
+        }
+        None
+    }
+
+    /// All labels must agree on one declared/inferred type; an empty label
+    /// set or any disagreement (including a label without the property) is
+    /// *Unknown*.
+    fn unify_types(types: impl Iterator<Item = Option<PropType>>) -> Option<PropType> {
+        let mut unified: Option<PropType> = None;
+        for t in types {
+            let t = t?;
+            match unified {
+                None => unified = Some(t),
+                Some(u) if u == t => {}
+                Some(_) => return None,
+            }
+        }
+        unified
     }
 
     /// Constrain one edge and its endpoints to the schema-consistent label triples.
@@ -263,6 +327,94 @@ mod tests {
                 .constraint,
             TypeConstraint::basic(forum)
         );
+    }
+
+    #[test]
+    fn property_types_resolve_from_declared_and_inferred_schema() {
+        use gopt_graph::graph::GraphBuilder;
+        use gopt_graph::{PropType, PropValue};
+
+        // build data over the fig6 schema carrying properties the schema does
+        // NOT declare: the builder registers their inferred types
+        let mut b = GraphBuilder::new(fig6_schema());
+        let p0 = b
+            .add_vertex_by_name(
+                "Person",
+                vec![
+                    ("creationDate", PropValue::Date(8000)),
+                    ("score", PropValue::Float(0.5)),
+                ],
+            )
+            .unwrap();
+        let p1 = b.add_vertex_by_name("Person", vec![]).unwrap();
+        b.add_vertex_by_name("Product", vec![("creationDate", PropValue::Date(9000))])
+            .unwrap();
+        // Place disagrees on creationDate's kind → unification must fail
+        b.add_vertex_by_name("Place", vec![("creationDate", PropValue::Int(1))])
+            .unwrap();
+        b.add_edge_by_name("Knows", p0, p1, vec![("since", PropValue::Int(2020))])
+            .unwrap();
+        let g = b.finish();
+        let schema = g.schema();
+        let ti = TypeInference::new(schema);
+
+        let person = schema.vertex_label("Person").unwrap();
+        let product = schema.vertex_label("Product").unwrap();
+        let place = schema.vertex_label("Place").unwrap();
+        let knows = schema.edge_label("Knows").unwrap();
+
+        // declared types still resolve
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::basic(person), "name"),
+            Some(PropType::Str)
+        );
+        // inferred (registered at build) types resolve instead of Unknown
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::basic(person), "creationDate"),
+            Some(PropType::Date)
+        );
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::basic(person), "score"),
+            Some(PropType::Float)
+        );
+        assert_eq!(
+            ti.edge_property_type(&TypeConstraint::basic(knows), "since"),
+            Some(PropType::Int)
+        );
+        // a union whose labels agree unifies...
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::union([person, product]), "creationDate"),
+            Some(PropType::Date)
+        );
+        // ...one whose labels disagree (Place inferred Int) stays unknown
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::union([person, place]), "creationDate"),
+            None
+        );
+        // labels lacking the property stay unknown
+        assert_eq!(
+            ti.vertex_property_type(&TypeConstraint::basic(place), "score"),
+            None
+        );
+
+        // end-to-end through an inferred pattern
+        let pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::all())
+            .expand_e("a", "e", TypeConstraint::basic(knows), Direction::Out)
+            .get_v_end("e", "b", TypeConstraint::all())
+            .finish()
+            .unwrap();
+        let inferred = infer_pattern_types(&pattern, schema).unwrap();
+        assert_eq!(
+            ti.pattern_property_type(&inferred, "a", "creationDate"),
+            Some(PropType::Date),
+            "Knows pins `a` to Person, whose creationDate was inferred Date"
+        );
+        assert_eq!(
+            ti.pattern_property_type(&inferred, "e", "since"),
+            Some(PropType::Int)
+        );
+        assert_eq!(ti.pattern_property_type(&inferred, "ghost", "x"), None);
     }
 
     #[test]

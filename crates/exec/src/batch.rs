@@ -46,55 +46,11 @@ use gopt_graph::{EdgeId, GraphView, PropKeyId, PropValue, PropertyGraph, VertexI
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A packed validity bitmap: bit `i` is set when row `i` holds a bound value.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Bitmap {
-    words: Vec<u64>,
-    len: usize,
-}
-
-impl Bitmap {
-    /// An empty bitmap.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of bits.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the bitmap is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Append one bit.
-    #[inline]
-    pub fn push(&mut self, set: bool) {
-        let word = self.len / 64;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
-        if set {
-            self.words[word] |= 1u64 << (self.len % 64);
-        }
-        self.len += 1;
-    }
-
-    /// The bit at `i` (false when out of range).
-    #[inline]
-    pub fn get(&self, i: usize) -> bool {
-        if i >= self.len {
-            return false;
-        }
-        self.words[i / 64] & (1u64 << (i % 64)) != 0
-    }
-
-    /// Number of set bits.
-    pub fn count_set(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-}
+/// The batch layer shares the storage layer's packed bitmap
+/// ([`gopt_graph::NullBitmap`]) rather than maintaining a parallel
+/// implementation — batch-column validity and property-column validity are
+/// the same concept.
+pub use gopt_graph::NullBitmap as Bitmap;
 
 /// The typed storage of one [`Column`].
 #[derive(Debug, Clone, PartialEq)]
@@ -209,37 +165,25 @@ impl Column {
 
     /// An all-valid vertex column.
     pub fn vertices(ids: Vec<VertexId>) -> Self {
-        let mut validity = Bitmap::new();
-        for _ in 0..ids.len() {
-            validity.push(true);
-        }
         Column {
+            validity: Bitmap::all_valid(ids.len()),
             data: ColumnData::Vertex(ids),
-            validity,
         }
     }
 
     /// An all-valid edge column.
     pub fn edges(ids: Vec<EdgeId>) -> Self {
-        let mut validity = Bitmap::new();
-        for _ in 0..ids.len() {
-            validity.push(true);
-        }
         Column {
+            validity: Bitmap::all_valid(ids.len()),
             data: ColumnData::Edge(ids),
-            validity,
         }
     }
 
     /// An all-valid value column.
     pub fn values(vals: Vec<PropValue>) -> Self {
-        let mut validity = Bitmap::new();
-        for _ in 0..vals.len() {
-            validity.push(true);
-        }
         Column {
+            validity: Bitmap::all_valid(vals.len()),
             data: ColumnData::Value(vals),
-            validity,
         }
     }
 
@@ -338,7 +282,7 @@ impl Column {
             // kind mismatch: retype if nothing valid was stored yet, demote
             // to row-wise entries otherwise
             (_, e) => {
-                if self.validity.count_set() == 0 {
+                if self.validity.count_valid() == 0 {
                     let rows = self.len();
                     self.data = match e {
                         EntryRef::Vertex(_) => ColumnData::Vertex(vec![VertexId(0); rows]),
@@ -363,6 +307,48 @@ impl Column {
             }
         }
         self.validity.push(true);
+    }
+
+    /// Materialise the `key` property of every element of a vertex/edge
+    /// column as an all-valid value column (rows whose element is unbound or
+    /// whose property is absent hold [`PropValue::Null`], matching the scalar
+    /// projection semantics).
+    ///
+    /// This is the typed gather path: each element's cell is located through
+    /// the [`GraphView`] typed accessors
+    /// (`gopt_graph::TypedColumn` slices), so values are built straight from
+    /// primitive storage — no boxed-cell clone, and strings only bump their
+    /// `Arc`. Returns `None` when this column does not hold graph elements
+    /// (the caller then evaluates row-wise).
+    pub fn gather_props<G: GraphView>(&self, graph: &G, key: Option<PropKeyId>) -> Option<Column> {
+        let vals: Vec<PropValue> = match &self.data {
+            ColumnData::Vertex(ids) => ids
+                .iter()
+                .enumerate()
+                .map(|(row, &v)| {
+                    if !self.validity.get(row) {
+                        return PropValue::Null;
+                    }
+                    key.and_then(|k| graph.vertex_prop_cell(v, k))
+                        .and_then(|c| c.value())
+                        .unwrap_or(PropValue::Null)
+                })
+                .collect(),
+            ColumnData::Edge(ids) => ids
+                .iter()
+                .enumerate()
+                .map(|(row, &e)| {
+                    if !self.validity.get(row) {
+                        return PropValue::Null;
+                    }
+                    key.and_then(|k| graph.edge_prop_cell(e, k))
+                        .and_then(|c| c.value())
+                        .unwrap_or(PropValue::Null)
+                })
+                .collect(),
+            _ => return None,
+        };
+        Some(Column::values(vals))
     }
 
     /// Gather the rows named by `sel` into a new column (the batched
@@ -727,11 +713,9 @@ impl CompiledExpr {
                 match row.entry(*s) {
                     EntryRef::Vertex(v) => key
                         .and_then(|k| row.graph.vertex_prop(v, k))
-                        .cloned()
                         .unwrap_or(PropValue::Null),
                     EntryRef::Edge(e) => key
                         .and_then(|k| row.graph.edge_prop(e, k))
-                        .cloned()
                         .unwrap_or(PropValue::Null),
                     EntryRef::Path(p) => {
                         if *is_length {
@@ -782,7 +766,7 @@ mod tests {
         assert_eq!(b.len(), 130);
         assert!(b.get(0) && !b.get(1) && b.get(129));
         assert!(!b.get(500), "out of range is false");
-        assert_eq!(b.count_set(), (0..130).filter(|i| i % 3 == 0).count());
+        assert_eq!(b.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
     }
 
     #[test]
@@ -799,7 +783,7 @@ mod tests {
         assert!(matches!(c.data(), ColumnData::Entries(_)));
         assert_eq!(c.entry(1).to_value(), PropValue::Int(7));
         assert_eq!(c.entry(2).as_vertex(), Some(VertexId(3)));
-        assert_eq!(c.validity().count_set(), 2);
+        assert_eq!(c.validity().count_valid(), 2);
     }
 
     #[test]

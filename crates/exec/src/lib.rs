@@ -34,6 +34,13 @@
 //! as the behavioural oracle: equivalence suites replay every plan through both engines
 //! and require identical rows and statistics. Select
 //! [`backend::ExecMode::Scalar`] to run a backend row-at-a-time.
+//!
+//! Comparison-shaped filter predicates additionally compile to **typed
+//! kernels** (`kernel`, internal): the property's typed column
+//! (`gopt_graph::TypedColumn`) is resolved once and its value slice compared
+//! directly, with null bitmaps consulted per row — zero `PropValue` clones on
+//! the hot filter path. Any shape or column the kernels do not cover falls
+//! back to the row-wise compiled evaluator, which stays the oracle.
 
 #![warn(missing_docs)]
 
@@ -42,6 +49,7 @@ pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod expand;
+pub(crate) mod kernel;
 pub mod parallel;
 pub mod record;
 pub mod relational;

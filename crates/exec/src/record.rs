@@ -176,8 +176,8 @@ impl EvalContext for RecordContext<'_> {
     fn prop_value(&self, tag: &str, prop: &str) -> Option<PropValue> {
         let slot = self.tags.slot(tag)?;
         match self.record.get(slot) {
-            Entry::Vertex(v) => self.graph.vertex_prop_by_name(*v, prop).cloned(),
-            Entry::Edge(e) => self.graph.edge_prop_by_name(*e, prop).cloned(),
+            Entry::Vertex(v) => self.graph.vertex_prop_by_name(*v, prop),
+            Entry::Edge(e) => self.graph.edge_prop_by_name(*e, prop),
             Entry::Path(p) => {
                 // only `length` is meaningful on paths
                 if prop == "length" {

@@ -126,8 +126,8 @@ pub fn property_fetch(
             let col = format!("{tag}.{name}");
             let s = tags.slot_or_insert(&col);
             let value = match r.get(slot) {
-                Entry::Vertex(v) => graph.vertex_prop_by_name(*v, &name).cloned(),
-                Entry::Edge(e) => graph.edge_prop_by_name(*e, &name).cloned(),
+                Entry::Vertex(v) => graph.vertex_prop_by_name(*v, &name),
+                Entry::Edge(e) => graph.edge_prop_by_name(*e, &name),
                 _ => None,
             };
             nr.set(s, Entry::Value(value.unwrap_or(PropValue::Null)));
@@ -503,7 +503,11 @@ pub(crate) fn batch_eval<G: GraphView>(
 }
 
 /// Batched [`select`]: the predicate is compiled once, rows are kept through a
-/// selection vector and gathered column-by-column.
+/// selection vector and gathered column-by-column. Comparison-shaped
+/// predicates additionally compile to typed column kernels
+/// (`crate::kernel`, internal) that read the graph's typed property slices directly —
+/// zero `PropValue` clones per row — with the row-wise compiled evaluator as
+/// the fallback (and oracle) for everything else.
 pub fn select_batches<G: GraphView>(
     graph: &G,
     input: &[RecordBatch],
@@ -512,19 +516,25 @@ pub fn select_batches<G: GraphView>(
     batch_size: usize,
 ) -> Vec<RecordBatch> {
     let compiled = CompiledExpr::compile(predicate, tags, graph);
+    let typed = crate::kernel::TypedPred::compile(&compiled);
     let width = tags.len();
     let mut out = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
     for batch in input {
         sel.clear();
-        for row in 0..batch.rows() {
-            if compiled.eval_predicate(&BatchRow {
-                graph,
-                batch,
-                row,
-                overrides: &[],
-            }) {
-                sel.push(row as u32);
+        let kernel_hit = typed
+            .as_ref()
+            .is_some_and(|p| crate::kernel::eval_typed_predicate(p, graph, batch, &mut sel));
+        if !kernel_hit {
+            for row in 0..batch.rows() {
+                if compiled.eval_predicate(&BatchRow {
+                    graph,
+                    batch,
+                    row,
+                    overrides: &[],
+                }) {
+                    sel.push(row as u32);
+                }
             }
         }
         let mut start = 0;
@@ -574,11 +584,24 @@ pub fn project_batches<G: GraphView>(
                         Some(c) => c.clone(),
                         None => Column::nulls(rows),
                     },
-                    (None, Some(expr)) => Column::values(
-                        (0..rows)
-                            .map(|row| batch_eval(graph, batch, row, expr))
-                            .collect(),
-                    ),
+                    (None, Some(expr)) => {
+                        // a plain property projection of an element column
+                        // takes the typed gather path: values come straight
+                        // from the graph's typed column slices
+                        let gathered = match expr {
+                            CompiledExpr::Prop {
+                                slot: Some(s), key, ..
+                            } => batch.column(*s).and_then(|c| c.gather_props(graph, *key)),
+                            _ => None,
+                        };
+                        gathered.unwrap_or_else(|| {
+                            Column::values(
+                                (0..rows)
+                                    .map(|row| batch_eval(graph, batch, row, expr))
+                                    .collect(),
+                            )
+                        })
+                    }
                     (None, None) => unreachable!("computed items are compiled"),
                 })
                 .collect();
@@ -662,8 +685,8 @@ pub fn property_fetch_batches<G: GraphView>(
             };
             for c in cols {
                 let value = match entry {
-                    EntryRef::Vertex(v) => c.key.and_then(|k| graph.vertex_prop(v, k)).cloned(),
-                    EntryRef::Edge(e) => c.key.and_then(|k| graph.edge_prop(e, k)).cloned(),
+                    EntryRef::Vertex(v) => c.key.and_then(|k| graph.vertex_prop(v, k)),
+                    EntryRef::Edge(e) => c.key.and_then(|k| graph.edge_prop(e, k)),
                     _ => None,
                 };
                 let idx = *fetched_idx.entry(c.slot).or_insert_with(|| {

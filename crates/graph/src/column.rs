@@ -1,0 +1,444 @@
+//! Typed property columns with null bitmaps.
+//!
+//! Property storage before this module kept every cell as a boxed
+//! `Option<PropValue>`: one enum tag plus one `Option` discriminant per cell,
+//! and a full `PropValue` clone on every read. [`TypedColumn`] replaces that
+//! with the Arrow-style layout used by vectorized executors: one primitive
+//! value vector per column plus a packed validity bitmap ([`NullBitmap`]),
+//! with the column's type inferred once at build time from the cells it
+//! actually stores:
+//!
+//! ```text
+//! boxed:  [ Some(Int(7)) | None | Some(Int(9)) | ... ]   24 B/cell, clone per read
+//!
+//! typed:  values   [ 7 | _ | 9 | ... ]                   8 B/cell (i64)
+//!         validity [ 1   0   1   ... ]                   1 bit/cell
+//! ```
+//!
+//! # Type inference and the `Mixed` fallback
+//!
+//! [`TypedColumn::from_cells`] scans the non-null cells once:
+//!
+//! * all cells share one primitive kind → the matching typed variant
+//!   ([`TypedColumn::Int`], [`TypedColumn::Float`], [`TypedColumn::Bool`],
+//!   [`TypedColumn::Date`], [`TypedColumn::Str`]);
+//! * the cells mix kinds (or the column is entirely null, so no kind is
+//!   observable) → [`TypedColumn::Mixed`], which keeps the original
+//!   `Option<PropValue>` cells and therefore the exact pre-typed semantics.
+//!
+//! Correctness never depends on a column being typed — [`TypedColumn::get`]
+//! answers identically for every variant, and the execution engines keep the
+//! row-wise evaluator as the oracle for `Mixed` columns. Only performance
+//! depends on it: typed variants expose their value slices
+//! ([`TypedColumn::ints`], [`TypedColumn::floats`], …) so batch kernels can
+//! compare `&[i64]` directly with zero `PropValue` construction or cloning.
+//!
+//! # Null-bitmap semantics
+//!
+//! Bit `i` of the [`NullBitmap`] is set when row `i` holds a value. An unset
+//! bit means the record does not carry the property: reads return `None`,
+//! exactly like the absent-cell behaviour of the boxed layout. The value
+//! vector holds an arbitrary placeholder at invalid rows; kernels must test
+//! the bitmap before touching the value (`Bitmap AND`/`OR` combining is done
+//! by the executor, see `gopt-exec`'s typed predicate kernels).
+
+use crate::schema::PropType;
+use crate::value::PropValue;
+use std::sync::Arc;
+
+/// A packed validity bitmap: bit `i` is set when row `i` holds a value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all valid.
+    pub fn all_valid(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        NullBitmap { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `i` (false when out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One typed per-(label, key) property column. See the
+/// [module documentation](self) for the layout, the inference rules and the
+/// `Mixed` fallback semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypedColumn {
+    /// 64-bit integers plus validity.
+    Int(Vec<i64>, NullBitmap),
+    /// 64-bit floats plus validity.
+    Float(Vec<f64>, NullBitmap),
+    /// Booleans plus validity.
+    Bool(Vec<bool>, NullBitmap),
+    /// Dates (days since epoch) plus validity.
+    Date(Vec<i64>, NullBitmap),
+    /// Strings (cheaply cloneable `Arc<str>`) plus validity.
+    Str(Vec<Arc<str>>, NullBitmap),
+    /// Fallback preserving the boxed-cell semantics for columns that mix
+    /// value kinds across rows (or are entirely null, leaving no kind to
+    /// infer).
+    Mixed(Box<[Option<PropValue>]>),
+}
+
+impl TypedColumn {
+    /// Build a column from boxed cells, inferring the narrowest typed layout
+    /// that represents them (see the module documentation).
+    pub fn from_cells(cells: Vec<Option<PropValue>>) -> TypedColumn {
+        let mut kind: Option<PropType> = None;
+        for cell in cells.iter().flatten() {
+            let k = match cell {
+                PropValue::Int(_) => PropType::Int,
+                PropValue::Float(_) => PropType::Float,
+                PropValue::Bool(_) => PropType::Bool,
+                PropValue::Date(_) => PropType::Date,
+                PropValue::Str(_) => PropType::Str,
+                // an explicit Null value stored in a cell defeats typing:
+                // Some(Null) and None must stay distinguishable only through
+                // the Mixed fallback (typed validity cannot encode both)
+                PropValue::Null => return TypedColumn::Mixed(cells.into_boxed_slice()),
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => return TypedColumn::Mixed(cells.into_boxed_slice()),
+            }
+        }
+        let Some(kind) = kind else {
+            // entirely null: no observable kind
+            return TypedColumn::Mixed(cells.into_boxed_slice());
+        };
+        let mut validity = NullBitmap::new();
+        match kind {
+            PropType::Int | PropType::Date => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for cell in &cells {
+                    validity.push(cell.is_some());
+                    vals.push(match cell {
+                        Some(PropValue::Int(i)) | Some(PropValue::Date(i)) => *i,
+                        _ => 0,
+                    });
+                }
+                if kind == PropType::Int {
+                    TypedColumn::Int(vals, validity)
+                } else {
+                    TypedColumn::Date(vals, validity)
+                }
+            }
+            PropType::Float => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for cell in &cells {
+                    validity.push(cell.is_some());
+                    vals.push(match cell {
+                        Some(PropValue::Float(f)) => *f,
+                        _ => 0.0,
+                    });
+                }
+                TypedColumn::Float(vals, validity)
+            }
+            PropType::Bool => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for cell in &cells {
+                    validity.push(cell.is_some());
+                    vals.push(matches!(cell, Some(PropValue::Bool(true))));
+                }
+                TypedColumn::Bool(vals, validity)
+            }
+            PropType::Str => {
+                let empty: Arc<str> = Arc::from("");
+                let mut vals = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    validity.push(cell.is_some());
+                    vals.push(match cell {
+                        Some(PropValue::Str(s)) => s,
+                        _ => empty.clone(),
+                    });
+                }
+                TypedColumn::Str(vals, validity)
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            TypedColumn::Int(v, _) | TypedColumn::Date(v, _) => v.len(),
+            TypedColumn::Float(v, _) => v.len(),
+            TypedColumn::Bool(v, _) => v.len(),
+            TypedColumn::Str(v, _) => v.len(),
+            TypedColumn::Mixed(cells) => cells.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The inferred value type; `None` for the [`TypedColumn::Mixed`]
+    /// fallback.
+    pub fn kind(&self) -> Option<PropType> {
+        match self {
+            TypedColumn::Int(..) => Some(PropType::Int),
+            TypedColumn::Float(..) => Some(PropType::Float),
+            TypedColumn::Bool(..) => Some(PropType::Bool),
+            TypedColumn::Date(..) => Some(PropType::Date),
+            TypedColumn::Str(..) => Some(PropType::Str),
+            TypedColumn::Mixed(_) => None,
+        }
+    }
+
+    /// Whether row `row` holds a value.
+    #[inline]
+    pub fn is_valid(&self, row: usize) -> bool {
+        match self {
+            TypedColumn::Int(_, n)
+            | TypedColumn::Date(_, n)
+            | TypedColumn::Float(_, n)
+            | TypedColumn::Bool(_, n)
+            | TypedColumn::Str(_, n) => n.get(row),
+            TypedColumn::Mixed(cells) => cells.get(row).is_some_and(|c| c.is_some()),
+        }
+    }
+
+    /// The value at `row` (`None` when the row is null/absent) — the scalar
+    /// read path, identical in behaviour to the boxed layout.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<PropValue> {
+        match self {
+            TypedColumn::Int(v, n) => n.get(row).then(|| PropValue::Int(v[row])),
+            TypedColumn::Date(v, n) => n.get(row).then(|| PropValue::Date(v[row])),
+            TypedColumn::Float(v, n) => n.get(row).then(|| PropValue::Float(v[row])),
+            TypedColumn::Bool(v, n) => n.get(row).then(|| PropValue::Bool(v[row])),
+            TypedColumn::Str(v, n) => n.get(row).then(|| PropValue::Str(v[row].clone())),
+            TypedColumn::Mixed(cells) => cells.get(row).and_then(|c| c.clone()),
+        }
+    }
+
+    /// The integer value slice and validity bitmap of an [`TypedColumn::Int`]
+    /// column.
+    pub fn ints(&self) -> Option<(&[i64], &NullBitmap)> {
+        match self {
+            TypedColumn::Int(v, n) => Some((v, n)),
+            _ => None,
+        }
+    }
+
+    /// The date value slice and validity bitmap of a [`TypedColumn::Date`]
+    /// column.
+    pub fn dates(&self) -> Option<(&[i64], &NullBitmap)> {
+        match self {
+            TypedColumn::Date(v, n) => Some((v, n)),
+            _ => None,
+        }
+    }
+
+    /// The float value slice and validity bitmap of a [`TypedColumn::Float`]
+    /// column.
+    pub fn floats(&self) -> Option<(&[f64], &NullBitmap)> {
+        match self {
+            TypedColumn::Float(v, n) => Some((v, n)),
+            _ => None,
+        }
+    }
+
+    /// The boolean value slice and validity bitmap of a [`TypedColumn::Bool`]
+    /// column.
+    pub fn bools(&self) -> Option<(&[bool], &NullBitmap)> {
+        match self {
+            TypedColumn::Bool(v, n) => Some((v, n)),
+            _ => None,
+        }
+    }
+
+    /// The string value slice and validity bitmap of a [`TypedColumn::Str`]
+    /// column.
+    pub fn strs(&self) -> Option<(&[Arc<str>], &NullBitmap)> {
+        match self {
+            TypedColumn::Str(v, n) => Some((v, n)),
+            _ => None,
+        }
+    }
+
+    /// The raw cells of a [`TypedColumn::Mixed`] column.
+    pub fn mixed(&self) -> Option<&[Option<PropValue>]> {
+        match self {
+            TypedColumn::Mixed(cells) => Some(cells),
+            _ => None,
+        }
+    }
+}
+
+/// A borrowed reference to one cell of a [`TypedColumn`]: the column plus the
+/// row index of the record within it. This is what the [`crate::GraphView`]
+/// typed accessors hand to execution kernels — the kernel resolves the
+/// column's value slice once and then indexes it per row, instead of paying a
+/// `PropValue` clone per read.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnRef<'a> {
+    /// The typed column holding the cell.
+    pub column: &'a TypedColumn,
+    /// Row of the cell within the column (the record's in-label offset).
+    pub row: usize,
+}
+
+impl ColumnRef<'_> {
+    /// The cell's value (`None` when null/absent).
+    #[inline]
+    pub fn value(&self) -> Option<PropValue> {
+        self.column.get(self.row)
+    }
+
+    /// Whether the cell holds a value.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.column.is_valid(self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_push_get_count() {
+        let mut b = NullBitmap::new();
+        assert!(b.is_empty());
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(b.get(0) && !b.get(1) && b.get(129));
+        assert!(!b.get(500), "out of range is invalid");
+        assert_eq!(b.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+        let all = NullBitmap::all_valid(70);
+        assert_eq!(all.len(), 70);
+        assert_eq!(all.count_valid(), 70);
+        assert!(all.get(69) && !all.get(70));
+    }
+
+    #[test]
+    fn dense_int_column_is_typed() {
+        let cells = vec![Some(PropValue::Int(1)), None, Some(PropValue::Int(3))];
+        let c = TypedColumn::from_cells(cells);
+        assert_eq!(c.kind(), Some(PropType::Int));
+        assert_eq!(c.len(), 3);
+        let (vals, nulls) = c.ints().unwrap();
+        assert_eq!(vals, &[1, 0, 3]);
+        assert!(nulls.get(0) && !nulls.get(1) && nulls.get(2));
+        assert_eq!(c.get(0), Some(PropValue::Int(1)));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(2), Some(PropValue::Int(3)));
+        assert_eq!(c.get(99), None);
+        assert!(c.is_valid(0) && !c.is_valid(1));
+    }
+
+    #[test]
+    fn each_primitive_kind_gets_its_own_variant() {
+        let f = TypedColumn::from_cells(vec![Some(PropValue::Float(2.5)), None]);
+        assert_eq!(f.kind(), Some(PropType::Float));
+        assert_eq!(f.floats().unwrap().0, &[2.5, 0.0]);
+        assert_eq!(f.get(0), Some(PropValue::Float(2.5)));
+
+        let b = TypedColumn::from_cells(vec![Some(PropValue::Bool(true)), None]);
+        assert_eq!(b.kind(), Some(PropType::Bool));
+        assert_eq!(b.bools().unwrap().0, &[true, false]);
+        assert_eq!(b.get(0), Some(PropValue::Bool(true)));
+
+        let d = TypedColumn::from_cells(vec![Some(PropValue::Date(7)), None]);
+        assert_eq!(d.kind(), Some(PropType::Date));
+        assert_eq!(d.dates().unwrap().0, &[7, 0]);
+        assert_eq!(d.get(0), Some(PropValue::Date(7)));
+        assert!(d.ints().is_none(), "dates are not ints");
+
+        let s = TypedColumn::from_cells(vec![Some(PropValue::str("x")), None]);
+        assert_eq!(s.kind(), Some(PropType::Str));
+        assert_eq!(&*s.strs().unwrap().0[0], "x");
+        assert_eq!(s.get(0), Some(PropValue::str("x")));
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn mixed_and_all_null_columns_fall_back() {
+        let m = TypedColumn::from_cells(vec![
+            Some(PropValue::Int(1)),
+            Some(PropValue::str("x")),
+            None,
+        ]);
+        assert_eq!(m.kind(), None);
+        assert!(m.mixed().is_some());
+        assert_eq!(m.get(0), Some(PropValue::Int(1)));
+        assert_eq!(m.get(1), Some(PropValue::str("x")));
+        assert_eq!(m.get(2), None);
+
+        let all_null = TypedColumn::from_cells(vec![None, None]);
+        assert_eq!(all_null.kind(), None);
+        assert_eq!(all_null.get(0), None);
+        assert_eq!(all_null.len(), 2);
+
+        // explicit stored Null values keep Some(Null) vs None distinguishable
+        let with_null =
+            TypedColumn::from_cells(vec![Some(PropValue::Null), Some(PropValue::Int(1))]);
+        assert_eq!(with_null.kind(), None);
+        assert_eq!(with_null.get(0), Some(PropValue::Null));
+    }
+
+    #[test]
+    fn column_ref_reads_cells() {
+        let c = TypedColumn::from_cells(vec![Some(PropValue::Int(5)), None]);
+        let r = ColumnRef { column: &c, row: 0 };
+        assert!(r.is_valid());
+        assert_eq!(r.value(), Some(PropValue::Int(5)));
+        let r = ColumnRef { column: &c, row: 1 };
+        assert!(!r.is_valid());
+        assert_eq!(r.value(), None);
+    }
+}

@@ -62,6 +62,7 @@
 //! Build one with [`GraphBuilder`]; the CSR arrays and property columns are
 //! materialised in [`GraphBuilder::finish`].
 
+use crate::column::{ColumnRef, TypedColumn};
 use crate::error::GraphError;
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
 use crate::schema::GraphSchema;
@@ -210,34 +211,32 @@ impl CsrAdjacency {
     }
 }
 
-/// Columnar property storage: one dense column per (record label, property
-/// key), indexed by the record's in-label offset. `None` cells are absent
-/// properties; whole columns are `None` when no record of that label carries
-/// the key.
+/// Columnar property storage: one [`TypedColumn`] per (record label, property
+/// key), indexed by the record's in-label offset. Null-bitmap bits (or `None`
+/// cells of a `Mixed` column) mark absent properties; whole columns are `None`
+/// when no record of that label carries the key.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PropColumns {
     n_keys: usize,
     /// `columns[label.index() * n_keys + key.index()]`.
-    columns: Vec<Option<Box<[Option<PropValue>]>>>,
+    columns: Vec<Option<TypedColumn>>,
 }
 
 impl PropColumns {
-    /// Scatter per-record property lists into columns. `label_sizes[l]` is the
-    /// number of records with label `l`; `(label, in_label_offset)` locates
-    /// each record.
+    /// Scatter per-record property lists into boxed cells, then infer one
+    /// typed layout per column ([`TypedColumn::from_cells`]). `label_sizes[l]`
+    /// is the number of records with label `l`; `(label, in_label_offset)`
+    /// locates each record.
     pub(crate) fn build(
         n_keys: usize,
         label_sizes: &[usize],
         records: impl Iterator<Item = (LabelId, u32, Box<[(PropKeyId, PropValue)]>)>,
     ) -> PropColumns {
-        let mut columns: Vec<Option<Box<[Option<PropValue>]>>> =
-            vec![None; label_sizes.len() * n_keys];
+        let mut cells: Vec<Option<Vec<Option<PropValue>>>> = vec![None; label_sizes.len() * n_keys];
         for (label, off, props) in records {
             for (key, value) in props.into_vec() {
-                let col = &mut columns[label.index() * n_keys + key.index()];
-                let col = col.get_or_insert_with(|| {
-                    vec![None; label_sizes[label.index()]].into_boxed_slice()
-                });
+                let col = &mut cells[label.index() * n_keys + key.index()];
+                let col = col.get_or_insert_with(|| vec![None; label_sizes[label.index()]]);
                 let cell = &mut col[off as usize];
                 // first-wins on duplicate keys within one record, matching the
                 // pre-columnar layout's linear `find` over the property list
@@ -246,7 +245,25 @@ impl PropColumns {
                 }
             }
         }
-        PropColumns { n_keys, columns }
+        PropColumns {
+            n_keys,
+            columns: cells
+                .into_iter()
+                .map(|c| c.map(TypedColumn::from_cells))
+                .collect(),
+        }
+    }
+
+    /// The typed column of `(label, key)`, when any record of that label
+    /// carries the key.
+    #[inline]
+    pub(crate) fn column(&self, label: LabelId, key: PropKeyId) -> Option<&TypedColumn> {
+        if key.index() >= self.n_keys {
+            return None;
+        }
+        self.columns
+            .get(label.index() * self.n_keys + key.index())?
+            .as_ref()
     }
 
     #[inline]
@@ -255,12 +272,35 @@ impl PropColumns {
         label: LabelId,
         in_label_offset: u32,
         key: PropKeyId,
-    ) -> Option<&PropValue> {
-        if key.index() >= self.n_keys {
-            return None;
-        }
-        self.columns[label.index() * self.n_keys + key.index()].as_ref()?[in_label_offset as usize]
-            .as_ref()
+    ) -> Option<PropValue> {
+        self.column(label, key)?.get(in_label_offset as usize)
+    }
+
+    #[inline]
+    pub(crate) fn cell(
+        &self,
+        label: LabelId,
+        in_label_offset: u32,
+        key: PropKeyId,
+    ) -> Option<ColumnRef<'_>> {
+        self.column(label, key).map(|column| ColumnRef {
+            column,
+            row: in_label_offset as usize,
+        })
+    }
+
+    /// Iterate the populated columns as `(label, key, column)` triples.
+    pub(crate) fn iter_columns(&self) -> impl Iterator<Item = (LabelId, PropKeyId, &TypedColumn)> {
+        let n_keys = self.n_keys;
+        self.columns.iter().enumerate().filter_map(move |(i, c)| {
+            c.as_ref().map(|col| {
+                (
+                    LabelId((i / n_keys) as u16),
+                    PropKeyId((i % n_keys) as u16),
+                    col,
+                )
+            })
+        })
     }
 }
 
@@ -509,9 +549,11 @@ impl PropertyGraph {
         &self.prop_keys[id.index()]
     }
 
-    /// Look up a vertex property by key id: O(1) column access.
+    /// Look up a vertex property by key id: O(1) column access. Returns an
+    /// owned value ([`PropValue`] is cheap to materialise from typed storage;
+    /// strings are `Arc`-shared).
     #[inline]
-    pub fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
+    pub fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<PropValue> {
         self.vertex_props.get(
             self.vertex_labels[v.index()],
             self.vertex_in_label_offset[v.index()],
@@ -520,13 +562,13 @@ impl PropertyGraph {
     }
 
     /// Look up a vertex property by name.
-    pub fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<&PropValue> {
+    pub fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<PropValue> {
         self.prop_key(name).and_then(|k| self.vertex_prop(v, k))
     }
 
     /// Look up an edge property by key id: O(1) column access.
     #[inline]
-    pub fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
+    pub fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<PropValue> {
         self.edge_props.get(
             self.edge_labels[e.index()],
             self.edge_in_label_offset[e.index()],
@@ -535,8 +577,43 @@ impl PropertyGraph {
     }
 
     /// Look up an edge property by name.
-    pub fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<&PropValue> {
+    pub fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<PropValue> {
         self.prop_key(name).and_then(|k| self.edge_prop(e, k))
+    }
+
+    /// The typed property column of `(vertex label, key)`, when populated —
+    /// the column-slice entry point of the batch kernels.
+    #[inline]
+    pub fn vertex_prop_column(&self, label: LabelId, key: PropKeyId) -> Option<&TypedColumn> {
+        self.vertex_props.column(label, key)
+    }
+
+    /// The typed property column of `(edge label, key)`, when populated.
+    #[inline]
+    pub fn edge_prop_column(&self, label: LabelId, key: PropKeyId) -> Option<&TypedColumn> {
+        self.edge_props.column(label, key)
+    }
+
+    /// The typed cell holding `v`'s `key` property: the `(label, key)` column
+    /// plus the vertex's row within it. `None` when no vertex of `v`'s label
+    /// carries the key.
+    #[inline]
+    pub fn vertex_prop_cell(&self, v: VertexId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        self.vertex_props.cell(
+            self.vertex_labels[v.index()],
+            self.vertex_in_label_offset[v.index()],
+            key,
+        )
+    }
+
+    /// The typed cell holding `e`'s `key` property.
+    #[inline]
+    pub fn edge_prop_cell(&self, e: EdgeId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        self.edge_props.cell(
+            self.edge_labels[e.index()],
+            self.edge_in_label_offset[e.index()],
+            key,
+        )
     }
 
     /// Extract a schema from the data itself: one vertex label per observed label,
@@ -809,9 +886,24 @@ impl GraphBuilder {
                 .map(|(i, e)| (e.label, edge_in_label_offset[i], e.props)),
         );
 
+        // register the inferred per-(label, key) value types in the schema so
+        // the optimizer's type inference can consult them (declared types win;
+        // Mixed columns register nothing)
+        let mut schema = self.schema;
+        for (label, key, col) in vertex_props.iter_columns() {
+            if let Some(kind) = col.kind() {
+                schema.register_vertex_prop_type(label, &self.prop_keys[key.index()], kind);
+            }
+        }
+        for (label, key, col) in edge_props.iter_columns() {
+            if let Some(kind) = col.kind() {
+                schema.register_edge_prop_type(label, &self.prop_keys[key.index()], kind);
+            }
+        }
+
         static NEXT_BUILD_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         PropertyGraph {
-            schema: self.schema,
+            schema,
             build_id: NEXT_BUILD_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             vertex_labels,
             vertex_in_label_offset,
@@ -957,11 +1049,11 @@ mod tests {
         let p1 = VertexId(0);
         assert_eq!(
             g.vertex_prop_by_name(p1, "name"),
-            Some(&PropValue::str("alice"))
+            Some(PropValue::str("alice"))
         );
         assert!(g.vertex_prop_by_name(p1, "missing").is_none());
         let e3 = EdgeId(3);
-        assert_eq!(g.edge_prop_by_name(e3, "year"), Some(&PropValue::Int(2020)));
+        assert_eq!(g.edge_prop_by_name(e3, "year"), Some(PropValue::Int(2020)));
         // edges without the property return None even when the column exists
         assert!(g.edge_prop_by_name(EdgeId(0), "year").is_none());
         let key = g.prop_key("name").unwrap();
@@ -991,8 +1083,8 @@ mod tests {
             )
             .unwrap();
         let g = b.finish();
-        assert_eq!(g.vertex_prop_by_name(v, "name"), Some(&PropValue::Int(1)));
-        assert_eq!(g.edge_prop_by_name(e, "since"), Some(&PropValue::Int(3)));
+        assert_eq!(g.vertex_prop_by_name(v, "name"), Some(PropValue::Int(1)));
+        assert_eq!(g.edge_prop_by_name(e, "since"), Some(PropValue::Int(3)));
     }
 
     #[test]

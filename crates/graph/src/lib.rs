@@ -16,8 +16,14 @@
 //!
 //! The graph model follows the property graph model used by the paper: every vertex and
 //! edge carries exactly one label (type) and a set of key/value properties; edges are
-//! directed.
+//! directed. Properties are stored as typed columns with null bitmaps
+//! ([`mod@column`]): per-(label, key) value vectors the vectorized execution
+//! pipeline reads as slices, with a `Mixed` fallback preserving boxed-cell
+//! semantics for heterogeneous columns.
 
+#![warn(missing_docs)]
+
+pub mod column;
 pub mod error;
 pub mod generator;
 pub mod graph;
@@ -29,6 +35,7 @@ pub mod stats;
 pub mod value;
 pub mod view;
 
+pub use column::{ColumnRef, NullBitmap, TypedColumn};
 pub use error::GraphError;
 pub use graph::{Adj, CsrAdjacency, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};

@@ -35,6 +35,7 @@
 //! global catalog (edges are identified globally; only *vertex* state is
 //! partitioned, as in the paper's vertex-cut-free deployment).
 
+use crate::column::{ColumnRef, TypedColumn};
 use crate::graph::{Adj, CsrAdjacency, PropColumns, PropertyGraph};
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
 use crate::schema::GraphSchema;
@@ -137,10 +138,25 @@ impl GraphShard {
         self.in_adj.edges(VertexId(local as u64))
     }
 
-    /// Property of the local vertex `local`.
-    pub fn vertex_prop_local(&self, local: usize, key: PropKeyId) -> Option<&PropValue> {
+    /// Property of the local vertex `local` (owned value).
+    pub fn vertex_prop_local(&self, local: usize, key: PropKeyId) -> Option<PropValue> {
         self.props
             .get(self.labels[local], self.in_label_offset[local], key)
+    }
+
+    /// The typed cell holding the `key` property of local vertex `local`:
+    /// the shard's `(label, key)` column plus the vertex's row within it.
+    pub fn vertex_prop_cell_local(&self, local: usize, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        self.props
+            .cell(self.labels[local], self.in_label_offset[local], key)
+    }
+
+    /// The shard's typed property column of `(vertex label, key)`, when any
+    /// local vertex of that label carries the key. Each shard infers its own
+    /// layout from its local cells, so a column that is `Mixed` globally can
+    /// still be typed in a shard that only holds one kind.
+    pub fn prop_column(&self, label: LabelId, key: PropKeyId) -> Option<&TypedColumn> {
+        self.props.column(label, key)
     }
 }
 
@@ -236,7 +252,7 @@ impl PartitionedGraph {
                     let props: Box<[(PropKeyId, PropValue)]> = (0..n_keys as u16)
                         .filter_map(|k| {
                             let key = PropKeyId(k);
-                            graph.vertex_prop(v, key).map(|val| (key, val.clone()))
+                            graph.vertex_prop(v, key).map(|val| (key, val))
                         })
                         .collect();
                     (v_labels[local], in_label_offset[local], props)
@@ -367,13 +383,24 @@ impl GraphView for PartitionedGraph {
     }
 
     #[inline]
-    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
+    fn vertex_prop_cell(&self, v: VertexId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        let (shard, local) = self.locate(v);
+        shard.vertex_prop_cell_local(local, key)
+    }
+
+    #[inline]
+    fn edge_prop_cell(&self, e: EdgeId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        self.base.edge_prop_cell(e, key)
+    }
+
+    #[inline]
+    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<PropValue> {
         let (shard, local) = self.locate(v);
         shard.vertex_prop_local(local, key)
     }
 
     #[inline]
-    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
+    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<PropValue> {
         self.base.edge_prop(e, key)
     }
 }
@@ -460,7 +487,7 @@ mod tests {
                     VertexId(5),
                 )
                 .unwrap();
-            assert_eq!(GraphView::edge_prop(&pg, e, w), Some(&PropValue::Int(1)));
+            assert_eq!(GraphView::edge_prop(&pg, e, w), Some(PropValue::Int(1)));
         }
     }
 }

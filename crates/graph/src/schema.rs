@@ -286,6 +286,50 @@ impl GraphSchema {
             .iter()
             .any(|e| e.endpoints.iter().any(|&(_, d)| d == vlabel))
     }
+
+    /// The declared (or inferred, see
+    /// [`register_vertex_prop_type`](Self::register_vertex_prop_type)) value
+    /// type of property `name` on vertex label `label`.
+    pub fn vertex_prop_type(&self, label: LabelId, name: &str) -> Option<PropType> {
+        self.vertex_labels
+            .get(label.index())?
+            .properties
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.kind)
+    }
+
+    /// The declared (or inferred) value type of property `name` on edge label
+    /// `label`.
+    pub fn edge_prop_type(&self, label: LabelId, name: &str) -> Option<PropType> {
+        self.edge_labels
+            .get(label.index())?
+            .properties
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.kind)
+    }
+
+    /// Record a property type inferred from the data for a vertex label.
+    /// A type already declared (or previously registered) for the name wins —
+    /// registration never overrides.
+    pub fn register_vertex_prop_type(&mut self, label: LabelId, name: &str, kind: PropType) {
+        if let Some(def) = self.vertex_labels.get_mut(label.index()) {
+            if !def.properties.iter().any(|p| p.name == name) {
+                def.properties.push(PropertyDef::new(name, kind));
+            }
+        }
+    }
+
+    /// Record a property type inferred from the data for an edge label
+    /// (declared types win, as for vertices).
+    pub fn register_edge_prop_type(&mut self, label: LabelId, name: &str, kind: PropType) {
+        if let Some(def) = self.edge_labels.get_mut(label.index()) {
+            if !def.properties.iter().any(|p| p.name == name) {
+                def.properties.push(PropertyDef::new(name, kind));
+            }
+        }
+    }
 }
 
 /// Build the schema of the paper's Fig. 5(a): `Person`, `Post`, `Forum` with edges
@@ -451,6 +495,30 @@ mod tests {
         assert_eq!(s.dst_labels_of(person, located), vec![place]);
         assert_eq!(s.src_labels_of(place, located), vec![person]);
         assert!(s.dst_labels_of(place, located).is_empty());
+    }
+
+    #[test]
+    fn prop_types_declared_and_registered() {
+        let mut s = fig6_schema();
+        let person = s.vertex_label("Person").unwrap();
+        let knows = s.edge_label("Knows").unwrap();
+        // declared
+        assert_eq!(s.vertex_prop_type(person, "name"), Some(PropType::Str));
+        assert_eq!(s.vertex_prop_type(person, "creationDate"), None);
+        // registration fills gaps but never overrides
+        s.register_vertex_prop_type(person, "creationDate", PropType::Date);
+        assert_eq!(
+            s.vertex_prop_type(person, "creationDate"),
+            Some(PropType::Date)
+        );
+        s.register_vertex_prop_type(person, "name", PropType::Int);
+        assert_eq!(s.vertex_prop_type(person, "name"), Some(PropType::Str));
+        assert_eq!(s.edge_prop_type(knows, "since"), None);
+        s.register_edge_prop_type(knows, "since", PropType::Int);
+        assert_eq!(s.edge_prop_type(knows, "since"), Some(PropType::Int));
+        // out-of-range labels answer None and register as a no-op
+        assert_eq!(s.vertex_prop_type(LabelId(99), "x"), None);
+        s.register_edge_prop_type(LabelId(99), "x", PropType::Int);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! slice sorted by `(neighbor, edge)` without allocating, regardless of which
 //! physical shard the slice lives in.
 
+use crate::column::ColumnRef;
 use crate::graph::Adj;
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
 use crate::schema::GraphSchema;
@@ -74,19 +75,34 @@ pub trait GraphView: Sync {
     /// Look up an interned property key by name.
     fn prop_key(&self, name: &str) -> Option<PropKeyId>;
 
-    /// Look up a vertex property by interned key.
-    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue>;
+    /// The typed cell holding `v`'s `key` property: the owning storage's
+    /// per-(label, key) [`crate::TypedColumn`] plus the vertex's row within
+    /// it. `None` when no vertex of `v`'s label carries the key (in whatever
+    /// shard owns `v`). This is the zero-clone accessor the batch kernels
+    /// resolve column slices through.
+    fn vertex_prop_cell(&self, v: VertexId, key: PropKeyId) -> Option<ColumnRef<'_>>;
+
+    /// The typed cell holding `e`'s `key` property.
+    fn edge_prop_cell(&self, e: EdgeId, key: PropKeyId) -> Option<ColumnRef<'_>>;
+
+    /// Look up a vertex property by interned key (owned value; strings are
+    /// `Arc`-shared, so this never copies string bytes).
+    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<PropValue> {
+        self.vertex_prop_cell(v, key).and_then(|c| c.value())
+    }
 
     /// Look up an edge property by interned key.
-    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue>;
+    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<PropValue> {
+        self.edge_prop_cell(e, key).and_then(|c| c.value())
+    }
 
     /// Look up a vertex property by name.
-    fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<&PropValue> {
+    fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<PropValue> {
         self.prop_key(name).and_then(|k| self.vertex_prop(v, k))
     }
 
     /// Look up an edge property by name.
-    fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<&PropValue> {
+    fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<PropValue> {
         self.prop_key(name).and_then(|k| self.edge_prop(e, k))
     }
 }
@@ -144,19 +160,27 @@ impl GraphView for PropertyGraph {
         PropertyGraph::prop_key(self, name)
     }
 
-    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<&PropValue> {
+    fn vertex_prop_cell(&self, v: VertexId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        PropertyGraph::vertex_prop_cell(self, v, key)
+    }
+
+    fn edge_prop_cell(&self, e: EdgeId, key: PropKeyId) -> Option<ColumnRef<'_>> {
+        PropertyGraph::edge_prop_cell(self, e, key)
+    }
+
+    fn vertex_prop(&self, v: VertexId, key: PropKeyId) -> Option<PropValue> {
         PropertyGraph::vertex_prop(self, v, key)
     }
 
-    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<&PropValue> {
+    fn edge_prop(&self, e: EdgeId, key: PropKeyId) -> Option<PropValue> {
         PropertyGraph::edge_prop(self, e, key)
     }
 
-    fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<&PropValue> {
+    fn vertex_prop_by_name(&self, v: VertexId, name: &str) -> Option<PropValue> {
         PropertyGraph::vertex_prop_by_name(self, v, name)
     }
 
-    fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<&PropValue> {
+    fn edge_prop_by_name(&self, e: EdgeId, name: &str) -> Option<PropValue> {
         PropertyGraph::edge_prop_by_name(self, e, name)
     }
 }
@@ -183,15 +207,23 @@ mod tests {
         assert_eq!(g.edges_between(s, knows, d).len(), 1);
         assert_eq!(
             g.vertex_prop_by_name(s, "name"),
-            Some(&PropValue::str("alice"))
+            Some(PropValue::str("alice"))
         );
         assert_eq!(
             g.edge_prop_by_name(EdgeId(0), "since"),
-            Some(&PropValue::Int(7))
+            Some(PropValue::Int(7))
         );
         let key = g.prop_key("name").unwrap();
-        assert_eq!(g.vertex_prop(s, key), Some(&PropValue::str("alice")));
+        assert_eq!(g.vertex_prop(s, key), Some(PropValue::str("alice")));
         assert!(g.edge_prop(EdgeId(0), key).is_none());
+        // typed cell accessors agree with the scalar reads
+        let cell = g.vertex_prop_cell(s, key).unwrap();
+        assert!(cell.is_valid());
+        assert_eq!(cell.value(), Some(PropValue::str("alice")));
+        let since = g.prop_key("since").unwrap();
+        let ecell = g.edge_prop_cell(EdgeId(0), since).unwrap();
+        assert_eq!(ecell.value(), Some(PropValue::Int(7)));
+        assert!(g.edge_prop_cell(EdgeId(0), key).is_none());
     }
 
     #[test]

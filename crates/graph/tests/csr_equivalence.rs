@@ -114,7 +114,7 @@ fn assert_layouts_agree(g: &PropertyGraph, naive: &NaiveGraph) {
         // vertex properties, present and missing
         for key in PROP_KEYS {
             let got = g.prop_key(key).and_then(|k| g.vertex_prop(v, k));
-            let want = naive.vertex_prop(v, naive_key(key));
+            let want = naive.vertex_prop(v, naive_key(key)).cloned();
             assert_eq!(got, want, "vertex prop {key} of {v}");
         }
         assert!(g.vertex_prop_by_name(v, "no_such_key").is_none());
@@ -139,7 +139,7 @@ fn assert_layouts_agree(g: &PropertyGraph, naive: &NaiveGraph) {
         assert_eq!(g.edge_endpoints(e), naive.edge_endpoints(e));
         for key in PROP_KEYS {
             let got = g.prop_key(key).and_then(|k| g.edge_prop(e, k));
-            let want = naive.edge_prop(e, naive_key(key));
+            let want = naive.edge_prop(e, naive_key(key)).cloned();
             assert_eq!(got, want, "edge prop {key} of {e}");
         }
     }

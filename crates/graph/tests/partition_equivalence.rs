@@ -10,7 +10,9 @@ use gopt_graph::graph::GraphBuilder;
 use gopt_graph::reference::{Insertion, NaiveGraph};
 use gopt_graph::schema::fig6_schema;
 use gopt_graph::view::GraphView;
-use gopt_graph::{Adj, LabelId, PartitionedGraph, PropKeyId, PropValue, PropertyGraph, VertexId};
+use gopt_graph::{
+    Adj, LabelId, PartitionedGraph, PropKeyId, PropType, PropValue, PropertyGraph, VertexId,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -27,11 +29,30 @@ fn random_layouts(seed: u64, n_vertices: usize, n_edges: usize) -> (PropertyGrap
     let mut b = GraphBuilder::new(schema).without_validation();
     let mut insertions = Vec::new();
 
+    // per-key value kinds chosen to exercise every typed-column layout:
+    // `id` stays Int (dense typed), `name` mixes Str and Int cells (Mixed
+    // fallback), `weight` is Float, `since` is Date — all sparse, so null
+    // bitmaps are exercised too
     let random_props = |rng: &mut SmallRng| {
         let mut props: Vec<(&'static str, PropValue)> = Vec::new();
         for key in PROP_KEYS {
             if rng.gen_bool(0.4) {
-                props.push((key, PropValue::Int(rng.gen_range(0i64..1000))));
+                let n = rng.gen_range(0i64..1000);
+                props.push((
+                    key,
+                    match key {
+                        "id" => PropValue::Int(n),
+                        "name" => {
+                            if n % 2 == 0 {
+                                PropValue::str(format!("n{n}"))
+                            } else {
+                                PropValue::Int(n)
+                            }
+                        }
+                        "weight" => PropValue::Float(n as f64 / 8.0),
+                        _ => PropValue::Date(n),
+                    },
+                ));
             }
         }
         props
@@ -114,11 +135,25 @@ fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usi
                 "in[{v}, {l}]"
             );
         }
-        // vertex properties now answered by the shard's columns
+        // vertex properties now answered by the shard's typed columns, both
+        // through the scalar read and the typed cell accessor
         for key in PROP_KEYS {
             let got = GraphView::vertex_prop_by_name(&pg, v, key);
-            let want = naive.vertex_prop(v, naive_key(key));
+            let want = naive.vertex_prop(v, naive_key(key)).cloned();
             assert_eq!(got, want, "vertex prop {key} of {v}");
+            if let Some(k) = g.prop_key(key) {
+                let cell = GraphView::vertex_prop_cell(&pg, v, k);
+                assert_eq!(
+                    cell.and_then(|c| c.value()),
+                    want,
+                    "typed cell of {key} on {v}"
+                );
+                assert_eq!(
+                    g.vertex_prop_cell(v, k).and_then(|c| c.value()),
+                    GraphView::vertex_prop(&pg, v, k),
+                    "monolithic vs sharded typed cell of {key} on {v}"
+                );
+            }
         }
     }
     assert_eq!(merged_out, naive.edge_count(), "no edge lost or duplicated");
@@ -144,7 +179,11 @@ fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usi
         assert_eq!(GraphView::edge_endpoints(&pg, e), naive.edge_endpoints(e));
         for key in PROP_KEYS {
             let got = GraphView::edge_prop_by_name(&pg, e, key);
-            assert_eq!(got, naive.edge_prop(e, naive_key(key)), "edge prop of {e}");
+            assert_eq!(
+                got,
+                naive.edge_prop(e, naive_key(key)).cloned(),
+                "edge prop of {e}"
+            );
         }
     }
 
@@ -164,6 +203,58 @@ fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usi
     from_shards.sort_unstable_by_key(key);
     from_mono.sort_unstable_by_key(key);
     assert_eq!(from_shards, from_mono);
+
+    // every shard's typed property columns hold exactly the naive cells of
+    // the shard's local vertices (in local in-label order) and infer a typed
+    // kind iff all non-null local cells share one kind
+    for shard in pg.shards() {
+        for key in PROP_KEYS {
+            let Some(k) = g.prop_key(key) else { continue };
+            for l in 0..GraphView::schema(g).vertex_label_count() as u16 {
+                let l = LabelId(l);
+                let cells: Vec<Option<PropValue>> = shard
+                    .vertices()
+                    .iter()
+                    .filter(|&&v| g.vertex_label(v) == l)
+                    .map(|&v| naive.vertex_prop(v, naive_key(key)).cloned())
+                    .collect();
+                let col = shard.prop_column(l, k);
+                if cells.iter().all(|c| c.is_none()) {
+                    if let Some(col) = col {
+                        assert!((0..col.len()).all(|r| col.get(r).is_none()));
+                    }
+                    continue;
+                }
+                let col = col.expect("a column with data exists");
+                assert_eq!(col.len(), cells.len(), "column rows of ({l}, {key})");
+                for (r, want) in cells.iter().enumerate() {
+                    assert_eq!(col.get(r), *want, "cell {r} of ({l}, {key})");
+                }
+                let kinds: Vec<PropType> = cells.iter().flatten().map(kind_of).collect();
+                let expect = if kinds.windows(2).all(|w| w[0] == w[1]) {
+                    Some(kinds[0])
+                } else {
+                    None
+                };
+                assert_eq!(
+                    col.kind(),
+                    expect,
+                    "inferred kind of shard column ({l}, {key})"
+                );
+            }
+        }
+    }
+}
+
+fn kind_of(v: &PropValue) -> PropType {
+    match v {
+        PropValue::Int(_) => PropType::Int,
+        PropValue::Float(_) => PropType::Float,
+        PropValue::Bool(_) => PropType::Bool,
+        PropValue::Date(_) => PropType::Date,
+        PropValue::Str(_) => PropType::Str,
+        PropValue::Null => unreachable!("generator never stores explicit nulls"),
+    }
 }
 
 proptest! {
@@ -178,6 +269,88 @@ proptest! {
     ) {
         let (g, naive) = random_layouts(seed, vertices, edges);
         assert_sharding_agrees(&g, &naive, partitions);
+    }
+}
+
+/// Hand-built dense / sparse / mixed / all-null columns keep their typed
+/// answers (and sensible layouts) at every partition count.
+#[test]
+fn typed_columns_survive_sharding_dense_sparse_mixed_and_all_null() {
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut persons = Vec::new();
+    for i in 0..8i64 {
+        let mut props = vec![("id", PropValue::Int(i))];
+        if i % 2 == 0 {
+            props.push(("since", PropValue::Date(100 + i)));
+        }
+        // mixed globally, but partition 1 of a 4-way split only ever sees Ints
+        props.push(if i == 0 {
+            ("name", PropValue::str("zero"))
+        } else {
+            ("name", PropValue::Int(i))
+        });
+        persons.push(b.add_vertex_by_name("Person", props).unwrap());
+    }
+    let place = b
+        .add_vertex_by_name("Place", vec![("weight", PropValue::Float(2.5))])
+        .unwrap();
+    let g = b.finish();
+    let person = g.schema().vertex_label("Person").unwrap();
+    let id = g.prop_key("id").unwrap();
+    let since = g.prop_key("since").unwrap();
+    let name = g.prop_key("name").unwrap();
+    let weight = g.prop_key("weight").unwrap();
+
+    // monolithic layout: dense Int, sparse Date, mixed fallback
+    assert_eq!(
+        g.vertex_prop_column(person, id).unwrap().kind(),
+        Some(PropType::Int)
+    );
+    assert_eq!(
+        g.vertex_prop_column(person, since).unwrap().kind(),
+        Some(PropType::Date)
+    );
+    assert_eq!(g.vertex_prop_column(person, name).unwrap().kind(), None);
+    assert!(
+        g.vertex_prop_column(person, weight).is_none(),
+        "all-null column is absent"
+    );
+
+    for parts in [1usize, 2, 4] {
+        let pg = PartitionedGraph::build(&g, parts);
+        for (i, &v) in persons.iter().enumerate() {
+            let i = i as i64;
+            assert_eq!(GraphView::vertex_prop(&pg, v, id), Some(PropValue::Int(i)));
+            assert_eq!(
+                GraphView::vertex_prop(&pg, v, since),
+                (i % 2 == 0).then(|| PropValue::Date(100 + i)),
+                "sparse cell of v{i} at p={parts}"
+            );
+            // the all-null key has no column in any shard
+            assert!(GraphView::vertex_prop_cell(&pg, v, weight).is_none());
+            let cell = GraphView::vertex_prop_cell(&pg, v, id).unwrap();
+            assert_eq!(cell.value(), Some(PropValue::Int(i)));
+        }
+        assert_eq!(
+            GraphView::vertex_prop(&pg, place, weight),
+            Some(PropValue::Float(2.5))
+        );
+        // dense columns stay typed in every shard that holds Persons
+        for shard in pg.shards() {
+            if let Some(col) = shard.prop_column(person, id) {
+                assert_eq!(col.kind(), Some(PropType::Int));
+            }
+        }
+        if parts == 4 {
+            // shard 0 holds v0 (Str) and v4 (Int) → Mixed; shard 1 holds
+            // v1, v5 (both Int) → the shard re-infers a typed layout even
+            // though the global column is Mixed
+            assert_eq!(pg.shard(0).prop_column(person, name).unwrap().kind(), None);
+            assert_eq!(
+                pg.shard(1).prop_column(person, name).unwrap().kind(),
+                Some(PropType::Int)
+            );
+        }
     }
 }
 

@@ -165,6 +165,123 @@ fn random_plan_orders_agree_on_both_engines() {
     }
 }
 
+/// Typed-property predicate coverage: plans filtering and projecting over
+/// dense, sparse, mixed and all-null property columns must agree between the
+/// scalar oracle and the batched engine (whose `Select` takes the typed
+/// column kernels when the predicate shape allows) at partitions {1, 2, 4}.
+#[test]
+fn typed_property_predicates_agree_on_both_engines() {
+    use gopt::gir::expr::{BinOp, Expr};
+    use gopt::gir::pattern::Direction;
+    use gopt::gir::physical::{PhysicalOp, PhysicalPlan};
+    use gopt::gir::TypeConstraint;
+    use gopt::graph::{GraphBuilder, PropValue};
+
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut persons = Vec::new();
+    for i in 0..12i64 {
+        let mut props = vec![
+            ("age", PropValue::Int(20 + i)),             // dense Int
+            ("score", PropValue::Float(i as f64 / 3.0)), // dense Float
+            ("nick", PropValue::str(format!("p{i}"))),   // dense Str
+        ];
+        if i % 3 == 0 {
+            props.push(("seen", PropValue::Date(7000 + i))); // sparse Date
+        }
+        props.push(if i < 6 {
+            ("tag", PropValue::Int(i)) // mixed column: Int then Str cells
+        } else {
+            ("tag", PropValue::str("t"))
+        });
+        persons.push(b.add_vertex_by_name("Person", props).unwrap());
+    }
+    // `capacity` exists only on Places: all-null from Person's point of view
+    b.add_vertex_by_name("Place", vec![("capacity", PropValue::Int(9))])
+        .unwrap();
+    for w in persons.windows(2) {
+        b.add_edge_by_name(
+            "Knows",
+            w[0],
+            w[1],
+            vec![("since", PropValue::Int(w[1].0 as i64))],
+        )
+        .unwrap();
+    }
+    let graph = b.finish();
+    let person = TypeConstraint::basic(graph.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(graph.schema().edge_label("Knows").unwrap());
+
+    let predicates: Vec<Expr> = vec![
+        // dense Int: kernel hit
+        Expr::binary(BinOp::Lt, Expr::prop("b", "age"), Expr::lit(27)),
+        // literal-on-the-left flips the operator
+        Expr::binary(BinOp::Ge, Expr::lit(27), Expr::prop("b", "age")),
+        // sparse Date: null bitmap consulted
+        Expr::binary(
+            BinOp::Le,
+            Expr::prop("b", "seen"),
+            Expr::lit(PropValue::Date(7006)),
+        ),
+        // cross-kind: Date column vs Int literal is a constant ordering
+        Expr::binary(BinOp::Gt, Expr::prop("b", "seen"), Expr::lit(0)),
+        // Float vs Int literal compares numerically
+        Expr::binary(BinOp::Gt, Expr::prop("b", "score"), Expr::lit(2)),
+        Expr::prop_eq("b", "nick", "p4"),
+        // mixed column: per-cell fallback inside the kernel
+        Expr::binary(BinOp::Lt, Expr::prop("b", "tag"), Expr::lit(4)),
+        // all-null (absent-on-label) column and unknown key
+        Expr::prop_eq("b", "capacity", 9),
+        Expr::prop_eq("b", "no_such_key", 1),
+        // AND/OR over sparse + dense leaves
+        Expr::binary(BinOp::Lt, Expr::prop("b", "age"), Expr::lit(29)).and(Expr::binary(
+            BinOp::Ge,
+            Expr::prop("b", "seen"),
+            Expr::lit(PropValue::Date(0)),
+        )),
+        Expr::binary(
+            BinOp::Or,
+            Expr::prop_eq("b", "nick", "p2"),
+            Expr::binary(BinOp::Gt, Expr::prop("e", "since"), Expr::lit(8)),
+        ),
+        // shapes the kernel rejects: the row-wise oracle path must agree too
+        Expr::binary(
+            BinOp::Lt,
+            Expr::binary(BinOp::Add, Expr::prop("b", "age"), Expr::lit(1)),
+            Expr::lit(26),
+        ),
+        Expr::binary(BinOp::Eq, Expr::prop("b", "age"), Expr::prop("b", "tag")),
+    ];
+    for predicate in predicates {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person.clone(),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "a".into(),
+            edge_alias: Some("e".into()),
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            dst_alias: "b".into(),
+            dst_constraint: person.clone(),
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+        plan.push(PhysicalOp::Select { predicate });
+        plan.push(PhysicalOp::Project {
+            items: vec![
+                (Expr::prop("b", "age"), "age".into()),
+                (Expr::prop("b", "tag"), "tag".into()),
+                (Expr::prop("b", "seen"), "seen".into()),
+            ],
+        });
+        for parts in [1usize, 2, 4] {
+            assert_engines_agree(&graph, &plan, Some(parts));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
