@@ -8,10 +8,12 @@ fn main() {
     let env = Env::ldbc("G-small", 300);
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(d): cardinality estimation (high-order vs low-order statistics)",
+        "Fig 8(d): cardinality estimation (high-order vs low-order statistics; \
+         + property stats = PR 5 histogram filter selectivity)",
         &[
             "query",
             "High-order Stats",
+            "High-order + Prop Stats",
             "Low-order Stats",
             "hi estimate",
             "lo estimate",
@@ -20,13 +22,16 @@ fn main() {
     for q in qc_queries() {
         let logical = cypher(&env, &q.text);
         let hi_plan = gopt_plan(&env, &logical, target, GOptConfig::default());
+        let props_plan = gopt_stats_plan(&env, &logical, target, GOptConfig::default());
         let lo_plan = gopt_low_order_plan(&env, &logical, target);
         let hi_run = execute(&env, &hi_plan, target, DEFAULT_RECORD_LIMIT);
+        let props_run = execute(&env, &props_plan, target, DEFAULT_RECORD_LIMIT);
         let lo_run = execute(&env, &lo_plan, target, DEFAULT_RECORD_LIMIT);
         let (hi_est, lo_est) = estimate_both(&env, &logical);
         row(&[
             q.name,
             hi_run.display(),
+            props_run.display(),
             lo_run.display(),
             format!("{hi_est:.0}"),
             format!("{lo_est:.0}"),

@@ -14,7 +14,7 @@ use gopt_core::{
 use gopt_exec::{Backend, PartitionedBackend, SingleMachineBackend};
 use gopt_gir::{LogicalPlan, PhysicalPlan};
 use gopt_glogue::{CardEstimator, GLogue, GLogueConfig, GlogueQuery, LowOrderEstimator};
-use gopt_graph::PropertyGraph;
+use gopt_graph::{GraphStats, PropertyGraph};
 use gopt_parser::{parse_cypher, parse_gremlin};
 use gopt_workloads::{generate_fraud_graph, generate_ldbc_graph, FraudConfig, LdbcScale};
 use std::time::Instant;
@@ -30,6 +30,8 @@ pub struct Env {
     pub graph: PropertyGraph,
     /// High-order statistics mined from the graph.
     pub glogue: GLogue,
+    /// Typed property statistics (PR 5), built once and shared.
+    pub stats: std::sync::Arc<GraphStats>,
 }
 
 impl Env {
@@ -44,10 +46,12 @@ impl Env {
                 seed: 9,
             },
         );
+        let stats = GraphStats::shared(&graph);
         Env {
             name: name.to_string(),
             graph,
             glogue,
+            stats,
         }
     }
 
@@ -66,10 +70,12 @@ impl Env {
                 seed: 9,
             },
         );
+        let stats = GraphStats::shared(&graph);
         Env {
             name: format!("fraud-{accounts}"),
             graph,
             glogue,
+            stats,
         }
     }
 }
@@ -183,6 +189,25 @@ pub fn gopt_plan(
     let gq = GlogueQuery::new(&env.glogue);
     let spec = target.spec();
     GOpt::new(env.graph.schema(), &gq, spec.as_ref())
+        .with_config(config)
+        .optimize(logical)
+        .expect("optimization succeeds")
+}
+
+/// Optimize with GOpt using high-order statistics **plus** typed property
+/// statistics — the third Fig. 8(d) configuration: filter selectivities come
+/// from per-(label, key) histograms (`GraphStats`) instead of the Remark 7.1
+/// constant.
+pub fn gopt_stats_plan(
+    env: &Env,
+    logical: &LogicalPlan,
+    target: Target,
+    config: GOptConfig,
+) -> PhysicalPlan {
+    let gq = GlogueQuery::new(&env.glogue);
+    let spec = target.spec();
+    GOpt::new(env.graph.schema(), &gq, spec.as_ref())
+        .with_stats(env.stats.clone())
         .with_config(config)
         .optimize(logical)
         .expect("optimization succeeds")

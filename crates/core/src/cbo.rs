@@ -18,8 +18,14 @@
 //! cardinalities supplied by any [`CardEstimator`] (high-order `GlogueQuery` by default).
 
 use gopt_gir::pattern::{Pattern, PatternEdgeId, PatternVertexId};
-use gopt_glogue::CardEstimator;
+use gopt_glogue::{CardEstimator, ConstSelectivity, SelectivityEstimator};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The selectivity fallback every planner starts from: no statistics, so each
+/// filtered element is priced at `gopt_glogue::DEFAULT_SELECTIVITY` (Remark
+/// 7.1). Replaced by [`PatternPlanner::with_selectivity`] when property
+/// statistics are available.
+static CONST_SELECTIVITY: ConstSelectivity = ConstSelectivity;
 
 /// How a backend implements the vertex-expansion strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,10 +51,13 @@ pub trait PhysicalSpec {
     fn comm_weight(&self) -> f64;
 
     /// Cost of binding `new_vertex` onto sub-pattern `ps` by expanding `edges`
-    /// (all edges of `target` between `new_vertex` and `ps`).
+    /// (all edges of `target` between `new_vertex` and `ps`). Intermediate
+    /// frequencies are filter-aware: `sel` prices each element's predicate,
+    /// falling back to the Remark 7.1 constant where stats are absent.
     fn expand_cost(
         &self,
         est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
         ps: &Pattern,
         target: &Pattern,
         new_vertex: PatternVertexId,
@@ -56,7 +65,13 @@ pub trait PhysicalSpec {
     ) -> f64;
 
     /// Cost of hash-joining the matches of `ps1` and `ps2`.
-    fn join_cost(&self, est: &dyn CardEstimator, ps1: &Pattern, ps2: &Pattern) -> f64;
+    fn join_cost(
+        &self,
+        est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
+        ps1: &Pattern,
+        ps2: &Pattern,
+    ) -> f64;
 }
 
 /// Neo4j-like spec: flattening `ExpandInto`, no communication cost.
@@ -79,6 +94,7 @@ impl PhysicalSpec for Neo4jSpec {
     fn expand_cost(
         &self,
         est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
         ps: &Pattern,
         target: &Pattern,
         new_vertex: PatternVertexId,
@@ -93,13 +109,19 @@ impl PhysicalSpec for Neo4jSpec {
         for e in edges {
             edge_ids.insert(*e);
             let intermediate = target.induced(&vertex_ids, &edge_ids);
-            cost += est.pattern_freq_with_filters(&intermediate);
+            cost += est.pattern_freq_with_filters(&intermediate, sel);
         }
         cost
     }
 
-    fn join_cost(&self, est: &dyn CardEstimator, ps1: &Pattern, ps2: &Pattern) -> f64 {
-        est.pattern_freq_with_filters(ps1) + est.pattern_freq_with_filters(ps2)
+    fn join_cost(
+        &self,
+        est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
+        ps1: &Pattern,
+        ps2: &Pattern,
+    ) -> f64 {
+        est.pattern_freq_with_filters(ps1, sel) + est.pattern_freq_with_filters(ps2, sel)
     }
 }
 
@@ -123,17 +145,24 @@ impl PhysicalSpec for GraphScopeSpec {
     fn expand_cost(
         &self,
         est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
         ps: &Pattern,
         _target: &Pattern,
         _new_vertex: PatternVertexId,
         edges: &[PatternEdgeId],
     ) -> f64 {
         // ExpandIntersect intersects adjacency lists without flattening: |Pv| * F(Ps)
-        edges.len() as f64 * est.pattern_freq_with_filters(ps)
+        edges.len() as f64 * est.pattern_freq_with_filters(ps, sel)
     }
 
-    fn join_cost(&self, est: &dyn CardEstimator, ps1: &Pattern, ps2: &Pattern) -> f64 {
-        est.pattern_freq_with_filters(ps1) + est.pattern_freq_with_filters(ps2)
+    fn join_cost(
+        &self,
+        est: &dyn CardEstimator,
+        sel: &dyn SelectivityEstimator,
+        ps1: &Pattern,
+        ps2: &Pattern,
+    ) -> f64 {
+        est.pattern_freq_with_filters(ps1, sel) + est.pattern_freq_with_filters(ps2, sel)
     }
 }
 
@@ -223,6 +252,9 @@ fn memo_key(p: &Pattern) -> MemoKey {
 pub struct PatternPlanner<'a> {
     estimator: &'a dyn CardEstimator,
     spec: &'a dyn PhysicalSpec,
+    /// Prices each filtered element's predicate; defaults to the Remark 7.1
+    /// constant fallback ([`ConstSelectivity`]).
+    selectivity: &'a dyn SelectivityEstimator,
     /// Join decompositions are only enumerated for patterns with at most this many edges
     /// (the enumeration is exponential in the edge count).
     pub max_join_edges: usize,
@@ -231,18 +263,29 @@ pub struct PatternPlanner<'a> {
 }
 
 impl<'a> PatternPlanner<'a> {
-    /// Create a planner over a cardinality estimator and a backend spec.
+    /// Create a planner over a cardinality estimator and a backend spec, with
+    /// the constant-selectivity fallback for filters.
     pub fn new(estimator: &'a dyn CardEstimator, spec: &'a dyn PhysicalSpec) -> Self {
         PatternPlanner {
             estimator,
             spec,
+            selectivity: &CONST_SELECTIVITY,
             max_join_edges: 10,
             disable_pruning: false,
         }
     }
 
+    /// Use a statistics-backed selectivity estimator for filtered elements
+    /// (e.g. `gopt_glogue::StatsSelectivity` over `GraphStats`), making every
+    /// frequency the cost models see filter-aware.
+    pub fn with_selectivity(mut self, sel: &'a dyn SelectivityEstimator) -> Self {
+        self.selectivity = sel;
+        self
+    }
+
     fn freq(&self, p: &Pattern) -> f64 {
-        self.estimator.pattern_freq_with_filters(p)
+        self.estimator
+            .pattern_freq_with_filters(p, self.selectivity)
     }
 
     /// Find the (estimated) optimal plan for `pattern`.
@@ -306,9 +349,14 @@ impl<'a> PatternPlanner<'a> {
                 let mut new_vertices = bound.clone();
                 new_vertices.insert(v);
                 let next = pattern.induced(&new_vertices, &new_edges);
-                let op_cost = self
-                    .spec
-                    .expand_cost(self.estimator, &ps, pattern, v, &connecting);
+                let op_cost = self.spec.expand_cost(
+                    self.estimator,
+                    self.selectivity,
+                    &ps,
+                    pattern,
+                    v,
+                    &connecting,
+                );
                 let step_cost = op_cost + comm * self.freq(&next);
                 if best.as_ref().is_none_or(|(c, ..)| step_cost < *c) {
                     best = Some((step_cost, v, connecting, next));
@@ -364,9 +412,14 @@ impl<'a> PatternPlanner<'a> {
                 continue;
             }
             let edges = pattern.adjacent_edges(v);
-            let op_cost = self
-                .spec
-                .expand_cost(self.estimator, &remainder, pattern, v, &edges);
+            let op_cost = self.spec.expand_cost(
+                self.estimator,
+                self.selectivity,
+                &remainder,
+                pattern,
+                v,
+                &edges,
+            );
             let noncumulative = op_cost + comm * freq;
             if !self.disable_pruning && best.is_some() && noncumulative >= budget {
                 continue; // branch cannot beat the known bound
@@ -413,7 +466,9 @@ impl<'a> PatternPlanner<'a> {
                 if keys.is_empty() {
                     continue;
                 }
-                let op_cost = self.spec.join_cost(self.estimator, &left, &right);
+                let op_cost = self
+                    .spec
+                    .join_cost(self.estimator, self.selectivity, &left, &right);
                 let noncumulative = op_cost + comm * freq;
                 if !self.disable_pruning && best.is_some() && noncumulative >= budget {
                     continue;
@@ -587,18 +642,19 @@ mod tests {
         let remainder = pattern.remove_vertex(c);
         let edges = pattern.adjacent_edges(c);
         // GraphScope: |Pv| * F(Ps) — two edges, F(knows edge pattern) = 50k
-        let gs = GraphScopeSpec.expand_cost(&gq, &remainder, &pattern, c, &edges);
+        let nosel = ConstSelectivity;
+        let gs = GraphScopeSpec.expand_cost(&gq, &nosel, &remainder, &pattern, c, &edges);
         assert!((gs - 2.0 * 50_000.0).abs() < 1e-6);
         // Neo4j: sum of the intermediate pattern frequencies obtained by appending the
         // two closing edges one at a time
-        let neo = Neo4jSpec.expand_cost(&gq, &remainder, &pattern, c, &edges);
+        let neo = Neo4jSpec.expand_cost(&gq, &nosel, &remainder, &pattern, c, &edges);
         let mut vids: BTreeSet<PatternVertexId> = remainder.vertex_ids().into_iter().collect();
         vids.insert(c);
         let mut eids: BTreeSet<PatternEdgeId> = remainder.edge_ids().into_iter().collect();
         eids.insert(edges[0]);
         let first_intermediate = pattern.induced(&vids, &eids);
-        let expected_neo = gq.pattern_freq_with_filters(&first_intermediate)
-            + gq.pattern_freq_with_filters(&pattern);
+        let expected_neo = gq.pattern_freq_with_filters(&first_intermediate, &nosel)
+            + gq.pattern_freq_with_filters(&pattern, &nosel);
         assert!((neo - expected_neo).abs() < 1e-6);
         assert!(neo > 0.0);
         // join cost is symmetric and additive
@@ -609,8 +665,8 @@ mod tests {
                 .copied()
                 .collect::<BTreeSet<_>>(),
         );
-        let j1 = Neo4jSpec.join_cost(&gq, &left, &right);
-        let j2 = Neo4jSpec.join_cost(&gq, &right, &left);
+        let j1 = Neo4jSpec.join_cost(&gq, &nosel, &left, &right);
+        let j2 = Neo4jSpec.join_cost(&gq, &nosel, &right, &left);
         assert!((j1 - j2).abs() < 1e-9);
         assert_eq!(Neo4jSpec.name(), "neo4j");
         assert_eq!(GraphScopeSpec.name(), "graphscope");
@@ -658,9 +714,10 @@ mod tests {
                     }
                 }
             }
+            let nosel = ConstSelectivity;
             match &plan.step {
                 PatternStep::Scan { vertex } => {
-                    est.pattern_freq_with_filters(&pattern.single_vertex(*vertex))
+                    est.pattern_freq_with_filters(&pattern.single_vertex(*vertex), &nosel)
                 }
                 PatternStep::Expand {
                     input,
@@ -675,21 +732,100 @@ mod tests {
                     all_e.extend(edges.iter().copied());
                     let target = pattern.induced(&all_v, &all_e);
                     sub_cost
-                        + spec.expand_cost(est, &ps, pattern, *new_vertex, edges)
-                        + spec.comm_weight() * est.pattern_freq_with_filters(&target)
+                        + spec.expand_cost(est, &nosel, &ps, pattern, *new_vertex, edges)
+                        + spec.comm_weight() * est.pattern_freq_with_filters(&target, &nosel)
                 }
                 PatternStep::Join { left, right, .. } => {
                     let lc = replay(left, pattern, est, spec);
                     let rc = replay(right, pattern, est, spec);
                     let pl = pattern.induced(&bound(left), &edges_of(left));
                     let pr = pattern.induced(&bound(right), &edges_of(right));
-                    lc + rc + spec.join_cost(est, &pl, &pr)
+                    lc + rc + spec.join_cost(est, &nosel, &pl, &pr)
                 }
             }
         }
         let gs_cost_of_gs_plan = replay(&gs_plan, &pattern, &gq, &gs_spec);
         let gs_cost_of_neo_plan = replay(&neo_plan, &pattern, &gq, &gs_spec);
         assert!(gs_cost_of_gs_plan <= gs_cost_of_neo_plan + 1e-6);
+    }
+
+    /// 50 Persons with `age = i % 10`, 10 Places; every Person located in one
+    /// Place. The filter `p.age >= 1` keeps 90% of persons — the Remark 7.1
+    /// constant (0.1) wildly overestimates its selectivity.
+    fn correlated_graph() -> gopt_graph::PropertyGraph {
+        use gopt_graph::graph::GraphBuilder;
+        use gopt_graph::PropValue;
+        let mut b = GraphBuilder::new(fig6_schema());
+        let mut people = Vec::new();
+        for i in 0..50i64 {
+            people.push(
+                b.add_vertex_by_name("Person", vec![("age", PropValue::Int(i % 10))])
+                    .unwrap(),
+            );
+        }
+        let mut places = Vec::new();
+        for i in 0..10 {
+            places.push(
+                b.add_vertex_by_name("Place", vec![("name", PropValue::str(format!("pl{i}")))])
+                    .unwrap(),
+            );
+        }
+        for (i, p) in people.iter().enumerate() {
+            b.add_edge_by_name("LocatedIn", *p, places[i % 10], vec![])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn histogram_selectivity_changes_the_chosen_plan() {
+        use gopt_glogue::{GLogueConfig, StatsSelectivity};
+        use gopt_graph::GraphStats;
+        let g = correlated_graph();
+        let gl = GLogue::build(
+            &g,
+            &GLogueConfig {
+                max_pattern_vertices: 3,
+                max_anchors: None,
+                seed: 0,
+            },
+        );
+        let person = g.schema().vertex_label("Person").unwrap();
+        let place = g.schema().vertex_label("Place").unwrap();
+        let located = g.schema().edge_label("LocatedIn").unwrap();
+        // (p:Person {age >= 1})-[:LocatedIn]->(c:Place)
+        let mut pattern = Pattern::new();
+        let p = pattern.add_vertex_tagged("p", TypeConstraint::basic(person));
+        let c = pattern.add_vertex_tagged("c", TypeConstraint::basic(place));
+        pattern.add_edge(p, c, TypeConstraint::basic(located));
+        pattern.vertex_mut(p).predicate = Some(Expr::binary(
+            gopt_gir::BinOp::Ge,
+            Expr::prop("p", "age"),
+            Expr::lit(1),
+        ));
+        let gq = GlogueQuery::new(&gl);
+        let spec = Neo4jSpec;
+        // constant selectivity: the filtered Person scan looks like 50*0.1 = 5
+        // rows, cheaper than the 10 Places — the plan starts at the Person
+        let const_plan = PatternPlanner::new(&gq, &spec).plan(&pattern);
+        assert_eq!(
+            const_plan.binding_order()[0],
+            p,
+            "constant picks the filtered scan"
+        );
+        // histogram selectivity knows the filter keeps 45 of 50 persons —
+        // scanning the 10 Places first is cheaper
+        let stats = GraphStats::shared(&g);
+        let sel = StatsSelectivity::new(stats);
+        let stats_plan = PatternPlanner::new(&gq, &spec)
+            .with_selectivity(&sel)
+            .plan(&pattern);
+        assert_eq!(
+            stats_plan.binding_order()[0],
+            c,
+            "stats pick the Place scan"
+        );
+        assert_ne!(const_plan.binding_order(), stats_plan.binding_order());
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use cbo::{
 };
 pub use error::OptError;
 pub use planner::{GOpt, GOptConfig};
-pub use rbo::{HeuristicPlanner, Rule};
+pub use rbo::{HeuristicPlanner, OrderConjunctsBySelectivity, Rule};
 pub use type_infer::{infer_pattern_types, TypeInference};

@@ -8,12 +8,13 @@ use crate::baseline::user_order_plan;
 use crate::cbo::{PatternPlanner, PhysicalSpec};
 use crate::convert::logical_to_physical;
 use crate::error::OptError;
-use crate::rbo::HeuristicPlanner;
+use crate::rbo::{HeuristicPlanner, OrderConjunctsBySelectivity};
 use crate::type_infer::TypeInference;
 use gopt_gir::logical::{LogicalOp, LogicalPlan};
 use gopt_gir::physical::PhysicalPlan;
-use gopt_glogue::CardEstimator;
-use gopt_graph::GraphSchema;
+use gopt_glogue::{CardEstimator, StatsSelectivity};
+use gopt_graph::{GraphSchema, GraphStats};
+use std::sync::Arc;
 
 /// Per-stage switches of the optimization pipeline.
 #[derive(Debug, Clone)]
@@ -60,6 +61,10 @@ pub struct GOpt<'a> {
     spec: &'a dyn PhysicalSpec,
     config: GOptConfig,
     rbo: HeuristicPlanner,
+    /// Property statistics; when present the CBO prices filters from typed
+    /// histograms ([`StatsSelectivity`]) instead of the Remark 7.1 constant,
+    /// and the RBO orders predicate conjuncts by estimated selectivity.
+    stats: Option<Arc<GraphStats>>,
 }
 
 impl<'a> GOpt<'a> {
@@ -76,6 +81,7 @@ impl<'a> GOpt<'a> {
             spec,
             config: GOptConfig::default(),
             rbo: HeuristicPlanner::with_default_rules(),
+            stats: None,
         }
     }
 
@@ -83,6 +89,24 @@ impl<'a> GOpt<'a> {
     pub fn with_config(mut self, config: GOptConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Provide property statistics ([`GraphStats`], built from either storage
+    /// layout): the CBO's cardinalities become filter-aware and the RBO gains
+    /// the conjunct-ordering phase.
+    pub fn with_stats(mut self, stats: Arc<GraphStats>) -> Self {
+        let mut rbo = HeuristicPlanner::with_default_rules();
+        rbo.add_phase(vec![Box::new(OrderConjunctsBySelectivity::new(Arc::new(
+            StatsSelectivity::new(stats.clone()),
+        )))]);
+        self.rbo = rbo;
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The property statistics in use, if any.
+    pub fn stats(&self) -> Option<&Arc<GraphStats>> {
+        self.stats.as_ref()
     }
 
     /// The active configuration.
@@ -124,7 +148,11 @@ impl<'a> GOpt<'a> {
         let logical = self.optimize_logical(plan)?;
         let strategy = self.spec.expand_strategy();
         if self.config.enable_cbo {
+            let stats_sel = self.stats.clone().map(StatsSelectivity::new);
             let mut planner = PatternPlanner::new(self.estimator, self.spec);
+            if let Some(sel) = &stats_sel {
+                planner = planner.with_selectivity(sel);
+            }
             planner.max_join_edges = self.config.max_join_edges;
             logical_to_physical(&logical, |p| (planner.plan(p), strategy))
         } else {
@@ -275,6 +303,96 @@ mod tests {
         assert_eq!(
             r_neo.sorted_rows_for(&["v2", "cnt"]),
             r_opt.sorted_rows_for(&["v2", "cnt"])
+        );
+    }
+
+    #[test]
+    fn property_stats_change_the_plan_and_cut_executed_rows() {
+        use gopt_exec::{Backend, SingleMachineBackend};
+        use gopt_gir::BinOp;
+        use gopt_glogue::GLogueConfig;
+        use gopt_graph::graph::GraphBuilder;
+        use gopt_graph::{GraphStats, PropValue};
+        // Correlated graph: 50 Persons with age = i % 10, 10 Places, one
+        // LocatedIn edge per person. `p.age >= 1` keeps 90% of persons, so
+        // the Remark 7.1 constant (0.1) makes the filtered Person scan look
+        // 9x more selective than it is.
+        let mut b = GraphBuilder::new(fig6_schema());
+        let mut people = Vec::new();
+        for i in 0..50i64 {
+            people.push(
+                b.add_vertex_by_name("Person", vec![("age", PropValue::Int(i % 10))])
+                    .unwrap(),
+            );
+        }
+        let mut places = Vec::new();
+        for i in 0..10 {
+            places.push(
+                b.add_vertex_by_name("Place", vec![("id", PropValue::Int(i))])
+                    .unwrap(),
+            );
+        }
+        for (i, p) in people.iter().enumerate() {
+            b.add_edge_by_name("LocatedIn", *p, places[i % 10], vec![])
+                .unwrap();
+        }
+        let graph = b.finish();
+        let glogue = GLogue::build(
+            &graph,
+            &GLogueConfig {
+                max_pattern_vertices: 3,
+                max_anchors: None,
+                seed: 0,
+            },
+        );
+        let gq = GlogueQuery::new(&glogue);
+        let place = graph.schema().vertex_label("Place").unwrap();
+        let pattern = PatternBuilder::new()
+            .get_v("p", TypeConstraint::all())
+            .expand_e("p", "e", TypeConstraint::all(), Direction::Out)
+            .get_v_end("e", "c", TypeConstraint::basic(place))
+            .finish()
+            .unwrap();
+        let mut b = GraphIrBuilder::new();
+        let m = b.match_pattern(pattern);
+        let s = b.select(
+            m,
+            Expr::binary(BinOp::Ge, Expr::prop("p", "age"), Expr::lit(1)),
+        );
+        let g_node = b.group(
+            s,
+            vec![(Expr::tag("c"), "c".into())],
+            vec![(AggFunc::Count, Expr::tag("p"), "cnt".into())],
+        );
+        let logical = b.build(g_node);
+
+        let spec = Neo4jSpec;
+        let const_plan = GOpt::new(graph.schema(), &gq, &spec)
+            .optimize(&logical)
+            .unwrap();
+        let stats = GraphStats::shared(&graph);
+        let gopt_stats = GOpt::new(graph.schema(), &gq, &spec).with_stats(stats.clone());
+        assert!(gopt_stats.stats().is_some());
+        let stats_plan = gopt_stats.optimize(&logical).unwrap();
+        assert_ne!(
+            const_plan.encode(),
+            stats_plan.encode(),
+            "histogram selectivity must change the chosen plan"
+        );
+
+        let backend = SingleMachineBackend::new();
+        let r_const = backend.execute(&graph, &const_plan).unwrap();
+        let r_stats = backend.execute(&graph, &stats_plan).unwrap();
+        assert_eq!(
+            r_const.sorted_rows_for(&["c", "cnt"]),
+            r_stats.sorted_rows_for(&["c", "cnt"]),
+            "plan choice must not change results"
+        );
+        assert!(
+            r_stats.stats.intermediate_records < r_const.stats.intermediate_records,
+            "stats plan should execute fewer rows: {} vs {}",
+            r_stats.stats.intermediate_records,
+            r_const.stats.intermediate_records
         );
     }
 

@@ -18,7 +18,9 @@
 use gopt_gir::expr::Expr;
 use gopt_gir::logical::{JoinType, LogicalOp, LogicalPlan};
 use gopt_gir::pattern::Pattern;
+use gopt_glogue::{SelectivityEstimator, DEFAULT_SELECTIVITY};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A rewrite rule over logical plans.
 ///
@@ -429,6 +431,98 @@ impl Rule for ComSubPattern {
     }
 }
 
+/// Order the conjuncts of every pushed-down element predicate by estimated
+/// selectivity, most selective first — the filter-pushdown sanity check that
+/// property statistics enable: evaluating the cheapest-to-fail conjunct first
+/// is the conventional ordering, and the rewritten conjunction documents in
+/// the plan which conjunct the optimizer believes filters hardest. Conjuncts
+/// whose selectivity the statistics cannot estimate are priced at the
+/// Remark 7.1 constant ([`DEFAULT_SELECTIVITY`]); ties keep the user's order
+/// (stable sort), so the rule is a fixpoint.
+pub struct OrderConjunctsBySelectivity {
+    sel: Arc<dyn SelectivityEstimator>,
+}
+
+impl OrderConjunctsBySelectivity {
+    /// Create the rule over a selectivity estimator (normally
+    /// `gopt_glogue::StatsSelectivity` over shared `GraphStats`).
+    pub fn new(sel: Arc<dyn SelectivityEstimator>) -> Self {
+        OrderConjunctsBySelectivity { sel }
+    }
+
+    /// Reorder one predicate; `None` when it is already ordered.
+    fn reorder(
+        &self,
+        constraint: &gopt_gir::types::TypeConstraint,
+        predicate: &Expr,
+        is_vertex: bool,
+    ) -> Option<Expr> {
+        let conjuncts = predicate.conjuncts();
+        if conjuncts.len() < 2 {
+            return None;
+        }
+        let mut keyed: Vec<(f64, usize, Expr)> = conjuncts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let s = if is_vertex {
+                    self.sel.vertex_predicate(constraint, &c)
+                } else {
+                    self.sel.edge_predicate(constraint, &c)
+                }
+                .unwrap_or(DEFAULT_SELECTIVITY);
+                (s, i, c)
+            })
+            .collect();
+        let before: Vec<usize> = keyed.iter().map(|(_, i, _)| *i).collect();
+        keyed.sort_by(|(a, ai, _), (b, bi, _)| a.total_cmp(b).then(ai.cmp(bi)));
+        let after: Vec<usize> = keyed.iter().map(|(_, i, _)| *i).collect();
+        if before == after {
+            return None;
+        }
+        Expr::conjunction(keyed.into_iter().map(|(_, _, c)| c).collect())
+    }
+}
+
+impl Rule for OrderConjunctsBySelectivity {
+    fn name(&self) -> &'static str {
+        "OrderConjunctsBySelectivity"
+    }
+
+    fn apply(&self, plan: &LogicalPlan) -> Option<LogicalPlan> {
+        for id in plan.node_ids() {
+            let LogicalOp::Match { pattern } = plan.op(id) else {
+                continue;
+            };
+            for vid in pattern.vertex_ids() {
+                let v = pattern.vertex(vid);
+                let Some(pred) = &v.predicate else { continue };
+                if let Some(reordered) = self.reorder(&v.constraint, pred, true) {
+                    let mut new_plan = plan.clone();
+                    let LogicalOp::Match { pattern } = new_plan.op_mut(id) else {
+                        unreachable!("match node")
+                    };
+                    pattern.vertex_mut(vid).predicate = Some(reordered);
+                    return Some(new_plan);
+                }
+            }
+            for eid in pattern.edge_ids() {
+                let e = pattern.edge(eid);
+                let Some(pred) = &e.predicate else { continue };
+                if let Some(reordered) = self.reorder(&e.constraint, pred, false) {
+                    let mut new_plan = plan.clone();
+                    let LogicalOp::Match { pattern } = new_plan.op_mut(id) else {
+                        unreachable!("match node")
+                    };
+                    pattern.edge_mut(eid).predicate = Some(reordered);
+                    return Some(new_plan);
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Record, per pattern vertex, the property columns required by downstream operators.
 pub struct FieldTrim;
 
@@ -719,6 +813,77 @@ mod tests {
         let u = b.union(vec![m1, m2], true);
         let plan = b.build(u);
         assert!(ComSubPattern.apply(&plan).is_none());
+    }
+
+    #[test]
+    fn conjuncts_are_ordered_by_estimated_selectivity() {
+        use gopt_gir::BinOp;
+        use gopt_glogue::StatsSelectivity;
+        use gopt_graph::graph::GraphBuilder;
+        use gopt_graph::schema::fig6_schema;
+        use gopt_graph::{GraphStats, PropValue};
+        use std::sync::Arc;
+        // 40 persons: age 0..40 dense, name in a 4-value domain
+        let mut b = GraphBuilder::new(fig6_schema());
+        for i in 0..40i64 {
+            b.add_vertex_by_name(
+                "Person",
+                vec![
+                    ("age", PropValue::Int(i)),
+                    ("name", PropValue::str(format!("n{}", i % 4))),
+                ],
+            )
+            .unwrap();
+        }
+        let g = b.finish();
+        let person = g.schema().vertex_label("Person").unwrap();
+        let rule = OrderConjunctsBySelectivity::new(Arc::new(StatsSelectivity::new(
+            GraphStats::shared(&g),
+        )));
+        // user order: unselective range (sel 1.0) before selective equality
+        // (sel 0.25) — the rule must swap them
+        let range = Expr::binary(BinOp::Ge, Expr::prop("a", "age"), Expr::lit(0));
+        let eq = Expr::prop_eq("a", "name", "n0");
+        let mut pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::basic(person))
+            .finish()
+            .unwrap();
+        let a = pattern.vertex_by_tag("a").unwrap();
+        pattern.vertex_mut(a).predicate = Some(range.clone().and(eq.clone()));
+        let mut builder = GraphIrBuilder::new();
+        let m = builder.match_pattern(pattern);
+        let plan = builder.build(m);
+        let out = rule.apply(&plan).expect("rule fires");
+        let (_, p) = out.match_nodes()[0];
+        let reordered = p
+            .vertex(p.vertex_by_tag("a").unwrap())
+            .predicate
+            .clone()
+            .unwrap();
+        assert_eq!(reordered.conjuncts(), vec![eq.clone(), range.clone()]);
+        // fixpoint: the sorted predicate is not touched again
+        assert!(rule.apply(&out).is_none());
+        // an unestimable conjunct is priced at the Remark 7.1 constant (0.1),
+        // sorting between the 0.25 equality and the 1.0 range
+        let opaque = Expr::binary(BinOp::Lt, Expr::prop("a", "age"), Expr::prop("a", "name"));
+        let mut pattern = PatternBuilder::new()
+            .get_v("a", TypeConstraint::basic(person))
+            .finish()
+            .unwrap();
+        let a = pattern.vertex_by_tag("a").unwrap();
+        pattern.vertex_mut(a).predicate = Some(range.clone().and(opaque.clone()).and(eq.clone()));
+        let mut builder = GraphIrBuilder::new();
+        let m = builder.match_pattern(pattern);
+        let plan = builder.build(m);
+        let out = rule.apply(&plan).expect("rule fires");
+        let (_, p) = out.match_nodes()[0];
+        let reordered = p
+            .vertex(p.vertex_by_tag("a").unwrap())
+            .predicate
+            .clone()
+            .unwrap();
+        assert_eq!(reordered.conjuncts(), vec![opaque, eq, range]);
+        assert_eq!(rule.name(), "OrderConjunctsBySelectivity");
     }
 
     #[test]

@@ -1389,19 +1389,37 @@ impl<'g> ParallelEngine<'g> {
             .iter()
             .map(|(_, e, _)| CompiledExpr::compile(e, tags, self.graph))
             .collect();
-        // per-worker partial state: evaluated key and aggregate inputs
-        type Evaluated = (Vec<Vec<PropValue>>, Vec<Vec<PropValue>>);
+        // per-worker partial state: evaluated key and aggregate inputs. Keys
+        // take the typed Int/Date packed path (`relational::packed_group_keys`)
+        // when a single property key resolves to primitive columns — the
+        // boxed `PropValue` vectors are only built for uncovered morsels.
+        enum MorselKeys {
+            Packed(Vec<relational::PackedKey>),
+            Boxed(Vec<Vec<PropValue>>),
+        }
+        type Evaluated = (MorselKeys, Vec<Vec<PropValue>>);
         let evals: Vec<Evaluated> = par_map(pool, input.batches.len(), |mi| {
             let batch = &input.batches[mi];
-            let mut key_rows = Vec::with_capacity(batch.rows());
+            let keys_of = if key_exprs.len() == 1 {
+                relational::packed_group_keys(self.graph, batch, &key_exprs[0])
+                    .map(MorselKeys::Packed)
+            } else {
+                None
+            };
+            let keys_of = keys_of.unwrap_or_else(|| {
+                MorselKeys::Boxed(
+                    (0..batch.rows())
+                        .map(|row| {
+                            key_exprs
+                                .iter()
+                                .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                )
+            });
             let mut agg_rows = Vec::with_capacity(batch.rows());
             for row in 0..batch.rows() {
-                key_rows.push(
-                    key_exprs
-                        .iter()
-                        .map(|e| relational::batch_eval(self.graph, batch, row, e))
-                        .collect::<Vec<_>>(),
-                );
                 agg_rows.push(
                     agg_exprs
                         .iter()
@@ -1409,43 +1427,83 @@ impl<'g> ParallelEngine<'g> {
                         .collect::<Vec<_>>(),
                 );
             }
-            (key_rows, agg_rows)
+            (keys_of, agg_rows)
         });
         // deterministic merge: fold morsels in oracle order so group
         // first-encounter order and accumulator update order match the
-        // sequential engines bit for bit
+        // sequential engines bit for bit. A mixed packed/boxed morsel set
+        // unpacks the packed keys — identical values either way.
+        let all_packed = evals
+            .iter()
+            .all(|(k, _)| matches!(k, MorselKeys::Packed(_)));
+        if all_packed {
+            let mut groups: HashMap<relational::PackedKey, (Vec<Entry>, Vec<Accumulator>)> =
+                HashMap::new();
+            let mut group_order: Vec<relational::PackedKey> = Vec::new();
+            for (mi, (keys_of, agg_rows)) in evals.into_iter().enumerate() {
+                let MorselKeys::Packed(key_rows) = keys_of else {
+                    unreachable!("all morsels packed")
+                };
+                let batch = &input.batches[mi];
+                for (row, (k, agg_vals)) in key_rows.into_iter().zip(agg_rows).enumerate() {
+                    let entry =
+                        relational::group_entry(&mut groups, &mut group_order, k, aggs, || {
+                            key_passthrough
+                                .iter()
+                                .map(|pt| match pt {
+                                    Some(slot) => batch.entry(*slot, row).to_entry(),
+                                    None => Entry::Value(relational::unpack_group_key(k)),
+                                })
+                                .collect()
+                        });
+                    for (acc, v) in entry.1.iter_mut().zip(agg_vals) {
+                        acc.update(v);
+                    }
+                }
+            }
+            let mut builder = BatchBuilder::new(out_tags.len(), self.batch_size);
+            relational::emit_groups(groups, group_order, &mut builder);
+            return Ok(NodeOut {
+                batches: builder.finish(),
+                tags: out_tags,
+                home: Home::Coordinator,
+            });
+        }
         let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
         let mut group_order: Vec<Vec<PropValue>> = Vec::new();
-        for (mi, (key_rows, agg_rows)) in evals.into_iter().enumerate() {
+        for (mi, (keys_of, agg_rows)) in evals.into_iter().enumerate() {
+            let key_rows: Vec<Vec<PropValue>> = match keys_of {
+                MorselKeys::Boxed(rows) => rows,
+                MorselKeys::Packed(rows) => rows
+                    .into_iter()
+                    .map(|k| vec![relational::unpack_group_key(k)])
+                    .collect(),
+            };
             let batch = &input.batches[mi];
             for (row, (key_vals, agg_vals)) in key_rows.into_iter().zip(agg_rows).enumerate() {
-                let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
-                    group_order.push(key_vals.clone());
-                    let reps = key_passthrough
-                        .iter()
-                        .enumerate()
-                        .map(|(i, pt)| match pt {
-                            Some(slot) => batch.entry(*slot, row).to_entry(),
-                            None => Entry::Value(key_vals[i].clone()),
-                        })
-                        .collect();
-                    let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
-                    (reps, accs)
-                });
+                let entry = relational::group_entry(
+                    &mut groups,
+                    &mut group_order,
+                    key_vals.clone(),
+                    aggs,
+                    || {
+                        key_passthrough
+                            .iter()
+                            .enumerate()
+                            .map(|(i, pt)| match pt {
+                                Some(slot) => batch.entry(*slot, row).to_entry(),
+                                None => Entry::Value(key_vals[i].clone()),
+                            })
+                            .collect()
+                    },
+                );
                 for (acc, v) in entry.1.iter_mut().zip(agg_vals) {
                     acc.update(v);
                 }
             }
         }
         let mut builder = BatchBuilder::new(out_tags.len(), self.batch_size);
-        for k in group_order {
-            let (reps, accs) = groups.remove(&k).expect("group exists");
-            let finished: Vec<Entry> = accs
-                .into_iter()
-                .map(|acc| Entry::Value(acc.finish()))
-                .collect();
-            builder.push_row(reps.iter().chain(finished.iter()).map(EntryRef::from_entry));
-        }
+        relational::emit_groups(groups, group_order, &mut builder);
         Ok(NodeOut {
             batches: builder.finish(),
             tags: out_tags,

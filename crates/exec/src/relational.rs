@@ -168,19 +168,21 @@ pub fn hash_group(
     let mut group_order: Vec<Vec<PropValue>> = Vec::new();
     for r in input {
         let key_vals: Vec<PropValue> = keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect();
-        let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
-            group_order.push(key_vals.clone());
-            let reps = keys
-                .iter()
-                .enumerate()
-                .map(|(i, _)| match key_passthrough[i] {
-                    Some(slot) => r.get(slot).clone(),
-                    None => Entry::Value(key_vals[i].clone()),
-                })
-                .collect();
-            let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
-            (reps, accs)
-        });
+        let entry = group_entry(
+            &mut groups,
+            &mut group_order,
+            key_vals.clone(),
+            aggs,
+            || {
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, _)| match key_passthrough[i] {
+                        Some(slot) => r.get(slot).clone(),
+                        None => Entry::Value(key_vals[i].clone()),
+                    })
+                    .collect()
+            },
+        );
         for (acc, (_, e, _)) in entry.1.iter_mut().zip(aggs) {
             acc.update(eval(graph, tags, r, e));
         }
@@ -484,8 +486,9 @@ pub fn hash_join(
 // but still stream their output back out in `batch_size` chunks.
 
 use crate::batch::{
-    total_rows, BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch,
+    total_rows, BatchBuilder, BatchRow, Column, ColumnData, CompiledExpr, EntryRef, RecordBatch,
 };
+use gopt_graph::{ColumnRef, NullBitmap, PropKeyId, TypedColumn};
 
 #[inline]
 pub(crate) fn batch_eval<G: GraphView>(
@@ -500,6 +503,141 @@ pub(crate) fn batch_eval<G: GraphView>(
         row,
         overrides: &[],
     })
+}
+
+/// Locate (or create, in first-encounter order) the grouping state of `key`.
+/// The single accumulation entry point shared by the packed and generic
+/// grouping loops of both the batched and the morsel-parallel engines:
+/// group-creation order and accumulator construction must not drift between
+/// them. `make_reps` materialises the representative key entries only when
+/// the group is new.
+pub(crate) fn group_entry<'a, K: std::hash::Hash + Eq + Clone>(
+    groups: &'a mut HashMap<K, (Vec<Entry>, Vec<Accumulator>)>,
+    group_order: &mut Vec<K>,
+    key: K,
+    aggs: &[(AggFunc, Expr, String)],
+    make_reps: impl FnOnce() -> Vec<Entry>,
+) -> &'a mut (Vec<Entry>, Vec<Accumulator>) {
+    groups.entry(key.clone()).or_insert_with(|| {
+        group_order.push(key);
+        let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
+        (make_reps(), accs)
+    })
+}
+
+/// Emit one output row per group in first-encounter order: representative key
+/// entries followed by the finished accumulators. The single emission path
+/// shared by the packed and generic grouping loops of both the batched and
+/// the morsel-parallel engines — they must not drift.
+pub(crate) fn emit_groups<K: std::hash::Hash + Eq>(
+    mut groups: HashMap<K, (Vec<Entry>, Vec<Accumulator>)>,
+    group_order: Vec<K>,
+    builder: &mut BatchBuilder,
+) {
+    for k in group_order {
+        let (reps, accs) = groups.remove(&k).expect("group exists");
+        let finished: Vec<Entry> = accs
+            .into_iter()
+            .map(|acc| Entry::Value(acc.finish()))
+            .collect();
+        builder.push_row(reps.iter().chain(finished.iter()).map(EntryRef::from_entry));
+    }
+}
+
+/// Packed grouping key of the typed Int/Date `HashGroup` fast path: a kind
+/// tag (0 = null/absent, 1 = Int, 2 = Date) plus the raw 64-bit value. The
+/// tag keeps `Int(x)` and `Date(x)` in distinct groups, exactly like
+/// [`PropValue`]'s equality.
+pub(crate) type PackedKey = (u8, i64);
+
+/// The [`PropValue`] a packed key stands for (materialised once per group for
+/// the representative output entry, never per row).
+pub(crate) fn unpack_group_key(k: PackedKey) -> PropValue {
+    match k.0 {
+        0 => PropValue::Null,
+        1 => PropValue::Int(k.1),
+        _ => PropValue::Date(k.1),
+    }
+}
+
+/// Evaluate a single compiled `tag.prop` grouping key over one batch as
+/// packed Int/Date keys — one slice index plus a validity bit per row, zero
+/// `PropValue` construction. Returns `None` (caller falls back to the boxed
+/// generic path) when the expression is not a property lookup, the batch
+/// column is not a vertex/edge id column, or some row's resolved property
+/// column is not Int/Date. Per-row results are identical to
+/// [`CompiledExpr::eval`]'s `PropValue`s under [`unpack_group_key`].
+pub(crate) fn packed_group_keys<G: GraphView>(
+    graph: &G,
+    batch: &RecordBatch,
+    key: &CompiledExpr,
+) -> Option<Vec<PackedKey>> {
+    let CompiledExpr::Prop {
+        slot: Some(slot),
+        key,
+        ..
+    } = key
+    else {
+        return None;
+    };
+    let rows = batch.rows();
+    let Some(column) = batch.column(*slot) else {
+        // unbound slot: the key evaluates to Null on every row
+        return Some(vec![(0, 0); rows]);
+    };
+    fn pack<'a, G: GraphView, I: Copy>(
+        graph: &'a G,
+        ids: &[I],
+        validity: &NullBitmap,
+        key: Option<PropKeyId>,
+        cell_of: impl Fn(&'a G, I, PropKeyId) -> Option<ColumnRef<'a>>,
+    ) -> Option<Vec<PackedKey>> {
+        let Some(key) = key else {
+            // property name the graph never interned: Null everywhere
+            return Some(vec![(0, 0); ids.len()]);
+        };
+        let mut out = Vec::with_capacity(ids.len());
+        // resolved (column, value slice) cached by column identity, like the
+        // typed predicate kernels: one resolution per same-label run
+        let mut cached: Option<(*const TypedColumn, u8, &'a [i64], &'a NullBitmap)> = None;
+        for (row, &id) in ids.iter().enumerate() {
+            if !validity.get(row) {
+                out.push((0, 0));
+                continue;
+            }
+            let Some(cell) = cell_of(graph, id, key) else {
+                out.push((0, 0));
+                continue;
+            };
+            let ptr = cell.column as *const TypedColumn;
+            if cached.as_ref().is_none_or(|(p, ..)| *p != ptr) {
+                let resolved = match cell.column {
+                    TypedColumn::Int(v, n) => (ptr, 1u8, v.as_slice(), n),
+                    TypedColumn::Date(v, n) => (ptr, 2u8, v.as_slice(), n),
+                    // Float/Bool/Str/Mixed: not a primitive-keyed column
+                    _ => return None,
+                };
+                cached = Some(resolved);
+            }
+            let (_, kind, vals, valid) = cached.as_ref().expect("just cached");
+            out.push(if valid.get(cell.row) {
+                (*kind, vals[cell.row])
+            } else {
+                (0, 0)
+            });
+        }
+        Some(out)
+    }
+    match column.data() {
+        ColumnData::Vertex(ids) => pack(graph, ids, column.validity(), *key, |g, v, k| {
+            g.vertex_prop_cell(v, k)
+        }),
+        ColumnData::Edge(ids) => pack(graph, ids, column.validity(), *key, |g, e, k| {
+            g.edge_prop_cell(e, k)
+        }),
+        // values, paths, row-wise entries: let the generic path handle them
+        _ => None,
+    }
 }
 
 /// Batched [`select`]: the predicate is compiled once, rows are kept through a
@@ -750,6 +888,42 @@ pub fn hash_group_batches<G: GraphView>(
         Some(p) if p > 1 => total_rows(input) as u64,
         _ => 0,
     };
+    // Typed Int/Date fast path: a single `tag.prop` grouping key whose
+    // resolved property columns are all Int/Date groups on packed primitive
+    // keys — no per-row `PropValue` construction, no boxed key vectors, no
+    // enum hashing. Any uncovered batch falls back to the generic path for
+    // the whole call, so first-encounter group order stays oracle-identical.
+    let packed: Option<Vec<Vec<PackedKey>>> = if key_exprs.len() == 1 {
+        input
+            .iter()
+            .map(|b| packed_group_keys(graph, b, &key_exprs[0]))
+            .collect()
+    } else {
+        None
+    };
+    let mut builder = BatchBuilder::new(out_tags.len(), batch_size);
+    if let Some(per_batch) = packed {
+        let mut groups: HashMap<PackedKey, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
+        let mut group_order: Vec<PackedKey> = Vec::new();
+        for (batch, keys_of) in input.iter().zip(&per_batch) {
+            for (row, &k) in keys_of.iter().enumerate() {
+                let entry = group_entry(&mut groups, &mut group_order, k, aggs, || {
+                    key_passthrough
+                        .iter()
+                        .map(|pt| match pt {
+                            Some(slot) => batch.entry(*slot, row).to_entry(),
+                            None => Entry::Value(unpack_group_key(k)),
+                        })
+                        .collect()
+                });
+                for (acc, e) in entry.1.iter_mut().zip(&agg_exprs) {
+                    acc.update(batch_eval(graph, batch, row, e));
+                }
+            }
+        }
+        emit_groups(groups, group_order, &mut builder);
+        return (builder.finish(), out_tags, comm);
+    }
     let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
     let mut group_order: Vec<Vec<PropValue>> = Vec::new();
     for batch in input {
@@ -758,33 +932,28 @@ pub fn hash_group_batches<G: GraphView>(
                 .iter()
                 .map(|e| batch_eval(graph, batch, row, e))
                 .collect();
-            let entry = groups.entry(key_vals.clone()).or_insert_with(|| {
-                group_order.push(key_vals.clone());
-                let reps = key_passthrough
-                    .iter()
-                    .enumerate()
-                    .map(|(i, pt)| match pt {
-                        Some(slot) => batch.entry(*slot, row).to_entry(),
-                        None => Entry::Value(key_vals[i].clone()),
-                    })
-                    .collect();
-                let accs = aggs.iter().map(|(f, _, _)| Accumulator::new(*f)).collect();
-                (reps, accs)
-            });
+            let entry = group_entry(
+                &mut groups,
+                &mut group_order,
+                key_vals.clone(),
+                aggs,
+                || {
+                    key_passthrough
+                        .iter()
+                        .enumerate()
+                        .map(|(i, pt)| match pt {
+                            Some(slot) => batch.entry(*slot, row).to_entry(),
+                            None => Entry::Value(key_vals[i].clone()),
+                        })
+                        .collect()
+                },
+            );
             for (acc, e) in entry.1.iter_mut().zip(&agg_exprs) {
                 acc.update(batch_eval(graph, batch, row, e));
             }
         }
     }
-    let mut builder = BatchBuilder::new(out_tags.len(), batch_size);
-    for k in group_order {
-        let (reps, accs) = groups.remove(&k).expect("group exists");
-        let finished: Vec<Entry> = accs
-            .into_iter()
-            .map(|acc| Entry::Value(acc.finish()))
-            .collect();
-        builder.push_row(reps.iter().chain(finished.iter()).map(EntryRef::from_entry));
-    }
+    emit_groups(groups, group_order, &mut builder);
     (builder.finish(), out_tags, comm)
 }
 

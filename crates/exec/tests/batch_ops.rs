@@ -320,6 +320,67 @@ fn group_order_limit_dedup() {
     assert_equivalent(&g, &plan, None);
 }
 
+/// Persons with a dense Int `age` (collisions via `% 5`), a sparse Date
+/// `seen`, a Str `nick` and a kind-mixed `badge` — one property per shape the
+/// typed Int/Date grouping fast path must either take or decline.
+fn typed_props_graph() -> PropertyGraph {
+    use gopt_graph::graph::GraphBuilder;
+    use gopt_graph::PropValue;
+    let mut b = GraphBuilder::new(fig6_schema());
+    for i in 0..23i64 {
+        let mut props = vec![
+            ("age", PropValue::Int(i % 5)),
+            ("nick", PropValue::str(format!("n{}", i % 3))),
+        ];
+        if i % 2 == 0 {
+            props.push(("seen", PropValue::Date(100 + i % 4)));
+        }
+        props.push(if i < 12 {
+            ("badge", PropValue::Int(i % 2))
+        } else {
+            ("badge", PropValue::str("b"))
+        });
+        b.add_vertex_by_name("Person", props).unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn typed_int_date_group_keys_match_the_oracle() {
+    let g = typed_props_graph();
+    // one plan per key shape: Int fast path, Date fast path (with nulls),
+    // Str fallback, Mixed fallback, unknown-property fast path (all-null
+    // keys), and a two-key plan that must stay on the generic path
+    let keysets: Vec<Vec<(Expr, String)>> = vec![
+        vec![(Expr::prop("a", "age"), "k".into())],
+        vec![(Expr::prop("a", "seen"), "k".into())],
+        vec![(Expr::prop("a", "nick"), "k".into())],
+        vec![(Expr::prop("a", "badge"), "k".into())],
+        vec![(Expr::prop("a", "ghost"), "k".into())],
+        vec![
+            (Expr::prop("a", "age"), "k1".into()),
+            (Expr::prop("a", "seen"), "k2".into()),
+        ],
+    ];
+    for keys in keysets {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person(&g),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::HashGroup {
+            keys: keys.clone(),
+            aggs: vec![
+                (AggFunc::Count, Expr::tag("a"), "cnt".into()),
+                (AggFunc::Sum, Expr::prop("a", "age"), "sum".into()),
+            ],
+        });
+        assert_equivalent(&g, &plan, None);
+        assert_equivalent(&g, &plan, Some(4));
+    }
+}
+
 #[test]
 fn property_fetch_explicit_and_all() {
     let g = graph(6);

@@ -14,12 +14,16 @@
 //! `GLogueQuery` caching intermediate sub-pattern frequencies.
 
 use crate::glogue::GLogue;
+use crate::selectivity::SelectivityEstimator;
 use gopt_gir::pattern::{Pattern, PatternVertexId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Default selectivity applied per filtered pattern element (the paper's Remark 7.1
-/// pre-defines a constant selectivity for vertices/edges with filter conditions).
+/// Default selectivity applied per filtered pattern element whose predicate no
+/// statistics cover (the paper's Remark 7.1 pre-defines a constant selectivity
+/// for vertices/edges with filter conditions). This is the **single** source of
+/// the constant: the estimator fallback, its tests and the RBO conjunct
+/// ordering all reference it, so the magic number cannot drift.
 pub const DEFAULT_SELECTIVITY: f64 = 0.1;
 
 /// A cardinality estimator for patterns.
@@ -31,11 +35,36 @@ pub trait CardEstimator {
     /// Estimated number of homomorphisms of `pattern`, ignoring predicates.
     fn pattern_freq(&self, pattern: &Pattern) -> f64;
 
-    /// Estimated frequency including the default selectivity of each filtered element.
-    fn pattern_freq_with_filters(&self, pattern: &Pattern) -> f64 {
-        let filters = pattern.vertices().filter(|v| v.predicate.is_some()).count()
-            + pattern.edges().filter(|e| e.predicate.is_some()).count();
-        self.pattern_freq(pattern) * DEFAULT_SELECTIVITY.powi(filters as i32)
+    /// Estimated frequency including the selectivity of each filtered element.
+    ///
+    /// Each element's predicate is priced by `sel` (histogram-derived when the
+    /// caller passes [`crate::StatsSelectivity`]); elements whose predicate the
+    /// statistics do not cover fall back to [`DEFAULT_SELECTIVITY`]. Passing
+    /// [`crate::ConstSelectivity`] covers nothing, which reproduces the
+    /// Remark 7.1 behaviour (`freq × DEFAULT_SELECTIVITY^filters`) bit for
+    /// bit.
+    fn pattern_freq_with_filters(&self, pattern: &Pattern, sel: &dyn SelectivityEstimator) -> f64 {
+        let mut fallbacks = 0i32;
+        let mut known = 1.0f64;
+        for v in pattern.vertices() {
+            if let Some(p) = &v.predicate {
+                match sel.vertex_predicate(&v.constraint, p) {
+                    Some(s) => known *= s.clamp(0.0, 1.0),
+                    None => fallbacks += 1,
+                }
+            }
+        }
+        for e in pattern.edges() {
+            if let Some(p) = &e.predicate {
+                match sel.edge_predicate(&e.constraint, p) {
+                    Some(s) => known *= s.clamp(0.0, 1.0),
+                    None => fallbacks += 1,
+                }
+            }
+        }
+        // `known` starts at exactly 1.0, so the all-fallback case multiplies
+        // by DEFAULT_SELECTIVITY.powi(filters) unchanged
+        self.pattern_freq(pattern) * (DEFAULT_SELECTIVITY.powi(fallbacks) * known)
     }
 }
 
@@ -369,8 +398,54 @@ mod tests {
         let v3 = p.vertex_ids()[2];
         p.vertex_mut(v3).predicate = Some(Expr::prop_eq("v3", "name", "China"));
         let unfiltered = q.pattern_freq(&p);
-        let filtered = q.pattern_freq_with_filters(&p);
-        assert!((filtered - unfiltered * DEFAULT_SELECTIVITY).abs() < 1e-9);
+        // without stats every filtered element gets the Remark 7.1 constant,
+        // bit-identical to freq * DEFAULT_SELECTIVITY^filters
+        let filtered = q.pattern_freq_with_filters(&p, &crate::ConstSelectivity);
+        assert_eq!(filtered, unfiltered * DEFAULT_SELECTIVITY.powi(1));
+        let e0 = p.edge_ids()[0];
+        p.edge_mut(e0).predicate = Some(Expr::prop_eq("e0", "w", 1));
+        let two = q.pattern_freq_with_filters(&p, &crate::ConstSelectivity);
+        assert_eq!(two, q.pattern_freq(&p) * DEFAULT_SELECTIVITY.powi(2));
+    }
+
+    #[test]
+    fn filters_use_stats_when_they_cover_the_predicate() {
+        use gopt_graph::graph::GraphBuilder;
+        use gopt_graph::{GraphStats, PropValue};
+        // 10 Places, one named China; Person.age dense 0..50
+        let mut b = GraphBuilder::new(fig6_schema());
+        for i in 0..50i64 {
+            b.add_vertex_by_name("Person", vec![("age", PropValue::Int(i))])
+                .unwrap();
+        }
+        for i in 0..10 {
+            let name = if i == 0 { "China" } else { "Else" };
+            b.add_vertex_by_name("Place", vec![("name", PropValue::str(name))])
+                .unwrap();
+        }
+        let g = b.finish();
+        let stats = crate::StatsSelectivity::new(GraphStats::shared(&g));
+        let f = fig6_glogue();
+        let q = GlogueQuery::new(&f.glogue);
+        let place = f.glogue.schema().vertex_label("Place").unwrap();
+        let mut p = Pattern::new();
+        let v = p.add_vertex(TypeConstraint::basic(place));
+        p.vertex_mut(v).predicate = Some(Expr::prop_eq("v", "name", "China"));
+        let base = q.pattern_freq(&p);
+        let with = q.pattern_freq_with_filters(&p, &stats);
+        assert!(
+            (with - base * 0.1).abs() < 1e-9,
+            "1 of 10 places is China: {with} vs {}",
+            base * 0.1
+        );
+        // a predicate the stats cannot cover still falls back to the constant
+        p.vertex_mut(v).predicate = Some(Expr::binary(
+            gopt_gir::BinOp::Lt,
+            Expr::prop("v", "name"),
+            Expr::prop("v", "id"),
+        ));
+        let fallback = q.pattern_freq_with_filters(&p, &stats);
+        assert_eq!(fallback, base * DEFAULT_SELECTIVITY.powi(1));
     }
 
     #[test]

@@ -20,7 +20,9 @@
 pub mod estimate;
 pub mod glogue;
 pub mod mining;
+pub mod selectivity;
 
 pub use estimate::{CardEstimator, GlogueQuery, LowOrderEstimator, DEFAULT_SELECTIVITY};
 pub use glogue::{GLogue, GLogueConfig};
 pub use mining::{count_homomorphisms, count_homomorphisms_sampled};
+pub use selectivity::{ConstSelectivity, SelectivityEstimator, StatsSelectivity};

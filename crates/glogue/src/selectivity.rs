@@ -1,0 +1,403 @@
+//! Filter selectivity estimation from typed property statistics.
+//!
+//! The paper's Remark 7.1 applies a *pre-defined constant selectivity*
+//! ([`crate::DEFAULT_SELECTIVITY`]) to every filtered pattern element. This
+//! module replaces the constant with a real estimate wherever statistics can
+//! cover the predicate:
+//!
+//! * [`SelectivityEstimator`] — the interface the cardinality layer consults
+//!   per filtered pattern element ([`crate::CardEstimator::pattern_freq_with_filters`]
+//!   takes one); returning `None` means "no stats cover this predicate" and
+//!   the caller falls back to the Remark 7.1 constant, bit-identical to the
+//!   pre-statistics behaviour.
+//! * [`ConstSelectivity`] — the fallback implementation: covers nothing, so
+//!   every filter gets the constant. Passing it reproduces the paper's
+//!   estimator exactly.
+//! * [`StatsSelectivity`] — the real implementation over
+//!   [`gopt_graph::GraphStats`]: `prop CMP literal` leaves (either operand
+//!   order, the same shapes the PR 4 typed predicate kernels compile) are
+//!   answered from the per-(label, key) histograms / value maps, `IS [NOT]
+//!   NULL` from the null counts, `IN` lists as sums of equality estimates,
+//!   and `AND`/`OR` combine under independence. Union- and all-typed
+//!   elements weight the per-label estimates by label cardinality.
+//!
+//! A predicate containing *any* sub-expression the statistics cannot answer
+//! makes the whole element fall back to the constant — partial coverage never
+//! silently mixes estimated and assumed factors.
+
+use gopt_gir::expr::{BinOp, Expr, UnaryOp};
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::{CmpKind, GraphStats, LabelId};
+use std::sync::Arc;
+
+/// Maps a pattern element's filter predicate to an estimated selectivity in
+/// `[0, 1]`, or `None` when the statistics do not cover the predicate (the
+/// caller then applies [`crate::DEFAULT_SELECTIVITY`]).
+pub trait SelectivityEstimator: Send + Sync {
+    /// Selectivity of `predicate` over vertices admitted by `constraint`.
+    fn vertex_predicate(&self, constraint: &TypeConstraint, predicate: &Expr) -> Option<f64>;
+
+    /// Selectivity of `predicate` over edges admitted by `constraint`.
+    fn edge_predicate(&self, constraint: &TypeConstraint, predicate: &Expr) -> Option<f64>;
+}
+
+/// The no-statistics estimator: covers nothing, so every filtered element
+/// falls back to the Remark 7.1 constant. [`crate::CardEstimator`] consumers
+/// that have no property statistics pass this and get estimates bit-identical
+/// to the pre-statistics implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstSelectivity;
+
+impl SelectivityEstimator for ConstSelectivity {
+    fn vertex_predicate(&self, _constraint: &TypeConstraint, _predicate: &Expr) -> Option<f64> {
+        None
+    }
+
+    fn edge_predicate(&self, _constraint: &TypeConstraint, _predicate: &Expr) -> Option<f64> {
+        None
+    }
+}
+
+/// Which element kind a predicate filters (vertex and edge property columns
+/// are kept separately in [`gopt_graph::PropStats`]).
+#[derive(Clone, Copy)]
+enum Elem {
+    Vertex,
+    Edge,
+}
+
+/// Histogram-backed selectivity estimation over shared [`GraphStats`].
+#[derive(Debug, Clone)]
+pub struct StatsSelectivity {
+    stats: Arc<GraphStats>,
+}
+
+impl StatsSelectivity {
+    /// Create an estimator over shared graph statistics.
+    pub fn new(stats: Arc<GraphStats>) -> Self {
+        StatsSelectivity { stats }
+    }
+
+    /// The underlying statistics.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// Labels admitted by a constraint, together with each label's row count.
+    fn labels_of(&self, elem: Elem, constraint: &TypeConstraint) -> Vec<(LabelId, f64)> {
+        let count_of = |l: LabelId| match elem {
+            Elem::Vertex => self.stats.low.vertex_count(l) as f64,
+            Elem::Edge => self.stats.low.edge_count(l) as f64,
+        };
+        match constraint.as_labels() {
+            Some(labels) => labels.iter().map(|&l| (l, count_of(l))).collect(),
+            None => {
+                let n = match elem {
+                    Elem::Vertex => self.stats.low.vertex_label_count(),
+                    Elem::Edge => self.stats.low.edge_label_count(),
+                };
+                (0..n as u16)
+                    .map(LabelId)
+                    .map(|l| (l, count_of(l)))
+                    .collect()
+            }
+        }
+    }
+
+    fn column(&self, elem: Elem, label: LabelId, key: &str) -> Option<&gopt_graph::ColumnStats> {
+        match elem {
+            Elem::Vertex => self.stats.props.vertex_stats(label, key),
+            Elem::Edge => self.stats.props.edge_stats(label, key),
+        }
+    }
+
+    /// Estimated number of `label` rows (out of `rows`) satisfying `expr`, or
+    /// `None` when some sub-expression is uncovered.
+    fn matching(&self, elem: Elem, label: LabelId, rows: f64, expr: &Expr) -> Option<f64> {
+        match expr {
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    // independence: sel(a AND b) = sel(a) * sel(b)
+                    let a = self.matching(elem, label, rows, lhs)?;
+                    let b = self.matching(elem, label, rows, rhs)?;
+                    Some(if rows > 0.0 { a * b / rows } else { 0.0 })
+                }
+                BinOp::Or => {
+                    // inclusion-exclusion under independence
+                    let a = self.matching(elem, label, rows, lhs)?;
+                    let b = self.matching(elem, label, rows, rhs)?;
+                    Some(if rows > 0.0 {
+                        a + b - a * b / rows
+                    } else {
+                        0.0
+                    })
+                }
+                _ => {
+                    let cmp = cmp_kind(*op)?;
+                    let (key, lit, cmp) = match (&**lhs, &**rhs) {
+                        (Expr::Property { prop, .. }, Expr::Literal(v)) => (prop, v, cmp),
+                        (Expr::Literal(v), Expr::Property { prop, .. }) => (prop, v, flip(cmp)),
+                        _ => return None,
+                    };
+                    match self.column(elem, label, key) {
+                        // no row of this label carries the key: the
+                        // comparison is Null (falsy) everywhere
+                        None => Some(0.0),
+                        Some(col) => Some(col.matching(cmp, lit)?.min(rows)),
+                    }
+                }
+            },
+            Expr::Unary { op, operand } => {
+                let Expr::Property { prop, .. } = &**operand else {
+                    return None;
+                };
+                let non_null = self
+                    .column(elem, label, prop)
+                    .map_or(0.0, |c| c.non_null as f64)
+                    .min(rows);
+                match op {
+                    UnaryOp::IsNull => Some(rows - non_null),
+                    UnaryOp::IsNotNull => Some(non_null),
+                    _ => None,
+                }
+            }
+            Expr::InList { expr, list } => {
+                let Expr::Property { prop, .. } = &**expr else {
+                    return None;
+                };
+                match self.column(elem, label, prop) {
+                    None => Some(0.0),
+                    Some(col) => {
+                        // dedup first: `IN (x, x)` matches the same rows as
+                        // `IN (x)`, so repeated literals must not double-count
+                        let distinct: std::collections::BTreeSet<&gopt_graph::PropValue> =
+                            list.iter().collect();
+                        let mut acc = 0.0;
+                        for v in distinct {
+                            acc += col.matching(CmpKind::Eq, v)?;
+                        }
+                        Some(acc.min(rows))
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Label-cardinality-weighted selectivity of `predicate` over the
+    /// admitted labels.
+    fn predicate(&self, elem: Elem, constraint: &TypeConstraint, predicate: &Expr) -> Option<f64> {
+        let labels = self.labels_of(elem, constraint);
+        let total: f64 = labels.iter().map(|(_, n)| n).sum();
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        let mut matching = 0.0;
+        for (label, rows) in labels {
+            if rows <= 0.0 {
+                continue;
+            }
+            matching += self.matching(elem, label, rows, predicate)?;
+        }
+        Some((matching / total).clamp(0.0, 1.0))
+    }
+}
+
+impl SelectivityEstimator for StatsSelectivity {
+    fn vertex_predicate(&self, constraint: &TypeConstraint, predicate: &Expr) -> Option<f64> {
+        self.predicate(Elem::Vertex, constraint, predicate)
+    }
+
+    fn edge_predicate(&self, constraint: &TypeConstraint, predicate: &Expr) -> Option<f64> {
+        self.predicate(Elem::Edge, constraint, predicate)
+    }
+}
+
+/// Map a GIR comparison operator to the statistics layer's [`CmpKind`].
+fn cmp_kind(op: BinOp) -> Option<CmpKind> {
+    Some(match op {
+        BinOp::Eq => CmpKind::Eq,
+        BinOp::Ne => CmpKind::Ne,
+        BinOp::Lt => CmpKind::Lt,
+        BinOp::Le => CmpKind::Le,
+        BinOp::Gt => CmpKind::Gt,
+        BinOp::Ge => CmpKind::Ge,
+        _ => return None,
+    })
+}
+
+/// The operator with its operands swapped (`lit op prop` → `prop op' lit`).
+fn flip(op: CmpKind) -> CmpKind {
+    match op {
+        CmpKind::Eq => CmpKind::Eq,
+        CmpKind::Ne => CmpKind::Ne,
+        CmpKind::Lt => CmpKind::Gt,
+        CmpKind::Le => CmpKind::Ge,
+        CmpKind::Gt => CmpKind::Lt,
+        CmpKind::Ge => CmpKind::Le,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_graph::graph::GraphBuilder;
+    use gopt_graph::schema::fig6_schema;
+    use gopt_graph::{PropValue, PropertyGraph};
+
+    /// 100 Persons with dense `age` 0..100, sparse `seen` dates, `name` in a
+    /// 4-value domain; 10 Places named China/India; LocatedIn edges with `w`.
+    fn graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new(fig6_schema());
+        let mut people = Vec::new();
+        for i in 0..100i64 {
+            let mut props = vec![
+                ("age", PropValue::Int(i)),
+                ("name", PropValue::str(format!("n{}", i % 4))),
+            ];
+            if i % 5 == 0 {
+                props.push(("seen", PropValue::Date(7000 + i)));
+            }
+            people.push(b.add_vertex_by_name("Person", props).unwrap());
+        }
+        let mut places = Vec::new();
+        for i in 0..10 {
+            let name = if i == 0 { "China" } else { "India" };
+            places.push(
+                b.add_vertex_by_name("Place", vec![("name", PropValue::str(name))])
+                    .unwrap(),
+            );
+        }
+        for (i, p) in people.iter().enumerate() {
+            b.add_edge_by_name(
+                "LocatedIn",
+                *p,
+                places[i % 10],
+                vec![("w", PropValue::Int((i % 10) as i64))],
+            )
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn sel(g: &PropertyGraph) -> StatsSelectivity {
+        StatsSelectivity::new(GraphStats::shared(g))
+    }
+
+    fn person(g: &PropertyGraph) -> TypeConstraint {
+        TypeConstraint::basic(g.schema().vertex_label("Person").unwrap())
+    }
+
+    #[test]
+    fn range_and_equality_predicates_match_true_fractions() {
+        let g = graph();
+        let s = sel(&g);
+        let p = person(&g);
+        let lt30 = Expr::binary(BinOp::Lt, Expr::prop("v", "age"), Expr::lit(30));
+        let est = s.vertex_predicate(&p, &lt30).unwrap();
+        assert!((est - 0.3).abs() < 0.05, "age<30 ~ 0.3, got {est}");
+        // flipped operand order
+        let flipped = Expr::binary(BinOp::Gt, Expr::lit(30), Expr::prop("v", "age"));
+        let est2 = s.vertex_predicate(&p, &flipped).unwrap();
+        assert!((est - est2).abs() < 1e-9);
+        // string equality from the complete value map: exactly 25 of 100
+        let eq = Expr::prop_eq("v", "name", "n1");
+        let est = s.vertex_predicate(&p, &eq).unwrap();
+        assert!((est - 0.25).abs() < 1e-9, "name=n1 is exact, got {est}");
+        // unknown property key: nothing matches
+        assert_eq!(
+            s.vertex_predicate(&p, &Expr::prop_eq("v", "ghost", 1)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn null_sparsity_and_conjunctions() {
+        let g = graph();
+        let s = sel(&g);
+        let p = person(&g);
+        // sparse Date column: only 20% of persons carry `seen`
+        let any_seen = Expr::binary(
+            BinOp::Ge,
+            Expr::prop("v", "seen"),
+            Expr::lit(PropValue::Date(0)),
+        );
+        let est = s.vertex_predicate(&p, &any_seen).unwrap();
+        assert!((est - 0.2).abs() < 0.05, "seen>=0 ~ 0.2, got {est}");
+        let not_null = Expr::Unary {
+            op: UnaryOp::IsNotNull,
+            operand: Box::new(Expr::prop("v", "seen")),
+        };
+        assert!((s.vertex_predicate(&p, &not_null).unwrap() - 0.2).abs() < 1e-9);
+        let is_null = Expr::Unary {
+            op: UnaryOp::IsNull,
+            operand: Box::new(Expr::prop("v", "seen")),
+        };
+        assert!((s.vertex_predicate(&p, &is_null).unwrap() - 0.8).abs() < 1e-9);
+        // AND multiplies under independence
+        let both = Expr::binary(BinOp::Lt, Expr::prop("v", "age"), Expr::lit(50))
+            .and(Expr::prop_eq("v", "name", "n1"));
+        let est = s.vertex_predicate(&p, &both).unwrap();
+        assert!((est - 0.125).abs() < 0.03, "0.5 * 0.25, got {est}");
+        // IN list sums equalities over *distinct* literals: a repeated value
+        // matches the same rows, so it must not double-count
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::prop("v", "name")),
+            list: vec![PropValue::str("n1"), PropValue::str("n2")],
+        };
+        assert!((s.vertex_predicate(&p, &inlist).unwrap() - 0.5).abs() < 1e-9);
+        let dup = Expr::InList {
+            expr: Box::new(Expr::prop("v", "name")),
+            list: vec![PropValue::str("n1"), PropValue::str("n1")],
+        };
+        assert!((s.vertex_predicate(&p, &dup).unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_constraints_weight_by_label_counts_and_edges_work() {
+        let g = graph();
+        let s = sel(&g);
+        let person = g.schema().vertex_label("Person").unwrap();
+        let place = g.schema().vertex_label("Place").unwrap();
+        // name = 'China': 0/100 persons, 1/10 places -> 1/110 weighted
+        let both = TypeConstraint::union([person, place]);
+        let eq = Expr::prop_eq("v", "name", "China");
+        let est = s.vertex_predicate(&both, &eq).unwrap();
+        assert!((est - 1.0 / 110.0).abs() < 1e-9, "got {est}");
+        // the all-typed constraint covers every label (Product has no rows)
+        let est_all = s.vertex_predicate(&TypeConstraint::all(), &eq).unwrap();
+        assert!((est_all - 1.0 / 110.0).abs() < 1e-9);
+        // edge predicate over the LocatedIn `w` histogram
+        let located = TypeConstraint::basic(g.schema().edge_label("LocatedIn").unwrap());
+        let w = Expr::binary(BinOp::Le, Expr::prop("e", "w"), Expr::lit(4));
+        let est = s.edge_predicate(&located, &w).unwrap();
+        assert!((est - 0.5).abs() < 0.1, "w<=4 ~ 0.5, got {est}");
+    }
+
+    #[test]
+    fn uncovered_shapes_fall_back_to_none() {
+        let g = graph();
+        let s = sel(&g);
+        let p = person(&g);
+        // property-vs-property comparison is uncovered
+        let pp = Expr::binary(BinOp::Lt, Expr::prop("v", "age"), Expr::prop("v", "seen"));
+        assert!(s.vertex_predicate(&p, &pp).is_none());
+        // arithmetic inside a comparison is uncovered
+        let arith = Expr::binary(
+            BinOp::Lt,
+            Expr::binary(BinOp::Add, Expr::prop("v", "age"), Expr::lit(1)),
+            Expr::lit(10),
+        );
+        assert!(s.vertex_predicate(&p, &arith).is_none());
+        // an uncovered conjunct poisons the whole predicate
+        let mixed = Expr::prop_eq("v", "name", "n1").and(pp);
+        assert!(s.vertex_predicate(&p, &mixed).is_none());
+        // the constant estimator covers nothing by definition
+        assert!(ConstSelectivity
+            .vertex_predicate(&p, &Expr::prop_eq("v", "name", "n1"))
+            .is_none());
+        assert!(ConstSelectivity
+            .edge_predicate(&p, &Expr::prop_eq("e", "w", 1))
+            .is_none());
+    }
+}

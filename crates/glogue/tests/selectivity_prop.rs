@@ -1,0 +1,191 @@
+//! Property tests for the statistics subsystem and the selectivity estimator:
+//!
+//! 1. every estimated selectivity lies in `[0, 1]`, for every comparison
+//!    operator, literal and column shape (including cross-kind literals and
+//!    unknown keys);
+//! 2. on generated graphs the histogram/value-map estimate of a
+//!    `prop CMP literal` predicate stays within a bounded absolute error of
+//!    the exact matching fraction (computed by scanning the graph);
+//! 3. building statistics monolithically and merging per-shard statistics at
+//!    p ∈ {1, 2, 4} produce *identical* results — the mergeable
+//!    histogram/NDV/value-map design is exact, not approximate.
+
+use gopt_gir::expr::{BinOp, Expr};
+use gopt_gir::types::TypeConstraint;
+use gopt_glogue::{SelectivityEstimator, StatsSelectivity};
+use gopt_graph::graph::GraphBuilder;
+use gopt_graph::schema::fig6_schema;
+use gopt_graph::{GraphStats, PartitionedGraph, PropValue, PropertyGraph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random typed-property graph: Persons with a dense Int `age` in
+/// `[0, modulus)`, a dense Float `score`, a sparse Date `seen`, a Str `name`
+/// over a small domain and a kind-mixed `badge`; Places with names; LocatedIn
+/// edges carrying an Int `w`.
+fn random_props_graph(seed: u64, persons: usize, modulus: i64) -> PropertyGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut people = Vec::new();
+    for i in 0..persons {
+        let mut props = vec![
+            ("age", PropValue::Int(rng.gen_range(0..modulus))),
+            (
+                "score",
+                PropValue::Float(rng.gen_range(0..(modulus * 4)) as f64 / 4.0),
+            ),
+            ("name", PropValue::str(format!("n{}", rng.gen_range(0..6)))),
+        ];
+        if rng.gen_bool(0.4) {
+            props.push(("seen", PropValue::Date(rng.gen_range(0..modulus))));
+        }
+        props.push(if rng.gen_bool(0.5) {
+            ("badge", PropValue::Int(rng.gen_range(0..3)))
+        } else {
+            ("badge", PropValue::str("b"))
+        });
+        people.push(b.add_vertex_by_name("Person", props).unwrap());
+        let _ = i;
+    }
+    let mut places = Vec::new();
+    for i in 0..5 {
+        places.push(
+            b.add_vertex_by_name("Place", vec![("name", PropValue::str(format!("pl{i}")))])
+                .unwrap(),
+        );
+    }
+    for &p in &people {
+        if rng.gen_bool(0.8) {
+            let c = places[rng.gen_range(0..places.len())];
+            b.add_edge_by_name(
+                "LocatedIn",
+                p,
+                c,
+                vec![("w", PropValue::Int(rng.gen_range(0..modulus)))],
+            )
+            .unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// The exact fraction of Persons satisfying `prop op lit` (nulls fail).
+fn exact_fraction(g: &PropertyGraph, prop: &str, op: BinOp, lit: &PropValue) -> f64 {
+    let person = g.schema().vertex_label("Person").unwrap();
+    let vertices = g.vertices_with_label(person);
+    let matching = vertices
+        .iter()
+        .filter(|&&v| {
+            g.vertex_prop_by_name(v, prop)
+                .is_some_and(|val| op.apply(&val, lit).truthy())
+        })
+        .count();
+    matching as f64 / vertices.len().max(1) as f64
+}
+
+const CMP_OPS: [BinOp; 6] = [
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn selectivity_is_bounded_and_tracks_exact_fractions(
+        seed in 0u64..10_000,
+        persons in 30usize..120,
+        modulus in 4i64..40,
+    ) {
+        let g = random_props_graph(seed, persons, modulus);
+        let sel = StatsSelectivity::new(GraphStats::shared(&g));
+        let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e1ec7);
+        // (a) + (b): for each covered column, every operator stays in [0, 1]
+        // and the dense numeric columns stay near the exact fraction
+        for (prop, accurate) in [
+            ("age", true),
+            ("score", true),
+            ("seen", true),
+            ("name", true),
+            ("badge", false), // mixed column: falls back, bounds still hold
+        ] {
+            for op in CMP_OPS {
+                let lit = match prop {
+                    "score" => PropValue::Float(rng.gen_range(-2..(modulus + 2)) as f64 / 2.0),
+                    "seen" => PropValue::Date(rng.gen_range(-2..modulus + 2)),
+                    "name" => PropValue::str(format!("n{}", rng.gen_range(0..8))),
+                    _ => PropValue::Int(rng.gen_range(-2..modulus + 2)),
+                };
+                let expr = Expr::binary(op, Expr::prop("v", prop), Expr::lit(lit.clone()));
+                let Some(est) = sel.vertex_predicate(&person, &expr) else {
+                    prop_assert!(!accurate || prop == "badge", "{prop} should be covered");
+                    continue;
+                };
+                prop_assert!(
+                    (0.0..=1.0).contains(&est),
+                    "selectivity out of bounds: {est} for {prop} {op:?} {lit}"
+                );
+                if accurate {
+                    let exact = exact_fraction(&g, prop, op, &lit);
+                    prop_assert!(
+                        (est - exact).abs() <= 0.15,
+                        "{prop} {op:?} {lit}: estimate {est} vs exact {exact}"
+                    );
+                }
+            }
+        }
+        // cross-kind literals and unknown keys stay bounded too
+        for expr in [
+            Expr::binary(BinOp::Lt, Expr::prop("v", "age"), Expr::lit(PropValue::str("z"))),
+            Expr::binary(BinOp::Ge, Expr::prop("v", "seen"), Expr::lit(7)),
+            Expr::prop_eq("v", "ghost", 1),
+        ] {
+            if let Some(est) = sel.vertex_predicate(&person, &expr) {
+                prop_assert!((0.0..=1.0).contains(&est), "{est} out of bounds for {expr}");
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_stats_equal_merged_shard_stats(
+        seed in 0u64..10_000,
+        persons in 10usize..90,
+        modulus in 2i64..50,
+    ) {
+        let g = random_props_graph(seed, persons, modulus);
+        let mono = GraphStats::from_graph(&g);
+        for p in [1usize, 2, 4] {
+            let pg = PartitionedGraph::build(&g, p);
+            let merged = GraphStats::from_partitioned(&pg);
+            prop_assert_eq!(&mono, &merged, "partitions = {}", p);
+        }
+    }
+}
+
+/// The estimator layers compose: a `StatsSelectivity` built over merged shard
+/// statistics answers exactly like one built monolithically.
+#[test]
+fn shard_built_selectivity_answers_identically() {
+    let g = random_props_graph(7, 64, 12);
+    let pg = PartitionedGraph::build(&g, 4);
+    let mono = StatsSelectivity::new(GraphStats::shared(&g));
+    let merged = StatsSelectivity::new(Arc::new(GraphStats::from_partitioned(&pg)));
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    for op in CMP_OPS {
+        for lit in [0i64, 3, 7, 11, 30] {
+            let expr = Expr::binary(op, Expr::prop("v", "age"), Expr::lit(lit));
+            assert_eq!(
+                mono.vertex_predicate(&person, &expr),
+                merged.vertex_predicate(&person, &expr),
+                "{op:?} {lit}"
+            );
+        }
+    }
+}

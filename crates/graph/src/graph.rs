@@ -606,6 +606,16 @@ impl PropertyGraph {
         )
     }
 
+    /// The vertex property column store (for the statistics layer).
+    pub(crate) fn vertex_prop_columns(&self) -> &PropColumns {
+        &self.vertex_props
+    }
+
+    /// The edge property column store (for the statistics layer).
+    pub(crate) fn edge_prop_columns(&self) -> &PropColumns {
+        &self.edge_props
+    }
+
     /// The typed cell holding `e`'s `key` property.
     #[inline]
     pub fn edge_prop_cell(&self, e: EdgeId, key: PropKeyId) -> Option<ColumnRef<'_>> {

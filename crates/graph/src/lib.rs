@@ -41,6 +41,8 @@ pub use graph::{Adj, CsrAdjacency, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
 pub use partition::{GraphShard, HashPartitioner, PartitionedGraph, Partitioner};
 pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
-pub use stats::LowOrderStats;
+pub use stats::{
+    CmpKind, ColumnDetail, ColumnStats, GraphStats, Histogram, LowOrderStats, NdvSketch, PropStats,
+};
 pub use value::PropValue;
 pub use view::GraphView;

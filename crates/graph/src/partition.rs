@@ -158,6 +158,12 @@ impl GraphShard {
     pub fn prop_column(&self, label: LabelId, key: PropKeyId) -> Option<&TypedColumn> {
         self.props.column(label, key)
     }
+
+    /// The shard's property column store (for the statistics layer, which
+    /// builds per-shard stats and merges them).
+    pub(crate) fn prop_columns(&self) -> &PropColumns {
+        &self.props
+    }
 }
 
 /// Vertex-partitioned graph storage: a [`Partitioner`], one [`GraphShard`]
@@ -308,6 +314,12 @@ impl PartitionedGraph {
     /// All shards, indexed by partition.
     pub fn shards(&self) -> &[GraphShard] {
         &self.shards
+    }
+
+    /// The global catalog (schema, label columns, edge endpoints/properties,
+    /// property-key interning) shared by all shards.
+    pub(crate) fn catalog(&self) -> &PropertyGraph {
+        &self.base
     }
 
     #[inline]

@@ -1,15 +1,57 @@
-//! Low-order statistics over a property graph.
+//! Statistics over a property graph: low-order label counts and typed
+//! per-(label, key) property statistics.
 //!
-//! These are the statistics a conventional optimizer (e.g. Neo4j's CypherPlanner or a
-//! relational optimizer) works with: per-label vertex and edge counts and average degrees.
-//! The GOpt paper contrasts them with *high-order statistics* (pattern frequencies stored
-//! in GLogue, see the `gopt-glogue` crate); Fig. 8(d) compares plans produced from the two.
+//! Two layers live here:
+//!
+//! * [`LowOrderStats`] — per-label vertex/edge counts and average degrees, the
+//!   statistics a conventional optimizer (e.g. Neo4j's CypherPlanner) works
+//!   with. The GOpt paper contrasts them with *high-order statistics* (pattern
+//!   frequencies stored in GLogue, see the `gopt-glogue` crate).
+//! * [`PropStats`] — per-(label, property-key) **typed column statistics**
+//!   computed in one pass over the PR 4 [`TypedColumn`]s: null count,
+//!   distinct-value sketch, min/max, and an equi-width [`Histogram`] for
+//!   Int/Float/Date columns (a complete value-count map for Bool/Str; a
+//!   conservative fallback for `Mixed`). These are what turn the paper's
+//!   Remark 7.1 *pre-defined constant selectivity* into a real, data-driven
+//!   estimate for `prop CMP literal` filters.
+//!
+//! [`GraphStats`] bundles both and is buildable from the monolithic
+//! [`PropertyGraph`] **and** from a [`PartitionedGraph`] by merging per-shard
+//! statistics.
+//!
+//! # Mergeability (monolithic ≡ merged shards)
+//!
+//! Every per-column statistic is designed so that merging per-shard stats is
+//! *exactly* equal to computing them on the monolithic graph — not just
+//! approximately. This is what makes the partitioned build trustworthy (and
+//! testable: `PropStats::from_partitioned(p) == PropStats::from_graph(g)` for
+//! any partition count):
+//!
+//! * **Histograms** use power-of-two bucket widths aligned to absolute value
+//!   space (bucket `i` covers `[i·2^e, (i+1)·2^e)`). The width exponent `e` is
+//!   the canonical smallest one that fits the column's value range into
+//!   [`HISTOGRAM_MAX_BUCKETS`] buckets, so a shard's finer histogram re-bins
+//!   *exactly* (integer shift of bucket indices) into the coarser merged one.
+//! * **NDV** uses a K-minimum-values sketch over a deterministic value hash:
+//!   the K smallest hashes of a union are the merge of the per-shard K
+//!   smallest. Exact below K distinct values, an unbiased estimate above.
+//! * **Value maps** (Bool/Str) are complete counts capped at
+//!   [`VALUES_MAX_DISTINCT`] distinct values; overflowing columns drop the map
+//!   on both the monolithic and the merged path (a shard's domain is a subset
+//!   of the global domain, so overflow states agree).
 
+use crate::column::TypedColumn;
 use crate::graph::PropertyGraph;
 use crate::ids::LabelId;
+use crate::partition::PartitionedGraph;
+use crate::schema::PropType;
+use crate::value::PropValue;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Per-label counts and degree summaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LowOrderStats {
     vertex_counts: Vec<u64>,
     edge_counts: Vec<u64>,
@@ -78,6 +120,16 @@ impl LowOrderStats {
         self.edge_counts.get(label.index()).copied().unwrap_or(0)
     }
 
+    /// Number of vertex labels the statistics cover.
+    pub fn vertex_label_count(&self) -> usize {
+        self.vertex_counts.len()
+    }
+
+    /// Number of edge labels the statistics cover.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_counts.len()
+    }
+
     /// Total number of vertices.
     pub fn total_vertices(&self) -> u64 {
         self.total_vertices
@@ -104,6 +156,749 @@ impl LowOrderStats {
             .and_then(|r| r.get(edge_label.index()))
             .copied()
             .unwrap_or(0.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed property statistics
+// ---------------------------------------------------------------------------
+
+/// Maximum number of buckets of an equi-width [`Histogram`].
+pub const HISTOGRAM_MAX_BUCKETS: usize = 64;
+
+/// Maximum number of distinct values a Bool/Str column keeps complete counts
+/// for; columns with more distinct values drop the map and fall back to the
+/// NDV sketch.
+pub const VALUES_MAX_DISTINCT: usize = 64;
+
+/// Number of minimum hash values kept by the [`NdvSketch`]; distinct counts up
+/// to this are exact.
+pub const NDV_SKETCH_K: usize = 256;
+
+/// Smallest bucket-width exponent used for Float histograms (Int/Date columns
+/// never go below width `2^0 = 1`).
+const FLOAT_E_MIN: i32 = -512;
+
+/// FNV-1a over a canonical byte encoding of a value. Deterministic (no
+/// per-process randomness), so per-shard sketches merge exactly.
+fn value_hash(v: &PropValue) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match v {
+        PropValue::Null => eat(&[0]),
+        PropValue::Bool(b) => {
+            eat(&[1, *b as u8]);
+        }
+        // Int and integral Float hash identically, matching PropValue's
+        // numeric equality (Int(3) == Float(3.0))
+        PropValue::Int(i) => {
+            eat(&[2]);
+            eat(&i.to_le_bytes());
+        }
+        PropValue::Float(f) => {
+            let integral =
+                f.fract() == 0.0 && f.abs() < 9.0e15 && !(*f == 0.0 && f.is_sign_negative());
+            if integral {
+                eat(&[2]);
+                eat(&(*f as i64).to_le_bytes());
+            } else {
+                eat(&[3]);
+                eat(&f.to_bits().to_le_bytes());
+            }
+        }
+        PropValue::Date(d) => {
+            eat(&[4]);
+            eat(&d.to_le_bytes());
+        }
+        PropValue::Str(s) => {
+            eat(&[5]);
+            eat(s.as_bytes());
+        }
+    }
+    h
+}
+
+/// K-minimum-values distinct-count sketch: the [`NDV_SKETCH_K`] smallest
+/// deterministic hashes seen. Merging is set union + truncation, which is
+/// exactly the sketch of the union — monolithic and merged builds agree bit
+/// for bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NdvSketch {
+    mins: BTreeSet<u64>,
+}
+
+impl NdvSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn insert(&mut self, v: &PropValue) {
+        let h = value_hash(v);
+        if self.mins.len() < NDV_SKETCH_K {
+            self.mins.insert(h);
+        } else if let Some(&largest) = self.mins.iter().next_back() {
+            if h < largest {
+                self.mins.insert(h);
+                if self.mins.len() > NDV_SKETCH_K {
+                    self.mins.pop_last();
+                }
+            }
+        }
+    }
+
+    /// Merge another sketch into this one (union + truncate).
+    pub fn merge(&mut self, other: &NdvSketch) {
+        self.mins.extend(other.mins.iter().copied());
+        while self.mins.len() > NDV_SKETCH_K {
+            self.mins.pop_last();
+        }
+    }
+
+    /// Estimated number of distinct values: exact while fewer than
+    /// [`NDV_SKETCH_K`] distinct hashes were seen, the standard KMV estimator
+    /// `(K-1) / (kth_min / 2^64)` beyond.
+    pub fn estimate(&self) -> f64 {
+        if self.mins.len() < NDV_SKETCH_K {
+            return self.mins.len() as f64;
+        }
+        let kth = *self.mins.iter().next_back().expect("sketch is full") as f64;
+        if kth <= 0.0 {
+            return self.mins.len() as f64;
+        }
+        (NDV_SKETCH_K as f64 - 1.0) * (u64::MAX as f64) / kth
+    }
+}
+
+/// Bucket index of `v` at width `2^e`; `None` when the index overflows.
+fn bucket_of(v: f64, e: i32) -> Option<i64> {
+    let w = 2f64.powi(e);
+    if !w.is_finite() || w <= 0.0 {
+        return None;
+    }
+    let x = (v / w).floor();
+    if x.is_finite() && x >= -(2f64.powi(62)) && x <= 2f64.powi(62) {
+        Some(x as i64)
+    } else {
+        None
+    }
+}
+
+/// Whether the value range fits into [`HISTOGRAM_MAX_BUCKETS`] buckets of
+/// width `2^e`.
+fn fits(min: f64, max: f64, e: i32) -> bool {
+    match (bucket_of(min, e), bucket_of(max, e)) {
+        (Some(lo), Some(hi)) => {
+            hi.wrapping_sub(lo) >= 0 && ((hi - lo) as usize) < HISTOGRAM_MAX_BUCKETS
+        }
+        _ => false,
+    }
+}
+
+/// The canonical width exponent for a value range: the smallest `e >= e_min`
+/// whose aligned buckets cover `[min, max]` in at most
+/// [`HISTOGRAM_MAX_BUCKETS`] buckets. Purely a function of `(min, max,
+/// e_min)`, so the monolithic build and the shard merge land on the same
+/// exponent.
+fn fit_exponent(min: f64, max: f64, e_min: i32) -> i32 {
+    let range = max - min;
+    let mut e = if range > 0.0 && range.is_finite() {
+        ((range / HISTOGRAM_MAX_BUCKETS as f64).log2().ceil() as i32).max(e_min)
+    } else {
+        e_min
+    };
+    while e > e_min && fits(min, max, e - 1) {
+        e -= 1;
+    }
+    while !fits(min, max, e) {
+        e += 1;
+        if e > 1100 {
+            break; // unreachable for finite inputs; guard against loops
+        }
+    }
+    e
+}
+
+/// An equi-width histogram with power-of-two bucket widths aligned to
+/// absolute value space: bucket `start + i` covers
+/// `[(start+i)·2^e, (start+i+1)·2^e)`. See the module documentation for why
+/// this alignment makes shard merges exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket width exponent (`width = 2^width_log2`).
+    width_log2: i32,
+    /// Bucket index of `counts[0]`.
+    start: i64,
+    /// Per-bucket value counts; first and last buckets are non-empty.
+    counts: Vec<u64>,
+    /// Exact minimum of the histogrammed values.
+    min: f64,
+    /// Exact maximum of the histogrammed values.
+    max: f64,
+    /// Total number of histogrammed values.
+    total: u64,
+}
+
+impl Histogram {
+    /// Build from finite values; `None` when `values` is empty. `e_min` is the
+    /// smallest width exponent considered (0 for integer-valued columns).
+    fn build(values: &[f64], e_min: i32) -> Option<Histogram> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if values.is_empty() || !min.is_finite() || !max.is_finite() {
+            return None;
+        }
+        let e = fit_exponent(min, max, e_min);
+        let start = bucket_of(min, e)?;
+        let end = bucket_of(max, e)?;
+        let mut counts = vec![0u64; (end - start) as usize + 1];
+        for &v in values {
+            let b = bucket_of(v, e).expect("value within fitted range");
+            counts[(b - start) as usize] += 1;
+        }
+        Some(Histogram {
+            width_log2: e,
+            start,
+            counts,
+            min,
+            max,
+            total: values.len() as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of histogrammed values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Minimum and maximum histogrammed value.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Merge two histograms over the same value space: re-fit the exponent to
+    /// the union range (always a coarsening of both, see [`fit_exponent`]),
+    /// re-bin each side by integer index shifts (exact), and add counts.
+    fn merge(&self, other: &Histogram, e_min: i32) -> Histogram {
+        let min = self.min.min(other.min);
+        let max = self.max.max(other.max);
+        let e = fit_exponent(min, max, e_min);
+        let start = bucket_of(min, e).expect("fitted exponent covers the union");
+        let end = bucket_of(max, e).expect("fitted exponent covers the union");
+        let mut counts = vec![0u64; (end - start) as usize + 1];
+        for h in [self, other] {
+            debug_assert!(e >= h.width_log2, "merge must coarsen");
+            let shift = e - h.width_log2;
+            for (i, &c) in h.counts.iter().enumerate() {
+                // arithmetic shift = floor division by 2^shift, exact because
+                // bucket boundaries are aligned across exponents. Float shards
+                // can differ by more than 63 exponent steps (e.g. one shard
+                // holding only tiny values, another only huge ones), where the
+                // shift saturates: every i64 index floor-divides to 0 or -1.
+                let old = h.start + i as i64;
+                let idx = if shift >= 63 {
+                    if old < 0 {
+                        -1
+                    } else {
+                        0
+                    }
+                } else {
+                    old >> shift
+                };
+                counts[(idx - start) as usize] += c;
+            }
+        }
+        Histogram {
+            width_log2: e,
+            start,
+            counts,
+            min,
+            max,
+            total: self.total + other.total,
+        }
+    }
+
+    /// Estimated number of values strictly below `x` (linear interpolation
+    /// within the bucket containing `x`).
+    pub fn count_lt(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return self.total as f64;
+        }
+        let w = 2f64.powi(self.width_log2);
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = (self.start + i as i64) as f64 * w;
+            let hi = lo + w;
+            if hi <= x {
+                acc += c as f64;
+            } else if lo < x {
+                acc += c as f64 * ((x - lo) / w).clamp(0.0, 1.0);
+            } else {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Estimated number of values equal to `x`, assuming `ndv` distinct
+    /// values spread over the column: the per-distinct average, capped by the
+    /// count of the bucket containing `x`.
+    pub fn count_eq(&self, x: f64, ndv: f64) -> f64 {
+        if x < self.min || x > self.max {
+            return 0.0;
+        }
+        let bucket = match bucket_of(x, self.width_log2) {
+            Some(b) if b >= self.start && ((b - self.start) as usize) < self.counts.len() => {
+                self.counts[(b - self.start) as usize] as f64
+            }
+            _ => return 0.0,
+        };
+        (self.total as f64 / ndv.max(1.0)).min(bucket)
+    }
+}
+
+/// A comparison operator on property values, as stats consumers see it (the
+/// same six shapes the PR 4 typed predicate kernels compile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpKind {
+    /// Whether the operator accepts the ordering of `value cmp literal`.
+    fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpKind::Eq => ord == Equal,
+            CmpKind::Ne => ord != Equal,
+            CmpKind::Lt => ord == Less,
+            CmpKind::Le => ord != Greater,
+            CmpKind::Gt => ord == Greater,
+            CmpKind::Ge => ord != Less,
+        }
+    }
+}
+
+/// Per-value estimation basis of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnDetail {
+    /// Equi-width histogram (Int/Float/Date columns).
+    Histogram(Histogram),
+    /// Complete per-value counts (Bool/Str columns); `None` when the column
+    /// exceeded [`VALUES_MAX_DISTINCT`] distinct values.
+    Values(Option<BTreeMap<PropValue, u64>>),
+    /// No per-value basis (`Mixed` columns, kind-mismatched shard merges).
+    None,
+}
+
+/// Statistics of one (label, property-key) column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of cells holding a proper value (explicit stored `Null`s count
+    /// as absent, matching predicate semantics).
+    pub non_null: u64,
+    /// The column's single value kind; `None` for `Mixed` columns (and for
+    /// shard merges whose kinds disagree).
+    pub kind: Option<PropType>,
+    /// Smallest value under [`PropValue`]'s total order.
+    pub min: Option<PropValue>,
+    /// Largest value under [`PropValue`]'s total order.
+    pub max: Option<PropValue>,
+    /// Distinct-count sketch.
+    pub ndv: NdvSketch,
+    /// Per-value estimation basis.
+    pub detail: ColumnDetail,
+}
+
+/// The smallest histogram width exponent for a kind (integers never split a
+/// unit bucket; floats go down to `2^-512`).
+fn e_min_of(kind: PropType) -> i32 {
+    match kind {
+        PropType::Float => FLOAT_E_MIN,
+        _ => 0,
+    }
+}
+
+impl ColumnStats {
+    /// Compute the statistics of one typed column in a single pass.
+    pub fn from_column(col: &TypedColumn) -> ColumnStats {
+        let mut ndv = NdvSketch::new();
+        let mut min: Option<PropValue> = None;
+        let mut max: Option<PropValue> = None;
+        let mut non_null = 0u64;
+        let note = |v: &PropValue,
+                    ndv: &mut NdvSketch,
+                    min: &mut Option<PropValue>,
+                    max: &mut Option<PropValue>| {
+            ndv.insert(v);
+            if min.as_ref().is_none_or(|m| v < m) {
+                *min = Some(v.clone());
+            }
+            if max.as_ref().is_none_or(|m| v > m) {
+                *max = Some(v.clone());
+            }
+        };
+        let detail = match col {
+            TypedColumn::Int(vals, valid) | TypedColumn::Date(vals, valid) => {
+                let date = matches!(col, TypedColumn::Date(..));
+                let mut nums = Vec::new();
+                for (i, &v) in vals.iter().enumerate() {
+                    if valid.get(i) {
+                        non_null += 1;
+                        let pv = if date {
+                            PropValue::Date(v)
+                        } else {
+                            PropValue::Int(v)
+                        };
+                        note(&pv, &mut ndv, &mut min, &mut max);
+                        nums.push(v as f64);
+                    }
+                }
+                match Histogram::build(&nums, 0) {
+                    Some(h) => ColumnDetail::Histogram(h),
+                    None => ColumnDetail::None,
+                }
+            }
+            TypedColumn::Float(vals, valid) => {
+                let mut nums = Vec::new();
+                for (i, &v) in vals.iter().enumerate() {
+                    if valid.get(i) {
+                        non_null += 1;
+                        note(&PropValue::Float(v), &mut ndv, &mut min, &mut max);
+                        if v.is_finite() {
+                            nums.push(v);
+                        }
+                    }
+                }
+                match Histogram::build(&nums, FLOAT_E_MIN) {
+                    Some(h) => ColumnDetail::Histogram(h),
+                    None => ColumnDetail::None,
+                }
+            }
+            TypedColumn::Bool(vals, valid) => {
+                let mut map = BTreeMap::new();
+                for (i, &v) in vals.iter().enumerate() {
+                    if valid.get(i) {
+                        non_null += 1;
+                        let pv = PropValue::Bool(v);
+                        note(&pv, &mut ndv, &mut min, &mut max);
+                        *map.entry(pv).or_insert(0u64) += 1;
+                    }
+                }
+                ColumnDetail::Values(Some(map))
+            }
+            TypedColumn::Str(vals, valid) => {
+                let mut map: Option<BTreeMap<PropValue, u64>> = Some(BTreeMap::new());
+                for (i, v) in vals.iter().enumerate() {
+                    if valid.get(i) {
+                        non_null += 1;
+                        let pv = PropValue::Str(v.clone());
+                        note(&pv, &mut ndv, &mut min, &mut max);
+                        if let Some(m) = map.as_mut() {
+                            *m.entry(pv).or_insert(0u64) += 1;
+                            if m.len() > VALUES_MAX_DISTINCT {
+                                map = None;
+                            }
+                        }
+                    }
+                }
+                ColumnDetail::Values(map)
+            }
+            TypedColumn::Mixed(cells) => {
+                for cell in cells.iter().flatten() {
+                    if cell.is_null() {
+                        continue; // explicit stored Null: absent for predicates
+                    }
+                    non_null += 1;
+                    note(cell, &mut ndv, &mut min, &mut max);
+                }
+                ColumnDetail::None
+            }
+        };
+        ColumnStats {
+            non_null,
+            kind: col.kind(),
+            min,
+            max,
+            ndv,
+            detail,
+        }
+    }
+
+    /// Merge another column's statistics into this one. Exact: merging shard
+    /// stats equals the monolithic build (see the module documentation).
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.non_null += other.non_null;
+        self.ndv.merge(&other.ndv);
+        if other
+            .min
+            .as_ref()
+            .is_some_and(|m| self.min.as_ref().is_none_or(|s| m < s))
+        {
+            self.min = other.min.clone();
+        }
+        if other
+            .max
+            .as_ref()
+            .is_some_and(|m| self.max.as_ref().is_none_or(|s| m > s))
+        {
+            self.max = other.max.clone();
+        }
+        let same_kind = self.kind.is_some() && self.kind == other.kind;
+        self.detail = if !same_kind {
+            ColumnDetail::None
+        } else {
+            match (&self.detail, &other.detail) {
+                (ColumnDetail::Histogram(a), ColumnDetail::Histogram(b)) => {
+                    let e_min = e_min_of(self.kind.expect("same_kind checked"));
+                    ColumnDetail::Histogram(a.merge(b, e_min))
+                }
+                (ColumnDetail::Values(Some(a)), ColumnDetail::Values(Some(b))) => {
+                    let mut merged = a.clone();
+                    for (k, v) in b {
+                        *merged.entry(k.clone()).or_insert(0) += v;
+                    }
+                    if merged.len() > VALUES_MAX_DISTINCT {
+                        ColumnDetail::Values(None)
+                    } else {
+                        ColumnDetail::Values(Some(merged))
+                    }
+                }
+                (ColumnDetail::Values(_), ColumnDetail::Values(_)) => ColumnDetail::Values(None),
+                _ => ColumnDetail::None,
+            }
+        };
+        if !same_kind {
+            self.kind = None;
+        }
+    }
+
+    /// Estimated distinct-value count.
+    pub fn ndv_estimate(&self) -> f64 {
+        self.ndv.estimate().max(1.0)
+    }
+
+    /// Estimated number of cells whose value satisfies `value op lit`, or
+    /// `None` when the statistics cannot cover the comparison (the caller
+    /// falls back to the Remark 7.1 constant). The result is within
+    /// `[0, non_null]`.
+    pub fn matching(&self, op: CmpKind, lit: &PropValue) -> Option<f64> {
+        if lit.is_null() {
+            // `x cmp Null` is Null, which is falsy, for every x
+            return Some(0.0);
+        }
+        if self.non_null == 0 {
+            return Some(0.0);
+        }
+        let kind = self.kind?;
+        let nn = self.non_null as f64;
+        // cross-kind comparisons are constant under PropValue's total order
+        // (the same reduction the typed predicate kernels use)
+        let same_rank = matches!(
+            (kind, lit),
+            (
+                PropType::Int | PropType::Float,
+                PropValue::Int(_) | PropValue::Float(_)
+            ) | (PropType::Date, PropValue::Date(_))
+                | (PropType::Bool, PropValue::Bool(_))
+                | (PropType::Str, PropValue::Str(_))
+        );
+        if !same_rank {
+            let representative = match kind {
+                PropType::Int => PropValue::Int(0),
+                PropType::Float => PropValue::Float(0.0),
+                PropType::Bool => PropValue::Bool(false),
+                PropType::Date => PropValue::Date(0),
+                PropType::Str => PropValue::str(""),
+            };
+            let ord = representative.cmp(lit);
+            return Some(if op.test(ord) { nn } else { 0.0 });
+        }
+        match &self.detail {
+            ColumnDetail::Histogram(h) => {
+                let x = lit.as_float()?;
+                let total = h.total() as f64;
+                let eq = h.count_eq(x, self.ndv_estimate());
+                let lt = h.count_lt(x);
+                let est = match op {
+                    CmpKind::Eq => eq,
+                    CmpKind::Ne => total - eq,
+                    CmpKind::Lt => lt,
+                    CmpKind::Le => (lt + eq).min(total),
+                    CmpKind::Gt => total - (lt + eq).min(total),
+                    CmpKind::Ge => total - lt,
+                };
+                Some(est.clamp(0.0, nn))
+            }
+            ColumnDetail::Values(Some(map)) => {
+                let mut acc = 0u64;
+                for (v, c) in map {
+                    if op.test(v.cmp(lit)) {
+                        acc += c;
+                    }
+                }
+                Some((acc as f64).min(nn))
+            }
+            ColumnDetail::Values(None) => {
+                // complete counts overflowed: equality falls back to the
+                // per-distinct average; ranges are uncovered
+                let eq = (nn / self.ndv_estimate()).min(nn);
+                match op {
+                    CmpKind::Eq => Some(eq),
+                    CmpKind::Ne => Some(nn - eq),
+                    _ => None,
+                }
+            }
+            ColumnDetail::None => None,
+        }
+    }
+}
+
+/// Per-(label, property-key) typed column statistics for one graph, split by
+/// element kind (vertex vs edge columns). Keys are property *names*, so the
+/// stats survive independently of any particular graph's key interning.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PropStats {
+    vertex: BTreeMap<LabelId, BTreeMap<String, ColumnStats>>,
+    edge: BTreeMap<LabelId, BTreeMap<String, ColumnStats>>,
+}
+
+impl PropStats {
+    /// Compute property statistics in one pass over the monolithic graph's
+    /// typed columns.
+    pub fn from_graph(g: &PropertyGraph) -> PropStats {
+        let mut stats = PropStats::default();
+        for (label, key, col) in g.vertex_prop_columns().iter_columns() {
+            stats.vertex.entry(label).or_default().insert(
+                g.prop_key_name(key).to_string(),
+                ColumnStats::from_column(col),
+            );
+        }
+        for (label, key, col) in g.edge_prop_columns().iter_columns() {
+            stats.edge.entry(label).or_default().insert(
+                g.prop_key_name(key).to_string(),
+                ColumnStats::from_column(col),
+            );
+        }
+        stats
+    }
+
+    /// Compute property statistics for a partitioned graph: per-shard vertex
+    /// column stats merged shard by shard (each shard re-infers its own
+    /// column layout, so this exercises the mergeable design), plus the edge
+    /// columns from the global catalog.
+    pub fn from_partitioned(pg: &PartitionedGraph) -> PropStats {
+        let catalog = pg.catalog();
+        let mut stats = PropStats::default();
+        for shard in pg.shards() {
+            for (label, key, col) in shard.prop_columns().iter_columns() {
+                let col_stats = ColumnStats::from_column(col);
+                let per_label = stats.vertex.entry(label).or_default();
+                match per_label.get_mut(catalog.prop_key_name(key)) {
+                    Some(existing) => existing.merge(&col_stats),
+                    None => {
+                        per_label.insert(catalog.prop_key_name(key).to_string(), col_stats);
+                    }
+                }
+            }
+        }
+        for (label, key, col) in catalog.edge_prop_columns().iter_columns() {
+            stats.edge.entry(label).or_default().insert(
+                catalog.prop_key_name(key).to_string(),
+                ColumnStats::from_column(col),
+            );
+        }
+        stats
+    }
+
+    /// Statistics of the `(vertex label, key name)` column, when any vertex of
+    /// that label carries the key. Allocation-free: this sits in the CBO's
+    /// innermost frequency loop.
+    pub fn vertex_stats(&self, label: LabelId, key: &str) -> Option<&ColumnStats> {
+        self.vertex.get(&label)?.get(key)
+    }
+
+    /// Statistics of the `(edge label, key name)` column.
+    pub fn edge_stats(&self, label: LabelId, key: &str) -> Option<&ColumnStats> {
+        self.edge.get(&label)?.get(key)
+    }
+
+    /// Number of vertex columns with statistics.
+    pub fn vertex_column_count(&self) -> usize {
+        self.vertex.values().map(|m| m.len()).sum()
+    }
+
+    /// Number of edge columns with statistics.
+    pub fn edge_column_count(&self) -> usize {
+        self.edge.values().map(|m| m.len()).sum()
+    }
+}
+
+/// Everything the cost-based optimizer knows about one graph: low-order label
+/// counts plus typed property statistics. Buildable from both storage
+/// layouts; the partitioned build merges per-shard statistics and is exactly
+/// equal to the monolithic one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Per-label counts and degrees.
+    pub low: LowOrderStats,
+    /// Per-(label, key) typed column statistics.
+    pub props: PropStats,
+}
+
+impl GraphStats {
+    /// Compute all statistics from the monolithic graph.
+    pub fn from_graph(g: &PropertyGraph) -> GraphStats {
+        GraphStats {
+            low: LowOrderStats::from_graph(g),
+            props: PropStats::from_graph(g),
+        }
+    }
+
+    /// Compute all statistics from a partitioned graph (per-shard property
+    /// stats merged; label counts from the global catalog).
+    pub fn from_partitioned(pg: &PartitionedGraph) -> GraphStats {
+        GraphStats {
+            low: LowOrderStats::from_graph(pg.catalog()),
+            props: PropStats::from_partitioned(pg),
+        }
+    }
+
+    /// Convenience: build and wrap in an [`Arc`] for sharing with the
+    /// optimizer's selectivity estimator and RBO rules.
+    pub fn shared(g: &PropertyGraph) -> Arc<GraphStats> {
+        Arc::new(Self::from_graph(g))
     }
 }
 
@@ -149,5 +944,250 @@ mod tests {
         assert!((s.avg_out_degree(person, located) - 1.0).abs() < 1e-9);
         assert!((s.avg_in_degree(place, located) - 4.0).abs() < 1e-9);
         assert_eq!(s.avg_out_degree(place, knows), 0.0);
+    }
+
+    fn int_column(vals: &[Option<i64>]) -> TypedColumn {
+        TypedColumn::from_cells(vals.iter().map(|v| v.map(PropValue::Int)).collect())
+    }
+
+    #[test]
+    fn histogram_estimates_int_ranges() {
+        // 0..=99 dense
+        let col = int_column(&(0..100).map(Some).collect::<Vec<_>>());
+        let s = ColumnStats::from_column(&col);
+        assert_eq!(s.non_null, 100);
+        assert_eq!(s.kind, Some(PropType::Int));
+        assert_eq!(s.min, Some(PropValue::Int(0)));
+        assert_eq!(s.max, Some(PropValue::Int(99)));
+        assert!((s.ndv_estimate() - 100.0).abs() < 1e-9, "exact below K");
+        let ColumnDetail::Histogram(h) = &s.detail else {
+            panic!("int column gets a histogram");
+        };
+        assert!(h.buckets() <= HISTOGRAM_MAX_BUCKETS);
+        assert_eq!(h.total(), 100);
+        // `< 50` is half the column
+        let m = s.matching(CmpKind::Lt, &PropValue::Int(50)).unwrap();
+        assert!((m - 50.0).abs() <= 2.0, "lt 50 ~ 50, got {m}");
+        // `>= 90` is a tenth
+        let m = s.matching(CmpKind::Ge, &PropValue::Int(90)).unwrap();
+        assert!((m - 10.0).abs() <= 2.0, "ge 90 ~ 10, got {m}");
+        // equality ~ 1 row
+        let m = s.matching(CmpKind::Eq, &PropValue::Int(7)).unwrap();
+        assert!((0.5..=2.0).contains(&m), "eq ~ 1, got {m}");
+        // out-of-range literals
+        assert_eq!(s.matching(CmpKind::Lt, &PropValue::Int(-5)), Some(0.0));
+        assert_eq!(s.matching(CmpKind::Gt, &PropValue::Int(500)), Some(0.0));
+        assert_eq!(s.matching(CmpKind::Eq, &PropValue::Int(500)), Some(0.0));
+        // Null literal never matches
+        assert_eq!(s.matching(CmpKind::Eq, &PropValue::Null), Some(0.0));
+        // cross-kind literal: Int column < Str literal is constant-true
+        let m = s.matching(CmpKind::Lt, &PropValue::str("x")).unwrap();
+        assert_eq!(m, 100.0);
+        let m = s.matching(CmpKind::Gt, &PropValue::str("x")).unwrap();
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn value_maps_are_exact_for_strings_and_bools() {
+        let col = TypedColumn::from_cells(vec![
+            Some(PropValue::str("a")),
+            Some(PropValue::str("a")),
+            Some(PropValue::str("b")),
+            None,
+        ]);
+        let s = ColumnStats::from_column(&col);
+        assert_eq!(s.non_null, 3);
+        assert_eq!(s.matching(CmpKind::Eq, &PropValue::str("a")), Some(2.0));
+        assert_eq!(s.matching(CmpKind::Eq, &PropValue::str("z")), Some(0.0));
+        assert_eq!(s.matching(CmpKind::Ne, &PropValue::str("a")), Some(1.0));
+        assert_eq!(s.matching(CmpKind::Lt, &PropValue::str("b")), Some(2.0));
+
+        let col = TypedColumn::from_cells(vec![
+            Some(PropValue::Bool(true)),
+            Some(PropValue::Bool(false)),
+            Some(PropValue::Bool(true)),
+        ]);
+        let s = ColumnStats::from_column(&col);
+        assert_eq!(s.matching(CmpKind::Eq, &PropValue::Bool(true)), Some(2.0));
+    }
+
+    #[test]
+    fn string_overflow_drops_the_map_but_keeps_eq_estimates() {
+        let cells: Vec<Option<PropValue>> = (0..(VALUES_MAX_DISTINCT + 10))
+            .map(|i| Some(PropValue::str(format!("s{i}"))))
+            .collect();
+        let s = ColumnStats::from_column(&TypedColumn::from_cells(cells));
+        assert_eq!(s.detail, ColumnDetail::Values(None));
+        let eq = s.matching(CmpKind::Eq, &PropValue::str("s1")).unwrap();
+        assert!(eq > 0.0 && eq < 2.0);
+        assert!(s.matching(CmpKind::Lt, &PropValue::str("s1")).is_none());
+    }
+
+    #[test]
+    fn mixed_columns_fall_back_but_keep_min_max_ndv() {
+        let col = TypedColumn::from_cells(vec![
+            Some(PropValue::Int(1)),
+            Some(PropValue::str("x")),
+            Some(PropValue::Null),
+            None,
+        ]);
+        let s = ColumnStats::from_column(&col);
+        assert_eq!(s.kind, None);
+        assert_eq!(s.non_null, 2, "explicit Null counts as absent");
+        assert_eq!(s.min, Some(PropValue::Int(1)));
+        assert_eq!(s.max, Some(PropValue::str("x")));
+        assert!(s.matching(CmpKind::Eq, &PropValue::Int(1)).is_none());
+    }
+
+    #[test]
+    fn ndv_sketch_merges_exactly_and_estimates_large_domains() {
+        let mut a = NdvSketch::new();
+        let mut b = NdvSketch::new();
+        let mut whole = NdvSketch::new();
+        for i in 0..5000i64 {
+            let v = PropValue::Int(i);
+            if i % 2 == 0 {
+                a.insert(&v);
+            } else {
+                b.insert(&v);
+            }
+            whole.insert(&v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole, "KMV merge is exact");
+        let est = whole.estimate();
+        assert!(
+            est > 2500.0 && est < 10000.0,
+            "estimate {est} should be near 5000"
+        );
+        // small domains are exact
+        let mut small = NdvSketch::new();
+        for i in 0..10 {
+            small.insert(&PropValue::Int(i));
+            small.insert(&PropValue::Int(i)); // duplicates don't count
+        }
+        assert_eq!(small.estimate(), 10.0);
+    }
+
+    #[test]
+    fn histogram_merge_survives_extreme_float_exponent_gaps() {
+        // one shard holds only a tiny value (fit exponent ~ -63), the other
+        // only a huge one (~ 44): the re-bin shift exceeds 63 and must
+        // saturate instead of overflowing — and still equal the monolithic
+        // build
+        let tiny = Histogram::build(&[0.5], FLOAT_E_MIN).unwrap();
+        let huge = Histogram::build(&[1.0e15], FLOAT_E_MIN).unwrap();
+        let merged = tiny.merge(&huge, FLOAT_E_MIN);
+        let mono = Histogram::build(&[0.5, 1.0e15], FLOAT_E_MIN).unwrap();
+        assert_eq!(merged, mono);
+        // negative side too
+        let neg = Histogram::build(&[-0.5], FLOAT_E_MIN).unwrap();
+        let merged = neg.merge(&huge, FLOAT_E_MIN);
+        let mono = Histogram::build(&[-0.5, 1.0e15], FLOAT_E_MIN).unwrap();
+        assert_eq!(merged, mono);
+        // end-to-end: partitioned stats over such a column still equal the
+        // monolithic build (HashPartitioner splits consecutive vertex ids)
+        let mut b = GraphBuilder::new(fig6_schema());
+        for v in [0.5f64, 1.0e15, -0.25, 3.0] {
+            b.add_vertex_by_name("Person", vec![("score", PropValue::Float(v))])
+                .unwrap();
+        }
+        let g = b.finish();
+        let mono = GraphStats::from_graph(&g);
+        for p in [2usize, 3, 4] {
+            let pg = PartitionedGraph::build(&g, p);
+            assert_eq!(mono, GraphStats::from_partitioned(&pg), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_monolithic_build() {
+        // deliberately skewed split: shard ranges differ so widths differ
+        let all: Vec<f64> = (0..500).map(|i| (i * i % 997) as f64).collect();
+        let (left, right) = all.split_at(123);
+        let mono = Histogram::build(&all, 0).unwrap();
+        let merged = Histogram::build(left, 0)
+            .unwrap()
+            .merge(&Histogram::build(right, 0).unwrap(), 0);
+        assert_eq!(mono, merged);
+        // floats too, with fractional widths
+        let all: Vec<f64> = (0..400).map(|i| i as f64 * 0.03125).collect();
+        let (left, right) = all.split_at(57);
+        let mono = Histogram::build(&all, FLOAT_E_MIN).unwrap();
+        let merged = Histogram::build(left, FLOAT_E_MIN)
+            .unwrap()
+            .merge(&Histogram::build(right, FLOAT_E_MIN).unwrap(), FLOAT_E_MIN);
+        assert_eq!(mono, merged);
+    }
+
+    fn prop_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new(fig6_schema());
+        let mut people = Vec::new();
+        for i in 0..40i64 {
+            let mut props = vec![
+                ("id", PropValue::Int(i)),
+                ("score", PropValue::Float(i as f64 / 4.0)),
+                ("name", PropValue::str(format!("p{}", i % 5))),
+            ];
+            if i % 3 == 0 {
+                props.push(("seen", PropValue::Date(1000 + i)));
+            }
+            props.push(if i < 20 {
+                ("tag", PropValue::Int(i))
+            } else {
+                ("tag", PropValue::str("t"))
+            });
+            people.push(b.add_vertex_by_name("Person", props).unwrap());
+        }
+        let place = b
+            .add_vertex_by_name("Place", vec![("name", PropValue::str("China"))])
+            .unwrap();
+        for (i, v) in people.iter().enumerate() {
+            b.add_edge_by_name(
+                "LocatedIn",
+                *v,
+                place,
+                vec![("w", PropValue::Int(i as i64 % 7))],
+            )
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn prop_stats_cover_vertex_and_edge_columns() {
+        let g = prop_graph();
+        let person = g.schema().vertex_label("Person").unwrap();
+        let located = g.schema().edge_label("LocatedIn").unwrap();
+        let stats = PropStats::from_graph(&g);
+        let id = stats.vertex_stats(person, "id").unwrap();
+        assert_eq!(id.non_null, 40);
+        assert_eq!(id.kind, Some(PropType::Int));
+        let seen = stats.vertex_stats(person, "seen").unwrap();
+        assert_eq!(seen.non_null, 14, "sparse Date column");
+        assert_eq!(seen.kind, Some(PropType::Date));
+        let name = stats.vertex_stats(person, "name").unwrap();
+        assert_eq!(name.matching(CmpKind::Eq, &PropValue::str("p0")), Some(8.0));
+        let tag = stats.vertex_stats(person, "tag").unwrap();
+        assert_eq!(tag.kind, None, "mixed column");
+        let w = stats.edge_stats(located, "w").unwrap();
+        assert_eq!(w.non_null, 40);
+        assert!(stats.vertex_stats(person, "ghost").is_none());
+        assert!(stats.vertex_column_count() >= 4);
+        assert!(stats.edge_column_count() >= 1);
+    }
+
+    #[test]
+    fn partitioned_stats_equal_monolithic_stats() {
+        let g = prop_graph();
+        let mono = GraphStats::from_graph(&g);
+        for p in [1usize, 2, 3, 4] {
+            let pg = PartitionedGraph::build(&g, p);
+            let merged = GraphStats::from_partitioned(&pg);
+            assert_eq!(mono, merged, "p = {p}");
+        }
+        let shared = GraphStats::shared(&g);
+        assert_eq!(*shared, mono);
     }
 }

@@ -5,7 +5,13 @@
 
 use gopt::core::{GOpt, GOptConfig, GraphScopeSpec, Neo4jSpec};
 use gopt::exec::{Backend, ExecMode, PartitionedBackend, SingleMachineBackend};
-use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery};
+use gopt::gir::types::TypeConstraint;
+use gopt::gir::Expr;
+use gopt::glogue::{
+    ConstSelectivity, GLogue, GLogueConfig, GlogueQuery, SelectivityEstimator, StatsSelectivity,
+    DEFAULT_SELECTIVITY,
+};
+use gopt::graph::GraphStats;
 use gopt::parser::{parse_cypher, parse_gremlin};
 use gopt::workloads::{generate_ldbc_graph, LdbcScale};
 
@@ -43,24 +49,56 @@ fn main() {
         },
     );
     let gq = GlogueQuery::new(&glogue);
+    let stats = GraphStats::shared(&graph);
 
-    let gopt_gs =
-        GOpt::new(graph.schema(), &gq, &GraphScopeSpec).with_config(GOptConfig::default());
+    let gopt_gs = GOpt::new(graph.schema(), &gq, &GraphScopeSpec)
+        .with_stats(stats.clone())
+        .with_config(GOptConfig::default());
     let after_rbo = gopt_gs.optimize_logical(&logical).expect("RBO succeeds");
     println!(
         "== 4. After rule-based optimization (RBO) ==\n{}",
         after_rbo.explain()
     );
 
+    // the pushed-down filter is priced by the typed property statistics (PR 5)
+    // instead of the paper's Remark 7.1 constant
+    let place = TypeConstraint::basic(graph.schema().vertex_label("Place").unwrap());
+    let filter = Expr::prop_eq("c", "name", "China");
+    let sel = StatsSelectivity::new(stats.clone());
+    let est = sel.vertex_predicate(&place, &filter);
+    println!("== 4b. Filter selectivity from property statistics ==");
+    println!(
+        "predicate {filter} on (c:Place): histogram/value-map selectivity = {} \
+         (Remark 7.1 constant would be {DEFAULT_SELECTIVITY}); \
+         without stats the estimator falls back: {:?}",
+        est.map_or("uncovered".to_string(), |s| format!("{s:.4}")),
+        ConstSelectivity.vertex_predicate(&place, &filter),
+    );
+    let name_stats = stats
+        .props
+        .vertex_stats(graph.schema().vertex_label("Place").unwrap(), "name")
+        .expect("Place.name has statistics");
+    println!(
+        "Place.name column stats: {} non-null values, ~{:.0} distinct, complete value map: {}\n",
+        name_stats.non_null,
+        name_stats.ndv_estimate(),
+        matches!(
+            name_stats.detail,
+            gopt::graph::ColumnDetail::Values(Some(_))
+        ),
+    );
+
     let plan_gs = gopt_gs.optimize(&logical).expect("optimization succeeds");
     println!(
-        "== 5a. Physical plan, GraphScope spec (partitioned backend) ==\n{}",
+        "== 5a. Physical plan, GraphScope spec (partitioned backend, stats-driven CBO) ==\n{}",
         plan_gs.encode()
     );
-    let gopt_neo = GOpt::new(graph.schema(), &gq, &Neo4jSpec).with_config(GOptConfig::default());
+    let gopt_neo = GOpt::new(graph.schema(), &gq, &Neo4jSpec)
+        .with_stats(stats.clone())
+        .with_config(GOptConfig::default());
     let plan_neo = gopt_neo.optimize(&logical).expect("optimization succeeds");
     println!(
-        "== 5b. Physical plan, Neo4j spec (single-machine backend) ==\n{}",
+        "== 5b. Physical plan, Neo4j spec (single-machine backend, stats-driven CBO) ==\n{}",
         plan_neo.encode()
     );
 

@@ -165,6 +165,64 @@ fn workload_plans_agree_with_the_scalar_oracle() {
     );
 }
 
+/// The typed Int/Date grouping fast path on the parallel engine: packed keys
+/// per morsel must merge to exactly the scalar oracle's groups at every
+/// (partition, thread) combination, including sparse Date keys (nulls) and
+/// the mixed-kind fallback.
+#[test]
+fn typed_group_keys_agree_across_partitions_and_threads() {
+    use gopt::gir::pattern::Direction;
+    use gopt::gir::physical::PhysicalOp;
+    use gopt::gir::types::TypeConstraint;
+    use gopt::gir::{AggFunc, Expr};
+    use gopt::graph::graph::GraphBuilder;
+    use gopt::graph::PropValue;
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut people = Vec::new();
+    for i in 0..30i64 {
+        let mut props = vec![("age", PropValue::Int(i % 6))];
+        if i % 2 == 0 {
+            props.push(("seen", PropValue::Date(10 + i % 3)));
+        }
+        props.push(if i < 15 {
+            ("badge", PropValue::Int(i % 2))
+        } else {
+            ("badge", PropValue::str("b"))
+        });
+        people.push(b.add_vertex_by_name("Person", props).unwrap());
+    }
+    for i in 1..30usize {
+        b.add_edge_by_name("Knows", people[i - 1], people[i], vec![])
+            .unwrap();
+    }
+    let g = b.finish();
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    for key in ["age", "seen", "badge"] {
+        let mut plan = PhysicalPlan::new();
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person.clone(),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "a".into(),
+            edge_alias: None,
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            dst_alias: "b".into(),
+            dst_constraint: person.clone(),
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+        plan.push(PhysicalOp::HashGroup {
+            keys: vec![(Expr::prop("b", key), "k".into())],
+            aggs: vec![(AggFunc::Count, Expr::tag("a"), "cnt".into())],
+        });
+        assert_parallel_agrees(&g, &plan);
+    }
+}
+
 /// Randomized (but valid) plan orders over random graphs with both expansion
 /// strategies.
 #[test]
