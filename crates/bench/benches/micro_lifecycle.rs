@@ -1,0 +1,233 @@
+//! Cost of the query-lifecycle layer on the fig-bench hot paths
+//! (`BENCH_pr6.json`).
+//!
+//! PR 6 threads a `QueryContext` (cancellation, deadline, memory budget,
+//! unified record limit) through every engine: a check at each operator
+//! boundary, one per morsel a worker picks up, and an amortized ticker inside
+//! breaker accumulation loops, plus unwind boundaries confining panics to the
+//! query. This bench prices that plumbing on the same expand/filter and
+//! triangle pipelines the fig benches run:
+//!
+//! * `{batched,parallel}_<plan>` — engines under the default unlimited
+//!   context (checks run, nothing is configured): the cost every query now
+//!   pays;
+//! * `{batched,parallel}_<plan>_armed` — deadline + budget + record limit all
+//!   configured (generously, so nothing fires): the fully-metered cost;
+//! * `ctx_check` / `ctx_charge` — the raw per-call price of one context
+//!   check and one byte charge (relaxed atomics on the hot path).
+//!
+//! After timing, the bench asserts the armed runs return exactly the
+//! unrestricted rows (a generous limit must not perturb results) and prints
+//! the armed-over-unlimited overhead ratios; the PR's acceptance criterion is
+//! that the lifecycle checks stay under 2% on these pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopt_bench::Env;
+use gopt_exec::{BatchEngine, EngineConfig, ParallelEngine, QueryContext};
+use gopt_gir::expr::{BinOp, Expr, SortDir};
+use gopt_gir::pattern::Direction;
+use gopt_gir::physical::{PhysicalOp, PhysicalPlan};
+use gopt_gir::types::TypeConstraint;
+use gopt_gir::AggFunc;
+use gopt_graph::PartitionedGraph;
+use std::time::Instant;
+
+const PARTITIONS: usize = 4;
+const THREADS: usize = 4;
+const MORSEL: usize = 256;
+
+fn smoke() -> bool {
+    std::env::var("GOPT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A generous context: every lifecycle facility armed, none close to firing.
+fn armed_ctx() -> QueryContext {
+    QueryContext::new()
+        .with_record_limit(Some(1 << 40))
+        .with_deadline_millis(3_600_000)
+        .with_budget_bytes(1 << 40)
+}
+
+/// Scan → expand → filter (the PR 2 pipeline: morsel + operator checks).
+fn expand_filter_plan(env: &Env) -> PhysicalPlan {
+    let g = &env.graph;
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows,
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person,
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::Select {
+        predicate: Expr::binary(BinOp::Lt, Expr::prop("b", "creationDate"), Expr::lit(8000)),
+    });
+    plan
+}
+
+/// Scan → expand → group → top-5 (breaker ticker + byte charges on the
+/// accumulation loops).
+fn group_sort_plan(env: &Env) -> PhysicalPlan {
+    let g = &env.graph;
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows,
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person,
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("b", "age"), "age".into())],
+        aggs: vec![(AggFunc::Count, Expr::tag("a"), "cnt".into())],
+    });
+    plan.push(PhysicalOp::OrderLimit {
+        keys: vec![(Expr::tag("cnt"), SortDir::Desc)],
+        limit: Some(5),
+    });
+    plan
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let persons = if smoke() { 200 } else { 2000 };
+    let env = Env::ldbc("G-life", persons);
+    let g = &env.graph;
+    let sharded = PartitionedGraph::build(g, PARTITIONS);
+
+    // raw per-call prices of the two hot-path primitives
+    c.bench_function("ctx_check", |b| {
+        let ctx = armed_ctx();
+        b.iter(|| std::hint::black_box(ctx.check()))
+    });
+    c.bench_function("ctx_charge", |b| {
+        let ctx = armed_ctx();
+        b.iter(|| std::hint::black_box(ctx.charge_bytes(64)))
+    });
+
+    for (name, plan) in [
+        ("expand_filter", expand_filter_plan(&env)),
+        ("group_sort", group_sort_plan(&env)),
+    ] {
+        c.bench_function(&format!("batched_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    BatchEngine::new(g, EngineConfig::default())
+                        .execute(&plan)
+                        .unwrap(),
+                )
+            })
+        });
+        c.bench_function(&format!("batched_{name}_armed"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    BatchEngine::new(g, EngineConfig::default())
+                        .execute_with_ctx(&plan, &armed_ctx())
+                        .unwrap(),
+                )
+            })
+        });
+        c.bench_function(&format!("parallel_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    ParallelEngine::new(&sharded)
+                        .with_threads(THREADS)
+                        .with_batch_size(MORSEL)
+                        .execute(&plan)
+                        .unwrap(),
+                )
+            })
+        });
+        c.bench_function(&format!("parallel_{name}_armed"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    ParallelEngine::new(&sharded)
+                        .with_threads(THREADS)
+                        .with_batch_size(MORSEL)
+                        .execute_with_ctx(&plan, &armed_ctx())
+                        .unwrap(),
+                )
+            })
+        });
+
+        // acceptance checks, after timing: generous limits must not perturb
+        // results, and the armed overhead on the hot path stays small
+        let plain = BatchEngine::new(g, EngineConfig::default())
+            .execute(&plan)
+            .unwrap();
+        let armed = BatchEngine::new(g, EngineConfig::default())
+            .execute_with_ctx(&plan, &armed_ctx())
+            .unwrap();
+        assert_eq!(
+            plain.rows(),
+            armed.rows(),
+            "{name}: armed limits perturb rows"
+        );
+        let ctx = armed_ctx();
+        let par = ParallelEngine::new(&sharded)
+            .with_threads(THREADS)
+            .with_batch_size(MORSEL)
+            .execute_with_ctx(&plan, &ctx)
+            .unwrap();
+        assert_eq!(
+            plain.rows(),
+            par.rows(),
+            "{name}: parallel armed rows diverge"
+        );
+        assert!(ctx.bytes_charged() > 0, "{name}: budget metered nothing");
+
+        // a quick min-of-N overhead probe outside criterion, for the printout
+        let reps = if smoke() { 3 } else { 15 };
+        let engine = ParallelEngine::new(&sharded)
+            .with_threads(THREADS)
+            .with_batch_size(MORSEL);
+        let min_ns = |armed: bool| {
+            (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    if armed {
+                        std::hint::black_box(engine.execute_with_ctx(&plan, &armed_ctx()).unwrap());
+                    } else {
+                        std::hint::black_box(engine.execute(&plan).unwrap());
+                    }
+                    t.elapsed().as_nanos()
+                })
+                .min()
+                .unwrap()
+        };
+        let base = min_ns(false);
+        let full = min_ns(true);
+        println!(
+            "{name}: parallel min {}ns unlimited vs {}ns armed -> overhead {:+.2}%",
+            base,
+            full,
+            (full as f64 / base as f64 - 1.0) * 100.0
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lifecycle
+}
+criterion_main!(benches);

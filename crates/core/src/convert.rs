@@ -53,6 +53,21 @@ pub fn pattern_plan_to_physical(
     strategy: ExpandStrategy,
     phys: &mut PhysicalPlan,
 ) -> PhysicalNodeId {
+    let id = pattern_step_to_physical(pattern, plan, strategy, phys);
+    // Surface the CBO's cardinality estimate in the plan dump. Baseline planners
+    // carry no statistics (est_rows == 0.0) and stay unannotated.
+    if plan.est_rows > 0.0 {
+        phys.set_est_rows(id, plan.est_rows);
+    }
+    id
+}
+
+fn pattern_step_to_physical(
+    pattern: &Pattern,
+    plan: &PatternPlan,
+    strategy: ExpandStrategy,
+    phys: &mut PhysicalPlan,
+) -> PhysicalNodeId {
     match &plan.step {
         PatternStep::Scan { vertex } => {
             let v = pattern.vertex(*vertex);
@@ -341,6 +356,24 @@ mod tests {
             phys.encode()
         );
         assert_eq!(phys.count_op("ExpandInto"), 0);
+    }
+
+    #[test]
+    fn cbo_estimates_surface_in_plan_dump() {
+        let gl = glogue();
+        let gq = GlogueQuery::new(&gl);
+        let spec = Neo4jSpec;
+        let pattern = triangle();
+        let pplan = PatternPlanner::new(&gq, &spec).plan(&pattern);
+        assert!(pplan.est_rows > 0.0, "CBO plans carry cardinalities");
+        let mut phys = PhysicalPlan::new();
+        let root = pattern_plan_to_physical(&pattern, &pplan, spec.expand_strategy(), &mut phys);
+        assert_eq!(phys.est_rows(root), Some(pplan.est_rows));
+        assert!(
+            phys.encode().contains("est_rows="),
+            "plan dump should show CBO estimates: {}",
+            phys.encode()
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! the behavioural oracle the equivalence suites compare against.
 
 use crate::batch::DEFAULT_BATCH_SIZE;
+use crate::context::QueryContext;
 use crate::engine::{BatchEngine, Engine, EngineConfig, ExecResult};
 use crate::error::ExecError;
 use crate::parallel::ParallelEngine;
@@ -35,8 +36,19 @@ use std::sync::Arc;
 pub trait Backend {
     /// Human-readable backend name.
     fn name(&self) -> &str;
-    /// Execute a plan against a graph.
+    /// Execute a plan against a graph under a fresh [`QueryContext`] carrying
+    /// only the backend's record limit.
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError>;
+    /// Execute a plan under a caller-supplied [`QueryContext`] (cancellation,
+    /// deadline, memory budget, record limit). The context *replaces* the
+    /// backend-level record limit: whatever bounds `ctx` carries are the ones
+    /// enforced.
+    fn execute_with_ctx(
+        &self,
+        graph: &PropertyGraph,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError>;
 }
 
 /// How a backend's engine processes intermediate results.
@@ -66,12 +78,13 @@ fn run(
     plan: &PhysicalPlan,
     config: EngineConfig,
     mode: ExecMode,
+    ctx: &QueryContext,
 ) -> Result<ExecResult, ExecError> {
     match mode {
-        ExecMode::Scalar => Engine::new(graph, config).execute(plan),
+        ExecMode::Scalar => Engine::new(graph, config).execute_with_ctx(plan, ctx),
         ExecMode::Batched { batch_size } => BatchEngine::new(graph, config)
             .with_batch_size(batch_size)
-            .execute(plan),
+            .execute_with_ctx(plan, ctx),
     }
 }
 
@@ -111,14 +124,28 @@ impl Backend for SingleMachineBackend {
     }
 
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        self.execute_with_ctx(
+            graph,
+            plan,
+            &QueryContext::new().with_record_limit(self.record_limit),
+        )
+    }
+
+    fn execute_with_ctx(
+        &self,
+        graph: &PropertyGraph,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError> {
         run(
             graph,
             plan,
             EngineConfig {
                 partitions: None,
-                record_limit: self.record_limit,
+                record_limit: None,
             },
             self.mode,
+            ctx,
         )
     }
 }
@@ -217,6 +244,19 @@ impl Backend for PartitionedBackend {
     }
 
     fn execute(&self, graph: &PropertyGraph, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        self.execute_with_ctx(
+            graph,
+            plan,
+            &QueryContext::new().with_record_limit(self.record_limit),
+        )
+    }
+
+    fn execute_with_ctx(
+        &self,
+        graph: &PropertyGraph,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError> {
         match self.mode {
             // the scalar oracle: simulated partitioning on monolithic storage
             ExecMode::Scalar => run(
@@ -224,17 +264,17 @@ impl Backend for PartitionedBackend {
                 plan,
                 EngineConfig {
                     partitions: Some(self.partitions),
-                    record_limit: self.record_limit,
+                    record_limit: None,
                 },
                 ExecMode::Scalar,
+                ctx,
             ),
             ExecMode::Batched { batch_size } => {
                 let sharded = self.sharded(graph);
                 ParallelEngine::new(&sharded)
                     .with_threads(self.threads)
                     .with_batch_size(batch_size)
-                    .with_record_limit(self.record_limit)
-                    .execute(plan)
+                    .execute_with_ctx(plan, ctx)
             }
         }
     }

@@ -216,6 +216,24 @@ impl Column {
         &self.validity
     }
 
+    /// Coarse metered size of this column in bytes for the query-context
+    /// memory accountant: fixed per-row costs per storage kind plus the
+    /// validity bitmap. A cheap heuristic upper bound on resident size,
+    /// never an allocation measurement (string payloads are shared `Arc`s
+    /// and metered as the pointer they are).
+    pub fn approx_bytes(&self) -> u64 {
+        let rows = self.len() as u64;
+        let data = match &self.data {
+            ColumnData::Vertex(_) | ColumnData::Edge(_) => rows * 8,
+            ColumnData::Path { offsets, vertices } => {
+                offsets.len() as u64 * 4 + vertices.len() as u64 * 8
+            }
+            ColumnData::Value(vals) => vals.len() as u64 * 32,
+            ColumnData::Entries(es) => es.len() as u64 * 40,
+        };
+        data + rows.div_ceil(8)
+    }
+
     /// The vertex ids and validity bitmap when this is a (possibly partially
     /// null) vertex column — the fast path the batched expand operators take.
     pub fn as_vertices(&self) -> Option<(&[VertexId], &Bitmap)> {
@@ -473,6 +491,12 @@ impl RecordBatch {
             c.push_null();
         }
         self.rows += 1;
+    }
+
+    /// Coarse metered size of the batch: the sum of its columns'
+    /// [`Column::approx_bytes`].
+    pub fn approx_bytes(&self) -> u64 {
+        self.columns.iter().map(Column::approx_bytes).sum()
     }
 
     /// Gather the rows named by `sel` into a new batch of `width` columns

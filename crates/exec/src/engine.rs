@@ -19,6 +19,7 @@
 //! timeout ("OT"): grossly un-optimized plans are cut off instead of exhausting memory.
 
 use crate::batch::{self, RecordBatch};
+use crate::context::{self, QueryContext};
 use crate::error::ExecError;
 use crate::expand::{self, EdgeExpandArgs};
 use crate::record::{Record, TagMap};
@@ -26,6 +27,34 @@ use crate::relational;
 use gopt_gir::physical::{PhysicalOp, PhysicalPlan};
 use gopt_graph::{PropValue, PropertyGraph};
 use std::time::Instant;
+
+/// Stable operator name for error reporting ([`ExecError::WorkerPanicked`]).
+pub(crate) fn op_name(op: &PhysicalOp) -> &'static str {
+    match op {
+        PhysicalOp::Scan { .. } => "Scan",
+        PhysicalOp::EdgeExpand { .. } => "EdgeExpand",
+        PhysicalOp::ExpandInto { .. } => "ExpandInto",
+        PhysicalOp::ExpandIntersect { .. } => "ExpandIntersect",
+        PhysicalOp::PathExpand { .. } => "PathExpand",
+        PhysicalOp::HashJoin { .. } => "HashJoin",
+        PhysicalOp::PropertyFetch { .. } => "PropertyFetch",
+        PhysicalOp::Select { .. } => "Select",
+        PhysicalOp::Project { .. } => "Project",
+        PhysicalOp::HashGroup { .. } => "HashGroup",
+        PhysicalOp::OrderLimit { .. } => "OrderLimit",
+        PhysicalOp::Limit { .. } => "Limit",
+        PhysicalOp::Dedup { .. } => "Dedup",
+        PhysicalOp::Union => "Union",
+    }
+}
+
+/// Approximate accountable bytes of a scalar operator's materialised output:
+/// a flat per-record overhead plus one entry slot per bound tag. Deliberately
+/// a heuristic — the budget meters order-of-magnitude memory, not allocator
+/// truth — but deterministic, so identical runs charge identical totals.
+fn scalar_bytes(records: &[Record], width: usize) -> u64 {
+    records.len() as u64 * (32 + 16 * width as u64)
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -127,8 +156,25 @@ impl<'a> Engine<'a> {
         self.graph
     }
 
-    /// Execute a physical plan.
+    /// Execute a physical plan under a fresh [`QueryContext`] carrying only
+    /// the engine-level record limit.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        self.execute_with_ctx(
+            plan,
+            &QueryContext::new().with_record_limit(self.config.record_limit),
+        )
+    }
+
+    /// Execute a physical plan under `ctx`: cancellation, deadline, budget and
+    /// record limit are checked at every operator boundary and inside every
+    /// pipeline breaker's accumulation loop. A panic inside an operator is
+    /// confined to this query and surfaced as [`ExecError::WorkerPanicked`].
+    pub fn execute_with_ctx(
+        &self,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError> {
+        context::init_failpoints();
         if plan.is_empty() {
             return Err(ExecError::EmptyPlan);
         }
@@ -138,16 +184,22 @@ impl<'a> Engine<'a> {
         // per-node outputs, indexed by node id
         let mut outputs: Vec<Option<(Vec<Record>, TagMap)>> = vec![None; plan.len()];
         for id in &order {
+            ctx.check().map_err(ExecError::LimitExceeded)?;
             let input_ids = plan.inputs(*id).to_vec();
-            let (records, tags) =
-                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let name = op_name(plan.op(*id));
+            // the fail-point check runs inside the unwind boundary so that a
+            // `panic` action models a crash confined to this query
+            let (records, tags) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                failpoint::check(context::FP_OPERATOR).map_err(context::injected)?;
+                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats, ctx)
+            }))
+            .unwrap_or_else(|payload| Err(context::map_panic(payload, name)))?;
             stats.intermediate_records += records.len() as u64;
             stats.peak_records = stats.peak_records.max(records.len() as u64);
-            if let Some(limit) = self.config.record_limit {
-                if stats.intermediate_records > limit {
-                    return Err(ExecError::RecordLimitExceeded { limit });
-                }
-            }
+            ctx.add_records(records.len() as u64)
+                .map_err(ExecError::LimitExceeded)?;
+            ctx.charge_bytes(scalar_bytes(&records, tags.len()))
+                .map_err(ExecError::LimitExceeded)?;
             outputs[id.0] = Some((records, tags));
         }
         let (records, tags) = outputs[plan.root().0]
@@ -190,6 +242,7 @@ impl<'a> Engine<'a> {
         inputs: &[gopt_gir::physical::PhysicalNodeId],
         outputs: &[Option<(Vec<Record>, TagMap)>],
         stats: &mut ExecStats,
+        ctx: &QueryContext,
     ) -> Result<(Vec<Record>, TagMap), ExecError> {
         let parts = self.config.partitions;
         match op {
@@ -341,7 +394,7 @@ impl<'a> Engine<'a> {
                 let input = Self::take_input("HashGroup", inputs, outputs, 1)?;
                 let (recs, tags) = input[0];
                 let (out, otags, comm) =
-                    relational::hash_group(self.graph, recs, tags, keys, aggs, parts);
+                    relational::hash_group(self.graph, recs, tags, keys, aggs, parts, ctx)?;
                 stats.comm_records += comm;
                 Ok((out, otags))
             }
@@ -349,7 +402,7 @@ impl<'a> Engine<'a> {
                 let input = Self::take_input("OrderLimit", inputs, outputs, 1)?;
                 let (recs, tags) = input[0];
                 Ok((
-                    relational::order_limit(self.graph, recs, tags, keys, *limit),
+                    relational::order_limit(self.graph, recs, tags, keys, *limit, ctx)?,
                     tags.clone(),
                 ))
             }
@@ -362,7 +415,7 @@ impl<'a> Engine<'a> {
                 let input = Self::take_input("Dedup", inputs, outputs, 1)?;
                 let (recs, tags) = input[0];
                 Ok((
-                    relational::dedup(self.graph, recs, tags, keys),
+                    relational::dedup(self.graph, recs, tags, keys, ctx)?,
                     tags.clone(),
                 ))
             }
@@ -424,8 +477,23 @@ impl<'a> BatchEngine<'a> {
     }
 
     /// Execute a physical plan, materialising the final batches back into
-    /// records for the uniform [`ExecResult`] interface.
+    /// records for the uniform [`ExecResult`] interface. Runs under a fresh
+    /// [`QueryContext`] carrying only the engine-level record limit.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        self.execute_with_ctx(
+            plan,
+            &QueryContext::new().with_record_limit(self.config.record_limit),
+        )
+    }
+
+    /// Execute a physical plan under `ctx` — the same lifecycle contract as
+    /// [`Engine::execute_with_ctx`], on the vectorized path.
+    pub fn execute_with_ctx(
+        &self,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError> {
+        context::init_failpoints();
         if plan.is_empty() {
             return Err(ExecError::EmptyPlan);
         }
@@ -434,17 +502,23 @@ impl<'a> BatchEngine<'a> {
         let order = plan.topo_order();
         let mut outputs: Vec<Option<(Vec<RecordBatch>, TagMap)>> = vec![None; plan.len()];
         for id in &order {
+            ctx.check().map_err(ExecError::LimitExceeded)?;
             let input_ids = plan.inputs(*id).to_vec();
-            let (batches, tags) =
-                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let name = op_name(plan.op(*id));
+            // fail-point check inside the unwind boundary: a `panic` action
+            // models a crash confined to this query
+            let (batches, tags) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                failpoint::check(context::FP_OPERATOR).map_err(context::injected)?;
+                self.execute_op(plan.op(*id), &input_ids, &outputs, &mut stats, ctx)
+            }))
+            .unwrap_or_else(|payload| Err(context::map_panic(payload, name)))?;
             let produced = batch::total_rows(&batches) as u64;
             stats.intermediate_records += produced;
             stats.peak_records = stats.peak_records.max(produced);
-            if let Some(limit) = self.config.record_limit {
-                if stats.intermediate_records > limit {
-                    return Err(ExecError::RecordLimitExceeded { limit });
-                }
-            }
+            ctx.add_records(produced)
+                .map_err(ExecError::LimitExceeded)?;
+            let bytes: u64 = batches.iter().map(RecordBatch::approx_bytes).sum();
+            ctx.charge_bytes(bytes).map_err(ExecError::LimitExceeded)?;
             outputs[id.0] = Some((batches, tags));
         }
         let (batches, tags) = outputs[plan.root().0]
@@ -491,6 +565,7 @@ impl<'a> BatchEngine<'a> {
         inputs: &[gopt_gir::physical::PhysicalNodeId],
         outputs: &[Option<(Vec<RecordBatch>, TagMap)>],
         stats: &mut ExecStats,
+        ctx: &QueryContext,
     ) -> Result<(Vec<RecordBatch>, TagMap), ExecError> {
         let parts = self.config.partitions;
         let bs = self.batch_size;
@@ -650,8 +725,8 @@ impl<'a> BatchEngine<'a> {
                 let input = Self::take_input("HashGroup", inputs, outputs, 1)?;
                 let (batches, tags) = input[0];
                 let (out, otags, comm) = relational::hash_group_batches(
-                    self.graph, batches, tags, keys, aggs, parts, bs,
-                );
+                    self.graph, batches, tags, keys, aggs, parts, bs, ctx,
+                )?;
                 stats.comm_records += comm;
                 Ok((out, otags))
             }
@@ -659,7 +734,9 @@ impl<'a> BatchEngine<'a> {
                 let input = Self::take_input("OrderLimit", inputs, outputs, 1)?;
                 let (batches, tags) = input[0];
                 Ok((
-                    relational::order_limit_batches(self.graph, batches, tags, keys, *limit, bs),
+                    relational::order_limit_batches(
+                        self.graph, batches, tags, keys, *limit, bs, ctx,
+                    )?,
                     tags.clone(),
                 ))
             }
@@ -672,7 +749,7 @@ impl<'a> BatchEngine<'a> {
                 let input = Self::take_input("Dedup", inputs, outputs, 1)?;
                 let (batches, tags) = input[0];
                 Ok((
-                    relational::dedup_batches(self.graph, batches, tags, keys),
+                    relational::dedup_batches(self.graph, batches, tags, keys, ctx)?,
                     tags.clone(),
                 ))
             }
@@ -852,10 +929,10 @@ mod tests {
             },
         );
         let err = engine.execute(&plan_group_count(&g));
-        assert!(matches!(
-            err,
-            Err(ExecError::RecordLimitExceeded { limit: 3 })
-        ));
+        match err {
+            Err(e) => assert_eq!(e, ExecError::record_limit(3)),
+            Ok(_) => panic!("expected the record limit to abort execution"),
+        }
     }
 
     #[test]

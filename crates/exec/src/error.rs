@@ -2,6 +2,48 @@
 
 use std::fmt;
 
+/// Why a query was stopped by its [`crate::context::QueryContext`].
+///
+/// Every variant embeds the *configured* bound (not the observed value), so
+/// the same error is produced no matter which engine, thread, or operator
+/// detects the violation first — the equivalence suites compare errors across
+/// engines verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LimitReason {
+    /// The intermediate-record limit was exceeded (guards against runaway
+    /// un-optimized plans in benchmarks — the analogue of the paper's OT
+    /// timeouts).
+    Records {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured deadline in milliseconds.
+        millis: u64,
+    },
+    /// The memory budget was exceeded by metered allocations.
+    Budget {
+        /// The configured budget in bytes.
+        bytes: u64,
+    },
+    /// The query was cancelled by the caller.
+    Cancelled,
+}
+
+impl fmt::Display for LimitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitReason::Records { limit } => {
+                write!(f, "intermediate record limit exceeded ({limit})")
+            }
+            LimitReason::Deadline { millis } => write!(f, "deadline exceeded ({millis}ms)"),
+            LimitReason::Budget { bytes } => write!(f, "memory budget exceeded ({bytes} bytes)"),
+            LimitReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// Execution error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
@@ -18,14 +60,33 @@ pub enum ExecError {
     },
     /// The plan was empty.
     EmptyPlan,
-    /// A record limit configured on the engine was exceeded (guards against runaway
-    /// un-optimized plans in benchmarks — the analogue of the paper's OT timeouts).
-    RecordLimitExceeded {
-        /// The configured limit.
-        limit: u64,
+    /// A query-lifecycle bound (records, deadline, budget, cancellation) was
+    /// hit — see [`LimitReason`].
+    LimitExceeded(LimitReason),
+    /// A worker task panicked while executing an operator. The panic is
+    /// confined to this query: the pool drains the phase and stays healthy
+    /// for subsequent queries.
+    WorkerPanicked {
+        /// The operator whose task panicked.
+        op: &'static str,
+    },
+    /// A deterministic fail point (`failpoint` shim) fired with an `err`
+    /// action — only produced under fault injection, never in production.
+    Injected {
+        /// Name of the fail point.
+        point: String,
+        /// Message carried by the injected action.
+        msg: String,
     },
     /// An invalid engine or backend configuration (e.g. zero partitions).
     Config(String),
+}
+
+impl ExecError {
+    /// Shorthand for the record-limit flavour of [`ExecError::LimitExceeded`].
+    pub fn record_limit(limit: u64) -> ExecError {
+        ExecError::LimitExceeded(LimitReason::Records { limit })
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -38,8 +99,10 @@ impl fmt::Display for ExecError {
                 actual,
             } => write!(f, "{op}: expected {expected} inputs, got {actual}"),
             ExecError::EmptyPlan => write!(f, "empty physical plan"),
-            ExecError::RecordLimitExceeded { limit } => {
-                write!(f, "intermediate record limit exceeded ({limit})")
+            ExecError::LimitExceeded(reason) => write!(f, "{reason}"),
+            ExecError::WorkerPanicked { op } => write!(f, "worker panicked in {op}"),
+            ExecError::Injected { point, msg } => {
+                write!(f, "injected failure at {point}: {msg}")
             }
             ExecError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -58,9 +121,7 @@ mod tests {
             .to_string()
             .contains("v1"));
         assert!(ExecError::EmptyPlan.to_string().contains("empty"));
-        assert!(ExecError::RecordLimitExceeded { limit: 10 }
-            .to_string()
-            .contains("10"));
+        assert!(ExecError::record_limit(10).to_string().contains("10"));
         let e = ExecError::ArityMismatch {
             op: "HashJoin",
             expected: 2,
@@ -70,5 +131,31 @@ mod tests {
         assert!(ExecError::Config("zero partitions".into())
             .to_string()
             .contains("zero partitions"));
+    }
+
+    #[test]
+    fn lifecycle_errors_embed_the_configured_bound() {
+        assert!(
+            ExecError::LimitExceeded(LimitReason::Deadline { millis: 250 })
+                .to_string()
+                .contains("250ms")
+        );
+        assert!(
+            ExecError::LimitExceeded(LimitReason::Budget { bytes: 4096 })
+                .to_string()
+                .contains("4096 bytes")
+        );
+        assert!(ExecError::LimitExceeded(LimitReason::Cancelled)
+            .to_string()
+            .contains("cancelled"));
+        assert!(ExecError::WorkerPanicked { op: "EdgeExpand" }
+            .to_string()
+            .contains("EdgeExpand"));
+        let inj = ExecError::Injected {
+            point: "exec.morsel".into(),
+            msg: "chaos".into(),
+        };
+        assert!(inj.to_string().contains("exec.morsel"));
+        assert!(inj.to_string().contains("chaos"));
     }
 }

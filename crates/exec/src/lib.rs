@@ -41,11 +41,24 @@
 //! directly, with null bitmaps consulted per row — zero `PropValue` clones on
 //! the hot filter path. Any shape or column the kernels do not cover falls
 //! back to the row-wise compiled evaluator, which stays the oracle.
+//!
+//! # Query lifecycle
+//!
+//! Every engine executes under a [`context::QueryContext`]: a cancellation
+//! token, an optional wall-clock deadline, an optional memory budget metering
+//! operator outputs and pipeline-breaker state, and the intermediate-record
+//! limit — all unified behind [`error::LimitReason`]. The context is checked
+//! at every operator boundary, at every morsel a parallel worker picks up,
+//! and inside breaker accumulation loops. Worker panics are confined to the
+//! failing query ([`error::ExecError::WorkerPanicked`]) while the pool stays
+//! healthy, and the `failpoint` shim injects deterministic faults at morsel
+//! dispatch, exchange routing, and breaker merge points for the chaos suites.
 
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod batch;
+pub mod context;
 pub mod engine;
 pub mod error;
 pub mod expand;
@@ -59,7 +72,8 @@ pub use batch::{
     BatchBuilder, BatchRow, Bitmap, Column, ColumnData, CompiledExpr, EntryRef, RecordBatch,
     DEFAULT_BATCH_SIZE,
 };
+pub use context::QueryContext;
 pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
-pub use error::ExecError;
+pub use error::{ExecError, LimitReason};
 pub use parallel::ParallelEngine;
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -64,6 +64,7 @@
 use crate::batch::{
     self, BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch, DEFAULT_BATCH_SIZE,
 };
+use crate::context::{self, QueryContext};
 use crate::engine::{ExecResult, ExecStats};
 use crate::error::ExecError;
 use crate::expand::{self, EdgeExpandArgs, EdgeExpandCompiled, IntersectScratch};
@@ -159,15 +160,23 @@ impl WorkerPool {
 
     /// Run one phase of `count` tasks. Blocks until every task completed, so
     /// `f` may borrow from the caller's stack.
-    pub(crate) fn run_phase<F: Fn(usize) + Sync>(&self, count: usize, f: &F) {
+    ///
+    /// A panicking task poisons only this phase: no further task of the phase
+    /// starts, in-flight tasks drain, and the first panic payload comes back
+    /// as `Err` — the pool itself stays healthy for subsequent phases.
+    pub(crate) fn run_phase<F: Fn(usize) + Sync>(
+        &self,
+        count: usize,
+        f: &F,
+    ) -> Result<(), Box<dyn std::any::Any + Send>> {
         if count == 0 {
-            return;
+            return Ok(());
         }
         if self.handles.is_empty() || count == 1 {
             for i in 0..count {
-                f(i);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))?;
             }
-            return;
+            return Ok(());
         }
         unsafe fn trampoline<F: Fn(usize)>(data: *const (), i: usize) {
             let f = unsafe { &*(data as *const F) };
@@ -213,10 +222,10 @@ impl WorkerPool {
         st.task = None;
         st.count = 0;
         st.next = 0;
-        // re-throw a task panic on the caller, like the sequential engines
-        if let Some(payload) = st.panic.take() {
-            drop(st);
-            std::panic::resume_unwind(payload);
+        // surface a task panic as a value, confined to this phase
+        match st.panic.take() {
+            Some(payload) => Err(payload),
+            None => Ok(()),
         }
     }
 }
@@ -270,13 +279,19 @@ fn worker_loop(sh: &PoolShared) {
 }
 
 /// Map `f` over `0..count` on the pool, collecting results in index order.
-fn par_map<T, F>(pool: &WorkerPool, count: usize, f: F) -> Vec<T>
+/// The first panicking task aborts the phase and its payload is returned
+/// (see [`WorkerPool::run_phase`]); the pool stays reusable either way.
+fn par_map<T, F>(
+    pool: &WorkerPool,
+    count: usize,
+    f: F,
+) -> Result<Vec<T>, Box<dyn std::any::Any + Send>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if count == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut results: Vec<Option<T>> = Vec::with_capacity(count);
     results.resize_with(count, || None);
@@ -289,11 +304,28 @@ where
     pool.run_phase(count, &move |i| {
         let v = f(i);
         unsafe { *slots_ref.0.add(i) = Some(v) };
-    });
-    results
+    })?;
+    Ok(results
         .into_iter()
         .map(|o| o.expect("phase completed every index"))
-        .collect()
+        .collect())
+}
+
+/// [`par_map`] with panic payloads mapped to the typed error of operator
+/// `op`: cooperative [`context::TaskAbort`]s (limit hits, injected morsel
+/// faults) keep their identity, while a genuine task panic becomes
+/// [`ExecError::WorkerPanicked`] — failing this query only, never the pool.
+fn par_map_op<T, F>(
+    pool: &WorkerPool,
+    count: usize,
+    op: &'static str,
+    f: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map(pool, count, f).map_err(|payload| context::map_panic(payload, op))
 }
 
 // ---------------------------------------------------------------------------
@@ -396,8 +428,24 @@ impl<'g> ParallelEngine<'g> {
         self.graph
     }
 
-    /// Execute a physical plan.
+    /// Execute a physical plan under a fresh [`QueryContext`] carrying only
+    /// the engine-level record limit.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
+        self.execute_with_ctx(
+            plan,
+            &QueryContext::new().with_record_limit(self.record_limit),
+        )
+    }
+
+    /// Execute a physical plan under `ctx`: cancellation, deadline, budget
+    /// and record limit are checked at every operator boundary and at every
+    /// morsel a worker picks up.
+    pub fn execute_with_ctx(
+        &self,
+        plan: &PhysicalPlan,
+        ctx: &QueryContext,
+    ) -> Result<ExecResult, ExecError> {
+        context::init_failpoints();
         if plan.is_empty() {
             return Err(ExecError::EmptyPlan);
         }
@@ -410,16 +458,24 @@ impl<'g> ParallelEngine<'g> {
         let mut outputs: Vec<Option<NodeOut>> = Vec::with_capacity(plan.len());
         outputs.resize_with(plan.len(), || None);
         for id in &order {
+            ctx.check().map_err(ExecError::LimitExceeded)?;
             let input_ids = plan.inputs(*id).to_vec();
-            let out = self.execute_op(pool, plan.op(*id), &input_ids, &outputs, &mut stats)?;
+            let name = crate::engine::op_name(plan.op(*id));
+            // unwind boundary around the whole operator: a `panic` fail-point
+            // action on the driving thread (operator, exchange or merge
+            // points) is confined to this query, like a worker panic
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                failpoint::check(context::FP_OPERATOR).map_err(context::injected)?;
+                self.execute_op(pool, ctx, plan.op(*id), &input_ids, &outputs, &mut stats)
+            }))
+            .unwrap_or_else(|payload| Err(context::map_panic(payload, name)))?;
             let produced = batch::total_rows(&out.batches) as u64;
             stats.intermediate_records += produced;
             stats.peak_records = stats.peak_records.max(produced);
-            if let Some(limit) = self.record_limit {
-                if stats.intermediate_records > limit {
-                    return Err(ExecError::RecordLimitExceeded { limit });
-                }
-            }
+            ctx.add_records(produced)
+                .map_err(ExecError::LimitExceeded)?;
+            let bytes: u64 = out.batches.iter().map(RecordBatch::approx_bytes).sum();
+            ctx.charge_bytes(bytes).map_err(ExecError::LimitExceeded)?;
             outputs[id.0] = Some(out);
         }
         let NodeOut { batches, tags, .. } = outputs[plan.root().0]
@@ -482,13 +538,17 @@ impl<'g> ParallelEngine<'g> {
     fn shuffle_by<'a>(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
+        op: &'static str,
         batches: &'a [RecordBatch],
         route_slot: usize,
         home: Home,
-    ) -> (Vec<MorselSplit<'a>>, u64) {
+    ) -> Result<(Vec<MorselSplit<'a>>, u64), ExecError> {
+        failpoint::check(context::FP_EXCHANGE).map_err(context::injected)?;
         let p = self.graph.partitions();
         let aligned = home == Home::Tag(route_slot);
-        let splits: Vec<(MorselSplit<'a>, u64)> = par_map(pool, batches.len(), |mi| {
+        let splits: Vec<(MorselSplit<'a>, u64)> = par_map_op(pool, batches.len(), op, |mi| {
+            context::worker_checkpoint(ctx);
             let batch = &batches[mi];
             let mut owner = vec![-1i32; batch.rows()];
             let mut sels: Vec<Vec<u32>> = vec![Vec::new(); p];
@@ -525,9 +585,9 @@ impl<'g> ParallelEngine<'g> {
                 },
                 moved,
             )
-        });
+        })?;
         let comm = splits.iter().map(|(_, m)| *m).sum();
-        (splits.into_iter().map(|(s, _)| s).collect(), comm)
+        Ok((splits.into_iter().map(|(s, _)| s).collect(), comm))
     }
 
     /// Deterministic per-morsel merge after a partition-split expansion:
@@ -593,6 +653,7 @@ impl<'g> ParallelEngine<'g> {
     fn execute_op(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         op: &PhysicalOp,
         inputs: &[PhysicalNodeId],
         outputs: &[Option<NodeOut>],
@@ -603,7 +664,7 @@ impl<'g> ParallelEngine<'g> {
                 alias,
                 constraint,
                 predicate,
-            } => Ok(self.run_scan(pool, alias, constraint, predicate)),
+            } => self.run_scan(pool, ctx, alias, constraint, predicate),
             PhysicalOp::EdgeExpand {
                 src,
                 edge_alias,
@@ -625,7 +686,7 @@ impl<'g> ParallelEngine<'g> {
                     dst_predicate,
                     edge_predicate,
                 };
-                self.run_edge_expand(pool, input, &args, stats)
+                self.run_edge_expand(pool, ctx, input, &args, stats)
             }
             PhysicalOp::ExpandInto {
                 src,
@@ -638,6 +699,7 @@ impl<'g> ParallelEngine<'g> {
                 let input = Self::take_input("ExpandInto", inputs, outputs, 1)?[0];
                 self.run_expand_into(
                     pool,
+                    ctx,
                     input,
                     src,
                     dst,
@@ -657,6 +719,7 @@ impl<'g> ParallelEngine<'g> {
                 let input = Self::take_input("ExpandIntersect", inputs, outputs, 1)?[0];
                 self.run_expand_intersect(
                     pool,
+                    ctx,
                     input,
                     steps,
                     dst_alias,
@@ -678,6 +741,7 @@ impl<'g> ParallelEngine<'g> {
                 let input = Self::take_input("PathExpand", inputs, outputs, 1)?[0];
                 self.run_path_expand(
                     pool,
+                    ctx,
                     input,
                     src,
                     dst_alias,
@@ -693,15 +757,17 @@ impl<'g> ParallelEngine<'g> {
             PhysicalOp::Select { predicate } => {
                 let input = Self::take_input("Select", inputs, outputs, 1)?[0];
                 let tags = input.tags.clone();
-                let outs: Vec<Vec<RecordBatch>> = par_map(pool, input.batches.len(), |mi| {
-                    relational::select_batches(
-                        self.graph,
-                        std::slice::from_ref(&input.batches[mi]),
-                        &tags,
-                        predicate,
-                        self.batch_size,
-                    )
-                });
+                let outs: Vec<Vec<RecordBatch>> =
+                    par_map_op(pool, input.batches.len(), "Select", |mi| {
+                        context::worker_checkpoint(ctx);
+                        relational::select_batches(
+                            self.graph,
+                            std::slice::from_ref(&input.batches[mi]),
+                            &tags,
+                            predicate,
+                            self.batch_size,
+                        )
+                    })?;
                 Ok(NodeOut {
                     batches: outs.into_iter().flatten().collect(),
                     tags,
@@ -710,6 +776,7 @@ impl<'g> ParallelEngine<'g> {
             }
             PhysicalOp::Project { items } => self.run_project(
                 pool,
+                ctx,
                 Self::take_input("Project", inputs, outputs, 1)?[0],
                 items,
                 stats,
@@ -732,6 +799,7 @@ impl<'g> ParallelEngine<'g> {
             }
             PhysicalOp::HashGroup { keys, aggs } => self.run_hash_group(
                 pool,
+                ctx,
                 Self::take_input("HashGroup", inputs, outputs, 1)?[0],
                 keys,
                 aggs,
@@ -739,6 +807,7 @@ impl<'g> ParallelEngine<'g> {
             ),
             PhysicalOp::OrderLimit { keys, limit } => self.run_order_limit(
                 pool,
+                ctx,
                 Self::take_input("OrderLimit", inputs, outputs, 1)?[0],
                 keys,
                 *limit,
@@ -754,6 +823,7 @@ impl<'g> ParallelEngine<'g> {
             }
             PhysicalOp::Dedup { keys } => self.run_dedup(
                 pool,
+                ctx,
                 Self::take_input("Dedup", inputs, outputs, 1)?[0],
                 keys,
                 stats,
@@ -812,10 +882,11 @@ impl<'g> ParallelEngine<'g> {
     fn run_scan(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         alias: &str,
         constraint: &TypeConstraint,
         predicate: &Option<Expr>,
-    ) -> NodeOut {
+    ) -> Result<NodeOut, ExecError> {
         let mut tags = TagMap::new();
         let slot = tags.slot_or_insert(alias);
         let width = tags.len();
@@ -832,7 +903,8 @@ impl<'g> ParallelEngine<'g> {
             }
         }
         let probe = RecordBatch::new(width);
-        let kept: Vec<Vec<VertexId>> = par_map(pool, units.len(), |u| {
+        let kept: Vec<Vec<VertexId>> = par_map_op(pool, units.len(), "Scan", |u| {
+            context::worker_checkpoint(ctx);
             units[u]
                 .iter()
                 .copied()
@@ -854,7 +926,7 @@ impl<'g> ParallelEngine<'g> {
                     }
                 })
                 .collect()
-        });
+        })?;
         // reassemble in (label, chunk) order — the oracle's scan order — and
         // cut into morsels
         let mut batches = Vec::new();
@@ -879,16 +951,17 @@ impl<'g> ParallelEngine<'g> {
         if !cur.is_empty() {
             flush(cur, &mut batches);
         }
-        NodeOut {
+        Ok(NodeOut {
             batches,
             tags,
             home: Home::Tag(slot),
-        }
+        })
     }
 
     fn run_edge_expand(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         args: &EdgeExpandArgs<'_>,
         stats: &mut ExecStats,
@@ -896,8 +969,14 @@ impl<'g> ParallelEngine<'g> {
         let mut tags = input.tags.clone();
         let compiled = EdgeExpandCompiled::resolve(self.graph, &mut tags, args)?;
         let width = tags.len();
-        let (splits, comm_in) =
-            self.shuffle_by(pool, &input.batches, compiled.src_slot, input.home);
+        let (splits, comm_in) = self.shuffle_by(
+            pool,
+            ctx,
+            "EdgeExpand",
+            &input.batches,
+            compiled.src_slot,
+            input.home,
+        )?;
         stats.comm_records += comm_in;
 
         // flat task list over (morsel, sub-batch)
@@ -911,7 +990,8 @@ impl<'g> ParallelEngine<'g> {
             }
             task_of.push(per);
         }
-        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "EdgeExpand", |t| {
+            context::worker_checkpoint(ctx);
             let (mi, si) = tasks[t];
             let sub = &splits[mi].subs[si].1;
             let mut sel = Vec::new();
@@ -934,10 +1014,11 @@ impl<'g> ParallelEngine<'g> {
                 edge_vals,
                 comm,
             }
-        });
+        })?;
         stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
 
-        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "EdgeExpand", |mi| {
+            context::worker_checkpoint(ctx);
             let split = &splits[mi];
             let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
             // fast path: every routed row of this morsel lives on one shard,
@@ -973,7 +1054,7 @@ impl<'g> ParallelEngine<'g> {
                 };
                 builder.push_row_from(sub, k.sel[j] as usize, &overrides[..n]);
             })
-        });
+        })?;
         Ok(NodeOut {
             batches: merged.into_iter().flatten().collect(),
             tags,
@@ -985,6 +1066,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_expand_into(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         src: &str,
         dst: &str,
@@ -1007,7 +1089,14 @@ impl<'g> ParallelEngine<'g> {
         let edge_pred = edge_predicate
             .as_ref()
             .map(|p| CompiledExpr::compile(p, &tags, self.graph));
-        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, src_slot, input.home);
+        let (splits, comm_in) = self.shuffle_by(
+            pool,
+            ctx,
+            "ExpandInto",
+            &input.batches,
+            src_slot,
+            input.home,
+        )?;
         stats.comm_records += comm_in;
 
         let mut tasks: Vec<(usize, usize)> = Vec::new();
@@ -1020,7 +1109,8 @@ impl<'g> ParallelEngine<'g> {
             }
             task_of.push(per);
         }
-        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "ExpandInto", |t| {
+            context::worker_checkpoint(ctx);
             let (mi, si) = tasks[t];
             let sub = &splits[mi].subs[si].1;
             let mut sel = Vec::new();
@@ -1044,10 +1134,11 @@ impl<'g> ParallelEngine<'g> {
                 edge_vals,
                 comm,
             }
-        });
+        })?;
         stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
 
-        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "ExpandInto", |mi| {
+            context::worker_checkpoint(ctx);
             let split = &splits[mi];
             let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
             if let [(_, sub, _)] = split.subs.as_slice() {
@@ -1076,7 +1167,7 @@ impl<'g> ParallelEngine<'g> {
                     None => builder.push_row_from(sub, k.sel[j] as usize, &[]),
                 }
             })
-        });
+        })?;
         Ok(NodeOut {
             batches: merged.into_iter().flatten().collect(),
             tags,
@@ -1088,6 +1179,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_expand_intersect(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         steps: &[IntersectStep],
         dst_alias: &str,
@@ -1114,7 +1206,14 @@ impl<'g> ParallelEngine<'g> {
             .map(|p| CompiledExpr::compile(p, &tags, self.graph));
         // rows are shipped to (and intersected on) the first step source's
         // partition
-        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, step_slots[0], input.home);
+        let (splits, comm_in) = self.shuffle_by(
+            pool,
+            ctx,
+            "ExpandIntersect",
+            &input.batches,
+            step_slots[0],
+            input.home,
+        )?;
         stats.comm_records += comm_in;
 
         let mut tasks: Vec<(usize, usize)> = Vec::new();
@@ -1127,7 +1226,8 @@ impl<'g> ParallelEngine<'g> {
             }
             task_of.push(per);
         }
-        let kouts: Vec<KernelOut> = par_map(pool, tasks.len(), |t| {
+        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "ExpandIntersect", |t| {
+            context::worker_checkpoint(ctx);
             let (mi, si) = tasks[t];
             let (part, sub, _) = &splits[mi].subs[si];
             let mut sel = Vec::new();
@@ -1158,36 +1258,38 @@ impl<'g> ParallelEngine<'g> {
                 edge_vals: Vec::new(),
                 comm,
             }
-        });
+        })?;
         stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
 
-        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
-            let split = &splits[mi];
-            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
-            if let [(_, sub, _)] = split.subs.as_slice() {
-                let k = ks[0];
-                let mut out = Vec::new();
-                expand::flush_selection(
-                    sub,
-                    &k.sel,
-                    width,
-                    self.batch_size,
-                    Some((dst_slot, &k.dst_vals)),
-                    None,
-                    &mut out,
-                );
-                return out;
-            }
-            self.merge_morsel(split, &ks, width, |builder, si, j| {
-                let k = ks[si];
-                let sub = &split.subs[si].1;
-                builder.push_row_from(
-                    sub,
-                    k.sel[j] as usize,
-                    &[(dst_slot, EntryRef::Vertex(k.dst_vals[j]))],
-                );
-            })
-        });
+        let merged: Vec<Vec<RecordBatch>> =
+            par_map_op(pool, splits.len(), "ExpandIntersect", |mi| {
+                context::worker_checkpoint(ctx);
+                let split = &splits[mi];
+                let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
+                if let [(_, sub, _)] = split.subs.as_slice() {
+                    let k = ks[0];
+                    let mut out = Vec::new();
+                    expand::flush_selection(
+                        sub,
+                        &k.sel,
+                        width,
+                        self.batch_size,
+                        Some((dst_slot, &k.dst_vals)),
+                        None,
+                        &mut out,
+                    );
+                    return out;
+                }
+                self.merge_morsel(split, &ks, width, |builder, si, j| {
+                    let k = ks[si];
+                    let sub = &split.subs[si].1;
+                    builder.push_row_from(
+                        sub,
+                        k.sel[j] as usize,
+                        &[(dst_slot, EntryRef::Vertex(k.dst_vals[j]))],
+                    );
+                })
+            })?;
         Ok(NodeOut {
             batches: merged.into_iter().flatten().collect(),
             tags,
@@ -1199,6 +1301,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_path_expand(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         src: &str,
         dst_alias: &str,
@@ -1218,7 +1321,14 @@ impl<'g> ParallelEngine<'g> {
         let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
         let width = tags.len();
         let labels = expand::edge_labels(self.graph, edge_constraint);
-        let (splits, comm_in) = self.shuffle_by(pool, &input.batches, src_slot, input.home);
+        let (splits, comm_in) = self.shuffle_by(
+            pool,
+            ctx,
+            "PathExpand",
+            &input.batches,
+            src_slot,
+            input.home,
+        )?;
         stats.comm_records += comm_in;
 
         let mut tasks: Vec<(usize, usize)> = Vec::new();
@@ -1234,49 +1344,52 @@ impl<'g> ParallelEngine<'g> {
         // per sub-batch: fully materialised output rows (one oversized batch)
         // plus the producing sub-row per output row; communication follows the
         // traversal model (every partition-crossing hop counts)
-        let kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> = par_map(pool, tasks.len(), |t| {
-            let (mi, si) = tasks[t];
-            let sub = &splits[mi].subs[si].1;
-            let mut builder = BatchBuilder::new(width, usize::MAX);
-            let mut origs: Vec<u32> = Vec::new();
-            let mut comm = 0u64;
-            for row in 0..sub.rows() {
-                let Some(start) = sub.entry(src_slot, row).as_vertex() else {
-                    continue;
-                };
-                expand::expand_paths(
-                    self.graph,
-                    start,
-                    &labels,
-                    direction,
-                    min_hops,
-                    max_hops,
-                    semantics,
-                    self.partitions_opt(),
-                    &mut comm,
-                    |path| {
-                        let dst = *path.last().expect("non-empty");
-                        let mut overrides = [
-                            (dst_slot, EntryRef::Vertex(dst)),
-                            (usize::MAX, EntryRef::Null),
-                        ];
-                        let used = match path_slot {
-                            Some(ps) => {
-                                overrides[1] = (ps, EntryRef::Path(path));
-                                2
-                            }
-                            None => 1,
-                        };
-                        builder.push_row_from(sub, row, &overrides[..used]);
-                        origs.push(row as u32);
-                    },
-                );
-            }
-            (builder.finish(), origs, comm)
-        });
+        let kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> =
+            par_map_op(pool, tasks.len(), "PathExpand", |t| {
+                context::worker_checkpoint(ctx);
+                let (mi, si) = tasks[t];
+                let sub = &splits[mi].subs[si].1;
+                let mut builder = BatchBuilder::new(width, usize::MAX);
+                let mut origs: Vec<u32> = Vec::new();
+                let mut comm = 0u64;
+                for row in 0..sub.rows() {
+                    let Some(start) = sub.entry(src_slot, row).as_vertex() else {
+                        continue;
+                    };
+                    expand::expand_paths(
+                        self.graph,
+                        start,
+                        &labels,
+                        direction,
+                        min_hops,
+                        max_hops,
+                        semantics,
+                        self.partitions_opt(),
+                        &mut comm,
+                        |path| {
+                            let dst = *path.last().expect("non-empty");
+                            let mut overrides = [
+                                (dst_slot, EntryRef::Vertex(dst)),
+                                (usize::MAX, EntryRef::Null),
+                            ];
+                            let used = match path_slot {
+                                Some(ps) => {
+                                    overrides[1] = (ps, EntryRef::Path(path));
+                                    2
+                                }
+                                None => 1,
+                            };
+                            builder.push_row_from(sub, row, &overrides[..used]);
+                            origs.push(row as u32);
+                        },
+                    );
+                }
+                (builder.finish(), origs, comm)
+            })?;
         stats.comm_records += kouts.iter().map(|(_, _, c)| *c).sum::<u64>();
 
-        let merged: Vec<Vec<RecordBatch>> = par_map(pool, splits.len(), |mi| {
+        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "PathExpand", |mi| {
+            context::worker_checkpoint(ctx);
             let split = &splits[mi];
             // merge by the ORIGIN row of each output: rows were materialised
             // by the kernels, so the merge copies from the per-sub out batch
@@ -1306,7 +1419,7 @@ impl<'g> ParallelEngine<'g> {
                 }
             }
             builder.finish()
-        });
+        })?;
         Ok(NodeOut {
             batches: merged.into_iter().flatten().collect(),
             tags,
@@ -1317,19 +1430,22 @@ impl<'g> ParallelEngine<'g> {
     fn run_project(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         items: &[(Expr, String)],
         stats: &mut ExecStats,
     ) -> Result<NodeOut, ExecError> {
         let in_tags = input.tags.clone();
-        let outs: Vec<(Vec<RecordBatch>, TagMap)> = par_map(pool, input.batches.len(), |mi| {
-            relational::project_batches(
-                self.graph,
-                std::slice::from_ref(&input.batches[mi]),
-                &in_tags,
-                items,
-            )
-        });
+        let outs: Vec<(Vec<RecordBatch>, TagMap)> =
+            par_map_op(pool, input.batches.len(), "Project", |mi| {
+                context::worker_checkpoint(ctx);
+                relational::project_batches(
+                    self.graph,
+                    std::slice::from_ref(&input.batches[mi]),
+                    &in_tags,
+                    items,
+                )
+            })?;
         // out tags are identical per morsel; recompute for the empty case
         let tags = outs
             .first()
@@ -1362,6 +1478,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_hash_group(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         keys: &[(Expr, String)],
         aggs: &[(AggFunc, Expr, String)],
@@ -1398,7 +1515,8 @@ impl<'g> ParallelEngine<'g> {
             Boxed(Vec<Vec<PropValue>>),
         }
         type Evaluated = (MorselKeys, Vec<Vec<PropValue>>);
-        let evals: Vec<Evaluated> = par_map(pool, input.batches.len(), |mi| {
+        let evals: Vec<Evaluated> = par_map_op(pool, input.batches.len(), "HashGroup", |mi| {
+            context::worker_checkpoint(ctx);
             let batch = &input.batches[mi];
             let keys_of = if key_exprs.len() == 1 {
                 relational::packed_group_keys(self.graph, batch, &key_exprs[0])
@@ -1428,11 +1546,13 @@ impl<'g> ParallelEngine<'g> {
                 );
             }
             (keys_of, agg_rows)
-        });
+        })?;
+        failpoint::check(context::FP_MERGE).map_err(context::injected)?;
         // deterministic merge: fold morsels in oracle order so group
         // first-encounter order and accumulator update order match the
         // sequential engines bit for bit. A mixed packed/boxed morsel set
         // unpacks the packed keys — identical values either way.
+        let mut ticker = context::Ticker::new();
         let all_packed = evals
             .iter()
             .all(|(k, _)| matches!(k, MorselKeys::Packed(_)));
@@ -1446,6 +1566,8 @@ impl<'g> ParallelEngine<'g> {
                 };
                 let batch = &input.batches[mi];
                 for (row, (k, agg_vals)) in key_rows.into_iter().zip(agg_rows).enumerate() {
+                    ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                    let before = group_order.len();
                     let entry =
                         relational::group_entry(&mut groups, &mut group_order, k, aggs, || {
                             key_passthrough
@@ -1458,6 +1580,10 @@ impl<'g> ParallelEngine<'g> {
                         });
                     for (acc, v) in entry.1.iter_mut().zip(agg_vals) {
                         acc.update(v);
+                    }
+                    if group_order.len() > before {
+                        ctx.charge_bytes(relational::GROUP_STATE_BYTES)
+                            .map_err(ExecError::LimitExceeded)?;
                     }
                 }
             }
@@ -1481,6 +1607,8 @@ impl<'g> ParallelEngine<'g> {
             };
             let batch = &input.batches[mi];
             for (row, (key_vals, agg_vals)) in key_rows.into_iter().zip(agg_rows).enumerate() {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                let before = group_order.len();
                 let entry = relational::group_entry(
                     &mut groups,
                     &mut group_order,
@@ -1500,6 +1628,10 @@ impl<'g> ParallelEngine<'g> {
                 for (acc, v) in entry.1.iter_mut().zip(agg_vals) {
                     acc.update(v);
                 }
+                if group_order.len() > before {
+                    ctx.charge_bytes(relational::GROUP_STATE_BYTES)
+                        .map_err(ExecError::LimitExceeded)?;
+                }
             }
         }
         let mut builder = BatchBuilder::new(out_tags.len(), self.batch_size);
@@ -1514,6 +1646,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_order_limit(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         keys: &[(Expr, SortDir)],
         limit: Option<usize>,
@@ -1525,10 +1658,34 @@ impl<'g> ParallelEngine<'g> {
             .iter()
             .map(|(e, _)| CompiledExpr::compile(e, &tags, self.graph))
             .collect();
-        // per-worker partial state: evaluated keys + a stable local sort
-        type Sorted = (Vec<Vec<PropValue>>, Vec<u32>);
-        let sorted: Vec<Sorted> = par_map(pool, input.batches.len(), |mi| {
+        let desc = matches!(keys.first(), Some((_, SortDir::Desc)));
+        // per-worker partial state: evaluated keys + a stable local sort. A
+        // single sort key over primitive Int/Date columns takes the typed
+        // packed path — `PackedKey` order is isomorphic to `PropValue` order
+        // on the Null/Int/Date domain, so the local sort and the merge agree
+        // with the boxed comparator bit for bit.
+        enum MorselSort {
+            Packed(Vec<relational::PackedKey>, Vec<u32>),
+            Boxed(Vec<Vec<PropValue>>, Vec<u32>),
+        }
+        let sorted: Vec<MorselSort> = par_map_op(pool, input.batches.len(), "OrderLimit", |mi| {
+            context::worker_checkpoint(ctx);
             let batch = &input.batches[mi];
+            if compiled.len() == 1 {
+                if let Some(packed) = relational::packed_group_keys(self.graph, batch, &compiled[0])
+                {
+                    let mut order: Vec<u32> = (0..batch.rows() as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        let ord = packed[a as usize].cmp(&packed[b as usize]);
+                        if desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                    return MorselSort::Packed(packed, order);
+                }
+            }
             let key_rows: Vec<Vec<PropValue>> = (0..batch.rows())
                 .map(|row| {
                     compiled
@@ -1541,39 +1698,96 @@ impl<'g> ParallelEngine<'g> {
             order.sort_by(|&a, &b| {
                 relational::cmp_sort_keys(&key_rows[a as usize], &key_rows[b as usize], keys)
             });
-            (key_rows, order)
-        });
-        // deterministic k-way merge: smallest key first, ties resolved by
-        // morsel index — exactly the oracle's stable global sort
+            MorselSort::Boxed(key_rows, order)
+        })?;
+        failpoint::check(context::FP_MERGE).map_err(context::injected)?;
         let total: usize = input.batches.iter().map(|b| b.rows()).sum();
+        ctx.charge_bytes(total as u64 * relational::SORT_ROW_BYTES)
+            .map_err(ExecError::LimitExceeded)?;
         let take = limit.unwrap_or(total).min(total);
         let mut cursors = vec![0usize; sorted.len()];
         let mut builder = BatchBuilder::new(tags.len(), self.batch_size);
-        for _ in 0..take {
-            let mut best: Option<usize> = None;
-            for (mi, (key_rows, order)) in sorted.iter().enumerate() {
-                if cursors[mi] >= order.len() {
-                    continue;
-                }
-                match best {
-                    None => best = Some(mi),
-                    Some(b) => {
-                        let (bk, border) = &sorted[b];
-                        let ord = relational::cmp_sort_keys(
-                            &key_rows[order[cursors[mi]] as usize],
-                            &bk[border[cursors[b]] as usize],
-                            keys,
-                        );
-                        if ord == std::cmp::Ordering::Less {
-                            best = Some(mi);
+        let mut ticker = context::Ticker::new();
+        // deterministic k-way merge: smallest key first, ties resolved by
+        // morsel index — exactly the oracle's stable global sort
+        if sorted.iter().all(|m| matches!(m, MorselSort::Packed(..))) {
+            let packed: Vec<(&[relational::PackedKey], &[u32])> = sorted
+                .iter()
+                .map(|m| match m {
+                    MorselSort::Packed(k, o) => (k.as_slice(), o.as_slice()),
+                    MorselSort::Boxed(..) => unreachable!("all morsels packed"),
+                })
+                .collect();
+            for _ in 0..take {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                let mut best: Option<usize> = None;
+                for (mi, (key_rows, order)) in packed.iter().enumerate() {
+                    if cursors[mi] >= order.len() {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some(mi),
+                        Some(b) => {
+                            let (bk, border) = &packed[b];
+                            let ka = key_rows[order[cursors[mi]] as usize];
+                            let kb = bk[border[cursors[b]] as usize];
+                            let ord = if desc {
+                                ka.cmp(&kb).reverse()
+                            } else {
+                                ka.cmp(&kb)
+                            };
+                            if ord == std::cmp::Ordering::Less {
+                                best = Some(mi);
+                            }
                         }
                     }
                 }
+                let Some(mi) = best else { break };
+                let row = packed[mi].1[cursors[mi]] as usize;
+                cursors[mi] += 1;
+                builder.push_row_from(&input.batches[mi], row, &[]);
             }
-            let Some(mi) = best else { break };
-            let row = sorted[mi].1[cursors[mi]] as usize;
-            cursors[mi] += 1;
-            builder.push_row_from(&input.batches[mi], row, &[]);
+        } else {
+            // mixed packed/boxed morsel set: unpack — identical values either way
+            let boxed: Vec<(Vec<Vec<PropValue>>, Vec<u32>)> = sorted
+                .into_iter()
+                .map(|m| match m {
+                    MorselSort::Boxed(k, o) => (k, o),
+                    MorselSort::Packed(k, o) => (
+                        k.into_iter()
+                            .map(|pk| vec![relational::unpack_group_key(pk)])
+                            .collect(),
+                        o,
+                    ),
+                })
+                .collect();
+            for _ in 0..take {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                let mut best: Option<usize> = None;
+                for (mi, (key_rows, order)) in boxed.iter().enumerate() {
+                    if cursors[mi] >= order.len() {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some(mi),
+                        Some(b) => {
+                            let (bk, border) = &boxed[b];
+                            let ord = relational::cmp_sort_keys(
+                                &key_rows[order[cursors[mi]] as usize],
+                                &bk[border[cursors[b]] as usize],
+                                keys,
+                            );
+                            if ord == std::cmp::Ordering::Less {
+                                best = Some(mi);
+                            }
+                        }
+                    }
+                }
+                let Some(mi) = best else { break };
+                let row = boxed[mi].1[cursors[mi]] as usize;
+                cursors[mi] += 1;
+                builder.push_row_from(&input.batches[mi], row, &[]);
+            }
         }
         Ok(NodeOut {
             batches: builder.finish(),
@@ -1585,6 +1799,7 @@ impl<'g> ParallelEngine<'g> {
     fn run_dedup(
         &self,
         pool: &WorkerPool,
+        ctx: &QueryContext,
         input: &NodeOut,
         keys: &[Expr],
         stats: &mut ExecStats,
@@ -1596,30 +1811,37 @@ impl<'g> ParallelEngine<'g> {
             .map(|e| CompiledExpr::compile(e, &tags, self.graph))
             .collect();
         // per-worker partial state: evaluated dedup keys
-        let key_rows: Vec<Vec<Vec<PropValue>>> = par_map(pool, input.batches.len(), |mi| {
-            let batch = &input.batches[mi];
-            let width = relational::keyless_dedup_width(&tags, batch.width());
-            (0..batch.rows())
-                .map(|row| {
-                    if compiled.is_empty() {
-                        (0..width).map(|s| batch.entry(s, row).to_value()).collect()
-                    } else {
-                        compiled
-                            .iter()
-                            .map(|e| relational::batch_eval(self.graph, batch, row, e))
-                            .collect()
-                    }
-                })
-                .collect()
-        });
+        let key_rows: Vec<Vec<Vec<PropValue>>> =
+            par_map_op(pool, input.batches.len(), "Dedup", |mi| {
+                context::worker_checkpoint(ctx);
+                let batch = &input.batches[mi];
+                let width = relational::keyless_dedup_width(&tags, batch.width());
+                (0..batch.rows())
+                    .map(|row| {
+                        if compiled.is_empty() {
+                            (0..width).map(|s| batch.entry(s, row).to_value()).collect()
+                        } else {
+                            compiled
+                                .iter()
+                                .map(|e| relational::batch_eval(self.graph, batch, row, e))
+                                .collect()
+                        }
+                    })
+                    .collect()
+            })?;
+        failpoint::check(context::FP_MERGE).map_err(context::injected)?;
         // deterministic merge: first-occurrence wins in oracle order
+        let mut ticker = context::Ticker::new();
         let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
         let mut batches = Vec::new();
         for (mi, rows) in key_rows.into_iter().enumerate() {
             let batch = &input.batches[mi];
             let mut sel: Vec<u32> = Vec::new();
             for (row, key) in rows.into_iter().enumerate() {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
                 if seen.insert(key) {
+                    ctx.charge_bytes(relational::DEDUP_KEY_BYTES)
+                        .map_err(ExecError::LimitExceeded)?;
                     sel.push(row as u32);
                 }
             }
@@ -1740,10 +1962,10 @@ mod tests {
             .with_threads(2)
             .with_record_limit(Some(3))
             .execute(&plan);
-        assert!(matches!(
-            err,
-            Err(ExecError::RecordLimitExceeded { limit: 3 })
-        ));
+        match err {
+            Err(e) => assert_eq!(e, ExecError::record_limit(3)),
+            Ok(_) => panic!("expected the record limit to abort execution"),
+        }
         assert!(matches!(
             ParallelEngine::new(&pg).execute(&PhysicalPlan::new()),
             Err(ExecError::EmptyPlan)
@@ -1753,17 +1975,15 @@ mod tests {
     #[test]
     fn pool_task_panic_propagates_instead_of_deadlocking() {
         let pool = WorkerPool::new(2);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            par_map(&pool, 16, |i| {
-                if i == 7 {
-                    panic!("boom");
-                }
-                i
-            })
-        }));
+        let result = par_map(&pool, 16, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
         assert!(result.is_err(), "the task panic reaches the caller");
         // the pool survives and runs subsequent phases normally
-        let ok = par_map(&pool, 8, |i| i + 1);
+        let ok = par_map(&pool, 8, |i| i + 1).unwrap();
         assert_eq!(ok, (1..=8).collect::<Vec<_>>());
     }
 
@@ -1771,11 +1991,11 @@ mod tests {
     fn pool_runs_every_index_exactly_once() {
         let pool = WorkerPool::new(3);
         for n in [0usize, 1, 7, 257] {
-            let got = par_map(&pool, n, |i| i * 2);
+            let got = par_map(&pool, n, |i| i * 2).unwrap();
             assert_eq!(got, (0..n).map(|i| i * 2).collect::<Vec<_>>());
         }
         // several phases reuse the same workers
-        let sum: usize = par_map(&pool, 100, |i| i).into_iter().sum();
+        let sum: usize = par_map(&pool, 100, |i| i).unwrap().into_iter().sum();
         assert_eq!(sum, 4950);
     }
 }

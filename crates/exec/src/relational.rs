@@ -14,12 +14,22 @@
 //! the expand operators: identical rows, order, and shuffle accounting as the scalar
 //! form.
 
+use crate::context::{QueryContext, Ticker};
 use crate::error::ExecError;
 use crate::record::{Entry, Record, RecordContext, TagMap};
 use gopt_gir::expr::{AggFunc, Expr, SortDir};
 use gopt_gir::logical::JoinType;
 use gopt_graph::{GraphView, PropValue, PropertyGraph};
 use std::collections::HashMap;
+
+/// Approximate accountable bytes per aggregation group (key, representative
+/// entries, accumulators) — charged against the query's memory budget once per
+/// new group, identically on every engine.
+pub(crate) const GROUP_STATE_BYTES: u64 = 160;
+/// Approximate accountable bytes per sort-key row buffered by `OrderLimit`.
+pub(crate) const SORT_ROW_BYTES: u64 = 48;
+/// Approximate accountable bytes per distinct key retained by `Dedup`.
+pub(crate) const DEDUP_KEY_BYTES: u64 = 48;
 
 fn eval(graph: &PropertyGraph, tags: &TagMap, record: &Record, expr: &Expr) -> PropValue {
     expr.evaluate(&RecordContext {
@@ -138,7 +148,8 @@ pub fn property_fetch(
 }
 
 /// Hash aggregation: group by `keys`, compute `aggs`, output one record per group with a
-/// fresh tag map (keys first, then aggregates).
+/// fresh tag map (keys first, then aggregates). Accumulation is a pipeline breaker, so
+/// the loop ticks `ctx` (cancellation/deadline) and charges the budget per new group.
 pub fn hash_group(
     graph: &PropertyGraph,
     input: &[Record],
@@ -146,7 +157,8 @@ pub fn hash_group(
     keys: &[(Expr, String)],
     aggs: &[(AggFunc, Expr, String)],
     partitions: Option<usize>,
-) -> (Vec<Record>, TagMap, u64) {
+    ctx: &QueryContext,
+) -> Result<(Vec<Record>, TagMap, u64), ExecError> {
     let mut out_tags = TagMap::new();
     let mut key_passthrough: Vec<Option<usize>> = Vec::new();
     for (expr, alias) in keys {
@@ -166,8 +178,11 @@ pub fn hash_group(
     // group index: key values -> (representative key entries, accumulators)
     let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
     let mut group_order: Vec<Vec<PropValue>> = Vec::new();
+    let mut ticker = Ticker::new();
     for r in input {
+        ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
         let key_vals: Vec<PropValue> = keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect();
+        let before = group_order.len();
         let entry = group_entry(
             &mut groups,
             &mut group_order,
@@ -185,6 +200,10 @@ pub fn hash_group(
         );
         for (acc, (_, e, _)) in entry.1.iter_mut().zip(aggs) {
             acc.update(eval(graph, tags, r, e));
+        }
+        if group_order.len() > before {
+            ctx.charge_bytes(GROUP_STATE_BYTES)
+                .map_err(ExecError::LimitExceeded)?;
         }
     }
     let records = group_order
@@ -204,7 +223,7 @@ pub fn hash_group(
             rec
         })
         .collect();
-    (records, out_tags, comm)
+    Ok((records, out_tags, comm))
 }
 
 /// Aggregate accumulator.
@@ -281,30 +300,35 @@ impl Accumulator {
     }
 }
 
-/// Sort records by `keys`; keep only the first `limit` when given.
+/// Sort records by `keys`; keep only the first `limit` when given. The key
+/// buffer is metered against the context's memory budget and key evaluation
+/// ticks the context like every other pipeline-breaker accumulation loop.
 pub fn order_limit(
     graph: &PropertyGraph,
     input: &[Record],
     tags: &TagMap,
     keys: &[(Expr, SortDir)],
     limit: Option<usize>,
-) -> Vec<Record> {
-    let mut keyed: Vec<(Vec<PropValue>, &Record)> = input
-        .iter()
-        .map(|r| {
-            (
-                keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect(),
-                r,
-            )
-        })
-        .collect();
+    ctx: &QueryContext,
+) -> Result<Vec<Record>, ExecError> {
+    ctx.charge_bytes(input.len() as u64 * SORT_ROW_BYTES)
+        .map_err(ExecError::LimitExceeded)?;
+    let mut ticker = Ticker::new();
+    let mut keyed: Vec<(Vec<PropValue>, &Record)> = Vec::with_capacity(input.len());
+    for r in input {
+        ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+        keyed.push((
+            keys.iter().map(|(e, _)| eval(graph, tags, r, e)).collect(),
+            r,
+        ));
+    }
     keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(ka, kb, keys));
     let take = limit.unwrap_or(keyed.len());
-    keyed
+    Ok(keyed
         .into_iter()
         .take(take)
         .map(|(_, r)| r.clone())
-        .collect()
+        .collect())
 }
 
 /// Compare two evaluated sort-key rows under the per-key directions — the one
@@ -348,10 +372,18 @@ pub fn limit(input: &[Record], count: usize) -> Vec<Record> {
 /// records with nulls), so two records representing the same logical row compare equal
 /// regardless of their physical entry-vector length — this keeps the scalar and the
 /// batched engine (where every row always spans the full batch width) in agreement.
-pub fn dedup(graph: &PropertyGraph, input: &[Record], tags: &TagMap, keys: &[Expr]) -> Vec<Record> {
+pub fn dedup(
+    graph: &PropertyGraph,
+    input: &[Record],
+    tags: &TagMap,
+    keys: &[Expr],
+    ctx: &QueryContext,
+) -> Result<Vec<Record>, ExecError> {
     let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
     let mut out = Vec::new();
+    let mut ticker = Ticker::new();
     for r in input {
+        ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
         let key: Vec<PropValue> = if keys.is_empty() {
             (0..keyless_dedup_width(tags, r.len()))
                 .map(|s| r.get(s).to_value())
@@ -360,10 +392,12 @@ pub fn dedup(graph: &PropertyGraph, input: &[Record], tags: &TagMap, keys: &[Exp
             keys.iter().map(|e| eval(graph, tags, r, e)).collect()
         };
         if seen.insert(key) {
+            ctx.charge_bytes(DEDUP_KEY_BYTES)
+                .map_err(ExecError::LimitExceeded)?;
             out.push(r.clone());
         }
     }
-    out
+    Ok(out)
 }
 
 /// Concatenate several inputs, remapping each input's slots onto the first input's tag
@@ -855,6 +889,7 @@ pub fn property_fetch_batches<G: GraphView>(
 /// Batched [`hash_group`]: key and aggregate expressions are compiled once,
 /// grouping state is keyed exactly like the scalar operator, and the one
 /// output row per group streams back out in `batch_size` chunks.
+#[allow(clippy::too_many_arguments)]
 pub fn hash_group_batches<G: GraphView>(
     graph: &G,
     input: &[RecordBatch],
@@ -863,7 +898,8 @@ pub fn hash_group_batches<G: GraphView>(
     aggs: &[(AggFunc, Expr, String)],
     partitions: Option<usize>,
     batch_size: usize,
-) -> (Vec<RecordBatch>, TagMap, u64) {
+    ctx: &QueryContext,
+) -> Result<(Vec<RecordBatch>, TagMap, u64), ExecError> {
     let mut out_tags = TagMap::new();
     let mut key_passthrough: Vec<Option<usize>> = Vec::new();
     for (expr, alias) in keys {
@@ -902,11 +938,14 @@ pub fn hash_group_batches<G: GraphView>(
         None
     };
     let mut builder = BatchBuilder::new(out_tags.len(), batch_size);
+    let mut ticker = Ticker::new();
     if let Some(per_batch) = packed {
         let mut groups: HashMap<PackedKey, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
         let mut group_order: Vec<PackedKey> = Vec::new();
         for (batch, keys_of) in input.iter().zip(&per_batch) {
             for (row, &k) in keys_of.iter().enumerate() {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                let before = group_order.len();
                 let entry = group_entry(&mut groups, &mut group_order, k, aggs, || {
                     key_passthrough
                         .iter()
@@ -919,19 +958,25 @@ pub fn hash_group_batches<G: GraphView>(
                 for (acc, e) in entry.1.iter_mut().zip(&agg_exprs) {
                     acc.update(batch_eval(graph, batch, row, e));
                 }
+                if group_order.len() > before {
+                    ctx.charge_bytes(GROUP_STATE_BYTES)
+                        .map_err(ExecError::LimitExceeded)?;
+                }
             }
         }
         emit_groups(groups, group_order, &mut builder);
-        return (builder.finish(), out_tags, comm);
+        return Ok((builder.finish(), out_tags, comm));
     }
     let mut groups: HashMap<Vec<PropValue>, (Vec<Entry>, Vec<Accumulator>)> = HashMap::new();
     let mut group_order: Vec<Vec<PropValue>> = Vec::new();
     for batch in input {
         for row in 0..batch.rows() {
+            ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
             let key_vals: Vec<PropValue> = key_exprs
                 .iter()
                 .map(|e| batch_eval(graph, batch, row, e))
                 .collect();
+            let before = group_order.len();
             let entry = group_entry(
                 &mut groups,
                 &mut group_order,
@@ -951,14 +996,24 @@ pub fn hash_group_batches<G: GraphView>(
             for (acc, e) in entry.1.iter_mut().zip(&agg_exprs) {
                 acc.update(batch_eval(graph, batch, row, e));
             }
+            if group_order.len() > before {
+                ctx.charge_bytes(GROUP_STATE_BYTES)
+                    .map_err(ExecError::LimitExceeded)?;
+            }
         }
     }
     emit_groups(groups, group_order, &mut builder);
-    (builder.finish(), out_tags, comm)
+    Ok((builder.finish(), out_tags, comm))
 }
 
 /// Batched [`order_limit`]: keys are evaluated column-wise and the sort is a
 /// row-index permutation; only the surviving prefix is gathered.
+///
+/// A single sort key over primitive Int/Date property columns takes the typed
+/// packed path: rows sort on copyable `PackedKey`s instead of boxed
+/// `PropValue` vectors. `PackedKey` order is isomorphic to `PropValue` order
+/// on the Null/Int/Date domain and both sorts are stable, so the permutation
+/// is identical to the generic path's.
 pub fn order_limit_batches<G: GraphView>(
     graph: &G,
     input: &[RecordBatch],
@@ -966,15 +1021,53 @@ pub fn order_limit_batches<G: GraphView>(
     keys: &[(Expr, SortDir)],
     limit: Option<usize>,
     batch_size: usize,
-) -> Vec<RecordBatch> {
+    ctx: &QueryContext,
+) -> Result<Vec<RecordBatch>, ExecError> {
     let compiled: Vec<CompiledExpr> = keys
         .iter()
         .map(|(e, _)| CompiledExpr::compile(e, tags, graph))
         .collect();
+    ctx.charge_bytes(total_rows(input) as u64 * SORT_ROW_BYTES)
+        .map_err(ExecError::LimitExceeded)?;
+    let mut ticker = Ticker::new();
+    let take = |n: usize| limit.unwrap_or(n);
+    let mut builder = BatchBuilder::new(tags.len(), batch_size);
+    let packed: Option<Vec<Vec<PackedKey>>> = if compiled.len() == 1 {
+        input
+            .iter()
+            .map(|b| packed_group_keys(graph, b, &compiled[0]))
+            .collect()
+    } else {
+        None
+    };
+    if let Some(per_batch) = packed {
+        let desc = matches!(keys.first(), Some((_, SortDir::Desc)));
+        let mut keyed: Vec<(PackedKey, u32, u32)> = Vec::with_capacity(total_rows(input));
+        for (bi, keys_of) in per_batch.into_iter().enumerate() {
+            for (row, k) in keys_of.into_iter().enumerate() {
+                ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
+                keyed.push((k, bi as u32, row as u32));
+            }
+        }
+        keyed.sort_by(|(ka, _, _), (kb, _, _)| {
+            let ord = ka.cmp(kb);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        let n = take(keyed.len());
+        for (_, bi, row) in keyed.into_iter().take(n) {
+            builder.push_row_from(&input[bi as usize], row as usize, &[]);
+        }
+        return Ok(builder.finish());
+    }
     // (sort key values, batch index, row index) — the row permutation
     let mut keyed: Vec<(Vec<PropValue>, u32, u32)> = Vec::with_capacity(total_rows(input));
     for (bi, batch) in input.iter().enumerate() {
         for row in 0..batch.rows() {
+            ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
             keyed.push((
                 compiled
                     .iter()
@@ -986,12 +1079,11 @@ pub fn order_limit_batches<G: GraphView>(
         }
     }
     keyed.sort_by(|(ka, _, _), (kb, _, _)| cmp_sort_keys(ka, kb, keys));
-    let take = limit.unwrap_or(keyed.len());
-    let mut builder = BatchBuilder::new(tags.len(), batch_size);
-    for (_, bi, row) in keyed.into_iter().take(take) {
+    let n = take(keyed.len());
+    for (_, bi, row) in keyed.into_iter().take(n) {
         builder.push_row_from(&input[bi as usize], row as usize, &[]);
     }
-    builder.finish()
+    Ok(builder.finish())
 }
 
 /// Batched [`limit`]: keeps whole prefix batches and truncates the boundary
@@ -1022,7 +1114,8 @@ pub fn dedup_batches<G: GraphView>(
     input: &[RecordBatch],
     tags: &TagMap,
     keys: &[Expr],
-) -> Vec<RecordBatch> {
+    ctx: &QueryContext,
+) -> Result<Vec<RecordBatch>, ExecError> {
     let compiled: Vec<CompiledExpr> = keys
         .iter()
         .map(|e| CompiledExpr::compile(e, tags, graph))
@@ -1030,10 +1123,12 @@ pub fn dedup_batches<G: GraphView>(
     let mut seen: std::collections::HashSet<Vec<PropValue>> = std::collections::HashSet::new();
     let mut out = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
+    let mut ticker = Ticker::new();
     for batch in input {
         sel.clear();
         let width = keyless_dedup_width(tags, batch.width());
         for row in 0..batch.rows() {
+            ticker.tick(ctx).map_err(ExecError::LimitExceeded)?;
             let key: Vec<PropValue> = if compiled.is_empty() {
                 (0..width).map(|s| batch.entry(s, row).to_value()).collect()
             } else {
@@ -1043,6 +1138,8 @@ pub fn dedup_batches<G: GraphView>(
                     .collect()
             };
             if seen.insert(key) {
+                ctx.charge_bytes(DEDUP_KEY_BYTES)
+                    .map_err(ExecError::LimitExceeded)?;
                 sel.push(row as u32);
             }
         }
@@ -1052,7 +1149,7 @@ pub fn dedup_batches<G: GraphView>(
             out.push(batch.gather(&sel, batch.width()));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Batched [`union`]: slot remapping happens column-wise — each input batch's
@@ -1266,7 +1363,9 @@ mod tests {
                 (AggFunc::CountDistinct, Expr::tag("b"), "dcnt".into()),
             ],
             None,
-        );
+            &QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(comm, 0);
         assert_eq!(out.len(), 2);
         assert_eq!(otags.len(), 7);
@@ -1295,7 +1394,9 @@ mod tests {
             &[(Expr::tag("a"), "a".into())],
             &[(AggFunc::Count, Expr::tag("b"), "cnt".into())],
             Some(4),
-        );
+            &QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(comm, recs.len() as u64);
     }
 
@@ -1303,6 +1404,7 @@ mod tests {
     fn order_limit_and_dedup() {
         let g = tiny_graph();
         let (recs, tags) = value_records(&[(3, 1), (1, 2), (2, 3), (1, 4)]);
+        let ctx = QueryContext::new();
         let sorted = order_limit(
             &g,
             &recs,
@@ -1312,7 +1414,9 @@ mod tests {
                 (Expr::tag("b"), SortDir::Desc),
             ],
             None,
-        );
+            &ctx,
+        )
+        .unwrap();
         let col_a: Vec<PropValue> = sorted.iter().map(|r| r.get(0).to_value()).collect();
         assert_eq!(
             col_a,
@@ -1324,13 +1428,21 @@ mod tests {
             ]
         );
         assert_eq!(sorted[0].get(1).to_value(), PropValue::Int(4));
-        let top2 = order_limit(&g, &recs, &tags, &[(Expr::tag("a"), SortDir::Asc)], Some(2));
+        let top2 = order_limit(
+            &g,
+            &recs,
+            &tags,
+            &[(Expr::tag("a"), SortDir::Asc)],
+            Some(2),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(top2.len(), 2);
         assert_eq!(limit(&recs, 3).len(), 3);
         assert_eq!(limit(&recs, 10).len(), 4);
-        let d = dedup(&g, &recs, &tags, &[Expr::tag("a")]);
+        let d = dedup(&g, &recs, &tags, &[Expr::tag("a")], &ctx).unwrap();
         assert_eq!(d.len(), 3);
-        let d_all = dedup(&g, &recs, &tags, &[]);
+        let d_all = dedup(&g, &recs, &tags, &[], &ctx).unwrap();
         assert_eq!(d_all.len(), 4);
     }
 

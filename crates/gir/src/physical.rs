@@ -217,6 +217,8 @@ impl PhysicalOp {
 struct PhysicalNode {
     op: PhysicalOp,
     inputs: Vec<PhysicalNodeId>,
+    /// Optimizer cardinality estimate for this operator's output, when known.
+    est_rows: Option<f64>,
 }
 
 /// A physical plan: an arena of physical operators with producer links and a root.
@@ -236,7 +238,11 @@ impl PhysicalPlan {
     pub fn add(&mut self, op: PhysicalOp, inputs: Vec<PhysicalNodeId>) -> PhysicalNodeId {
         debug_assert!(inputs.iter().all(|i| i.0 < self.nodes.len()));
         let id = PhysicalNodeId(self.nodes.len());
-        self.nodes.push(PhysicalNode { op, inputs });
+        self.nodes.push(PhysicalNode {
+            op,
+            inputs,
+            est_rows: None,
+        });
         self.root = Some(id);
         id
     }
@@ -279,6 +285,20 @@ impl PhysicalPlan {
     /// Inputs of the operator at `id`.
     pub fn inputs(&self, id: PhysicalNodeId) -> &[PhysicalNodeId] {
         &self.nodes[id.0].inputs
+    }
+
+    /// Optimizer cardinality estimate attached to the operator at `id`, if any.
+    pub fn est_rows(&self, id: PhysicalNodeId) -> Option<f64> {
+        self.nodes[id.0].est_rows
+    }
+
+    /// Attach an optimizer cardinality estimate to the operator at `id`.
+    ///
+    /// The estimate is carried through [`PhysicalPlan::graft`] and surfaced in
+    /// [`PhysicalPlan::encode`] as `est_rows=<n>` so that plan dumps show what
+    /// the cost-based optimizer predicted for each operator.
+    pub fn set_est_rows(&mut self, id: PhysicalNodeId, rows: f64) {
+        self.nodes[id.0].est_rows = Some(rows);
     }
 
     /// Node ids in topological order (producers first), restricted to nodes reachable
@@ -330,6 +350,7 @@ impl PhysicalPlan {
                 .map(|i| mapping[i.0].expect("topo order"))
                 .collect();
             let new_id = self.add(other.nodes[id.0].op.clone(), inputs);
+            self.nodes[new_id.0].est_rows = other.nodes[id.0].est_rows;
             mapping[id.0] = Some(new_id);
             last = Some(new_id);
         }
@@ -344,8 +365,12 @@ impl PhysicalPlan {
         for id in self.topo_order() {
             let node = &self.nodes[id.0];
             let inputs: Vec<String> = node.inputs.iter().map(|i| format!("#{}", i.0)).collect();
+            let est = match node.est_rows {
+                Some(rows) => format!(" est_rows={rows:.1}"),
+                None => String::new(),
+            };
             s.push_str(&format!(
-                "#{} {} [{}] {}\n",
+                "#{} {} [{}] {}{est}\n",
                 id.0,
                 node.op.name(),
                 inputs.join(","),
@@ -497,6 +522,26 @@ mod tests {
         let text = plan.encode();
         assert!(text.contains("Scan") && text.contains("ExpandInto") && text.contains("HashGroup"));
         assert_eq!(plan.to_string(), text);
+    }
+
+    #[test]
+    fn est_rows_survive_graft_and_show_in_encode() {
+        let mut plan = PhysicalPlan::new();
+        let s = plan.push(scan("a"));
+        plan.push(expand("a", "b"));
+        assert_eq!(plan.est_rows(s), None);
+        plan.set_est_rows(s, 42.5);
+        assert_eq!(plan.est_rows(s), Some(42.5));
+        assert!(plan.encode().contains("est_rows=42.5"));
+        // nodes without an estimate stay unannotated
+        assert_eq!(plan.encode().matches("est_rows").count(), 1);
+
+        let mut host = PhysicalPlan::new();
+        host.push(scan("x"));
+        let grafted_root = host.graft(&plan);
+        // the grafted copy of the scan keeps its estimate; the expand copy stays bare
+        assert_eq!(host.est_rows(PhysicalNodeId(1)), Some(42.5));
+        assert_eq!(host.est_rows(grafted_root), None);
     }
 
     #[test]

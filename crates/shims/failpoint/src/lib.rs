@@ -1,0 +1,305 @@
+//! Deterministic, offline fail-point registry (see `crates/shims/README.md`).
+//!
+//! A minimal stand-in for the `fail` crate: named points are compiled into the
+//! engine hot paths as [`check`] calls which are near-free while no point is
+//! configured (one relaxed atomic load). Tests — or the environment, via
+//! [`init_from_env`] — arm points with an action:
+//!
+//! * `err(msg)` — [`check`] returns `Err(InjectedFail)` for the caller to
+//!   convert into its own typed error;
+//! * `panic(msg)` — [`check`] panics with an [`InjectedFail`] payload
+//!   (exercises panic-isolation paths such as worker pools);
+//! * `delay(ms)` — [`check`] sleeps, perturbing scheduling without failing.
+//!
+//! A spec may carry an optional 1-based hit index: `err(msg)@3` fires on the
+//! third [`check`] of that point only (every other hit is a no-op), which
+//! makes "fail the Nth morsel" scenarios reproducible. Without `@N` the point
+//! fires on every hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The payload of an injected failure: which point fired and its message.
+///
+/// Returned by [`check`] for `err` actions and used as the panic payload for
+/// `panic` actions, so a `catch_unwind` boundary can downcast and recover the
+/// injection site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFail {
+    /// Name of the fail point that fired.
+    pub point: String,
+    /// Message carried by the configured action.
+    pub msg: String,
+}
+
+/// What an armed fail point does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Action {
+    Err(String),
+    Panic(String),
+    Delay(u64),
+}
+
+#[derive(Debug)]
+struct Point {
+    action: Action,
+    /// Fire only on this 1-based hit, if set; otherwise on every hit.
+    at: Option<u64>,
+    hits: u64,
+}
+
+/// Fast path: true iff at least one point is configured.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Point>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Point>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parse an action spec: `err(msg)` | `panic(msg)` | `delay(ms)`, with an
+/// optional `@N` hit-index suffix.
+fn parse_spec(spec: &str) -> Result<(Action, Option<u64>), String> {
+    let spec = spec.trim();
+    let (body, at) = match spec.rsplit_once('@') {
+        Some((body, n)) if !n.contains(')') => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad hit index in fail-point spec: {spec}"))?;
+            if n == 0 {
+                return Err(format!("hit index is 1-based: {spec}"));
+            }
+            (body.trim(), Some(n))
+        }
+        _ => (spec, None),
+    };
+    let (kind, rest) = body
+        .split_once('(')
+        .ok_or_else(|| format!("bad fail-point spec (want kind(arg)): {spec}"))?;
+    let arg = rest
+        .strip_suffix(')')
+        .ok_or_else(|| format!("unclosed fail-point spec: {spec}"))?;
+    let action = match kind.trim() {
+        "err" => Action::Err(arg.to_string()),
+        "panic" => Action::Panic(arg.to_string()),
+        "delay" => Action::Delay(
+            arg.trim()
+                .parse()
+                .map_err(|_| format!("bad delay millis in fail-point spec: {spec}"))?,
+        ),
+        other => return Err(format!("unknown fail-point action: {other}")),
+    };
+    Ok((action, at))
+}
+
+/// Arm `name` with an action spec (`err(msg)`, `panic(msg)`, `delay(ms)`,
+/// each optionally suffixed `@N`). Re-configuring a point resets its hit
+/// counter.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let (action, at) = parse_spec(spec)?;
+    let mut reg = lock();
+    reg.insert(
+        name.to_string(),
+        Point {
+            action,
+            at,
+            hits: 0,
+        },
+    );
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarm one point. The fast path stays enabled while other points remain.
+pub fn remove(name: &str) {
+    let mut reg = lock();
+    reg.remove(name);
+    if reg.is_empty() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Disarm every point and reset the fast path.
+pub fn clear() {
+    let mut reg = lock();
+    reg.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// How many times `name` has been hit since it was (re-)configured.
+pub fn hits(name: &str) -> u64 {
+    lock().get(name).map_or(0, |p| p.hits)
+}
+
+/// Arm points from an environment variable holding `name=spec` pairs
+/// separated by `;` (e.g. `GOPT_FAILPOINTS="exec.operator=err(chaos);\
+/// exec.morsel=panic(boom)@2"`). Returns the number of points armed; malformed
+/// pairs are reported on stderr and skipped rather than aborting the process.
+pub fn init_from_env(var: &str) -> usize {
+    let Ok(raw) = std::env::var(var) else {
+        return 0;
+    };
+    let mut armed = 0;
+    for pair in raw.split(';') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        match pair.split_once('=') {
+            Some((name, spec)) => match configure(name.trim(), spec) {
+                Ok(()) => armed += 1,
+                Err(e) => eprintln!("{var}: ignoring fail point {name:?}: {e}"),
+            },
+            None => eprintln!("{var}: ignoring malformed pair {pair:?} (want name=spec)"),
+        }
+    }
+    armed
+}
+
+/// Hit the fail point `name`.
+///
+/// No-op (`Ok`) unless the point is armed and due (per its `@N` hit index).
+/// An armed `err` returns `Err(InjectedFail)`; `panic` unwinds with an
+/// [`InjectedFail`] payload via [`std::panic::panic_any`]; `delay` sleeps and
+/// returns `Ok`.
+#[inline]
+pub fn check(name: &str) -> Result<(), InjectedFail> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    check_slow(name)
+}
+
+#[cold]
+fn check_slow(name: &str) -> Result<(), InjectedFail> {
+    let action = {
+        let mut reg = lock();
+        let Some(point) = reg.get_mut(name) else {
+            return Ok(());
+        };
+        point.hits += 1;
+        match point.at {
+            Some(n) if n != point.hits => return Ok(()),
+            _ => point.action.clone(),
+        }
+    };
+    // registry lock released before acting: a panic here must not poison it
+    match action {
+        Action::Err(msg) => Err(InjectedFail {
+            point: name.to_string(),
+            msg,
+        }),
+        Action::Panic(msg) => std::panic::panic_any(InjectedFail {
+            point: name.to_string(),
+            msg,
+        }),
+        Action::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; serialize tests that arm points.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_points_are_free() {
+        let _g = serial();
+        clear();
+        assert_eq!(check("nowhere"), Ok(()));
+        assert_eq!(hits("nowhere"), 0);
+    }
+
+    #[test]
+    fn err_actions_fire_every_hit() {
+        let _g = serial();
+        clear();
+        configure("p.err", "err(boom)").unwrap();
+        for _ in 0..3 {
+            let e = check("p.err").unwrap_err();
+            assert_eq!(e.point, "p.err");
+            assert_eq!(e.msg, "boom");
+        }
+        assert_eq!(hits("p.err"), 3);
+        remove("p.err");
+        assert_eq!(check("p.err"), Ok(()));
+    }
+
+    #[test]
+    fn hit_index_fires_exactly_once() {
+        let _g = serial();
+        clear();
+        configure("p.nth", "err(late)@3").unwrap();
+        assert_eq!(check("p.nth"), Ok(()));
+        assert_eq!(check("p.nth"), Ok(()));
+        assert!(check("p.nth").is_err());
+        assert_eq!(check("p.nth"), Ok(()));
+        clear();
+    }
+
+    #[test]
+    fn panic_actions_carry_a_typed_payload() {
+        let _g = serial();
+        clear();
+        configure("p.panic", "panic(kaboom)").unwrap();
+        let payload = std::panic::catch_unwind(|| check("p.panic")).unwrap_err();
+        let fail = payload.downcast::<InjectedFail>().expect("typed payload");
+        assert_eq!(fail.point, "p.panic");
+        assert_eq!(fail.msg, "kaboom");
+        clear();
+    }
+
+    #[test]
+    fn delay_actions_sleep_and_succeed() {
+        let _g = serial();
+        clear();
+        configure("p.delay", "delay(1)").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(check("p.delay"), Ok(()));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(1));
+        clear();
+    }
+
+    #[test]
+    fn specs_parse_and_reject() {
+        let _g = serial();
+        assert!(parse_spec("err(x)@2").is_ok());
+        assert!(parse_spec("delay(5)").is_ok());
+        assert!(parse_spec("panic(a@b)").is_ok(), "@ inside parens is a msg");
+        assert!(parse_spec("err(x)@0").is_err());
+        assert!(parse_spec("err(x").is_err());
+        assert!(parse_spec("nope(x)").is_err());
+        assert!(parse_spec("delay(abc)").is_err());
+        assert!(parse_spec("bare").is_err());
+    }
+
+    #[test]
+    fn env_init_arms_points_and_skips_garbage() {
+        let _g = serial();
+        clear();
+        std::env::set_var(
+            "FAILPOINT_SHIM_TEST",
+            "a.b=err(x); c.d=delay(0)@2 ;broken; e=oops(1)",
+        );
+        assert_eq!(init_from_env("FAILPOINT_SHIM_TEST"), 2);
+        assert!(check("a.b").is_err());
+        assert_eq!(check("c.d"), Ok(()));
+        std::env::remove_var("FAILPOINT_SHIM_TEST");
+        clear();
+        assert_eq!(init_from_env("FAILPOINT_SHIM_TEST"), 0);
+    }
+}

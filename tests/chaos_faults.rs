@@ -1,0 +1,352 @@
+//! Chaos suite for the query-lifecycle layer: under every injected fault —
+//! `err`, `panic` and `delay` actions at each of the engine's fail points, at
+//! partitions {1, 2, 4} × threads {1, 2, 4} — execution must either return
+//! exactly the unfaulted scalar oracle's rows or a **typed** [`ExecError`];
+//! never a hang, never a raw panic out of `execute`, never a poisoned lock
+//! leaking to the caller. After the fault is cleared the *same* engine (same
+//! worker pool) must execute the query correctly again: one query's failure
+//! must not poison the pool.
+//!
+//! Limits are exercised directly too: a zero deadline, a one-byte budget and
+//! a pre-cancelled context must abort all three engines (scalar, batched,
+//! parallel) with the identical typed error.
+//!
+//! The fail-point registry is process-global, so every test that arms points
+//! holds a serializing gate for its whole body.
+
+use gopt::exec::{
+    BatchEngine, Engine, EngineConfig, ExecError, LimitReason, ParallelEngine, QueryContext,
+};
+use gopt::gir::pattern::Direction;
+use gopt::gir::physical::{PhysicalOp, PhysicalPlan};
+use gopt::gir::types::TypeConstraint;
+use gopt::gir::{AggFunc, Expr, SortDir};
+use gopt::graph::graph::GraphBuilder;
+use gopt::graph::schema::fig6_schema;
+use gopt::graph::{PartitionedGraph, PropValue, PropertyGraph};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialize tests that touch the process-global fail-point registry.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard: clears the registry on drop, even if an assertion unwinds.
+struct ClearOnDrop;
+impl Drop for ClearOnDrop {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+fn small_graph() -> PropertyGraph {
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut people = Vec::new();
+    for i in 0..40i64 {
+        people.push(
+            b.add_vertex_by_name("Person", vec![("age", PropValue::Int(20 + i % 7))])
+                .unwrap(),
+        );
+    }
+    for i in 0..people.len() {
+        for d in 1..4 {
+            let j = (i + d * 7) % people.len();
+            b.add_edge_by_name("Knows", people[i], people[j], vec![])
+                .unwrap();
+        }
+    }
+    b.finish()
+}
+
+/// A plan that crosses every fail point on the parallel engine: scan, two
+/// expands (shuffles), then the three pipeline breakers (group, sort, dedup).
+fn chaos_plan(g: &PropertyGraph) -> PhysicalPlan {
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows.clone(),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person.clone(),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "b".into(),
+        edge_alias: None,
+        edge_constraint: knows,
+        direction: Direction::Out,
+        dst_alias: "c".into(),
+        dst_constraint: person,
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("c", "age"), "age".into())],
+        aggs: vec![(AggFunc::Count, Expr::tag("a"), "cnt".into())],
+    });
+    plan.push(PhysicalOp::Dedup {
+        keys: vec![Expr::tag("age"), Expr::tag("cnt")],
+    });
+    plan.push(PhysicalOp::OrderLimit {
+        keys: vec![
+            (Expr::tag("cnt"), SortDir::Desc),
+            (Expr::tag("age"), SortDir::Asc),
+        ],
+        limit: Some(5),
+    });
+    plan
+}
+
+const NO_LIMIT: EngineConfig = EngineConfig {
+    partitions: None,
+    record_limit: None,
+};
+
+fn oracle_rows(g: &PropertyGraph, plan: &PhysicalPlan) -> Vec<Vec<PropValue>> {
+    Engine::new(g, NO_LIMIT)
+        .execute(plan)
+        .expect("oracle")
+        .rows()
+}
+
+const POINTS: [&str; 4] = [
+    "exec.operator",
+    "exec.morsel",
+    "exec.exchange",
+    "exec.merge",
+];
+const ACTIONS: [&str; 3] = ["err(chaos)", "panic(chaos)", "delay(1)"];
+
+/// Every (point, action, partitions, threads) combination terminates with the
+/// oracle's rows or a typed error matching the action — and after clearing
+/// the fault, the same engine instance (same pool) recovers.
+#[test]
+fn every_injected_fault_yields_typed_error_or_oracle_rows() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let want = oracle_rows(&g, &plan);
+    assert!(!want.is_empty(), "chaos plan produces rows");
+    for parts in [1usize, 2, 4] {
+        let sharded = PartitionedGraph::build(&g, parts);
+        for threads in [1usize, 2, 4] {
+            let engine = ParallelEngine::new(&sharded).with_threads(threads);
+            for point in POINTS {
+                for action in ACTIONS {
+                    failpoint::clear();
+                    failpoint::configure(point, action).unwrap();
+                    let got = engine.execute(&plan);
+                    let tag = format!("{point}={action} p={parts} t={threads}");
+                    match (&got, action) {
+                        (Ok(res), _) => {
+                            // a point that never fired (or only delayed) must
+                            // not perturb the result
+                            assert_eq!(res.rows(), want, "rows diverge under {tag}");
+                        }
+                        (Err(ExecError::Injected { point: p, msg }), a) if a.starts_with("err") => {
+                            assert_eq!(p, point, "wrong injection site under {tag}");
+                            assert_eq!(msg, "chaos", "wrong message under {tag}");
+                        }
+                        (Err(ExecError::WorkerPanicked { .. }), a) if a.starts_with("panic") => {}
+                        (err, _) => panic!("unexpected outcome under {tag}: {err:?}"),
+                    }
+                    if action.starts_with("delay") {
+                        assert!(got.is_ok(), "delay must not fail ({tag})");
+                    }
+                    // pool survival: clear the fault and replay on the SAME
+                    // engine — the pool must not be poisoned by the failure
+                    failpoint::clear();
+                    let replay = engine
+                        .execute(&plan)
+                        .unwrap_or_else(|e| panic!("pool did not recover after {tag}: {e}"));
+                    assert_eq!(replay.rows(), want, "recovery rows diverge after {tag}");
+                }
+            }
+        }
+    }
+}
+
+/// `err` at the operator boundary — the one point all three engines share —
+/// produces the *identical* typed error on scalar, batched and parallel
+/// execution; `panic` produces the identical `WorkerPanicked` naming the same
+/// operator.
+#[test]
+fn operator_faults_fail_identically_on_all_three_engines() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let sharded = PartitionedGraph::build(&g, 2);
+    for action in ["err(chaos)", "panic(chaos)"] {
+        let mut errors = Vec::new();
+        // re-arm per engine so `@N`-free hit counting starts fresh each run
+        failpoint::clear();
+        failpoint::configure("exec.operator", action).unwrap();
+        errors.push(Engine::new(&g, NO_LIMIT).execute(&plan).unwrap_err());
+        failpoint::clear();
+        failpoint::configure("exec.operator", action).unwrap();
+        errors.push(BatchEngine::new(&g, NO_LIMIT).execute(&plan).unwrap_err());
+        failpoint::clear();
+        failpoint::configure("exec.operator", action).unwrap();
+        errors.push(
+            ParallelEngine::new(&sharded)
+                .with_threads(2)
+                .execute(&plan)
+                .unwrap_err(),
+        );
+        failpoint::clear();
+        assert_eq!(errors[0], errors[1], "scalar vs batched under {action}");
+        assert_eq!(errors[0], errors[2], "scalar vs parallel under {action}");
+        match action {
+            "err(chaos)" => assert_eq!(
+                errors[0],
+                ExecError::Injected {
+                    point: "exec.operator".into(),
+                    msg: "chaos".into()
+                }
+            ),
+            _ => assert!(
+                matches!(errors[0], ExecError::WorkerPanicked { op: "Scan" }),
+                "panic at the first operator: {:?}",
+                errors[0]
+            ),
+        }
+    }
+}
+
+/// A fault striking only the Nth morsel (`@N`) fails that query with a typed
+/// error while an immediate replay without the fault is oracle-equal.
+#[test]
+fn nth_morsel_fault_is_reproducible_and_recoverable() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let want = oracle_rows(&g, &plan);
+    let sharded = PartitionedGraph::build(&g, 4);
+    let engine = ParallelEngine::new(&sharded).with_threads(4);
+    failpoint::configure("exec.morsel", "err(late)@3").unwrap();
+    let got = engine.execute(&plan);
+    match got {
+        Err(ExecError::Injected { ref point, ref msg }) => {
+            assert_eq!(point, "exec.morsel");
+            assert_eq!(msg, "late");
+        }
+        other => panic!("expected the third morsel to fail: {other:?}"),
+    }
+    failpoint::clear();
+    assert_eq!(engine.execute(&plan).unwrap().rows(), want);
+}
+
+fn run_all_engines(
+    g: &PropertyGraph,
+    plan: &PhysicalPlan,
+    ctx: &QueryContext,
+) -> Vec<Result<Vec<Vec<PropValue>>, ExecError>> {
+    let sharded = PartitionedGraph::build(g, 2);
+    vec![
+        Engine::new(g, NO_LIMIT)
+            .execute_with_ctx(plan, ctx)
+            .map(|r| r.rows()),
+        BatchEngine::new(g, NO_LIMIT)
+            .execute_with_ctx(plan, ctx)
+            .map(|r| r.rows()),
+        ParallelEngine::new(&sharded)
+            .with_threads(2)
+            .execute_with_ctx(plan, ctx)
+            .map(|r| r.rows()),
+    ]
+}
+
+/// An expired deadline aborts all three engines with the identical typed
+/// error carrying the configured duration.
+#[test]
+fn zero_deadline_fails_identically_everywhere() {
+    let _gate = serial();
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let ctx = QueryContext::new().with_deadline_millis(0);
+    for (i, r) in run_all_engines(&g, &plan, &ctx).into_iter().enumerate() {
+        assert_eq!(
+            r.unwrap_err(),
+            ExecError::LimitExceeded(LimitReason::Deadline { millis: 0 }),
+            "engine #{i}"
+        );
+    }
+}
+
+/// A one-byte budget aborts all three engines with the identical typed error
+/// carrying the configured bound (the engines' byte *heuristics* differ, but
+/// any real allocation blows a one-byte budget on every one of them).
+#[test]
+fn tiny_budget_fails_identically_everywhere() {
+    let _gate = serial();
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let ctx = QueryContext::new().with_budget_bytes(1);
+    for (i, r) in run_all_engines(&g, &plan, &ctx).into_iter().enumerate() {
+        assert_eq!(
+            r.unwrap_err(),
+            ExecError::LimitExceeded(LimitReason::Budget { bytes: 1 }),
+            "engine #{i}"
+        );
+    }
+}
+
+/// A generous budget is charged without firing, and the metered total is
+/// identical wherever the per-engine heuristics coincide by construction —
+/// here we only assert it is non-zero and the query succeeds on all engines.
+#[test]
+fn generous_budget_meters_without_firing() {
+    let _gate = serial();
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let want = oracle_rows(&g, &plan);
+    let ctx = QueryContext::new().with_budget_bytes(1 << 30);
+    for (i, r) in run_all_engines(&g, &plan, &ctx).into_iter().enumerate() {
+        assert_eq!(r.unwrap(), want, "engine #{i}");
+    }
+    assert!(ctx.bytes_charged() > 0, "budget accounting metered nothing");
+}
+
+/// A pre-cancelled context aborts all three engines before any work.
+#[test]
+fn cancelled_context_fails_identically_everywhere() {
+    let _gate = serial();
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let ctx = QueryContext::new();
+    ctx.cancel();
+    for (i, r) in run_all_engines(&g, &plan, &ctx).into_iter().enumerate() {
+        assert_eq!(
+            r.unwrap_err(),
+            ExecError::LimitExceeded(LimitReason::Cancelled),
+            "engine #{i}"
+        );
+    }
+}
+
+/// The unified record limit aborts all three engines with the identical typed
+/// error embedding the configured bound (satellite: `RecordLimitExceeded` is
+/// folded into `LimitReason::Records`).
+#[test]
+fn record_limit_fails_identically_everywhere() {
+    let _gate = serial();
+    let g = small_graph();
+    let plan = chaos_plan(&g);
+    let ctx = QueryContext::new().with_record_limit(Some(10));
+    for (i, r) in run_all_engines(&g, &plan, &ctx).into_iter().enumerate() {
+        assert_eq!(r.unwrap_err(), ExecError::record_limit(10), "engine #{i}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test for cooperative cancellation (satellite of the lifecycle
+//! layer): a context cancelled at a *random* check index — striking anywhere
+//! between "before the first operator" and "after the last morsel" — must
+//! never yield partial rows. On every backend the outcome is either
+//! `Err(LimitExceeded(Cancelled))` or the complete, oracle-equal result set;
+//! nothing in between.
+
+use gopt::exec::{
+    Backend, ExecError, LimitReason, PartitionedBackend, QueryContext, SingleMachineBackend,
+};
+use gopt::gir::pattern::Direction;
+use gopt::gir::physical::{PhysicalOp, PhysicalPlan};
+use gopt::gir::types::TypeConstraint;
+use gopt::gir::{AggFunc, Expr, SortDir};
+use gopt::graph::generator::{random_graph, RandomGraphConfig};
+use gopt::graph::schema::fig6_schema;
+use gopt::graph::{PropValue, PropertyGraph};
+use proptest::prelude::*;
+
+/// Scan → expand → group → sort: crosses operator boundaries, morsel
+/// checkpoints and every breaker accumulation loop.
+fn plan(g: &PropertyGraph) -> PhysicalPlan {
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: None,
+        edge_constraint: knows,
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person,
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::tag("b"), "b".into())],
+        aggs: vec![(AggFunc::Count, Expr::tag("a"), "cnt".into())],
+    });
+    plan.push(PhysicalOp::OrderLimit {
+        keys: vec![(Expr::tag("cnt"), SortDir::Desc)],
+        limit: None,
+    });
+    plan
+}
+
+fn check_backend<B: Backend>(
+    backend: &B,
+    g: &PropertyGraph,
+    plan: &PhysicalPlan,
+    oracle: &[Vec<PropValue>],
+    cancel_at: u64,
+    label: &str,
+) {
+    let ctx = QueryContext::new().cancel_after_checks(cancel_at);
+    match backend.execute_with_ctx(g, plan, &ctx) {
+        Ok(res) => prop_assert_eq_rows(res.rows(), oracle, cancel_at, label),
+        Err(ExecError::LimitExceeded(LimitReason::Cancelled)) => {}
+        Err(other) => panic!("{label}: cancel_at={cancel_at} produced a foreign error: {other}"),
+    }
+}
+
+fn prop_assert_eq_rows(
+    got: Vec<Vec<PropValue>>,
+    want: &[Vec<PropValue>],
+    cancel_at: u64,
+    label: &str,
+) {
+    assert_eq!(
+        got, want,
+        "{label}: cancel_at={cancel_at} returned partial or wrong rows"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cancellation_never_yields_partial_rows(
+        seed in 0u64..200,
+        cancel_at in 0u64..2_000,
+        parts in 1usize..4,
+        threads in 1usize..4,
+    ) {
+        let graph = random_graph(&fig6_schema(), &RandomGraphConfig {
+            vertices_per_label: 10,
+            edges_per_endpoint: 40,
+            seed,
+        });
+        let plan = plan(&graph);
+        let single = SingleMachineBackend::new();
+        let oracle = single
+            .execute(&graph, &plan)
+            .expect("unrestricted run succeeds")
+            .rows();
+        check_backend(&single, &graph, &plan, &oracle, cancel_at, "single-machine");
+        let parted = PartitionedBackend::new(parts).unwrap().with_threads(threads);
+        check_backend(&parted, &graph, &plan, &oracle, cancel_at, "partitioned");
+    }
+}
