@@ -1,0 +1,176 @@
+//! Serving-frontend benchmark (`BENCH_pr7.json`): what the `gopt_server`
+//! layer buys and costs.
+//!
+//! * `submit_cache_hit` / `submit_cache_miss` — one query end-to-end through
+//!   the server, with the plan served from the cache vs re-optimized every
+//!   time (the cache is cleared inside the miss loop). The gap is the
+//!   RBO/CBO pipeline the cache removes from the hot path.
+//! * the throughput probe (printed after timing) — the mixed qr+qt workload
+//!   replayed serially by one client vs concurrently by N clients multiplexed
+//!   over the *same* shared worker pool, reporting queries/sec and per-query
+//!   p50/p99 latency.
+//!
+//! Acceptance checks run after timing: hit latency strictly below miss
+//! latency (min-of-N), cache counters consistent with the loops, and — on
+//! multi-core hosts only, the CI container has one CPU — N-client throughput
+//! at least matching the serialized run on the same pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopt_core::INITIAL_STATS_VERSION;
+use gopt_glogue::{GLogue, GLogueConfig};
+use gopt_server::{Server, ServerConfig};
+use gopt_workloads::{generate_ldbc_graph, qr_queries, qt_queries, LdbcScale, NamedQuery};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("GOPT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn server(persons: usize, clients: usize) -> Server {
+    let graph = Arc::new(generate_ldbc_graph(&LdbcScale { persons, seed: 42 }));
+    let glogue = Arc::new(GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(500),
+            seed: 7,
+        },
+    ));
+    Server::new(
+        graph,
+        glogue,
+        ServerConfig {
+            partitions: 2,
+            threads: 2,
+            max_concurrent: clients.max(1),
+            queue_capacity: 4 * clients.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server")
+}
+
+/// Replay the workload `rounds` times from `clients` concurrent sessions,
+/// returning (total wall-clock micros, sorted per-query latencies in micros).
+fn replay(
+    server: &Server,
+    queries: &[NamedQuery],
+    clients: usize,
+    rounds: usize,
+) -> (u128, Vec<u128>) {
+    let wall = Instant::now();
+    let mut lat: Vec<u128> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let session = server.session();
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds * queries.len());
+                    for r in 0..rounds {
+                        for i in 0..queries.len() {
+                            let q = &queries[(i + c + r) % queries.len()];
+                            let t = Instant::now();
+                            std::hint::black_box(session.submit(&q.text).expect("submit"));
+                            lat.push(t.elapsed().as_micros());
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    lat.sort_unstable();
+    (wall.elapsed().as_micros(), lat)
+}
+
+fn pct(sorted: &[u128], p: f64) -> u128 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn bench_server(c: &mut Criterion) {
+    let persons = if smoke() { 200 } else { 1000 };
+    let clients = 4usize;
+    let server = server(persons, clients);
+    let queries: Vec<NamedQuery> = qr_queries().into_iter().chain(qt_queries()).collect();
+    let q = &queries[0];
+    let session = server.session();
+    session.submit(&q.text).expect("warm-up");
+
+    c.bench_function("submit_cache_hit", |b| {
+        b.iter(|| std::hint::black_box(session.submit(&q.text).expect("hit")))
+    });
+    c.bench_function("submit_cache_miss", |b| {
+        b.iter(|| {
+            server.clear_plan_cache();
+            std::hint::black_box(session.submit(&q.text).expect("miss"))
+        })
+    });
+
+    // acceptance: the cache measurably works — min-of-N hit latency strictly
+    // below miss latency, and the counters moved the way the loops did
+    let reps = if smoke() { 5 } else { 25 };
+    let min_micros = |cold: bool| {
+        (0..reps)
+            .map(|_| {
+                if cold {
+                    server.clear_plan_cache();
+                }
+                let t = Instant::now();
+                let out = session.submit(&q.text).expect("probe");
+                assert_eq!(out.cache_hit, !cold, "probe expected cache_hit={}", !cold);
+                t.elapsed().as_micros()
+            })
+            .min()
+            .unwrap()
+    };
+    session.submit(&q.text).expect("re-warm");
+    let hit = min_micros(false);
+    let miss = min_micros(true);
+    assert!(
+        hit < miss,
+        "cache hit ({hit}us) not faster than miss ({miss}us)"
+    );
+    let m = server.cache_metrics();
+    assert!(m.hits > 0 && m.misses > 0, "counters did not move: {m:?}");
+    assert_eq!(server.stats_version(), INITIAL_STATS_VERSION);
+
+    // throughput: serialized vs N clients on the SAME pool, hot cache
+    let rounds = if smoke() { 2 } else { 10 };
+    for q in &queries {
+        session.submit(&q.text).expect("cache warm");
+    }
+    let (serial_wall, serial_lat) = replay(&server, &queries, 1, clients * rounds);
+    let (conc_wall, conc_lat) = replay(&server, &queries, clients, rounds);
+    let total = (clients * rounds * queries.len()) as f64;
+    let serial_qps = total / (serial_wall as f64 / 1e6);
+    let conc_qps = total / (conc_wall as f64 / 1e6);
+    println!(
+        "serialized: {serial_qps:.0} q/s (p50 {}us, p99 {}us) | {clients} clients: \
+         {conc_qps:.0} q/s (p50 {}us, p99 {}us) | speedup {:.2}x",
+        pct(&serial_lat, 0.50),
+        pct(&serial_lat, 0.99),
+        pct(&conc_lat, 0.50),
+        pct(&conc_lat, 0.99),
+        conc_qps / serial_qps
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        assert!(
+            conc_qps >= serial_qps,
+            "{clients} clients ({conc_qps:.0} q/s) slower than one serialized \
+             client ({serial_qps:.0} q/s) on {cores} cores"
+        );
+    }
+    assert_eq!(server.admission_metrics().running, 0, "a permit leaked");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_server
+}
+criterion_main!(benches);

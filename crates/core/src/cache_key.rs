@@ -1,0 +1,100 @@
+//! Plan-cache keys derived from normalized logical plans.
+//!
+//! A serving frontend wants to run the RBO/CBO pipeline once per query
+//! *shape*, not once per request. The key that makes this safe has two parts:
+//!
+//! * the **shape** — the canonical encoding of the parsed [`LogicalPlan`]
+//!   ([`LogicalPlan::encode`]): parsing already normalizes away whitespace and
+//!   surface syntax, and the encoding renumbers node ids densely, so two
+//!   requests whose plans are structurally identical (same patterns,
+//!   predicates, projections, ordering — everything that feeds the optimizer)
+//!   share one shape string. Tag names deliberately stay in the shape: the
+//!   optimized physical plan embeds aliases, so a plan cached for `MATCH (a)`
+//!   must never be served for `MATCH (x)`.
+//! * the **stats version** — a caller-managed counter identifying the
+//!   [`GraphStats`](gopt_graph::GraphStats) snapshot the optimizer
+//!   saw. The CBO's choices are a function of the statistics; when they
+//!   change, every cached plan derived from the old snapshot is stale (still
+//!   *correct* to execute, but no longer the plan the optimizer would pick).
+//!
+//! The cache itself lives with its owner (see the `gopt_server` crate); this
+//! module only defines the key so any frontend shares one notion of "same
+//! query".
+
+use gopt_gir::logical::LogicalPlan;
+use std::sync::Arc;
+
+/// The version counter value callers start from.
+pub const INITIAL_STATS_VERSION: u64 = 0;
+
+/// Identity of one optimizer invocation: a normalized query shape plus the
+/// statistics snapshot it was (or would be) optimized under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Canonical encoding of the logical plan (see [`plan_shape`]).
+    pub shape: Arc<str>,
+    /// Caller-managed [`GraphStats`](gopt_graph::GraphStats) snapshot
+    /// counter at optimization time.
+    pub stats_version: u64,
+}
+
+impl PlanCacheKey {
+    /// Key for `plan` under statistics snapshot `stats_version`.
+    pub fn new(plan: &LogicalPlan, stats_version: u64) -> PlanCacheKey {
+        PlanCacheKey {
+            shape: plan_shape(plan),
+            stats_version,
+        }
+    }
+}
+
+/// The normalized shape of a logical plan: its canonical encoding, shared
+/// behind an `Arc` because caches hold it both as map key and inside entries.
+pub fn plan_shape(plan: &LogicalPlan) -> Arc<str> {
+    Arc::from(plan.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopt_gir::expr::Expr;
+    use gopt_gir::logical::LogicalOp;
+    use gopt_gir::pattern::Pattern;
+    use gopt_gir::types::TypeConstraint;
+
+    fn match_plan(tag: &str) -> LogicalPlan {
+        let mut pattern = Pattern::new();
+        let a = pattern.add_vertex_tagged(tag, TypeConstraint::all());
+        let b = pattern.add_vertex_tagged("b", TypeConstraint::all());
+        pattern.add_edge(a, b, TypeConstraint::all());
+        let mut plan = LogicalPlan::new();
+        let m = plan.add(LogicalOp::Match { pattern }, vec![]);
+        plan.add(
+            LogicalOp::Project {
+                items: vec![(Expr::tag(tag), tag.to_string())],
+            },
+            vec![m],
+        );
+        plan
+    }
+
+    #[test]
+    fn same_shape_same_key_different_version_different_key() {
+        let k1 = PlanCacheKey::new(&match_plan("a"), 0);
+        let k2 = PlanCacheKey::new(&match_plan("a"), 0);
+        assert_eq!(k1, k2);
+        let bumped = PlanCacheKey::new(&match_plan("a"), 1);
+        assert_ne!(k1, bumped);
+        assert_eq!(k1.shape, bumped.shape);
+    }
+
+    #[test]
+    fn tag_renames_change_the_shape() {
+        // aliases are part of the emitted physical plan, so `a` and `x`
+        // must not share a cache entry even though the structure matches
+        assert_ne!(
+            PlanCacheKey::new(&match_plan("a"), 0).shape,
+            PlanCacheKey::new(&match_plan("x"), 0).shape
+        );
+    }
+}

@@ -27,6 +27,7 @@
 //! that follows the user-written order (`GsRuleOnlyPlanner`), and a `RandomPlanner`.
 
 pub mod baseline;
+pub mod cache_key;
 pub mod cbo;
 pub mod convert;
 pub mod error;
@@ -35,6 +36,7 @@ pub mod rbo;
 pub mod type_infer;
 
 pub use baseline::{GsRuleOnlyPlanner, NeoPlanner, RandomPlanner};
+pub use cache_key::{plan_shape, PlanCacheKey, INITIAL_STATS_VERSION};
 pub use cbo::{
     ExpandStrategy, GraphScopeSpec, Neo4jSpec, PatternPlan, PatternPlanner, PhysicalSpec,
 };

@@ -26,7 +26,7 @@ use crate::batch::DEFAULT_BATCH_SIZE;
 use crate::context::QueryContext;
 use crate::engine::{BatchEngine, Engine, EngineConfig, ExecResult};
 use crate::error::ExecError;
-use crate::parallel::ParallelEngine;
+use crate::parallel::{MorselPool, ParallelEngine};
 use gopt_gir::physical::PhysicalPlan;
 use gopt_graph::{PartitionedGraph, PropertyGraph};
 use parking_lot::Mutex;
@@ -179,6 +179,14 @@ pub struct PartitionedBackend {
     pub mode: ExecMode,
     /// Lazily built sharded graph, keyed by the source graph's identity.
     cache: ShardCache,
+    /// The shared morsel pool every batched execute runs on, spawned lazily
+    /// for `threads`-way parallelism and reused across calls — so repeated
+    /// queries skip thread spawn/teardown and *concurrent* queries multiplex
+    /// one set of workers with round-robin fairness.
+    pool: Arc<Mutex<Option<(usize, MorselPool)>>>,
+    /// Externally injected pool (overrides the lazy one) for callers that
+    /// share workers across several backends.
+    injected: Option<MorselPool>,
 }
 
 impl PartitionedBackend {
@@ -196,6 +204,8 @@ impl PartitionedBackend {
             record_limit: None,
             mode: ExecMode::default(),
             cache: Arc::new(Mutex::new(None)),
+            pool: Arc::new(Mutex::new(None)),
+            injected: None,
         })
     }
 
@@ -221,6 +231,40 @@ impl PartitionedBackend {
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Run batched executes on an externally owned shared [`MorselPool`]
+    /// instead of this backend's lazy one — for callers multiplexing several
+    /// backends over one set of worker threads.
+    pub fn with_pool(mut self, pool: &MorselPool) -> Self {
+        self.injected = Some(pool.clone());
+        self
+    }
+
+    /// The shared pool batched executes run on: the injected one if present,
+    /// otherwise a pool sized for [`threads`](Self::threads)-way parallelism,
+    /// spawned on first use and reused across (and shared by concurrent)
+    /// execute calls.
+    pub fn pool(&self) -> MorselPool {
+        if let Some(p) = &self.injected {
+            return p.clone();
+        }
+        let workers = self.threads.max(1) - 1;
+        let mut slot = self.pool.lock();
+        match slot.as_ref() {
+            Some((w, p)) if *w == workers => p.clone(),
+            _ => {
+                let p = MorselPool::new(workers);
+                *slot = Some((workers, p.clone()));
+                p
+            }
+        }
+    }
+
+    /// Build (or rebuild) the shard cache for `graph` up front, so the first
+    /// query does not pay the sharding cost — a server warm-up hook.
+    pub fn prepare(&self, graph: &PropertyGraph) {
+        self.sharded(graph);
     }
 
     /// The sharded form of `graph`, built on first use and cached.
@@ -274,6 +318,7 @@ impl Backend for PartitionedBackend {
                 ParallelEngine::new(&sharded)
                     .with_threads(self.threads)
                     .with_batch_size(batch_size)
+                    .with_pool(&self.pool())
                     .execute_with_ctx(plan, ctx)
             }
         }
@@ -374,6 +419,40 @@ mod tests {
                 single.execute(g, &plan).unwrap().sorted_rows()
             );
         }
+    }
+
+    #[test]
+    fn concurrent_executes_share_one_pool_and_agree_with_solo_runs() {
+        let g = random_graph(&fig6_schema(), &RandomGraphConfig::default());
+        let plan = simple_plan(&g);
+        let backend = PartitionedBackend::new(4).unwrap().with_threads(3);
+        let solo = backend.execute(&g, &plan).unwrap();
+        // the pool is spawned once and reused across calls
+        assert_eq!(backend.pool().workers(), 2);
+        std::thread::scope(|s| {
+            let joins: Vec<_> = (0..4)
+                .map(|_| {
+                    let (backend, g, plan) = (&backend, &g, &plan);
+                    s.spawn(move || backend.execute(g, plan).unwrap())
+                })
+                .collect();
+            for j in joins {
+                let res = j.join().unwrap();
+                assert_eq!(res.rows(), solo.rows());
+                assert_eq!(res.stats.comm_records, solo.stats.comm_records);
+            }
+        });
+        // an injected pool overrides the lazy one
+        let ext = MorselPool::new(1);
+        let with_ext = PartitionedBackend::new(2).unwrap().with_pool(&ext);
+        assert_eq!(with_ext.pool().workers(), 1);
+        assert_eq!(
+            with_ext.execute(&g, &plan).unwrap().rows(),
+            SingleMachineBackend::new()
+                .execute(&g, &plan)
+                .unwrap()
+                .rows()
+        );
     }
 
     #[test]

@@ -177,6 +177,15 @@ impl QueryContext {
         }
     }
 
+    /// Time remaining until the configured deadline: `None` when no deadline
+    /// is set, `Some(Duration::ZERO)` once it has passed. Admission layers
+    /// use this to bound how long a queued query may wait for a pool slot.
+    pub fn time_left(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|(at, _)| at.saturating_duration_since(Instant::now()))
+    }
+
     /// Total bytes metered so far.
     pub fn bytes_charged(&self) -> u64 {
         self.inner.bytes.load(Ordering::Relaxed)
@@ -296,8 +305,11 @@ mod tests {
         let ctx = QueryContext::new().with_deadline_millis(0);
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(ctx.check(), Err(LimitReason::Deadline { millis: 0 }));
+        assert_eq!(ctx.time_left(), Some(Duration::ZERO));
         let far = QueryContext::new().with_deadline_millis(60_000);
         assert_eq!(far.check(), Ok(()));
+        assert!(far.time_left().unwrap() > Duration::from_secs(50));
+        assert_eq!(QueryContext::new().time_left(), None);
     }
 
     #[test]

@@ -75,5 +75,5 @@ pub use batch::{
 pub use context::QueryContext;
 pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
 pub use error::{ExecError, LimitReason};
-pub use parallel::ParallelEngine;
+pub use parallel::{MorselPool, ParallelEngine};
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -84,9 +84,9 @@ use std::time::Instant;
 // Worker pool
 // ---------------------------------------------------------------------------
 
-/// A type-erased reference to the current phase's task closure. The pointer
-/// is only dereferenced while [`WorkerPool::run_phase`] is blocked on the
-/// phase, which keeps the borrowed closure alive.
+/// A type-erased reference to one phase's task closure. The pointer is only
+/// dereferenced while [`WorkerPool::run_phase`] is blocked on that phase,
+/// which keeps the borrowed closure alive.
 #[derive(Clone, Copy)]
 struct TaskRef {
     data: *const (),
@@ -97,18 +97,20 @@ struct TaskRef {
 // of one phase; `run_phase` does not return until every index completed.
 unsafe impl Send for TaskRef {}
 
-struct PoolState {
-    task: Option<TaskRef>,
+/// One in-flight phase: a batch of index-addressed tasks submitted by one
+/// query. Several phases from different queries coexist on a shared pool.
+struct PhaseState {
+    task: TaskRef,
     count: usize,
     next: usize,
     active: usize,
-    shutdown: bool,
-    /// First panic payload raised by a task of the current phase; re-thrown
-    /// on the calling thread once the phase has drained.
+    /// First panic payload raised by a task of this phase; re-thrown on the
+    /// submitting thread once the phase has drained. Confined to this phase:
+    /// other queries' phases keep running.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
-impl PoolState {
+impl PhaseState {
     /// Record a task panic: keep the first payload and fast-forward the
     /// cursor so no further task of this phase starts (in-flight tasks
     /// finish; the phase result is discarded by the re-thrown panic anyway).
@@ -117,6 +119,44 @@ impl PoolState {
             self.panic = Some(payload);
         }
         self.next = self.count;
+    }
+
+    /// Every task handed out and none still running.
+    fn drained(&self) -> bool {
+        self.next >= self.count && self.active == 0
+    }
+}
+
+struct PoolState {
+    /// Slot-addressed in-flight phases (`None` = free slot). Each executing
+    /// query contributes at most one phase at a time, so the vector stays as
+    /// small as the peak query concurrency.
+    phases: Vec<Option<PhaseState>>,
+    /// Round-robin cursor: workers resume scanning at the slot after the one
+    /// they last drew from, so concurrent queries' morsels interleave fairly
+    /// instead of one query monopolizing the workers.
+    rr: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    /// Claim one task, scanning phases round-robin from the cursor. Returns
+    /// `(slot, task, index)`; `None` when no phase has work left.
+    fn claim(&mut self) -> Option<(usize, TaskRef, usize)> {
+        let n = self.phases.len();
+        for off in 0..n {
+            let slot = (self.rr + off) % n;
+            if let Some(ph) = self.phases[slot].as_mut() {
+                if ph.next < ph.count {
+                    let i = ph.next;
+                    ph.next += 1;
+                    ph.active += 1;
+                    self.rr = (slot + 1) % n;
+                    return Some((slot, ph.task, i));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -130,6 +170,13 @@ struct PoolShared {
 /// runs `f(0) .. f(n-1)` across the workers (the calling thread participates)
 /// and returns once all indices completed. With zero workers everything runs
 /// inline on the caller, giving a lock-free single-threaded baseline.
+///
+/// Phases from *different* callers may overlap: each `run_phase` call
+/// registers its own phase, workers drain the registered phases round-robin
+/// (one task per turn), and the submitting thread only ever takes tasks from
+/// its own phase — so every concurrent query makes progress even when the
+/// dedicated workers are busy elsewhere, and a panic poisons only the phase
+/// that raised it.
 pub(crate) struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -139,12 +186,9 @@ impl WorkerPool {
     pub(crate) fn new(workers: usize) -> WorkerPool {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
-                task: None,
-                count: 0,
-                next: 0,
-                active: 0,
+                phases: Vec::new(),
+                rr: 0,
                 shutdown: false,
-                panic: None,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -158,12 +202,18 @@ impl WorkerPool {
         WorkerPool { shared, handles }
     }
 
+    /// Dedicated worker threads (the submitting thread always adds one more).
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
     /// Run one phase of `count` tasks. Blocks until every task completed, so
-    /// `f` may borrow from the caller's stack.
+    /// `f` may borrow from the caller's stack. Safe to call from several
+    /// threads at once: each call is its own phase.
     ///
     /// A panicking task poisons only this phase: no further task of the phase
     /// starts, in-flight tasks drain, and the first panic payload comes back
-    /// as `Err` — the pool itself stays healthy for subsequent phases.
+    /// as `Err` — the pool itself stays healthy for every other phase.
     pub(crate) fn run_phase<F: Fn(usize) + Sync>(
         &self,
         count: usize,
@@ -186,44 +236,58 @@ impl WorkerPool {
             data: f as *const F as *const (),
             call: trampoline::<F>,
         };
-        {
+        let slot = {
             let mut st = self.shared.state.lock();
-            debug_assert!(st.task.is_none() && st.active == 0, "phases never overlap");
-            st.task = Some(task);
-            st.count = count;
-            st.next = 0;
+            let slot = st
+                .phases
+                .iter()
+                .position(Option::is_none)
+                .unwrap_or_else(|| {
+                    st.phases.push(None);
+                    st.phases.len() - 1
+                });
+            st.phases[slot] = Some(PhaseState {
+                task,
+                count,
+                next: 0,
+                active: 0,
+                panic: None,
+            });
             self.shared.work.notify_all();
-        }
-        // the calling thread participates in its own phase
+            slot
+        };
+        // The submitting thread participates, but only in its own phase:
+        // draining another query's morsels here could block this query behind
+        // arbitrary foreign work (and deadlock if that work waited on us).
         loop {
             let i = {
                 let mut st = self.shared.state.lock();
-                if st.next >= st.count {
+                let ph = st.phases[slot].as_mut().expect("own phase live");
+                if ph.next >= ph.count {
                     break;
                 }
-                st.next += 1;
-                st.active += 1;
-                st.next - 1
+                ph.next += 1;
+                ph.active += 1;
+                ph.next - 1
             };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
             let mut st = self.shared.state.lock();
-            st.active -= 1;
+            let ph = st.phases[slot].as_mut().expect("own phase live");
+            ph.active -= 1;
             if let Err(payload) = outcome {
-                st.record_panic(payload);
+                ph.record_panic(payload);
             }
-            if st.next >= st.count && st.active == 0 {
+            if ph.drained() {
                 self.shared.done.notify_all();
             }
         }
         let mut st = self.shared.state.lock();
-        while st.active > 0 {
+        while st.phases[slot].as_ref().expect("own phase live").active > 0 {
             st = self.shared.done.wait(st);
         }
-        st.task = None;
-        st.count = 0;
-        st.next = 0;
+        let ph = st.phases[slot].take().expect("own phase live");
         // surface a task panic as a value, confined to this phase
-        match st.panic.take() {
+        match ph.panic {
             Some(payload) => Err(payload),
             None => Ok(()),
         }
@@ -245,36 +309,83 @@ impl Drop for WorkerPool {
 
 fn worker_loop(sh: &PoolShared) {
     loop {
-        let (task, i) = {
+        let (slot, task, i) = {
             let mut st = sh.state.lock();
             loop {
                 if st.shutdown {
                     return;
                 }
-                if let Some(t) = st.task {
-                    if st.next < st.count {
-                        st.next += 1;
-                        st.active += 1;
-                        break (t, st.next - 1);
-                    }
+                if let Some(claim) = st.claim() {
+                    break claim;
                 }
                 st = sh.work.wait(st);
             }
         };
-        // SAFETY: see TaskRef — the closure outlives the phase. A panicking
-        // task must still decrement `active` (and wake the caller), or
+        // SAFETY: see TaskRef — the closure outlives its phase. A panicking
+        // task must still decrement `active` (and wake the submitter), or
         // run_phase would wait forever; the payload is re-thrown over there.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
             (task.call)(task.data, i)
         }));
         let mut st = sh.state.lock();
-        st.active -= 1;
+        let ph = st.phases[slot]
+            .as_mut()
+            .expect("phase lives until its submitter takes it");
+        ph.active -= 1;
         if let Err(payload) = outcome {
-            st.record_panic(payload);
+            ph.record_panic(payload);
         }
-        if st.next >= st.count && st.active == 0 {
+        if ph.drained() {
             sh.done.notify_all();
         }
+    }
+}
+
+/// A shareable fixed pool of morsel workers.
+///
+/// Cloning is cheap (`Arc`). Every engine handed the same `MorselPool` via
+/// [`ParallelEngine::with_pool`] submits its morsel phases to one set of
+/// worker threads; the workers drain the per-query phases round-robin (one
+/// morsel per phase per turn) so N concurrent queries share the machine
+/// fairly, and each submitting thread also works on its own query — no query
+/// can be starved by another. A worker panic is confined to the phase (and
+/// therefore the query) that raised it; the pool survives.
+#[derive(Clone)]
+pub struct MorselPool {
+    inner: Arc<WorkerPool>,
+}
+
+impl MorselPool {
+    /// Spawn a pool with `workers` dedicated threads. Zero workers is valid:
+    /// every phase then runs inline on its submitting thread.
+    pub fn new(workers: usize) -> MorselPool {
+        MorselPool {
+            inner: Arc::new(WorkerPool::new(workers)),
+        }
+    }
+
+    /// A pool sized for `threads`-way parallelism per query: `threads - 1`
+    /// dedicated workers, because the thread submitting a query always
+    /// participates in that query's phases.
+    pub fn for_threads(threads: usize) -> MorselPool {
+        MorselPool::new(threads.max(1) - 1)
+    }
+
+    /// Number of dedicated worker threads (excluding submitting threads).
+    pub fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    pub(crate) fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for MorselPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MorselPool")
+            .field("workers", &self.workers())
+            .finish()
     }
 }
 
@@ -385,9 +496,13 @@ pub struct ParallelEngine<'g> {
     record_limit: Option<u64>,
     threads: usize,
     batch_size: usize,
-    /// Worker pool, spawned lazily on the first execute and reused across
-    /// queries (concurrent `execute` calls on one engine serialize on it).
-    pool: Mutex<Option<WorkerPool>>,
+    /// Shared pool injected via [`with_pool`](Self::with_pool); when absent an
+    /// owned pool is spawned lazily on the first execute and reused. Either
+    /// way the lock is held only to fetch the handle — concurrent
+    /// `execute` calls interleave their morsels on the pool instead of
+    /// serializing, and every call keeps its own `ExecStats`.
+    shared: Option<MorselPool>,
+    owned: Mutex<Option<Arc<WorkerPool>>>,
 }
 
 impl<'g> ParallelEngine<'g> {
@@ -399,15 +514,25 @@ impl<'g> ParallelEngine<'g> {
             record_limit: None,
             threads: 1,
             batch_size: DEFAULT_BATCH_SIZE,
-            pool: Mutex::new(None),
+            shared: None,
+            owned: Mutex::new(None),
         }
     }
 
     /// Set the worker thread count (values below 1 are clamped to 1). Drops
-    /// an already-spawned pool so the next execute respawns at the new size.
+    /// an already-spawned owned pool so the next execute respawns at the new
+    /// size; ignored while a shared pool is injected.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
-        self.pool = Mutex::new(None);
+        self.owned = Mutex::new(None);
+        self
+    }
+
+    /// Run morsels on a shared [`MorselPool`] instead of an owned one, so
+    /// several engines (serving concurrent queries) multiplex one set of
+    /// worker threads with round-robin fairness between their phases.
+    pub fn with_pool(mut self, pool: &MorselPool) -> Self {
+        self.shared = Some(pool.clone());
         self
     }
 
@@ -450,9 +575,16 @@ impl<'g> ParallelEngine<'g> {
             return Err(ExecError::EmptyPlan);
         }
         let start = Instant::now();
-        let mut pool_slot = self.pool.lock();
-        let pool: &WorkerPool =
-            pool_slot.get_or_insert_with(|| WorkerPool::new(self.threads.saturating_sub(1)));
+        // fetch the pool handle without holding any lock for the query's
+        // duration: concurrent executes interleave on the (shared) pool
+        let pool: Arc<WorkerPool> =
+            match &self.shared {
+                Some(p) => Arc::clone(p.worker_pool()),
+                None => Arc::clone(self.owned.lock().get_or_insert_with(|| {
+                    Arc::new(WorkerPool::new(self.threads.saturating_sub(1)))
+                })),
+            };
+        let pool = &*pool;
         let mut stats = ExecStats::default();
         let order = plan.topo_order();
         let mut outputs: Vec<Option<NodeOut>> = Vec::with_capacity(plan.len());
@@ -1997,5 +2129,115 @@ mod tests {
         // several phases reuse the same workers
         let sum: usize = par_map(&pool, 100, |i| i).unwrap().into_iter().sum();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn concurrent_phases_from_different_threads_interleave_correctly() {
+        let pool = Arc::new(WorkerPool::new(2));
+        // a barrier both phases must reach proves they are in flight at once;
+        // each submitting thread can always run its own tasks, so the
+        // rendezvous cannot deadlock regardless of worker scheduling
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let mut joins = Vec::new();
+        for caller in 0..2usize {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            joins.push(std::thread::spawn(move || {
+                par_map(&pool, 64, |i| {
+                    if i == 0 {
+                        gate.wait();
+                    }
+                    i * 10 + caller
+                })
+                .unwrap()
+            }));
+        }
+        for (caller, j) in joins.into_iter().enumerate() {
+            let got = j.join().unwrap();
+            assert_eq!(got, (0..64).map(|i| i * 10 + caller).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_in_one_phase_never_poisons_a_concurrent_phase() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let bad = {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                par_map(&pool, 32, |i| {
+                    if i == 0 {
+                        gate.wait();
+                    }
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        };
+        let good = {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                par_map(&pool, 200, |i| {
+                    if i == 0 {
+                        gate.wait();
+                    }
+                    i + 1
+                })
+            })
+        };
+        assert!(bad.join().unwrap().is_err(), "the panic reaches its caller");
+        let ok = good.join().unwrap().unwrap();
+        assert_eq!(ok, (1..=200).collect::<Vec<_>>(), "bystander unharmed");
+        // the pool survives both
+        assert_eq!(par_map(&pool, 4, |i| i).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_queries_on_a_shared_pool_keep_stats_isolated() {
+        // regression: per-query ExecStats (intermediate/peak/comm counters)
+        // must not cross-contaminate when N queries share one MorselPool
+        let g = graph();
+        let pg = PartitionedGraph::build(&g, 2);
+        let chain = chain_plan(&g);
+        let mut short = PhysicalPlan::new();
+        short.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: TypeConstraint::basic(g.schema().vertex_label("Person").unwrap()),
+            predicate: None,
+        });
+        let pool = MorselPool::new(3);
+        let engine = ParallelEngine::new(&pg).with_batch_size(4).with_pool(&pool);
+        let solo_chain = engine.execute(&chain).unwrap();
+        let solo_short = engine.execute(&short).unwrap();
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for t in 0..4usize {
+                let engine = &engine;
+                let (plan, solo) = if t % 2 == 0 {
+                    (&chain, &solo_chain)
+                } else {
+                    (&short, &solo_short)
+                };
+                joins.push(s.spawn(move || {
+                    for _ in 0..8 {
+                        let res = engine.execute(plan).unwrap();
+                        assert_eq!(res.rows(), solo.rows());
+                        assert_eq!(
+                            res.stats.intermediate_records,
+                            solo.stats.intermediate_records
+                        );
+                        assert_eq!(res.stats.peak_records, solo.stats.peak_records);
+                        assert_eq!(res.stats.comm_records, solo.stats.comm_records);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
     }
 }

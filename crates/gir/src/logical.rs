@@ -268,6 +268,32 @@ impl LogicalPlan {
             .collect()
     }
 
+    /// Canonical line-oriented encoding of the plan: one line per operator
+    /// reachable from the root, in topological order, with node ids
+    /// renumbered densely — so structurally identical plans encode
+    /// identically regardless of arena insertion order or unreachable
+    /// leftovers. Unlike [`explain`](Self::explain) (a human rendering that
+    /// elides detail), every operator field participates via `Debug`, which
+    /// is deterministic here: plan types hold no hash-ordered containers.
+    /// This is the normalized query shape plan caches key on.
+    pub fn encode(&self) -> String {
+        let order = self.topo_order();
+        let mut renum = vec![usize::MAX; self.nodes.len()];
+        let mut s = String::new();
+        for (new_id, id) in order.iter().enumerate() {
+            renum[id.0] = new_id;
+            let node = &self.nodes[id.0];
+            let inputs: Vec<String> = node.inputs.iter().map(|i| renum[i.0].to_string()).collect();
+            s.push_str(&format!(
+                "#{new_id} {} [{}] {:?}\n",
+                node.op.name(),
+                inputs.join(","),
+                node.op
+            ));
+        }
+        s
+    }
+
     /// Multi-line textual rendering of the plan (root last), for debugging and EXPLAIN
     /// output.
     pub fn explain(&self) -> String {
@@ -423,6 +449,52 @@ mod tests {
         assert!(text.contains("GROUP"));
         assert!(text.contains("ORDER"));
         assert_eq!(plan.to_string(), text);
+    }
+
+    #[test]
+    fn encode_is_insensitive_to_arena_layout_but_not_to_content() {
+        let plan = simple_plan();
+        // same structure built with a dead node in the arena: same encoding
+        let mut padded = LogicalPlan::new();
+        padded.add(LogicalOp::Limit { count: 99 }, vec![]); // unreachable
+        let m = padded.add(
+            LogicalOp::Match {
+                pattern: simple_pattern(),
+            },
+            vec![],
+        );
+        let s = padded.add(
+            LogicalOp::Select {
+                predicate: Expr::prop_eq("v2", "name", "China"),
+            },
+            vec![m],
+        );
+        let g = padded.add(
+            LogicalOp::Group {
+                keys: vec![(Expr::tag("v1"), "v1".into())],
+                aggs: vec![(AggFunc::Count, Expr::tag("v2"), "cnt".into())],
+            },
+            vec![s],
+        );
+        padded.add(
+            LogicalOp::Order {
+                keys: vec![(Expr::tag("cnt"), SortDir::Desc)],
+                limit: Some(10),
+            },
+            vec![g],
+        );
+        assert_eq!(plan.encode(), padded.encode());
+        // any semantic difference must change the encoding
+        let mut other = simple_plan();
+        if let LogicalOp::Order { limit, .. } = other.op_mut(other.root()) {
+            *limit = Some(11);
+        }
+        assert_ne!(plan.encode(), other.encode());
+        let mut pred = simple_plan();
+        if let LogicalOp::Select { predicate } = pred.op_mut(LogicalNodeId(1)) {
+            *predicate = Expr::prop_eq("v2", "name", "India");
+        }
+        assert_ne!(plan.encode(), pred.encode());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Admission control: a concurrency limit with a bounded FIFO wait queue.
+//!
+//! The server multiplexes every admitted query over one shared
+//! [`MorselPool`](gopt_exec::MorselPool); the pool already schedules admitted
+//! queries fairly (round-robin over their morsel phases), so admission's job
+//! is only to bound *how many* queries run at once and *how many* may wait.
+//! Tickets are FIFO: the queue head is admitted as soon as a slot frees.
+//! Beyond `queue_capacity` waiters, new queries are rejected immediately with
+//! a typed overload error instead of piling up.
+//!
+//! A queued query keeps honouring its [`QueryContext`]: cancellation or an
+//! expired deadline while waiting removes the ticket from the queue (the
+//! queries behind it move up) and surfaces the same typed error the engines
+//! would raise mid-flight.
+
+use crate::ServerError;
+use gopt_exec::{ExecError, QueryContext};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Cadence at which a queued query re-checks its context while no slot has
+/// been signalled; bounds how stale a cancellation/deadline can go unnoticed.
+const WAIT_TICK: Duration = Duration::from_millis(1);
+
+#[derive(Debug, Default)]
+struct AdmState {
+    running: usize,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    admitted: u64,
+    rejected: u64,
+    enqueued: u64,
+    abandoned: u64,
+    peak_queued: usize,
+}
+
+/// Point-in-time admission counters, exposed for tests and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionMetrics {
+    /// Queries currently executing.
+    pub running: usize,
+    /// Queries currently waiting for a slot.
+    pub queued: usize,
+    /// Total queries ever admitted.
+    pub admitted: u64,
+    /// Total queries rejected because the wait queue was full.
+    pub rejected: u64,
+    /// Total queries that had to wait in the queue before admission.
+    pub enqueued: u64,
+    /// Total queued queries that left the queue unadmitted (cancelled or
+    /// deadline-expired while waiting).
+    pub abandoned: u64,
+    /// High-water mark of the wait-queue length.
+    pub peak_queued: usize,
+}
+
+pub(crate) struct Admission {
+    limit: usize,
+    queue_capacity: usize,
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+/// RAII slot: dropping it frees the slot and wakes the queue head.
+pub(crate) struct Permit<'a>(&'a Admission);
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        st.running -= 1;
+        drop(st);
+        self.0.cv.notify_all();
+    }
+}
+
+impl Admission {
+    pub(crate) fn new(limit: usize, queue_capacity: usize) -> Admission {
+        Admission {
+            limit: limit.max(1),
+            queue_capacity,
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wake every waiter so it re-checks its context — called after a
+    /// session-level cancellation so queued queries notice promptly.
+    pub(crate) fn poke(&self) {
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn metrics(&self) -> AdmissionMetrics {
+        let st = self.state.lock();
+        AdmissionMetrics {
+            running: st.running,
+            queued: st.queue.len(),
+            admitted: st.admitted,
+            rejected: st.rejected,
+            enqueued: st.enqueued,
+            abandoned: st.abandoned,
+            peak_queued: st.peak_queued,
+        }
+    }
+
+    /// Acquire an execution slot, waiting FIFO behind earlier arrivals.
+    ///
+    /// Fails fast with [`ServerError::Overloaded`] when the wait queue is
+    /// already at capacity, and with the context's typed limit error if `ctx`
+    /// is cancelled or expires while queued.
+    pub(crate) fn acquire(&self, ctx: &QueryContext) -> Result<Permit<'_>, ServerError> {
+        let mut st = self.state.lock();
+        // fast path: a free slot and nobody waiting ahead of us
+        if st.running < self.limit && st.queue.is_empty() {
+            st.running += 1;
+            st.admitted += 1;
+            return Ok(Permit(self));
+        }
+        if st.queue.len() >= self.queue_capacity {
+            st.rejected += 1;
+            return Err(ServerError::Overloaded {
+                max_concurrent: self.limit,
+                queue_capacity: self.queue_capacity,
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        st.enqueued += 1;
+        st.peak_queued = st.peak_queued.max(st.queue.len());
+        loop {
+            if st.running < self.limit && st.queue.front() == Some(&ticket) {
+                st.queue.pop_front();
+                st.running += 1;
+                st.admitted += 1;
+                drop(st);
+                // a second slot may be free for the next ticket
+                self.cv.notify_all();
+                return Ok(Permit(self));
+            }
+            if let Err(reason) = ctx.check() {
+                st.queue.retain(|t| *t != ticket);
+                st.abandoned += 1;
+                drop(st);
+                self.cv.notify_all();
+                return Err(ServerError::Exec(ExecError::LimitExceeded(reason)));
+            }
+            // bounded wait so cancellation/deadline are honoured even without
+            // a wake-up; a shorter remaining deadline shortens the tick
+            let tick = match ctx.time_left() {
+                Some(left) if left < WAIT_TICK => left.max(Duration::from_micros(100)),
+                _ => WAIT_TICK,
+            };
+            (st, _) = self.cv.wait_for(st, tick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn slots_hand_over_fifo_and_metrics_track() {
+        let adm = Arc::new(Admission::new(1, 4));
+        let ctx = QueryContext::new();
+        let p1 = adm.acquire(&ctx).unwrap();
+        let adm2 = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || {
+            let ctx = QueryContext::new();
+            let _p = adm2.acquire(&ctx).unwrap();
+        });
+        // the waiter queues; releasing our permit admits it
+        while adm.metrics().queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(p1);
+        waiter.join().unwrap();
+        let m = adm.metrics();
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.enqueued, 1);
+        assert_eq!(m.running, 0);
+        assert_eq!(m.rejected, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_cancelled_waiters_leave() {
+        let adm = Admission::new(1, 0);
+        let ctx = QueryContext::new();
+        let _p = adm.acquire(&ctx).unwrap();
+        // zero queue capacity: a second query is rejected immediately
+        match adm.acquire(&ctx) {
+            Err(ServerError::Overloaded { queue_capacity, .. }) => assert_eq!(queue_capacity, 0),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // a cancelled context never admits and reports the typed error
+        let adm2 = Admission::new(1, 4);
+        let _hold = adm2.acquire(&QueryContext::new()).unwrap();
+        let cancelled = QueryContext::new();
+        cancelled.cancel();
+        match adm2.acquire(&cancelled) {
+            Err(ServerError::Exec(ExecError::LimitExceeded(_))) => {}
+            other => panic!("expected a limit error, got {other:?}"),
+        }
+        assert_eq!(adm2.metrics().abandoned, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! LRU plan cache keyed by query shape, invalidated by statistics version.
+//!
+//! The cache stores one optimized [`PhysicalPlan`] per normalized query shape
+//! (see [`gopt_core::plan_shape`]). Each entry remembers the
+//! [`GraphStats`](gopt_glogue::stats::GraphStats) snapshot version it was
+//! optimized under; a lookup whose current version differs evicts the entry
+//! and reports a miss, so a stale plan is never served after statistics
+//! change. Capacity is bounded with least-recently-used eviction.
+
+use gopt_gir::physical::PhysicalPlan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Point-in-time cache counters, exposed for tests and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Lookups that returned a plan optimized under the current statistics.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent or stale).
+    pub misses: u64,
+    /// Entries dropped because their statistics snapshot was outdated.
+    pub invalidations: u64,
+    /// Entries dropped to make room under the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum number of entries the cache may hold.
+    pub capacity: usize,
+}
+
+struct Entry {
+    plan: Arc<PhysicalPlan>,
+    stats_version: u64,
+    last_used: u64,
+}
+
+pub(crate) struct PlanCache {
+    capacity: usize,
+    entries: HashMap<Arc<str>, Entry>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            entries: HashMap::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Fetch the cached plan for `shape` if it was optimized under
+    /// `stats_version`; a version mismatch drops the stale entry.
+    pub(crate) fn lookup(&mut self, shape: &str, stats_version: u64) -> Option<Arc<PhysicalPlan>> {
+        match self.entries.get_mut(shape) {
+            Some(e) if e.stats_version == stats_version => {
+                self.stamp += 1;
+                e.last_used = self.stamp;
+                self.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            Some(_) => {
+                self.entries.remove(shape);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache `plan` for `shape` as optimized under `stats_version`, evicting
+    /// the least-recently-used entry if the cache is full.
+    pub(crate) fn insert(&mut self, shape: Arc<str>, stats_version: u64, plan: Arc<PhysicalPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&shape) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| Arc::clone(k))
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(
+            shape,
+            Entry {
+                plan,
+                stats_version,
+                last_used: self.stamp,
+            },
+        );
+    }
+
+    /// Drop every entry (explicit invalidation, e.g. after a schema change).
+    pub(crate) fn clear(&mut self) {
+        self.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    pub(crate) fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Arc<PhysicalPlan> {
+        Arc::new(PhysicalPlan::new())
+    }
+
+    fn shape(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_instead_of_serving_stale() {
+        let mut c = PlanCache::new(4);
+        assert!(c.lookup("q1", 0).is_none());
+        c.insert(shape("q1"), 0, plan());
+        assert!(c.lookup("q1", 0).is_some());
+        // stats moved on: the old entry must not be served, and is dropped
+        assert!(c.lookup("q1", 1).is_none());
+        let m = c.metrics();
+        assert_eq!((m.hits, m.misses, m.invalidations, m.len), (1, 2, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_len_within_capacity() {
+        let mut c = PlanCache::new(2);
+        c.insert(shape("a"), 0, plan());
+        c.insert(shape("b"), 0, plan());
+        // touch `a` so `b` becomes the LRU victim
+        assert!(c.lookup("a", 0).is_some());
+        c.insert(shape("c"), 0, plan());
+        assert_eq!(c.metrics().len, 2);
+        assert_eq!(c.metrics().evictions, 1);
+        assert!(c.lookup("a", 0).is_some());
+        assert!(c.lookup("b", 0).is_none());
+        assert!(c.lookup("c", 0).is_some());
+        // re-inserting an existing shape replaces in place, no eviction
+        c.insert(shape("c"), 0, plan());
+        assert_eq!(c.metrics().evictions, 1);
+        // zero capacity never stores anything
+        let mut z = PlanCache::new(0);
+        z.insert(shape("a"), 0, plan());
+        assert_eq!(z.metrics().len, 0);
+    }
+}

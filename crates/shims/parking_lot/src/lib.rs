@@ -58,6 +58,22 @@ impl Condvar {
         self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Block until notified or `timeout` elapses (whichever first), releasing
+    /// the lock while waiting. Returns the reacquired guard and whether the
+    /// wait timed out. Like [`wait`](Condvar::wait), spurious wake-ups are
+    /// possible and the condition must be re-checked either way.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) = self
+            .0
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (guard, res.timed_out())
+    }
+
     /// Wake one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -90,6 +106,14 @@ mod tests {
         }
         t.join().unwrap();
         assert!(*ready);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_a_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_guard, timed_out) = cv.wait_for(m.lock(), std::time::Duration::from_millis(1));
+        assert!(timed_out);
     }
 
     #[test]

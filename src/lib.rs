@@ -28,5 +28,8 @@ pub use gopt_parser as parser;
 /// The optimizer: RBO, type inference, CBO, PhysicalSpec, baselines.
 pub use gopt_core as core;
 
+/// Concurrent query-serving frontend (sessions, plan cache, admission).
+pub use gopt_server as server;
+
 /// LDBC-like workload generator and benchmark query sets.
 pub use gopt_workloads as workloads;

@@ -350,3 +350,153 @@ fn record_limit_fails_identically_everywhere() {
         assert_eq!(r.unwrap_err(), ExecError::record_limit(10), "engine #{i}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Chaos under concurrency: faults striking while the serving frontend has
+// several queries in flight on ONE shared worker pool. The poisoned query
+// must get a typed error; every bystander must return oracle-equal rows; and
+// the pool must serve the next wave of queries as if nothing happened.
+// ---------------------------------------------------------------------------
+
+use gopt::glogue::{GLogue, GLogueConfig};
+use gopt::server::{Server, ServerConfig, ServerError};
+use gopt::workloads::{generate_ldbc_graph, LdbcScale};
+use std::sync::{Arc, Barrier};
+
+const SERVED_Q: &str =
+    "MATCH (p:Person)-[:Knows]->(f:Person)-[:Knows]->(g:Person) RETURN p, g LIMIT 50";
+
+fn chaos_server() -> Server {
+    let graph = Arc::new(generate_ldbc_graph(&LdbcScale::tiny()));
+    let glogue = Arc::new(GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(300),
+            seed: 3,
+        },
+    ));
+    Server::new(
+        graph,
+        glogue,
+        ServerConfig {
+            partitions: 2,
+            threads: 2,
+            max_concurrent: 4,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server")
+}
+
+/// Submit `SERVED_Q` from `k` concurrent clients (released together) and
+/// return every outcome.
+fn concurrent_wave(server: &Server, k: usize) -> Vec<Result<Vec<Vec<PropValue>>, ServerError>> {
+    let start = Barrier::new(k);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..k)
+            .map(|_| {
+                let session = server.session();
+                let start = &start;
+                s.spawn(move || {
+                    start.wait();
+                    session.submit(SERVED_Q).map(|o| o.result.rows())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// A one-shot fault (`@1`: first hit only) armed while 4 queries run on the
+/// shared pool strikes at most one of them. For every point × {err, panic}:
+/// the poisoned query reports the matching typed error, every bystander's
+/// rows equal the unfaulted run, and a full clean wave follows on the same
+/// pool.
+#[test]
+fn one_shot_fault_under_concurrency_poisons_at_most_one_query() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let server = chaos_server();
+    // warm the plan cache so the wave contends on execution, not optimization
+    let want = server
+        .session()
+        .submit(SERVED_Q)
+        .expect("warm-up")
+        .result
+        .rows();
+    assert!(!want.is_empty(), "served query produces rows");
+    for point in POINTS {
+        for action in ["err(chaos)@1", "panic(chaos)@1"] {
+            failpoint::clear();
+            failpoint::configure(point, action).unwrap();
+            let tag = format!("{point}={action}");
+            let outcomes = concurrent_wave(&server, 4);
+            let mut failed = 0usize;
+            for out in &outcomes {
+                match out {
+                    Ok(rows) => assert_eq!(rows, &want, "bystander rows diverge under {tag}"),
+                    Err(ServerError::Exec(ExecError::Injected { point: p, msg })) => {
+                        assert!(action.starts_with("err"), "err under panic action ({tag})");
+                        assert_eq!(p, point, "wrong injection site under {tag}");
+                        assert_eq!(msg, "chaos", "wrong message under {tag}");
+                        failed += 1;
+                    }
+                    Err(ServerError::Exec(ExecError::WorkerPanicked { .. })) => {
+                        assert!(
+                            action.starts_with("panic"),
+                            "panic under err action ({tag})"
+                        );
+                        failed += 1;
+                    }
+                    Err(other) => panic!("foreign error under {tag}: {other:?}"),
+                }
+            }
+            // `@1` fires exactly once; a plan may skip a point (e.g. a merge
+            // that never runs), but the fault can never spread further
+            assert!(failed <= 1, "{failed} queries poisoned under {tag}");
+            failpoint::clear();
+            // pool survival: a full wave succeeds on the very same pool
+            for (i, out) in concurrent_wave(&server, 4).into_iter().enumerate() {
+                let rows = out.unwrap_or_else(|e| panic!("no recovery after {tag} (#{i}): {e}"));
+                assert_eq!(rows, want, "recovery rows diverge after {tag} (#{i})");
+            }
+            assert_eq!(
+                server.admission_metrics().running,
+                0,
+                "a permit leaked under {tag}"
+            );
+        }
+    }
+}
+
+/// The operator-boundary fault — hit by every plan — poisons *exactly* one of
+/// the concurrent queries, and the session bookkeeping comes out clean.
+#[test]
+fn operator_fault_under_concurrency_poisons_exactly_one_query() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let server = chaos_server();
+    let want = server
+        .session()
+        .submit(SERVED_Q)
+        .expect("warm-up")
+        .result
+        .rows();
+    failpoint::clear();
+    failpoint::configure("exec.operator", "err(chaos)@1").unwrap();
+    let outcomes = concurrent_wave(&server, 4);
+    let failed = outcomes.iter().filter(|o| o.is_err()).count();
+    assert_eq!(failed, 1, "exactly one query hits the one-shot fault");
+    for out in outcomes {
+        match out {
+            Ok(rows) => assert_eq!(rows, want),
+            Err(ServerError::Exec(ExecError::Injected { point, msg })) => {
+                assert_eq!(point, "exec.operator");
+                assert_eq!(msg, "chaos");
+            }
+            Err(other) => panic!("foreign error: {other:?}"),
+        }
+    }
+}

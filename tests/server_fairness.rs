@@ -1,0 +1,214 @@
+//! Cancellation and deadline fairness of the serving frontend's admission
+//! layer: cancelling a running query frees its slot promptly so a queued
+//! query is admitted; a queued query honours its own deadline instead of
+//! waiting forever; a full wait queue rejects with a typed overload error;
+//! and none of this ever touches a bystander's query.
+//!
+//! A `delay` fail point at the morsel checkpoint makes the slot-holding query
+//! slow without changing its semantics. The registry is process-global, so
+//! every test holds a serializing gate for its whole body.
+
+use gopt::exec::{ExecError, LimitReason};
+use gopt::glogue::{GLogue, GLogueConfig};
+use gopt::graph::PropValue;
+use gopt::server::{Server, ServerConfig, ServerError, SubmitOptions};
+use gopt::workloads::{generate_ldbc_graph, LdbcScale};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serialize tests that touch the process-global fail-point registry.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard: clears the registry on drop, even if an assertion unwinds.
+struct ClearOnDrop;
+impl Drop for ClearOnDrop {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+const Q: &str = "MATCH (p:Person)-[:Knows]->(f:Person)-[:Knows]->(g:Person) RETURN p, g LIMIT 50";
+
+/// A single-slot server: one query executes at a time, the rest wait.
+fn single_slot_server(queue_capacity: usize) -> Server {
+    let graph = Arc::new(generate_ldbc_graph(&LdbcScale::tiny()));
+    let glogue = Arc::new(GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(300),
+            seed: 3,
+        },
+    ));
+    Server::new(
+        graph,
+        glogue,
+        ServerConfig {
+            partitions: 2,
+            threads: 2,
+            max_concurrent: 1,
+            queue_capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server")
+}
+
+/// Spin until `cond` holds, failing loudly instead of hanging forever.
+fn wait_until(cond: impl Fn() -> bool, what: &str) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn cancelled() -> ServerError {
+    ServerError::Exec(ExecError::LimitExceeded(LimitReason::Cancelled))
+}
+
+/// Cancelling the slot-holding query frees the slot promptly: the queued
+/// bystander — a *different* session — is admitted and completes with
+/// unfaulted rows, untouched by the cancellation.
+#[test]
+fn cancelling_the_running_query_admits_the_queued_one() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let server = single_slot_server(4);
+    let want = server.session().submit(Q).expect("warm-up").result.rows();
+    assert!(!want.is_empty());
+
+    // every morsel checkpoint now sleeps 200ms: the next query is slow and
+    // observably mid-flight, but still checks its context between sleeps
+    failpoint::configure("exec.morsel", "delay(200)").unwrap();
+    let victim = server.session();
+    let bystander = server.session();
+    let (victim_out, bystander_out) = std::thread::scope(|s| {
+        let v = victim.clone();
+        let victim_run = s.spawn(move || v.submit(Q));
+        wait_until(
+            || server.admission_metrics().running == 1,
+            "the victim to occupy the slot",
+        );
+        let b = bystander.clone();
+        let bystander_run = s.spawn(move || b.submit(Q));
+        wait_until(
+            || server.admission_metrics().queued == 1,
+            "the bystander to queue behind the victim",
+        );
+        // cancel the victim, then disarm the delay so the bystander (not yet
+        // admitted — the victim still holds the slot) runs at full speed
+        victim.cancel_all();
+        failpoint::clear();
+        (victim_run.join().unwrap(), bystander_run.join().unwrap())
+    });
+    assert_eq!(victim_out.unwrap_err(), cancelled());
+    assert_eq!(
+        bystander_out
+            .expect("the bystander must not be cancelled")
+            .result
+            .rows(),
+        want,
+        "bystander rows diverge after the victim's cancellation"
+    );
+    let m = server.admission_metrics();
+    assert_eq!(m.running, 0, "the freed slot was returned");
+    assert_eq!(m.admitted, 3, "warm-up + victim + bystander were admitted");
+    assert_eq!(
+        m.abandoned, 0,
+        "the bystander waited out the queue normally"
+    );
+}
+
+/// A queued query enforces its own deadline: it abandons the queue with the
+/// typed deadline error while the slot-holder keeps running, and the
+/// slot-holder's later cancellation is unaffected.
+#[test]
+fn queued_query_honours_its_deadline_while_waiting() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let server = single_slot_server(4);
+    server.session().submit(Q).expect("warm-up");
+
+    failpoint::configure("exec.morsel", "delay(200)").unwrap();
+    let holder = server.session();
+    let impatient = server.session();
+    let (holder_out, impatient_out) = std::thread::scope(|s| {
+        let h = holder.clone();
+        let holder_run = s.spawn(move || h.submit(Q));
+        wait_until(
+            || server.admission_metrics().running == 1,
+            "the holder to occupy the slot",
+        );
+        // 30ms deadline vs a 200ms-per-morsel holder: expires while queued
+        let opts = SubmitOptions {
+            deadline_millis: Some(30),
+            ..SubmitOptions::default()
+        };
+        let impatient_result = impatient.submit_with(Q, &opts);
+        holder.cancel_all();
+        failpoint::clear();
+        (holder_run.join().unwrap(), impatient_result)
+    });
+    assert_eq!(
+        impatient_out.unwrap_err(),
+        ServerError::Exec(ExecError::LimitExceeded(LimitReason::Deadline {
+            millis: 30
+        })),
+        "the queued query must time out with its own typed deadline error"
+    );
+    assert_eq!(holder_out.unwrap_err(), cancelled());
+    let m = server.admission_metrics();
+    assert_eq!(
+        m.abandoned, 1,
+        "the impatient query left the queue unadmitted"
+    );
+    assert_eq!(m.admitted, 2, "only warm-up and holder ever got the slot");
+    // the pool is healthy: a clean query serves immediately
+    let replay: Vec<Vec<PropValue>> = server.session().submit(Q).unwrap().result.rows();
+    assert!(!replay.is_empty());
+}
+
+/// With a zero-capacity wait queue, a second query is rejected immediately
+/// with the typed overload error — no blocking, no effect on the runner.
+#[test]
+fn full_wait_queue_rejects_with_typed_overload() {
+    let _gate = serial();
+    let _clear = ClearOnDrop;
+    let server = single_slot_server(0);
+    let want = server.session().submit(Q).expect("warm-up").result.rows();
+
+    failpoint::configure("exec.morsel", "delay(200)").unwrap();
+    let holder = server.session();
+    let rejected = server.session();
+    std::thread::scope(|s| {
+        let h = holder.clone();
+        let holder_run = s.spawn(move || h.submit(Q));
+        wait_until(
+            || server.admission_metrics().running == 1,
+            "the holder to occupy the slot",
+        );
+        match rejected.submit(Q) {
+            Err(ServerError::Overloaded {
+                max_concurrent,
+                queue_capacity,
+            }) => {
+                assert_eq!(max_concurrent, 1);
+                assert_eq!(queue_capacity, 0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        holder.cancel_all();
+        failpoint::clear();
+        assert_eq!(holder_run.join().unwrap().unwrap_err(), cancelled());
+    });
+    assert_eq!(server.admission_metrics().rejected, 1);
+    // rejection is retryable: the same session succeeds once the slot frees
+    assert_eq!(rejected.submit(Q).unwrap().result.rows(), want);
+}

@@ -1,0 +1,93 @@
+//! Property test for the server's plan cache: under a *random* interleaving
+//! of submissions, statistics bumps and explicit cache clears, the server
+//! must never serve a stale plan (every outcome's `stats_version` equals the
+//! server's version at submit time), a cache hit must answer exactly like the
+//! original miss, and the cache must never exceed its capacity — even with a
+//! capacity small enough to force constant eviction.
+
+use gopt::glogue::{GLogue, GLogueConfig};
+use gopt::graph::{GraphStats, PropValue, PropertyGraph};
+use gopt::server::{Server, ServerConfig};
+use gopt::workloads::{generate_ldbc_graph, qr_queries, qt_queries, LdbcScale, NamedQuery};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<PropertyGraph>, Arc<GLogue>) {
+    let graph = Arc::new(generate_ldbc_graph(&LdbcScale::tiny()));
+    let glogue = Arc::new(GLogue::build(
+        &graph,
+        &GLogueConfig {
+            max_pattern_vertices: 3,
+            max_anchors: Some(300),
+            seed: 3,
+        },
+    ));
+    (graph, glogue)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_op_interleavings_never_serve_stale_or_wrong_plans(
+        seed in 0u64..1_000,
+        capacity in 1usize..4,
+        steps in 20usize..40,
+    ) {
+        let (graph, glogue) = fixture();
+        let server = Server::new(
+            Arc::clone(&graph),
+            glogue,
+            ServerConfig {
+                plan_cache_capacity: capacity,
+                ..ServerConfig::default()
+            },
+        ).expect("server");
+        let session = server.session();
+        let queries: Vec<NamedQuery> =
+            qr_queries().into_iter().chain(qt_queries()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // ground truth: the rows each query produced the first time — cache
+        // hits, evicted re-optimizations and post-invalidation re-plans must
+        // all keep answering exactly this
+        let mut first_rows: HashMap<String, Vec<Vec<PropValue>>> = HashMap::new();
+        let mut expected_version = 0u64;
+
+        for _ in 0..steps {
+            match rng.gen_range(0..10u32) {
+                // occasionally: the statistics move on
+                0 => {
+                    expected_version = server.update_stats(GraphStats::shared(&graph));
+                    prop_assert_eq!(server.stats_version(), expected_version);
+                }
+                // occasionally: an operator drops every cached plan
+                1 => server.clear_plan_cache(),
+                // mostly: a client submits some query
+                _ => {
+                    let q = &queries[rng.gen_range(0..queries.len())];
+                    let out = session.submit(&q.text)
+                        .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
+                    // staleness: the plan's stats version IS the current one
+                    prop_assert_eq!(out.stats_version, expected_version,
+                        "stale plan served for {}", &q.name);
+                    let rows = out.result.rows();
+                    match first_rows.get(&q.name) {
+                        Some(want) => prop_assert_eq!(&rows, want,
+                            "{} answered differently on a later submission \
+                             (cache_hit={})", &q.name, out.cache_hit),
+                        None => { first_rows.insert(q.name.clone(), rows); }
+                    }
+                }
+            }
+            let m = server.cache_metrics();
+            prop_assert!(m.len <= capacity,
+                "cache holds {} entries over capacity {}", m.len, capacity);
+        }
+        // the counters are consistent: every lookup was a hit or a miss
+        let m = server.cache_metrics();
+        prop_assert!(m.hits + m.misses > 0);
+    }
+}
