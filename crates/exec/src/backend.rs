@@ -267,6 +267,23 @@ impl PartitionedBackend {
         self.sharded(graph);
     }
 
+    /// Seed the shard cache with a pre-built partitioning — e.g. one loaded
+    /// from a graph image — so the first query skips the shard build
+    /// entirely. The partition count must match this backend's; a mismatched
+    /// layout is rejected so execution can never run on the wrong sharding.
+    pub fn install_sharded(&self, pg: Arc<PartitionedGraph>) -> Result<(), ExecError> {
+        if pg.partitions() != self.partitions {
+            return Err(ExecError::Config(format!(
+                "pre-built partitioning has {} shards, backend expects {}",
+                pg.partitions(),
+                self.partitions
+            )));
+        }
+        let key: ShardCacheKey = (pg.base_build_id(), self.partitions);
+        *self.cache.lock() = Some((key, pg));
+        Ok(())
+    }
+
     /// The sharded form of `graph`, built on first use and cached.
     fn sharded(&self, graph: &PropertyGraph) -> Arc<PartitionedGraph> {
         let key: ShardCacheKey = (graph.build_id(), self.partitions);

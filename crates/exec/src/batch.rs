@@ -219,8 +219,11 @@ impl Column {
     /// Coarse metered size of this column in bytes for the query-context
     /// memory accountant: fixed per-row costs per storage kind plus the
     /// validity bitmap. A cheap heuristic upper bound on resident size,
-    /// never an allocation measurement (string payloads are shared `Arc`s
-    /// and metered as the pointer they are).
+    /// never an allocation measurement. String values are `Arc`s shared with
+    /// the storage's per-column dictionaries, so a batch's marginal cost for
+    /// a string row is the enum footprint plus the 4-byte dictionary-code
+    /// share — not an estimate of the string payload, which the batch does
+    /// not own.
     pub fn approx_bytes(&self) -> u64 {
         let rows = self.len() as u64;
         let data = match &self.data {
@@ -228,7 +231,13 @@ impl Column {
             ColumnData::Path { offsets, vertices } => {
                 offsets.len() as u64 * 4 + vertices.len() as u64 * 8
             }
-            ColumnData::Value(vals) => vals.len() as u64 * 32,
+            ColumnData::Value(vals) => vals
+                .iter()
+                .map(|v| match v {
+                    PropValue::Str(_) => 24 + 4,
+                    _ => 32,
+                })
+                .sum(),
             ColumnData::Entries(es) => es.len() as u64 * 40,
         };
         data + rows.div_ceil(8)

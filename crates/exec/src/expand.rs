@@ -87,7 +87,7 @@ pub(crate) fn collect_expand_candidates<G: GraphView>(
     let mut segments = 0usize;
     {
         let mut push_seg = |candidates: &mut Vec<(gopt_graph::EdgeId, VertexId)>,
-                            seg: &[gopt_graph::Adj]| {
+                            seg: gopt_graph::AdjSegment<'_>| {
             if !seg.is_empty() {
                 segments += 1;
                 candidates.extend(seg.iter().map(|a| (a.edge, a.neighbor)));
@@ -123,10 +123,12 @@ fn gather_sorted_neighbors<G: GraphView>(
 ) {
     buf.clear();
     let mut segments = 0usize;
-    let mut push_seg = |buf: &mut Vec<VertexId>, seg: &[gopt_graph::Adj]| {
+    // Reads the compressed segment's raw u32 neighbour slice: no edge-id
+    // decoding happens on the intersection path at all.
+    let mut push_seg = |buf: &mut Vec<VertexId>, seg: gopt_graph::AdjSegment<'_>| {
         if !seg.is_empty() {
             segments += 1;
-            buf.extend(seg.iter().map(|a| a.neighbor));
+            buf.extend(seg.neighbors().iter().map(|&n| VertexId(n as u64)));
         }
     };
     for &l in labels {

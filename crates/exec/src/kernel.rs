@@ -31,7 +31,6 @@ use crate::batch::{Bitmap, ColumnData, CompiledExpr, RecordBatch};
 use gopt_gir::expr::BinOp;
 use gopt_graph::{EdgeId, GraphView, NullBitmap, PropKeyId, PropValue, TypedColumn, VertexId};
 use std::cmp::Ordering;
-use std::sync::Arc;
 
 /// A comparison operator, restricted to the six predicates that reduce to an
 /// [`Ordering`] test.
@@ -216,11 +215,17 @@ enum LeafKernel<'a> {
         valid: &'a NullBitmap,
         rhs: bool,
     },
-    /// `Str` column against a `Str` literal (borrowed, no `Arc` bump per row).
+    /// Dictionary-encoded `Str` column against a `Str` literal: the literal is
+    /// ranked against the column's sorted dictionary **once**, after which each
+    /// row is a primitive `u32` compare of its code against the rank — no
+    /// string bytes are touched on the per-row path.
     Strs {
-        vals: &'a [Arc<str>],
+        codes: &'a [u32],
         valid: &'a NullBitmap,
-        rhs: &'a str,
+        /// `dict.partition_point(|d| d < lit)`.
+        rank: u32,
+        /// Whether `dict[rank]` equals the literal exactly.
+        exact: bool,
     },
     /// Cross-kind comparison: under `PropValue`'s total order the ordering is
     /// a constant of the two kinds, so only validity is read per row.
@@ -251,7 +256,23 @@ impl LeafKernel<'_> {
                 valid.get(row).then(|| vals[row].total_cmp(rhs))
             }
             LeafKernel::Bools { vals, valid, rhs } => valid.get(row).then(|| vals[row].cmp(rhs)),
-            LeafKernel::Strs { vals, valid, rhs } => valid.get(row).then(|| (*vals[row]).cmp(rhs)),
+            LeafKernel::Strs {
+                codes,
+                valid,
+                rank,
+                exact,
+            } => valid.get(row).then(|| {
+                // codes are assigned in dictionary (= lexicographic) order, so
+                // cmp(value, lit) collapses to cmp against the literal's rank
+                let code = codes[row];
+                if code < *rank {
+                    Ordering::Less
+                } else if code == *rank && *exact {
+                    Ordering::Equal
+                } else {
+                    Ordering::Greater
+                }
+            }),
             LeafKernel::ConstOrd { column, ord } => column.is_valid(row).then_some(*ord),
             LeafKernel::Mixed { cells, lit } => match &cells[row] {
                 None => None,
@@ -301,11 +322,15 @@ fn leaf_kernel<'a>(column: &'a TypedColumn, lit: &'a PropValue) -> LeafKernel<'a
             valid,
             rhs: *b,
         },
-        (T::Str(vals, valid), P::Str(s)) => LeafKernel::Strs {
-            vals,
-            valid,
-            rhs: s,
-        },
+        (T::Str(col), P::Str(s)) => {
+            let (rank, exact) = col.rank_of(s);
+            LeafKernel::Strs {
+                codes: col.codes(),
+                valid: col.validity(),
+                rank,
+                exact,
+            }
+        }
         (T::Mixed(cells), lit) => LeafKernel::Mixed { cells, lit },
         // every remaining pair crosses kind ranks: the ordering is constant
         (column, lit) => {

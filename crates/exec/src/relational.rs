@@ -578,11 +578,43 @@ pub(crate) fn emit_groups<K: std::hash::Hash + Eq>(
     }
 }
 
-/// Packed grouping key of the typed Int/Date `HashGroup` fast path: a kind
-/// tag (0 = null/absent, 1 = Int, 2 = Date) plus the raw 64-bit value. The
-/// tag keeps `Int(x)` and `Date(x)` in distinct groups, exactly like
-/// [`PropValue`]'s equality.
+/// Packed grouping key of the typed `HashGroup`/`OrderLimit` fast path: a
+/// kind tag (0 = null/absent, 1 = Int, 2 = Date, 3 = Str) plus a raw 64-bit
+/// value. The tag keeps `Int(x)` and `Date(x)` in distinct groups, exactly
+/// like [`PropValue`]'s equality, and the tag order mirrors [`PropValue`]'s
+/// cross-kind total order (Null < Int < Date < Str), so sorting packed keys
+/// equals sorting the unpacked values.
+///
+/// Dictionary-encoded strings pack as their zero-padded 8-byte big-endian
+/// prefix mapped order-preservingly into `i64` (see [`str_prefix_key`]) —
+/// exact for the strings the fast path admits (≤ 8 bytes, no NUL), which keeps
+/// both equality (grouping) and ordering (sorting) oracle-identical.
 pub(crate) type PackedKey = (u8, i64);
+
+/// Order-preserving 64-bit key of a short string: the zero-padded big-endian
+/// first 8 bytes, offset into the signed domain. `None` when the string is
+/// longer than 8 bytes (the prefix would collapse distinct values) or contains
+/// a NUL byte (zero-padding would collide with it) — callers then fall back to
+/// the generic boxed path.
+pub(crate) fn str_prefix_key(s: &str) -> Option<i64> {
+    let b = s.as_bytes();
+    if b.len() > 8 || b.contains(&0) {
+        return None;
+    }
+    let mut buf = [0u8; 8];
+    buf[..b.len()].copy_from_slice(b);
+    Some((u64::from_be_bytes(buf) ^ (1 << 63)) as i64)
+}
+
+/// Inverse of [`str_prefix_key`]: reconstruct the string (exact, because the
+/// packable domain excludes NUL bytes and longer-than-8-byte strings).
+fn str_from_prefix_key(k: i64) -> String {
+    let bytes = ((k as u64) ^ (1 << 63)).to_be_bytes();
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(8);
+    std::str::from_utf8(&bytes[..end])
+        .expect("packed from valid UTF-8")
+        .to_string()
+}
 
 /// The [`PropValue`] a packed key stands for (materialised once per group for
 /// the representative output entry, never per row).
@@ -590,17 +622,20 @@ pub(crate) fn unpack_group_key(k: PackedKey) -> PropValue {
     match k.0 {
         0 => PropValue::Null,
         1 => PropValue::Int(k.1),
-        _ => PropValue::Date(k.1),
+        2 => PropValue::Date(k.1),
+        _ => PropValue::str(str_from_prefix_key(k.1)),
     }
 }
 
 /// Evaluate a single compiled `tag.prop` grouping key over one batch as
-/// packed Int/Date keys — one slice index plus a validity bit per row, zero
+/// packed Int/Date/Str keys — one slice index plus a validity bit per row
+/// (string columns add one lookup of the per-dictionary prefix table), zero
 /// `PropValue` construction. Returns `None` (caller falls back to the boxed
 /// generic path) when the expression is not a property lookup, the batch
-/// column is not a vertex/edge id column, or some row's resolved property
-/// column is not Int/Date. Per-row results are identical to
-/// [`CompiledExpr::eval`]'s `PropValue`s under [`unpack_group_key`].
+/// column is not a vertex/edge id column, some row's resolved property
+/// column is not Int/Date/Str, or a string dictionary holds a value outside
+/// the packable domain of [`str_prefix_key`]. Per-row results are identical
+/// to [`CompiledExpr::eval`]'s `PropValue`s under [`unpack_group_key`].
 pub(crate) fn packed_group_keys<G: GraphView>(
     graph: &G,
     batch: &RecordBatch,
@@ -619,6 +654,14 @@ pub(crate) fn packed_group_keys<G: GraphView>(
         // unbound slot: the key evaluates to Null on every row
         return Some(vec![(0, 0); rows]);
     };
+    /// One resolved property column, specialised for packing: primitive
+    /// columns index their `i64` slice; dictionary-encoded string columns
+    /// index a per-dictionary-entry prefix-key table (built once per column
+    /// run, so the per-row work stays a pair of array lookups).
+    enum PackedCol<'a> {
+        Prim(u8, &'a [i64], &'a NullBitmap),
+        Str(Vec<i64>, &'a [u32], &'a NullBitmap),
+    }
     fn pack<'a, G: GraphView, I: Copy>(
         graph: &'a G,
         ids: &[I],
@@ -633,7 +676,7 @@ pub(crate) fn packed_group_keys<G: GraphView>(
         let mut out = Vec::with_capacity(ids.len());
         // resolved (column, value slice) cached by column identity, like the
         // typed predicate kernels: one resolution per same-label run
-        let mut cached: Option<(*const TypedColumn, u8, &'a [i64], &'a NullBitmap)> = None;
+        let mut cached: Option<(*const TypedColumn, PackedCol<'a>)> = None;
         for (row, &id) in ids.iter().enumerate() {
             if !validity.get(row) {
                 out.push((0, 0));
@@ -646,18 +689,36 @@ pub(crate) fn packed_group_keys<G: GraphView>(
             let ptr = cell.column as *const TypedColumn;
             if cached.as_ref().is_none_or(|(p, ..)| *p != ptr) {
                 let resolved = match cell.column {
-                    TypedColumn::Int(v, n) => (ptr, 1u8, v.as_slice(), n),
-                    TypedColumn::Date(v, n) => (ptr, 2u8, v.as_slice(), n),
-                    // Float/Bool/Str/Mixed: not a primitive-keyed column
+                    TypedColumn::Int(v, n) => PackedCol::Prim(1, v.as_slice(), n),
+                    TypedColumn::Date(v, n) => PackedCol::Prim(2, v.as_slice(), n),
+                    TypedColumn::Str(col) => {
+                        // every dictionary entry must be prefix-packable or
+                        // the whole call falls back to the boxed path
+                        let keys: Option<Vec<i64>> =
+                            col.dict().iter().map(|s| str_prefix_key(s)).collect();
+                        PackedCol::Str(keys?, col.codes(), col.validity())
+                    }
+                    // Float/Bool/Mixed: not a primitive-keyed column
                     _ => return None,
                 };
-                cached = Some(resolved);
+                cached = Some((ptr, resolved));
             }
-            let (_, kind, vals, valid) = cached.as_ref().expect("just cached");
-            out.push(if valid.get(cell.row) {
-                (*kind, vals[cell.row])
-            } else {
-                (0, 0)
+            let (_, packed) = cached.as_ref().expect("just cached");
+            out.push(match packed {
+                PackedCol::Prim(kind, vals, valid) => {
+                    if valid.get(cell.row) {
+                        (*kind, vals[cell.row])
+                    } else {
+                        (0, 0)
+                    }
+                }
+                PackedCol::Str(dict_keys, codes, valid) => {
+                    if valid.get(cell.row) {
+                        (3, dict_keys[codes[cell.row] as usize])
+                    } else {
+                        (0, 0)
+                    }
+                }
             });
         }
         Some(out)
@@ -924,11 +985,12 @@ pub fn hash_group_batches<G: GraphView>(
         Some(p) if p > 1 => total_rows(input) as u64,
         _ => 0,
     };
-    // Typed Int/Date fast path: a single `tag.prop` grouping key whose
-    // resolved property columns are all Int/Date groups on packed primitive
-    // keys — no per-row `PropValue` construction, no boxed key vectors, no
-    // enum hashing. Any uncovered batch falls back to the generic path for
-    // the whole call, so first-encounter group order stays oracle-identical.
+    // Typed Int/Date/Str fast path: a single `tag.prop` grouping key whose
+    // resolved property columns are all Int/Date/short-Str groups on packed
+    // primitive keys — no per-row `PropValue` construction, no boxed key
+    // vectors, no enum hashing. Any uncovered batch falls back to the generic
+    // path for the whole call, so first-encounter group order stays
+    // oracle-identical.
     let packed: Option<Vec<Vec<PackedKey>>> = if key_exprs.len() == 1 {
         input
             .iter()
@@ -1009,11 +1071,12 @@ pub fn hash_group_batches<G: GraphView>(
 /// Batched [`order_limit`]: keys are evaluated column-wise and the sort is a
 /// row-index permutation; only the surviving prefix is gathered.
 ///
-/// A single sort key over primitive Int/Date property columns takes the typed
-/// packed path: rows sort on copyable `PackedKey`s instead of boxed
-/// `PropValue` vectors. `PackedKey` order is isomorphic to `PropValue` order
-/// on the Null/Int/Date domain and both sorts are stable, so the permutation
-/// is identical to the generic path's.
+/// A single sort key over primitive Int/Date or dictionary-encoded short-Str
+/// property columns takes the typed packed path: rows sort on copyable
+/// `PackedKey`s instead of boxed `PropValue` vectors. `PackedKey` order is
+/// isomorphic to `PropValue` order on the Null/Int/Date/packable-Str domain
+/// and both sorts are stable, so the permutation is identical to the generic
+/// path's.
 pub fn order_limit_batches<G: GraphView>(
     graph: &G,
     input: &[RecordBatch],

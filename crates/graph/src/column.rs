@@ -33,6 +33,27 @@
 //! ([`TypedColumn::ints`], [`TypedColumn::floats`], …) so batch kernels can
 //! compare `&[i64]` directly with zero `PropValue` construction or cloning.
 //!
+//! # Dictionary-encoded strings
+//!
+//! String columns do not store one `Arc<str>` per row. [`StrColumn`] keeps a
+//! **sorted, deduplicated dictionary** of the distinct strings plus one `u32`
+//! code per row (the index of the row's string in the dictionary):
+//!
+//! ```text
+//! boxed:  [ "tokyo" | "oslo" | "tokyo" | ... ]     16 B ptr + heap per cell
+//!
+//! dict:   codes [ 1 | 0 | 1 | ... ]                4 B/cell
+//!         dict  [ "oslo" | "tokyo" ]               one Arc<str> per DISTINCT value
+//!         validity [ 1 1 1 ... ]                   1 bit/cell
+//! ```
+//!
+//! Because the dictionary is sorted, code order within one column equals
+//! lexicographic order, so equality/range predicates against a literal reduce
+//! to one `partition_point` over the dictionary followed by primitive-width
+//! `u32` compares per row (see `gopt-exec`'s typed predicate kernels).
+//! Dictionaries are **per column**: codes from different columns (or the same
+//! column on different shards) are never comparable with each other.
+//!
 //! # Null-bitmap semantics
 //!
 //! Bit `i` of the [`NullBitmap`] is set when row `i` holds a value. An unset
@@ -106,6 +127,158 @@ impl NullBitmap {
     pub fn count_valid(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The packed bit words (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap from its packed words and bit length (for
+    /// deserialization). Returns `None` when `words` cannot hold `len` bits.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        Some(NullBitmap { words, len })
+    }
+
+    /// Heap bytes held by the bitmap.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A dictionary-encoded string column: one `u32` code per row indexing into a
+/// sorted, deduplicated dictionary of `Arc<str>` values. See the
+/// [module documentation](self) for the layout and ordering guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrColumn {
+    codes: Vec<u32>,
+    dict: Vec<Arc<str>>,
+    validity: NullBitmap,
+}
+
+impl StrColumn {
+    /// Build a column from per-row optional strings (`None` = null row).
+    /// The dictionary is the sorted set of distinct present strings; null
+    /// rows get code 0 as a placeholder.
+    pub fn from_rows(rows: Vec<Option<Arc<str>>>) -> StrColumn {
+        let mut dict: Vec<Arc<str>> = rows.iter().flatten().cloned().collect();
+        dict.sort_unstable_by(|a, b| a.as_ref().cmp(b.as_ref()));
+        dict.dedup_by(|a, b| a.as_ref() == b.as_ref());
+        assert!(
+            dict.len() <= u32::MAX as usize,
+            "string dictionary exceeds u32 code space"
+        );
+        let mut codes = Vec::with_capacity(rows.len());
+        let mut validity = NullBitmap::new();
+        for row in &rows {
+            match row {
+                Some(s) => {
+                    validity.push(true);
+                    let code = dict
+                        .binary_search_by(|d| d.as_ref().cmp(s.as_ref()))
+                        .expect("dictionary contains every present string");
+                    codes.push(code as u32);
+                }
+                None => {
+                    validity.push(false);
+                    codes.push(0);
+                }
+            }
+        }
+        StrColumn {
+            codes,
+            dict,
+            validity,
+        }
+    }
+
+    /// Reassemble a column from its parts (for deserialization). Validates
+    /// the invariants the kernels rely on: sorted unique dictionary, in-range
+    /// codes, matching lengths.
+    pub fn from_parts(
+        codes: Vec<u32>,
+        dict: Vec<Arc<str>>,
+        validity: NullBitmap,
+    ) -> Option<StrColumn> {
+        if codes.len() != validity.len() {
+            return None;
+        }
+        if !dict.windows(2).all(|w| w[0].as_ref() < w[1].as_ref()) {
+            return None;
+        }
+        let n_dict = dict.len() as u32;
+        for (row, &code) in codes.iter().enumerate() {
+            if validity.get(row) && code >= n_dict {
+                return None;
+            }
+        }
+        Some(StrColumn {
+            codes,
+            dict,
+            validity,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The per-row dictionary codes (placeholder 0 at null rows).
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The sorted, deduplicated dictionary.
+    #[inline]
+    pub fn dict(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
+    /// The validity bitmap.
+    #[inline]
+    pub fn validity(&self) -> &NullBitmap {
+        &self.validity
+    }
+
+    /// The string at `row` (`None` when the row is null/absent).
+    #[inline]
+    pub fn value(&self, row: usize) -> Option<&Arc<str>> {
+        self.validity
+            .get(row)
+            .then(|| &self.dict[self.codes[row] as usize])
+    }
+
+    /// The rank of `needle` in the dictionary: the number of dictionary
+    /// entries strictly below it, plus whether it is present. A row's string
+    /// compares to `needle` exactly as its code compares to the rank (with
+    /// equality only when `exact`), which is what turns string comparisons
+    /// into `u32` compares.
+    pub fn rank_of(&self, needle: &str) -> (u32, bool) {
+        let p = self.dict.partition_point(|d| d.as_ref() < needle);
+        let exact = self.dict.get(p).is_some_and(|d| d.as_ref() == needle);
+        (p as u32, exact)
+    }
+
+    /// Heap bytes held by codes, dictionary headers and dictionary string
+    /// payloads, plus the validity bitmap.
+    pub fn heap_bytes(&self) -> usize {
+        self.codes.len() * 4
+            + self
+                .dict
+                .iter()
+                .map(|s| std::mem::size_of::<Arc<str>>() + s.len())
+                .sum::<usize>()
+            + self.validity.heap_bytes()
+    }
 }
 
 /// One typed per-(label, key) property column. See the
@@ -121,8 +294,9 @@ pub enum TypedColumn {
     Bool(Vec<bool>, NullBitmap),
     /// Dates (days since epoch) plus validity.
     Date(Vec<i64>, NullBitmap),
-    /// Strings (cheaply cloneable `Arc<str>`) plus validity.
-    Str(Vec<Arc<str>>, NullBitmap),
+    /// Dictionary-encoded strings: `u32` codes into a sorted per-column
+    /// dictionary (validity lives inside the [`StrColumn`]).
+    Str(StrColumn),
     /// Fallback preserving the boxed-cell semantics for columns that mix
     /// value kinds across rows (or are entirely null, leaving no kind to
     /// infer).
@@ -193,16 +367,14 @@ impl TypedColumn {
                 TypedColumn::Bool(vals, validity)
             }
             PropType::Str => {
-                let empty: Arc<str> = Arc::from("");
-                let mut vals = Vec::with_capacity(cells.len());
-                for cell in cells {
-                    validity.push(cell.is_some());
-                    vals.push(match cell {
-                        Some(PropValue::Str(s)) => s,
-                        _ => empty.clone(),
-                    });
-                }
-                TypedColumn::Str(vals, validity)
+                let rows = cells
+                    .into_iter()
+                    .map(|cell| match cell {
+                        Some(PropValue::Str(s)) => Some(s),
+                        _ => None,
+                    })
+                    .collect();
+                TypedColumn::Str(StrColumn::from_rows(rows))
             }
         }
     }
@@ -213,7 +385,7 @@ impl TypedColumn {
             TypedColumn::Int(v, _) | TypedColumn::Date(v, _) => v.len(),
             TypedColumn::Float(v, _) => v.len(),
             TypedColumn::Bool(v, _) => v.len(),
-            TypedColumn::Str(v, _) => v.len(),
+            TypedColumn::Str(s) => s.len(),
             TypedColumn::Mixed(cells) => cells.len(),
         }
     }
@@ -243,8 +415,8 @@ impl TypedColumn {
             TypedColumn::Int(_, n)
             | TypedColumn::Date(_, n)
             | TypedColumn::Float(_, n)
-            | TypedColumn::Bool(_, n)
-            | TypedColumn::Str(_, n) => n.get(row),
+            | TypedColumn::Bool(_, n) => n.get(row),
+            TypedColumn::Str(s) => s.validity().get(row),
             TypedColumn::Mixed(cells) => cells.get(row).is_some_and(|c| c.is_some()),
         }
     }
@@ -258,7 +430,7 @@ impl TypedColumn {
             TypedColumn::Date(v, n) => n.get(row).then(|| PropValue::Date(v[row])),
             TypedColumn::Float(v, n) => n.get(row).then(|| PropValue::Float(v[row])),
             TypedColumn::Bool(v, n) => n.get(row).then(|| PropValue::Bool(v[row])),
-            TypedColumn::Str(v, n) => n.get(row).then(|| PropValue::Str(v[row].clone())),
+            TypedColumn::Str(s) => s.value(row).map(|v| PropValue::Str(v.clone())),
             TypedColumn::Mixed(cells) => cells.get(row).and_then(|c| c.clone()),
         }
     }
@@ -299,11 +471,10 @@ impl TypedColumn {
         }
     }
 
-    /// The string value slice and validity bitmap of a [`TypedColumn::Str`]
-    /// column.
-    pub fn strs(&self) -> Option<(&[Arc<str>], &NullBitmap)> {
+    /// The dictionary-encoded string column of a [`TypedColumn::Str`] column.
+    pub fn strs(&self) -> Option<&StrColumn> {
         match self {
-            TypedColumn::Str(v, n) => Some((v, n)),
+            TypedColumn::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -401,9 +572,66 @@ mod tests {
 
         let s = TypedColumn::from_cells(vec![Some(PropValue::str("x")), None]);
         assert_eq!(s.kind(), Some(PropType::Str));
-        assert_eq!(&*s.strs().unwrap().0[0], "x");
+        assert_eq!(s.strs().unwrap().value(0).unwrap().as_ref(), "x");
         assert_eq!(s.get(0), Some(PropValue::str("x")));
         assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn str_columns_are_dictionary_encoded() {
+        let c = TypedColumn::from_cells(vec![
+            Some(PropValue::str("tokyo")),
+            Some(PropValue::str("oslo")),
+            None,
+            Some(PropValue::str("tokyo")),
+            Some(PropValue::str("lima")),
+        ]);
+        let s = c.strs().unwrap();
+        // dictionary is sorted and deduplicated
+        let dict: Vec<&str> = s.dict().iter().map(|d| d.as_ref()).collect();
+        assert_eq!(dict, ["lima", "oslo", "tokyo"]);
+        assert_eq!(s.codes(), &[2, 1, 0, 2, 0]);
+        assert!(!s.validity().get(2));
+        assert_eq!(s.value(2), None);
+        assert_eq!(s.value(3).unwrap().as_ref(), "tokyo");
+        // rank_of turns string compares into u32 compares
+        assert_eq!(s.rank_of("oslo"), (1, true));
+        assert_eq!(s.rank_of("nara"), (1, false));
+        assert_eq!(s.rank_of("zurich"), (3, false));
+        // duplicate rows share one dictionary entry
+        assert!(Arc::ptr_eq(s.value(0).unwrap(), s.value(3).unwrap()));
+        // reads stay identical to the boxed layout
+        assert_eq!(c.get(1), Some(PropValue::str("oslo")));
+        assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn str_column_from_parts_validates_invariants() {
+        let good = StrColumn::from_rows(vec![Some(Arc::from("b")), None, Some(Arc::from("a"))]);
+        let rebuilt = StrColumn::from_parts(
+            good.codes().to_vec(),
+            good.dict().to_vec(),
+            good.validity().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, good);
+        // unsorted dictionary
+        assert!(StrColumn::from_parts(
+            vec![0, 0],
+            vec![Arc::from("b"), Arc::from("a")],
+            NullBitmap::all_valid(2),
+        )
+        .is_none());
+        // out-of-range code on a valid row
+        assert!(
+            StrColumn::from_parts(vec![5], vec![Arc::from("a")], NullBitmap::all_valid(1))
+                .is_none()
+        );
+        // length mismatch between codes and validity
+        assert!(
+            StrColumn::from_parts(vec![0, 0], vec![Arc::from("a")], NullBitmap::all_valid(1))
+                .is_none()
+        );
     }
 
     #[test]

@@ -8,32 +8,47 @@
 //! array lookup returning a contiguous, sorted slice — no pointer chasing, no
 //! per-call allocation.
 //!
-//! ## Adjacency: flat CSR with a per-(vertex, label) segment index
+//! ## Adjacency: compressed flat CSR with a sparse segment directory
 //!
-//! Each direction (out/in) is one [`CsrAdjacency`]:
+//! Each direction (out/in) is one [`CsrAdjacency`], stored
+//! structure-of-arrays and compressed:
 //!
 //! ```text
-//! entries:       [ Adj | Adj | Adj | ... ]        one flat Vec for ALL vertices
-//! offsets:       [ o_0, o_1, ..., o_n ]           n+1; entries[o_v..o_{v+1}] = adjacency of v
-//! label_offsets: [ s_{0,0}, ..., s_{v,l}, ... ]   n*L+1; entries[s_{v,l}..s_{v,l+1}] =
-//!                                                 adjacency of v restricted to edge label l
+//! neighbors:  [ u32 | u32 | u32 | ... ]        one flat Vec for ALL vertices
+//! edge_bytes: [ base:u32 | δ δ δ ... | ... ]   per non-empty segment: the minimum
+//!                                              edge id, then one fixed-width delta
+//!                                              (1, 2 or 4 bytes) per entry
+//! seg_index:  [ d_0, d_1, ..., d_n ]           n+1; segments of v are j in d_v..d_{v+1}
+//! seg_labels: [ u16 | u16 | ... ]              per non-empty segment: its edge label,
+//!                                              ascending within each vertex
+//! seg_ends:   [ u32 | u32 | ... ]              per non-empty segment: end offset in
+//!                                              neighbors (start = previous end)
+//! seg_metas:  [ u32 | u32 | ... ]              per non-empty segment:
+//!                                              (edge byte offset << 2) | width code
 //! ```
 //!
-//! `out_edges_with_label(v, l)` is therefore **two array lookups** into
-//! `label_offsets` plus a slice construction — O(1), zero allocation, and the
-//! returned entries are contiguous in memory. Within each (vertex, label)
-//! segment the entries are sorted by `(neighbor, edge)`, which is the contract
-//! the operators rely on:
+//! Neighbour ids are `u32` (4 bytes instead of a 24-byte `Adj` struct per
+//! entry) and edge ids are delta-encoded against the segment's minimum edge
+//! id with the narrowest fixed width that fits — dense graphs whose edge ids
+//! cluster per segment pay 1 byte per edge. The segment directory is
+//! **sparse**: only non-empty (vertex, label) segments are materialised (10
+//! bytes each), instead of dense `n_vertices * n_edge_labels` offset tables —
+//! on label-rich graphs the dense tables cost more than the edges themselves.
+//! `out_edges_with_label(v, l)` scans the vertex's directory row (ascending,
+//! almost always ≤ 4 entries, early exit) and returns an [`AdjSegment`]: the
+//! borrowed neighbour slice plus an [`EdgeCodes`] decoder over the segment's
+//! delta bytes. Within each (vertex, label) segment the entries are sorted by
+//! `(neighbor, edge)`, which is the contract the operators rely on:
 //!
 //! * [`PropertyGraph::has_edge`] / [`PropertyGraph::edges_between`] binary-search
-//!   the segment by neighbour (`O(log d)`);
-//! * `ExpandIntersect` merge-intersects two segments with a galloping scan
-//!   instead of hashing;
+//!   the segment by neighbour (`O(log d)`) directly over the `u32` slice;
+//! * `ExpandIntersect` merge-intersects two neighbour slices with a galloping
+//!   scan instead of hashing, never touching edge bytes;
 //! * distinct-neighbour deduplication during expansion is a linear `dedup`.
 //!
-//! The `label_offsets` index trades `n_vertices * n_edge_labels * 4` bytes of
-//! memory for O(1) label slicing (the previous layout binary-searched a
-//! per-vertex `Vec<Adj>`, costing two searches and a cache miss per hop).
+//! The directory trades 10 bytes per *non-empty* segment (plus a `u32` per
+//! vertex) for constant-bounded label slicing and per-segment edge decoding
+//! state.
 //!
 //! ## Properties: per-(label, key) columns
 //!
@@ -50,12 +65,13 @@
 //!
 //! Code outside this crate may rely on exactly this:
 //!
-//! 1. `{out,in}_edges_with_label(v, l)` returns a contiguous slice sorted by
-//!    `(neighbor, edge)`, without allocating;
-//! 2. `{out,in}_edges(v)` returns the full per-vertex slice, grouped by edge
-//!    label in increasing label order (segments concatenated);
-//! 3. `edges_between(src, l, dst)` returns the contiguous sub-slice of parallel
-//!    edges (sorted by edge id), located by binary search;
+//! 1. `{out,in}_edges_with_label(v, l)` returns an [`AdjSegment`] over a
+//!    contiguous neighbour slice sorted by `(neighbor, edge)`, without
+//!    allocating;
+//! 2. `{out,in}_edges(v)` iterates the full per-vertex adjacency, grouped by
+//!    edge label in increasing label order (segments concatenated);
+//! 3. `edges_between(src, l, dst)` returns the contiguous sub-segment of
+//!    parallel edges (sorted by edge id), located by binary search;
 //! 4. vertex/edge ids are dense and assigned in insertion order, so columns can
 //!    be zipped with id ranges.
 //!
@@ -80,21 +96,217 @@ pub struct Adj {
     pub neighbor: VertexId,
 }
 
+/// The fixed delta widths selectable per segment, indexed by the 2-bit width
+/// code stored in `seg_metas`.
+const EDGE_WIDTHS: [u8; 4] = [0, 1, 2, 4];
+
+/// Decoder over one segment's delta-encoded edge ids: every edge id is
+/// `base + delta`, with `delta` read from `bytes` at a fixed `width` (0, 1, 2
+/// or 4 bytes — width 0 means every entry carries the base itself, i.e. the
+/// segment has at most one entry). `Copy`, borrowed, zero allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeCodes<'a> {
+    base: u32,
+    width: u8,
+    bytes: &'a [u8],
+}
+
+impl<'a> EdgeCodes<'a> {
+    /// The edge id at position `i` within the segment.
+    #[inline]
+    pub fn get(&self, i: usize) -> EdgeId {
+        let delta = match self.width {
+            0 => 0,
+            1 => self.bytes[i] as u32,
+            2 => u16::from_le_bytes([self.bytes[2 * i], self.bytes[2 * i + 1]]) as u32,
+            _ => {
+                let b = &self.bytes[4 * i..4 * i + 4];
+                u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+            }
+        };
+        EdgeId((self.base + delta) as u64)
+    }
+
+    /// The decoder restricted to positions `start..end`.
+    #[inline]
+    fn slice(&self, start: usize, end: usize) -> EdgeCodes<'a> {
+        let w = self.width as usize;
+        EdgeCodes {
+            base: self.base,
+            width: self.width,
+            bytes: &self.bytes[start * w..end * w],
+        }
+    }
+}
+
+/// One (vertex, edge-label) adjacency segment of a compressed
+/// [`CsrAdjacency`]: the borrowed `u32` neighbour slice plus the segment's
+/// edge-id decoder. Sorted by `(neighbor, edge)`; `Copy` and allocation-free,
+/// which is what keeps the expand operators' zero-allocation contract intact
+/// over the compressed layout.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjSegment<'a> {
+    label: LabelId,
+    neighbors: &'a [u32],
+    edges: EdgeCodes<'a>,
+}
+
+impl<'a> AdjSegment<'a> {
+    /// An empty segment carrying only the label.
+    #[inline]
+    pub fn empty(label: LabelId) -> AdjSegment<'a> {
+        AdjSegment {
+            label,
+            neighbors: &[],
+            edges: EdgeCodes::default(),
+        }
+    }
+
+    /// The edge label every entry of this segment carries.
+    #[inline]
+    pub fn label(&self) -> LabelId {
+        self.label
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the segment has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The raw sorted neighbour slice — the merge/gallop kernels' input.
+    /// Neighbour ids are `u32`; duplicates are parallel edges.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [u32] {
+        self.neighbors
+    }
+
+    /// The neighbour at position `i`.
+    #[inline]
+    pub fn neighbor(&self, i: usize) -> VertexId {
+        VertexId(self.neighbors[i] as u64)
+    }
+
+    /// The edge id at position `i` (decoded from the segment's delta bytes).
+    #[inline]
+    pub fn edge(&self, i: usize) -> EdgeId {
+        self.edges.get(i)
+    }
+
+    /// The materialised adjacency entry at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Adj {
+        Adj {
+            edge_label: self.label,
+            edge: self.edges.get(i),
+            neighbor: VertexId(self.neighbors[i] as u64),
+        }
+    }
+
+    /// The first entry, when the segment is non-empty.
+    #[inline]
+    pub fn first(&self) -> Option<Adj> {
+        if self.neighbors.is_empty() {
+            None
+        } else {
+            Some(self.get(0))
+        }
+    }
+
+    /// The sub-segment covering positions `start..end`.
+    #[inline]
+    pub fn slice(&self, start: usize, end: usize) -> AdjSegment<'a> {
+        AdjSegment {
+            label: self.label,
+            neighbors: &self.neighbors[start..end],
+            edges: self.edges.slice(start, end),
+        }
+    }
+
+    /// Iterate the materialised entries.
+    #[inline]
+    pub fn iter(&self) -> AdjSegmentIter<'a> {
+        AdjSegmentIter { seg: *self, pos: 0 }
+    }
+
+    /// Collect the materialised entries (test/oracle convenience — the hot
+    /// paths use the borrowed accessors).
+    pub fn to_vec(&self) -> Vec<Adj> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for AdjSegment<'a> {
+    type Item = Adj;
+    type IntoIter = AdjSegmentIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        AdjSegmentIter { seg: self, pos: 0 }
+    }
+}
+
+/// Iterator over the materialised [`Adj`] entries of an [`AdjSegment`].
+#[derive(Debug, Clone)]
+pub struct AdjSegmentIter<'a> {
+    seg: AdjSegment<'a>,
+    pos: usize,
+}
+
+impl Iterator for AdjSegmentIter<'_> {
+    type Item = Adj;
+
+    #[inline]
+    fn next(&mut self) -> Option<Adj> {
+        if self.pos < self.seg.len() {
+            let a = self.seg.get(self.pos);
+            self.pos += 1;
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seg.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for AdjSegmentIter<'_> {}
+
 /// Flat compressed-sparse-row adjacency for one direction.
 ///
 /// See the [module documentation](self) for the layout. All offsets are `u32`
-/// (graphs are capped at `u32::MAX` edges per direction, asserted at build).
+/// (graphs are capped at `u32::MAX` edges per direction, asserted at build);
+/// neighbour and edge ids are stored in 4 bytes or fewer per entry.
 #[derive(Debug, Clone, Default)]
 pub struct CsrAdjacency {
-    /// All adjacency entries, grouped by vertex, then by edge label, each
+    /// All neighbour ids, grouped by vertex, then by edge label, each
     /// (vertex, label) segment sorted by `(neighbor, edge)`.
-    entries: Vec<Adj>,
-    /// Per-vertex extents: `entries[offsets[v] .. offsets[v+1]]`. Length `n+1`.
-    offsets: Vec<u32>,
-    /// Per-(vertex, label) extents: `entries[label_offsets[v*L+l] .. label_offsets[v*L+l+1]]`.
-    /// Length `n*L + 1`; monotone, ending at `entries.len()`.
-    label_offsets: Vec<u32>,
-    /// Number of edge labels `L` the segment index is built over.
+    neighbors: Vec<u32>,
+    /// Delta-encoded edge ids: per non-empty segment a 4-byte little-endian
+    /// base (the segment's minimum edge id) followed by `width * len` delta
+    /// bytes.
+    edge_bytes: Vec<u8>,
+    /// Per-vertex extents into the segment directory: the non-empty segments
+    /// of `v` are `seg_index[v] .. seg_index[v+1]`. Length `n+1`.
+    seg_index: Vec<u32>,
+    /// Per non-empty segment: its edge label, strictly ascending within each
+    /// vertex's directory row.
+    seg_labels: Vec<u16>,
+    /// Per non-empty segment: end offset (exclusive) in `neighbors`. The
+    /// start is the previous segment's end (0 for the first segment), so the
+    /// array is strictly increasing and ends at `neighbors.len()`.
+    seg_ends: Vec<u32>,
+    /// Per non-empty segment: `(byte offset into edge_bytes << 2) | width
+    /// code` (see [`EDGE_WIDTHS`]).
+    seg_metas: Vec<u32>,
+    /// Number of edge labels `L` the directory is built over.
     n_labels: usize,
 }
 
@@ -129,6 +341,10 @@ impl CsrAdjacency {
             edge_labels.len() <= u32::MAX as usize,
             "CSR adjacency is limited to u32::MAX edges"
         );
+        assert!(
+            n_vertices <= u32::MAX as usize,
+            "CSR adjacency is limited to u32::MAX vertices"
+        );
         // counting sort by (vertex, label): one pass to size segments,
         // a prefix sum for extents, one pass to scatter
         let mut label_offsets = vec![0u32; n_vertices * n_labels + 1];
@@ -140,74 +356,322 @@ impl CsrAdjacency {
         }
         let mut cursors: Vec<u32> = label_offsets[..label_offsets.len() - 1].to_vec();
         let total = edge_labels.len();
-        let mut entries = vec![
-            Adj {
-                edge_label: LabelId(0),
-                edge: EdgeId(0),
-                neighbor: VertexId(0),
-            };
-            total
-        ];
+        // transient uncompressed (neighbor, edge) pairs, compressed below
+        let mut pairs = vec![(0u32, 0u32); total];
         for (i, &l) in edge_labels.iter().enumerate() {
             let seg = endpoint(i).index() * n_labels + l.index();
             let pos = cursors[seg] as usize;
             cursors[seg] += 1;
-            entries[pos] = Adj {
-                edge_label: l,
-                edge: edge_id(i),
-                neighbor: other(i),
-            };
+            let nb = other(i).0;
+            let ed = edge_id(i).0;
+            assert!(nb <= u32::MAX as u64, "neighbor id exceeds u32");
+            assert!(ed <= u32::MAX as u64, "edge id exceeds u32");
+            pairs[pos] = (nb as u32, ed as u32);
         }
-        // establish per-segment (neighbor, edge) order
-        for seg in 0..n_vertices * n_labels {
-            let (s, e) = (label_offsets[seg] as usize, label_offsets[seg + 1] as usize);
-            if e - s > 1 {
-                entries[s..e].sort_unstable_by_key(|a| (a.neighbor, a.edge));
+        // establish per-segment (neighbor, edge) order, then delta-compress
+        // each segment's edge ids against the segment minimum; only non-empty
+        // segments enter the directory
+        let mut neighbors = Vec::with_capacity(total);
+        let mut edge_bytes = Vec::new();
+        let mut seg_index = Vec::with_capacity(n_vertices + 1);
+        let mut seg_labels = Vec::new();
+        let mut seg_ends = Vec::new();
+        let mut seg_metas = Vec::new();
+        seg_index.push(0u32);
+        for v in 0..n_vertices {
+            for l in 0..n_labels {
+                let seg = v * n_labels + l;
+                let (s, e) = (label_offsets[seg] as usize, label_offsets[seg + 1] as usize);
+                if s == e {
+                    continue;
+                }
+                if e - s > 1 {
+                    pairs[s..e].sort_unstable();
+                }
+                neighbors.extend(pairs[s..e].iter().map(|&(nb, _)| nb));
+                // the segment is sorted by (neighbor, edge), so the minimum
+                // edge id must be located by scan, not taken from the first
+                // entry
+                let base = pairs[s..e]
+                    .iter()
+                    .map(|&(_, ed)| ed)
+                    .min()
+                    .expect("non-empty");
+                let max_delta = pairs[s..e]
+                    .iter()
+                    .map(|&(_, ed)| ed - base)
+                    .max()
+                    .expect("non-empty");
+                let code: u32 = match max_delta {
+                    0 => 0,
+                    1..=0xFF => 1,
+                    0x100..=0xFFFF => 2,
+                    _ => 3,
+                };
+                let width = EDGE_WIDTHS[code as usize] as usize;
+                let off = edge_bytes.len();
+                assert!(
+                    off < (1usize << 30),
+                    "CSR edge byte pool exceeds 2^30 bytes"
+                );
+                seg_labels.push(l as u16);
+                seg_ends.push(neighbors.len() as u32);
+                seg_metas.push(((off as u32) << 2) | code);
+                edge_bytes.extend_from_slice(&base.to_le_bytes());
+                for &(_, ed) in &pairs[s..e] {
+                    let delta = ed - base;
+                    edge_bytes.extend_from_slice(&delta.to_le_bytes()[..width]);
+                }
             }
+            seg_index.push(seg_labels.len() as u32);
         }
-        let offsets = (0..=n_vertices)
-            .map(|v| label_offsets[(v * n_labels).min(label_offsets.len() - 1)])
-            .collect();
         CsrAdjacency {
-            entries,
-            offsets,
-            label_offsets,
+            neighbors,
+            edge_bytes,
+            seg_index,
+            seg_labels,
+            seg_ends,
+            seg_metas,
             n_labels,
         }
     }
 
-    /// All adjacency entries of `v` (grouped by label, label-ascending).
-    #[inline]
-    pub fn edges(&self, v: VertexId) -> &[Adj] {
-        &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    /// Reassemble an adjacency from its serialized arrays (for the graph
+    /// image loader). Performs structural validation — offset monotony,
+    /// extents, and that every stored neighbour id is `< max_vertex` and
+    /// every decoded edge id `< max_edge` — but not a re-sort; the writer
+    /// guarantees segment order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        neighbors: Vec<u32>,
+        edge_bytes: Vec<u8>,
+        seg_index: Vec<u32>,
+        seg_labels: Vec<u16>,
+        seg_ends: Vec<u32>,
+        seg_metas: Vec<u32>,
+        n_labels: usize,
+        max_vertex: u64,
+        max_edge: u64,
+    ) -> Option<CsrAdjacency> {
+        let n_segs = seg_labels.len();
+        if seg_ends.len() != n_segs || seg_metas.len() != n_segs {
+            return None;
+        }
+        if seg_index.first() != Some(&0) || *seg_index.last()? as usize != n_segs {
+            return None;
+        }
+        if seg_index.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        // segments are non-empty and contiguous: strictly increasing ends
+        // starting above zero, last one covering the neighbour pool exactly
+        if seg_ends.first().is_some_and(|&e| e == 0) {
+            return None;
+        }
+        if seg_ends.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        match seg_ends.last() {
+            Some(&last) => {
+                if last as usize != neighbors.len() {
+                    return None;
+                }
+            }
+            None => {
+                if !neighbors.is_empty() {
+                    return None;
+                }
+            }
+        }
+        // each vertex's directory row carries strictly ascending in-range labels
+        for row in seg_index.windows(2) {
+            let (s, e) = (row[0] as usize, row[1] as usize);
+            let labels = &seg_labels[s..e];
+            if labels.iter().any(|&l| (l as usize) >= n_labels) {
+                return None;
+            }
+            if labels.windows(2).any(|w| w[0] >= w[1]) {
+                return None;
+            }
+        }
+        if neighbors.iter().any(|&n| u64::from(n) >= max_vertex) {
+            return None;
+        }
+        // every segment's byte range must lie inside the pool and decode to
+        // in-range edge ids; the largest decodable id is `base + max delta`,
+        // so scanning for the maximum delta bounds every entry without
+        // decoding each one (and keeps the arithmetic in u64, so a corrupt
+        // base can never overflow)
+        let mut start = 0usize;
+        for seg in 0..n_segs {
+            let end = seg_ends[seg] as usize;
+            let len = end - start;
+            start = end;
+            let off = (seg_metas[seg] >> 2) as usize;
+            let width = EDGE_WIDTHS[(seg_metas[seg] & 3) as usize] as usize;
+            if off + 4 + width * len > edge_bytes.len() {
+                return None;
+            }
+            let base = u32::from_le_bytes(edge_bytes[off..off + 4].try_into().ok()?);
+            let deltas = &edge_bytes[off + 4..off + 4 + width * len];
+            let max_delta: u32 = match width {
+                0 => 0,
+                1 => deltas.iter().copied().max().map_or(0, u32::from),
+                2 => deltas
+                    .chunks_exact(2)
+                    .map(|c| u32::from(u16::from_le_bytes(c.try_into().unwrap())))
+                    .max()
+                    .unwrap_or(0),
+                _ => deltas
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .max()
+                    .unwrap_or(0),
+            };
+            if u64::from(base) + u64::from(max_delta) >= max_edge {
+                return None;
+            }
+        }
+        Some(CsrAdjacency {
+            neighbors,
+            edge_bytes,
+            seg_index,
+            seg_labels,
+            seg_ends,
+            seg_metas,
+            n_labels,
+        })
     }
 
-    /// Adjacency entries of `v` restricted to `label`: two array lookups, one
-    /// contiguous slice sorted by `(neighbor, edge)`.
+    /// The serialized arrays of the adjacency (for the graph image writer):
+    /// `(neighbors, edge_bytes, seg_index, seg_labels, seg_ends, seg_metas,
+    /// n_labels)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(&self) -> (&[u32], &[u8], &[u32], &[u16], &[u32], &[u32], usize) {
+        (
+            &self.neighbors,
+            &self.edge_bytes,
+            &self.seg_index,
+            &self.seg_labels,
+            &self.seg_ends,
+            &self.seg_metas,
+            self.n_labels,
+        )
+    }
+
+    /// Start offset in `neighbors` of directory segment `seg` — the previous
+    /// segment's end (segments are globally contiguous).
     #[inline]
-    pub fn edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
-        if label.index() >= self.n_labels {
-            return &[];
+    fn seg_start(&self, seg: usize) -> usize {
+        if seg == 0 {
+            0
+        } else {
+            self.seg_ends[seg - 1] as usize
         }
-        let seg = v.index() * self.n_labels + label.index();
-        &self.entries[self.label_offsets[seg] as usize..self.label_offsets[seg + 1] as usize]
+    }
+
+    /// Iterate all adjacency entries of `v` (grouped by label,
+    /// label-ascending, each group sorted by `(neighbor, edge)`).
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
+        let (s, e) = (
+            self.seg_index[v.index()] as usize,
+            self.seg_index[v.index() + 1] as usize,
+        );
+        (s..e).flat_map(move |seg| self.segment(seg).iter())
+    }
+
+    /// Adjacency entries of `v` restricted to `label`: a scan of the vertex's
+    /// directory row (strictly ascending labels, almost always ≤ 4 entries,
+    /// early exit), one contiguous segment sorted by `(neighbor, edge)`, zero
+    /// allocation.
+    #[inline]
+    pub fn edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
+        let (s, e) = (
+            self.seg_index[v.index()] as usize,
+            self.seg_index[v.index() + 1] as usize,
+        );
+        let want = label.0;
+        for seg in s..e {
+            let l = self.seg_labels[seg];
+            if l == want {
+                return self.segment(seg);
+            }
+            if l > want {
+                break;
+            }
+        }
+        AdjSegment::empty(label)
+    }
+
+    /// The directory segment `seg` (non-empty by construction).
+    #[inline]
+    fn segment(&self, seg: usize) -> AdjSegment<'_> {
+        let (s, e) = (self.seg_start(seg), self.seg_ends[seg] as usize);
+        let meta = self.seg_metas[seg];
+        let off = (meta >> 2) as usize;
+        let width = EDGE_WIDTHS[(meta & 3) as usize];
+        let base = u32::from_le_bytes([
+            self.edge_bytes[off],
+            self.edge_bytes[off + 1],
+            self.edge_bytes[off + 2],
+            self.edge_bytes[off + 3],
+        ]);
+        let data = off + 4;
+        AdjSegment {
+            label: LabelId(self.seg_labels[seg]),
+            neighbors: &self.neighbors[s..e],
+            edges: EdgeCodes {
+                base,
+                width,
+                bytes: &self.edge_bytes[data..data + width as usize * (e - s)],
+            },
+        }
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        let (s, e) = (
+            self.seg_index[v.index()] as usize,
+            self.seg_index[v.index() + 1] as usize,
+        );
+        if s == e {
+            return 0;
+        }
+        self.seg_ends[e - 1] as usize - self.seg_start(s)
+    }
+
+    /// Number of stored adjacency entries (one per edge).
+    pub fn entry_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Heap bytes held by the adjacency arrays — the bytes/edge numerator of
+    /// the storage benchmarks.
+    pub fn heap_bytes(&self) -> usize {
+        self.neighbors.len() * 4
+            + self.edge_bytes.len()
+            + self.seg_index.len() * 4
+            + self.seg_labels.len() * 2
+            + self.seg_ends.len() * 4
+            + self.seg_metas.len() * 4
     }
 
     /// The contiguous run of entries of `v` with `label` whose neighbour is
     /// `to` — the parallel edges between the pair, sorted by edge id. Located
     /// by binary search (`O(log d)`), sliced without allocation.
     #[inline]
-    pub fn edges_to(&self, v: VertexId, label: LabelId, to: VertexId) -> &[Adj] {
+    pub fn edges_to(&self, v: VertexId, label: LabelId, to: VertexId) -> AdjSegment<'_> {
         let seg = self.edges_with_label(v, label);
-        let start = seg.partition_point(|a| a.neighbor < to);
-        let end = start + seg[start..].partition_point(|a| a.neighbor == to);
-        &seg[start..end]
+        if to.0 > u32::MAX as u64 {
+            return AdjSegment::empty(label);
+        }
+        let to = to.0 as u32;
+        let nbs = seg.neighbors();
+        let start = nbs.partition_point(|&n| n < to);
+        let end = start + nbs[start..].partition_point(|&n| n == to);
+        seg.slice(start, end)
     }
 }
 
@@ -287,6 +751,27 @@ impl PropColumns {
             column,
             row: in_label_offset as usize,
         })
+    }
+
+    /// The raw column table (including unpopulated `None` slots), for the
+    /// graph image writer.
+    pub(crate) fn raw(&self) -> (usize, &[Option<TypedColumn>]) {
+        (self.n_keys, &self.columns)
+    }
+
+    /// Reassemble a column store from its raw table (graph image loader).
+    /// Returns `None` when the table size is not a multiple of `n_keys`.
+    pub(crate) fn from_raw(
+        n_keys: usize,
+        columns: Vec<Option<TypedColumn>>,
+    ) -> Option<PropColumns> {
+        if n_keys == 0 && !columns.is_empty() {
+            return None;
+        }
+        if n_keys != 0 && !columns.len().is_multiple_of(n_keys) {
+            return None;
+        }
+        Some(PropColumns { n_keys, columns })
     }
 
     /// Iterate the populated columns as `(label, key, column)` triples.
@@ -435,31 +920,31 @@ impl PropertyGraph {
         &self.in_adj
     }
 
-    /// All outgoing adjacency entries of a vertex, grouped by edge label
-    /// (ascending), each label group sorted by `(neighbor, edge)`.
+    /// Iterate all outgoing adjacency entries of a vertex, grouped by edge
+    /// label (ascending), each label group sorted by `(neighbor, edge)`.
     #[inline]
-    pub fn out_edges(&self, v: VertexId) -> &[Adj] {
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
         self.out_adj.edges(v)
     }
 
-    /// All incoming adjacency entries of a vertex, grouped by edge label
-    /// (ascending), each label group sorted by `(neighbor, edge)`.
+    /// Iterate all incoming adjacency entries of a vertex, grouped by edge
+    /// label (ascending), each label group sorted by `(neighbor, edge)`.
     #[inline]
-    pub fn in_edges(&self, v: VertexId) -> &[Adj] {
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
         self.in_adj.edges(v)
     }
 
     /// Outgoing adjacency entries of `v` restricted to one edge label:
-    /// two array lookups, one contiguous slice, zero allocation.
+    /// two array lookups, one contiguous compressed segment, zero allocation.
     #[inline]
-    pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    pub fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         self.out_adj.edges_with_label(v, label)
     }
 
     /// Incoming adjacency entries of `v` restricted to one edge label:
-    /// two array lookups, one contiguous slice, zero allocation.
+    /// two array lookups, one contiguous compressed segment, zero allocation.
     #[inline]
-    pub fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    pub fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         self.in_adj.edges_with_label(v, label)
     }
 
@@ -476,18 +961,22 @@ impl PropertyGraph {
     }
 
     /// Whether there is at least one edge with label `label` from `src` to
-    /// `dst`. Binary search over the sorted (vertex, label) segment.
+    /// `dst`. Binary search over the sorted (vertex, label) neighbour slice.
     #[inline]
     pub fn has_edge(&self, src: VertexId, label: LabelId, dst: VertexId) -> bool {
-        let seg = self.out_adj.edges_with_label(src, label);
-        let i = seg.partition_point(|a| a.neighbor < dst);
-        seg.get(i).is_some_and(|a| a.neighbor == dst)
+        if dst.0 > u32::MAX as u64 {
+            return false;
+        }
+        let nbs = self.out_adj.edges_with_label(src, label).neighbors();
+        let dst = dst.0 as u32;
+        let i = nbs.partition_point(|&n| n < dst);
+        nbs.get(i).is_some_and(|&n| n == dst)
     }
 
-    /// All edges with label `label` from `src` to `dst`, as a contiguous slice
-    /// sorted by edge id. Binary search, zero allocation.
+    /// All edges with label `label` from `src` to `dst`, as a contiguous
+    /// segment sorted by edge id. Binary search, zero allocation.
     #[inline]
-    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> &[Adj] {
+    pub fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> AdjSegment<'_> {
         self.out_adj.edges_to(src, label, dst)
     }
 
@@ -547,6 +1036,65 @@ impl PropertyGraph {
     /// Name of an interned property key.
     pub fn prop_key_name(&self, id: PropKeyId) -> &str {
         &self.prop_keys[id.index()]
+    }
+
+    /// Reassemble a graph from its primary columns (graph image loader).
+    /// Derived members — label partitions, in-label offsets, per-label counts
+    /// and the key-interning index — are recomputed from the primary columns,
+    /// and a **fresh** build id is stamped: a loaded graph is new content as
+    /// far as shard caches are concerned. The caller must have validated that
+    /// every label id is in range for `schema`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        schema: GraphSchema,
+        vertex_labels: Vec<LabelId>,
+        vertex_props: PropColumns,
+        edge_labels: Vec<LabelId>,
+        edge_srcs: Vec<VertexId>,
+        edge_dsts: Vec<VertexId>,
+        edge_props: PropColumns,
+        out_adj: CsrAdjacency,
+        in_adj: CsrAdjacency,
+        prop_keys: Vec<String>,
+    ) -> PropertyGraph {
+        let n_vlabels = schema.vertex_label_count();
+        let n_elabels = schema.edge_label_count();
+        let mut vertex_in_label_offset = Vec::with_capacity(vertex_labels.len());
+        let mut vertices_by_label: Vec<Vec<VertexId>> = vec![Vec::new(); n_vlabels];
+        for (i, l) in vertex_labels.iter().enumerate() {
+            let part = &mut vertices_by_label[l.index()];
+            vertex_in_label_offset.push(part.len() as u32);
+            part.push(VertexId(i as u64));
+        }
+        let mut edge_in_label_offset = Vec::with_capacity(edge_labels.len());
+        let mut edge_count_by_label = vec![0u64; n_elabels];
+        for l in &edge_labels {
+            edge_in_label_offset.push(edge_count_by_label[l.index()] as u32);
+            edge_count_by_label[l.index()] += 1;
+        }
+        let prop_key_idx = prop_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), PropKeyId(i as u16)))
+            .collect();
+        PropertyGraph {
+            schema,
+            build_id: next_build_id(),
+            vertex_labels,
+            vertex_in_label_offset,
+            vertices_by_label,
+            vertex_props,
+            edge_labels,
+            edge_srcs,
+            edge_dsts,
+            edge_in_label_offset,
+            edge_count_by_label,
+            edge_props,
+            out_adj,
+            in_adj,
+            prop_keys,
+            prop_key_idx,
+        }
     }
 
     /// Look up a vertex property by key id: O(1) column access. Returns an
@@ -662,6 +1210,14 @@ impl PropertyGraph {
         }
         s
     }
+}
+
+/// A process-unique id for each materialised graph. Image loads draw from the
+/// same counter as [`GraphBuilder::finish`], so a loaded graph never aliases
+/// the identity of a graph built in-process (shard caches key on this).
+pub(crate) fn next_build_id() -> u64 {
+    static NEXT_BUILD_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT_BUILD_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 #[derive(Debug, Clone)]
@@ -911,10 +1467,9 @@ impl GraphBuilder {
             }
         }
 
-        static NEXT_BUILD_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         PropertyGraph {
             schema,
-            build_id: NEXT_BUILD_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            build_id: next_build_id(),
             vertex_labels,
             vertex_in_label_offset,
             vertices_by_label,
@@ -992,7 +1547,15 @@ mod tests {
         let knows = g.schema().edge_label("Knows").unwrap();
         let adj = g.out_edges_with_label(p1, knows);
         assert_eq!(adj.len(), 1);
-        assert_eq!(adj[0].neighbor, p2);
+        assert_eq!(adj.neighbor(0), p2);
+        assert_eq!(
+            adj.get(0),
+            Adj {
+                edge_label: knows,
+                edge: EdgeId(0),
+                neighbor: p2
+            }
+        );
         assert!(g.has_edge(p1, knows, p2));
         assert!(!g.has_edge(p2, knows, p1));
         assert_eq!(g.edges_between(p1, knows, p2).len(), 1);
@@ -1020,14 +1583,14 @@ mod tests {
     fn full_adjacency_is_grouped_by_label() {
         let g = small_graph();
         let p1 = VertexId(0);
-        let all = g.out_edges(p1);
+        let all: Vec<Adj> = g.out_edges(p1).collect();
         assert_eq!(all.len(), 2);
         // groups appear in ascending label order
         assert!(all.windows(2).all(|w| w[0].edge_label <= w[1].edge_label));
-        // the concatenation of per-label slices equals the full slice
+        // the concatenation of per-label segments equals the full iteration
         let mut concat: Vec<Adj> = Vec::new();
         for l in g.schema().edge_label_ids() {
-            concat.extend_from_slice(g.out_edges_with_label(p1, l));
+            concat.extend(g.out_edges_with_label(p1, l).iter());
         }
         assert_eq!(concat, all);
     }
@@ -1046,11 +1609,61 @@ mod tests {
         let knows = g.schema().edge_label("Knows").unwrap();
         let run = g.edges_between(p1, knows, p2);
         assert_eq!(run.len(), 2);
-        assert_eq!(run[0].edge, e1, "parallel edges sorted by edge id");
-        assert_eq!(run[1].edge, e3);
+        assert_eq!(run.edge(0), e1, "parallel edges sorted by edge id");
+        assert_eq!(run.edge(1), e3);
         assert_eq!(g.first_edge_between(p1, knows, p2), Some(e1));
         assert_eq!(g.edges_between(p1, knows, p3).len(), 1);
         assert!(g.edges_between(p2, knows, p1).is_empty());
+    }
+
+    #[test]
+    fn edge_ids_delta_decode_across_widths() {
+        // synthetic edge ids spanning the delta widths: segment (v0, l0) gets
+        // {300, 70_000} and segment (v0 -> neighbor 1) interleaved, so the
+        // combined segment sorted by (neighbor, edge) is
+        // [(0, 300), (0, 70_000), (1, 7), (1, 8)] with base 7, width 4
+        let ids = [70_000u64, 8, 300, 7];
+        let labels = vec![LabelId(0); 4];
+        let adj = CsrAdjacency::build_with_ids(
+            2,
+            1,
+            &labels,
+            |_| VertexId(0),
+            |i| VertexId((i % 2) as u64),
+            |i| EdgeId(ids[i]),
+        );
+        let seg = adj.edges_with_label(VertexId(0), LabelId(0));
+        assert_eq!(seg.len(), 4);
+        assert_eq!(seg.neighbors(), &[0, 0, 1, 1]);
+        let decoded: Vec<(u64, u64)> = seg.iter().map(|a| (a.neighbor.0, a.edge.0)).collect();
+        assert_eq!(decoded, [(0, 300), (0, 70_000), (1, 7), (1, 8)]);
+        assert_eq!(seg.edge(1), EdgeId(70_000));
+        // sub-slicing keeps decoding aligned
+        let tail = seg.slice(2, 4);
+        assert_eq!(tail.to_vec(), seg.to_vec()[2..]);
+        assert_eq!(adj.entry_count(), 4);
+        assert_eq!(adj.degree(VertexId(0)), 4);
+        assert_eq!(adj.degree(VertexId(1)), 0);
+        assert!(adj.edges_with_label(VertexId(1), LabelId(0)).is_empty());
+
+        // a tight id cluster compresses to 1-byte deltas
+        let labels = vec![LabelId(0); 200];
+        let dense = CsrAdjacency::build_with_ids(
+            1,
+            1,
+            &labels,
+            |_| VertexId(0),
+            |_| VertexId(0),
+            |i| EdgeId(1000 + i as u64),
+        );
+        let seg = dense.edges_with_label(VertexId(0), LabelId(0));
+        assert_eq!(seg.len(), 200);
+        for i in 0..200 {
+            assert_eq!(seg.edge(i).0, 1000 + i as u64);
+        }
+        // 4 B neighbor + 1 B delta per entry, plus small per-segment overhead:
+        // far below the 24 B/entry of the uncompressed Adj struct
+        assert!(dense.heap_bytes() < 200 * 24);
     }
 
     #[test]

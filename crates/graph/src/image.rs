@@ -1,0 +1,1109 @@
+//! Versioned binary serialization of a partitioned graph plus its statistics
+//! — the **graph image**.
+//!
+//! An image is the memory-scale storage layout written straight to disk: the
+//! monolithic [`PropertyGraph`] arrays (compressed CSR adjacency,
+//! dictionary-encoded property columns), the per-shard arrays of a
+//! [`PartitionedGraph`], and the precomputed [`GraphStats`]. Loading an image
+//! reconstructs all three **without** re-sorting adjacency, re-scattering
+//! property columns, or re-scanning for statistics — the expensive phases of
+//! ingest — leaving only array reads plus cheap derived-index rebuilds, which
+//! is what makes a cold boot from an image several times faster than
+//! re-ingesting the same graph.
+//!
+//! # Format
+//!
+//! ```text
+//! magic    8 bytes  b"GOPTIMG\0"
+//! version  u32      IMAGE_VERSION
+//! count    u32      number of sections
+//! table    count × { id: u32, offset: u64, len: u64, checksum: u64 }
+//! payloads …        section bytes, contiguous, in table order
+//! ```
+//!
+//! Every integer is little-endian. Each section carries an FNV-1a 64
+//! checksum over its payload, verified before any decoding; truncated,
+//! bit-flipped or wrong-version images fail with a typed [`ImageError`] and
+//! never panic. Sections:
+//!
+//! * `META` — schema (labels, property defs), the interned property-key
+//!   table, and the partition count;
+//! * `GRAPH` — the monolithic primary columns: vertex labels, vertex property
+//!   columns, edge labels/endpoints, edge property columns, both adjacency
+//!   structures;
+//! * `SHARDS` — per partition: out/in adjacency over local ids plus the
+//!   shard's scattered vertex property columns;
+//! * `STATS` — the full [`GraphStats`] (low-order counts, per-column
+//!   sketches, histograms and value maps).
+//!
+//! Loaded graphs get a **fresh** build id (see
+//! [`crate::graph::PropertyGraph::build_id`]), so engine-side caches keyed on
+//! graph identity never alias an image with an in-process build.
+
+use crate::column::{NullBitmap, StrColumn, TypedColumn};
+use crate::graph::{CsrAdjacency, PropColumns, PropertyGraph};
+use crate::ids::{LabelId, VertexId};
+use crate::partition::PartitionedGraph;
+use crate::schema::{GraphSchema, PropType, PropertyDef};
+use crate::stats::GraphStats;
+use crate::value::PropValue;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic, first 8 bytes of every image.
+pub const IMAGE_MAGIC: [u8; 8] = *b"GOPTIMG\0";
+
+/// Current image format version. Bump on any layout change; loaders reject
+/// other versions with [`ImageError::UnsupportedVersion`].
+pub const IMAGE_VERSION: u32 = 1;
+
+const SECTION_META: u32 = 1;
+const SECTION_GRAPH: u32 = 2;
+const SECTION_SHARDS: u32 = 3;
+const SECTION_STATS: u32 = 4;
+
+/// Why an image could not be written or loaded. Every malformed input maps to
+/// a variant here — the loader never panics on untrusted bytes.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with [`IMAGE_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`IMAGE_VERSION`].
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// The file ended before the named structure was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A required section is absent from the section table.
+    MissingSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A section decoded but violates a structural invariant.
+    Corrupt {
+        /// Section name.
+        section: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "image i/o error: {e}"),
+            ImageError::BadMagic => write!(f, "not a graph image (bad magic)"),
+            ImageError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "image version {found} unsupported (expected {supported})"
+                )
+            }
+            ImageError::Truncated { what } => write!(f, "image truncated while reading {what}"),
+            ImageError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            ImageError::MissingSection { section } => write!(f, "missing section {section}"),
+            ImageError::Corrupt { section, detail } => {
+                write!(f, "corrupt section {section}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// 64-bit section checksum: FNV-1a folded over 8-byte little-endian lanes,
+/// four independent lanes per 32-byte block (so the multiply chains overlap
+/// instead of serializing), with the trailing partial lane zero-padded and
+/// the length mixed into the seed (so payloads differing only in trailing
+/// zero bytes hash apart). Not cryptographic; it guards against truncation
+/// and accidental corruption, like a CRC — but a handful of overlapping
+/// multiplies per 32 bytes instead of one dependent multiply per byte, which
+/// matters on the cold-load path.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let seed: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut lanes = [
+        seed,
+        seed ^ PRIME,
+        seed.rotate_left(17),
+        seed.rotate_left(31),
+    ];
+    let mut blocks = bytes.chunks_exact(32);
+    for block in &mut blocks {
+        for (lane, chunk) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(chunk.try_into().unwrap());
+            *lane = lane.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = lanes
+        .iter()
+        .fold(seed, |acc, &l| (acc ^ l).wrapping_mul(PRIME));
+    let mut tail8 = blocks.remainder().chunks_exact(8);
+    for chunk in &mut tail8 {
+        h ^= u64::from_le_bytes(chunk.try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = tail8.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian writers
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+pub(crate) fn put_u16s(out: &mut Vec<u8>, vs: &[u16]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u16(out, v);
+    }
+}
+pub(crate) fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+pub(crate) fn put_i64s(out: &mut Vec<u8>, vs: &[i64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_i64(out, v);
+    }
+}
+pub(crate) fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over one section's payload. Every read returns a
+/// typed error instead of panicking when the bytes run out.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8], section: &'static str) -> Cursor<'a> {
+        Cursor {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    pub(crate) fn corrupt(&self, detail: impl Into<String>) -> ImageError {
+        ImageError::Corrupt {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ImageError::Truncated { what: self.section })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn i64(&mut self) -> Result<i64, ImageError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn f64(&mut self) -> Result<f64, ImageError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed string, borrowed straight from the payload —
+    /// callers building `Arc<str>` values copy once instead of via an
+    /// intermediate `String`.
+    pub(crate) fn str_slice(&mut self) -> Result<&'a str, ImageError> {
+        let len = self.len_capped("string")?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| self.corrupt("invalid UTF-8 in string"))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, ImageError> {
+        Ok(self.str_slice()?.to_owned())
+    }
+
+    /// A length-prefixed `u16` array, decoded in bulk.
+    pub(crate) fn u16s(&mut self, what: &str) -> Result<Vec<u16>, ImageError> {
+        let n = self.count_capped(2, what)?;
+        let bytes = self.take(n * 2)?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A length-prefixed `u32` array, decoded in bulk.
+    pub(crate) fn u32s(&mut self, what: &str) -> Result<Vec<u32>, ImageError> {
+        let n = self.count_capped(4, what)?;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A length-prefixed `i64` array, decoded in bulk.
+    pub(crate) fn i64s(&mut self, what: &str) -> Result<Vec<i64>, ImageError> {
+        let n = self.count_capped(8, what)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A length-prefixed `f64` array (bit patterns), decoded in bulk.
+    pub(crate) fn f64s(&mut self, what: &str) -> Result<Vec<f64>, ImageError> {
+        let n = self.count_capped(8, what)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    /// A `u32` length field, sanity-capped against the remaining bytes so a
+    /// corrupted length cannot trigger a huge allocation.
+    pub(crate) fn len_capped(&mut self, what: &str) -> Result<usize, ImageError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(self.corrupt(format!("{what} length {len} exceeds section size")));
+        }
+        Ok(len)
+    }
+
+    /// A `u32` count of fixed-size items, capped by the bytes remaining.
+    pub(crate) fn count_capped(
+        &mut self,
+        item_bytes: usize,
+        what: &str,
+    ) -> Result<usize, ImageError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(item_bytes) > self.buf.len() - self.pos {
+            return Err(self.corrupt(format!("{what} count {n} exceeds section size")));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn done(&self) -> Result<(), ImageError> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / column / adjacency codecs
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &PropValue) {
+    match v {
+        PropValue::Null => put_u8(out, 0),
+        PropValue::Bool(b) => {
+            put_u8(out, 1);
+            put_u8(out, u8::from(*b));
+        }
+        PropValue::Int(i) => {
+            put_u8(out, 2);
+            put_i64(out, *i);
+        }
+        PropValue::Float(f) => {
+            put_u8(out, 3);
+            put_f64(out, *f);
+        }
+        PropValue::Str(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+        PropValue::Date(d) => {
+            put_u8(out, 5);
+            put_i64(out, *d);
+        }
+    }
+}
+
+pub(crate) fn read_value(r: &mut Cursor<'_>) -> Result<PropValue, ImageError> {
+    Ok(match r.u8()? {
+        0 => PropValue::Null,
+        1 => PropValue::Bool(r.u8()? != 0),
+        2 => PropValue::Int(r.i64()?),
+        3 => PropValue::Float(r.f64()?),
+        4 => PropValue::Str(Arc::from(r.str_slice()?)),
+        5 => PropValue::Date(r.i64()?),
+        t => return Err(r.corrupt(format!("unknown PropValue tag {t}"))),
+    })
+}
+
+fn put_bitmap(out: &mut Vec<u8>, bm: &NullBitmap) {
+    put_u32(out, bm.len() as u32);
+    for &w in bm.words() {
+        put_u64(out, w);
+    }
+}
+
+fn read_bitmap(r: &mut Cursor<'_>) -> Result<NullBitmap, ImageError> {
+    let len = r.u32()? as usize;
+    let n_words = len.div_ceil(64);
+    if n_words.saturating_mul(8) > usize::MAX / 2 {
+        return Err(r.corrupt("bitmap length overflow"));
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    NullBitmap::from_words(words, len).ok_or_else(|| r.corrupt("bitmap word/length mismatch"))
+}
+
+fn put_column(out: &mut Vec<u8>, col: &TypedColumn) {
+    match col {
+        TypedColumn::Int(vals, bm) => {
+            put_u8(out, 0);
+            put_i64s(out, vals);
+            put_bitmap(out, bm);
+        }
+        TypedColumn::Float(vals, bm) => {
+            put_u8(out, 1);
+            put_f64s(out, vals);
+            put_bitmap(out, bm);
+        }
+        TypedColumn::Bool(vals, bm) => {
+            put_u8(out, 2);
+            put_u32(out, vals.len() as u32);
+            for &v in vals {
+                put_u8(out, u8::from(v));
+            }
+            put_bitmap(out, bm);
+        }
+        TypedColumn::Date(vals, bm) => {
+            put_u8(out, 3);
+            put_i64s(out, vals);
+            put_bitmap(out, bm);
+        }
+        TypedColumn::Str(col) => {
+            put_u8(out, 4);
+            put_u32s(out, col.codes());
+            put_u32(out, col.dict().len() as u32);
+            for s in col.dict() {
+                put_str(out, s);
+            }
+            put_bitmap(out, col.validity());
+        }
+        TypedColumn::Mixed(cells) => {
+            put_u8(out, 5);
+            put_u32(out, cells.len() as u32);
+            for cell in cells.iter() {
+                match cell {
+                    None => put_u8(out, 0),
+                    Some(v) => {
+                        put_u8(out, 1);
+                        put_value(out, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_column(r: &mut Cursor<'_>) -> Result<TypedColumn, ImageError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 | 3 => {
+            let vals = r.i64s("int column")?;
+            let bm = read_bitmap(r)?;
+            if bm.len() != vals.len() {
+                return Err(r.corrupt("column/bitmap length mismatch"));
+            }
+            if tag == 0 {
+                TypedColumn::Int(vals, bm)
+            } else {
+                TypedColumn::Date(vals, bm)
+            }
+        }
+        1 => {
+            let vals = r.f64s("float column")?;
+            let bm = read_bitmap(r)?;
+            if bm.len() != vals.len() {
+                return Err(r.corrupt("column/bitmap length mismatch"));
+            }
+            TypedColumn::Float(vals, bm)
+        }
+        2 => {
+            let n = r.count_capped(1, "bool column")?;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(r.u8()? != 0);
+            }
+            let bm = read_bitmap(r)?;
+            if bm.len() != vals.len() {
+                return Err(r.corrupt("column/bitmap length mismatch"));
+            }
+            TypedColumn::Bool(vals, bm)
+        }
+        4 => {
+            let codes = r.u32s("str column codes")?;
+            let n_dict = r.count_capped(4, "str column dictionary")?;
+            let mut dict: Vec<Arc<str>> = Vec::with_capacity(n_dict);
+            for _ in 0..n_dict {
+                dict.push(Arc::from(r.str_slice()?));
+            }
+            let bm = read_bitmap(r)?;
+            StrColumn::from_parts(codes, dict, bm)
+                .map(TypedColumn::Str)
+                .ok_or_else(|| r.corrupt("invalid dictionary-encoded string column"))?
+        }
+        5 => {
+            let n = r.count_capped(1, "mixed column")?;
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                cells.push(match r.u8()? {
+                    0 => None,
+                    1 => Some(read_value(r)?),
+                    t => return Err(r.corrupt(format!("unknown cell tag {t}"))),
+                });
+            }
+            TypedColumn::Mixed(cells.into_boxed_slice())
+        }
+        t => return Err(r.corrupt(format!("unknown column tag {t}"))),
+    })
+}
+
+fn put_prop_columns(out: &mut Vec<u8>, cols: &PropColumns) {
+    let (n_keys, columns) = cols.raw();
+    put_u32(out, n_keys as u32);
+    put_u32(out, columns.len() as u32);
+    for col in columns {
+        match col {
+            None => put_u8(out, 0),
+            Some(c) => {
+                put_u8(out, 1);
+                put_column(out, c);
+            }
+        }
+    }
+}
+
+fn read_prop_columns(r: &mut Cursor<'_>) -> Result<PropColumns, ImageError> {
+    let n_keys = r.u32()? as usize;
+    let n_cols = r.count_capped(1, "prop columns")?;
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        columns.push(match r.u8()? {
+            0 => None,
+            1 => Some(read_column(r)?),
+            t => return Err(r.corrupt(format!("unknown prop column tag {t}"))),
+        });
+    }
+    PropColumns::from_raw(n_keys, columns)
+        .ok_or_else(|| r.corrupt("prop column table not a multiple of the key count"))
+}
+
+fn put_adjacency(out: &mut Vec<u8>, adj: &CsrAdjacency) {
+    let (neighbors, edge_bytes, seg_index, seg_labels, seg_ends, seg_metas, n_labels) = adj.parts();
+    put_u32(out, n_labels as u32);
+    put_u32s(out, neighbors);
+    put_u32(out, edge_bytes.len() as u32);
+    out.extend_from_slice(edge_bytes);
+    put_u32s(out, seg_index);
+    put_u16s(out, seg_labels);
+    put_u32s(out, seg_ends);
+    put_u32s(out, seg_metas);
+}
+
+fn read_adjacency(
+    r: &mut Cursor<'_>,
+    max_vertex: u64,
+    max_edge: u64,
+) -> Result<CsrAdjacency, ImageError> {
+    let n_labels = r.u32()? as usize;
+    let neighbors = r.u32s("adjacency neighbors")?;
+    let n = r.len_capped("adjacency edge pool")?;
+    let edge_bytes = r.take(n)?.to_vec();
+    let seg_index = r.u32s("adjacency segment index")?;
+    let seg_labels = r.u16s("adjacency segment labels")?;
+    let seg_ends = r.u32s("adjacency segment ends")?;
+    let seg_metas = r.u32s("adjacency segment metadata")?;
+    CsrAdjacency::from_parts(
+        neighbors, edge_bytes, seg_index, seg_labels, seg_ends, seg_metas, n_labels, max_vertex,
+        max_edge,
+    )
+    .ok_or_else(|| r.corrupt("adjacency arrays violate CSR invariants"))
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+// ---------------------------------------------------------------------------
+
+fn put_prop_defs(out: &mut Vec<u8>, defs: &[PropertyDef]) {
+    put_u32(out, defs.len() as u32);
+    for d in defs {
+        put_str(out, &d.name);
+        put_u8(
+            out,
+            match d.kind {
+                PropType::Int => 0,
+                PropType::Float => 1,
+                PropType::Str => 2,
+                PropType::Bool => 3,
+                PropType::Date => 4,
+            },
+        );
+    }
+}
+
+fn read_prop_defs(r: &mut Cursor<'_>) -> Result<Vec<PropertyDef>, ImageError> {
+    let n = r.count_capped(5, "property defs")?;
+    let mut defs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let kind = match r.u8()? {
+            0 => PropType::Int,
+            1 => PropType::Float,
+            2 => PropType::Str,
+            3 => PropType::Bool,
+            4 => PropType::Date,
+            t => return Err(r.corrupt(format!("unknown PropType tag {t}"))),
+        };
+        defs.push(PropertyDef::new(name, kind));
+    }
+    Ok(defs)
+}
+
+fn encode_meta(graph: &PropertyGraph, partitions: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let schema = graph.schema();
+    put_u32(&mut out, partitions as u32);
+    put_u32(&mut out, schema.vertex_label_count() as u32);
+    for id in schema.vertex_label_ids() {
+        put_str(&mut out, schema.vertex_label_name(id));
+        put_prop_defs(&mut out, &schema.vertex_label_def(id).properties);
+    }
+    put_u32(&mut out, schema.edge_label_count() as u32);
+    for id in schema.edge_label_ids() {
+        let def = schema.edge_label_def(id);
+        put_str(&mut out, schema.edge_label_name(id));
+        put_u32(&mut out, def.endpoints.len() as u32);
+        for &(s, d) in &def.endpoints {
+            put_u16(&mut out, s.0);
+            put_u16(&mut out, d.0);
+        }
+        put_prop_defs(&mut out, &def.properties);
+    }
+    put_u32(&mut out, graph.prop_key_count() as u32);
+    for i in 0..graph.prop_key_count() {
+        put_str(
+            &mut out,
+            graph.prop_key_name(crate::ids::PropKeyId(i as u16)),
+        );
+    }
+    out
+}
+
+struct Meta {
+    partitions: usize,
+    schema: GraphSchema,
+    prop_keys: Vec<String>,
+}
+
+fn decode_meta(r: &mut Cursor<'_>) -> Result<Meta, ImageError> {
+    let partitions = r.u32()? as usize;
+    if partitions == 0 {
+        return Err(r.corrupt("partition count is zero"));
+    }
+    let mut schema = GraphSchema::new();
+    let n_vlabels = r.count_capped(4, "vertex labels")?;
+    for _ in 0..n_vlabels {
+        let name = r.str()?;
+        let props = read_prop_defs(r)?;
+        schema
+            .add_vertex_label(name, props)
+            .map_err(|e| r.corrupt(format!("schema rejects vertex label: {e}")))?;
+    }
+    let n_elabels = r.count_capped(4, "edge labels")?;
+    for _ in 0..n_elabels {
+        let name = r.str()?;
+        let n_ep = r.count_capped(4, "edge endpoints")?;
+        let mut endpoints = Vec::with_capacity(n_ep);
+        for _ in 0..n_ep {
+            let s = LabelId(r.u16()?);
+            let d = LabelId(r.u16()?);
+            if s.index() >= n_vlabels || d.index() >= n_vlabels {
+                return Err(r.corrupt("edge endpoint label out of range"));
+            }
+            endpoints.push((s, d));
+        }
+        let props = read_prop_defs(r)?;
+        schema
+            .add_edge_label(name, endpoints, props)
+            .map_err(|e| r.corrupt(format!("schema rejects edge label: {e}")))?;
+    }
+    let n_keys = r.count_capped(4, "prop keys")?;
+    let mut prop_keys = Vec::with_capacity(n_keys);
+    for _ in 0..n_keys {
+        prop_keys.push(r.str()?);
+    }
+    Ok(Meta {
+        partitions,
+        schema,
+        prop_keys,
+    })
+}
+
+fn encode_graph(graph: &PropertyGraph) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, graph.vertex_count() as u32);
+    for &l in graph.vertex_label_column() {
+        put_u16(&mut out, l.0);
+    }
+    put_prop_columns(&mut out, graph.vertex_prop_columns());
+    put_u32(&mut out, graph.edge_count() as u32);
+    for &l in graph.edge_label_column() {
+        put_u16(&mut out, l.0);
+    }
+    for &v in graph.edge_source_column() {
+        put_u32(&mut out, v.0 as u32);
+    }
+    for &v in graph.edge_target_column() {
+        put_u32(&mut out, v.0 as u32);
+    }
+    put_prop_columns(&mut out, graph.edge_prop_columns());
+    for adj in [graph.out_adjacency(), graph.in_adjacency()] {
+        // length-prefixed so the loader can decode both directions
+        // concurrently
+        let mut block = Vec::new();
+        put_adjacency(&mut block, adj);
+        put_u32(&mut out, block.len() as u32);
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+/// Whether the decode fan-out is worth spawning scoped threads for. On a
+/// single-core host the spawns only add overhead to the cold-load path.
+fn decode_in_parallel() -> bool {
+    std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+}
+
+fn decode_graph(r: &mut Cursor<'_>, meta: &Meta) -> Result<PropertyGraph, ImageError> {
+    let n_vlabels = meta.schema.vertex_label_count();
+    let n_elabels = meta.schema.edge_label_count();
+    let n_vertices = r.count_capped(2, "vertex labels")?;
+    let vertex_labels: Vec<LabelId> = r
+        .take(n_vertices * 2)?
+        .chunks_exact(2)
+        .map(|c| LabelId(u16::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    if vertex_labels.iter().any(|l| l.index() >= n_vlabels) {
+        return Err(r.corrupt("vertex label out of range"));
+    }
+    let vertex_props = read_prop_columns(r)?;
+    let n_edges = r.count_capped(10, "edge catalog")?;
+    let edge_labels: Vec<LabelId> = r
+        .take(n_edges * 2)?
+        .chunks_exact(2)
+        .map(|c| LabelId(u16::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    if edge_labels.iter().any(|l| l.index() >= n_elabels) {
+        return Err(r.corrupt("edge label out of range"));
+    }
+    let mut endpoints = |what| -> Result<Vec<VertexId>, ImageError> {
+        let vs: Vec<VertexId> = r
+            .take(n_edges * 4)?
+            .chunks_exact(4)
+            .map(|c| VertexId(u64::from(u32::from_le_bytes(c.try_into().unwrap()))))
+            .collect();
+        if vs.iter().any(|v| v.0 >= n_vertices as u64) {
+            return Err(r.corrupt(format!("edge {what} out of range")));
+        }
+        Ok(vs)
+    };
+    let edge_srcs = endpoints("source")?;
+    let edge_dsts = endpoints("target")?;
+    let edge_props = read_prop_columns(r)?;
+    let out_len = r.len_capped("out adjacency block")?;
+    let out_block = r.take(out_len)?;
+    let in_len = r.len_capped("in adjacency block")?;
+    let in_block = r.take(in_len)?;
+    // the two directions are independent — decode them concurrently when
+    // there is more than one core to run on
+    let (out_adj, in_adj) = if decode_in_parallel() {
+        std::thread::scope(|s| {
+            let h =
+                s.spawn(|| decode_adjacency_block(out_block, n_vertices as u64, n_edges as u64));
+            let in_adj = decode_adjacency_block(in_block, n_vertices as u64, n_edges as u64);
+            (h.join().expect("adjacency decode does not panic"), in_adj)
+        })
+    } else {
+        (
+            decode_adjacency_block(out_block, n_vertices as u64, n_edges as u64),
+            decode_adjacency_block(in_block, n_vertices as u64, n_edges as u64),
+        )
+    };
+    let (out_adj, in_adj) = (out_adj?, in_adj?);
+    Ok(PropertyGraph::assemble(
+        meta.schema.clone(),
+        vertex_labels,
+        vertex_props,
+        edge_labels,
+        edge_srcs,
+        edge_dsts,
+        edge_props,
+        out_adj,
+        in_adj,
+        meta.prop_keys.clone(),
+    ))
+}
+
+fn encode_shards(pg: &PartitionedGraph) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, pg.partitions() as u32);
+    for shard in pg.shards() {
+        // each shard is a length-prefixed block, so the loader can hand
+        // whole blocks to worker threads without parsing them first
+        let mut block = Vec::new();
+        put_adjacency(&mut block, shard.out_adjacency());
+        put_adjacency(&mut block, shard.in_adjacency());
+        put_prop_columns(&mut block, shard.prop_columns());
+        put_u32(&mut out, block.len() as u32);
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
+/// Decode one direction's length-prefixed adjacency block (on a worker
+/// thread).
+fn decode_adjacency_block(
+    bytes: &[u8],
+    max_vertex: u64,
+    max_edge: u64,
+) -> Result<CsrAdjacency, ImageError> {
+    let mut r = Cursor::new(bytes, "graph");
+    let adj = read_adjacency(&mut r, max_vertex, max_edge)?;
+    r.done()?;
+    Ok(adj)
+}
+
+/// Decode one shard's length-prefixed block (on a worker thread).
+fn decode_shard_block(
+    bytes: &[u8],
+    n_vertices: u64,
+    n_edges: u64,
+) -> Result<(CsrAdjacency, CsrAdjacency, PropColumns), ImageError> {
+    let mut r = Cursor::new(bytes, "shards");
+    // shard adjacency stores GLOBAL neighbour/edge ids over LOCAL sources
+    let out_adj = read_adjacency(&mut r, n_vertices, n_edges)?;
+    let in_adj = read_adjacency(&mut r, n_vertices, n_edges)?;
+    let props = read_prop_columns(&mut r)?;
+    r.done()?;
+    Ok((out_adj, in_adj, props))
+}
+
+fn decode_shards(
+    r: &mut Cursor<'_>,
+    meta: &Meta,
+    graph: &PropertyGraph,
+) -> Result<PartitionedGraph, ImageError> {
+    let n_shards = r.u32()? as usize;
+    if n_shards != meta.partitions {
+        return Err(r.corrupt(format!(
+            "shard count {n_shards} does not match partition count {}",
+            meta.partitions
+        )));
+    }
+    let n_vertices = graph.vertex_count() as u64;
+    let n_edges = graph.edge_count() as u64;
+    let mut blocks = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let len = r.len_capped("shard block")?;
+        blocks.push(r.take(len)?);
+    }
+    // shard blocks are independent — decode them concurrently when there is
+    // more than one core to run on
+    let decoded: Vec<Result<_, ImageError>> = if decode_in_parallel() {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|&b| s.spawn(move || decode_shard_block(b, n_vertices, n_edges)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard decode does not panic"))
+                .collect()
+        })
+    } else {
+        blocks
+            .iter()
+            .map(|&b| decode_shard_block(b, n_vertices, n_edges))
+            .collect()
+    };
+    let mut parts = Vec::with_capacity(n_shards);
+    for d in decoded {
+        parts.push(d?);
+    }
+    PartitionedGraph::assemble(graph, meta.partitions, parts)
+        .ok_or_else(|| r.corrupt("shard arrays do not assemble into a partitioned graph"))
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+/// Everything a graph image holds, reconstructed: the monolithic graph, the
+/// partitioned layout over it, and the precomputed statistics.
+pub struct LoadedImage {
+    /// The monolithic graph (fresh build id).
+    pub graph: Arc<PropertyGraph>,
+    /// The partitioned layout, shard arrays taken from the image verbatim.
+    pub partitioned: Arc<PartitionedGraph>,
+    /// The statistics as they were when the image was written.
+    pub stats: Arc<GraphStats>,
+}
+
+/// Serialize `graph` + its partitioned layout + `stats` into an image byte
+/// buffer. `pg` must be a partitioning **of** `graph` (same vertex/edge set).
+pub fn image_bytes(graph: &PropertyGraph, pg: &PartitionedGraph, stats: &GraphStats) -> Vec<u8> {
+    let sections: [(u32, Vec<u8>); 4] = [
+        (SECTION_META, encode_meta(graph, pg.partitions())),
+        (SECTION_GRAPH, encode_graph(graph)),
+        (SECTION_SHARDS, encode_shards(pg)),
+        (SECTION_STATS, {
+            let mut out = Vec::new();
+            stats.encode(&mut out);
+            out
+        }),
+    ];
+    let header_len = IMAGE_MAGIC.len() + 4 + 4 + sections.len() * 28;
+    let mut out =
+        Vec::with_capacity(header_len + sections.iter().map(|(_, p)| p.len()).sum::<usize>());
+    out.extend_from_slice(&IMAGE_MAGIC);
+    put_u32(&mut out, IMAGE_VERSION);
+    put_u32(&mut out, sections.len() as u32);
+    let mut offset = header_len as u64;
+    for (id, payload) in &sections {
+        put_u32(&mut out, *id);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, payload.len() as u64);
+        put_u64(&mut out, checksum64(payload));
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Write a graph image to `path` (atomic: written to a sibling temp file,
+/// then renamed over the target).
+pub fn write_image(
+    graph: &PropertyGraph,
+    pg: &PartitionedGraph,
+    stats: &GraphStats,
+    path: &Path,
+) -> Result<(), ImageError> {
+    let bytes = image_bytes(graph, pg, stats);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SECTION_META => "meta",
+        SECTION_GRAPH => "graph",
+        SECTION_SHARDS => "shards",
+        SECTION_STATS => "stats",
+        _ => "unknown",
+    }
+}
+
+/// Locate, checksum-verify and return one section's payload.
+fn section<'a>(
+    bytes: &'a [u8],
+    table: &[(u32, u64, u64, u64)],
+    id: u32,
+) -> Result<&'a [u8], ImageError> {
+    let name = section_name(id);
+    let &(_, offset, len, checksum) = table
+        .iter()
+        .find(|(sid, ..)| *sid == id)
+        .ok_or(ImageError::MissingSection { section: name })?;
+    let start = usize::try_from(offset).map_err(|_| ImageError::Truncated { what: name })?;
+    let len = usize::try_from(len).map_err(|_| ImageError::Truncated { what: name })?;
+    let payload = start
+        .checked_add(len)
+        .filter(|&end| end <= bytes.len())
+        .map(|end| &bytes[start..end])
+        .ok_or(ImageError::Truncated { what: name })?;
+    if checksum64(payload) != checksum {
+        return Err(ImageError::ChecksumMismatch { section: name });
+    }
+    Ok(payload)
+}
+
+/// Reconstruct a graph, its partitioned layout and its statistics from image
+/// bytes. Malformed input of any kind — truncation, bit flips, bad lengths,
+/// invariant violations — yields a typed [`ImageError`]; this function never
+/// panics on untrusted bytes.
+pub fn load_image_bytes(bytes: &[u8]) -> Result<LoadedImage, ImageError> {
+    let mut hdr = Cursor::new(bytes, "header");
+    let magic = hdr
+        .take(8)
+        .map_err(|_| ImageError::Truncated { what: "magic" })?;
+    if magic != IMAGE_MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = hdr
+        .u32()
+        .map_err(|_| ImageError::Truncated { what: "version" })?;
+    if version != IMAGE_VERSION {
+        return Err(ImageError::UnsupportedVersion {
+            found: version,
+            supported: IMAGE_VERSION,
+        });
+    }
+    let n_sections = hdr.u32().map_err(|_| ImageError::Truncated {
+        what: "section count",
+    })? as usize;
+    if n_sections > 64 {
+        return Err(ImageError::Corrupt {
+            section: "header",
+            detail: format!("implausible section count {n_sections}"),
+        });
+    }
+    let mut table = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let id = hdr.u32().map_err(|_| ImageError::Truncated {
+            what: "section table",
+        })?;
+        let offset = hdr.u64().map_err(|_| ImageError::Truncated {
+            what: "section table",
+        })?;
+        let len = hdr.u64().map_err(|_| ImageError::Truncated {
+            what: "section table",
+        })?;
+        let checksum = hdr.u64().map_err(|_| ImageError::Truncated {
+            what: "section table",
+        })?;
+        table.push((id, offset, len, checksum));
+    }
+
+    let mut meta_r = Cursor::new(section(bytes, &table, SECTION_META)?, "meta");
+    let meta = decode_meta(&mut meta_r)?;
+    meta_r.done()?;
+
+    let mut graph_r = Cursor::new(section(bytes, &table, SECTION_GRAPH)?, "graph");
+    let graph = decode_graph(&mut graph_r, &meta)?;
+    graph_r.done()?;
+
+    let mut shards_r = Cursor::new(section(bytes, &table, SECTION_SHARDS)?, "shards");
+    let partitioned = decode_shards(&mut shards_r, &meta, &graph)?;
+    shards_r.done()?;
+
+    let mut stats_r = Cursor::new(section(bytes, &table, SECTION_STATS)?, "stats");
+    let stats = GraphStats::decode(&mut stats_r)?;
+    stats_r.done()?;
+
+    Ok(LoadedImage {
+        graph: Arc::new(graph),
+        partitioned: Arc::new(partitioned),
+        stats: Arc::new(stats),
+    })
+}
+
+/// Load a graph image from `path`. See [`load_image_bytes`].
+pub fn load_image(path: &Path) -> Result<LoadedImage, ImageError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    load_image_bytes(&bytes)
+}

@@ -28,6 +28,7 @@ pub mod error;
 pub mod generator;
 pub mod graph;
 pub mod ids;
+pub mod image;
 pub mod partition;
 pub mod reference;
 pub mod schema;
@@ -35,10 +36,11 @@ pub mod stats;
 pub mod value;
 pub mod view;
 
-pub use column::{ColumnRef, NullBitmap, TypedColumn};
+pub use column::{ColumnRef, NullBitmap, StrColumn, TypedColumn};
 pub use error::GraphError;
-pub use graph::{Adj, CsrAdjacency, GraphBuilder, PropertyGraph};
+pub use graph::{Adj, AdjSegment, CsrAdjacency, EdgeCodes, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
+pub use image::{load_image, load_image_bytes, write_image, ImageError, LoadedImage};
 pub use partition::{GraphShard, HashPartitioner, PartitionedGraph, Partitioner};
 pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
 pub use stats::{

@@ -12,8 +12,9 @@
 //! ├── local_index: global vertex id → dense local id within its shard
 //! ├── shards[p]: GraphShard             one per partition
 //! │   ├── out_adj / in_adj: CsrAdjacency over LOCAL vertex ids
-//! │   │     (flat Vec<Adj> + offsets + per-(vertex,label) segment index —
-//! │   │      the PR 1 layout — storing GLOBAL neighbour/edge ids)
+//! │   │     (compressed u32 neighbours + delta-encoded edge ids + offsets +
+//! │   │      per-(vertex,label) segment index — storing GLOBAL
+//! │   │      neighbour/edge ids)
 //! │   └── props: per-(label, key) columns of the shard's local vertices
 //! └── base: global catalog              (schema, label columns, edge
 //!       endpoints, edge properties, vertices-by-label index) with the
@@ -26,7 +27,7 @@
 //! slices the shard's CSR — still O(1) and allocation-free, still sorted by
 //! `(neighbor, edge)` in *global* ids, so every access-contract consumer
 //! (binary-searching `ExpandInto`, gallop-merging `ExpandIntersect`) works on
-//! shard slices exactly as on the monolithic layout.
+//! shard segments exactly as on the monolithic layout.
 //!
 //! Edge ownership follows the usual out-edge-cut convention: an edge's
 //! out-adjacency entry lives in the source vertex's shard and its in-adjacency
@@ -36,7 +37,7 @@
 //! partitioned, as in the paper's vertex-cut-free deployment).
 
 use crate::column::{ColumnRef, TypedColumn};
-use crate::graph::{Adj, CsrAdjacency, PropColumns, PropertyGraph};
+use crate::graph::{Adj, AdjSegment, CsrAdjacency, PropColumns, PropertyGraph};
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
 use crate::schema::GraphSchema;
 use crate::value::PropValue;
@@ -111,31 +112,38 @@ impl GraphShard {
     /// Number of out-adjacency entries stored in this shard (= number of
     /// edges whose source is local).
     pub fn out_edge_count(&self) -> usize {
-        self.vertices
-            .iter()
-            .enumerate()
-            .map(|(local, _)| self.out_adj.edges(VertexId(local as u64)).len())
-            .sum()
+        self.out_adj.entry_count()
     }
 
     /// Out-adjacency of the local vertex `local`, restricted to `label`.
-    pub fn out_edges_with_label_local(&self, local: usize, label: LabelId) -> &[Adj] {
+    pub fn out_edges_with_label_local(&self, local: usize, label: LabelId) -> AdjSegment<'_> {
         self.out_adj.edges_with_label(VertexId(local as u64), label)
     }
 
     /// In-adjacency of the local vertex `local`, restricted to `label`.
-    pub fn in_edges_with_label_local(&self, local: usize, label: LabelId) -> &[Adj] {
+    pub fn in_edges_with_label_local(&self, local: usize, label: LabelId) -> AdjSegment<'_> {
         self.in_adj.edges_with_label(VertexId(local as u64), label)
     }
 
     /// Full out-adjacency of the local vertex `local` (grouped by label).
-    pub fn out_edges_local(&self, local: usize) -> &[Adj] {
+    pub fn out_edges_local(&self, local: usize) -> impl Iterator<Item = Adj> + '_ {
         self.out_adj.edges(VertexId(local as u64))
     }
 
     /// Full in-adjacency of the local vertex `local` (grouped by label).
-    pub fn in_edges_local(&self, local: usize) -> &[Adj] {
+    pub fn in_edges_local(&self, local: usize) -> impl Iterator<Item = Adj> + '_ {
         self.in_adj.edges(VertexId(local as u64))
+    }
+
+    /// The shard's out-adjacency arrays (for the graph image writer and the
+    /// storage benchmarks).
+    pub fn out_adjacency(&self) -> &CsrAdjacency {
+        &self.out_adj
+    }
+
+    /// The shard's in-adjacency arrays.
+    pub fn in_adjacency(&self) -> &CsrAdjacency {
+        &self.in_adj
     }
 
     /// Property of the local vertex `local` (owned value).
@@ -322,6 +330,13 @@ impl PartitionedGraph {
         &self.base
     }
 
+    /// Build id of the source graph this partitioning was built from —
+    /// shared only by bit-identical clones, so backends can key shard caches
+    /// on it (see [`PropertyGraph::build_id`]).
+    pub fn base_build_id(&self) -> u64 {
+        self.base.build_id()
+    }
+
     #[inline]
     fn locate(&self, v: VertexId) -> (&GraphShard, usize) {
         let part = self.partitioner.partition_of(v);
@@ -330,16 +345,72 @@ impl PartitionedGraph {
 
     /// Full out-adjacency of `v` (grouped by label), read from its shard.
     #[inline]
-    pub fn out_edges(&self, v: VertexId) -> &[Adj] {
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
         let (shard, local) = self.locate(v);
         shard.out_edges_local(local)
     }
 
     /// Full in-adjacency of `v` (grouped by label), read from its shard.
     #[inline]
-    pub fn in_edges(&self, v: VertexId) -> &[Adj] {
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = Adj> + '_ {
         let (shard, local) = self.locate(v);
         shard.in_edges_local(local)
+    }
+
+    /// Reassemble a partitioned graph from a full monolithic `graph` plus
+    /// per-shard adjacency/property arrays deserialized from a graph image
+    /// (one `(out_adj, in_adj, props)` triple per partition, hash-partitioned
+    /// by `v mod p`). The routing index and shard vertex/label tables are
+    /// rederived from the catalog — only the expensive members (CSR arrays,
+    /// scattered columns) come from the image. Returns `None` when the shard
+    /// count does not match `partitions`.
+    pub(crate) fn assemble(
+        graph: &PropertyGraph,
+        partitions: usize,
+        shard_parts: Vec<(CsrAdjacency, CsrAdjacency, PropColumns)>,
+    ) -> Option<PartitionedGraph> {
+        if partitions == 0 || shard_parts.len() != partitions {
+            return None;
+        }
+        let partitioner = HashPartitioner::new(partitions);
+        let n = graph.vertex_count();
+        let mut local_index = vec![0u32; n];
+        let mut shard_vertices: Vec<Vec<VertexId>> = vec![Vec::new(); partitions];
+        for v in graph.vertex_ids() {
+            let part = partitioner.partition_of(v);
+            local_index[v.index()] = shard_vertices[part].len() as u32;
+            shard_vertices[part].push(v);
+        }
+        let mut shards = Vec::with_capacity(partitions);
+        for (part, (out_adj, in_adj, props)) in shard_parts.into_iter().enumerate() {
+            let locals = std::mem::take(&mut shard_vertices[part]);
+            let mut labels = Vec::with_capacity(locals.len());
+            let mut in_label_offset = Vec::with_capacity(locals.len());
+            let mut label_sizes = vec![0u32; graph.schema().vertex_label_count()];
+            for &v in &locals {
+                let l = graph.vertex_label(v);
+                labels.push(l);
+                in_label_offset.push(label_sizes[l.index()]);
+                label_sizes[l.index()] += 1;
+            }
+            if out_adj.entry_count() + in_adj.entry_count() > 2 * graph.edge_count() {
+                return None;
+            }
+            shards.push(GraphShard {
+                vertices: locals,
+                labels,
+                in_label_offset,
+                out_adj,
+                in_adj,
+                props,
+            });
+        }
+        Some(PartitionedGraph {
+            base: graph.catalog_clone(),
+            partitioner: Box::new(partitioner),
+            local_index,
+            shards,
+        })
     }
 }
 
@@ -373,19 +444,19 @@ impl GraphView for PartitionedGraph {
     }
 
     #[inline]
-    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         let (shard, local) = self.locate(v);
         shard.out_edges_with_label_local(local, label)
     }
 
     #[inline]
-    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         let (shard, local) = self.locate(v);
         shard.in_edges_with_label_local(local, label)
     }
 
     #[inline]
-    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> &[Adj] {
+    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> AdjSegment<'_> {
         let (shard, local) = self.locate(src);
         shard.out_adj.edges_to(VertexId(local as u64), label, dst)
     }
@@ -463,16 +534,22 @@ mod tests {
                     pg.shard(pg.partition_of(v)).vertices()[pg.local_index(v)],
                     v
                 );
-                assert_eq!(pg.out_edges(v), g.out_edges(v));
-                assert_eq!(pg.in_edges(v), g.in_edges(v));
+                assert_eq!(
+                    pg.out_edges(v).collect::<Vec<_>>(),
+                    g.out_edges(v).collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    pg.in_edges(v).collect::<Vec<_>>(),
+                    g.in_edges(v).collect::<Vec<_>>()
+                );
                 for l in g.schema().edge_label_ids() {
                     assert_eq!(
-                        GraphView::out_edges_with_label(&pg, v, l),
-                        g.out_edges_with_label(v, l)
+                        GraphView::out_edges_with_label(&pg, v, l).to_vec(),
+                        g.out_edges_with_label(v, l).to_vec()
                     );
                     assert_eq!(
-                        GraphView::in_edges_with_label(&pg, v, l),
-                        g.in_edges_with_label(v, l)
+                        GraphView::in_edges_with_label(&pg, v, l).to_vec(),
+                        g.in_edges_with_label(v, l).to_vec()
                     );
                 }
                 let id_key = g.prop_key("id");
@@ -482,8 +559,8 @@ mod tests {
             }
             let knows = g.schema().edge_label("Knows").unwrap();
             assert_eq!(
-                GraphView::edges_between(&pg, VertexId(0), knows, VertexId(1)),
-                g.edges_between(VertexId(0), knows, VertexId(1))
+                GraphView::edges_between(&pg, VertexId(0), knows, VertexId(1)).to_vec(),
+                g.edges_between(VertexId(0), knows, VertexId(1)).to_vec()
             );
             assert!(GraphView::has_edge(&pg, VertexId(0), knows, VertexId(1)));
             assert_eq!(

@@ -618,18 +618,29 @@ impl ColumnStats {
                 }
                 ColumnDetail::Values(Some(map))
             }
-            TypedColumn::Str(vals, valid) => {
-                let mut map: Option<BTreeMap<PropValue, u64>> = Some(BTreeMap::new());
-                for (i, v) in vals.iter().enumerate() {
+            TypedColumn::Str(col) => {
+                // Dictionary layout: count per-code occurrences over the u32
+                // code vector, then materialize `PropValue::Str` only once per
+                // distinct dictionary entry.
+                let valid = col.validity();
+                let mut counts = vec![0u64; col.dict().len()];
+                for (i, &code) in col.codes().iter().enumerate() {
                     if valid.get(i) {
                         non_null += 1;
-                        let pv = PropValue::Str(v.clone());
-                        note(&pv, &mut ndv, &mut min, &mut max);
-                        if let Some(m) = map.as_mut() {
-                            *m.entry(pv).or_insert(0u64) += 1;
-                            if m.len() > VALUES_MAX_DISTINCT {
-                                map = None;
-                            }
+                        counts[code as usize] += 1;
+                    }
+                }
+                let mut map: Option<BTreeMap<PropValue, u64>> = Some(BTreeMap::new());
+                for (code, &n) in counts.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let pv = PropValue::Str(col.dict()[code].clone());
+                    note(&pv, &mut ndv, &mut min, &mut max);
+                    if let Some(m) = map.as_mut() {
+                        *m.entry(pv).or_insert(0u64) += n;
+                        if m.len() > VALUES_MAX_DISTINCT {
+                            map = None;
                         }
                     }
                 }
@@ -899,6 +910,302 @@ impl GraphStats {
     /// optimizer's selectivity estimator and RBO rules.
     pub fn shared(g: &PropertyGraph) -> Arc<GraphStats> {
         Arc::new(Self::from_graph(g))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph-image codec
+// ---------------------------------------------------------------------------
+//
+// The statistics structs keep their fields private, so their (de)serializers
+// live here and plug into the [`crate::image`] section framing. Stats are
+// serialized rather than recomputed on load: a cold boot from an image must
+// not re-scan every property column.
+
+use crate::image::{
+    put_f64, put_i64, put_str, put_u32, put_u64, put_u8, put_value, read_value, Cursor, ImageError,
+};
+
+fn put_prop_type(out: &mut Vec<u8>, k: PropType) {
+    put_u8(
+        out,
+        match k {
+            PropType::Int => 0,
+            PropType::Float => 1,
+            PropType::Str => 2,
+            PropType::Bool => 3,
+            PropType::Date => 4,
+        },
+    );
+}
+
+fn read_prop_type(r: &mut Cursor<'_>) -> Result<PropType, ImageError> {
+    Ok(match r.u8()? {
+        0 => PropType::Int,
+        1 => PropType::Float,
+        2 => PropType::Str,
+        3 => PropType::Bool,
+        4 => PropType::Date,
+        t => return Err(r.corrupt(format!("unknown PropType tag {t}"))),
+    })
+}
+
+impl LowOrderStats {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.vertex_counts.len() as u32);
+        for &c in &self.vertex_counts {
+            put_u64(out, c);
+        }
+        put_u32(out, self.edge_counts.len() as u32);
+        for &c in &self.edge_counts {
+            put_u64(out, c);
+        }
+        for table in [&self.avg_out_degree, &self.avg_in_degree] {
+            for row in table.iter() {
+                for &d in row {
+                    put_f64(out, d);
+                }
+            }
+        }
+        put_u64(out, self.total_vertices);
+        put_u64(out, self.total_edges);
+    }
+
+    pub(crate) fn decode(r: &mut Cursor<'_>) -> Result<LowOrderStats, ImageError> {
+        let n_v = r.count_capped(8, "vertex counts")?;
+        let mut vertex_counts = Vec::with_capacity(n_v);
+        for _ in 0..n_v {
+            vertex_counts.push(r.u64()?);
+        }
+        let n_e = r.count_capped(8, "edge counts")?;
+        let mut edge_counts = Vec::with_capacity(n_e);
+        for _ in 0..n_e {
+            edge_counts.push(r.u64()?);
+        }
+        // Degree tables are dense (vertex labels × edge labels); the counts
+        // above fix their shape, so no lengths are stored.
+        let read_table = |r: &mut Cursor<'_>| -> Result<Vec<Vec<f64>>, ImageError> {
+            let mut table = Vec::with_capacity(n_v);
+            for _ in 0..n_v {
+                let mut row = Vec::with_capacity(n_e);
+                for _ in 0..n_e {
+                    row.push(r.f64()?);
+                }
+                table.push(row);
+            }
+            Ok(table)
+        };
+        let avg_out_degree = read_table(r)?;
+        let avg_in_degree = read_table(r)?;
+        Ok(LowOrderStats {
+            vertex_counts,
+            edge_counts,
+            avg_out_degree,
+            avg_in_degree,
+            total_vertices: r.u64()?,
+            total_edges: r.u64()?,
+        })
+    }
+}
+
+impl NdvSketch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.mins.len() as u32);
+        for &m in &self.mins {
+            put_u64(out, m);
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<NdvSketch, ImageError> {
+        let n = r.count_capped(8, "ndv sketch")?;
+        if n > NDV_SKETCH_K {
+            return Err(r.corrupt(format!("ndv sketch holds {n} > K={NDV_SKETCH_K} hashes")));
+        }
+        let mut mins = BTreeSet::new();
+        for _ in 0..n {
+            mins.insert(r.u64()?);
+        }
+        Ok(NdvSketch { mins })
+    }
+}
+
+impl Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_i64(out, i64::from(self.width_log2));
+        put_i64(out, self.start);
+        put_u32(out, self.counts.len() as u32);
+        for &c in &self.counts {
+            put_u64(out, c);
+        }
+        put_f64(out, self.min);
+        put_f64(out, self.max);
+        put_u64(out, self.total);
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<Histogram, ImageError> {
+        let width_log2 = i32::try_from(r.i64()?)
+            .map_err(|_| r.corrupt("histogram width exponent out of range"))?;
+        let start = r.i64()?;
+        let n = r.count_capped(8, "histogram buckets")?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(r.u64()?);
+        }
+        Ok(Histogram {
+            width_log2,
+            start,
+            counts,
+            min: r.f64()?,
+            max: r.f64()?,
+            total: r.u64()?,
+        })
+    }
+}
+
+impl ColumnStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.non_null);
+        match self.kind {
+            None => put_u8(out, 0),
+            Some(k) => {
+                put_u8(out, 1);
+                put_prop_type(out, k);
+            }
+        }
+        for v in [&self.min, &self.max] {
+            match v {
+                None => put_u8(out, 0),
+                Some(v) => {
+                    put_u8(out, 1);
+                    put_value(out, v);
+                }
+            }
+        }
+        self.ndv.encode(out);
+        match &self.detail {
+            ColumnDetail::None => put_u8(out, 0),
+            ColumnDetail::Histogram(h) => {
+                put_u8(out, 1);
+                h.encode(out);
+            }
+            ColumnDetail::Values(None) => put_u8(out, 2),
+            ColumnDetail::Values(Some(map)) => {
+                put_u8(out, 3);
+                put_u32(out, map.len() as u32);
+                for (v, c) in map {
+                    put_value(out, v);
+                    put_u64(out, *c);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Cursor<'_>) -> Result<ColumnStats, ImageError> {
+        let non_null = r.u64()?;
+        let kind = match r.u8()? {
+            0 => None,
+            1 => Some(read_prop_type(r)?),
+            t => return Err(r.corrupt(format!("unknown kind tag {t}"))),
+        };
+        let read_opt = |r: &mut Cursor<'_>| -> Result<Option<PropValue>, ImageError> {
+            Ok(match r.u8()? {
+                0 => None,
+                1 => Some(read_value(r)?),
+                t => return Err(r.corrupt(format!("unknown option tag {t}"))),
+            })
+        };
+        let min = read_opt(r)?;
+        let max = read_opt(r)?;
+        let ndv = NdvSketch::decode(r)?;
+        let detail = match r.u8()? {
+            0 => ColumnDetail::None,
+            1 => ColumnDetail::Histogram(Histogram::decode(r)?),
+            2 => ColumnDetail::Values(None),
+            3 => {
+                let n = r.count_capped(9, "value map")?;
+                if n > VALUES_MAX_DISTINCT {
+                    return Err(r.corrupt(format!(
+                        "value map holds {n} > {VALUES_MAX_DISTINCT} entries"
+                    )));
+                }
+                let mut map = BTreeMap::new();
+                for _ in 0..n {
+                    let v = read_value(r)?;
+                    let c = r.u64()?;
+                    map.insert(v, c);
+                }
+                ColumnDetail::Values(Some(map))
+            }
+            t => return Err(r.corrupt(format!("unknown detail tag {t}"))),
+        };
+        Ok(ColumnStats {
+            non_null,
+            kind,
+            min,
+            max,
+            ndv,
+            detail,
+        })
+    }
+}
+
+fn encode_stats_side(out: &mut Vec<u8>, side: &BTreeMap<LabelId, BTreeMap<String, ColumnStats>>) {
+    put_u32(out, side.len() as u32);
+    for (label, cols) in side {
+        put_u32(out, u32::from(label.0));
+        put_u32(out, cols.len() as u32);
+        for (key, stats) in cols {
+            put_str(out, key);
+            stats.encode(out);
+        }
+    }
+}
+
+fn decode_stats_side(
+    r: &mut Cursor<'_>,
+) -> Result<BTreeMap<LabelId, BTreeMap<String, ColumnStats>>, ImageError> {
+    let n_labels = r.count_capped(8, "stats labels")?;
+    let mut side = BTreeMap::new();
+    for _ in 0..n_labels {
+        let raw = r.u32()?;
+        let label =
+            LabelId(u16::try_from(raw).map_err(|_| r.corrupt("stats label id out of range"))?);
+        let n_cols = r.count_capped(4, "stats columns")?;
+        let mut cols = BTreeMap::new();
+        for _ in 0..n_cols {
+            let key = r.str()?;
+            cols.insert(key, ColumnStats::decode(r)?);
+        }
+        side.insert(label, cols);
+    }
+    Ok(side)
+}
+
+impl PropStats {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        encode_stats_side(out, &self.vertex);
+        encode_stats_side(out, &self.edge);
+    }
+
+    pub(crate) fn decode(r: &mut Cursor<'_>) -> Result<PropStats, ImageError> {
+        Ok(PropStats {
+            vertex: decode_stats_side(r)?,
+            edge: decode_stats_side(r)?,
+        })
+    }
+}
+
+impl GraphStats {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        self.low.encode(out);
+        self.props.encode(out);
+    }
+
+    pub(crate) fn decode(r: &mut Cursor<'_>) -> Result<GraphStats, ImageError> {
+        Ok(GraphStats {
+            low: LowOrderStats::decode(r)?,
+            props: PropStats::decode(r)?,
+        })
     }
 }
 

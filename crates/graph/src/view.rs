@@ -13,13 +13,14 @@
 //! is what lets the scalar engine act as the behavioural oracle for the
 //! partitioned morsel executor: same operator code, different storage.
 //!
-//! The adjacency contract is inherited from the CSR layout (see
-//! [`crate::graph`]): `{out,in}_edges_with_label(v, l)` returns a contiguous
-//! slice sorted by `(neighbor, edge)` without allocating, regardless of which
-//! physical shard the slice lives in.
+//! The adjacency contract is inherited from the compressed CSR layout (see
+//! [`crate::graph`]): `{out,in}_edges_with_label(v, l)` returns an
+//! [`AdjSegment`] over a contiguous neighbour slice sorted by
+//! `(neighbor, edge)` without allocating, regardless of which physical shard
+//! the segment lives in.
 
 use crate::column::ColumnRef;
-use crate::graph::Adj;
+use crate::graph::AdjSegment;
 use crate::ids::{EdgeId, LabelId, PropKeyId, VertexId};
 use crate::schema::GraphSchema;
 use crate::value::PropValue;
@@ -52,15 +53,16 @@ pub trait GraphView: Sync {
     /// Ids of all vertices with the given label (insertion order).
     fn vertices_with_label(&self, label: LabelId) -> &[VertexId];
 
-    /// Outgoing adjacency of `v` restricted to one edge label: a contiguous
-    /// slice sorted by `(neighbor, edge)`, zero allocation.
-    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj];
+    /// Outgoing adjacency of `v` restricted to one edge label: a compressed
+    /// segment over a contiguous neighbour slice sorted by
+    /// `(neighbor, edge)`, zero allocation.
+    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_>;
 
     /// Incoming adjacency of `v` restricted to one edge label.
-    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj];
+    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_>;
 
     /// All edges with label `label` from `src` to `dst`, sorted by edge id.
-    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> &[Adj];
+    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> AdjSegment<'_>;
 
     /// The smallest-id edge with label `label` from `src` to `dst`, if any.
     fn first_edge_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> Option<EdgeId> {
@@ -136,15 +138,15 @@ impl GraphView for PropertyGraph {
         PropertyGraph::vertices_with_label(self, label)
     }
 
-    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    fn out_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         PropertyGraph::out_edges_with_label(self, v, label)
     }
 
-    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> &[Adj] {
+    fn in_edges_with_label(&self, v: VertexId, label: LabelId) -> AdjSegment<'_> {
         PropertyGraph::in_edges_with_label(self, v, label)
     }
 
-    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> &[Adj] {
+    fn edges_between(&self, src: VertexId, label: LabelId, dst: VertexId) -> AdjSegment<'_> {
         PropertyGraph::edges_between(self, src, label, dst)
     }
 

@@ -95,18 +95,26 @@ fn assert_layouts_agree(g: &PropertyGraph, naive: &NaiveGraph) {
         assert_eq!(g.out_degree(v), naive.out_edges(v).len());
         assert_eq!(g.in_degree(v), naive.in_edges(v).len());
         // full adjacency (CSR label-segment concatenation == naive triple sort)
-        assert_eq!(g.out_edges(v), naive.out_edges(v), "out adjacency of {v}");
-        assert_eq!(g.in_edges(v), naive.in_edges(v), "in adjacency of {v}");
-        // per-label slices, including labels unused by this vertex
+        assert_eq!(
+            g.out_edges(v).collect::<Vec<_>>(),
+            naive.out_edges(v),
+            "out adjacency of {v}"
+        );
+        assert_eq!(
+            g.in_edges(v).collect::<Vec<_>>(),
+            naive.in_edges(v),
+            "in adjacency of {v}"
+        );
+        // per-label segments (decoded), including labels unused by this vertex
         for l in 0..n_elabels + 2 {
             let l = LabelId(l);
             assert_eq!(
-                g.out_edges_with_label(v, l),
+                g.out_edges_with_label(v, l).to_vec(),
                 naive.out_edges_with_label(v, l),
                 "out[{v}, {l}]"
             );
             assert_eq!(
-                g.in_edges_with_label(v, l),
+                g.in_edges_with_label(v, l).to_vec(),
                 naive.in_edges_with_label(v, l),
                 "in[{v}, {l}]"
             );

@@ -119,18 +119,26 @@ fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usi
     // merged shard adjacency == naive reference, per vertex and per label
     let mut merged_out = 0usize;
     for v in g.vertex_ids() {
-        assert_eq!(pg.out_edges(v), naive.out_edges(v), "out adjacency of {v}");
-        assert_eq!(pg.in_edges(v), naive.in_edges(v), "in adjacency of {v}");
-        merged_out += pg.out_edges(v).len();
+        assert_eq!(
+            pg.out_edges(v).collect::<Vec<_>>(),
+            naive.out_edges(v),
+            "out adjacency of {v}"
+        );
+        assert_eq!(
+            pg.in_edges(v).collect::<Vec<_>>(),
+            naive.in_edges(v),
+            "in adjacency of {v}"
+        );
+        merged_out += pg.out_edges(v).count();
         for l in 0..n_elabels + 2 {
             let l = LabelId(l);
             assert_eq!(
-                GraphView::out_edges_with_label(&pg, v, l),
+                GraphView::out_edges_with_label(&pg, v, l).to_vec(),
                 naive.out_edges_with_label(v, l),
                 "out[{v}, {l}]"
             );
             assert_eq!(
-                GraphView::in_edges_with_label(&pg, v, l),
+                GraphView::in_edges_with_label(&pg, v, l).to_vec(),
                 naive.in_edges_with_label(v, l),
                 "in[{v}, {l}]"
             );
@@ -192,12 +200,12 @@ fn assert_sharding_agrees(g: &PropertyGraph, naive: &NaiveGraph, partitions: usi
     let mut from_shards: Vec<Adj> = Vec::new();
     for shard in pg.shards() {
         for local in 0..shard.vertex_count() {
-            from_shards.extend_from_slice(shard.out_edges_local(local));
+            from_shards.extend(shard.out_edges_local(local));
         }
     }
     let mut from_mono: Vec<Adj> = Vec::new();
     for v in g.vertex_ids() {
-        from_mono.extend_from_slice(g.out_edges(v));
+        from_mono.extend(g.out_edges(v));
     }
     let key = |a: &Adj| (a.edge_label, a.edge, a.neighbor);
     from_shards.sort_unstable_by_key(key);

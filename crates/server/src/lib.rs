@@ -58,7 +58,7 @@ use cache::PlanCache;
 use gopt_core::{plan_shape, GOpt, GOptConfig, GraphScopeSpec, OptError, INITIAL_STATS_VERSION};
 use gopt_exec::{Backend, ExecError, ExecMode, ExecResult, PartitionedBackend, QueryContext};
 use gopt_gir::physical::PhysicalPlan;
-use gopt_glogue::{GLogue, GlogueQuery};
+use gopt_glogue::{GLogue, GLogueConfig, GlogueQuery};
 use gopt_graph::{GraphStats, PropertyGraph};
 use gopt_parser::{parse_cypher, ParseError};
 use parking_lot::Mutex;
@@ -84,6 +84,11 @@ pub enum ServerError {
     },
     /// The server was constructed with an unusable configuration.
     Config(String),
+    /// A graph image failed to load (bad magic, wrong version, truncation,
+    /// checksum mismatch, …); the server keeps serving its current graph.
+    /// Carries the rendered [`gopt_graph::ImageError`] ([`ServerError`] is
+    /// `Clone + Eq`; the underlying error holds an `io::Error` and is not).
+    Image(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -101,6 +106,7 @@ impl std::fmt::Display for ServerError {
                  {queue_capacity} waiting"
             ),
             ServerError::Config(msg) => write!(f, "invalid server config: {msg}"),
+            ServerError::Image(e) => write!(f, "graph image error: {e}"),
         }
     }
 }
@@ -171,18 +177,24 @@ pub struct QueryOutcome {
     pub plan: Arc<PhysicalPlan>,
 }
 
-struct StatsSlot {
-    version: u64,
+/// The swappable serving state: which graph is being served, the glogue
+/// built over it, and the statistics snapshot + version the optimizer uses.
+/// Held behind one mutex so a graph swap ([`Server::load_image`]) and its
+/// stats-version bump are atomic — a concurrent submit can never observe the
+/// new graph with the old version (which would let the plan cache serve plans
+/// optimized for the previous graph).
+struct ServerState {
+    graph: Arc<PropertyGraph>,
+    glogue: Arc<GLogue>,
+    stats_version: u64,
     stats: Option<Arc<GraphStats>>,
 }
 
 struct ServerInner {
-    graph: Arc<PropertyGraph>,
-    glogue: Arc<GLogue>,
+    state: Mutex<ServerState>,
     spec: GraphScopeSpec,
     config: ServerConfig,
     backend: PartitionedBackend,
-    stats: Mutex<StatsSlot>,
     cache: Mutex<PlanCache>,
     admission: Admission,
     next_session: AtomicU64,
@@ -213,15 +225,15 @@ impl Server {
         backend.prepare(&graph);
         let _ = backend.pool();
         let inner = ServerInner {
-            graph,
-            glogue,
+            state: Mutex::new(ServerState {
+                graph,
+                glogue,
+                stats_version: INITIAL_STATS_VERSION,
+                stats: None,
+            }),
             spec: GraphScopeSpec,
             admission: Admission::new(config.max_concurrent, config.queue_capacity),
             cache: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
-            stats: Mutex::new(StatsSlot {
-                version: INITIAL_STATS_VERSION,
-                stats: None,
-            }),
             backend,
             config,
             next_session: AtomicU64::new(0),
@@ -229,6 +241,66 @@ impl Server {
         Ok(Server {
             inner: Arc::new(inner),
         })
+    }
+
+    /// Boot a server directly from a graph image written by
+    /// [`gopt_graph::write_image`]: the graph, the pre-built partitioning and
+    /// the statistics all come out of the image, so startup skips sharding,
+    /// property scattering and stats scans. The glogue is rebuilt over the
+    /// loaded graph with `glogue_cfg` (it is sampling-based and cheap at the
+    /// pattern sizes the optimizer uses). The image's statistics are
+    /// installed under a bumped version, exactly as [`Server::update_stats`]
+    /// would — so the stats version of an image-booted server is never
+    /// [`INITIAL_STATS_VERSION`].
+    pub fn from_image(
+        path: &std::path::Path,
+        glogue_cfg: &GLogueConfig,
+        config: ServerConfig,
+    ) -> Result<Server, ServerError> {
+        let img = gopt_graph::load_image(path).map_err(|e| ServerError::Image(e.to_string()))?;
+        let glogue = Arc::new(GLogue::build(&img.graph, glogue_cfg));
+        let server = Server::new(Arc::clone(&img.graph), glogue, config)?;
+        // replace the freshly built shards with the image's (same layout,
+        // but avoids paying the shard build twice on mismatched partitions)
+        if img.partitioned.partitions() == server.inner.config.partitions {
+            server
+                .inner
+                .backend
+                .install_sharded(Arc::clone(&img.partitioned))
+                .map_err(ServerError::Exec)?;
+        }
+        server.update_stats(img.stats);
+        Ok(server)
+    }
+
+    /// Swap the served graph for one loaded from a graph image, atomically
+    /// with a statistics-version bump: every plan cached for the previous
+    /// graph becomes stale (dropped lazily on its next lookup) and queries
+    /// already executing finish against the graph they started on. Returns
+    /// the new statistics version.
+    pub fn load_image(
+        &self,
+        path: &std::path::Path,
+        glogue_cfg: &GLogueConfig,
+    ) -> Result<u64, ServerError> {
+        let img = gopt_graph::load_image(path).map_err(|e| ServerError::Image(e.to_string()))?;
+        let glogue = Arc::new(GLogue::build(&img.graph, glogue_cfg));
+        if img.partitioned.partitions() == self.inner.config.partitions {
+            self.inner
+                .backend
+                .install_sharded(Arc::clone(&img.partitioned))
+                .map_err(ServerError::Exec)?;
+        } else {
+            // layouts differ: fall back to re-sharding the loaded graph so
+            // the backend's cache is primed for it either way
+            self.inner.backend.prepare(&img.graph);
+        }
+        let mut state = self.inner.state.lock();
+        state.graph = img.graph;
+        state.glogue = glogue;
+        state.stats = Some(img.stats);
+        state.stats_version += 1;
+        Ok(state.stats_version)
     }
 
     /// Open a new session. Sessions are cheap and independently cancellable.
@@ -245,25 +317,25 @@ impl Server {
     /// statistics version, invalidating every cached plan lazily (each is
     /// dropped on its next lookup). Returns the new version.
     pub fn update_stats(&self, stats: Arc<GraphStats>) -> u64 {
-        let mut slot = self.inner.stats.lock();
-        slot.version += 1;
-        slot.stats = Some(stats);
-        slot.version
+        let mut state = self.inner.state.lock();
+        state.stats_version += 1;
+        state.stats = Some(stats);
+        state.stats_version
     }
 
     /// Bump the statistics version without installing a snapshot — every
     /// cached plan becomes stale, as after [`Server::update_stats`]. Returns
     /// the new version.
     pub fn bump_stats_version(&self) -> u64 {
-        let mut slot = self.inner.stats.lock();
-        slot.version += 1;
-        slot.version
+        let mut state = self.inner.state.lock();
+        state.stats_version += 1;
+        state.stats_version
     }
 
     /// The current statistics version (starts at
     /// [`INITIAL_STATS_VERSION`]).
     pub fn stats_version(&self) -> u64 {
-        self.inner.stats.lock().version
+        self.inner.state.lock().stats_version
     }
 
     /// Drop every cached plan.
@@ -281,9 +353,10 @@ impl Server {
         self.inner.admission.metrics()
     }
 
-    /// The graph this server serves.
-    pub fn graph(&self) -> &Arc<PropertyGraph> {
-        &self.inner.graph
+    /// The graph this server currently serves (swappable via
+    /// [`Server::load_image`], hence returned by clone).
+    pub fn graph(&self) -> Arc<PropertyGraph> {
+        Arc::clone(&self.inner.state.lock().graph)
     }
 
     /// The server's configuration.
@@ -363,16 +436,21 @@ impl Session {
         opts: &SubmitOptions,
     ) -> Result<QueryOutcome, ServerError> {
         let inner = &*self.inner;
-        let logical = parse_cypher(text, inner.graph.schema()).map_err(ServerError::Parse)?;
-        let shape = plan_shape(&logical);
-
-        // capture the statistics snapshot and its version atomically so the
-        // cache entry we read or write is tagged with the stats we optimize
-        // under — a concurrent update_stats() can't slip between them
-        let (stats_version, stats_snapshot) = {
-            let slot = inner.stats.lock();
-            (slot.version, slot.stats.clone())
+        // capture the graph, glogue, statistics snapshot and stats version
+        // atomically so the cache entry we read or write is tagged with the
+        // state we optimize under — a concurrent update_stats() or
+        // load_image() can't slip between them
+        let (graph, glogue, stats_version, stats_snapshot) = {
+            let state = inner.state.lock();
+            (
+                Arc::clone(&state.graph),
+                Arc::clone(&state.glogue),
+                state.stats_version,
+                state.stats.clone(),
+            )
         };
+        let logical = parse_cypher(text, graph.schema()).map_err(ServerError::Parse)?;
+        let shape = plan_shape(&logical);
 
         let cached = inner.cache.lock().lookup(&shape, stats_version);
         let cache_hit = cached.is_some();
@@ -381,8 +459,8 @@ impl Session {
             None => {
                 // optimize outside the cache lock: planning is the expensive
                 // part and must not serialize concurrent cache users
-                let gq = GlogueQuery::new(&inner.glogue);
-                let mut gopt = GOpt::new(inner.graph.schema(), &gq, &inner.spec)
+                let gq = GlogueQuery::new(&glogue);
+                let mut gopt = GOpt::new(graph.schema(), &gq, &inner.spec)
                     .with_config(inner.config.opt.clone());
                 if let Some(stats) = stats_snapshot {
                     gopt = gopt.with_stats(stats);
@@ -415,7 +493,7 @@ impl Session {
         let _permit = inner.admission.acquire(&ctx)?;
         let result = inner
             .backend
-            .execute_with_ctx(&inner.graph, &plan, &ctx)
+            .execute_with_ctx(&graph, &plan, &ctx)
             .map_err(ServerError::Exec)?;
         Ok(QueryOutcome {
             result,
@@ -474,7 +552,7 @@ mod tests {
         assert_eq!((m.hits, m.misses, m.len), (1, 1, 1));
 
         // a stats bump makes the cached plan stale: next submit re-optimizes
-        let v = server.update_stats(GraphStats::shared(server.graph()));
+        let v = server.update_stats(GraphStats::shared(&server.graph()));
         assert_eq!(v, 1);
         let reopt = session.submit(Q).unwrap();
         assert!(!reopt.cache_hit);

@@ -282,6 +282,159 @@ fn typed_property_predicates_agree_on_both_engines() {
     }
 }
 
+/// String-heavy plans over dictionary-encoded `Str` columns: equality and
+/// range predicates (now rank comparisons over `u32` codes), `HashGroup` on
+/// `Str` keys and `OrderLimit` on `Str` keys (now covered by the packed-key
+/// fast paths for short strings). Strings are chosen to hit every packing
+/// regime: short (≤8 bytes, packable), long (>8 bytes, row-wise fallback),
+/// sharing an 8-byte prefix (the prefix key alone cannot distinguish them),
+/// and absent (null bitmap).
+#[test]
+fn string_heavy_plans_agree_on_both_engines() {
+    use gopt::gir::expr::{AggFunc, BinOp, Expr, SortDir};
+    use gopt::gir::physical::PhysicalOp;
+    use gopt::gir::TypeConstraint;
+    use gopt::graph::{GraphBuilder, PropValue};
+
+    let cities = [
+        "Oslo",             // short: packs into the prefix key
+        "Rio",              // short
+        "Konstantinopel",   // long: > 8 bytes, packed path bails
+        "Konstanz",         // exactly 8 bytes, still packable
+        "Konstanz\u{0131}", // > 8 bytes sharing an 8-byte prefix
+        "",                 // empty string is a valid dict entry
+    ];
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut persons = Vec::new();
+    for i in 0..24i64 {
+        let mut props = vec![("age", PropValue::Int(20 + (i % 7)))];
+        if i % 5 != 0 {
+            // dictionary column with repeats and a null every 5th row
+            props.push(("city", PropValue::str(cities[i as usize % cities.len()])));
+        }
+        props.push(("nick", PropValue::str(format!("person_{:02}", i % 9))));
+        persons.push(b.add_vertex_by_name("Person", props).unwrap());
+    }
+    for w in persons.windows(2) {
+        b.add_edge_by_name("Knows", w[0], w[1], vec![]).unwrap();
+    }
+    let graph = b.finish();
+    let person = TypeConstraint::basic(graph.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(graph.schema().edge_label("Knows").unwrap());
+
+    let predicates: Vec<Expr> = vec![
+        // equality → code == rank, including a long needle
+        Expr::prop_eq("b", "city", "Oslo"),
+        Expr::prop_eq("b", "city", "Konstantinopel"),
+        // needle absent from the dictionary: rank exists, exact = false
+        Expr::prop_eq("b", "city", "Paris"),
+        // range predicates → code < / >= rank under dictionary order
+        Expr::binary(
+            BinOp::Lt,
+            Expr::prop("b", "city"),
+            Expr::lit(PropValue::str("Konstanz")),
+        ),
+        Expr::binary(
+            BinOp::Ge,
+            Expr::prop("b", "city"),
+            Expr::lit(PropValue::str("Konstanz")),
+        ),
+        // prefix-sharing pair must order correctly beyond 8 bytes
+        Expr::binary(
+            BinOp::Gt,
+            Expr::prop("b", "city"),
+            Expr::lit(PropValue::str("Konstanz\u{0130}")),
+        ),
+        Expr::prop_eq("b", "city", ""),
+        // Str column vs Int literal: cross-kind constant ordering
+        Expr::binary(BinOp::Gt, Expr::prop("b", "city"), Expr::lit(5)),
+    ];
+    let mut plans = Vec::new();
+    for predicate in predicates {
+        let mut plan = base_expand_plan(&person, &knows);
+        plan.push(PhysicalOp::Select { predicate });
+        plan.push(PhysicalOp::Project {
+            items: vec![(Expr::prop("b", "city"), "city".into())],
+        });
+        plans.push(plan);
+    }
+    // HashGroup on a Str key (packed fast path) + a long-string key column
+    let mut group = base_expand_plan(&person, &knows);
+    group.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("b", "city"), "city".into())],
+        aggs: vec![
+            (AggFunc::Count, Expr::tag("b"), "n".into()),
+            (AggFunc::Min, Expr::prop("b", "nick"), "first_nick".into()),
+        ],
+    });
+    plans.push(group);
+    // grouping on a >8-byte-heavy key column forces the row-wise path
+    let mut group_long = base_expand_plan(&person, &knows);
+    group_long.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("b", "nick"), "nick".into())],
+        aggs: vec![(AggFunc::Count, Expr::tag("b"), "n".into())],
+    });
+    plans.push(group_long);
+    // OrderLimit on Str keys, both directions, with and without top-k
+    for (dir, limit) in [(SortDir::Asc, None), (SortDir::Desc, Some(7))] {
+        let mut order = base_expand_plan(&person, &knows);
+        order.push(PhysicalOp::Project {
+            items: vec![
+                (Expr::prop("b", "city"), "city".into()),
+                (Expr::prop("b", "age"), "age".into()),
+            ],
+        });
+        order.push(PhysicalOp::OrderLimit {
+            keys: vec![
+                (Expr::prop("b", "city"), dir),
+                (Expr::prop("b", "age"), SortDir::Asc),
+            ],
+            limit,
+        });
+        plans.push(order);
+    }
+    // Dedup on a Str key
+    let mut dedup = base_expand_plan(&person, &knows);
+    dedup.push(PhysicalOp::Project {
+        items: vec![(Expr::prop("b", "city"), "city".into())],
+    });
+    dedup.push(PhysicalOp::Dedup {
+        keys: vec![Expr::tag("city")],
+    });
+    plans.push(dedup);
+
+    for plan in &plans {
+        for parts in [1usize, 2, 4] {
+            assert_engines_agree(&graph, plan, Some(parts));
+        }
+    }
+}
+
+fn base_expand_plan(
+    person: &gopt::gir::TypeConstraint,
+    knows: &gopt::gir::TypeConstraint,
+) -> gopt::gir::physical::PhysicalPlan {
+    use gopt::gir::pattern::Direction;
+    use gopt::gir::physical::{PhysicalOp, PhysicalPlan};
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    plan.push(PhysicalOp::EdgeExpand {
+        src: "a".into(),
+        edge_alias: Some("e".into()),
+        edge_constraint: knows.clone(),
+        direction: Direction::Out,
+        dst_alias: "b".into(),
+        dst_constraint: person.clone(),
+        dst_predicate: None,
+        edge_predicate: None,
+    });
+    plan
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -223,6 +223,112 @@ fn typed_group_keys_agree_across_partitions_and_threads() {
     }
 }
 
+/// String-heavy plans over dictionary-encoded columns under morsel-driven
+/// parallel execution: rank-based `Str` predicates, `HashGroup`/`OrderLimit`
+/// on `Str` keys (packed prefix keys for short strings, row-wise fallback
+/// beyond 8 bytes), deduplication on strings. Shards build their dictionaries
+/// independently, so this also checks that shard-local codes never leak into
+/// cross-shard comparisons.
+#[test]
+fn string_plans_agree_across_partitions_and_threads() {
+    use gopt::gir::expr::{BinOp, SortDir};
+    use gopt::gir::pattern::Direction;
+    use gopt::gir::physical::PhysicalOp;
+    use gopt::gir::types::TypeConstraint;
+    use gopt::gir::{AggFunc, Expr};
+    use gopt::graph::graph::GraphBuilder;
+    use gopt::graph::PropValue;
+    let cities = [
+        "Oslo",
+        "Rio",
+        "Konstantinopel",
+        "Konstanz",
+        "Konstanz\u{0131}",
+        "",
+    ];
+    let mut b = GraphBuilder::new(fig6_schema());
+    let mut people = Vec::new();
+    for i in 0..30i64 {
+        let mut props = vec![("age", PropValue::Int(i % 6))];
+        if i % 5 != 0 {
+            props.push(("city", PropValue::str(cities[i as usize % cities.len()])));
+        }
+        people.push(b.add_vertex_by_name("Person", props).unwrap());
+    }
+    for i in 1..30usize {
+        b.add_edge_by_name("Knows", people[i - 1], people[i], vec![])
+            .unwrap();
+    }
+    let g = b.finish();
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let expand = |plan: &mut PhysicalPlan| {
+        plan.push(PhysicalOp::Scan {
+            alias: "a".into(),
+            constraint: person.clone(),
+            predicate: None,
+        });
+        plan.push(PhysicalOp::EdgeExpand {
+            src: "a".into(),
+            edge_alias: None,
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            dst_alias: "b".into(),
+            dst_constraint: person.clone(),
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+    };
+    // rank-based predicates, including a needle absent from the dictionary
+    for predicate in [
+        Expr::prop_eq("b", "city", "Oslo"),
+        Expr::prop_eq("b", "city", "Paris"),
+        Expr::binary(
+            BinOp::Lt,
+            Expr::prop("b", "city"),
+            Expr::lit(PropValue::str("Konstanz")),
+        ),
+        Expr::binary(
+            BinOp::Gt,
+            Expr::prop("b", "city"),
+            Expr::lit(PropValue::str("Konstanz\u{0130}")),
+        ),
+    ] {
+        let mut plan = PhysicalPlan::new();
+        expand(&mut plan);
+        plan.push(PhysicalOp::Select { predicate });
+        plan.push(PhysicalOp::Project {
+            items: vec![(Expr::prop("b", "city"), "city".into())],
+        });
+        assert_parallel_agrees(&g, &plan);
+    }
+    // group and sort on the Str key; Min over strings crosses shards
+    let mut group = PhysicalPlan::new();
+    expand(&mut group);
+    group.push(PhysicalOp::HashGroup {
+        keys: vec![(Expr::prop("b", "city"), "city".into())],
+        aggs: vec![
+            (AggFunc::Count, Expr::tag("a"), "cnt".into()),
+            (AggFunc::Max, Expr::prop("b", "city"), "max_city".into()),
+        ],
+    });
+    group.push(PhysicalOp::OrderLimit {
+        keys: vec![(Expr::tag("city"), SortDir::Desc)],
+        limit: Some(4),
+    });
+    assert_parallel_agrees(&g, &group);
+    // dedup on strings
+    let mut dedup = PhysicalPlan::new();
+    expand(&mut dedup);
+    dedup.push(PhysicalOp::Project {
+        items: vec![(Expr::prop("b", "city"), "city".into())],
+    });
+    dedup.push(PhysicalOp::Dedup {
+        keys: vec![Expr::tag("city")],
+    });
+    assert_parallel_agrees(&g, &dedup);
+}
+
 /// Randomized (but valid) plan orders over random graphs with both expansion
 /// strategies.
 #[test]
