@@ -1,21 +1,33 @@
 //! Fig. 8(a): effect of the heuristic rules (QR1-QR8), RBO enabled vs disabled.
 //!
 //! As in the paper, type inference and CBO are disabled so the rules are isolated.
+//! Runs on the small graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::qr_queries;
 
 fn main() {
-    let env = Env::ldbc("G-small", 300);
+    for env in [
+        Env::ldbc("G-small", 300),
+        Env::ldbc_cached("G-small-10x", 3000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(a): heuristic rules (WithOpt = RBO on, NoOpt = RBO off)",
+        &format!(
+            "Fig 8(a): heuristic rules on {} (WithOpt = RBO on, NoOpt = RBO off)",
+            env.name
+        ),
         &["query", "WithOpt", "NoOpt", "speedup"],
     );
     let mut speedups = Vec::new();
     for q in qr_queries() {
-        let logical = cypher(&env, &q.text);
+        let logical = cypher(env, &q.text);
         let with_cfg = GOptConfig {
             enable_rbo: true,
             enable_type_inference: false,
@@ -28,10 +40,10 @@ fn main() {
             enable_cbo: false,
             max_join_edges: 10,
         };
-        let with_plan = gopt_plan(&env, &logical, target, with_cfg);
-        let no_plan = gopt_plan(&env, &logical, target, no_cfg);
-        let with_run = execute(&env, &with_plan, target, DEFAULT_RECORD_LIMIT);
-        let no_run = execute(&env, &no_plan, target, DEFAULT_RECORD_LIMIT);
+        let with_plan = gopt_plan(env, &logical, target, with_cfg);
+        let no_plan = gopt_plan(env, &logical, target, no_cfg);
+        let with_run = execute(env, &with_plan, target, DEFAULT_RECORD_LIMIT);
+        let no_run = execute(env, &no_plan, target, DEFAULT_RECORD_LIMIT);
         let s = with_run.speedup_over(&no_run);
         speedups.push(s);
         row(&[

@@ -1,19 +1,31 @@
 //! Fig. 8(b): effect of type inference (QT1-QT5) on queries without explicit types.
+//! Runs on the small graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::qt_queries;
 
 fn main() {
-    let env = Env::ldbc("G-small", 300);
+    for env in [
+        Env::ldbc("G-small", 300),
+        Env::ldbc_cached("G-small-10x", 3000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(b): type inference (WithOpt = inference on, NoOpt = off)",
+        &format!(
+            "Fig 8(b): type inference on {} (WithOpt = inference on, NoOpt = off)",
+            env.name
+        ),
         &["query", "WithOpt", "NoOpt", "speedup"],
     );
     let mut speedups = Vec::new();
     for q in qt_queries() {
-        let logical = cypher(&env, &q.text);
+        let logical = cypher(env, &q.text);
         let with_cfg = GOptConfig {
             enable_rbo: true,
             enable_type_inference: true,
@@ -26,10 +38,10 @@ fn main() {
             enable_cbo: false,
             max_join_edges: 10,
         };
-        let with_plan = gopt_plan(&env, &logical, target, with_cfg);
-        let no_plan = gopt_plan(&env, &logical, target, no_cfg);
-        let with_run = execute(&env, &with_plan, target, DEFAULT_RECORD_LIMIT);
-        let no_run = execute(&env, &no_plan, target, DEFAULT_RECORD_LIMIT);
+        let with_plan = gopt_plan(env, &logical, target, with_cfg);
+        let no_plan = gopt_plan(env, &logical, target, no_cfg);
+        let with_run = execute(env, &with_plan, target, DEFAULT_RECORD_LIMIT);
+        let no_run = execute(env, &no_plan, target, DEFAULT_RECORD_LIMIT);
         let s = with_run.speedup_over(&no_run);
         speedups.push(s);
         row(&[

@@ -1,15 +1,24 @@
 //! Fig. 8(c): CBO plan quality (QC1-QC4, a/b variants): GOpt-plan vs GOpt-Neo-plan
 //! (Neo4j cost model executed on the partitioned backend) vs random plans.
+//! Runs on the small graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::qc_queries;
 
 fn main() {
-    let env = Env::ldbc("G-small", 300);
+    for env in [
+        Env::ldbc("G-small", 300),
+        Env::ldbc_cached("G-small-10x", 3000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(c): cost-based optimization",
+        &format!("Fig 8(c): cost-based optimization on {}", env.name),
         &[
             "query",
             "GOpt-plan",
@@ -18,15 +27,15 @@ fn main() {
         ],
     );
     for q in qc_queries() {
-        let logical = cypher(&env, &q.text);
-        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
-        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
-        let neo_cost = gopt_neo_cost_plan(&env, &logical);
-        let neo_run = execute(&env, &neo_cost, target, DEFAULT_RECORD_LIMIT);
+        let logical = cypher(env, &q.text);
+        let gopt = gopt_plan(env, &logical, target, GOptConfig::default());
+        let gopt_run = execute(env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let neo_cost = gopt_neo_cost_plan(env, &logical);
+        let neo_run = execute(env, &neo_cost, target, DEFAULT_RECORD_LIMIT);
         let mut rands = Vec::new();
         for seed in 0..3u64 {
-            let rp = random_plan(&env, &logical, seed);
-            rands.push(execute(&env, &rp, target, DEFAULT_RECORD_LIMIT));
+            let rp = random_plan(env, &logical, seed);
+            rands.push(execute(env, &rp, target, DEFAULT_RECORD_LIMIT));
         }
         let rand_min = rands
             .iter()

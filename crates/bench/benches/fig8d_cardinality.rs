@@ -1,15 +1,27 @@
 //! Fig. 8(d): high-order vs low-order statistics for CBO (QC1-QC4 a/b).
+//! Runs on the small graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::qc_queries;
 
 fn main() {
-    let env = Env::ldbc("G-small", 300);
+    for env in [
+        Env::ldbc("G-small", 300),
+        Env::ldbc_cached("G-small-10x", 3000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(d): cardinality estimation (high-order vs low-order statistics; \
-         + property stats = PR 5 histogram filter selectivity)",
+        &format!(
+            "Fig 8(d): cardinality estimation on {} (high-order vs low-order statistics; \
+             + property stats = PR 5 histogram filter selectivity)",
+            env.name
+        ),
         &[
             "query",
             "High-order Stats",
@@ -20,14 +32,14 @@ fn main() {
         ],
     );
     for q in qc_queries() {
-        let logical = cypher(&env, &q.text);
-        let hi_plan = gopt_plan(&env, &logical, target, GOptConfig::default());
-        let props_plan = gopt_stats_plan(&env, &logical, target, GOptConfig::default());
-        let lo_plan = gopt_low_order_plan(&env, &logical, target);
-        let hi_run = execute(&env, &hi_plan, target, DEFAULT_RECORD_LIMIT);
-        let props_run = execute(&env, &props_plan, target, DEFAULT_RECORD_LIMIT);
-        let lo_run = execute(&env, &lo_plan, target, DEFAULT_RECORD_LIMIT);
-        let (hi_est, lo_est) = estimate_both(&env, &logical);
+        let logical = cypher(env, &q.text);
+        let hi_plan = gopt_plan(env, &logical, target, GOptConfig::default());
+        let props_plan = gopt_stats_plan(env, &logical, target, GOptConfig::default());
+        let lo_plan = gopt_low_order_plan(env, &logical, target);
+        let hi_run = execute(env, &hi_plan, target, DEFAULT_RECORD_LIMIT);
+        let props_run = execute(env, &props_plan, target, DEFAULT_RECORD_LIMIT);
+        let lo_run = execute(env, &lo_plan, target, DEFAULT_RECORD_LIMIT);
+        let (hi_est, lo_est) = estimate_both(env, &logical);
         row(&[
             q.name,
             hi_run.display(),

@@ -1,24 +1,36 @@
 //! Fig. 8(e): optimizing Gremlin queries — GraphScope's native rule-only plans (GS-plan)
 //! vs GOpt plans, both executed on the partitioned backend.
+//! Runs on the small graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::qr_gremlin_queries;
 
 fn main() {
-    let env = Env::ldbc("G-small", 300);
+    for env in [
+        Env::ldbc("G-small", 300),
+        Env::ldbc_cached("G-small-10x", 3000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 8(e): Gremlin queries on the GraphScope-like backend",
+        &format!(
+            "Fig 8(e): Gremlin queries on the GraphScope-like backend, {}",
+            env.name
+        ),
         &["query", "GOpt-plan", "GS-plan", "speedup"],
     );
     let mut speedups = Vec::new();
     for q in qr_gremlin_queries() {
-        let logical = gremlin(&env, &q.text);
-        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
-        let gs = gs_baseline_plan(&env, &logical);
-        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
-        let gs_run = execute(&env, &gs, target, DEFAULT_RECORD_LIMIT);
+        let logical = gremlin(env, &q.text);
+        let gopt = gopt_plan(env, &logical, target, GOptConfig::default());
+        let gs = gs_baseline_plan(env, &logical);
+        let gopt_run = execute(env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let gs_run = execute(env, &gs, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&gs_run);
         speedups.push(s);
         row(&[

@@ -1,24 +1,36 @@
 //! Fig. 9(a): LDBC IC/BI queries on the Neo4j-like single-machine backend —
 //! Neo4j-plan (CypherPlanner-like baseline) vs GOpt-plan.
+//! Runs on the medium graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::{bi_queries, ic_queries};
 
 fn main() {
-    let env = Env::ldbc("G-medium", 600);
+    for env in [
+        Env::ldbc("G-medium", 600),
+        Env::ldbc_cached("G-medium-10x", 6000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::SingleMachine;
     header(
-        "Fig 9(a): LDBC queries on the Neo4j-like backend",
+        &format!(
+            "Fig 9(a): LDBC queries on the Neo4j-like backend, {}",
+            env.name
+        ),
         &["query", "GOpt-plan", "Neo4j-plan", "speedup"],
     );
     let mut speedups = Vec::new();
     for q in ic_queries().into_iter().chain(bi_queries()) {
-        let logical = cypher(&env, &q.text);
-        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
-        let neo = neo_baseline_plan(&env, &logical);
-        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
-        let neo_run = execute(&env, &neo, target, DEFAULT_RECORD_LIMIT);
+        let logical = cypher(env, &q.text);
+        let gopt = gopt_plan(env, &logical, target, GOptConfig::default());
+        let neo = neo_baseline_plan(env, &logical);
+        let gopt_run = execute(env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let neo_run = execute(env, &neo, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&neo_run);
         speedups.push(s);
         row(&[

@@ -1,15 +1,27 @@
 //! Fig. 9(b): LDBC IC/BI queries on the GraphScope-like partitioned backend —
 //! Neo4j-plan (translated) vs GOpt-plan (which can register ExpandIntersect).
+//! Runs on the medium graph and on its image-cached 10× variant.
 
 use gopt_bench::*;
 use gopt_core::GOptConfig;
 use gopt_workloads::{bi_queries, ic_queries};
 
 fn main() {
-    let env = Env::ldbc("G-medium", 600);
+    for env in [
+        Env::ldbc("G-medium", 600),
+        Env::ldbc_cached("G-medium-10x", 6000),
+    ] {
+        run(&env);
+    }
+}
+
+fn run(env: &Env) {
     let target = Target::Partitioned(8);
     header(
-        "Fig 9(b): LDBC queries on the GraphScope-like backend",
+        &format!(
+            "Fig 9(b): LDBC queries on the GraphScope-like backend, {}",
+            env.name
+        ),
         &[
             "query",
             "GOpt-plan",
@@ -21,11 +33,11 @@ fn main() {
     );
     let mut speedups = Vec::new();
     for q in ic_queries().into_iter().chain(bi_queries()) {
-        let logical = cypher(&env, &q.text);
-        let gopt = gopt_plan(&env, &logical, target, GOptConfig::default());
-        let neo = neo_baseline_plan(&env, &logical);
-        let gopt_run = execute(&env, &gopt, target, DEFAULT_RECORD_LIMIT);
-        let neo_run = execute(&env, &neo, target, DEFAULT_RECORD_LIMIT);
+        let logical = cypher(env, &q.text);
+        let gopt = gopt_plan(env, &logical, target, GOptConfig::default());
+        let neo = neo_baseline_plan(env, &logical);
+        let gopt_run = execute(env, &gopt, target, DEFAULT_RECORD_LIMIT);
+        let neo_run = execute(env, &neo, target, DEFAULT_RECORD_LIMIT);
         let s = gopt_run.speedup_over(&neo_run);
         speedups.push(s);
         row(&[

@@ -1,0 +1,195 @@
+//! Pipelined vs barrier cross-shard exchange (`BENCH_pr9.json`).
+//!
+//! One exchange-heavy plan — Scan(Person) → EdgeExpand(Knows) →
+//! EdgeExpand(Knows), every hop reshuffling rows to the destination
+//! vertex's home partition — runs on a 4-way-sharded LDBC-like graph in
+//! both exchange modes of the [`ParallelEngine`]:
+//!
+//! * `exch_2hop_barrier_t{N}` — the synchronous baseline: route **all**
+//!   morsels of an operator, holding every routed split resident, then
+//!   expand them;
+//! * `exch_2hop_pipelined_t{N}` — the PR 9 default: route and expand flow
+//!   through a bounded channel (`GOPT_EXCHANGE_CAP`), producers park when
+//!   the consumer queue is full, so at most `cap + workers` routed splits
+//!   exist at once.
+//!
+//! After the timed runs a capacity sweep (cap ∈ {1, 2, 4, 8}) reports
+//! `ExecStats::exchange_peak_bytes` — the high-water mark of resident
+//! routed bytes — against the barrier baseline, demonstrating bounded
+//! memory under a slow consumer. Invariants asserted on every run (and
+//! under `GOPT_BENCH_SMOKE=1` in CI): identical rows in both modes at
+//! every capacity and thread count, `comm_bytes` equal across modes,
+//! capacities and thread counts, zero at p=1 and positive at p=4, and the
+//! pipelined peak never above the barrier peak.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopt_bench::Env;
+use gopt_exec::{ExchangeMode, ParallelEngine};
+use gopt_gir::pattern::Direction;
+use gopt_gir::physical::{PhysicalOp, PhysicalPlan};
+use gopt_gir::types::TypeConstraint;
+use gopt_graph::PartitionedGraph;
+
+const PARTITIONS: usize = 4;
+const THREADS: [usize; 2] = [1, 4];
+const CAPS: [usize; 4] = [1, 2, 4, 8];
+const MORSEL: usize = 256;
+
+fn smoke() -> bool {
+    std::env::var("GOPT_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn two_hop(g: &gopt_graph::PropertyGraph) -> PhysicalPlan {
+    let person = TypeConstraint::basic(g.schema().vertex_label("Person").unwrap());
+    let knows = TypeConstraint::basic(g.schema().edge_label("Knows").unwrap());
+    let mut plan = PhysicalPlan::new();
+    plan.push(PhysicalOp::Scan {
+        alias: "a".into(),
+        constraint: person.clone(),
+        predicate: None,
+    });
+    for (src, dst) in [("a", "b"), ("b", "c")] {
+        plan.push(PhysicalOp::EdgeExpand {
+            src: src.into(),
+            edge_alias: None,
+            edge_constraint: knows.clone(),
+            direction: Direction::Out,
+            dst_alias: dst.into(),
+            dst_constraint: person.clone(),
+            dst_predicate: None,
+            edge_predicate: None,
+        });
+    }
+    plan
+}
+
+fn engine(
+    sharded: &PartitionedGraph,
+    mode: ExchangeMode,
+    threads: usize,
+    cap: usize,
+) -> ParallelEngine<'_> {
+    ParallelEngine::new(sharded)
+        .with_threads(threads)
+        .with_batch_size(MORSEL)
+        .with_exchange_mode(mode)
+        .with_exchange_capacity(cap)
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let persons = if smoke() { 400 } else { 2000 };
+    let env = Env::ldbc("G-exch", persons);
+    let g = &env.graph;
+    let plan = two_hop(g);
+    let sharded = PartitionedGraph::build(g, PARTITIONS);
+
+    for t in THREADS {
+        for (name, mode) in [
+            ("exch_2hop_barrier", ExchangeMode::Barrier),
+            ("exch_2hop_pipelined", ExchangeMode::Pipelined),
+        ] {
+            c.bench_function(&format!("{name}_t{t}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        engine(&sharded, mode, t, gopt_exec::DEFAULT_EXCHANGE_CAP)
+                            .execute(&plan)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+
+    // ---- invariants + capacity sweep (measured, not timed) ----
+    let barrier = engine(&sharded, ExchangeMode::Barrier, 4, 1)
+        .execute(&plan)
+        .unwrap();
+    let mut comm_bytes = vec![barrier.stats.comm_bytes];
+    let mut peaks = Vec::new();
+    for cap in CAPS {
+        for t in THREADS {
+            let r = engine(&sharded, ExchangeMode::Pipelined, t, cap)
+                .execute(&plan)
+                .unwrap();
+            assert_eq!(
+                r.rows(),
+                barrier.rows(),
+                "cap={cap} t={t}: pipelined rows must match the barrier baseline"
+            );
+            comm_bytes.push(r.stats.comm_bytes);
+            if t == 4 {
+                peaks.push((cap, r.stats.exchange_peak_bytes));
+            }
+        }
+    }
+    assert!(
+        comm_bytes.windows(2).all(|w| w[0] == w[1]),
+        "comm_bytes must not depend on mode, capacity or thread count: {comm_bytes:?}"
+    );
+    assert!(comm_bytes[0] > 0, "p={PARTITIONS} must ship bytes");
+    for (cap, peak) in &peaks {
+        assert!(
+            *peak <= barrier.stats.exchange_peak_bytes,
+            "cap={cap}: pipelined peak {peak} must not exceed barrier peak {}",
+            barrier.stats.exchange_peak_bytes
+        );
+    }
+    if !smoke() {
+        // with ~8 scan morsels and dozens of expand morsels the bounded
+        // queue must hold strictly fewer routed bytes than full
+        // materialization
+        assert!(
+            peaks[0].1 < barrier.stats.exchange_peak_bytes,
+            "cap=1 pipelined peak {} must beat barrier peak {}",
+            peaks[0].1,
+            barrier.stats.exchange_peak_bytes
+        );
+    }
+
+    // single partition: nothing crosses shards, nothing is shipped
+    let solo = PartitionedGraph::build(g, 1);
+    let r1 = engine(&solo, ExchangeMode::Pipelined, 4, 1)
+        .execute(&plan)
+        .unwrap();
+    assert_eq!(r1.stats.comm_bytes, 0, "p=1 must ship no bytes");
+    assert_eq!(r1.stats.comm_records, 0, "p=1 must ship no rows");
+    assert_eq!(r1.rows(), barrier.rows(), "p=1 rows must match p=4");
+
+    println!(
+        "exchange: p={PARTITIONS} comm_bytes={} barrier_peak={}",
+        comm_bytes[0], barrier.stats.exchange_peak_bytes
+    );
+    for (cap, peak) in &peaks {
+        println!("exchange: pipelined cap={cap} peak_bytes={peak}");
+    }
+    // record the memory sweep next to the timings
+    if let Ok(path) = std::env::var("GOPT_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+            {
+                let caps: Vec<String> = peaks
+                    .iter()
+                    .map(|(cap, peak)| format!("{{\"cap\":{cap},\"peak_bytes\":{peak}}}"))
+                    .collect();
+                let _ = writeln!(
+                    f,
+                    "{{\"bench\":\"exchange_memory_sweep\",\"partitions\":{PARTITIONS},\"comm_bytes\":{},\"barrier_peak_bytes\":{},\"pipelined\":[{}]}}",
+                    comm_bytes[0],
+                    barrier.stats.exchange_peak_bytes,
+                    caps.join(",")
+                );
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exchange
+}
+criterion_main!(benches);

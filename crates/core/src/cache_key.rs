@@ -10,7 +10,14 @@
 //!   predicates, projections, ordering — everything that feeds the optimizer)
 //!   share one shape string. Tag names deliberately stay in the shape: the
 //!   optimized physical plan embeds aliases, so a plan cached for `MATCH (a)`
-//!   must never be served for `MATCH (x)`.
+//!   must never be served for `MATCH (x)`. Frontends additionally
+//!   **parameterize** before keying ([`LogicalPlan::parameterize`]): comparison
+//!   constants are replaced by `Expr::Param` slots, so `age > 30` and
+//!   `age > 40` collapse to one shape and share one generic plan, bound back
+//!   per request with `PhysicalPlan::bind_params`. The trade-off is that the
+//!   CBO sees the parameter, not the constant, and falls back to its generic
+//!   selectivity estimate for that predicate — one plan for the whole literal
+//!   family, not the literal-specific optimum.
 //! * the **stats version** — a caller-managed counter identifying the
 //!   [`GraphStats`](gopt_graph::GraphStats) snapshot the optimizer
 //!   saw. The CBO's choices are a function of the statistics; when they
@@ -86,6 +93,28 @@ mod tests {
         let bumped = PlanCacheKey::new(&match_plan("a"), 1);
         assert_ne!(k1, bumped);
         assert_eq!(k1.shape, bumped.shape);
+    }
+
+    #[test]
+    fn parameterized_plans_share_a_shape_across_literals() {
+        use gopt_gir::expr::BinOp;
+        let filtered = |age: i64| {
+            let mut plan = match_plan("a");
+            let root = plan.root();
+            plan.add(
+                LogicalOp::Select {
+                    predicate: Expr::binary(BinOp::Gt, Expr::prop("a", "age"), Expr::lit(age)),
+                },
+                vec![root],
+            );
+            let (parameterized, params) = plan.parameterize();
+            (plan_shape(&parameterized), params)
+        };
+        let (s30, p30) = filtered(30);
+        let (s40, p40) = filtered(40);
+        assert_eq!(s30, s40, "literal variants must share one cache shape");
+        assert_ne!(p30, p40, "each variant keeps its own bound constant");
+        assert!(s30.contains("Param(0)"), "shape holds the slot: {s30}");
     }
 
     #[test]

@@ -723,6 +723,8 @@ impl CompiledExpr {
                 expr: Box::new(CompiledExpr::compile(expr, tags, graph)),
                 list: list.clone(),
             },
+            // unbound parameters evaluate to Null, matching Expr::evaluate
+            Expr::Param(_) => CompiledExpr::Literal(PropValue::Null),
         }
     }
 

@@ -76,6 +76,20 @@ pub struct ExecStats {
     pub peak_records: u64,
     /// Records that crossed a partition boundary (0 on a single machine).
     pub comm_records: u64,
+    /// Bytes that crossed a partition boundary, estimated from
+    /// [`RecordBatch::approx_bytes`](crate::RecordBatch::approx_bytes) of the
+    /// routed rows. Measured only by the parallel engine (the scalar/batched
+    /// engines simulate partitions and leave it 0); like `comm_records` it is
+    /// a pure function of the data and the partitioner — identical across
+    /// thread counts and exchange modes, and 0 with one partition.
+    pub comm_bytes: u64,
+    /// Peak bytes of gathered sub-batches resident in exchange queues at any
+    /// instant (parallel engine only). Unlike the `comm_*` counters this is a
+    /// *diagnostic*: it depends on scheduling and the configured exchange
+    /// capacity, so it is never compared across runs — it exists to show that
+    /// pipelined exchange bounds its intermediate memory where the barrier
+    /// mode materializes every routed morsel at once.
+    pub exchange_peak_bytes: u64,
     /// Wall-clock execution time in microseconds.
     pub elapsed_micros: u128,
 }

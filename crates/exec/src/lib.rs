@@ -75,5 +75,5 @@ pub use batch::{
 pub use context::QueryContext;
 pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
 pub use error::{ExecError, LimitReason};
-pub use parallel::{MorselPool, ParallelEngine};
+pub use parallel::{ExchangeMode, MorselPool, ParallelEngine, DEFAULT_EXCHANGE_CAP};
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -56,6 +56,40 @@
 //! [`PartitionedGraph::build`] installs (the expansion kernels share its
 //! arithmetic).
 //!
+//! `ExecStats::comm_bytes` applies the same rules to payload sizes: every
+//! shipped row is charged its morsel's per-row share of
+//! [`RecordBatch::approx_bytes`] (integer arithmetic, see `ship_bytes`), so
+//! byte counts inherit the thread- and schedule-invariance of the row counts.
+//!
+//! # Pipelined exchange and backpressure
+//!
+//! Each expand operator runs its partition exchange through
+//! [`exchange_expand`](ParallelEngine): per morsel, a *route* unit splits the
+//! morsel by routing partition and a *expand* unit runs the expansion kernels
+//! over the split and merges the oracle row order back. How the two stages
+//! are scheduled is the [`ExchangeMode`]:
+//!
+//! * [`ExchangeMode::Barrier`] materializes **every** routed split first and
+//!   only then expands — the classic synchronous exchange, with peak memory
+//!   proportional to the whole intermediate.
+//! * [`ExchangeMode::Pipelined`] (the default) streams splits through a
+//!   bounded channel of capacity `GOPT_EXCHANGE_CAP` (default
+//!   [`DEFAULT_EXCHANGE_CAP`]): a cooperative crew of identical workers
+//!   routes, forwards and expands concurrently, and a producer that finds the
+//!   channel full first *helps drain it* and otherwise parks in short,
+//!   bounded, context-checked waits — backpressure without lost wakeups, so
+//!   cancellation, deadlines and fail points fire even while blocked on a
+//!   full (or empty) channel. At most `capacity + workers` gathered splits
+//!   are resident at once, independent of the input size. Any single worker
+//!   can drain the whole pipeline alone, so the stage is deadlock-free at
+//!   every capacity ≥ 1 and thread count ≥ 1.
+//!
+//! Both modes execute identical route and expand units in identical per-mi
+//! order at the merge, so rows, row order and every `comm_*` stat are
+//! bit-identical between them; `ExecStats::exchange_peak_bytes` is the only
+//! observable difference (it measures resident gathered bytes, which is the
+//! point of pipelining).
+//!
 //! [`BatchEngine`]: crate::engine::BatchEngine
 //! [`Engine`]: crate::engine::Engine
 //! [`GraphShard`]: gopt_graph::GraphShard
@@ -77,8 +111,9 @@ use gopt_graph::{GraphView, PartitionedGraph, PropValue, VertexId};
 use parking_lot::{Condvar, Mutex};
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Worker pool
@@ -440,6 +475,65 @@ where
 }
 
 // ---------------------------------------------------------------------------
+// Exchange configuration
+// ---------------------------------------------------------------------------
+
+/// Default bounded-channel capacity (routed morsels in flight) of the
+/// pipelined exchange; override per engine with
+/// [`ParallelEngine::with_exchange_capacity`] or process-wide with the
+/// `GOPT_EXCHANGE_CAP` environment variable.
+pub const DEFAULT_EXCHANGE_CAP: usize = 8;
+
+/// How an expand operator schedules its partition exchange — see the
+/// [module docs](self#pipelined-exchange-and-backpressure). Both modes
+/// produce bit-identical rows, row order and communication stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Route every morsel first, materializing all splits, then expand —
+    /// the synchronous-barrier baseline.
+    Barrier,
+    /// Stream routed splits through a bounded channel with backpressure:
+    /// expansion starts while routing still produces, and producers block
+    /// (in short context-checked waits, or by helping drain) when the
+    /// channel is full.
+    #[default]
+    Pipelined,
+}
+
+/// `GOPT_EXCHANGE_CAP` (clamped to ≥ 1) or the default.
+fn exchange_cap_from_env() -> usize {
+    std::env::var("GOPT_EXCHANGE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|c| c.max(1))
+        .unwrap_or(DEFAULT_EXCHANGE_CAP)
+}
+
+/// `GOPT_EXCHANGE_MODE=barrier|pipelined` (default pipelined).
+fn exchange_mode_from_env() -> ExchangeMode {
+    match std::env::var("GOPT_EXCHANGE_MODE")
+        .as_deref()
+        .map(str::trim)
+    {
+        Ok("barrier") => ExchangeMode::Barrier,
+        _ => ExchangeMode::Pipelined,
+    }
+}
+
+/// Bytes attributed to shipping `moved` of `rows` rows out of a payload of
+/// `bytes` total: the payload scaled by the moved fraction. Integer
+/// arithmetic (u128 intermediate) so every thread count and exchange mode
+/// computes the identical value. `moved` may exceed `rows` (PathExpand
+/// counts every partition-crossing hop); the charge scales past the payload
+/// accordingly, matching the traversal model.
+fn ship_bytes(bytes: u64, rows: u64, moved: u64) -> u64 {
+    if rows == 0 || moved == 0 {
+        return 0;
+    }
+    ((bytes as u128 * moved as u128) / rows as u128) as u64
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -475,6 +569,21 @@ struct MorselSplit<'a> {
     subs: Vec<(usize, Cow<'a, RecordBatch>, Vec<u32>)>,
 }
 
+impl MorselSplit<'_> {
+    /// Extra memory this split holds beyond the input morsel: the gathered
+    /// (owned) sub-batches. Borrowed subs alias the input and cost nothing —
+    /// at p=1 every sub borrows, so this is always 0 there.
+    fn gathered_bytes(&self) -> u64 {
+        self.subs
+            .iter()
+            .map(|(_, sub, _)| match sub {
+                Cow::Owned(b) => b.approx_bytes(),
+                Cow::Borrowed(_) => 0,
+            })
+            .sum()
+    }
+}
+
 /// Output of one expansion kernel over one sub-batch.
 struct KernelOut {
     /// Sub-batch row index per output row (ascending).
@@ -483,6 +592,18 @@ struct KernelOut {
     edge_vals: Vec<gopt_graph::EdgeId>,
     comm: u64,
 }
+
+/// Result of one expand unit: the merged output batches of one morsel (in
+/// oracle row order) and the rows its kernels shipped across partitions at
+/// the expand boundary.
+struct Expanded {
+    batches: Vec<RecordBatch>,
+    comm: u64,
+}
+
+/// One morsel's exchange outcome: its expanded output plus the rows and
+/// bytes the route stage moved across partitions for it.
+type Routed = (Expanded, u64, u64);
 
 /// The morsel-driven parallel interpreter over a [`PartitionedGraph`].
 ///
@@ -496,6 +617,9 @@ pub struct ParallelEngine<'g> {
     record_limit: Option<u64>,
     threads: usize,
     batch_size: usize,
+    /// Bounded-channel capacity of the pipelined exchange (≥ 1).
+    exchange_cap: usize,
+    exchange_mode: ExchangeMode,
     /// Shared pool injected via [`with_pool`](Self::with_pool); when absent an
     /// owned pool is spawned lazily on the first execute and reused. Either
     /// way the lock is held only to fetch the handle — concurrent
@@ -507,13 +631,17 @@ pub struct ParallelEngine<'g> {
 
 impl<'g> ParallelEngine<'g> {
     /// Create an engine over sharded storage with one thread and the default
-    /// morsel size.
+    /// morsel size. Exchange scheduling comes from the environment
+    /// (`GOPT_EXCHANGE_CAP`, `GOPT_EXCHANGE_MODE`) unless overridden with
+    /// the builders below.
     pub fn new(graph: &'g PartitionedGraph) -> Self {
         ParallelEngine {
             graph,
             record_limit: None,
             threads: 1,
             batch_size: DEFAULT_BATCH_SIZE,
+            exchange_cap: exchange_cap_from_env(),
+            exchange_mode: exchange_mode_from_env(),
             shared: None,
             owned: Mutex::new(None),
         }
@@ -545,6 +673,20 @@ impl<'g> ParallelEngine<'g> {
     /// Abort when the total intermediate records exceed `limit`.
     pub fn with_record_limit(mut self, limit: Option<u64>) -> Self {
         self.record_limit = limit;
+        self
+    }
+
+    /// Set the pipelined exchange's bounded-channel capacity in routed
+    /// morsels (clamped to at least 1). Smaller capacities bound peak
+    /// exchange memory harder at the cost of more producer waiting.
+    pub fn with_exchange_capacity(mut self, cap: usize) -> Self {
+        self.exchange_cap = cap.max(1);
+        self
+    }
+
+    /// Select how expand operators schedule their partition exchange.
+    pub fn with_exchange_mode(mut self, mode: ExchangeMode) -> Self {
+        self.exchange_mode = mode;
         self
     }
 
@@ -648,26 +790,89 @@ impl<'g> ParallelEngine<'g> {
         }
     }
 
-    /// Measured rows shipped when gathering a node's output at the
-    /// coordinator (pipeline breakers, joins, unions).
-    fn gather_comm(&self, batches: &[RecordBatch], home: Home) -> u64 {
+    /// Measured (rows, bytes) shipped when gathering a node's output at the
+    /// coordinator (pipeline breakers, joins, unions). Bytes are each moved
+    /// row's share of its batch's `approx_bytes`.
+    fn gather_comm(&self, batches: &[RecordBatch], home: Home) -> (u64, u64) {
         if self.graph.partitions() <= 1 || home == Home::Coordinator {
-            return 0;
+            return (0, 0);
         }
-        batches
-            .iter()
-            .map(|b| {
-                (0..b.rows())
-                    .filter(|&r| self.row_home(b, r, home) != 0)
-                    .count() as u64
-            })
-            .sum()
+        let mut records = 0u64;
+        let mut bytes = 0u64;
+        for b in batches {
+            let moved = (0..b.rows())
+                .filter(|&r| self.row_home(b, r, home) != 0)
+                .count() as u64;
+            records += moved;
+            bytes += ship_bytes(b.approx_bytes(), b.rows() as u64, moved);
+        }
+        (records, bytes)
     }
 
-    /// Partition exchange: split every morsel by the partition owning the
-    /// vertex at `route_slot`, gathering per-partition sub-batches and
-    /// counting the rows that had to move from their current home.
-    fn shuffle_by<'a>(
+    /// Add a coordinator gather's communication to `stats`.
+    fn charge_gather(&self, stats: &mut ExecStats, batches: &[RecordBatch], home: Home) {
+        let (records, bytes) = self.gather_comm(batches, home);
+        stats.comm_records += records;
+        stats.comm_bytes += bytes;
+    }
+
+    /// Route unit of the exchange: split one morsel by the partition owning
+    /// the vertex at `route_slot`, gathering per-partition sub-batches and
+    /// measuring the (rows, bytes) that had to move from their current home.
+    fn split_one<'a>(
+        &self,
+        batch: &'a RecordBatch,
+        route_slot: usize,
+        home: Home,
+        aligned: bool,
+    ) -> (MorselSplit<'a>, u64, u64) {
+        let p = self.graph.partitions();
+        let mut owner = vec![-1i32; batch.rows()];
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut moved = 0u64;
+        for (row, own) in owner.iter_mut().enumerate() {
+            let Some(v) = batch.entry(route_slot, row).as_vertex() else {
+                continue;
+            };
+            let dest = self.part(v);
+            *own = dest as i32;
+            if p > 1 && !aligned && self.row_home(batch, row, home) != dest {
+                moved += 1;
+            }
+            sels[dest].push(row as u32);
+        }
+        let subs = sels
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sel)| !sel.is_empty())
+            .map(|(part, sel)| {
+                let sub = if sel.len() == batch.rows() {
+                    Cow::Borrowed(batch)
+                } else {
+                    Cow::Owned(batch.gather(&sel, batch.width()))
+                };
+                (part, sub, sel)
+            })
+            .collect();
+        let moved_bytes = ship_bytes(batch.approx_bytes(), batch.rows() as u64, moved);
+        (
+            MorselSplit {
+                rows: batch.rows(),
+                owner,
+                subs,
+            },
+            moved,
+            moved_bytes,
+        )
+    }
+
+    /// The full exchange of one expand operator: route every input morsel to
+    /// its partitions and run `expand_one` (kernels + oracle-order merge)
+    /// over each split, per the engine's [`ExchangeMode`]. Outputs come back
+    /// concatenated in morsel order; all communication stats are accumulated
+    /// here, per morsel in morsel order, so both modes charge identically.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_expand<'a, F>(
         &self,
         pool: &WorkerPool,
         ctx: &QueryContext,
@@ -675,51 +880,218 @@ impl<'g> ParallelEngine<'g> {
         batches: &'a [RecordBatch],
         route_slot: usize,
         home: Home,
-    ) -> Result<(Vec<MorselSplit<'a>>, u64), ExecError> {
-        failpoint::check(context::FP_EXCHANGE).map_err(context::injected)?;
-        let p = self.graph.partitions();
+        stats: &mut ExecStats,
+        expand_one: F,
+    ) -> Result<Vec<RecordBatch>, ExecError>
+    where
+        F: Fn(&MorselSplit<'a>) -> Expanded + Sync,
+    {
+        let n = batches.len();
+        if n == 0 {
+            // preserve the per-operator exchange fail point even when there
+            // is nothing to route
+            failpoint::check(context::FP_EXCHANGE).map_err(context::injected)?;
+            return Ok(Vec::new());
+        }
         let aligned = home == Home::Tag(route_slot);
-        let splits: Vec<(MorselSplit<'a>, u64)> = par_map_op(pool, batches.len(), op, |mi| {
+        // One route unit per morsel: context checkpoint, exchange fail point,
+        // then the split. Fires inside pooled tasks, so faults and limit hits
+        // unwind as TaskAborts and are mapped back to typed errors per mode.
+        let route_unit = |mi: usize| -> (MorselSplit<'a>, u64, u64) {
             context::worker_checkpoint(ctx);
-            let batch = &batches[mi];
-            let mut owner = vec![-1i32; batch.rows()];
-            let mut sels: Vec<Vec<u32>> = vec![Vec::new(); p];
-            let mut moved = 0u64;
-            for (row, own) in owner.iter_mut().enumerate() {
-                let Some(v) = batch.entry(route_slot, row).as_vertex() else {
-                    continue;
-                };
-                let dest = self.part(v);
-                *own = dest as i32;
-                if p > 1 && !aligned && self.row_home(batch, row, home) != dest {
-                    moved += 1;
-                }
-                sels[dest].push(row as u32);
+            if let Err(f) = failpoint::check(context::FP_EXCHANGE) {
+                std::panic::panic_any(context::TaskAbort::Injected {
+                    point: f.point,
+                    msg: f.msg,
+                });
             }
-            let subs = sels
-                .into_iter()
-                .enumerate()
-                .filter(|(_, sel)| !sel.is_empty())
-                .map(|(part, sel)| {
-                    let sub = if sel.len() == batch.rows() {
-                        Cow::Borrowed(batch)
-                    } else {
-                        Cow::Owned(batch.gather(&sel, batch.width()))
+            self.split_one(&batches[mi], route_slot, home, aligned)
+        };
+        let (per_mi, peak) = match self.exchange_mode {
+            ExchangeMode::Barrier => {
+                // synchronous barrier: materialize EVERY routed split, then
+                // expand — the baseline the pipelined mode is measured against
+                let routed: Vec<(MorselSplit<'a>, u64, u64)> = par_map_op(pool, n, op, route_unit)?;
+                let resident: u64 = routed.iter().map(|(s, _, _)| s.gathered_bytes()).sum();
+                let expanded: Vec<Expanded> =
+                    par_map_op(pool, n, op, |mi| expand_one(&routed[mi].0))?;
+                let per_mi = expanded
+                    .into_iter()
+                    .zip(&routed)
+                    .map(|(e, (_, moved, moved_bytes))| (e, *moved, *moved_bytes))
+                    .collect();
+                (per_mi, resident)
+            }
+            ExchangeMode::Pipelined => {
+                self.exchange_pipelined(pool, ctx, op, n, &route_unit, &expand_one)?
+            }
+        };
+        stats.exchange_peak_bytes = stats.exchange_peak_bytes.max(peak);
+        let mut out = Vec::new();
+        for (e, moved, moved_bytes) in per_mi {
+            stats.comm_records += moved + e.comm;
+            let out_rows = batch::total_rows(&e.batches) as u64;
+            let out_bytes: u64 = e.batches.iter().map(RecordBatch::approx_bytes).sum();
+            stats.comm_bytes += moved_bytes + ship_bytes(out_bytes, out_rows, e.comm);
+            out.extend(e.batches);
+        }
+        Ok(out)
+    }
+
+    /// Pipelined exchange: a cooperative crew of identical workers connected
+    /// by one bounded channel of routed splits. Every worker prefers draining
+    /// the channel (expand), otherwise claims the next morsel to route and
+    /// forwards the split with backpressure: on a full channel it helps by
+    /// expanding one queued split itself, or parks briefly and re-checks the
+    /// query context — bounded waits only, so cancellation/deadlines/fail
+    /// points fire while blocked and no wakeup can be lost. Any single
+    /// worker can drain the whole pipeline, so the stage cannot deadlock at
+    /// any capacity or thread count.
+    ///
+    /// Returns per-morsel `(Expanded, moved, moved_bytes)` in morsel order
+    /// plus the peak resident gathered bytes (splits queued, held by blocked
+    /// routers, or being expanded).
+    fn exchange_pipelined<'a, R, F>(
+        &self,
+        pool: &WorkerPool,
+        ctx: &QueryContext,
+        op: &'static str,
+        n: usize,
+        route_unit: &R,
+        expand_one: &F,
+    ) -> Result<(Vec<Routed>, u64), ExecError>
+    where
+        R: Fn(usize) -> (MorselSplit<'a>, u64, u64) + Sync,
+        F: Fn(&MorselSplit<'a>) -> Expanded + Sync,
+    {
+        type Item<'a> = (usize, MorselSplit<'a>, u64, u64);
+        let (tx, rx) = crossbeam_channel::bounded::<Item<'a>>(self.exchange_cap);
+        let next_route = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<ExecError>> = Mutex::new(None);
+        let queued_bytes = AtomicU64::new(0);
+        let peak_bytes = AtomicU64::new(0);
+        let mut results: Vec<Option<Routed>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        struct Slots<T>(*mut Option<T>);
+        // SAFETY: each morsel index is expanded (and written) exactly once;
+        // the phase barrier in run_phase sequences writes before the reads.
+        unsafe impl<T: Send> Sync for Slots<T> {}
+        let slots = Slots(results.as_mut_ptr());
+        let slots = &slots;
+
+        let fail = |e: ExecError| {
+            let mut g = error.lock();
+            if g.is_none() {
+                *g = Some(e);
+            }
+            failed.store(true, Ordering::Release);
+        };
+        // expand one routed split; false aborts the calling worker
+        let do_expand = |(mi, split, moved, moved_bytes): Item<'a>| -> bool {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| expand_one(&split)));
+            match out {
+                Ok(e) => {
+                    queued_bytes.fetch_sub(split.gathered_bytes(), Ordering::Relaxed);
+                    unsafe { *slots.0.add(mi) = Some((e, moved, moved_bytes)) };
+                    completed.fetch_add(1, Ordering::Release);
+                    true
+                }
+                Err(payload) => {
+                    fail(context::map_panic(payload, op));
+                    false
+                }
+            }
+        };
+        let worker = |_wi: usize| {
+            loop {
+                if failed.load(Ordering::Acquire) {
+                    return;
+                }
+                // prefer consuming: keeps the channel short and the merge fed
+                if let Ok(item) = rx.try_recv() {
+                    if !do_expand(item) {
+                        return;
+                    }
+                    continue;
+                }
+                let mi = next_route.fetch_add(1, Ordering::Relaxed);
+                if mi < n {
+                    let routed =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route_unit(mi)));
+                    let (split, moved, moved_bytes) = match routed {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            fail(context::map_panic(payload, op));
+                            return;
+                        }
                     };
-                    (part, sub, sel)
-                })
-                .collect();
-            (
-                MorselSplit {
-                    rows: batch.rows(),
-                    owner,
-                    subs,
-                },
-                moved,
-            )
-        })?;
-        let comm = splits.iter().map(|(_, m)| *m).sum();
-        Ok((splits.into_iter().map(|(s, _)| s).collect(), comm))
+                    let bytes = split.gathered_bytes();
+                    let resident = queued_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                    peak_bytes.fetch_max(resident, Ordering::Relaxed);
+                    // backpressure loop: never an unbounded block
+                    let mut item = (mi, split, moved, moved_bytes);
+                    loop {
+                        if failed.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match tx.try_send(item) {
+                            Ok(()) => break,
+                            Err(crossbeam_channel::TrySendError::Full(back)) => {
+                                item = back;
+                                // help drain the queue we are blocked on
+                                if let Ok(other) = rx.try_recv() {
+                                    if !do_expand(other) {
+                                        return;
+                                    }
+                                } else if let Err(reason) = ctx.check() {
+                                    fail(ExecError::LimitExceeded(reason));
+                                    return;
+                                } else {
+                                    std::thread::sleep(Duration::from_micros(100));
+                                }
+                            }
+                            Err(crossbeam_channel::TrySendError::Disconnected(_)) => return,
+                        }
+                    }
+                    continue;
+                }
+                // routing exhausted: drain stragglers until everything landed
+                if completed.load(Ordering::Acquire) >= n {
+                    return;
+                }
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(item) => {
+                        if !do_expand(item) {
+                            return;
+                        }
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                        if let Err(reason) = ctx.check() {
+                            fail(ExecError::LimitExceeded(reason));
+                            return;
+                        }
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        };
+        // one cooperative worker per available thread (capped at the morsel
+        // count); the submitting thread is always one of them
+        let crew = (pool.workers() + 1).min(n);
+        pool.run_phase(crew, &worker)
+            .map_err(|payload| context::map_panic(payload, op))?;
+        drop(tx);
+        drop(rx);
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+        let per_mi = results
+            .into_iter()
+            .map(|r| r.expect("pipeline expanded every morsel"))
+            .collect();
+        Ok((per_mi, peak_bytes.load(Ordering::Relaxed)))
     }
 
     /// Deterministic per-morsel merge after a partition-split expansion:
@@ -963,8 +1335,8 @@ impl<'g> ParallelEngine<'g> {
             PhysicalOp::HashJoin { keys, kind } => {
                 let input = Self::take_input("HashJoin", inputs, outputs, 2)?;
                 let (l, r) = (input[0], input[1]);
-                stats.comm_records += self.gather_comm(&l.batches, l.home);
-                stats.comm_records += self.gather_comm(&r.batches, r.home);
+                self.charge_gather(stats, &l.batches, l.home);
+                self.charge_gather(stats, &r.batches, r.home);
                 let (batches, tags, _) = relational::hash_join_batches(
                     self.graph,
                     &l.batches,
@@ -995,7 +1367,7 @@ impl<'g> ParallelEngine<'g> {
                     .map(|i| outputs[i.0].as_ref().expect("inputs executed"))
                     .collect();
                 for n in &gathered {
-                    stats.comm_records += self.gather_comm(&n.batches, n.home);
+                    self.charge_gather(stats, &n.batches, n.home);
                 }
                 let pairs: Vec<(&[RecordBatch], &TagMap)> = gathered
                     .iter()
@@ -1101,94 +1473,80 @@ impl<'g> ParallelEngine<'g> {
         let mut tags = input.tags.clone();
         let compiled = EdgeExpandCompiled::resolve(self.graph, &mut tags, args)?;
         let width = tags.len();
-        let (splits, comm_in) = self.shuffle_by(
+        let batches = self.exchange_expand(
             pool,
             ctx,
             "EdgeExpand",
             &input.batches,
             compiled.src_slot,
             input.home,
-        )?;
-        stats.comm_records += comm_in;
-
-        // flat task list over (morsel, sub-batch)
-        let mut tasks: Vec<(usize, usize)> = Vec::new();
-        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
-        for (mi, split) in splits.iter().enumerate() {
-            let mut per = Vec::with_capacity(split.subs.len());
-            for si in 0..split.subs.len() {
-                per.push(tasks.len());
-                tasks.push((mi, si));
-            }
-            task_of.push(per);
-        }
-        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "EdgeExpand", |t| {
-            context::worker_checkpoint(ctx);
-            let (mi, si) = tasks[t];
-            let sub = &splits[mi].subs[si].1;
-            let mut sel = Vec::new();
-            let mut dst_vals = Vec::new();
-            let mut edge_vals = Vec::new();
-            let mut candidates = Vec::new();
-            let comm = expand::edge_expand_kernel(
-                self.graph,
-                sub,
-                &compiled,
-                self.partitions_opt(),
-                &mut candidates,
-                &mut sel,
-                &mut dst_vals,
-                &mut edge_vals,
-            );
-            KernelOut {
-                sel,
-                dst_vals,
-                edge_vals,
-                comm,
-            }
-        })?;
-        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
-
-        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "EdgeExpand", |mi| {
-            context::worker_checkpoint(ctx);
-            let split = &splits[mi];
-            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
-            // fast path: every routed row of this morsel lives on one shard,
-            // so kernel emission order IS the oracle order — gather columns
-            // instead of copying row by row
-            if let [(_, sub, _)] = split.subs.as_slice() {
-                let k = ks[0];
-                let mut out = Vec::new();
-                expand::flush_selection(
-                    sub,
-                    &k.sel,
-                    width,
-                    self.batch_size,
-                    Some((compiled.dst_slot, &k.dst_vals)),
-                    compiled.edge_slot.map(|es| (es, k.edge_vals.as_slice())),
-                    &mut out,
-                );
-                return out;
-            }
-            self.merge_morsel(split, &ks, width, |builder, si, j| {
-                let k = ks[si];
-                let sub = &split.subs[si].1;
-                let mut overrides = [
-                    (compiled.dst_slot, EntryRef::Vertex(k.dst_vals[j])),
-                    (usize::MAX, EntryRef::Null),
-                ];
-                let n = match compiled.edge_slot {
-                    Some(es) => {
-                        overrides[1] = (es, EntryRef::Edge(k.edge_vals[j]));
-                        2
-                    }
-                    None => 1,
+            stats,
+            |split| {
+                let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
+                for (_, sub, _) in &split.subs {
+                    context::worker_checkpoint(ctx);
+                    let mut sel = Vec::new();
+                    let mut dst_vals = Vec::new();
+                    let mut edge_vals = Vec::new();
+                    let mut candidates = Vec::new();
+                    let comm = expand::edge_expand_kernel(
+                        self.graph,
+                        sub,
+                        &compiled,
+                        self.partitions_opt(),
+                        &mut candidates,
+                        &mut sel,
+                        &mut dst_vals,
+                        &mut edge_vals,
+                    );
+                    kouts.push(KernelOut {
+                        sel,
+                        dst_vals,
+                        edge_vals,
+                        comm,
+                    });
+                }
+                let comm = kouts.iter().map(|k| k.comm).sum();
+                // fast path: every routed row of this morsel lives on one
+                // shard, so kernel emission order IS the oracle order —
+                // gather columns instead of copying row by row
+                let batches = if let [(_, sub, _)] = split.subs.as_slice() {
+                    let k = &kouts[0];
+                    let mut out = Vec::new();
+                    expand::flush_selection(
+                        sub,
+                        &k.sel,
+                        width,
+                        self.batch_size,
+                        Some((compiled.dst_slot, &k.dst_vals)),
+                        compiled.edge_slot.map(|es| (es, k.edge_vals.as_slice())),
+                        &mut out,
+                    );
+                    out
+                } else {
+                    let ks: Vec<&KernelOut> = kouts.iter().collect();
+                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                        let k = ks[si];
+                        let sub = &split.subs[si].1;
+                        let mut overrides = [
+                            (compiled.dst_slot, EntryRef::Vertex(k.dst_vals[j])),
+                            (usize::MAX, EntryRef::Null),
+                        ];
+                        let n = match compiled.edge_slot {
+                            Some(es) => {
+                                overrides[1] = (es, EntryRef::Edge(k.edge_vals[j]));
+                                2
+                            }
+                            None => 1,
+                        };
+                        builder.push_row_from(sub, k.sel[j] as usize, &overrides[..n]);
+                    })
                 };
-                builder.push_row_from(sub, k.sel[j] as usize, &overrides[..n]);
-            })
-        })?;
+                Expanded { batches, comm }
+            },
+        )?;
         Ok(NodeOut {
-            batches: merged.into_iter().flatten().collect(),
+            batches,
             tags,
             home: Home::Tag(compiled.dst_slot),
         })
@@ -1221,87 +1579,74 @@ impl<'g> ParallelEngine<'g> {
         let edge_pred = edge_predicate
             .as_ref()
             .map(|p| CompiledExpr::compile(p, &tags, self.graph));
-        let (splits, comm_in) = self.shuffle_by(
+        let batches = self.exchange_expand(
             pool,
             ctx,
             "ExpandInto",
             &input.batches,
             src_slot,
             input.home,
-        )?;
-        stats.comm_records += comm_in;
-
-        let mut tasks: Vec<(usize, usize)> = Vec::new();
-        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
-        for (mi, split) in splits.iter().enumerate() {
-            let mut per = Vec::with_capacity(split.subs.len());
-            for si in 0..split.subs.len() {
-                per.push(tasks.len());
-                tasks.push((mi, si));
-            }
-            task_of.push(per);
-        }
-        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "ExpandInto", |t| {
-            context::worker_checkpoint(ctx);
-            let (mi, si) = tasks[t];
-            let sub = &splits[mi].subs[si].1;
-            let mut sel = Vec::new();
-            let mut edge_vals = Vec::new();
-            let comm = expand::expand_into_kernel(
-                self.graph,
-                sub,
-                src_slot,
-                dst_slot,
-                edge_slot,
-                &labels,
-                direction,
-                edge_pred.as_ref(),
-                self.partitions_opt(),
-                &mut sel,
-                &mut edge_vals,
-            );
-            KernelOut {
-                sel,
-                dst_vals: Vec::new(),
-                edge_vals,
-                comm,
-            }
-        })?;
-        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
-
-        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "ExpandInto", |mi| {
-            context::worker_checkpoint(ctx);
-            let split = &splits[mi];
-            let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
-            if let [(_, sub, _)] = split.subs.as_slice() {
-                let k = ks[0];
-                let mut out = Vec::new();
-                expand::flush_selection(
-                    sub,
-                    &k.sel,
-                    width,
-                    self.batch_size,
-                    None,
-                    edge_slot.map(|es| (es, k.edge_vals.as_slice())),
-                    &mut out,
-                );
-                return out;
-            }
-            self.merge_morsel(split, &ks, width, |builder, si, j| {
-                let k = ks[si];
-                let sub = &split.subs[si].1;
-                match edge_slot {
-                    Some(es) => builder.push_row_from(
+            stats,
+            |split| {
+                let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
+                for (_, sub, _) in &split.subs {
+                    context::worker_checkpoint(ctx);
+                    let mut sel = Vec::new();
+                    let mut edge_vals = Vec::new();
+                    let comm = expand::expand_into_kernel(
+                        self.graph,
                         sub,
-                        k.sel[j] as usize,
-                        &[(es, EntryRef::Edge(k.edge_vals[j]))],
-                    ),
-                    None => builder.push_row_from(sub, k.sel[j] as usize, &[]),
+                        src_slot,
+                        dst_slot,
+                        edge_slot,
+                        &labels,
+                        direction,
+                        edge_pred.as_ref(),
+                        self.partitions_opt(),
+                        &mut sel,
+                        &mut edge_vals,
+                    );
+                    kouts.push(KernelOut {
+                        sel,
+                        dst_vals: Vec::new(),
+                        edge_vals,
+                        comm,
+                    });
                 }
-            })
-        })?;
+                let comm = kouts.iter().map(|k| k.comm).sum();
+                let batches = if let [(_, sub, _)] = split.subs.as_slice() {
+                    let k = &kouts[0];
+                    let mut out = Vec::new();
+                    expand::flush_selection(
+                        sub,
+                        &k.sel,
+                        width,
+                        self.batch_size,
+                        None,
+                        edge_slot.map(|es| (es, k.edge_vals.as_slice())),
+                        &mut out,
+                    );
+                    out
+                } else {
+                    let ks: Vec<&KernelOut> = kouts.iter().collect();
+                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                        let k = ks[si];
+                        let sub = &split.subs[si].1;
+                        match edge_slot {
+                            Some(es) => builder.push_row_from(
+                                sub,
+                                k.sel[j] as usize,
+                                &[(es, EntryRef::Edge(k.edge_vals[j]))],
+                            ),
+                            None => builder.push_row_from(sub, k.sel[j] as usize, &[]),
+                        }
+                    })
+                };
+                Expanded { batches, comm }
+            },
+        )?;
         Ok(NodeOut {
-            batches: merged.into_iter().flatten().collect(),
+            batches,
             tags,
             home: Home::Tag(src_slot),
         })
@@ -1338,68 +1683,50 @@ impl<'g> ParallelEngine<'g> {
             .map(|p| CompiledExpr::compile(p, &tags, self.graph));
         // rows are shipped to (and intersected on) the first step source's
         // partition
-        let (splits, comm_in) = self.shuffle_by(
+        let batches = self.exchange_expand(
             pool,
             ctx,
             "ExpandIntersect",
             &input.batches,
             step_slots[0],
             input.home,
-        )?;
-        stats.comm_records += comm_in;
-
-        let mut tasks: Vec<(usize, usize)> = Vec::new();
-        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
-        for (mi, split) in splits.iter().enumerate() {
-            let mut per = Vec::with_capacity(split.subs.len());
-            for si in 0..split.subs.len() {
-                per.push(tasks.len());
-                tasks.push((mi, si));
-            }
-            task_of.push(per);
-        }
-        let kouts: Vec<KernelOut> = par_map_op(pool, tasks.len(), "ExpandIntersect", |t| {
-            context::worker_checkpoint(ctx);
-            let (mi, si) = tasks[t];
-            let (part, sub, _) = &splits[mi].subs[si];
-            let mut sel = Vec::new();
-            let mut dst_vals = Vec::new();
-            let mut scratch = IntersectScratch::default();
-            let mut comm = expand::expand_intersect_kernel(
-                self.graph,
-                sub,
-                steps,
-                &step_slots,
-                &step_labels,
-                dst_slot,
-                dst_constraint,
-                dst_pred.as_ref(),
-                self.partitions_opt(),
-                &mut scratch,
-                &mut sel,
-                &mut dst_vals,
-            );
-            // expand-boundary shuffle: outputs routed to the target vertex's
-            // partition
-            if self.graph.partitions() > 1 {
-                comm += dst_vals.iter().filter(|&&d| self.part(d) != *part).count() as u64;
-            }
-            KernelOut {
-                sel,
-                dst_vals,
-                edge_vals: Vec::new(),
-                comm,
-            }
-        })?;
-        stats.comm_records += kouts.iter().map(|k| k.comm).sum::<u64>();
-
-        let merged: Vec<Vec<RecordBatch>> =
-            par_map_op(pool, splits.len(), "ExpandIntersect", |mi| {
-                context::worker_checkpoint(ctx);
-                let split = &splits[mi];
-                let ks: Vec<&KernelOut> = task_of[mi].iter().map(|&t| &kouts[t]).collect();
-                if let [(_, sub, _)] = split.subs.as_slice() {
-                    let k = ks[0];
+            stats,
+            |split| {
+                let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
+                for (part, sub, _) in &split.subs {
+                    context::worker_checkpoint(ctx);
+                    let mut sel = Vec::new();
+                    let mut dst_vals = Vec::new();
+                    let mut scratch = IntersectScratch::default();
+                    let mut comm = expand::expand_intersect_kernel(
+                        self.graph,
+                        sub,
+                        steps,
+                        &step_slots,
+                        &step_labels,
+                        dst_slot,
+                        dst_constraint,
+                        dst_pred.as_ref(),
+                        self.partitions_opt(),
+                        &mut scratch,
+                        &mut sel,
+                        &mut dst_vals,
+                    );
+                    // expand-boundary shuffle: outputs routed to the target
+                    // vertex's partition
+                    if self.graph.partitions() > 1 {
+                        comm += dst_vals.iter().filter(|&&d| self.part(d) != *part).count() as u64;
+                    }
+                    kouts.push(KernelOut {
+                        sel,
+                        dst_vals,
+                        edge_vals: Vec::new(),
+                        comm,
+                    });
+                }
+                let comm = kouts.iter().map(|k| k.comm).sum();
+                let batches = if let [(_, sub, _)] = split.subs.as_slice() {
+                    let k = &kouts[0];
                     let mut out = Vec::new();
                     expand::flush_selection(
                         sub,
@@ -1410,20 +1737,24 @@ impl<'g> ParallelEngine<'g> {
                         None,
                         &mut out,
                     );
-                    return out;
-                }
-                self.merge_morsel(split, &ks, width, |builder, si, j| {
-                    let k = ks[si];
-                    let sub = &split.subs[si].1;
-                    builder.push_row_from(
-                        sub,
-                        k.sel[j] as usize,
-                        &[(dst_slot, EntryRef::Vertex(k.dst_vals[j]))],
-                    );
-                })
-            })?;
+                    out
+                } else {
+                    let ks: Vec<&KernelOut> = kouts.iter().collect();
+                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                        let k = ks[si];
+                        let sub = &split.subs[si].1;
+                        builder.push_row_from(
+                            sub,
+                            k.sel[j] as usize,
+                            &[(dst_slot, EntryRef::Vertex(k.dst_vals[j]))],
+                        );
+                    })
+                };
+                Expanded { batches, comm }
+            },
+        )?;
         Ok(NodeOut {
-            batches: merged.into_iter().flatten().collect(),
+            batches,
             tags,
             home: Home::Tag(dst_slot),
         })
@@ -1453,107 +1784,97 @@ impl<'g> ParallelEngine<'g> {
         let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
         let width = tags.len();
         let labels = expand::edge_labels(self.graph, edge_constraint);
-        let (splits, comm_in) = self.shuffle_by(
+        let batches = self.exchange_expand(
             pool,
             ctx,
             "PathExpand",
             &input.batches,
             src_slot,
             input.home,
-        )?;
-        stats.comm_records += comm_in;
-
-        let mut tasks: Vec<(usize, usize)> = Vec::new();
-        let mut task_of: Vec<Vec<usize>> = Vec::with_capacity(splits.len());
-        for (mi, split) in splits.iter().enumerate() {
-            let mut per = Vec::with_capacity(split.subs.len());
-            for si in 0..split.subs.len() {
-                per.push(tasks.len());
-                tasks.push((mi, si));
-            }
-            task_of.push(per);
-        }
-        // per sub-batch: fully materialised output rows (one oversized batch)
-        // plus the producing sub-row per output row; communication follows the
-        // traversal model (every partition-crossing hop counts)
-        let kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> =
-            par_map_op(pool, tasks.len(), "PathExpand", |t| {
-                context::worker_checkpoint(ctx);
-                let (mi, si) = tasks[t];
-                let sub = &splits[mi].subs[si].1;
-                let mut builder = BatchBuilder::new(width, usize::MAX);
-                let mut origs: Vec<u32> = Vec::new();
-                let mut comm = 0u64;
-                for row in 0..sub.rows() {
-                    let Some(start) = sub.entry(src_slot, row).as_vertex() else {
-                        continue;
-                    };
-                    expand::expand_paths(
-                        self.graph,
-                        start,
-                        &labels,
-                        direction,
-                        min_hops,
-                        max_hops,
-                        semantics,
-                        self.partitions_opt(),
-                        &mut comm,
-                        |path| {
-                            let dst = *path.last().expect("non-empty");
-                            let mut overrides = [
-                                (dst_slot, EntryRef::Vertex(dst)),
-                                (usize::MAX, EntryRef::Null),
-                            ];
-                            let used = match path_slot {
-                                Some(ps) => {
-                                    overrides[1] = (ps, EntryRef::Path(path));
-                                    2
-                                }
-                                None => 1,
-                            };
-                            builder.push_row_from(sub, row, &overrides[..used]);
-                            origs.push(row as u32);
-                        },
-                    );
-                }
-                (builder.finish(), origs, comm)
-            })?;
-        stats.comm_records += kouts.iter().map(|(_, _, c)| *c).sum::<u64>();
-
-        let merged: Vec<Vec<RecordBatch>> = par_map_op(pool, splits.len(), "PathExpand", |mi| {
-            context::worker_checkpoint(ctx);
-            let split = &splits[mi];
-            // merge by the ORIGIN row of each output: rows were materialised
-            // by the kernels, so the merge copies from the per-sub out batch
-            let p = self.graph.partitions();
-            let mut sub_of_part = vec![usize::MAX; p];
-            for (si, (part, _, _)) in split.subs.iter().enumerate() {
-                sub_of_part[*part] = si;
-            }
-            let mut builder = BatchBuilder::new(width, self.batch_size);
-            let mut cursors = vec![0usize; split.subs.len()];
-            for row in 0..split.rows {
-                let part = split.owner[row];
-                if part < 0 {
-                    continue;
-                }
-                let si = sub_of_part[part as usize];
-                let origs_of_sub = &split.subs[si].2;
-                let (out_batches, out_origs, _) = &kouts[task_of[mi][si]];
-                let cur = &mut cursors[si];
-                while *cur < out_origs.len()
-                    && origs_of_sub[out_origs[*cur] as usize] as usize == row
-                {
-                    if let Some(out) = out_batches.first() {
-                        builder.push_row_from(out, *cur, &[]);
+            stats,
+            |split| {
+                // per sub-batch: fully materialised output rows (one
+                // oversized batch) plus the producing sub-row per output row;
+                // communication follows the traversal model (every
+                // partition-crossing hop counts)
+                let mut kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> =
+                    Vec::with_capacity(split.subs.len());
+                for (_, sub, _) in &split.subs {
+                    context::worker_checkpoint(ctx);
+                    let mut builder = BatchBuilder::new(width, usize::MAX);
+                    let mut origs: Vec<u32> = Vec::new();
+                    let mut comm = 0u64;
+                    for row in 0..sub.rows() {
+                        let Some(start) = sub.entry(src_slot, row).as_vertex() else {
+                            continue;
+                        };
+                        expand::expand_paths(
+                            self.graph,
+                            start,
+                            &labels,
+                            direction,
+                            min_hops,
+                            max_hops,
+                            semantics,
+                            self.partitions_opt(),
+                            &mut comm,
+                            |path| {
+                                let dst = *path.last().expect("non-empty");
+                                let mut overrides = [
+                                    (dst_slot, EntryRef::Vertex(dst)),
+                                    (usize::MAX, EntryRef::Null),
+                                ];
+                                let used = match path_slot {
+                                    Some(ps) => {
+                                        overrides[1] = (ps, EntryRef::Path(path));
+                                        2
+                                    }
+                                    None => 1,
+                                };
+                                builder.push_row_from(sub, row, &overrides[..used]);
+                                origs.push(row as u32);
+                            },
+                        );
                     }
-                    *cur += 1;
+                    kouts.push((builder.finish(), origs, comm));
                 }
-            }
-            builder.finish()
-        })?;
+                let comm = kouts.iter().map(|(_, _, c)| *c).sum();
+                // merge by the ORIGIN row of each output: rows were
+                // materialised by the kernels, so the merge copies from the
+                // per-sub out batch
+                let p = self.graph.partitions();
+                let mut sub_of_part = vec![usize::MAX; p];
+                for (si, (part, _, _)) in split.subs.iter().enumerate() {
+                    sub_of_part[*part] = si;
+                }
+                let mut builder = BatchBuilder::new(width, self.batch_size);
+                let mut cursors = vec![0usize; split.subs.len()];
+                for row in 0..split.rows {
+                    let part = split.owner[row];
+                    if part < 0 {
+                        continue;
+                    }
+                    let si = sub_of_part[part as usize];
+                    let origs_of_sub = &split.subs[si].2;
+                    let (out_batches, out_origs, _) = &kouts[si];
+                    let cur = &mut cursors[si];
+                    while *cur < out_origs.len()
+                        && origs_of_sub[out_origs[*cur] as usize] as usize == row
+                    {
+                        if let Some(out) = out_batches.first() {
+                            builder.push_row_from(out, *cur, &[]);
+                        }
+                        *cur += 1;
+                    }
+                }
+                Expanded {
+                    batches: builder.finish(),
+                    comm,
+                }
+            },
+        )?;
         Ok(NodeOut {
-            batches: merged.into_iter().flatten().collect(),
+            batches,
             tags,
             home: Home::Tag(dst_slot),
         })
@@ -1594,7 +1915,7 @@ impl<'g> ParallelEngine<'g> {
                 match kept {
                     Some(out_slot) => Home::Tag(out_slot),
                     None => {
-                        stats.comm_records += self.gather_comm(&input.batches, input.home);
+                        self.charge_gather(stats, &input.batches, input.home);
                         Home::Coordinator
                     }
                 }
@@ -1616,7 +1937,7 @@ impl<'g> ParallelEngine<'g> {
         aggs: &[(AggFunc, Expr, String)],
         stats: &mut ExecStats,
     ) -> Result<NodeOut, ExecError> {
-        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        self.charge_gather(stats, &input.batches, input.home);
         let tags = &input.tags;
         let mut out_tags = TagMap::new();
         let mut key_passthrough: Vec<Option<usize>> = Vec::new();
@@ -1784,7 +2105,7 @@ impl<'g> ParallelEngine<'g> {
         limit: Option<usize>,
         stats: &mut ExecStats,
     ) -> Result<NodeOut, ExecError> {
-        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        self.charge_gather(stats, &input.batches, input.home);
         let tags = input.tags.clone();
         let compiled: Vec<CompiledExpr> = keys
             .iter()
@@ -1936,7 +2257,7 @@ impl<'g> ParallelEngine<'g> {
         keys: &[Expr],
         stats: &mut ExecStats,
     ) -> Result<NodeOut, ExecError> {
-        stats.comm_records += self.gather_comm(&input.batches, input.home);
+        self.charge_gather(stats, &input.batches, input.home);
         let tags = input.tags.clone();
         let compiled: Vec<CompiledExpr> = keys
             .iter()
@@ -2081,6 +2402,80 @@ mod tests {
                 assert_eq!(comm_per_thread[0], 0, "single partition ships nothing");
             } else {
                 assert!(comm_per_thread[0] > 0, "p={parts} measured shuffles");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_modes_and_capacities_agree_with_the_oracle() {
+        let g = graph();
+        let plan = chain_plan(&g);
+        let oracle = Engine::new(&g, EngineConfig::default())
+            .execute(&plan)
+            .unwrap();
+        for parts in [1usize, 4] {
+            let pg = PartitionedGraph::build(&g, parts);
+            let base = ParallelEngine::new(&pg)
+                .with_exchange_mode(ExchangeMode::Barrier)
+                .execute(&plan)
+                .unwrap();
+            let mut comm_bytes_seen = Vec::new();
+            for mode in [ExchangeMode::Pipelined, ExchangeMode::Barrier] {
+                for cap in [1usize, 2, 8] {
+                    for threads in [1usize, 4] {
+                        let res = ParallelEngine::new(&pg)
+                            .with_threads(threads)
+                            .with_batch_size(3)
+                            .with_exchange_mode(mode)
+                            .with_exchange_capacity(cap)
+                            .execute(&plan)
+                            .unwrap();
+                        assert_eq!(
+                            res.rows(),
+                            oracle.rows(),
+                            "p={parts} {mode:?} cap={cap} t={threads}"
+                        );
+                        assert_eq!(res.stats.comm_records, base.stats.comm_records);
+                        comm_bytes_seen.push(res.stats.comm_bytes);
+                    }
+                }
+            }
+            // comm_bytes is a pure function of data + partitioner: identical
+            // across modes, capacities and thread counts; zero at p=1
+            assert!(
+                comm_bytes_seen.windows(2).all(|w| w[0] == w[1]),
+                "p={parts} comm_bytes invariant: {comm_bytes_seen:?}"
+            );
+            if parts == 1 {
+                assert_eq!(comm_bytes_seen[0], 0, "one partition ships no bytes");
+            } else {
+                assert!(comm_bytes_seen[0] > 0, "p={parts} measured shipped bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn precancelled_context_fails_cleanly_at_capacity_one() {
+        // regression for the backpressure path: a context that is cancelled
+        // before execution must surface Cancelled (not deadlock or return
+        // partial rows) even with the tightest possible channel
+        let g = graph();
+        let plan = chain_plan(&g);
+        let pg = PartitionedGraph::build(&g, 4);
+        for threads in [1usize, 4] {
+            let engine = ParallelEngine::new(&pg)
+                .with_threads(threads)
+                .with_batch_size(3)
+                .with_exchange_capacity(1);
+            let ctx = QueryContext::new();
+            ctx.cancel();
+            match engine.execute_with_ctx(&plan, &ctx) {
+                Err(e) => assert_eq!(
+                    e,
+                    ExecError::LimitExceeded(crate::error::LimitReason::Cancelled),
+                    "t={threads}"
+                ),
+                Ok(_) => panic!("t={threads}: pre-cancelled query must not return rows"),
             }
         }
     }

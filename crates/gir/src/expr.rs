@@ -121,6 +121,14 @@ pub enum Expr {
         /// Candidate values.
         list: Vec<PropValue>,
     },
+    /// A bound parameter slot, produced by
+    /// [`parameterize_into`](Expr::parameterize_into): stands for a
+    /// comparison constant normalized out of the expression so that queries
+    /// differing only in that constant share one plan shape. Substituted
+    /// back with [`bind_params`](Expr::bind_params) before execution; an
+    /// unbound parameter evaluates to `Null` (falsy), like a missing
+    /// property.
+    Param(u32),
 }
 
 /// Context against which expressions are evaluated.
@@ -173,6 +181,58 @@ impl Expr {
         Expr::binary(BinOp::And, self, other)
     }
 
+    /// Normalize comparison constants into parameter slots: a `Literal`
+    /// operand of a comparison (`= <> < <= > >=`) whose *other* operand is
+    /// not itself a literal is replaced by [`Expr::Param`] and its value
+    /// appended to `params`. Literal-vs-literal comparisons and values in
+    /// other positions (arithmetic, `IN` lists, projections) keep their
+    /// identity — they shape the plan. Traversal order is deterministic
+    /// (left to right, depth first), so equal expressions always yield the
+    /// same slots.
+    pub fn parameterize_into(&mut self, params: &mut Vec<PropValue>) {
+        match self {
+            Expr::Binary { op, lhs, rhs } => {
+                let comparison = matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                );
+                if comparison {
+                    let lhs_lit = matches!(**lhs, Expr::Literal(_));
+                    let rhs_lit = matches!(**rhs, Expr::Literal(_));
+                    if lhs_lit != rhs_lit {
+                        let slot = params.len() as u32;
+                        let target = if lhs_lit { &mut **lhs } else { &mut **rhs };
+                        if let Expr::Literal(v) = std::mem::replace(target, Expr::Param(slot)) {
+                            params.push(v);
+                        }
+                    }
+                }
+                lhs.parameterize_into(params);
+                rhs.parameterize_into(params);
+            }
+            Expr::Unary { operand, .. } => operand.parameterize_into(params),
+            Expr::InList { expr, .. } => expr.parameterize_into(params),
+            Expr::Literal(_) | Expr::Tag(_) | Expr::Property { .. } | Expr::Param(_) => {}
+        }
+    }
+
+    /// Substitute every [`Expr::Param`] with the matching value from
+    /// `params` (out-of-range slots become `Null` literals).
+    pub fn bind_params(&mut self, params: &[PropValue]) {
+        match self {
+            Expr::Param(i) => {
+                *self = Expr::Literal(params.get(*i as usize).cloned().unwrap_or(PropValue::Null));
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.bind_params(params);
+                rhs.bind_params(params);
+            }
+            Expr::Unary { operand, .. } => operand.bind_params(params),
+            Expr::InList { expr, .. } => expr.bind_params(params),
+            Expr::Literal(_) | Expr::Tag(_) | Expr::Property { .. } => {}
+        }
+    }
+
     /// All tags referenced anywhere in the expression.
     pub fn referenced_tags(&self) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
@@ -195,6 +255,7 @@ impl Expr {
             }
             Expr::Unary { operand, .. } => operand.collect_tags(out),
             Expr::InList { expr, .. } => expr.collect_tags(out),
+            Expr::Param(_) => {}
         }
     }
 
@@ -217,7 +278,7 @@ impl Expr {
             }
             Expr::Unary { operand, .. } => operand.collect_props(out),
             Expr::InList { expr, .. } => expr.collect_props(out),
-            Expr::Literal(_) | Expr::Tag(_) => {}
+            Expr::Literal(_) | Expr::Tag(_) | Expr::Param(_) => {}
         }
     }
 
@@ -267,6 +328,8 @@ impl Expr {
                     PropValue::Bool(list.contains(&v))
                 }
             }
+            // an unbound parameter behaves like a missing property
+            Expr::Param(_) => PropValue::Null,
         }
     }
 
@@ -402,6 +465,7 @@ impl fmt::Display for Expr {
                 let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
                 write!(f, "{expr} IN [{}]", items.join(", "))
             }
+            Expr::Param(i) => write!(f, "${i}"),
         }
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::expr::{AggFunc, Expr, SortDir};
 use crate::pattern::Pattern;
+use gopt_graph::PropValue;
 use std::fmt;
 
 /// Identifier of a node within one [`LogicalPlan`].
@@ -292,6 +293,51 @@ impl LogicalPlan {
             ));
         }
         s
+    }
+
+    /// Normalize comparison constants out of the plan: every `Literal`
+    /// operand of a comparison whose other side is not a literal (in operator
+    /// predicates, projection/grouping/sort/dedup expressions, and `Match`
+    /// pattern vertex/edge predicates) is replaced by an [`Expr::Param`]
+    /// slot, and the extracted values are returned in slot order. Operators
+    /// are visited in topological order — the same order [`encode`](LogicalPlan::encode)
+    /// (Self::encode) serializes them — so two queries differing only in
+    /// those constants produce the *same* parameterized plan (hence the same
+    /// cache shape) with parameter vectors that line up slot for slot.
+    pub fn parameterize(&self) -> (LogicalPlan, Vec<PropValue>) {
+        let mut plan = self.clone();
+        let mut params = Vec::new();
+        for id in plan.topo_order() {
+            match plan.op_mut(id) {
+                LogicalOp::Match { pattern } => pattern.parameterize_into(&mut params),
+                LogicalOp::Select { predicate } => predicate.parameterize_into(&mut params),
+                LogicalOp::Project { items } => {
+                    for (e, _) in items {
+                        e.parameterize_into(&mut params);
+                    }
+                }
+                LogicalOp::Group { keys, aggs } => {
+                    for (e, _) in keys {
+                        e.parameterize_into(&mut params);
+                    }
+                    for (_, e, _) in aggs {
+                        e.parameterize_into(&mut params);
+                    }
+                }
+                LogicalOp::Order { keys, .. } => {
+                    for (e, _) in keys {
+                        e.parameterize_into(&mut params);
+                    }
+                }
+                LogicalOp::Dedup { keys } => {
+                    for e in keys {
+                        e.parameterize_into(&mut params);
+                    }
+                }
+                LogicalOp::Limit { .. } | LogicalOp::Join { .. } | LogicalOp::Union { .. } => {}
+            }
+        }
+        (plan, params)
     }
 
     /// Multi-line textual rendering of the plan (root last), for debugging and EXPLAIN

@@ -12,6 +12,7 @@
 
 use crate::expr::Expr;
 use crate::types::TypeConstraint;
+use gopt_graph::PropValue;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -256,6 +257,22 @@ impl Pattern {
     /// Edge ids (in order).
     pub fn edge_ids(&self) -> Vec<PatternEdgeId> {
         self.edges.keys().copied().collect()
+    }
+
+    /// Normalize comparison constants in every vertex and edge predicate into
+    /// parameter slots (vertices first, then edges, both in id order). See
+    /// [`Expr::parameterize_into`].
+    pub fn parameterize_into(&mut self, params: &mut Vec<PropValue>) {
+        for v in self.vertices.values_mut() {
+            if let Some(p) = &mut v.predicate {
+                p.parameterize_into(params);
+            }
+        }
+        for e in self.edges.values_mut() {
+            if let Some(p) = &mut e.predicate {
+                p.parameterize_into(params);
+            }
+        }
     }
 
     /// Whether the pattern contains the given vertex id.

@@ -25,6 +25,7 @@ use crate::expr::{AggFunc, Expr, SortDir};
 use crate::logical::JoinType;
 use crate::pattern::{Direction, PathSemantics};
 use crate::types::TypeConstraint;
+use gopt_graph::PropValue;
 use std::fmt;
 
 /// Identifier of a node within one [`PhysicalPlan`].
@@ -358,6 +359,37 @@ impl PhysicalPlan {
         last.expect("other plan is non-empty")
     }
 
+    /// Whether any operator still holds an unbound [`Expr::Param`] slot.
+    /// Cached parameterized plans answer `true`; a plan returned by
+    /// [`bind_params`](Self::bind_params) answers `false`.
+    pub fn has_params(&self) -> bool {
+        fn expr_has(e: &Expr) -> bool {
+            match e {
+                Expr::Param(_) => true,
+                Expr::Binary { lhs, rhs, .. } => expr_has(lhs) || expr_has(rhs),
+                Expr::Unary { operand, .. } => expr_has(operand),
+                Expr::InList { expr, .. } => expr_has(expr),
+                Expr::Literal(_) | Expr::Tag(_) | Expr::Property { .. } => false,
+            }
+        }
+        self.nodes
+            .iter()
+            .any(|n| for_each_expr(&n.op, &mut |e| expr_has(e)))
+    }
+
+    /// Clone the plan with every [`Expr::Param`] substituted by the matching
+    /// value from `params` (the vector produced by
+    /// `LogicalPlan::parameterize` on the plan this one was optimized from).
+    /// This is how one cached generic plan serves many constants: bind is a
+    /// plain clone-and-substitute, no re-optimization.
+    pub fn bind_params(&self, params: &[PropValue]) -> PhysicalPlan {
+        let mut plan = self.clone();
+        for node in &mut plan.nodes {
+            for_each_expr_mut(&mut node.op, &mut |e| e.bind_params(params));
+        }
+        plan
+    }
+
     /// Line-oriented textual encoding of the plan (the protobuf substitute). One line
     /// per operator: `#id Name [input ids] {details}`.
     pub fn encode(&self) -> String {
@@ -378,6 +410,105 @@ impl PhysicalPlan {
             ));
         }
         s
+    }
+}
+
+/// Visit every expression held by `op`; short-circuits (and returns true) as
+/// soon as `f` does.
+fn for_each_expr(op: &PhysicalOp, f: &mut impl FnMut(&Expr) -> bool) -> bool {
+    let mut exprs: Vec<&Expr> = Vec::new();
+    collect_op_exprs(op, &mut exprs);
+    exprs.into_iter().any(f)
+}
+
+/// Apply `f` to every expression held by `op`.
+fn for_each_expr_mut(op: &mut PhysicalOp, f: &mut impl FnMut(&mut Expr)) {
+    match op {
+        PhysicalOp::Scan { predicate, .. } => {
+            if let Some(p) = predicate {
+                f(p);
+            }
+        }
+        PhysicalOp::EdgeExpand {
+            dst_predicate,
+            edge_predicate,
+            ..
+        } => {
+            if let Some(p) = dst_predicate {
+                f(p);
+            }
+            if let Some(p) = edge_predicate {
+                f(p);
+            }
+        }
+        PhysicalOp::ExpandInto { edge_predicate, .. } => {
+            if let Some(p) = edge_predicate {
+                f(p);
+            }
+        }
+        PhysicalOp::ExpandIntersect { dst_predicate, .. } => {
+            if let Some(p) = dst_predicate {
+                f(p);
+            }
+        }
+        PhysicalOp::Select { predicate } => f(predicate),
+        PhysicalOp::Project { items } => {
+            for (e, _) in items {
+                f(e);
+            }
+        }
+        PhysicalOp::HashGroup { keys, aggs } => {
+            for (e, _) in keys {
+                f(e);
+            }
+            for (_, e, _) in aggs {
+                f(e);
+            }
+        }
+        PhysicalOp::OrderLimit { keys, .. } => {
+            for (e, _) in keys {
+                f(e);
+            }
+        }
+        PhysicalOp::Dedup { keys } => {
+            for e in keys {
+                f(e);
+            }
+        }
+        PhysicalOp::PathExpand { .. }
+        | PhysicalOp::HashJoin { .. }
+        | PhysicalOp::PropertyFetch { .. }
+        | PhysicalOp::Limit { .. }
+        | PhysicalOp::Union => {}
+    }
+}
+
+fn collect_op_exprs<'a>(op: &'a PhysicalOp, out: &mut Vec<&'a Expr>) {
+    match op {
+        PhysicalOp::Scan { predicate, .. } => out.extend(predicate.iter()),
+        PhysicalOp::EdgeExpand {
+            dst_predicate,
+            edge_predicate,
+            ..
+        } => {
+            out.extend(dst_predicate.iter());
+            out.extend(edge_predicate.iter());
+        }
+        PhysicalOp::ExpandInto { edge_predicate, .. } => out.extend(edge_predicate.iter()),
+        PhysicalOp::ExpandIntersect { dst_predicate, .. } => out.extend(dst_predicate.iter()),
+        PhysicalOp::Select { predicate } => out.push(predicate),
+        PhysicalOp::Project { items } => out.extend(items.iter().map(|(e, _)| e)),
+        PhysicalOp::HashGroup { keys, aggs } => {
+            out.extend(keys.iter().map(|(e, _)| e));
+            out.extend(aggs.iter().map(|(_, e, _)| e));
+        }
+        PhysicalOp::OrderLimit { keys, .. } => out.extend(keys.iter().map(|(e, _)| e)),
+        PhysicalOp::Dedup { keys } => out.extend(keys.iter()),
+        PhysicalOp::PathExpand { .. }
+        | PhysicalOp::HashJoin { .. }
+        | PhysicalOp::PropertyFetch { .. }
+        | PhysicalOp::Limit { .. }
+        | PhysicalOp::Union => {}
     }
 }
 

@@ -173,8 +173,13 @@ pub struct QueryOutcome {
     pub cache_hit: bool,
     /// The statistics version the plan was optimized under.
     pub stats_version: u64,
-    /// The physical plan that was executed (shared with the cache).
+    /// The generic (parameterized) physical plan, shared with the cache.
+    /// Comparison constants appear as [`Expr::Param`](gopt_gir::Expr) slots.
     pub plan: Arc<PhysicalPlan>,
+    /// The plan that was actually executed: [`plan`](Self::plan) with this
+    /// query's constants bound back in. The same `Arc` as `plan` when the
+    /// query has no extractable constants.
+    pub exec_plan: Arc<PhysicalPlan>,
 }
 
 /// The swappable serving state: which graph is being served, the glogue
@@ -450,7 +455,11 @@ impl Session {
             )
         };
         let logical = parse_cypher(text, graph.schema()).map_err(ServerError::Parse)?;
-        let shape = plan_shape(&logical);
+        // normalize comparison constants into parameter slots so queries
+        // differing only in a constant share one cache entry; the extracted
+        // values are bound back into a clone of the cached plan below
+        let (parameterized, params) = logical.parameterize();
+        let shape = plan_shape(&parameterized);
 
         let cached = inner.cache.lock().lookup(&shape, stats_version);
         let cache_hit = cached.is_some();
@@ -465,13 +474,23 @@ impl Session {
                 if let Some(stats) = stats_snapshot {
                     gopt = gopt.with_stats(stats);
                 }
-                let plan = Arc::new(gopt.optimize(&logical).map_err(ServerError::Optimize)?);
+                let plan = Arc::new(
+                    gopt.optimize(&parameterized)
+                        .map_err(ServerError::Optimize)?,
+                );
                 inner
                     .cache
                     .lock()
                     .insert(shape, stats_version, Arc::clone(&plan));
                 plan
             }
+        };
+        // bind this query's constants into the generic plan (cheap clone);
+        // constant-free queries execute the cached plan directly
+        let exec_plan = if params.is_empty() {
+            Arc::clone(&plan)
+        } else {
+            Arc::new(plan.bind_params(&params))
         };
 
         let mut ctx = QueryContext::new()
@@ -493,13 +512,14 @@ impl Session {
         let _permit = inner.admission.acquire(&ctx)?;
         let result = inner
             .backend
-            .execute_with_ctx(&graph, &plan, &ctx)
+            .execute_with_ctx(&graph, &exec_plan, &ctx)
             .map_err(ServerError::Exec)?;
         Ok(QueryOutcome {
             result,
             cache_hit,
             stats_version,
             plan,
+            exec_plan,
         })
     }
 }
@@ -559,6 +579,37 @@ mod tests {
         assert_eq!(reopt.stats_version, 1);
         assert_eq!(reopt.result.rows(), cold.result.rows());
         assert_eq!(server.cache_metrics().invalidations, 1);
+    }
+
+    #[test]
+    fn literal_variants_share_one_cache_entry_with_correct_rows() {
+        let server = test_server(ServerConfig::default());
+        let session = server.session();
+        let q = |cutoff: i64| format!("MATCH (p:Person) WHERE p.birthday > {cutoff} RETURN p");
+
+        // low cutoff admits more people than a high one; both must answer
+        // correctly even though only the first submission runs the optimizer
+        let cold = session.submit(&q(8000)).unwrap();
+        assert!(!cold.cache_hit);
+        let variant = session.submit(&q(20000)).unwrap();
+        assert!(variant.cache_hit, "literal variant must hit the cache");
+        assert!(Arc::ptr_eq(&cold.plan, &variant.plan));
+        assert!(cold.plan.has_params(), "cached plan stays generic");
+        // what actually ran is the bound copy, fully concrete
+        assert!(!cold.exec_plan.has_params(), "executed plan is fully bound");
+        assert!(!Arc::ptr_eq(&cold.plan, &cold.exec_plan));
+        assert!(
+            cold.result.rows().len() > variant.result.rows().len(),
+            "each variant must be answered with its own constant: {} vs {}",
+            cold.result.rows().len(),
+            variant.result.rows().len()
+        );
+        let replay = session.submit(&q(8000)).unwrap();
+        assert!(replay.cache_hit);
+        assert_eq!(replay.result.rows(), cold.result.rows());
+
+        let m = server.cache_metrics();
+        assert_eq!((m.hits, m.misses, m.len), (2, 1, 1));
     }
 
     #[test]

@@ -119,10 +119,12 @@ fn main() {
     let result = parted.execute(&graph, &plan_gs).expect("executes");
     println!(
         "partitioned x8 (batched):                  {} result rows, {} intermediate records, \
-         {} comm records, {}us",
+         {} comm records / {} comm bytes (exchange peak {} B), {}us",
         result.len(),
         result.stats.intermediate_records,
         result.stats.comm_records,
+        result.stats.comm_bytes,
+        result.stats.exchange_peak_bytes,
         result.stats.elapsed_micros
     );
     let scalar = parted
@@ -132,7 +134,7 @@ fn main() {
         .expect("executes");
     println!(
         "partitioned x8 (scalar oracle):            {} result rows, {} intermediate records, \
-         {} comm records, {}us",
+         {} comm records, {}us (comm bytes are measured only by the parallel engine)",
         scalar.len(),
         scalar.stats.intermediate_records,
         scalar.stats.comm_records,

@@ -133,7 +133,10 @@ fn n_clients_get_oracle_identical_rows_cold_and_hot() {
                 .iter()
                 .map(|q| {
                     let out = probe.submit(&q.text).expect("probe submit");
-                    (q.name.clone(), oracle_rows(&graph, &out.plan))
+                    // exec_plan, not plan: the cached plan is generic
+                    // (constants parameterized out); the oracle must run the
+                    // plan with this query's constants bound back in
+                    (q.name.clone(), oracle_rows(&graph, &out.exec_plan))
                 })
                 .collect();
             server.clear_plan_cache();

@@ -70,7 +70,7 @@ fn server_booted_from_image_is_oracle_equivalent() {
         // both must equal the scalar oracle run of the booted server's plan
         let out = b.submit(&q.text).expect("submit");
         let want = oracle
-            .execute(&from_image.graph(), &out.plan)
+            .execute(&from_image.graph(), &out.exec_plan)
             .expect("oracle executes")
             .rows();
         assert_eq!(
