@@ -21,6 +21,14 @@
 //! every capacity and thread count, `comm_bytes` equal across modes,
 //! capacities and thread counts, zero at p=1 and positive at p=4, and the
 //! pipelined peak never above the barrier peak.
+//!
+//! A second suite (`locality_*`, `BENCH_pr10.json`) runs the same two-hop
+//! plan over a **skewed** Zipf graph ([`gopt_graph::generator::zipf_graph`])
+//! and sweeps the placement axis at p=4: modulo hash vs Fennel-style greedy
+//! placement, each with and without hub adjacency replication. It records
+//! `comm_bytes` / `locality_hits` / wall-clock per configuration and asserts
+//! the PR 10 acceptance bar: greedy + hubs ships ≤ 70% of the hash-no-hubs
+//! baseline's bytes with bit-identical rows.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gopt_bench::Env;
@@ -187,9 +195,133 @@ fn bench_exchange(c: &mut Criterion) {
     }
 }
 
+/// Placement sweep over a skewed graph: (partitioner, replicated hubs) at
+/// p=4, pipelined, t=4 — the locality story of PR 10 in numbers.
+fn bench_locality(c: &mut Criterion) {
+    use gopt_graph::generator::{zipf_graph, ZipfGraphConfig};
+    use gopt_graph::schema::fig6_schema;
+    use gopt_graph::PartitionerSpec;
+
+    let (vertices, edges, hubs) = if smoke() {
+        (120, 600, 16)
+    } else {
+        (400, 2400, 32)
+    };
+    let g = zipf_graph(
+        &fig6_schema(),
+        &ZipfGraphConfig {
+            vertices_per_label: vertices,
+            edges_per_endpoint: edges,
+            skew: 1.2,
+            seed: 7,
+        },
+    );
+    let plan = two_hop(&g);
+
+    let configs: [(&str, PartitionerSpec, usize); 4] = [
+        ("hash", PartitionerSpec::Hash, 0),
+        ("hash_hubs", PartitionerSpec::Hash, hubs),
+        ("greedy", PartitionerSpec::Greedy, 0),
+        ("greedy_hubs", PartitionerSpec::Greedy, hubs),
+    ];
+    let mut rows_baseline: Option<Vec<Vec<gopt_graph::PropValue>>> = None;
+    // (name, comm_bytes, locality_hits, replicated_bytes, micros)
+    let mut measured: Vec<(&str, u64, u64, u64, u64)> = Vec::new();
+    for (name, spec, k) in configs {
+        let sharded = PartitionedGraph::build_with_opts(&g, spec.build(&g, PARTITIONS), k);
+        c.bench_function(&format!("locality_2hop_{name}_t4"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    engine(
+                        &sharded,
+                        ExchangeMode::Pipelined,
+                        4,
+                        gopt_exec::DEFAULT_EXCHANGE_CAP,
+                    )
+                    .execute(&plan)
+                    .unwrap(),
+                )
+            })
+        });
+        let r = engine(
+            &sharded,
+            ExchangeMode::Pipelined,
+            4,
+            gopt_exec::DEFAULT_EXCHANGE_CAP,
+        )
+        .execute(&plan)
+        .unwrap();
+        match &rows_baseline {
+            None => rows_baseline = Some(r.rows()),
+            Some(want) => assert_eq!(
+                &r.rows(),
+                want,
+                "{name}: placement must never change results"
+            ),
+        }
+        measured.push((
+            name,
+            r.stats.comm_bytes,
+            r.stats.locality_hits,
+            r.stats.replicated_bytes,
+            r.stats.elapsed_micros as u64,
+        ));
+        println!(
+            "locality: {name} comm_bytes={} locality_hits={} replicated_bytes={} micros={}",
+            r.stats.comm_bytes,
+            r.stats.locality_hits,
+            r.stats.replicated_bytes,
+            r.stats.elapsed_micros
+        );
+    }
+
+    // PR 10 acceptance bar: greedy placement + hub replication cuts shipped
+    // bytes by at least 30% against the modulo-hash no-replication baseline
+    let hash_bytes = measured[0].1;
+    let greedy_hub_bytes = measured[3].1;
+    assert!(
+        hash_bytes > 0,
+        "skewed p={PARTITIONS} baseline must ship bytes"
+    );
+    assert!(
+        10 * greedy_hub_bytes <= 7 * hash_bytes,
+        "greedy+hubs must cut comm_bytes >= 30%: {greedy_hub_bytes} vs {hash_bytes}"
+    );
+    // replication alone must produce locality hits on a skewed graph
+    assert!(measured[1].2 > 0, "hash+hubs must record locality hits");
+
+    if let Ok(path) = std::env::var("GOPT_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+            {
+                let entries: Vec<String> = measured
+                    .iter()
+                    .map(|(name, bytes, hits, repl, micros)| {
+                        format!(
+                            "{{\"config\":\"{name}\",\"comm_bytes\":{bytes},\
+                             \"locality_hits\":{hits},\"replicated_bytes\":{repl},\
+                             \"elapsed_micros\":{micros}}}"
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    f,
+                    "{{\"bench\":\"locality_partitioner_sweep\",\"partitions\":{PARTITIONS},\
+                     \"hubs\":{hubs},\"skew\":1.2,\"configs\":[{}]}}",
+                    entries.join(",")
+                );
+            }
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_exchange
+    targets = bench_exchange, bench_locality
 }
 criterion_main!(benches);

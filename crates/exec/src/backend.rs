@@ -7,12 +7,20 @@
 //!
 //! * [`SingleMachineBackend`] — flattened row-at-a-time execution, no communication cost;
 //!   the natural home for `ExpandInto`-style plans.
-//! * [`PartitionedBackend`] — vertices are hash-partitioned over `partitions` workers,
+//! * [`PartitionedBackend`] — vertices are partitioned over `partitions` workers,
 //!   each owning its shard of the CSR adjacency and vertex properties
 //!   ([`gopt_graph::PartitionedGraph`]); plans run on the morsel-driven
 //!   [`ParallelEngine`] with a configurable worker-thread count, and
 //!   `ExecStats::comm_records` is a *measured* count of rows crossing shards.
 //!   The natural home for `ExpandIntersect` (worst-case-optimal) plans.
+//!   Placement is pluggable: the default modulo hash partitioner, or the
+//!   locality-aware Fennel-style [`gopt_graph::GreedyPartitioner`] via
+//!   [`PartitionedBackend::with_partitioner`] (or the `GOPT_PARTITIONER`
+//!   environment variable, which wins over the builder; an invalid value is
+//!   a typed [`ExecError::Config`], never a silent fallback). Hub adjacency
+//!   replication ([`PartitionedBackend::with_hub_replication`]) trades
+//!   `ExecStats::replicated_bytes` of storage for `locality_hits` instead of
+//!   shipped rows.
 //!
 //! Both accept any physical operator (e.g. the single-machine backend can still run an
 //! `ExpandIntersect` plan) — the difference the optimizer must reason about is *cost*,
@@ -28,7 +36,7 @@ use crate::engine::{BatchEngine, Engine, EngineConfig, ExecResult};
 use crate::error::ExecError;
 use crate::parallel::{MorselPool, ParallelEngine};
 use gopt_gir::physical::PhysicalPlan;
-use gopt_graph::{PartitionedGraph, PropertyGraph};
+use gopt_graph::{PartitionedGraph, PartitionerSpec, PropertyGraph};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -153,8 +161,9 @@ impl Backend for SingleMachineBackend {
 /// Identity of a sharded-graph cache entry: the source graph's build id
 /// (unique per `GraphBuilder::finish`, shared only by bit-identical clones —
 /// so a different graph at a recycled address can never collide) plus the
-/// partition count the shards were built for.
-type ShardCacheKey = (u64, usize);
+/// partition count, partitioner and hub-replication width the shards were
+/// built for — a placement change must rebuild, never reuse.
+type ShardCacheKey = (u64, usize, PartitionerSpec, usize);
 
 /// The lazily built shard cache: source-graph identity → sharded form.
 type ShardCache = Arc<Mutex<Option<(ShardCacheKey, Arc<PartitionedGraph>)>>>;
@@ -177,6 +186,12 @@ pub struct PartitionedBackend {
     pub record_limit: Option<u64>,
     /// Batched (morsel-driven, the default) or scalar-oracle execution.
     pub mode: ExecMode,
+    /// Vertex placement strategy the shards are built with (the
+    /// `GOPT_PARTITIONER` environment variable overrides this).
+    pub partitioner: PartitionerSpec,
+    /// Replicate the out-adjacency of this many highest-degree vertices into
+    /// every shard (0 = no replication).
+    pub replicate_hubs: usize,
     /// Lazily built sharded graph, keyed by the source graph's identity.
     cache: ShardCache,
     /// The shared morsel pool every batched execute runs on, spawned lazily
@@ -203,6 +218,8 @@ impl PartitionedBackend {
             threads: 1,
             record_limit: None,
             mode: ExecMode::default(),
+            partitioner: PartitionerSpec::default(),
+            replicate_hubs: 0,
             cache: Arc::new(Mutex::new(None)),
             pool: Arc::new(Mutex::new(None)),
             injected: None,
@@ -230,6 +247,22 @@ impl PartitionedBackend {
     /// Select batched (morsel-driven parallel) or scalar-oracle execution.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Select the vertex placement strategy the shards are built with. The
+    /// `GOPT_PARTITIONER` environment variable, when set, wins over this.
+    pub fn with_partitioner(mut self, spec: PartitionerSpec) -> Self {
+        self.partitioner = spec;
+        self
+    }
+
+    /// Replicate the out-adjacency of the `k` highest-degree vertices into
+    /// every shard, so expansions from those hubs are served locally instead
+    /// of shipping rows (`ExecStats::locality_hits` counts the savings,
+    /// `ExecStats::replicated_bytes` the storage spent).
+    pub fn with_hub_replication(mut self, k: usize) -> Self {
+        self.replicate_hubs = k;
         self
     }
 
@@ -262,9 +295,10 @@ impl PartitionedBackend {
     }
 
     /// Build (or rebuild) the shard cache for `graph` up front, so the first
-    /// query does not pay the sharding cost — a server warm-up hook.
-    pub fn prepare(&self, graph: &PropertyGraph) {
-        self.sharded(graph);
+    /// query does not pay the sharding cost — a server warm-up hook. Fails
+    /// only on an invalid `GOPT_PARTITIONER` value.
+    pub fn prepare(&self, graph: &PropertyGraph) -> Result<(), ExecError> {
+        self.sharded(graph).map(|_| ())
     }
 
     /// Seed the shard cache with a pre-built partitioning — e.g. one loaded
@@ -279,23 +313,48 @@ impl PartitionedBackend {
                 self.partitions
             )));
         }
-        let key: ShardCacheKey = (pg.base_build_id(), self.partitions);
+        // Derive the placement facet of the key from the layout itself (a
+        // greedy build that happens to coincide with modulo placement just
+        // causes a harmless cache miss later).
+        let spec = if pg.modulo_placed() {
+            PartitionerSpec::Hash
+        } else {
+            PartitionerSpec::Greedy
+        };
+        let hubs = pg.replicas().map_or(0, |r| r.hubs().len());
+        let key: ShardCacheKey = (pg.base_build_id(), self.partitions, spec, hubs);
         *self.cache.lock() = Some((key, pg));
         Ok(())
     }
 
+    /// The placement strategy in effect: the `GOPT_PARTITIONER` environment
+    /// variable if set (an invalid value is a typed config error), otherwise
+    /// whatever [`with_partitioner`](Self::with_partitioner) selected.
+    fn effective_partitioner(&self) -> Result<PartitionerSpec, ExecError> {
+        match PartitionerSpec::from_env() {
+            Ok(Some(spec)) => Ok(spec),
+            Ok(None) => Ok(self.partitioner),
+            Err(e) => Err(ExecError::Config(e)),
+        }
+    }
+
     /// The sharded form of `graph`, built on first use and cached.
-    fn sharded(&self, graph: &PropertyGraph) -> Arc<PartitionedGraph> {
-        let key: ShardCacheKey = (graph.build_id(), self.partitions);
+    fn sharded(&self, graph: &PropertyGraph) -> Result<Arc<PartitionedGraph>, ExecError> {
+        let spec = self.effective_partitioner()?;
+        let key: ShardCacheKey = (graph.build_id(), self.partitions, spec, self.replicate_hubs);
         let mut cache = self.cache.lock();
         if let Some((k, pg)) = cache.as_ref() {
             if *k == key {
-                return Arc::clone(pg);
+                return Ok(Arc::clone(pg));
             }
         }
-        let pg = Arc::new(PartitionedGraph::build(graph, self.partitions));
+        let pg = Arc::new(PartitionedGraph::build_with_opts(
+            graph,
+            spec.build(graph, self.partitions),
+            self.replicate_hubs,
+        ));
         *cache = Some((key, Arc::clone(&pg)));
-        pg
+        Ok(pg)
     }
 }
 
@@ -331,7 +390,7 @@ impl Backend for PartitionedBackend {
                 ctx,
             ),
             ExecMode::Batched { batch_size } => {
-                let sharded = self.sharded(graph);
+                let sharded = self.sharded(graph)?;
                 ParallelEngine::new(&sharded)
                     .with_threads(self.threads)
                     .with_batch_size(batch_size)
@@ -470,6 +529,37 @@ mod tests {
                 .unwrap()
                 .rows()
         );
+    }
+
+    #[test]
+    fn greedy_placement_and_hub_replication_agree_with_single_machine() {
+        let g = random_graph(&fig6_schema(), &RandomGraphConfig::default());
+        let plan = simple_plan(&g);
+        let oracle = SingleMachineBackend::new().execute(&g, &plan).unwrap();
+        let hash = PartitionedBackend::new(4)
+            .unwrap()
+            .with_threads(2)
+            .execute(&g, &plan)
+            .unwrap();
+        let greedy = PartitionedBackend::new(4)
+            .unwrap()
+            .with_threads(2)
+            .with_partitioner(PartitionerSpec::Greedy)
+            .with_hub_replication(8)
+            .execute(&g, &plan)
+            .unwrap();
+        assert_eq!(oracle.sorted_rows(), hash.sorted_rows());
+        assert_eq!(oracle.sorted_rows(), greedy.sorted_rows());
+        // replication spends storage and serves some expansions locally
+        assert!(greedy.stats.replicated_bytes > 0);
+        assert_eq!(hash.stats.replicated_bytes, 0);
+        // a placement change must never be served from the other's cache:
+        // one backend flipping partitioners between calls rebuilds shards
+        let flip = PartitionedBackend::new(4).unwrap();
+        let r_hash = flip.execute(&g, &plan).unwrap();
+        let flip = flip.with_partitioner(PartitionerSpec::Greedy);
+        let r_greedy = flip.execute(&g, &plan).unwrap();
+        assert_eq!(r_hash.sorted_rows(), r_greedy.sorted_rows());
     }
 
     #[test]

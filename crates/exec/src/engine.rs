@@ -25,7 +25,7 @@ use crate::expand::{self, EdgeExpandArgs};
 use crate::record::{Record, TagMap};
 use crate::relational;
 use gopt_gir::physical::{PhysicalOp, PhysicalPlan};
-use gopt_graph::{PropValue, PropertyGraph};
+use gopt_graph::{PartitionMap, PropValue, PropertyGraph};
 use std::time::Instant;
 
 /// Stable operator name for error reporting ([`ExecError::WorkerPanicked`]).
@@ -83,6 +83,15 @@ pub struct ExecStats {
     /// a pure function of the data and the partitioner — identical across
     /// thread counts and exchange modes, and 0 with one partition.
     pub comm_bytes: u64,
+    /// Partition-boundary crossings that were served on the local shard by a
+    /// replicated hub adjacency instead of shipping the row (0 without hub
+    /// replication, and always 0 with one partition). Like `comm_records`, a
+    /// pure function of the data and the placement.
+    pub locality_hits: u64,
+    /// Total bytes of hub adjacency replicated into remote shards by the
+    /// partitioned graph this query ran against — the storage price paid for
+    /// `locality_hits`. Constant per deployment, not per query.
+    pub replicated_bytes: u64,
     /// Peak bytes of gathered sub-batches resident in exchange queues at any
     /// instant (parallel engine only). Unlike the `comm_*` counters this is a
     /// *diagnostic*: it depends on scheduling and the configured exchange
@@ -157,12 +166,24 @@ impl ExecResult {
 pub struct Engine<'a> {
     graph: &'a PropertyGraph,
     config: EngineConfig,
+    /// Simulated placement of the configured partition count: a table-free
+    /// modulo [`PartitionMap`] with no hubs. The parallel engine is the one
+    /// that accounts against real (possibly greedy, hub-replicated) placement.
+    pmap: Option<PartitionMap>,
 }
 
 impl<'a> Engine<'a> {
     /// Create an engine over a graph with the given configuration.
     pub fn new(graph: &'a PropertyGraph, config: EngineConfig) -> Self {
-        Engine { graph, config }
+        let pmap = config
+            .partitions
+            .filter(|&p| p > 1)
+            .map(PartitionMap::modulo);
+        Engine {
+            graph,
+            config,
+            pmap,
+        }
     }
 
     /// The graph being queried.
@@ -259,6 +280,7 @@ impl<'a> Engine<'a> {
         ctx: &QueryContext,
     ) -> Result<(Vec<Record>, TagMap), ExecError> {
         let parts = self.config.partitions;
+        let pm = self.pmap.as_ref();
         match op {
             PhysicalOp::Scan {
                 alias,
@@ -292,8 +314,9 @@ impl<'a> Engine<'a> {
                     dst_predicate,
                     edge_predicate,
                 };
-                let (out, comm) = expand::edge_expand(self.graph, recs, &mut tags, &args, parts)?;
-                stats.comm_records += comm;
+                let (out, comm) = expand::edge_expand(self.graph, recs, &mut tags, &args, pm)?;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::ExpandInto {
@@ -317,9 +340,10 @@ impl<'a> Engine<'a> {
                     *direction,
                     edge_alias.as_deref(),
                     edge_predicate,
-                    parts,
+                    pm,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::ExpandIntersect {
@@ -339,9 +363,10 @@ impl<'a> Engine<'a> {
                     dst_alias,
                     dst_constraint,
                     dst_predicate,
-                    parts,
+                    pm,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::PathExpand {
@@ -369,9 +394,10 @@ impl<'a> Engine<'a> {
                     *max_hops,
                     *semantics,
                     path_alias.as_deref(),
-                    parts,
+                    pm,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::HashJoin { keys, kind } => {
@@ -466,16 +492,23 @@ pub struct BatchEngine<'a> {
     graph: &'a PropertyGraph,
     config: EngineConfig,
     batch_size: usize,
+    /// Simulated modulo placement — see [`Engine`]'s field of the same name.
+    pmap: Option<PartitionMap>,
 }
 
 impl<'a> BatchEngine<'a> {
     /// Create a batch engine over a graph with the given configuration and the
     /// default batch size ([`crate::batch::DEFAULT_BATCH_SIZE`]).
     pub fn new(graph: &'a PropertyGraph, config: EngineConfig) -> Self {
+        let pmap = config
+            .partitions
+            .filter(|&p| p > 1)
+            .map(PartitionMap::modulo);
         BatchEngine {
             graph,
             config,
             batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+            pmap,
         }
     }
 
@@ -582,6 +615,7 @@ impl<'a> BatchEngine<'a> {
         ctx: &QueryContext,
     ) -> Result<(Vec<RecordBatch>, TagMap), ExecError> {
         let parts = self.config.partitions;
+        let pm = self.pmap.as_ref();
         let bs = self.batch_size;
         match op {
             PhysicalOp::Scan {
@@ -618,8 +652,9 @@ impl<'a> BatchEngine<'a> {
                     edge_predicate,
                 };
                 let (out, comm) =
-                    expand::edge_expand_batches(self.graph, batches, &mut tags, &args, parts, bs)?;
-                stats.comm_records += comm;
+                    expand::edge_expand_batches(self.graph, batches, &mut tags, &args, pm, bs)?;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::ExpandInto {
@@ -643,10 +678,11 @@ impl<'a> BatchEngine<'a> {
                     *direction,
                     edge_alias.as_deref(),
                     edge_predicate,
-                    parts,
+                    pm,
                     bs,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::ExpandIntersect {
@@ -666,10 +702,11 @@ impl<'a> BatchEngine<'a> {
                     dst_alias,
                     dst_constraint,
                     dst_predicate,
-                    parts,
+                    pm,
                     bs,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::PathExpand {
@@ -697,10 +734,11 @@ impl<'a> BatchEngine<'a> {
                     *max_hops,
                     *semantics,
                     path_alias.as_deref(),
-                    parts,
+                    pm,
                     bs,
                 )?;
-                stats.comm_records += comm;
+                stats.comm_records += comm.shipped;
+                stats.locality_hits += comm.local_hits;
                 Ok((out, tags))
             }
             PhysicalOp::HashJoin { keys, kind } => {

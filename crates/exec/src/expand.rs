@@ -8,10 +8,13 @@
 //! * [`expand_intersect`] — GraphScope-style worst-case-optimal intersection expansion;
 //! * [`path_expand`] — variable-length path expansion.
 //!
-//! Each function returns the produced records together with the number of records that
-//! would cross a partition boundary in a distributed deployment (`comm`), which the
-//! partitioned backend accumulates as communication cost. With `partitions = None` the
-//! communication count is always zero.
+//! Each function returns the produced records together with a [`CommTally`]: the
+//! boundary crossings a distributed deployment would incur, split into rows that are
+//! actually shipped and crossings served locally because the destination's
+//! out-adjacency is replicated on every shard (a *hub*, see
+//! [`gopt_graph::HubReplicas`]). Placement comes from the shared [`PartitionMap`]
+//! owner table — no operator assumes modulo placement. With `pm = None` the tally is
+//! always zero.
 //!
 //! Every operator exists in two forms sharing the same traversal code: the scalar form
 //! over `&[Record]` and a batched form (`*_batches`) over `&[RecordBatch]` columns.
@@ -26,12 +29,91 @@ use gopt_gir::expr::Expr;
 use gopt_gir::pattern::{Direction, PathSemantics};
 use gopt_gir::physical::IntersectStep;
 use gopt_gir::types::TypeConstraint;
-use gopt_graph::{EdgeId, GraphView, LabelId, PropertyGraph, VertexId};
+use gopt_graph::{EdgeId, GraphView, LabelId, PartitionMap, PropertyGraph, VertexId};
 
-fn partition_of(v: VertexId, partitions: Option<usize>) -> usize {
-    match partitions {
-        Some(p) if p > 1 => (v.0 as usize) % p,
-        _ => 0,
+/// Partition-boundary crossings of one operator call, split by how a
+/// distributed deployment would serve them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommTally {
+    /// Crossings that ship a row to another shard.
+    pub shipped: u64,
+    /// Crossings served on the local shard by a replicated hub adjacency.
+    pub local_hits: u64,
+}
+
+impl CommTally {
+    /// Accumulate another tally into this one.
+    #[inline]
+    pub fn add(&mut self, other: CommTally) {
+        self.shipped += other.shipped;
+        self.local_hits += other.local_hits;
+    }
+}
+
+impl std::ops::AddAssign for CommTally {
+    fn add_assign(&mut self, other: CommTally) {
+        self.add(other);
+    }
+}
+
+/// Charge one expand boundary: `src → dst` crossing partitions ships the row,
+/// unless `dst` is a replicated hub — its out-adjacency is present on every
+/// shard, so the follow-up expansion runs locally and the crossing is a
+/// locality hit. (The rule is applied uniformly; an in-direction follow-up
+/// from a hub would still ship, so the hit count is optimistic there.)
+#[inline]
+fn charge_crossing(pm: Option<&PartitionMap>, src: VertexId, dst: VertexId, tally: &mut CommTally) {
+    let Some(pm) = pm else { return };
+    if pm.partitions() <= 1 || pm.partition_of(src) == pm.partition_of(dst) {
+        return;
+    }
+    if pm.is_hub(dst) {
+        tally.local_hits += 1;
+    } else {
+        tally.shipped += 1;
+    }
+}
+
+/// Ship-once accounting of one intersection row over its bound step sources
+/// `(vertex, step direction)`. A step source whose out-adjacency is replicated
+/// everywhere (a hub expanded in the `Out` direction) can be intersected on
+/// any shard, so it never forces a move: when the remaining sources fit on one
+/// partition but the full set does not, the crossing is served by the replica
+/// overlay and counted as a locality hit instead of a shipped row.
+fn charge_intersect_row(
+    pm: Option<&PartitionMap>,
+    srcs: impl Iterator<Item = (VertexId, Direction)>,
+    tally: &mut CommTally,
+) {
+    let Some(pm) = pm else { return };
+    if pm.partitions() <= 1 {
+        return;
+    }
+    let mut all_first: Option<usize> = None;
+    let mut all_spread = false;
+    let mut req_first: Option<usize> = None;
+    let mut req_spread = false;
+    for (v, dir) in srcs {
+        let p = pm.partition_of(v);
+        match all_first {
+            None => all_first = Some(p),
+            Some(f) if f != p => all_spread = true,
+            _ => {}
+        }
+        if !(dir == Direction::Out && pm.is_hub(v)) {
+            match req_first {
+                None => req_first = Some(p),
+                Some(f) if f != p => req_spread = true,
+                _ => {}
+            }
+        }
+    }
+    if all_spread {
+        if req_spread {
+            tally.shipped += 1;
+        } else {
+            tally.local_hits += 1;
+        }
     }
 }
 
@@ -245,8 +327,8 @@ pub(crate) fn expand_paths<G: GraphView>(
     min_hops: u32,
     max_hops: u32,
     semantics: PathSemantics,
-    partitions: Option<usize>,
-    comm: &mut u64,
+    pm: Option<&PartitionMap>,
+    comm: &mut CommTally,
     mut emit: impl FnMut(&[VertexId]),
 ) {
     let mut frontier: Vec<Vec<VertexId>> = vec![vec![start]];
@@ -258,9 +340,7 @@ pub(crate) fn expand_paths<G: GraphView>(
                 if semantics == PathSemantics::Simple && path.contains(&n) {
                     return;
                 }
-                if partition_of(cur, partitions) != partition_of(n, partitions) {
-                    *comm += 1;
-                }
+                charge_crossing(pm, cur, n, comm);
                 let mut np = path.clone();
                 np.push(n);
                 next.push(np);
@@ -351,8 +431,8 @@ pub fn edge_expand(
     input: &[Record],
     tags: &mut TagMap,
     args: &EdgeExpandArgs<'_>,
-    partitions: Option<usize>,
-) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    pm: Option<&PartitionMap>,
+) -> Result<(Vec<Record>, CommTally), crate::error::ExecError> {
     let src_slot = tags
         .slot(args.src)
         .ok_or_else(|| crate::error::ExecError::UnboundTag(args.src.to_string()))?;
@@ -360,7 +440,7 @@ pub fn edge_expand(
     let edge_slot = args.edge_alias.map(|a| tags.slot_or_insert(a));
     let labels = edge_labels(graph, args.edge_constraint);
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     // Matching follows the paper's vertex-homomorphism semantics: a pattern edge is
     // satisfied when at least one data edge connects the mapped endpoints, so expansion
     // binds each *distinct neighbour* once (parallel edges do not multiply results),
@@ -401,9 +481,7 @@ pub fn edge_expand(
             if let Some(es) = edge_slot {
                 r.set(es, Entry::Edge(edge));
             }
-            if partition_of(src, partitions) != partition_of(neighbor, partitions) {
-                comm += 1;
-            }
+            charge_crossing(pm, src, neighbor, &mut comm);
             out.push(r);
         };
         collect_expand_candidates(graph, src, &labels, args.direction, &mut candidates);
@@ -426,8 +504,8 @@ pub fn expand_into(
     direction: Direction,
     edge_alias: Option<&str>,
     edge_predicate: &Option<Expr>,
-    partitions: Option<usize>,
-) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    pm: Option<&PartitionMap>,
+) -> Result<(Vec<Record>, CommTally), crate::error::ExecError> {
     let src_slot = tags
         .slot(src)
         .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
@@ -437,7 +515,7 @@ pub fn expand_into(
     let edge_slot = edge_alias.map(|a| tags.slot_or_insert(a));
     let labels = edge_labels(graph, edge_constraint);
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     for rec in input {
         let (Some(s), Some(d)) = (rec.get(src_slot).as_vertex(), rec.get(dst_slot).as_vertex())
         else {
@@ -460,9 +538,7 @@ pub fn expand_into(
                 continue;
             }
         }
-        if partition_of(s, partitions) != partition_of(d, partitions) {
-            comm += 1;
-        }
+        charge_crossing(pm, s, d, &mut comm);
         let mut r = rec.clone();
         if let Some(es) = edge_slot {
             r.set(es, Entry::Edge(e));
@@ -483,8 +559,8 @@ pub fn expand_intersect(
     dst_alias: &str,
     dst_constraint: &TypeConstraint,
     dst_predicate: &Option<Expr>,
-    partitions: Option<usize>,
-) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    pm: Option<&PartitionMap>,
+) -> Result<(Vec<Record>, CommTally), crate::error::ExecError> {
     let dst_slot = tags.slot_or_insert(dst_alias);
     let mut step_slots = Vec::with_capacity(steps.len());
     for s in steps {
@@ -499,27 +575,23 @@ pub fn expand_intersect(
         .map(|s| edge_labels(graph, &s.edge_constraint))
         .collect();
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     // scratch buffers reused across all records: the current candidate set,
     // the next step's sorted neighbour list, and the intersection output
     let mut cur: Vec<VertexId> = Vec::new();
     let mut step_buf: Vec<VertexId> = Vec::new();
     let mut merged: Vec<VertexId> = Vec::new();
     for rec in input {
-        // the record is shipped once to perform the intersection when any step source is
-        // remote relative to the first one
-        if let Some(p) = partitions {
-            if p > 1 && steps.len() > 1 {
-                let mut parts = step_slots
-                    .iter()
-                    .filter_map(|&s| rec.get(s).as_vertex())
-                    .map(|v| partition_of(v, partitions));
-                if let Some(first) = parts.next() {
-                    if parts.any(|p| p != first) {
-                        comm += 1;
-                    }
-                }
-            }
+        // the record is shipped once to perform the intersection when its
+        // non-replica-served step sources span more than one partition
+        if steps.len() > 1 {
+            charge_intersect_row(
+                pm,
+                step_slots.iter().zip(steps).filter_map(|(&slot, step)| {
+                    rec.get(slot).as_vertex().map(|v| (v, step.direction))
+                }),
+                &mut comm,
+            );
         }
         // intersect the sorted CSR neighbour lists step by step; `initialized`
         // distinguishes "no step ran yet" (no candidates at all) from an empty
@@ -579,8 +651,8 @@ pub fn path_expand(
     max_hops: u32,
     semantics: PathSemantics,
     path_alias: Option<&str>,
-    partitions: Option<usize>,
-) -> Result<(Vec<Record>, u64), crate::error::ExecError> {
+    pm: Option<&PartitionMap>,
+) -> Result<(Vec<Record>, CommTally), crate::error::ExecError> {
     let src_slot = tags
         .slot(src)
         .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
@@ -588,7 +660,7 @@ pub fn path_expand(
     let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
     let labels = edge_labels(graph, edge_constraint);
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     for rec in input {
         let Some(start) = rec.get(src_slot).as_vertex() else {
             continue;
@@ -601,7 +673,7 @@ pub fn path_expand(
             min_hops,
             max_hops,
             semantics,
-            partitions,
+            pm,
             &mut comm,
             |path| {
                 let dst = *path.last().expect("non-empty");
@@ -796,21 +868,21 @@ impl EdgeExpandCompiled {
 
 /// Per-batch `EdgeExpand` kernel: appends one entry per produced row to the
 /// selection vector (`sel`, input-row indices in ascending order) and the
-/// destination/edge value vectors, and returns the number of rows whose
-/// destination vertex lives on a different partition than the source — the
-/// rows a partitioned deployment ships at the expand boundary.
+/// destination/edge value vectors, and tallies the rows whose destination
+/// vertex lives on a different partition than the source — shipped at the
+/// expand boundary, or served locally when the destination is a hub replica.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn edge_expand_kernel<G: GraphView>(
     graph: &G,
     batch: &RecordBatch,
     c: &EdgeExpandCompiled,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     candidates: &mut Vec<(EdgeId, VertexId)>,
     sel: &mut Vec<u32>,
     dst_vals: &mut Vec<VertexId>,
     edge_vals: &mut Vec<EdgeId>,
-) -> u64 {
-    let mut comm = 0u64;
+) -> CommTally {
+    let mut comm = CommTally::default();
     for row in 0..batch.rows() {
         let Some(src) = batch.entry(c.src_slot, row).as_vertex() else {
             continue;
@@ -842,9 +914,7 @@ pub(crate) fn edge_expand_kernel<G: GraphView>(
                     continue;
                 }
             }
-            if partition_of(src, partitions) != partition_of(neighbor, partitions) {
-                comm += 1;
-            }
+            charge_crossing(pm, src, neighbor, &mut comm);
             sel.push(row as u32);
             dst_vals.push(neighbor);
             edge_vals.push(edge);
@@ -860,13 +930,13 @@ pub fn edge_expand_batches<G: GraphView>(
     input: &[RecordBatch],
     tags: &mut TagMap,
     args: &EdgeExpandArgs<'_>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     batch_size: usize,
-) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+) -> Result<(Vec<RecordBatch>, CommTally), crate::error::ExecError> {
     let compiled = EdgeExpandCompiled::resolve(graph, tags, args)?;
     let width = tags.len();
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     // scratch reused across the whole input, not per row
     let mut candidates: Vec<(gopt_graph::EdgeId, VertexId)> = Vec::new();
     let mut sel: Vec<u32> = Vec::new();
@@ -880,7 +950,7 @@ pub fn edge_expand_batches<G: GraphView>(
             graph,
             batch,
             &compiled,
-            partitions,
+            pm,
             &mut candidates,
             &mut sel,
             &mut dst_vals,
@@ -911,9 +981,9 @@ pub fn expand_into_batches<G: GraphView>(
     direction: Direction,
     edge_alias: Option<&str>,
     edge_predicate: &Option<Expr>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     batch_size: usize,
-) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+) -> Result<(Vec<RecordBatch>, CommTally), crate::error::ExecError> {
     let src_slot = tags
         .slot(src)
         .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
@@ -927,7 +997,7 @@ pub fn expand_into_batches<G: GraphView>(
         .as_ref()
         .map(|p| CompiledExpr::compile(p, tags, graph));
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     let mut sel: Vec<u32> = Vec::new();
     let mut edge_vals: Vec<EdgeId> = Vec::new();
     for batch in input {
@@ -942,7 +1012,7 @@ pub fn expand_into_batches<G: GraphView>(
             &labels,
             direction,
             edge_pred.as_ref(),
-            partitions,
+            pm,
             &mut sel,
             &mut edge_vals,
         );
@@ -960,8 +1030,8 @@ pub fn expand_into_batches<G: GraphView>(
 }
 
 /// Per-batch `ExpandInto` kernel: selection vector + connecting-edge values,
-/// returning the number of kept rows whose endpoints live on different
-/// partitions. Shared by [`expand_into_batches`] and the morsel executor.
+/// tallying the kept rows whose endpoints live on different partitions.
+/// Shared by [`expand_into_batches`] and the morsel executor.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_into_kernel<G: GraphView>(
     graph: &G,
@@ -972,11 +1042,11 @@ pub(crate) fn expand_into_kernel<G: GraphView>(
     labels: &[LabelId],
     direction: Direction,
     edge_pred: Option<&CompiledExpr>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     sel: &mut Vec<u32>,
     edge_vals: &mut Vec<EdgeId>,
-) -> u64 {
-    let mut comm = 0u64;
+) -> CommTally {
+    let mut comm = CommTally::default();
     for row in 0..batch.rows() {
         let (Some(s), Some(d)) = (
             batch.entry(src_slot, row).as_vertex(),
@@ -1001,9 +1071,7 @@ pub(crate) fn expand_into_kernel<G: GraphView>(
                 continue;
             }
         }
-        if partition_of(s, partitions) != partition_of(d, partitions) {
-            comm += 1;
-        }
+        charge_crossing(pm, s, d, &mut comm);
         sel.push(row as u32);
         edge_vals.push(e);
     }
@@ -1021,9 +1089,9 @@ pub fn expand_intersect_batches<G: GraphView>(
     dst_alias: &str,
     dst_constraint: &TypeConstraint,
     dst_predicate: &Option<Expr>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     batch_size: usize,
-) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+) -> Result<(Vec<RecordBatch>, CommTally), crate::error::ExecError> {
     let dst_slot = tags.slot_or_insert(dst_alias);
     let mut step_slots = Vec::with_capacity(steps.len());
     for s in steps {
@@ -1041,7 +1109,7 @@ pub fn expand_intersect_batches<G: GraphView>(
         .as_ref()
         .map(|p| CompiledExpr::compile(p, tags, graph));
     let mut out = Vec::new();
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     let mut scratch = IntersectScratch::default();
     let mut sel: Vec<u32> = Vec::new();
     let mut dst_vals: Vec<VertexId> = Vec::new();
@@ -1057,7 +1125,7 @@ pub fn expand_intersect_batches<G: GraphView>(
             dst_slot,
             dst_constraint,
             dst_pred.as_ref(),
-            partitions,
+            pm,
             &mut scratch,
             &mut sel,
             &mut dst_vals,
@@ -1085,10 +1153,10 @@ pub(crate) struct IntersectScratch {
 }
 
 /// Per-batch `ExpandIntersect` kernel: selection vector + intersected
-/// destination values, returning the number of input rows whose step sources
-/// live on different partitions (the record is shipped once to perform the
-/// intersection). Shared by [`expand_intersect_batches`] and the morsel
-/// executor.
+/// destination values, tallying the input rows whose step sources live on
+/// different partitions (the record is shipped once to perform the
+/// intersection, unless hub replicas cover the spread). Shared by
+/// [`expand_intersect_batches`] and the morsel executor.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_intersect_kernel<G: GraphView>(
     graph: &G,
@@ -1099,30 +1167,29 @@ pub(crate) fn expand_intersect_kernel<G: GraphView>(
     dst_slot: usize,
     dst_constraint: &TypeConstraint,
     dst_pred: Option<&CompiledExpr>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     scratch: &mut IntersectScratch,
     sel: &mut Vec<u32>,
     dst_vals: &mut Vec<VertexId>,
-) -> u64 {
-    let mut comm = 0u64;
+) -> CommTally {
+    let mut comm = CommTally::default();
     let IntersectScratch {
         cur,
         step_buf,
         merged,
     } = scratch;
     for row in 0..batch.rows() {
-        if let Some(p) = partitions {
-            if p > 1 && steps.len() > 1 {
-                let mut parts = step_slots
-                    .iter()
-                    .filter_map(|&s| batch.entry(s, row).as_vertex())
-                    .map(|v| partition_of(v, partitions));
-                if let Some(first) = parts.next() {
-                    if parts.any(|p| p != first) {
-                        comm += 1;
-                    }
-                }
-            }
+        if steps.len() > 1 {
+            charge_intersect_row(
+                pm,
+                step_slots.iter().zip(steps).filter_map(|(&slot, step)| {
+                    batch
+                        .entry(slot, row)
+                        .as_vertex()
+                        .map(|v| (v, step.direction))
+                }),
+                &mut comm,
+            );
         }
         cur.clear();
         let mut initialized = false;
@@ -1172,9 +1239,9 @@ pub fn path_expand_batches<G: GraphView>(
     max_hops: u32,
     semantics: PathSemantics,
     path_alias: Option<&str>,
-    partitions: Option<usize>,
+    pm: Option<&PartitionMap>,
     batch_size: usize,
-) -> Result<(Vec<RecordBatch>, u64), crate::error::ExecError> {
+) -> Result<(Vec<RecordBatch>, CommTally), crate::error::ExecError> {
     let src_slot = tags
         .slot(src)
         .ok_or_else(|| crate::error::ExecError::UnboundTag(src.to_string()))?;
@@ -1182,7 +1249,7 @@ pub fn path_expand_batches<G: GraphView>(
     let path_slot = path_alias.map(|a| tags.slot_or_insert(a));
     let labels = edge_labels(graph, edge_constraint);
     let mut builder = BatchBuilder::new(tags.len(), batch_size);
-    let mut comm = 0u64;
+    let mut comm = CommTally::default();
     for batch in input {
         for row in 0..batch.rows() {
             let Some(start) = batch.entry(src_slot, row).as_vertex() else {
@@ -1196,7 +1263,7 @@ pub fn path_expand_batches<G: GraphView>(
                 min_hops,
                 max_hops,
                 semantics,
-                partitions,
+                pm,
                 &mut comm,
                 |path| {
                     let dst = *path.last().expect("non-empty");
@@ -1299,7 +1366,7 @@ mod tests {
         };
         let (out, comm0) = edge_expand(&g, &input, &mut tags, &args, None).unwrap();
         assert_eq!(out.len(), 4, "four Knows edges");
-        assert_eq!(comm0, 0);
+        assert_eq!(comm0, CommTally::default());
         // every output has the edge bound
         assert!(out
             .iter()
@@ -1348,8 +1415,9 @@ mod tests {
             dst_predicate: &None,
             edge_predicate: &None,
         };
-        let (_, comm) = edge_expand(&g, &input, &mut tags, &args, Some(2)).unwrap();
-        assert!(comm > 0);
+        let pm2 = PartitionMap::modulo(2);
+        let (_, comm) = edge_expand(&g, &input, &mut tags, &args, Some(&pm2)).unwrap();
+        assert!(comm.shipped > 0);
 
         // unbound source tag errors
         let mut tags = TagMap::new();
@@ -1464,6 +1532,7 @@ mod tests {
         let mut tags3 = TagMap::new();
         tags3.slot_or_insert("a");
         tags3.slot_or_insert("b");
+        let pm2 = PartitionMap::modulo(2);
         let (_, comm) = expand_intersect(
             &g,
             &[r],
@@ -1472,10 +1541,10 @@ mod tests {
             "c",
             &person(&g),
             &None,
-            Some(2),
+            Some(&pm2),
         )
         .unwrap();
-        assert_eq!(comm, 1);
+        assert_eq!(comm.shipped, 1);
     }
 
     #[test]

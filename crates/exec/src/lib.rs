@@ -75,5 +75,6 @@ pub use batch::{
 pub use context::QueryContext;
 pub use engine::{BatchEngine, Engine, EngineConfig, ExecResult, ExecStats};
 pub use error::{ExecError, LimitReason};
+pub use gopt_graph::PartitionerSpec;
 pub use parallel::{ExchangeMode, MorselPool, ParallelEngine, DEFAULT_EXCHANGE_CAP};
 pub use record::{Entry, Record, RecordContext, TagMap};

@@ -16,14 +16,16 @@
 //!
 //! * **Element-wise operators** (`Scan`, `Select`, `Project`) process each
 //!   morsel independently on a worker and reassemble outputs in morsel order.
-//! * **Expand operators** run a real partition exchange: each morsel is split
-//!   by the partition owning the routing vertex (the expansion source), the
-//!   per-partition sub-batches run the shared expansion kernels against their
-//!   own [`GraphShard`]'s CSR, and a deterministic per-morsel merge restores
-//!   the oracle row order from the kernels' selection vectors. At the expand
-//!   boundary output rows are routed by the *target* vertex's partition — the
-//!   rows whose target partition differs from the partition that produced
-//!   them are the measured shuffle.
+//! * **Expand operators** run a real partition exchange: each *window* of up
+//!   to `EXCHANGE_WINDOW` consecutive morsels is split by the partition
+//!   owning the routing vertex (the expansion source, looked up in the
+//!   graph's shared [`PartitionMap`]), the per-partition sub-batches run the
+//!   shared expansion kernels against their own [`GraphShard`]'s CSR, and a
+//!   deterministic per-window merge restores the oracle row order from the
+//!   kernels' selection vectors. At the expand boundary output rows are
+//!   routed by the *target* vertex's partition — the rows whose target
+//!   partition differs from the partition that produced them are the
+//!   measured shuffle.
 //! * **Pipeline breakers** (`HashGroup`, `OrderLimit`, `Dedup`) evaluate
 //!   their key/aggregate expressions per morsel on the pool (the per-worker
 //!   partial state), then perform a deterministic merge in morsel order: a
@@ -48,24 +50,34 @@
 //!    coordinator (partition 0); every row not already homed there is
 //!    counted.
 //!
-//! All three are pure functions of the data and the partitioner — never of
-//! the thread count or scheduling — so communication counts are identical
-//! across thread counts by construction (asserted by
-//! `tests/parallel_equivalence.rs`). With one partition every count is zero.
-//! Accounting assumes the modulo [`HashPartitioner`] that
-//! [`PartitionedGraph::build`] installs (the expansion kernels share its
-//! arithmetic).
+//! All three consult the graph's [`PartitionMap`] — the single placement
+//! oracle shared with the expansion kernels, answering for the modulo
+//! [`HashPartitioner`] and for the owner tables a [`GreedyPartitioner`]
+//! produces alike — never partition arithmetic of their own. A crossing
+//! whose required adjacency is covered by a replicated hub (see
+//! `gopt_graph::HubReplicas`) is served by the local replica instead of
+//! shipping the row: it accumulates into `ExecStats::locality_hits` rather
+//! than `comm_records`, and `ExecStats::replicated_bytes` reports the
+//! storage price of the replica overlay. Every count is a pure function of
+//! the data, the placement and the replica set — never of the thread count
+//! or scheduling — so communication counts are identical across thread
+//! counts by construction (asserted by `tests/parallel_equivalence.rs`).
+//! With one partition every count is zero.
 //!
 //! `ExecStats::comm_bytes` applies the same rules to payload sizes: every
-//! shipped row is charged its morsel's per-row share of
+//! shipped row is charged its batch's per-row share of
 //! [`RecordBatch::approx_bytes`] (integer arithmetic, see `ship_bytes`), so
 //! byte counts inherit the thread- and schedule-invariance of the row counts.
 //!
-//! # Pipelined exchange and backpressure
+//! # Coalesced routing, pipelined exchange and backpressure
 //!
 //! Each expand operator runs its partition exchange through
-//! [`exchange_expand`](ParallelEngine): per morsel, a *route* unit splits the
-//! morsel by routing partition and a *expand* unit runs the expansion kernels
+//! [`exchange_expand`](ParallelEngine): a *route* unit takes a window of up
+//! to `EXCHANGE_WINDOW` consecutive morsels and splits it by routing
+//! partition — accumulating the window's routed rows into **one** gathered
+//! sub-batch per destination partition instead of one per
+//! (morsel × partition), so a window costs one channel message and at most
+//! `p` gathered batches — and an *expand* unit runs the expansion kernels
 //! over the split and merges the oracle row order back. How the two stages
 //! are scheduled is the [`ExchangeMode`]:
 //!
@@ -84,16 +96,23 @@
 //!   can drain the whole pipeline alone, so the stage is deadlock-free at
 //!   every capacity ≥ 1 and thread count ≥ 1.
 //!
-//! Both modes execute identical route and expand units in identical per-mi
-//! order at the merge, so rows, row order and every `comm_*` stat are
-//! bit-identical between them; `ExecStats::exchange_peak_bytes` is the only
-//! observable difference (it measures resident gathered bytes, which is the
-//! point of pipelining).
+//! Both modes execute identical route and expand units over identical
+//! windows in identical per-window order at the merge, so rows, row order
+//! and every `comm_*` stat are bit-identical between them;
+//! `ExecStats::exchange_peak_bytes` is the only observable difference (it
+//! measures resident gathered bytes, which is the point of pipelining).
+//!
+//! An unparseable `GOPT_EXCHANGE_CAP`, `GOPT_EXCHANGE_MODE` or
+//! `GOPT_PARTITIONER` value is a configuration mistake, not a hint: it
+//! surfaces as [`ExecError::Config`] on the first execute instead of being
+//! silently replaced by a default.
 //!
 //! [`BatchEngine`]: crate::engine::BatchEngine
 //! [`Engine`]: crate::engine::Engine
 //! [`GraphShard`]: gopt_graph::GraphShard
 //! [`HashPartitioner`]: gopt_graph::HashPartitioner
+//! [`GreedyPartitioner`]: gopt_graph::GreedyPartitioner
+//! [`PartitionMap`]: gopt_graph::PartitionMap
 
 use crate::batch::{
     self, BatchBuilder, BatchRow, Column, CompiledExpr, EntryRef, RecordBatch, DEFAULT_BATCH_SIZE,
@@ -101,13 +120,14 @@ use crate::batch::{
 use crate::context::{self, QueryContext};
 use crate::engine::{ExecResult, ExecStats};
 use crate::error::ExecError;
-use crate::expand::{self, EdgeExpandArgs, EdgeExpandCompiled, IntersectScratch};
+use crate::expand::{self, CommTally, EdgeExpandArgs, EdgeExpandCompiled, IntersectScratch};
 use crate::record::{Entry, TagMap};
 use crate::relational::{self, Accumulator};
 use gopt_gir::expr::{AggFunc, Expr, SortDir};
+use gopt_gir::pattern::Direction;
 use gopt_gir::physical::{IntersectStep, PhysicalNodeId, PhysicalOp, PhysicalPlan};
 use gopt_gir::types::TypeConstraint;
-use gopt_graph::{GraphView, PartitionedGraph, PropValue, VertexId};
+use gopt_graph::{GraphView, PartitionMap, PartitionedGraph, PropValue, VertexId};
 use parking_lot::{Condvar, Mutex};
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -500,23 +520,41 @@ pub enum ExchangeMode {
     Pipelined,
 }
 
-/// `GOPT_EXCHANGE_CAP` (clamped to ≥ 1) or the default.
-fn exchange_cap_from_env() -> usize {
-    std::env::var("GOPT_EXCHANGE_CAP")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map(|c| c.max(1))
-        .unwrap_or(DEFAULT_EXCHANGE_CAP)
+/// Number of consecutive input morsels one route unit coalesces into a
+/// single window split: one channel message and at most one gathered
+/// sub-batch per destination partition per window, instead of one split per
+/// (morsel × partition). With one partition nothing is ever gathered, so
+/// windows degenerate to single morsels there.
+pub(crate) const EXCHANGE_WINDOW: usize = 4;
+
+/// Parse `GOPT_EXCHANGE_CAP`: unset → the default; set → a positive integer
+/// or a typed configuration error (surfaced as [`ExecError::Config`] on the
+/// first execute — never a silent fallback).
+pub(crate) fn exchange_cap_from_env() -> Result<usize, String> {
+    match std::env::var("GOPT_EXCHANGE_CAP") {
+        Err(_) => Ok(DEFAULT_EXCHANGE_CAP),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(c) if c >= 1 => Ok(c),
+            _ => Err(format!(
+                "GOPT_EXCHANGE_CAP must be a positive integer, got {:?}",
+                v.trim()
+            )),
+        },
+    }
 }
 
-/// `GOPT_EXCHANGE_MODE=barrier|pipelined` (default pipelined).
-fn exchange_mode_from_env() -> ExchangeMode {
-    match std::env::var("GOPT_EXCHANGE_MODE")
-        .as_deref()
-        .map(str::trim)
-    {
-        Ok("barrier") => ExchangeMode::Barrier,
-        _ => ExchangeMode::Pipelined,
+/// Parse `GOPT_EXCHANGE_MODE`: unset → pipelined (the default); set →
+/// `barrier`/`pipelined` or a typed configuration error.
+pub(crate) fn exchange_mode_from_env() -> Result<ExchangeMode, String> {
+    match std::env::var("GOPT_EXCHANGE_MODE") {
+        Err(_) => Ok(ExchangeMode::default()),
+        Ok(v) => match v.trim() {
+            "barrier" => Ok(ExchangeMode::Barrier),
+            "pipelined" => Ok(ExchangeMode::Pipelined),
+            other => Err(format!(
+                "GOPT_EXCHANGE_MODE must be \"barrier\" or \"pipelined\", got {other:?}"
+            )),
+        },
     }
 }
 
@@ -555,22 +593,25 @@ struct NodeOut {
     home: Home,
 }
 
-/// One morsel split by routing partition for an expand exchange.
-struct MorselSplit<'a> {
-    /// Input row count of the morsel.
+/// One window of consecutive morsels split by routing partition for an
+/// expand exchange. Row indices are *flat*: row `r` of the window's morsel
+/// `m` is window row `sum(rows of morsels < m) + r`, so flat order is
+/// exactly the oracle's (morsel, row) order.
+struct WindowSplit<'a> {
+    /// Total input row count across the window's morsels.
     rows: usize,
-    /// Routing partition per input row (-1 = routing vertex unbound; the row
-    /// is dropped, exactly as the kernels would drop it).
+    /// Routing partition per flat window row (-1 = routing vertex unbound;
+    /// the row is dropped, exactly as the kernels would drop it).
     owner: Vec<i32>,
-    /// Per non-empty partition: (partition, sub-batch, original row index of
-    /// each sub-batch row). When every row routes to one partition the
-    /// sub-batch borrows the input morsel instead of gathering a copy —
-    /// always the case at p=1.
+    /// Per non-empty partition: (partition, coalesced sub-batch, flat window
+    /// row index of each sub-batch row). A single-morsel window whose rows
+    /// all route to one partition borrows the input morsel instead of
+    /// gathering a copy — always the case at p=1.
     subs: Vec<(usize, Cow<'a, RecordBatch>, Vec<u32>)>,
 }
 
-impl MorselSplit<'_> {
-    /// Extra memory this split holds beyond the input morsel: the gathered
+impl WindowSplit<'_> {
+    /// Extra memory this split holds beyond the input morsels: the gathered
     /// (owned) sub-batches. Borrowed subs alias the input and cost nothing —
     /// at p=1 every sub borrows, so this is always 0 there.
     fn gathered_bytes(&self) -> u64 {
@@ -584,26 +625,36 @@ impl MorselSplit<'_> {
     }
 }
 
+/// One window's route outcome: the split plus what the route stage shipped
+/// (rows and their byte share) and the rows a replicated hub adjacency kept
+/// local instead.
+struct RouteOut<'a> {
+    split: WindowSplit<'a>,
+    moved: u64,
+    moved_bytes: u64,
+    route_hits: u64,
+}
+
 /// Output of one expansion kernel over one sub-batch.
 struct KernelOut {
     /// Sub-batch row index per output row (ascending).
     sel: Vec<u32>,
     dst_vals: Vec<VertexId>,
     edge_vals: Vec<gopt_graph::EdgeId>,
-    comm: u64,
+    comm: CommTally,
 }
 
-/// Result of one expand unit: the merged output batches of one morsel (in
-/// oracle row order) and the rows its kernels shipped across partitions at
-/// the expand boundary.
+/// Result of one expand unit: the merged output batches of one window (in
+/// oracle row order) and the crossings its kernels measured at the expand
+/// boundary (shipped rows and replica-served locality hits).
 struct Expanded {
     batches: Vec<RecordBatch>,
-    comm: u64,
+    comm: CommTally,
 }
 
-/// One morsel's exchange outcome: its expanded output plus the rows and
-/// bytes the route stage moved across partitions for it.
-type Routed = (Expanded, u64, u64);
+/// One window's exchange outcome: its expanded output plus the rows, bytes
+/// and replica-served hits of its route stage.
+type Routed = (Expanded, u64, u64, u64);
 
 /// The morsel-driven parallel interpreter over a [`PartitionedGraph`].
 ///
@@ -620,6 +671,12 @@ pub struct ParallelEngine<'g> {
     /// Bounded-channel capacity of the pipelined exchange (≥ 1).
     exchange_cap: usize,
     exchange_mode: ExchangeMode,
+    /// Deferred typed errors from unparseable `GOPT_EXCHANGE_CAP` /
+    /// `GOPT_EXCHANGE_MODE` values, surfaced as [`ExecError::Config`] on the
+    /// first execute. The matching builder overrides the environment and
+    /// clears its error.
+    cap_err: Option<String>,
+    mode_err: Option<String>,
     /// Shared pool injected via [`with_pool`](Self::with_pool); when absent an
     /// owned pool is spawned lazily on the first execute and reused. Either
     /// way the lock is held only to fetch the handle — concurrent
@@ -635,13 +692,23 @@ impl<'g> ParallelEngine<'g> {
     /// (`GOPT_EXCHANGE_CAP`, `GOPT_EXCHANGE_MODE`) unless overridden with
     /// the builders below.
     pub fn new(graph: &'g PartitionedGraph) -> Self {
+        let (exchange_cap, cap_err) = match exchange_cap_from_env() {
+            Ok(c) => (c, None),
+            Err(e) => (DEFAULT_EXCHANGE_CAP, Some(e)),
+        };
+        let (exchange_mode, mode_err) = match exchange_mode_from_env() {
+            Ok(m) => (m, None),
+            Err(e) => (ExchangeMode::default(), Some(e)),
+        };
         ParallelEngine {
             graph,
             record_limit: None,
             threads: 1,
             batch_size: DEFAULT_BATCH_SIZE,
-            exchange_cap: exchange_cap_from_env(),
-            exchange_mode: exchange_mode_from_env(),
+            exchange_cap,
+            exchange_mode,
+            cap_err,
+            mode_err,
             shared: None,
             owned: Mutex::new(None),
         }
@@ -677,16 +744,22 @@ impl<'g> ParallelEngine<'g> {
     }
 
     /// Set the pipelined exchange's bounded-channel capacity in routed
-    /// morsels (clamped to at least 1). Smaller capacities bound peak
+    /// window splits (clamped to at least 1). Smaller capacities bound peak
     /// exchange memory harder at the cost of more producer waiting.
+    /// Overrides `GOPT_EXCHANGE_CAP` (and clears any pending error from an
+    /// unparseable value of it).
     pub fn with_exchange_capacity(mut self, cap: usize) -> Self {
         self.exchange_cap = cap.max(1);
+        self.cap_err = None;
         self
     }
 
     /// Select how expand operators schedule their partition exchange.
+    /// Overrides `GOPT_EXCHANGE_MODE` (and clears any pending error from an
+    /// unparseable value of it).
     pub fn with_exchange_mode(mut self, mode: ExchangeMode) -> Self {
         self.exchange_mode = mode;
+        self.mode_err = None;
         self
     }
 
@@ -713,6 +786,11 @@ impl<'g> ParallelEngine<'g> {
         ctx: &QueryContext,
     ) -> Result<ExecResult, ExecError> {
         context::init_failpoints();
+        // a broken environment override is an error the operator must see,
+        // even before plan shape is considered
+        if let Some(msg) = self.cap_err.as_ref().or(self.mode_err.as_ref()) {
+            return Err(ExecError::Config(msg.clone()));
+        }
         if plan.is_empty() {
             return Err(ExecError::EmptyPlan);
         }
@@ -727,7 +805,12 @@ impl<'g> ParallelEngine<'g> {
                 })),
             };
         let pool = &*pool;
-        let mut stats = ExecStats::default();
+        // replicated_bytes is the storage price of the hub replica overlay
+        // this graph carries — constant per deployment, reported per query
+        let mut stats = ExecStats {
+            replicated_bytes: self.graph.replicated_bytes(),
+            ..Default::default()
+        };
         let order = plan.topo_order();
         let mut outputs: Vec<Option<NodeOut>> = Vec::with_capacity(plan.len());
         outputs.resize_with(plan.len(), || None);
@@ -772,9 +855,10 @@ impl<'g> ParallelEngine<'g> {
         self.graph.partition_of(v)
     }
 
+    /// The graph's placement oracle, in the form the expansion kernels take.
     #[inline]
-    fn partitions_opt(&self) -> Option<usize> {
-        Some(self.graph.partitions())
+    fn pmap(&self) -> Option<&PartitionMap> {
+        Some(self.graph.partition_map())
     }
 
     /// The partition a row currently sits on.
@@ -816,61 +900,107 @@ impl<'g> ParallelEngine<'g> {
         stats.comm_bytes += bytes;
     }
 
-    /// Route unit of the exchange: split one morsel by the partition owning
-    /// the vertex at `route_slot`, gathering per-partition sub-batches and
-    /// measuring the (rows, bytes) that had to move from their current home.
-    fn split_one<'a>(
+    /// Route unit of the exchange: split one window of consecutive morsels
+    /// by the partition owning the vertex at `route_slot` (consulting the
+    /// shared [`PartitionMap`]), coalescing the whole window's routed rows
+    /// into one sub-batch per destination partition, and measuring the
+    /// (rows, bytes) that had to move from their current home. A row whose
+    /// routing vertex is a replicated hub and whose expansion reads the
+    /// `Out` adjacency needs no move at all — every shard holds that
+    /// adjacency — so it counts as a locality hit instead of a shipped row.
+    fn split_window<'a>(
         &self,
-        batch: &'a RecordBatch,
+        window: &'a [RecordBatch],
         route_slot: usize,
         home: Home,
         aligned: bool,
-    ) -> (MorselSplit<'a>, u64, u64) {
+        route_dir: Direction,
+    ) -> RouteOut<'a> {
         let p = self.graph.partitions();
-        let mut owner = vec![-1i32; batch.rows()];
+        let pm = self.graph.partition_map();
+        let hubs_serve = route_dir == Direction::Out;
+        let rows: usize = window.iter().map(RecordBatch::rows).sum();
+        let mut owner = vec![-1i32; rows];
         let mut sels: Vec<Vec<u32>> = vec![Vec::new(); p];
         let mut moved = 0u64;
-        for (row, own) in owner.iter_mut().enumerate() {
-            let Some(v) = batch.entry(route_slot, row).as_vertex() else {
-                continue;
-            };
-            let dest = self.part(v);
-            *own = dest as i32;
-            if p > 1 && !aligned && self.row_home(batch, row, home) != dest {
-                moved += 1;
+        let mut moved_bytes = 0u64;
+        let mut route_hits = 0u64;
+        // flat start offset of each morsel within the window (+ end sentinel)
+        let mut starts = Vec::with_capacity(window.len() + 1);
+        let mut base = 0usize;
+        for batch in window {
+            starts.push(base);
+            let mut batch_moved = 0u64;
+            for row in 0..batch.rows() {
+                let Some(v) = batch.entry(route_slot, row).as_vertex() else {
+                    continue;
+                };
+                let dest = pm.partition_of(v);
+                owner[base + row] = dest as i32;
+                if p > 1 && !aligned && self.row_home(batch, row, home) != dest {
+                    if hubs_serve && pm.is_hub(v) {
+                        route_hits += 1;
+                    } else {
+                        batch_moved += 1;
+                    }
+                }
+                sels[dest].push((base + row) as u32);
             }
-            sels[dest].push(row as u32);
+            moved += batch_moved;
+            moved_bytes += ship_bytes(batch.approx_bytes(), batch.rows() as u64, batch_moved);
+            base += batch.rows();
         }
+        starts.push(base);
+        let width = window.first().map(RecordBatch::width).unwrap_or(0);
         let subs = sels
             .into_iter()
             .enumerate()
             .filter(|(_, sel)| !sel.is_empty())
             .map(|(part, sel)| {
-                let sub = if sel.len() == batch.rows() {
-                    Cow::Borrowed(batch)
+                let sub = if let [batch] = window {
+                    // single-morsel window: columnar gather, borrowing when
+                    // every row routes to this one partition
+                    if sel.len() == batch.rows() {
+                        Cow::Borrowed(batch)
+                    } else {
+                        Cow::Owned(batch.gather(&sel, batch.width()))
+                    }
                 } else {
-                    Cow::Owned(batch.gather(&sel, batch.width()))
+                    // coalesce the window's rows for this destination into
+                    // one batch, in flat (= oracle) order
+                    let mut builder = BatchBuilder::new(width, usize::MAX);
+                    let mut mi = 0usize;
+                    for &flat in &sel {
+                        let f = flat as usize;
+                        while f >= starts[mi + 1] {
+                            mi += 1;
+                        }
+                        builder.push_row_from(&window[mi], f - starts[mi], &[]);
+                    }
+                    let mut out = builder.finish();
+                    debug_assert_eq!(out.len(), 1, "uncapped builder yields one batch");
+                    Cow::Owned(out.pop().expect("sel is non-empty"))
                 };
                 (part, sub, sel)
             })
             .collect();
-        let moved_bytes = ship_bytes(batch.approx_bytes(), batch.rows() as u64, moved);
-        (
-            MorselSplit {
-                rows: batch.rows(),
-                owner,
-                subs,
-            },
+        RouteOut {
+            split: WindowSplit { rows, owner, subs },
             moved,
             moved_bytes,
-        )
+            route_hits,
+        }
     }
 
-    /// The full exchange of one expand operator: route every input morsel to
-    /// its partitions and run `expand_one` (kernels + oracle-order merge)
+    /// The full exchange of one expand operator: cut the input into windows
+    /// of up to [`EXCHANGE_WINDOW`] consecutive morsels, route every window
+    /// to its partitions and run `expand_one` (kernels + oracle-order merge)
     /// over each split, per the engine's [`ExchangeMode`]. Outputs come back
-    /// concatenated in morsel order; all communication stats are accumulated
-    /// here, per morsel in morsel order, so both modes charge identically.
+    /// concatenated in window order; all communication stats are accumulated
+    /// here, per window in window order, so both modes charge identically.
+    /// `route_dir` is the adjacency direction the operator reads from the
+    /// routing vertex — it decides whether hub replicas can serve the row
+    /// locally.
     #[allow(clippy::too_many_arguments)]
     fn exchange_expand<'a, F>(
         &self,
@@ -880,24 +1010,34 @@ impl<'g> ParallelEngine<'g> {
         batches: &'a [RecordBatch],
         route_slot: usize,
         home: Home,
+        route_dir: Direction,
         stats: &mut ExecStats,
         expand_one: F,
     ) -> Result<Vec<RecordBatch>, ExecError>
     where
-        F: Fn(&MorselSplit<'a>) -> Expanded + Sync,
+        F: Fn(&WindowSplit<'a>) -> Expanded + Sync,
     {
-        let n = batches.len();
-        if n == 0 {
+        if batches.is_empty() {
             // preserve the per-operator exchange fail point even when there
             // is nothing to route
             failpoint::check(context::FP_EXCHANGE).map_err(context::injected)?;
             return Ok(Vec::new());
         }
+        // with one partition nothing is gathered or shipped — keep the
+        // borrow-only single-morsel windows there
+        let window_len = if self.graph.partitions() > 1 {
+            EXCHANGE_WINDOW
+        } else {
+            1
+        };
+        let windows: Vec<&'a [RecordBatch]> = batches.chunks(window_len).collect();
+        let n = windows.len();
         let aligned = home == Home::Tag(route_slot);
-        // One route unit per morsel: context checkpoint, exchange fail point,
-        // then the split. Fires inside pooled tasks, so faults and limit hits
-        // unwind as TaskAborts and are mapped back to typed errors per mode.
-        let route_unit = |mi: usize| -> (MorselSplit<'a>, u64, u64) {
+        // One route unit per window: context checkpoint, exchange fail
+        // point, then the split. Fires inside pooled tasks, so faults and
+        // limit hits unwind as TaskAborts and are mapped back to typed
+        // errors per mode.
+        let route_unit = |wi: usize| -> RouteOut<'a> {
             context::worker_checkpoint(ctx);
             if let Err(f) = failpoint::check(context::FP_EXCHANGE) {
                 std::panic::panic_any(context::TaskAbort::Injected {
@@ -905,22 +1045,22 @@ impl<'g> ParallelEngine<'g> {
                     msg: f.msg,
                 });
             }
-            self.split_one(&batches[mi], route_slot, home, aligned)
+            self.split_window(windows[wi], route_slot, home, aligned, route_dir)
         };
-        let (per_mi, peak) = match self.exchange_mode {
+        let (per_wi, peak) = match self.exchange_mode {
             ExchangeMode::Barrier => {
                 // synchronous barrier: materialize EVERY routed split, then
                 // expand — the baseline the pipelined mode is measured against
-                let routed: Vec<(MorselSplit<'a>, u64, u64)> = par_map_op(pool, n, op, route_unit)?;
-                let resident: u64 = routed.iter().map(|(s, _, _)| s.gathered_bytes()).sum();
+                let routed: Vec<RouteOut<'a>> = par_map_op(pool, n, op, route_unit)?;
+                let resident: u64 = routed.iter().map(|r| r.split.gathered_bytes()).sum();
                 let expanded: Vec<Expanded> =
-                    par_map_op(pool, n, op, |mi| expand_one(&routed[mi].0))?;
-                let per_mi = expanded
+                    par_map_op(pool, n, op, |wi| expand_one(&routed[wi].split))?;
+                let per_wi = expanded
                     .into_iter()
                     .zip(&routed)
-                    .map(|(e, (_, moved, moved_bytes))| (e, *moved, *moved_bytes))
+                    .map(|(e, r)| (e, r.moved, r.moved_bytes, r.route_hits))
                     .collect();
-                (per_mi, resident)
+                (per_wi, resident)
             }
             ExchangeMode::Pipelined => {
                 self.exchange_pipelined(pool, ctx, op, n, &route_unit, &expand_one)?
@@ -928,11 +1068,12 @@ impl<'g> ParallelEngine<'g> {
         };
         stats.exchange_peak_bytes = stats.exchange_peak_bytes.max(peak);
         let mut out = Vec::new();
-        for (e, moved, moved_bytes) in per_mi {
-            stats.comm_records += moved + e.comm;
+        for (e, moved, moved_bytes, route_hits) in per_wi {
+            stats.comm_records += moved + e.comm.shipped;
+            stats.locality_hits += route_hits + e.comm.local_hits;
             let out_rows = batch::total_rows(&e.batches) as u64;
             let out_bytes: u64 = e.batches.iter().map(RecordBatch::approx_bytes).sum();
-            stats.comm_bytes += moved_bytes + ship_bytes(out_bytes, out_rows, e.comm);
+            stats.comm_bytes += moved_bytes + ship_bytes(out_bytes, out_rows, e.comm.shipped);
             out.extend(e.batches);
         }
         Ok(out)
@@ -948,9 +1089,9 @@ impl<'g> ParallelEngine<'g> {
     /// worker can drain the whole pipeline, so the stage cannot deadlock at
     /// any capacity or thread count.
     ///
-    /// Returns per-morsel `(Expanded, moved, moved_bytes)` in morsel order
-    /// plus the peak resident gathered bytes (splits queued, held by blocked
-    /// routers, or being expanded).
+    /// Returns per-window `(Expanded, moved, moved_bytes, route_hits)` in
+    /// window order plus the peak resident gathered bytes (splits queued,
+    /// held by blocked routers, or being expanded).
     fn exchange_pipelined<'a, R, F>(
         &self,
         pool: &WorkerPool,
@@ -961,10 +1102,10 @@ impl<'g> ParallelEngine<'g> {
         expand_one: &F,
     ) -> Result<(Vec<Routed>, u64), ExecError>
     where
-        R: Fn(usize) -> (MorselSplit<'a>, u64, u64) + Sync,
-        F: Fn(&MorselSplit<'a>) -> Expanded + Sync,
+        R: Fn(usize) -> RouteOut<'a> + Sync,
+        F: Fn(&WindowSplit<'a>) -> Expanded + Sync,
     {
-        type Item<'a> = (usize, MorselSplit<'a>, u64, u64);
+        type Item<'a> = (usize, RouteOut<'a>);
         let (tx, rx) = crossbeam_channel::bounded::<Item<'a>>(self.exchange_cap);
         let next_route = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
@@ -975,7 +1116,7 @@ impl<'g> ParallelEngine<'g> {
         let mut results: Vec<Option<Routed>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
         struct Slots<T>(*mut Option<T>);
-        // SAFETY: each morsel index is expanded (and written) exactly once;
+        // SAFETY: each window index is expanded (and written) exactly once;
         // the phase barrier in run_phase sequences writes before the reads.
         unsafe impl<T: Send> Sync for Slots<T> {}
         let slots = Slots(results.as_mut_ptr());
@@ -989,12 +1130,17 @@ impl<'g> ParallelEngine<'g> {
             failed.store(true, Ordering::Release);
         };
         // expand one routed split; false aborts the calling worker
-        let do_expand = |(mi, split, moved, moved_bytes): Item<'a>| -> bool {
-            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| expand_one(&split)));
+        let do_expand = |(wi, routed): Item<'a>| -> bool {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                expand_one(&routed.split)
+            }));
             match out {
                 Ok(e) => {
-                    queued_bytes.fetch_sub(split.gathered_bytes(), Ordering::Relaxed);
-                    unsafe { *slots.0.add(mi) = Some((e, moved, moved_bytes)) };
+                    queued_bytes.fetch_sub(routed.split.gathered_bytes(), Ordering::Relaxed);
+                    unsafe {
+                        *slots.0.add(wi) =
+                            Some((e, routed.moved, routed.moved_bytes, routed.route_hits))
+                    };
                     completed.fetch_add(1, Ordering::Release);
                     true
                 }
@@ -1016,22 +1162,22 @@ impl<'g> ParallelEngine<'g> {
                     }
                     continue;
                 }
-                let mi = next_route.fetch_add(1, Ordering::Relaxed);
-                if mi < n {
+                let wi = next_route.fetch_add(1, Ordering::Relaxed);
+                if wi < n {
                     let routed =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route_unit(mi)));
-                    let (split, moved, moved_bytes) = match routed {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route_unit(wi)));
+                    let routed = match routed {
                         Ok(r) => r,
                         Err(payload) => {
                             fail(context::map_panic(payload, op));
                             return;
                         }
                     };
-                    let bytes = split.gathered_bytes();
+                    let bytes = routed.split.gathered_bytes();
                     let resident = queued_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
                     peak_bytes.fetch_max(resident, Ordering::Relaxed);
                     // backpressure loop: never an unbounded block
-                    let mut item = (mi, split, moved, moved_bytes);
+                    let mut item = (wi, routed);
                     loop {
                         if failed.load(Ordering::Acquire) {
                             return;
@@ -1077,7 +1223,7 @@ impl<'g> ParallelEngine<'g> {
                 }
             }
         };
-        // one cooperative worker per available thread (capped at the morsel
+        // one cooperative worker per available thread (capped at the window
         // count); the submitting thread is always one of them
         let crew = (pool.workers() + 1).min(n);
         pool.run_phase(crew, &worker)
@@ -1089,20 +1235,20 @@ impl<'g> ParallelEngine<'g> {
         }
         let per_mi = results
             .into_iter()
-            .map(|r| r.expect("pipeline expanded every morsel"))
+            .map(|r| r.expect("pipeline expanded every window"))
             .collect();
         Ok((per_mi, peak_bytes.load(Ordering::Relaxed)))
     }
 
-    /// Deterministic per-morsel merge after a partition-split expansion:
-    /// original input-row order, with each row's outputs taken (in kernel
-    /// emission order) from the sub-batch of the partition owning the row.
-    /// `sub_row(k, j)` names the sub-batch row backing output `j`; `push(b,
-    /// k, j)` appends output `j` of kernel `k` from sub-batch rows.
+    /// Deterministic per-window merge after a partition-split expansion:
+    /// original flat input-row order (= oracle (morsel, row) order), with
+    /// each row's outputs taken (in kernel emission order) from the
+    /// sub-batch of the partition owning the row. `push(b, k, j)` appends
+    /// output `j` of kernel `k` from sub-batch rows.
     #[allow(clippy::too_many_arguments)]
-    fn merge_morsel(
+    fn merge_window(
         &self,
-        split: &MorselSplit<'_>,
+        split: &WindowSplit<'_>,
         kernel_of_sub: &[&KernelOut],
         width: usize,
         push: impl Fn(&mut BatchBuilder, usize, usize),
@@ -1480,6 +1626,7 @@ impl<'g> ParallelEngine<'g> {
             &input.batches,
             compiled.src_slot,
             input.home,
+            args.direction,
             stats,
             |split| {
                 let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
@@ -1493,7 +1640,7 @@ impl<'g> ParallelEngine<'g> {
                         self.graph,
                         sub,
                         &compiled,
-                        self.partitions_opt(),
+                        self.pmap(),
                         &mut candidates,
                         &mut sel,
                         &mut dst_vals,
@@ -1506,7 +1653,10 @@ impl<'g> ParallelEngine<'g> {
                         comm,
                     });
                 }
-                let comm = kouts.iter().map(|k| k.comm).sum();
+                let mut comm = CommTally::default();
+                for k in &kouts {
+                    comm += k.comm;
+                }
                 // fast path: every routed row of this morsel lives on one
                 // shard, so kernel emission order IS the oracle order —
                 // gather columns instead of copying row by row
@@ -1525,7 +1675,7 @@ impl<'g> ParallelEngine<'g> {
                     out
                 } else {
                     let ks: Vec<&KernelOut> = kouts.iter().collect();
-                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                    self.merge_window(split, &ks, width, |builder, si, j| {
                         let k = ks[si];
                         let sub = &split.subs[si].1;
                         let mut overrides = [
@@ -1586,6 +1736,7 @@ impl<'g> ParallelEngine<'g> {
             &input.batches,
             src_slot,
             input.home,
+            direction,
             stats,
             |split| {
                 let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
@@ -1602,7 +1753,7 @@ impl<'g> ParallelEngine<'g> {
                         &labels,
                         direction,
                         edge_pred.as_ref(),
-                        self.partitions_opt(),
+                        self.pmap(),
                         &mut sel,
                         &mut edge_vals,
                     );
@@ -1613,7 +1764,10 @@ impl<'g> ParallelEngine<'g> {
                         comm,
                     });
                 }
-                let comm = kouts.iter().map(|k| k.comm).sum();
+                let mut comm = CommTally::default();
+                for k in &kouts {
+                    comm += k.comm;
+                }
                 let batches = if let [(_, sub, _)] = split.subs.as_slice() {
                     let k = &kouts[0];
                     let mut out = Vec::new();
@@ -1629,7 +1783,7 @@ impl<'g> ParallelEngine<'g> {
                     out
                 } else {
                     let ks: Vec<&KernelOut> = kouts.iter().collect();
-                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                    self.merge_window(split, &ks, width, |builder, si, j| {
                         let k = ks[si];
                         let sub = &split.subs[si].1;
                         match edge_slot {
@@ -1690,8 +1844,10 @@ impl<'g> ParallelEngine<'g> {
             &input.batches,
             step_slots[0],
             input.home,
+            steps[0].direction,
             stats,
             |split| {
+                let pm = self.graph.partition_map();
                 let mut kouts: Vec<KernelOut> = Vec::with_capacity(split.subs.len());
                 for (part, sub, _) in &split.subs {
                     context::worker_checkpoint(ctx);
@@ -1707,15 +1863,24 @@ impl<'g> ParallelEngine<'g> {
                         dst_slot,
                         dst_constraint,
                         dst_pred.as_ref(),
-                        self.partitions_opt(),
+                        self.pmap(),
                         &mut scratch,
                         &mut sel,
                         &mut dst_vals,
                     );
                     // expand-boundary shuffle: outputs routed to the target
-                    // vertex's partition
-                    if self.graph.partitions() > 1 {
-                        comm += dst_vals.iter().filter(|&&d| self.part(d) != *part).count() as u64;
+                    // vertex's partition — unless the target is a replicated
+                    // hub, whose adjacency the local shard already holds
+                    if pm.partitions() > 1 {
+                        for &d in &dst_vals {
+                            if pm.partition_of(d) != *part {
+                                if pm.is_hub(d) {
+                                    comm.local_hits += 1;
+                                } else {
+                                    comm.shipped += 1;
+                                }
+                            }
+                        }
                     }
                     kouts.push(KernelOut {
                         sel,
@@ -1724,7 +1889,10 @@ impl<'g> ParallelEngine<'g> {
                         comm,
                     });
                 }
-                let comm = kouts.iter().map(|k| k.comm).sum();
+                let mut comm = CommTally::default();
+                for k in &kouts {
+                    comm += k.comm;
+                }
                 let batches = if let [(_, sub, _)] = split.subs.as_slice() {
                     let k = &kouts[0];
                     let mut out = Vec::new();
@@ -1740,7 +1908,7 @@ impl<'g> ParallelEngine<'g> {
                     out
                 } else {
                     let ks: Vec<&KernelOut> = kouts.iter().collect();
-                    self.merge_morsel(split, &ks, width, |builder, si, j| {
+                    self.merge_window(split, &ks, width, |builder, si, j| {
                         let k = ks[si];
                         let sub = &split.subs[si].1;
                         builder.push_row_from(
@@ -1791,19 +1959,20 @@ impl<'g> ParallelEngine<'g> {
             &input.batches,
             src_slot,
             input.home,
+            direction,
             stats,
             |split| {
                 // per sub-batch: fully materialised output rows (one
                 // oversized batch) plus the producing sub-row per output row;
                 // communication follows the traversal model (every
                 // partition-crossing hop counts)
-                let mut kouts: Vec<(Vec<RecordBatch>, Vec<u32>, u64)> =
+                let mut kouts: Vec<(Vec<RecordBatch>, Vec<u32>, CommTally)> =
                     Vec::with_capacity(split.subs.len());
                 for (_, sub, _) in &split.subs {
                     context::worker_checkpoint(ctx);
                     let mut builder = BatchBuilder::new(width, usize::MAX);
                     let mut origs: Vec<u32> = Vec::new();
-                    let mut comm = 0u64;
+                    let mut comm = CommTally::default();
                     for row in 0..sub.rows() {
                         let Some(start) = sub.entry(src_slot, row).as_vertex() else {
                             continue;
@@ -1816,7 +1985,7 @@ impl<'g> ParallelEngine<'g> {
                             min_hops,
                             max_hops,
                             semantics,
-                            self.partitions_opt(),
+                            self.pmap(),
                             &mut comm,
                             |path| {
                                 let dst = *path.last().expect("non-empty");
@@ -1838,7 +2007,10 @@ impl<'g> ParallelEngine<'g> {
                     }
                     kouts.push((builder.finish(), origs, comm));
                 }
-                let comm = kouts.iter().map(|(_, _, c)| *c).sum();
+                let mut comm = CommTally::default();
+                for (_, _, c) in &kouts {
+                    comm += *c;
+                }
                 // merge by the ORIGIN row of each output: rows were
                 // materialised by the kernels, so the merge copies from the
                 // per-sub out batch

@@ -81,6 +81,102 @@ pub fn random_graph(schema: &GraphSchema, cfg: &RandomGraphConfig) -> PropertyGr
     b.finish()
 }
 
+/// Configuration for [`zipf_graph`]: like [`RandomGraphConfig`] but edge
+/// endpoints are drawn from a Zipf distribution over the label's vertices, so
+/// a few "hub" vertices collect most of the edges — the degree skew real
+/// social/web graphs exhibit and the shape hub replication targets.
+#[derive(Debug, Clone)]
+pub struct ZipfGraphConfig {
+    /// Number of vertices generated per vertex label.
+    pub vertices_per_label: usize,
+    /// Number of edges generated per declared (edge label, endpoint pair).
+    pub edges_per_endpoint: usize,
+    /// Zipf exponent `s` (weight of rank `r` is `1/r^s`); 0 is uniform,
+    /// ~1.0–1.5 is web-graph-like skew.
+    pub skew: f64,
+    /// RNG seed, so benchmarks are deterministic.
+    pub seed: u64,
+}
+
+impl Default for ZipfGraphConfig {
+    fn default() -> Self {
+        ZipfGraphConfig {
+            vertices_per_label: 20,
+            edges_per_endpoint: 60,
+            skew: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a random property graph whose edge endpoints follow a Zipf
+/// distribution (both source and destination), yielding a heavy-tailed
+/// degree distribution. Vertex/property layout matches [`random_graph`].
+pub fn zipf_graph(schema: &GraphSchema, cfg: &ZipfGraphConfig) -> PropertyGraph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new(schema.clone());
+    let mut by_label: Vec<Vec<crate::ids::VertexId>> =
+        vec![Vec::new(); schema.vertex_label_count()];
+    for l in schema.vertex_label_ids() {
+        for i in 0..cfg.vertices_per_label {
+            let name = format!("{}_{}", schema.vertex_label_name(l), i);
+            let v = b
+                .add_vertex(
+                    l,
+                    vec![
+                        ("id", PropValue::Int(i as i64)),
+                        ("name", PropValue::str(&name)),
+                    ],
+                )
+                .expect("valid label");
+            by_label[l.index()].push(v);
+        }
+    }
+    // cumulative Zipf weights over ranks 1..=n; rank r gets weight 1/r^s.
+    // Hub ranks are scattered over vertex ids by a fixed stride so skew is
+    // not correlated with the id-order placement partitioners see.
+    let cumulative: Vec<f64> = {
+        let n = cfg.vertices_per_label.max(1);
+        let mut acc = 0.0;
+        (1..=n)
+            .map(|r| {
+                acc += 1.0 / (r as f64).powf(cfg.skew);
+                acc
+            })
+            .collect()
+    };
+    let total = cumulative.last().copied().unwrap_or(1.0);
+    let pick = |rng: &mut SmallRng, pool: &[crate::ids::VertexId]| {
+        // the rand shim only samples integer ranges — scale one down
+        let x = rng.gen_range(0..1u64 << 32) as f64 / (1u64 << 32) as f64 * total;
+        let rank = cumulative.partition_point(|&c| c <= x).min(pool.len() - 1);
+        // stride-scatter rank → index so hubs are spread across id space
+        pool[(rank * 7 + 3) % pool.len()]
+    };
+    for el in schema.edge_label_ids() {
+        let endpoints = schema.edge_endpoints(el).to_vec();
+        for (src_l, dst_l) in endpoints {
+            let srcs = &by_label[src_l.index()];
+            let dsts = &by_label[dst_l.index()];
+            if srcs.is_empty() || dsts.is_empty() {
+                continue;
+            }
+            for _ in 0..cfg.edges_per_endpoint {
+                let s = pick(&mut rng, srcs);
+                let d = pick(&mut rng, dsts);
+                b.add_edge(
+                    el,
+                    s,
+                    d,
+                    vec![("weight", PropValue::Int(rng.gen_range(0..100)))],
+                )
+                .expect("schema-conforming edge");
+            }
+        }
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +195,36 @@ mod tests {
                 .schema()
                 .can_connect(g.vertex_label(s), g.edge_label(e), g.vertex_label(d)));
         }
+    }
+
+    #[test]
+    fn zipf_graph_is_skewed_and_deterministic() {
+        let schema = fig6_schema();
+        let cfg = ZipfGraphConfig {
+            vertices_per_label: 50,
+            edges_per_endpoint: 400,
+            skew: 1.2,
+            seed: 9,
+        };
+        let g1 = zipf_graph(&schema, &cfg);
+        let g2 = zipf_graph(&schema, &cfg);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for e in g1.edge_ids() {
+            assert_eq!(g1.edge_endpoints(e), g2.edge_endpoints(e));
+        }
+        // heavy tail: the busiest 10% of vertices carry well over 10% of
+        // the degree mass
+        let mut degrees: Vec<usize> = g1
+            .vertex_ids()
+            .map(|v| g1.out_degree(v) + g1.in_degree(v))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = degrees.iter().take(degrees.len() / 10).sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top * 100 > total * 30,
+            "top decile carries {top} of {total} — not skewed"
+        );
     }
 
     #[test]

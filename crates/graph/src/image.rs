@@ -27,7 +27,10 @@
 //! never panic. Sections:
 //!
 //! * `META` — schema (labels, property defs), the interned property-key
-//!   table, and the partition count;
+//!   table, the partition count, the vertex **placement** (modulo, or an
+//!   explicit owner table for non-hash partitioners) and the replicated
+//!   hub-vertex set (the hub overlay itself is cheaply rebuilt from the
+//!   catalog's edge columns on load);
 //! * `GRAPH` — the monolithic primary columns: vertex labels, vertex property
 //!   columns, edge labels/endpoints, edge property columns, both adjacency
 //!   structures;
@@ -56,8 +59,9 @@ use std::sync::Arc;
 pub const IMAGE_MAGIC: [u8; 8] = *b"GOPTIMG\0";
 
 /// Current image format version. Bump on any layout change; loaders reject
-/// other versions with [`ImageError::UnsupportedVersion`].
-pub const IMAGE_VERSION: u32 = 1;
+/// other versions with [`ImageError::UnsupportedVersion`]. Version 2 added
+/// vertex placement (owner table) and the replicated hub set to `META`.
+pub const IMAGE_VERSION: u32 = 2;
 
 const SECTION_META: u32 = 1;
 const SECTION_GRAPH: u32 = 2;
@@ -655,10 +659,26 @@ fn read_prop_defs(r: &mut Cursor<'_>) -> Result<Vec<PropertyDef>, ImageError> {
     Ok(defs)
 }
 
-fn encode_meta(graph: &PropertyGraph, partitions: usize) -> Vec<u8> {
+fn encode_meta(graph: &PropertyGraph, pg: &PartitionedGraph) -> Vec<u8> {
     let mut out = Vec::new();
     let schema = graph.schema();
-    put_u32(&mut out, partitions as u32);
+    put_u32(&mut out, pg.partitions() as u32);
+    // placement: hash layouts need no table (tag 0); anything else persists
+    // the owner table so a loaded image routes exactly as the built graph
+    if pg.modulo_placed() {
+        put_u8(&mut out, 0);
+    } else {
+        put_u8(&mut out, 1);
+        put_u32s(
+            &mut out,
+            pg.partition_map().owner_table().unwrap_or_default(),
+        );
+    }
+    let hubs: Vec<u32> = pg
+        .replicas()
+        .map(|r| r.hubs().iter().map(|h| h.0 as u32).collect())
+        .unwrap_or_default();
+    put_u32s(&mut out, &hubs);
     put_u32(&mut out, schema.vertex_label_count() as u32);
     for id in schema.vertex_label_ids() {
         put_str(&mut out, schema.vertex_label_name(id));
@@ -687,6 +707,10 @@ fn encode_meta(graph: &PropertyGraph, partitions: usize) -> Vec<u8> {
 
 struct Meta {
     partitions: usize,
+    /// Explicit owner table (`None` = modulo placement).
+    owners: Option<Vec<u32>>,
+    /// Replicated hub vertices, ascending.
+    hubs: Vec<VertexId>,
     schema: GraphSchema,
     prop_keys: Vec<String>,
 }
@@ -695,6 +719,25 @@ fn decode_meta(r: &mut Cursor<'_>) -> Result<Meta, ImageError> {
     let partitions = r.u32()? as usize;
     if partitions == 0 {
         return Err(r.corrupt("partition count is zero"));
+    }
+    let owners = match r.u8()? {
+        0 => None,
+        1 => {
+            let o = r.u32s("owner table")?;
+            if o.iter().any(|&p| p as usize >= partitions) {
+                return Err(r.corrupt("owner table entry out of partition range"));
+            }
+            Some(o)
+        }
+        t => return Err(r.corrupt(format!("unknown placement tag {t}"))),
+    };
+    let hubs: Vec<VertexId> = r
+        .u32s("hub set")?
+        .into_iter()
+        .map(|h| VertexId(u64::from(h)))
+        .collect();
+    if hubs.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(r.corrupt("hub set not strictly ascending"));
     }
     let mut schema = GraphSchema::new();
     let n_vlabels = r.count_capped(4, "vertex labels")?;
@@ -730,6 +773,8 @@ fn decode_meta(r: &mut Cursor<'_>) -> Result<Meta, ImageError> {
     }
     Ok(Meta {
         partitions,
+        owners,
+        hubs,
         schema,
         prop_keys,
     })
@@ -886,7 +931,7 @@ fn decode_shard_block(
 
 fn decode_shards(
     r: &mut Cursor<'_>,
-    meta: &Meta,
+    meta: &mut Meta,
     graph: &PropertyGraph,
 ) -> Result<PartitionedGraph, ImageError> {
     let n_shards = r.u32()? as usize;
@@ -926,8 +971,14 @@ fn decode_shards(
     for d in decoded {
         parts.push(d?);
     }
-    PartitionedGraph::assemble(graph, meta.partitions, parts)
-        .ok_or_else(|| r.corrupt("shard arrays do not assemble into a partitioned graph"))
+    PartitionedGraph::assemble(
+        graph,
+        meta.partitions,
+        meta.owners.take(),
+        std::mem::take(&mut meta.hubs),
+        parts,
+    )
+    .ok_or_else(|| r.corrupt("shard arrays do not assemble into a partitioned graph"))
 }
 
 // ---------------------------------------------------------------------------
@@ -949,7 +1000,7 @@ pub struct LoadedImage {
 /// buffer. `pg` must be a partitioning **of** `graph` (same vertex/edge set).
 pub fn image_bytes(graph: &PropertyGraph, pg: &PartitionedGraph, stats: &GraphStats) -> Vec<u8> {
     let sections: [(u32, Vec<u8>); 4] = [
-        (SECTION_META, encode_meta(graph, pg.partitions())),
+        (SECTION_META, encode_meta(graph, pg)),
         (SECTION_GRAPH, encode_graph(graph)),
         (SECTION_SHARDS, encode_shards(pg)),
         (SECTION_STATS, {
@@ -1079,7 +1130,7 @@ pub fn load_image_bytes(bytes: &[u8]) -> Result<LoadedImage, ImageError> {
     }
 
     let mut meta_r = Cursor::new(section(bytes, &table, SECTION_META)?, "meta");
-    let meta = decode_meta(&mut meta_r)?;
+    let mut meta = decode_meta(&mut meta_r)?;
     meta_r.done()?;
 
     let mut graph_r = Cursor::new(section(bytes, &table, SECTION_GRAPH)?, "graph");
@@ -1087,7 +1138,7 @@ pub fn load_image_bytes(bytes: &[u8]) -> Result<LoadedImage, ImageError> {
     graph_r.done()?;
 
     let mut shards_r = Cursor::new(section(bytes, &table, SECTION_SHARDS)?, "shards");
-    let partitioned = decode_shards(&mut shards_r, &meta, &graph)?;
+    let partitioned = decode_shards(&mut shards_r, &mut meta, &graph)?;
     shards_r.done()?;
 
     let mut stats_r = Cursor::new(section(bytes, &table, SECTION_STATS)?, "stats");

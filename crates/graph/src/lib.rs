@@ -41,7 +41,10 @@ pub use error::GraphError;
 pub use graph::{Adj, AdjSegment, CsrAdjacency, EdgeCodes, GraphBuilder, PropertyGraph};
 pub use ids::{EdgeId, LabelId, PropKeyId, VertexId};
 pub use image::{load_image, load_image_bytes, write_image, ImageError, LoadedImage};
-pub use partition::{GraphShard, HashPartitioner, PartitionedGraph, Partitioner};
+pub use partition::{
+    GraphShard, GreedyPartitioner, HashPartitioner, HubReplicas, PartitionMap, PartitionedGraph,
+    Partitioner, PartitionerSpec,
+};
 pub use schema::{EdgeLabelDef, GraphSchema, PropType, PropertyDef, VertexLabelDef};
 pub use stats::{
     CmpKind, ColumnDetail, ColumnStats, GraphStats, Histogram, LowOrderStats, NdvSketch, PropStats,

@@ -12,7 +12,9 @@ use gopt_graph::reference::{Insertion, NaiveGraph};
 use gopt_graph::schema::fig6_schema;
 use gopt_graph::stats::GraphStats;
 use gopt_graph::view::GraphView;
-use gopt_graph::{LabelId, PartitionedGraph, PropKeyId, PropValue, PropertyGraph, VertexId};
+use gopt_graph::{
+    LabelId, PartitionedGraph, PartitionerSpec, PropKeyId, PropValue, PropertyGraph, VertexId,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -278,6 +280,44 @@ fn wrong_magic_and_version_are_rejected() {
         image::load_image_bytes(&[]),
         Err(ImageError::Truncated { .. })
     ));
+}
+
+/// A greedy-partitioned graph with a non-empty hub replica set survives the
+/// image round trip: the owner table, the hub set and the replicated
+/// adjacency (byte for byte, via `replicated_bytes`) all come back intact —
+/// a loaded image must never silently degrade to modulo placement.
+#[test]
+fn greedy_placement_and_replicas_survive_the_image_roundtrip() {
+    let (g, naive) = random_layouts(23, 50, 200);
+    let pg = PartitionedGraph::build_with_opts(&g, PartitionerSpec::Greedy.build(&g, 4), 6);
+    assert!(
+        pg.replicas().is_some_and(|r| !r.hubs().is_empty()),
+        "fixture must replicate at least one hub"
+    );
+    let stats = GraphStats::from_graph(&g);
+    let bytes = image::image_bytes(&g, &pg, &stats);
+    let loaded = image::load_image_bytes(&bytes).expect("well-formed image loads");
+    let lpg = &*loaded.partitioned;
+
+    assert_eq!(lpg.partitions(), pg.partitions());
+    assert_eq!(lpg.modulo_placed(), pg.modulo_placed());
+    for v in g.vertex_ids() {
+        assert_eq!(
+            lpg.partition_of(v),
+            pg.partition_of(v),
+            "owner of {v} changed across the round trip"
+        );
+        assert_eq!(
+            lpg.partition_map().is_hub(v),
+            pg.partition_map().is_hub(v),
+            "hub membership of {v} changed across the round trip"
+        );
+        // the replicated out-adjacency still answers exactly like the oracle
+        assert_eq!(lpg.out_edges(v).collect::<Vec<_>>(), naive.out_edges(v));
+    }
+    let (lr, r) = (lpg.replicas().unwrap(), pg.replicas().unwrap());
+    assert_eq!(lr.hubs(), r.hubs(), "replica set diverges");
+    assert_eq!(lpg.replicated_bytes(), pg.replicated_bytes());
 }
 
 #[test]

@@ -59,7 +59,7 @@ use gopt_core::{plan_shape, GOpt, GOptConfig, GraphScopeSpec, OptError, INITIAL_
 use gopt_exec::{Backend, ExecError, ExecMode, ExecResult, PartitionedBackend, QueryContext};
 use gopt_gir::physical::PhysicalPlan;
 use gopt_glogue::{GLogue, GLogueConfig, GlogueQuery};
-use gopt_graph::{GraphStats, PropertyGraph};
+use gopt_graph::{GraphStats, PartitionerSpec, PropertyGraph};
 use gopt_parser::{parse_cypher, ParseError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +118,12 @@ impl std::error::Error for ServerError {}
 pub struct ServerConfig {
     /// Graph partitions of the backing [`PartitionedBackend`].
     pub partitions: usize,
+    /// Vertex placement strategy for the backing shards (the
+    /// `GOPT_PARTITIONER` environment variable overrides this).
+    pub partitioner: PartitionerSpec,
+    /// Replicate the out-adjacency of this many highest-degree vertices into
+    /// every shard (0 = no replication).
+    pub replicate_hubs: usize,
     /// Threads of the shared morsel pool (1 = inline execution).
     pub threads: usize,
     /// Rows per batch for the vectorized engine; `None` keeps the engine
@@ -141,6 +147,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             partitions: 2,
+            partitioner: PartitionerSpec::default(),
+            replicate_hubs: 0,
             threads: 2,
             batch_size: None,
             max_concurrent: 8,
@@ -222,12 +230,15 @@ impl Server {
     ) -> Result<Server, ServerError> {
         let mut backend = PartitionedBackend::new(config.partitions)
             .map_err(|e| ServerError::Config(format!("bad partition count: {e}")))?
-            .with_threads(config.threads);
+            .with_threads(config.threads)
+            .with_partitioner(config.partitioner)
+            .with_hub_replication(config.replicate_hubs);
         if let Some(batch_size) = config.batch_size {
             backend = backend.with_mode(ExecMode::Batched { batch_size });
         }
-        // shard the graph and spin up the worker pool ahead of the first query
-        backend.prepare(&graph);
+        // shard the graph and spin up the worker pool ahead of the first
+        // query; an invalid GOPT_PARTITIONER surfaces here, at startup
+        backend.prepare(&graph).map_err(ServerError::Exec)?;
         let _ = backend.pool();
         let inner = ServerInner {
             state: Mutex::new(ServerState {
@@ -298,7 +309,10 @@ impl Server {
         } else {
             // layouts differ: fall back to re-sharding the loaded graph so
             // the backend's cache is primed for it either way
-            self.inner.backend.prepare(&img.graph);
+            self.inner
+                .backend
+                .prepare(&img.graph)
+                .map_err(ServerError::Exec)?;
         }
         let mut state = self.inner.state.lock();
         state.graph = img.graph;

@@ -4,7 +4,7 @@
 //! `cargo run --example plan_lifecycle` to regenerate it.
 
 use gopt::core::{GOpt, GOptConfig, GraphScopeSpec, Neo4jSpec};
-use gopt::exec::{Backend, ExecMode, PartitionedBackend, SingleMachineBackend};
+use gopt::exec::{Backend, ExecMode, PartitionedBackend, PartitionerSpec, SingleMachineBackend};
 use gopt::gir::types::TypeConstraint;
 use gopt::gir::Expr;
 use gopt::glogue::{
@@ -126,6 +126,21 @@ fn main() {
         result.stats.comm_bytes,
         result.stats.exchange_peak_bytes,
         result.stats.elapsed_micros
+    );
+    let greedy = PartitionedBackend::new(8)
+        .expect("non-zero partitions")
+        .with_partitioner(PartitionerSpec::Greedy)
+        .with_hub_replication(16);
+    let result_g = greedy.execute(&graph, &plan_gs).expect("executes");
+    println!(
+        "partitioned x8 (greedy + 16 hubs):         {} result rows, {} comm records / {} comm \
+         bytes, {} locality hits, {} replicated bytes, {}us",
+        result_g.len(),
+        result_g.stats.comm_records,
+        result_g.stats.comm_bytes,
+        result_g.stats.locality_hits,
+        result_g.stats.replicated_bytes,
+        result_g.stats.elapsed_micros
     );
     let scalar = parted
         .clone()

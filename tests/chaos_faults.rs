@@ -24,8 +24,19 @@ use gopt::gir::types::TypeConstraint;
 use gopt::gir::{AggFunc, Expr, SortDir};
 use gopt::graph::graph::GraphBuilder;
 use gopt::graph::schema::fig6_schema;
-use gopt::graph::{PartitionedGraph, PropValue, PropertyGraph};
+use gopt::graph::{PartitionedGraph, PartitionerSpec, PropValue, PropertyGraph};
 use std::sync::{Mutex, MutexGuard};
+
+/// The placement axis at `parts` shards: modulo hash everywhere, plus the
+/// Fennel-style greedy partitioner with a few replicated hubs where placement
+/// matters (more than one shard).
+fn placements(parts: usize) -> &'static [(PartitionerSpec, usize)] {
+    if parts == 1 {
+        &[(PartitionerSpec::Hash, 0)]
+    } else {
+        &[(PartitionerSpec::Hash, 0), (PartitionerSpec::Greedy, 4)]
+    }
+}
 
 /// Serialize tests that touch the process-global fail-point registry.
 fn serial() -> MutexGuard<'static, ()> {
@@ -140,38 +151,46 @@ fn every_injected_fault_yields_typed_error_or_oracle_rows() {
     let want = oracle_rows(&g, &plan);
     assert!(!want.is_empty(), "chaos plan produces rows");
     for parts in [1usize, 2, 4] {
-        let sharded = PartitionedGraph::build(&g, parts);
-        for threads in [1usize, 2, 4] {
-            let engine = ParallelEngine::new(&sharded).with_threads(threads);
-            for point in POINTS {
-                for action in ACTIONS {
-                    failpoint::clear();
-                    failpoint::configure(point, action).unwrap();
-                    let got = engine.execute(&plan);
-                    let tag = format!("{point}={action} p={parts} t={threads}");
-                    match (&got, action) {
-                        (Ok(res), _) => {
-                            // a point that never fired (or only delayed) must
-                            // not perturb the result
-                            assert_eq!(res.rows(), want, "rows diverge under {tag}");
+        for &(spec, hubs) in placements(parts) {
+            let sharded = PartitionedGraph::build_with_opts(&g, spec.build(&g, parts), hubs);
+            for threads in [1usize, 2, 4] {
+                let engine = ParallelEngine::new(&sharded).with_threads(threads);
+                for point in POINTS {
+                    for action in ACTIONS {
+                        failpoint::clear();
+                        failpoint::configure(point, action).unwrap();
+                        let got = engine.execute(&plan);
+                        let tag = format!(
+                            "{point}={action} p={parts} t={threads} partitioner={}",
+                            spec.name()
+                        );
+                        match (&got, action) {
+                            (Ok(res), _) => {
+                                // a point that never fired (or only delayed)
+                                // must not perturb the result
+                                assert_eq!(res.rows(), want, "rows diverge under {tag}");
+                            }
+                            (Err(ExecError::Injected { point: p, msg }), a)
+                                if a.starts_with("err") =>
+                            {
+                                assert_eq!(p, point, "wrong injection site under {tag}");
+                                assert_eq!(msg, "chaos", "wrong message under {tag}");
+                            }
+                            (Err(ExecError::WorkerPanicked { .. }), a)
+                                if a.starts_with("panic") => {}
+                            (err, _) => panic!("unexpected outcome under {tag}: {err:?}"),
                         }
-                        (Err(ExecError::Injected { point: p, msg }), a) if a.starts_with("err") => {
-                            assert_eq!(p, point, "wrong injection site under {tag}");
-                            assert_eq!(msg, "chaos", "wrong message under {tag}");
+                        if action.starts_with("delay") {
+                            assert!(got.is_ok(), "delay must not fail ({tag})");
                         }
-                        (Err(ExecError::WorkerPanicked { .. }), a) if a.starts_with("panic") => {}
-                        (err, _) => panic!("unexpected outcome under {tag}: {err:?}"),
+                        // pool survival: clear the fault and replay on the
+                        // SAME engine — the pool must not be poisoned
+                        failpoint::clear();
+                        let replay = engine
+                            .execute(&plan)
+                            .unwrap_or_else(|e| panic!("pool did not recover after {tag}: {e}"));
+                        assert_eq!(replay.rows(), want, "recovery rows diverge after {tag}");
                     }
-                    if action.starts_with("delay") {
-                        assert!(got.is_ok(), "delay must not fail ({tag})");
-                    }
-                    // pool survival: clear the fault and replay on the SAME
-                    // engine — the pool must not be poisoned by the failure
-                    failpoint::clear();
-                    let replay = engine
-                        .execute(&plan)
-                        .unwrap_or_else(|e| panic!("pool did not recover after {tag}: {e}"));
-                    assert_eq!(replay.rows(), want, "recovery rows diverge after {tag}");
                 }
             }
         }
@@ -264,37 +283,45 @@ fn exchange_faults_fire_through_capacity_one_backpressure() {
     let plan = chaos_plan(&g);
     let want = oracle_rows(&g, &plan);
     for parts in [1usize, 2, 4] {
-        let sharded = PartitionedGraph::build(&g, parts);
-        for threads in [1usize, 2, 4] {
-            for mode in [ExchangeMode::Pipelined, ExchangeMode::Barrier] {
-                let engine = ParallelEngine::new(&sharded)
-                    .with_threads(threads)
-                    .with_exchange_capacity(1)
-                    .with_exchange_mode(mode);
-                for action in ACTIONS {
-                    failpoint::clear();
-                    failpoint::configure("exec.exchange", action).unwrap();
-                    let tag = format!("exec.exchange={action} p={parts} t={threads} {mode:?}");
-                    let got = engine.execute(&plan);
-                    match (&got, action) {
-                        (Ok(res), _) => {
-                            assert_eq!(res.rows(), want, "rows diverge under {tag}");
+        for &(spec, hubs) in placements(parts) {
+            let sharded = PartitionedGraph::build_with_opts(&g, spec.build(&g, parts), hubs);
+            for threads in [1usize, 2, 4] {
+                for mode in [ExchangeMode::Pipelined, ExchangeMode::Barrier] {
+                    let engine = ParallelEngine::new(&sharded)
+                        .with_threads(threads)
+                        .with_exchange_capacity(1)
+                        .with_exchange_mode(mode);
+                    for action in ACTIONS {
+                        failpoint::clear();
+                        failpoint::configure("exec.exchange", action).unwrap();
+                        let tag = format!(
+                            "exec.exchange={action} p={parts} t={threads} {mode:?} partitioner={}",
+                            spec.name()
+                        );
+                        let got = engine.execute(&plan);
+                        match (&got, action) {
+                            (Ok(res), _) => {
+                                assert_eq!(res.rows(), want, "rows diverge under {tag}");
+                            }
+                            (Err(ExecError::Injected { point, msg }), a)
+                                if a.starts_with("err") =>
+                            {
+                                assert_eq!(point, "exec.exchange", "wrong site under {tag}");
+                                assert_eq!(msg, "chaos", "wrong message under {tag}");
+                            }
+                            (Err(ExecError::WorkerPanicked { .. }), a)
+                                if a.starts_with("panic") => {}
+                            (err, _) => panic!("unexpected outcome under {tag}: {err:?}"),
                         }
-                        (Err(ExecError::Injected { point, msg }), a) if a.starts_with("err") => {
-                            assert_eq!(point, "exec.exchange", "wrong site under {tag}");
-                            assert_eq!(msg, "chaos", "wrong message under {tag}");
+                        if action.starts_with("delay") {
+                            assert!(got.is_ok(), "delay must not fail ({tag})");
                         }
-                        (Err(ExecError::WorkerPanicked { .. }), a) if a.starts_with("panic") => {}
-                        (err, _) => panic!("unexpected outcome under {tag}: {err:?}"),
+                        failpoint::clear();
+                        let replay = engine
+                            .execute(&plan)
+                            .unwrap_or_else(|e| panic!("no recovery after {tag}: {e}"));
+                        assert_eq!(replay.rows(), want, "recovery rows diverge after {tag}");
                     }
-                    if action.starts_with("delay") {
-                        assert!(got.is_ok(), "delay must not fail ({tag})");
-                    }
-                    failpoint::clear();
-                    let replay = engine
-                        .execute(&plan)
-                        .unwrap_or_else(|e| panic!("no recovery after {tag}: {e}"));
-                    assert_eq!(replay.rows(), want, "recovery rows diverge after {tag}");
                 }
             }
         }

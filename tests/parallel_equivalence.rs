@@ -15,7 +15,7 @@ use gopt::gir::PhysicalPlan;
 use gopt::glogue::{GLogue, GLogueConfig, GlogueQuery};
 use gopt::graph::generator::{random_graph, RandomGraphConfig};
 use gopt::graph::schema::fig6_schema;
-use gopt::graph::{PartitionedGraph, PropertyGraph};
+use gopt::graph::{PartitionedGraph, PartitionerSpec, PropertyGraph};
 use gopt::parser::{parse_cypher, parse_gremlin};
 use gopt::workloads::{
     generate_ldbc_graph, ic_queries, qc_queries, qr_gremlin_queries, qt_queries, LdbcScale,
@@ -40,9 +40,9 @@ fn thread_matrix() -> Vec<usize> {
 }
 
 /// Execute `plan` on the scalar single-partition oracle and on the parallel
-/// engine at every (partition, thread) combination; rows (including order)
-/// and record statistics must match, and the measured communication must not
-/// depend on the thread count.
+/// engine at every (partitioner, partition, thread) combination; rows
+/// (including order) and record statistics must match, and the measured
+/// communication must not depend on the thread count.
 fn assert_parallel_agrees(g: &PropertyGraph, plan: &PhysicalPlan) {
     let config = EngineConfig {
         partitions: None,
@@ -51,35 +51,50 @@ fn assert_parallel_agrees(g: &PropertyGraph, plan: &PhysicalPlan) {
     let oracle = Engine::new(g, config).execute(plan);
     let threads = thread_matrix();
     for parts in PARTITIONS {
-        let sharded = PartitionedGraph::build(g, parts);
-        let mut comm_seen: Option<u64> = None;
-        for &t in &threads {
-            let got = ParallelEngine::new(&sharded)
-                .with_threads(t)
-                .with_record_limit(Some(3_000_000))
-                .execute(plan);
-            match (&oracle, &got) {
-                (Ok(o), Ok(r)) => {
-                    assert_same(o, r, parts, t);
-                    match comm_seen {
-                        None => comm_seen = Some(r.stats.comm_records),
-                        Some(c) => assert_eq!(
-                            c, r.stats.comm_records,
-                            "communication depends on thread count (p={parts}, t={t})"
-                        ),
+        // placement axis: modulo hash, and (beyond one shard, where placement
+        // matters) Fennel-style greedy with a few replicated hubs
+        let placements: &[(PartitionerSpec, usize)] = if parts == 1 {
+            &[(PartitionerSpec::Hash, 0)]
+        } else {
+            &[(PartitionerSpec::Hash, 0), (PartitionerSpec::Greedy, 4)]
+        };
+        for &(spec, hubs) in placements {
+            let name = spec.name();
+            let sharded = PartitionedGraph::build_with_opts(g, spec.build(g, parts), hubs);
+            let mut comm_seen: Option<u64> = None;
+            for &t in &threads {
+                let got = ParallelEngine::new(&sharded)
+                    .with_threads(t)
+                    .with_record_limit(Some(3_000_000))
+                    .execute(plan);
+                match (&oracle, &got) {
+                    (Ok(o), Ok(r)) => {
+                        assert_same(o, r, parts, t);
+                        match comm_seen {
+                            None => comm_seen = Some(r.stats.comm_records),
+                            Some(c) => assert_eq!(
+                                c, r.stats.comm_records,
+                                "communication depends on thread count \
+                                 (p={parts}, t={t}, partitioner={name})"
+                            ),
+                        }
+                        if parts == 1 {
+                            assert_eq!(
+                                r.stats.comm_records, 0,
+                                "a single partition ships no rows (t={t})"
+                            );
+                        }
                     }
-                    if parts == 1 {
-                        assert_eq!(
-                            r.stats.comm_records, 0,
-                            "a single partition ships no rows (t={t})"
-                        );
-                    }
+                    (Err(eo), Err(eg)) => assert_eq!(
+                        eo, eg,
+                        "errors diverge (p={parts}, t={t}, partitioner={name})"
+                    ),
+                    _ => panic!(
+                        "one engine failed where the other succeeded \
+                         (p={parts}, t={t}, partitioner={name}): \
+                         oracle={oracle:?} parallel={got:?}"
+                    ),
                 }
-                (Err(eo), Err(eg)) => assert_eq!(eo, eg, "errors diverge (p={parts}, t={t})"),
-                _ => panic!(
-                    "one engine failed where the other succeeded (p={parts}, t={t}): \
-                     oracle={oracle:?} parallel={got:?}"
-                ),
             }
         }
     }

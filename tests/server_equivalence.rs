@@ -10,7 +10,7 @@
 
 use gopt::exec::{Backend, ExecMode, SingleMachineBackend};
 use gopt::glogue::{GLogue, GLogueConfig};
-use gopt::graph::{PropValue, PropertyGraph};
+use gopt::graph::{PartitionerSpec, PropValue, PropertyGraph};
 use gopt::server::{Server, ServerConfig};
 use gopt::workloads::{generate_ldbc_graph, qr_queries, qt_queries, LdbcScale, NamedQuery};
 use std::sync::Arc;
@@ -111,61 +111,76 @@ fn n_clients_get_oracle_identical_rows_cold_and_hot() {
     let queries = workload();
     const CLIENTS: usize = 4;
     for partitions in [1usize, 2, 4] {
-        for &threads in &thread_matrix() {
-            let tag = format!("p={partitions} t={threads}");
-            let server = Server::new(
-                Arc::clone(&graph),
-                Arc::clone(&glogue),
-                ServerConfig {
-                    partitions,
-                    threads,
-                    max_concurrent: CLIENTS,
-                    queue_capacity: 2 * CLIENTS,
-                    ..ServerConfig::default()
-                },
-            )
-            .expect("server");
+        // placement axis: modulo hash everywhere, plus greedy placement with
+        // replicated hubs where placement matters (more than one shard)
+        let placements: &[(PartitionerSpec, usize)] = if partitions == 1 {
+            &[(PartitionerSpec::Hash, 0)]
+        } else {
+            &[(PartitionerSpec::Hash, 0), (PartitionerSpec::Greedy, 8)]
+        };
+        for &(partitioner, replicate_hubs) in placements {
+            for &threads in &thread_matrix() {
+                let tag = format!(
+                    "p={partitions} t={threads} partitioner={}",
+                    partitioner.name()
+                );
+                let server = Server::new(
+                    Arc::clone(&graph),
+                    Arc::clone(&glogue),
+                    ServerConfig {
+                        partitions,
+                        partitioner,
+                        replicate_hubs,
+                        threads,
+                        max_concurrent: CLIENTS,
+                        queue_capacity: 2 * CLIENTS,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("server");
 
-            // the oracle runs the very plans the server will serve: submit
-            // each query once solo, execute its plan on the scalar engine
-            let probe = server.session();
-            let expected: Vec<(String, Vec<Vec<PropValue>>)> = queries
-                .iter()
-                .map(|q| {
-                    let out = probe.submit(&q.text).expect("probe submit");
-                    // exec_plan, not plan: the cached plan is generic
-                    // (constants parameterized out); the oracle must run the
-                    // plan with this query's constants bound back in
-                    (q.name.clone(), oracle_rows(&graph, &out.exec_plan))
-                })
-                .collect();
-            server.clear_plan_cache();
+                // the oracle runs the very plans the server will serve:
+                // submit each query once solo, execute its plan on the
+                // scalar engine
+                let probe = server.session();
+                let expected: Vec<(String, Vec<Vec<PropValue>>)> = queries
+                    .iter()
+                    .map(|q| {
+                        let out = probe.submit(&q.text).expect("probe submit");
+                        // exec_plan, not plan: the cached plan is generic
+                        // (constants parameterized out); the oracle must run
+                        // the plan with this query's constants bound back in
+                        (q.name.clone(), oracle_rows(&graph, &out.exec_plan))
+                    })
+                    .collect();
+                server.clear_plan_cache();
 
-            // cold: clients race to optimize every shape
-            hammer(
-                &server,
-                &queries,
-                &expected,
-                CLIENTS,
-                &format!("{tag} cold"),
-            );
-            let cold = server.cache_metrics();
-            assert_eq!(
-                cold.len,
-                queries.len(),
-                "one cached entry per shape under {tag}"
-            );
+                // cold: clients race to optimize every shape
+                hammer(
+                    &server,
+                    &queries,
+                    &expected,
+                    CLIENTS,
+                    &format!("{tag} cold"),
+                );
+                let cold = server.cache_metrics();
+                assert_eq!(
+                    cold.len,
+                    queries.len(),
+                    "one cached entry per shape under {tag}"
+                );
 
-            // hot: every submission must be served from the cache
-            let hits = hammer(&server, &queries, &expected, CLIENTS, &format!("{tag} hot"));
-            assert_eq!(
-                hits as usize,
-                CLIENTS * queries.len(),
-                "hot pass missed the cache under {tag}"
-            );
-            let m = server.admission_metrics();
-            assert_eq!(m.running, 0, "permits leaked under {tag}");
-            assert_eq!(m.rejected, 0, "spurious overload under {tag}");
+                // hot: every submission must be served from the cache
+                let hits = hammer(&server, &queries, &expected, CLIENTS, &format!("{tag} hot"));
+                assert_eq!(
+                    hits as usize,
+                    CLIENTS * queries.len(),
+                    "hot pass missed the cache under {tag}"
+                );
+                let m = server.admission_metrics();
+                assert_eq!(m.running, 0, "permits leaked under {tag}");
+                assert_eq!(m.rejected, 0, "spurious overload under {tag}");
+            }
         }
     }
 }
